@@ -1,0 +1,38 @@
+//! Criterion bench behind experiment E4: the *time* cost of staying
+//! robust — churn throughput with and without a stalled reader, per
+//! scheme. A robust scheme (HP/HE/IBR) pays scan work but keeps going
+//! at full speed under the stall; EBR's reclamation stops entirely (its
+//! time stays flat while its memory grows — the memory side is measured
+//! by the `robustness` binary).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use era_bench::runner::stall_churn_michael;
+use era_smr::{ebr::Ebr, he::He, hp::Hp, ibr::Ibr};
+
+const CHURN: usize = 10_000;
+const SIZE: usize = 128;
+
+fn benches(c: &mut Criterion) {
+    let mut g = c.benchmark_group("robustness/stalled_churn");
+    g.throughput(Throughput::Elements(CHURN as u64));
+    g.bench_with_input(BenchmarkId::new("EBR", CHURN), &(), |b, ()| {
+        b.iter(|| stall_churn_michael(&Ebr::with_threshold(4, 16), "EBR", SIZE, CHURN, false))
+    });
+    g.bench_with_input(BenchmarkId::new("HP", CHURN), &(), |b, ()| {
+        b.iter(|| stall_churn_michael(&Hp::with_threshold(4, 3, 16), "HP", SIZE, CHURN, false))
+    });
+    g.bench_with_input(BenchmarkId::new("HE", CHURN), &(), |b, ()| {
+        b.iter(|| stall_churn_michael(&He::with_params(4, 3, 16, 8), "HE", SIZE, CHURN, false))
+    });
+    g.bench_with_input(BenchmarkId::new("IBR", CHURN), &(), |b, ()| {
+        b.iter(|| stall_churn_michael(&Ibr::with_params(4, 16, 8), "IBR", SIZE, CHURN, false))
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = group;
+    config = Criterion::default().sample_size(10);
+    targets = benches
+}
+criterion_main!(group);

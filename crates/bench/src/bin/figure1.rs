@@ -1,0 +1,103 @@
+//! Experiment F1 — reproduce **Figure 1** (the Theorem 6.1 lower-bound
+//! execution).
+//!
+//! Replays the paper's adversarial execution with every simulated
+//! scheme and prints (a) the retired-population trajectory — the
+//! figure's stages generalized to `n` rounds — and (b) the per-scheme
+//! outcome: which ERA property the scheme sacrificed.
+//!
+//! Usage: `figure1 [rounds]` (default 200).
+
+use era_bench::table::Table;
+use era_sim::schemes::all_schemes;
+use era_sim::theorem::run_figure1;
+
+fn main() {
+    let rounds: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(200);
+
+    println!("== F1: Figure 1 / Theorem 6.1 lower-bound execution ==");
+    println!("rounds (T2 insert/delete pairs) = {rounds}\n");
+
+    let mut outcomes = Vec::new();
+    for scheme in all_schemes(2) {
+        outcomes.push(run_figure1(scheme, rounds));
+    }
+
+    // Trajectory: retired population at sampled stages.
+    let mut traj = Table::new(
+        std::iter::once("round".to_string())
+            .chain(outcomes.iter().map(|o| o.scheme.clone())),
+    );
+    let checkpoints: Vec<usize> = (1..=10).map(|i| i * rounds / 10).collect();
+    let series: Vec<Vec<usize>> = all_schemes(2)
+        .into_iter()
+        .map(|scheme| {
+            let name = scheme.name();
+            let mut sim = era_sim::HarrisSim::new(scheme);
+            use era_core::ids::ThreadId;
+            use era_sim::OpKind;
+            assert!(sim.run_op(ThreadId(1), OpKind::Insert(1)));
+            assert!(sim.run_op(ThreadId(1), OpKind::Insert(2)));
+            let mut t1 = sim.start_op(ThreadId(0), OpKind::Delete(3));
+            for _ in 0..3 {
+                sim.step(&mut t1);
+            }
+            assert!(sim.run_op(ThreadId(1), OpKind::Delete(1)));
+            let mut out = Vec::new();
+            for (r, n) in (2..2 + rounds as i64).enumerate() {
+                assert!(sim.run_op(ThreadId(1), OpKind::Insert(n + 1)), "{name}");
+                assert!(sim.run_op(ThreadId(1), OpKind::Delete(n)));
+                if checkpoints.contains(&(r + 1)) {
+                    out.push(sim.sim.heap.sample().retired);
+                }
+            }
+            out
+        })
+        .collect();
+    for (i, &cp) in checkpoints.iter().enumerate() {
+        traj.row(
+            std::iter::once(cp.to_string()).chain(
+                series
+                    .iter()
+                    .map(|s| s.get(i).map_or(String::new(), |v| v.to_string())),
+            ),
+        );
+    }
+    println!("Retired population during T2's churn (T1 stalled mid-traversal):");
+    println!("{traj}");
+
+    let mut table = Table::new([
+        "scheme",
+        "peak_retired",
+        "max_active",
+        "violations",
+        "rollbacks",
+        "solo_done",
+        "sacrificed",
+    ]);
+    for o in &outcomes {
+        table.row([
+            o.scheme.clone(),
+            o.peak_retired.to_string(),
+            o.peak_max_active.to_string(),
+            o.violations.to_string(),
+            o.rollbacks.to_string(),
+            o.solo_completed.to_string(),
+            o.sacrificed.to_string(),
+        ]);
+    }
+    println!("Outcome of the full construction (churn + T1 solo run):");
+    println!("{table}");
+    for o in &outcomes {
+        if let Some(v) = &o.first_violation {
+            println!("  {}: first violation: {v}", o.scheme);
+        }
+    }
+    println!(
+        "\nEvery scheme sacrificed one property — no scheme achieved all \
+         three, as Theorem 6.1 asserts."
+    );
+}

@@ -1,0 +1,54 @@
+//! Experiment F2 — reproduce **Figure 2** (Appendix E): the
+//! protect-validate schemes (HP, HE, IBR) perform an unsafe access on
+//! Harris's linked list, while EBR/VBR/NBR survive the same schedule.
+//!
+//! Usage: `figure2`.
+
+use era_bench::table::Table;
+use era_sim::figure2::run_figure2;
+use era_sim::schemes::all_schemes;
+
+fn main() {
+    println!("== F2: Figure 2 / Appendix E — limited applicability of HP/HE/IBR ==\n");
+
+    let mut table = Table::new([
+        "scheme",
+        "violations",
+        "rollbacks",
+        "43_reclaimed",
+        "t1_completed",
+        "verdict",
+    ]);
+    let mut details = Vec::new();
+    for scheme in all_schemes(4) {
+        let out = run_figure2(scheme);
+        let verdict = if out.safe() {
+            "safe on this schedule"
+        } else {
+            "UNSAFE: Def. 4.2 violation"
+        };
+        table.row([
+            out.scheme.clone(),
+            out.violations.to_string(),
+            out.rollbacks.to_string(),
+            out.node43_reclaimed.to_string(),
+            out.t1_completed.to_string(),
+            verdict.to_string(),
+        ]);
+        if let Some(v) = out.first_violation.clone() {
+            details.push(format!("  {}: {v}", out.scheme));
+        }
+    }
+    println!("{table}");
+    if !details.is_empty() {
+        println!("First violations:");
+        for d in details {
+            println!("{d}");
+        }
+    }
+    println!(
+        "\nHP/HE/IBR validate a *stable* pointer, but stability does not \
+         imply the referenced node is un-reclaimed on a marked chain — \
+         exactly the paper's Figure 2."
+    );
+}

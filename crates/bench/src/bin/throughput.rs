@@ -1,0 +1,102 @@
+//! Experiment E5 — **throughput scalability** of every (structure ×
+//! scheme) pair, the standard SMR evaluation shape of the works the
+//! paper surveys (IBR [45], NBR [39], VBR [37]).
+//!
+//! Prints Mops/s for Michael's list (all pointer-based schemes),
+//! Harris's list (EBR/NBR/Leak — the type system excludes the rest) and
+//! the VBR list, across thread counts and operation mixes.
+//!
+//! Usage: `throughput [ops_per_thread] [key_range]` (defaults 200000, 1024).
+
+use era_bench::runner::{run_harris, run_michael, run_skiplist, run_vbr};
+use era_bench::table::Table;
+use era_bench::workload::{Mix, WorkloadSpec};
+use era_smr::{ebr::Ebr, he::He, hp::Hp, ibr::Ibr, leak::Leak, nbr::Nbr};
+
+fn main() {
+    let ops: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(200_000);
+    let key_range: i64 = std::env::args()
+        .nth(2)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1_024);
+    let threads = [1usize, 2, 4, 8];
+    let mixes = [Mix::READ_HEAVY, Mix::UPDATE_HEAVY];
+
+    println!("== E5: throughput (Mops/s), ops/thread = {ops}, keys = {key_range} ==\n");
+
+    for mix in mixes {
+        println!("--- mix {mix} ---");
+        let mut table = Table::new(
+            std::iter::once("structure+scheme".to_string())
+                .chain(threads.iter().map(|t| format!("{t}T"))),
+        );
+        macro_rules! spec {
+            ($t:expr) => {
+                WorkloadSpec {
+                    mix,
+                    key_range,
+                    ops_per_thread: ops,
+                    threads: $t,
+                    prefill: (key_range / 2) as usize,
+                    seed: 7,
+                }
+            };
+        }
+        macro_rules! row_michael {
+            ($label:literal, $make:expr) => {{
+                let mut cells = vec![$label.to_string()];
+                for &t in &threads {
+                    let smr = $make;
+                    let st = run_michael(&smr, &spec!(t));
+                    cells.push(format!("{:.2}", st.mops()));
+                }
+                table.row(cells);
+            }};
+        }
+        macro_rules! row_harris {
+            ($label:literal, $make:expr) => {{
+                let mut cells = vec![$label.to_string()];
+                for &t in &threads {
+                    let smr = $make;
+                    let st = run_harris(&smr, &spec!(t));
+                    cells.push(format!("{:.2}", st.mops()));
+                }
+                table.row(cells);
+            }};
+        }
+        row_michael!("michael+Leak", Leak::new(16));
+        row_michael!("michael+EBR", Ebr::new(16));
+        row_michael!("michael+HP", Hp::new(16, 3));
+        row_michael!("michael+HE", He::new(16, 3));
+        row_michael!("michael+IBR", Ibr::new(16));
+        row_harris!("harris+Leak", Leak::new(16));
+        row_harris!("harris+EBR", Ebr::new(16));
+        row_harris!("harris+NBR", Nbr::new(16, 2));
+        {
+            let mut cells = vec!["skiplist+EBR".to_string()];
+            for &t in &threads {
+                let smr = Ebr::new(16);
+                let st = run_skiplist(&smr, &spec!(t));
+                cells.push(format!("{:.2}", st.mops()));
+            }
+            table.row(cells);
+        }
+        {
+            let mut cells = vec!["vbr-list".to_string()];
+            for &t in &threads {
+                let st = run_vbr(&spec!(t));
+                cells.push(format!("{:.2}", st.mops()));
+            }
+            table.row(cells);
+        }
+        println!("{table}");
+    }
+    println!(
+        "Shape expectations: Leak is the ceiling; EBR tracks it closely; \
+         HP/HE pay per-read validation; Harris beats Michael under churn \
+         (see also the michael_vs_harris Criterion bench, experiment E6)."
+    );
+}

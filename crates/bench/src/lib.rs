@@ -1,0 +1,22 @@
+//! # era-bench — experiment harness for the ERA theorem reproduction
+//!
+//! Shared machinery for the experiment binaries (`figure1`, `figure2`,
+//! `era_matrix`, `robustness`, `throughput`) and the Criterion benches.
+//! See `EXPERIMENTS.md` at the workspace root for the experiment index
+//! (which paper artifact each binary regenerates).
+//!
+//! * [`workload`] — operation-mix generators (read-heavy, update-heavy)
+//!   with seeded RNGs for reproducibility;
+//! * [`runner`] — throughput runners for every (structure × scheme)
+//!   pair, plus the stalled-thread robustness harness of Definition 5.1
+//!   measurements;
+//! * [`table`] — plain-text table rendering for the binaries.
+
+#![warn(missing_docs)]
+
+pub mod runner;
+pub mod table;
+pub mod workload;
+
+pub use runner::{run_harris, run_michael, run_skiplist, run_vbr, RunStats, StallReport};
+pub use workload::{Mix, WorkloadSpec};

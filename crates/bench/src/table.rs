@@ -1,0 +1,88 @@
+//! Plain-text table rendering for the experiment binaries.
+
+/// A simple left-aligned column table.
+#[derive(Debug, Default)]
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given header.
+    pub fn new<S: Into<String>>(header: impl IntoIterator<Item = S>) -> Self {
+        Table { header: header.into_iter().map(Into::into).collect(), rows: Vec::new() }
+    }
+
+    /// Appends a row (padded/truncated to the header width).
+    pub fn row<S: Into<String>>(&mut self, cells: impl IntoIterator<Item = S>) {
+        let mut row: Vec<String> = cells.into_iter().map(Into::into).collect();
+        row.resize(self.header.len(), String::new());
+        self.rows.push(row);
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+}
+
+impl std::fmt::Display for Table {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let cols = self.header.len();
+        let mut widths: Vec<usize> = self.header.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate().take(cols) {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let print_row = |f: &mut std::fmt::Formatter<'_>, row: &[String]| {
+            for (i, c) in row.iter().enumerate().take(cols) {
+                if i > 0 {
+                    write!(f, "  ")?;
+                }
+                write!(f, "{c:<width$}", width = widths[i])?;
+            }
+            writeln!(f)
+        };
+        print_row(f, &self.header)?;
+        writeln!(f, "{}", "-".repeat(widths.iter().sum::<usize>() + 2 * (cols - 1)))?;
+        for row in &self.rows {
+            print_row(f, row)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = Table::new(["scheme", "mops"]);
+        t.row(["EBR", "12.5"]);
+        t.row(["HP", "9.001"]);
+        let s = t.to_string();
+        assert!(s.contains("scheme"));
+        assert!(s.lines().count() >= 4);
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+        // Columns align: 'mops' starts at the same offset in all lines.
+        let off = s.lines().next().unwrap().find("mops").unwrap();
+        for line in s.lines().skip(2) {
+            assert!(line.len() >= off);
+        }
+    }
+
+    #[test]
+    fn short_rows_are_padded() {
+        let mut t = Table::new(["a", "b", "c"]);
+        t.row(["1"]);
+        assert_eq!(t.to_string().lines().count(), 3);
+    }
+}

@@ -1,0 +1,176 @@
+//! Workload specifications and operation generators.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// An operation mix in percent (must sum to 100).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Mix {
+    /// `contains` share.
+    pub reads: u32,
+    /// `insert` share.
+    pub inserts: u32,
+    /// `delete` share.
+    pub deletes: u32,
+}
+
+impl Mix {
+    /// 90% reads, 5% inserts, 5% deletes — the classic read-heavy mix.
+    pub const READ_HEAVY: Mix = Mix { reads: 90, inserts: 5, deletes: 5 };
+    /// 0% reads, 50% inserts, 50% deletes — maximum churn.
+    pub const UPDATE_HEAVY: Mix = Mix { reads: 0, inserts: 50, deletes: 50 };
+    /// 50/25/25 — balanced.
+    pub const MIXED: Mix = Mix { reads: 50, inserts: 25, deletes: 25 };
+
+    /// Validates the mix.
+    pub fn is_valid(&self) -> bool {
+        self.reads + self.inserts + self.deletes == 100
+    }
+}
+
+impl std::fmt::Display for Mix {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}r/{}i/{}d", self.reads, self.inserts, self.deletes)
+    }
+}
+
+/// A generated operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GenOp {
+    /// `contains(key)`.
+    Contains(i64),
+    /// `insert(key)`.
+    Insert(i64),
+    /// `delete(key)`.
+    Delete(i64),
+}
+
+/// A complete workload description.
+#[derive(Debug, Clone, Copy)]
+pub struct WorkloadSpec {
+    /// Operation mix.
+    pub mix: Mix,
+    /// Keys are drawn uniformly from `0..key_range`.
+    pub key_range: i64,
+    /// Operations per thread.
+    pub ops_per_thread: usize,
+    /// Number of worker threads.
+    pub threads: usize,
+    /// Keys inserted before the measured phase (typically
+    /// `key_range / 2`).
+    pub prefill: usize,
+    /// RNG seed (per-thread streams derive from it).
+    pub seed: u64,
+}
+
+impl WorkloadSpec {
+    /// A small default suitable for tests.
+    pub fn small() -> Self {
+        WorkloadSpec {
+            mix: Mix::MIXED,
+            key_range: 256,
+            ops_per_thread: 2_000,
+            threads: 2,
+            prefill: 128,
+            seed: 0xE5A_1234,
+        }
+    }
+
+    /// The per-thread operation stream.
+    pub fn ops_for_thread(&self, thread: usize) -> OpStream {
+        OpStream {
+            rng: StdRng::seed_from_u64(self.seed ^ (thread as u64).wrapping_mul(0x9E37_79B9)),
+            mix: self.mix,
+            key_range: self.key_range.max(1),
+            remaining: self.ops_per_thread,
+        }
+    }
+
+    /// The prefill keys (deterministic, spread over the range).
+    pub fn prefill_keys(&self) -> Vec<i64> {
+        let mut rng = StdRng::seed_from_u64(self.seed ^ 0xFEED);
+        let mut keys = std::collections::BTreeSet::new();
+        while keys.len() < self.prefill.min(self.key_range as usize) {
+            keys.insert(rng.random_range(0..self.key_range.max(1)));
+        }
+        keys.into_iter().collect()
+    }
+}
+
+/// Iterator of operations for one thread.
+#[derive(Debug)]
+pub struct OpStream {
+    rng: StdRng,
+    mix: Mix,
+    key_range: i64,
+    remaining: usize,
+}
+
+impl Iterator for OpStream {
+    type Item = GenOp;
+
+    fn next(&mut self) -> Option<GenOp> {
+        if self.remaining == 0 {
+            return None;
+        }
+        self.remaining -= 1;
+        let key = self.rng.random_range(0..self.key_range);
+        let roll = self.rng.random_range(0..100u32);
+        Some(if roll < self.mix.reads {
+            GenOp::Contains(key)
+        } else if roll < self.mix.reads + self.mix.inserts {
+            GenOp::Insert(key)
+        } else {
+            GenOp::Delete(key)
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mixes_are_valid() {
+        assert!(Mix::READ_HEAVY.is_valid());
+        assert!(Mix::UPDATE_HEAVY.is_valid());
+        assert!(Mix::MIXED.is_valid());
+        assert!(!Mix { reads: 50, inserts: 50, deletes: 50 }.is_valid());
+    }
+
+    #[test]
+    fn streams_are_deterministic_and_sized() {
+        let spec = WorkloadSpec::small();
+        let a: Vec<_> = spec.ops_for_thread(0).collect();
+        let b: Vec<_> = spec.ops_for_thread(0).collect();
+        let c: Vec<_> = spec.ops_for_thread(1).collect();
+        assert_eq!(a.len(), spec.ops_per_thread);
+        assert_eq!(a, b, "same seed, same stream");
+        assert_ne!(a, c, "different threads, different streams");
+    }
+
+    #[test]
+    fn mix_shares_are_respected_roughly() {
+        let spec = WorkloadSpec {
+            mix: Mix::READ_HEAVY,
+            ops_per_thread: 10_000,
+            ..WorkloadSpec::small()
+        };
+        let reads = spec
+            .ops_for_thread(0)
+            .filter(|op| matches!(op, GenOp::Contains(_)))
+            .count();
+        assert!((8_500..=9_500).contains(&reads), "reads={reads}");
+    }
+
+    #[test]
+    fn prefill_is_unique_and_in_range() {
+        let spec = WorkloadSpec::small();
+        let keys = spec.prefill_keys();
+        assert_eq!(keys.len(), spec.prefill);
+        let mut dedup = keys.clone();
+        dedup.dedup();
+        assert_eq!(keys, dedup);
+        assert!(keys.iter().all(|&k| (0..spec.key_range).contains(&k)));
+    }
+}

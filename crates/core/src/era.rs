@@ -1,0 +1,314 @@
+//! The ERA trade-off matrix and Theorem 6.1 (§6).
+//!
+//! Theorem 6.1: *any memory reclamation scheme can provide at most two of
+//! robustness, easy integration, and wide applicability*. The paper
+//! proves the stronger form: even **weak** robustness is impossible
+//! together with easy integration and wide applicability.
+//!
+//! [`EraProfile`] bundles the measured verdicts for one scheme;
+//! [`EraMatrix`] collects profiles and [`EraMatrix::check_theorem`]
+//! asserts that no row contradicts the theorem — which, for *measured*
+//! profiles, doubles as a sanity check on the measurement pipeline.
+
+use std::fmt;
+
+use crate::applicability::ApplicabilityClass;
+use crate::robustness::RobustnessVerdict;
+
+/// Measured/derived ERA properties of one reclamation scheme.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EraProfile {
+    /// Scheme name.
+    pub scheme: String,
+    /// Easy integration per Definition 5.3.
+    pub easy_integration: bool,
+    /// Robustness class per Definitions 5.1/5.2.
+    pub robustness: RobustnessVerdict,
+    /// Applicability class per Definitions 5.5/5.6.
+    pub applicability: ApplicabilityClass,
+    /// Free-form notes (e.g. which property was sacrificed and where it
+    /// shows: "stalled thread ⇒ unbounded retire lists").
+    pub notes: String,
+}
+
+impl EraProfile {
+    /// Creates a profile.
+    pub fn new(
+        scheme: impl Into<String>,
+        easy_integration: bool,
+        robustness: RobustnessVerdict,
+        applicability: ApplicabilityClass,
+        notes: impl Into<String>,
+    ) -> Self {
+        EraProfile {
+            scheme: scheme.into(),
+            easy_integration,
+            robustness,
+            applicability,
+            notes: notes.into(),
+        }
+    }
+
+    /// How many of the three ERA properties the profile claims, counting
+    /// weak robustness as robustness (the theorem's stronger form).
+    pub fn property_count(&self) -> usize {
+        usize::from(self.easy_integration)
+            + usize::from(self.robustness.is_weakly_robust())
+            + usize::from(self.applicability.is_wide())
+    }
+
+    /// Whether this profile contradicts Theorem 6.1.
+    pub fn contradicts_theorem(&self) -> bool {
+        self.easy_integration
+            && self.robustness.is_weakly_robust()
+            && self.applicability.is_wide()
+    }
+}
+
+/// A claimed contradiction of Theorem 6.1.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TheoremViolation {
+    /// The offending profile.
+    pub profile: EraProfile,
+}
+
+impl fmt::Display for TheoremViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "profile '{}' claims all three ERA properties ({} + easy integration + {}), \
+             contradicting Theorem 6.1 — the measurement pipeline is wrong",
+            self.profile.scheme, self.profile.robustness, self.profile.applicability
+        )
+    }
+}
+
+impl std::error::Error for TheoremViolation {}
+
+/// The §6 trade-off matrix: one row per scheme.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct EraMatrix {
+    rows: Vec<EraProfile>,
+}
+
+impl EraMatrix {
+    /// Creates an empty matrix.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a row.
+    pub fn push(&mut self, profile: EraProfile) {
+        self.rows.push(profile);
+    }
+
+    /// The rows.
+    pub fn rows(&self) -> &[EraProfile] {
+        &self.rows
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the matrix is empty.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Asserts Theorem 6.1 over all rows: no scheme may claim even weak
+    /// robustness together with easy integration and wide applicability.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first contradicting profile. A contradiction does not
+    /// falsify the theorem — it means a verdict upstream (usually an
+    /// optimistic robustness or applicability measurement) is wrong.
+    pub fn check_theorem(&self) -> Result<(), TheoremViolation> {
+        for row in &self.rows {
+            if row.contradicts_theorem() {
+                return Err(TheoremViolation { profile: row.clone() });
+            }
+        }
+        Ok(())
+    }
+}
+
+impl FromIterator<EraProfile> for EraMatrix {
+    fn from_iter<I: IntoIterator<Item = EraProfile>>(iter: I) -> Self {
+        EraMatrix { rows: iter.into_iter().collect() }
+    }
+}
+
+impl fmt::Display for EraMatrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{:<10} {:<8} {:<15} {:<22} notes",
+            "scheme", "easy", "robustness", "applicability"
+        )?;
+        writeln!(f, "{}", "-".repeat(88))?;
+        for r in &self.rows {
+            writeln!(
+                f,
+                "{:<10} {:<8} {:<15} {:<22} {}",
+                r.scheme,
+                if r.easy_integration { "yes" } else { "no" },
+                r.robustness.to_string(),
+                r.applicability.to_string(),
+                r.notes
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// The paper's reference matrix (§6): the classification the paper
+/// itself gives to the surveyed schemes, used by tests and as the
+/// expected shape for the measured matrix.
+pub fn reference_matrix() -> EraMatrix {
+    [
+        EraProfile::new(
+            "EBR",
+            true,
+            RobustnessVerdict::NotRobust,
+            ApplicabilityClass::Strong,
+            "stalled thread blocks the epoch: unbounded retire lists",
+        ),
+        EraProfile::new(
+            "HP",
+            true,
+            RobustnessVerdict::Robust,
+            ApplicabilityClass::Limited,
+            "cannot traverse marked chains (Harris's list)",
+        ),
+        EraProfile::new(
+            "HE",
+            true,
+            RobustnessVerdict::Robust,
+            ApplicabilityClass::Limited,
+            "era protection fails on Harris's list (App. E)",
+        ),
+        EraProfile::new(
+            "IBR",
+            true,
+            RobustnessVerdict::WeaklyRobust,
+            ApplicabilityClass::Limited,
+            "retired bounded linearly by live nodes × reserved epochs",
+        ),
+        EraProfile::new(
+            "NBR",
+            false,
+            RobustnessVerdict::Robust,
+            ApplicabilityClass::Wide,
+            "needs read/write phase division + neutralization restarts",
+        ),
+        EraProfile::new(
+            "VBR",
+            false,
+            RobustnessVerdict::Robust,
+            ApplicabilityClass::Wide,
+            "needs checkpoints/roll-backs; constant retire bound",
+        ),
+        EraProfile::new(
+            "Leak",
+            true,
+            RobustnessVerdict::NotRobust,
+            ApplicabilityClass::Strong,
+            "baseline: never reclaims",
+        ),
+    ]
+    .into_iter()
+    .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reference_matrix_respects_theorem() {
+        let m = reference_matrix();
+        assert!(m.check_theorem().is_ok());
+        assert!(!m.is_empty());
+        assert_eq!(m.len(), 7);
+    }
+
+    #[test]
+    fn every_reference_row_claims_at_most_two() {
+        for row in reference_matrix().rows() {
+            assert!(
+                row.property_count() <= 2,
+                "{} claims {} properties",
+                row.scheme,
+                row.property_count()
+            );
+        }
+    }
+
+    #[test]
+    fn contradiction_detected() {
+        let mut m = reference_matrix();
+        m.push(EraProfile::new(
+            "Unicorn",
+            true,
+            RobustnessVerdict::Robust,
+            ApplicabilityClass::Wide,
+            "impossible",
+        ));
+        let err = m.check_theorem().unwrap_err();
+        assert_eq!(err.profile.scheme, "Unicorn");
+        assert!(err.to_string().contains("Theorem 6.1"));
+    }
+
+    #[test]
+    fn weak_robustness_counts_for_the_strong_form() {
+        // The theorem's stronger statement: even weak robustness is
+        // incompatible with E + A.
+        let p = EraProfile::new(
+            "X",
+            true,
+            RobustnessVerdict::WeaklyRobust,
+            ApplicabilityClass::Wide,
+            "",
+        );
+        assert!(p.contradicts_theorem());
+    }
+
+    #[test]
+    fn inconclusive_robustness_never_contradicts() {
+        let p = EraProfile::new(
+            "Y",
+            true,
+            RobustnessVerdict::Inconclusive,
+            ApplicabilityClass::Strong,
+            "",
+        );
+        assert!(!p.contradicts_theorem());
+        assert_eq!(p.property_count(), 2);
+    }
+
+    #[test]
+    fn display_renders_table() {
+        let m = reference_matrix();
+        let s = m.to_string();
+        assert!(s.contains("scheme"));
+        assert!(s.contains("EBR"));
+        assert!(s.contains("strongly applicable"));
+    }
+
+    #[test]
+    fn from_iterator_and_push() {
+        let mut m: EraMatrix = std::iter::empty().collect();
+        assert!(m.is_empty());
+        m.push(EraProfile::new(
+            "Z",
+            false,
+            RobustnessVerdict::Robust,
+            ApplicabilityClass::Wide,
+            "",
+        ));
+        assert_eq!(m.rows().len(), 1);
+    }
+}

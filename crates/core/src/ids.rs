@@ -1,0 +1,113 @@
+//! Identifier newtypes shared across the model.
+//!
+//! The paper's model (§3) has a fixed set of `N` executing threads,
+//! shared objects (memory words or whole data structures), and nodes.
+//! Nodes are *logical* entities (§4.1): re-allocating the same address
+//! yields a *different* node, which we capture with an incarnation
+//! counter — see [`NodeId`].
+
+use std::fmt;
+
+/// Identifier of one of the `N` executing threads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct ThreadId(pub usize);
+
+impl fmt::Display for ThreadId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "T{}", self.0)
+    }
+}
+
+/// Identifier of a shared object.
+///
+/// An object may be a whole data structure (e.g. a set) or a single
+/// shared memory word — the history projections of §3 treat both
+/// uniformly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct ObjectId(pub u64);
+
+impl fmt::Display for ObjectId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "O{}", self.0)
+    }
+}
+
+/// Identifier of a *logical* node: an address plus an incarnation count.
+///
+/// §4.1: "after a node returns to being unallocated, a new allocation
+/// from the same address is considered as an allocation of a different
+/// node". Two `NodeId`s with equal `addr` but different `incarnation`
+/// are different nodes; a pointer holding the old incarnation is exactly
+/// the paper's *invalid* pointer (Definition 4.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId {
+    /// The memory address (abstract cell index in the simulator).
+    pub addr: usize,
+    /// How many times this address has been allocated before, plus one.
+    pub incarnation: u64,
+}
+
+impl NodeId {
+    /// The first logical node living at `addr`.
+    pub fn first(addr: usize) -> Self {
+        NodeId { addr, incarnation: 1 }
+    }
+
+    /// The logical node of the next allocation at the same address.
+    pub fn next_incarnation(self) -> Self {
+        NodeId { addr: self.addr, incarnation: self.incarnation + 1 }
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}#{}", self.addr, self.incarnation)
+    }
+}
+
+/// Index of a step in an execution `E = C_0 · s_1 · C_1 · …` (§3).
+///
+/// Step `s_i` leads from configuration `C_{i-1}` to `C_i`; the index is
+/// 1-based to match the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct StepIndex(pub usize);
+
+impl fmt::Display for StepIndex {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "s{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_incarnations_are_distinct_nodes() {
+        let n1 = NodeId::first(7);
+        let n2 = n1.next_incarnation();
+        assert_eq!(n1.addr, n2.addr);
+        assert_ne!(n1, n2);
+        assert_eq!(n2.incarnation, 2);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(ThreadId(3).to_string(), "T3");
+        assert_eq!(ObjectId(9).to_string(), "O9");
+        assert_eq!(NodeId::first(4).to_string(), "n4#1");
+        assert_eq!(StepIndex(12).to_string(), "s12");
+    }
+
+    #[test]
+    fn ids_are_ordered_and_hashable() {
+        use std::collections::HashSet;
+        let mut s = HashSet::new();
+        s.insert(ThreadId(0));
+        s.insert(ThreadId(0));
+        s.insert(ThreadId(1));
+        assert_eq!(s.len(), 2);
+        assert!(ThreadId(0) < ThreadId(1));
+        assert!(NodeId::first(1) < NodeId::first(1).next_incarnation());
+    }
+}

@@ -1,0 +1,409 @@
+//! Easy integration (§5.2, Definition 5.3).
+//!
+//! A reclamation scheme is *easily integrated* when:
+//!
+//! 1. it is provided as an **object** (one uniform API for all plain
+//!    implementations — not adjusted per data structure);
+//! 2. its API operations are only inserted at: operation boundaries,
+//!    `alloc()`/`retire()` replacements, or primitive memory-access
+//!    replacements;
+//! 3. a primitive-replacing API operation is a **linearizable**
+//!    implementation of that primitive;
+//! 4. the integrated implementation is **well-formed** — in particular,
+//!    no roll-backs from scheme code into data-structure code; and
+//! 5. the scheme may add fields to the node layout but must not access
+//!    any **original** field of the node.
+//!
+//! The conditions split into a *static* part — what the scheme's
+//! interface looks like, captured by [`SchemeInterface`] and checked by
+//! [`check_easy_integration`] — and a *dynamic* part — what actually
+//! happened during an integrated execution, captured by
+//! [`IntegrationMonitor`], which the simulator feeds with roll-back and
+//! foreign-field-access events.
+
+use std::fmt;
+
+/// Where a reclamation-scheme API operation is inserted into the plain
+/// implementation (Condition 2 of Definition 5.3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CallSite {
+    /// Upon the invocation or before the termination of a
+    /// data-structure operation (`beginOp()` / `endOp()`).
+    OperationBoundary,
+    /// Replacement of an `alloc()` call.
+    AllocReplacement,
+    /// Replacement of a `retire()` call.
+    RetireReplacement,
+    /// Replacement of a primitive memory-access operation
+    /// (read/write/CAS on a shared word).
+    PrimitiveReplacement,
+    /// Anywhere else — a hand-placed call requiring understanding of the
+    /// data-structure code (checkpoints, phase annotations, …). Its
+    /// presence disqualifies easy integration.
+    Arbitrary,
+}
+
+impl fmt::Display for CallSite {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            CallSite::OperationBoundary => "operation boundary",
+            CallSite::AllocReplacement => "alloc replacement",
+            CallSite::RetireReplacement => "retire replacement",
+            CallSite::PrimitiveReplacement => "primitive replacement",
+            CallSite::Arbitrary => "arbitrary code location",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A code-shape requirement a scheme imposes on the plain implementation
+/// before integration (§5.2 discussion: AOA, NBR, VBR).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CodeShape {
+    /// AOA: the implementation must first be transformed to normalized
+    /// form (Timnat & Petrank).
+    NormalizedForm,
+    /// NBR / FA: the code must be divided into separate read and write
+    /// phases.
+    ReadWritePhases,
+    /// VBR: checkpoints must be installed at linearization-aware spots.
+    Checkpoints,
+}
+
+impl fmt::Display for CodeShape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            CodeShape::NormalizedForm => "normalized form",
+            CodeShape::ReadWritePhases => "read/write phase division",
+            CodeShape::Checkpoints => "checkpoint installation",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Static description of a reclamation scheme's integration interface.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SchemeInterface {
+    /// Scheme name (for reports).
+    pub name: String,
+    /// Condition 1: provided as one uniform object.
+    pub provided_as_object: bool,
+    /// Condition 2: every insertion point used by the scheme.
+    pub call_sites: Vec<CallSite>,
+    /// Condition 3: primitive replacements are linearizable
+    /// implementations of the replaced primitive.
+    pub primitive_replacements_linearizable: bool,
+    /// Condition 4 (negation): the scheme requires roll-back
+    /// instructions — control transfer from scheme code back into
+    /// data-structure code.
+    pub uses_rollback: bool,
+    /// Condition 5 (negation): the scheme reads or writes *original*
+    /// node fields (fields it did not itself add).
+    pub accesses_foreign_fields: bool,
+    /// Code shape the plain implementation must satisfy beforehand.
+    pub required_code_shape: Option<CodeShape>,
+}
+
+impl SchemeInterface {
+    /// Starts an interface description for a scheme with the given name
+    /// and the most permissive (easily-integrable) defaults.
+    pub fn new(name: impl Into<String>) -> Self {
+        SchemeInterface {
+            name: name.into(),
+            provided_as_object: true,
+            call_sites: Vec::new(),
+            primitive_replacements_linearizable: true,
+            uses_rollback: false,
+            accesses_foreign_fields: false,
+            required_code_shape: None,
+        }
+    }
+
+    /// Adds an insertion point.
+    pub fn call_site(mut self, site: CallSite) -> Self {
+        self.call_sites.push(site);
+        self
+    }
+
+    /// Marks the scheme as requiring roll-backs.
+    pub fn with_rollback(mut self) -> Self {
+        self.uses_rollback = true;
+        self
+    }
+
+    /// Marks the scheme as touching original node fields.
+    pub fn with_foreign_field_access(mut self) -> Self {
+        self.accesses_foreign_fields = true;
+        self
+    }
+
+    /// Declares a required code shape.
+    pub fn with_code_shape(mut self, shape: CodeShape) -> Self {
+        self.required_code_shape = Some(shape);
+        self
+    }
+
+    /// Marks the scheme as *not* provided as a single uniform object.
+    pub fn not_an_object(mut self) -> Self {
+        self.provided_as_object = false;
+        self
+    }
+
+    /// Marks primitive replacements as not linearizable.
+    pub fn with_non_linearizable_primitives(mut self) -> Self {
+        self.primitive_replacements_linearizable = false;
+        self
+    }
+}
+
+/// A reason an interface fails Definition 5.3.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IntegrationFailure {
+    /// Condition 1 violated.
+    NotProvidedAsObject,
+    /// Condition 2 violated: an API call at an arbitrary location.
+    ArbitraryCallSite,
+    /// Condition 3 violated.
+    NonLinearizablePrimitive,
+    /// Condition 4 violated: roll-backs break well-formedness.
+    RequiresRollback,
+    /// Condition 5 violated.
+    AccessesForeignFields,
+    /// Code-shape preconditions mean the integration needs intimate
+    /// knowledge of the implementation (fails Conditions 1–2 in spirit;
+    /// the paper classifies AOA/NBR/VBR out via this route).
+    RequiresCodeShape(CodeShape),
+}
+
+impl fmt::Display for IntegrationFailure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IntegrationFailure::NotProvidedAsObject => {
+                write!(f, "not provided as a uniform object (condition 1)")
+            }
+            IntegrationFailure::ArbitraryCallSite => {
+                write!(f, "API calls at arbitrary code locations (condition 2)")
+            }
+            IntegrationFailure::NonLinearizablePrimitive => {
+                write!(f, "primitive replacement not linearizable (condition 3)")
+            }
+            IntegrationFailure::RequiresRollback => {
+                write!(f, "requires roll-back instructions (condition 4)")
+            }
+            IntegrationFailure::AccessesForeignFields => {
+                write!(f, "accesses original node fields (condition 5)")
+            }
+            IntegrationFailure::RequiresCodeShape(s) => {
+                write!(f, "requires code shape: {s}")
+            }
+        }
+    }
+}
+
+/// Verdict of the static Definition 5.3 check.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EasyIntegrationVerdict {
+    /// Scheme name.
+    pub scheme: String,
+    /// Failures; empty ⇒ easily integrated.
+    pub failures: Vec<IntegrationFailure>,
+}
+
+impl EasyIntegrationVerdict {
+    /// Whether the scheme is easily integrated.
+    pub fn is_easy(&self) -> bool {
+        self.failures.is_empty()
+    }
+}
+
+impl fmt::Display for EasyIntegrationVerdict {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_easy() {
+            write!(f, "{}: easily integrated", self.scheme)
+        } else {
+            write!(f, "{}: not easily integrated (", self.scheme)?;
+            for (i, fail) in self.failures.iter().enumerate() {
+                if i > 0 {
+                    write!(f, "; ")?;
+                }
+                write!(f, "{fail}")?;
+            }
+            write!(f, ")")
+        }
+    }
+}
+
+/// Checks Definition 5.3 against a static interface description.
+///
+/// # Example
+///
+/// ```
+/// use era_core::integration::{check_easy_integration, CallSite, SchemeInterface};
+///
+/// // EBR: beginOp/endOp at operation boundaries + retire replacement.
+/// let ebr = SchemeInterface::new("EBR")
+///     .call_site(CallSite::OperationBoundary)
+///     .call_site(CallSite::RetireReplacement);
+/// assert!(check_easy_integration(&ebr).is_easy());
+///
+/// // VBR: checkpoints + roll-backs.
+/// let vbr = SchemeInterface::new("VBR")
+///     .call_site(CallSite::Arbitrary)
+///     .with_rollback()
+///     .with_code_shape(era_core::integration::CodeShape::Checkpoints);
+/// assert!(!check_easy_integration(&vbr).is_easy());
+/// ```
+pub fn check_easy_integration(iface: &SchemeInterface) -> EasyIntegrationVerdict {
+    let mut failures = Vec::new();
+    if !iface.provided_as_object {
+        failures.push(IntegrationFailure::NotProvidedAsObject);
+    }
+    if iface.call_sites.contains(&CallSite::Arbitrary) {
+        failures.push(IntegrationFailure::ArbitraryCallSite);
+    }
+    if iface.call_sites.contains(&CallSite::PrimitiveReplacement)
+        && !iface.primitive_replacements_linearizable
+    {
+        failures.push(IntegrationFailure::NonLinearizablePrimitive);
+    }
+    if iface.uses_rollback {
+        failures.push(IntegrationFailure::RequiresRollback);
+    }
+    if iface.accesses_foreign_fields {
+        failures.push(IntegrationFailure::AccessesForeignFields);
+    }
+    if let Some(shape) = iface.required_code_shape {
+        failures.push(IntegrationFailure::RequiresCodeShape(shape));
+    }
+    EasyIntegrationVerdict { scheme: iface.name.clone(), failures }
+}
+
+/// Runtime monitor for the dynamic side of Definition 5.3: the simulator
+/// reports roll-backs and foreign-field accesses as they happen, so a
+/// scheme's *declared* interface can be confronted with its behaviour.
+#[derive(Debug, Clone, Default)]
+pub struct IntegrationMonitor {
+    rollbacks: usize,
+    foreign_field_accesses: usize,
+}
+
+impl IntegrationMonitor {
+    /// Creates a monitor with zero counts.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records a control transfer from scheme code back into
+    /// data-structure code (a roll-back / neutralization restart).
+    pub fn record_rollback(&mut self) {
+        self.rollbacks += 1;
+    }
+
+    /// Records a scheme access to an original node field.
+    pub fn record_foreign_field_access(&mut self) {
+        self.foreign_field_accesses += 1;
+    }
+
+    /// Roll-backs observed.
+    pub fn rollbacks(&self) -> usize {
+        self.rollbacks
+    }
+
+    /// Foreign field accesses observed.
+    pub fn foreign_field_accesses(&self) -> usize {
+        self.foreign_field_accesses
+    }
+
+    /// Whether the observed behaviour is consistent with an
+    /// easily-integrated scheme (no roll-backs, no foreign fields).
+    pub fn behaved_easily(&self) -> bool {
+        self.rollbacks == 0 && self.foreign_field_accesses == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ebr_like_interface_is_easy() {
+        let ebr = SchemeInterface::new("EBR")
+            .call_site(CallSite::OperationBoundary)
+            .call_site(CallSite::RetireReplacement);
+        let v = check_easy_integration(&ebr);
+        assert!(v.is_easy());
+        assert_eq!(v.to_string(), "EBR: easily integrated");
+    }
+
+    #[test]
+    fn hp_like_interface_is_easy() {
+        let hp = SchemeInterface::new("HP")
+            .call_site(CallSite::AllocReplacement)
+            .call_site(CallSite::RetireReplacement)
+            .call_site(CallSite::PrimitiveReplacement);
+        assert!(check_easy_integration(&hp).is_easy());
+    }
+
+    #[test]
+    fn rollback_disqualifies() {
+        let nbr = SchemeInterface::new("NBR")
+            .call_site(CallSite::OperationBoundary)
+            .with_rollback()
+            .with_code_shape(CodeShape::ReadWritePhases);
+        let v = check_easy_integration(&nbr);
+        assert!(!v.is_easy());
+        assert!(v.failures.contains(&IntegrationFailure::RequiresRollback));
+        assert!(v
+            .failures
+            .contains(&IntegrationFailure::RequiresCodeShape(CodeShape::ReadWritePhases)));
+    }
+
+    #[test]
+    fn foreign_fields_disqualify() {
+        let s = SchemeInterface::new("X").with_foreign_field_access();
+        let v = check_easy_integration(&s);
+        assert_eq!(v.failures, vec![IntegrationFailure::AccessesForeignFields]);
+    }
+
+    #[test]
+    fn non_object_disqualifies() {
+        let s = SchemeInterface::new("X").not_an_object();
+        assert!(!check_easy_integration(&s).is_easy());
+    }
+
+    #[test]
+    fn non_linearizable_primitive_only_matters_when_used() {
+        let without = SchemeInterface::new("X").with_non_linearizable_primitives();
+        assert!(check_easy_integration(&without).is_easy());
+        let with = SchemeInterface::new("X")
+            .call_site(CallSite::PrimitiveReplacement)
+            .with_non_linearizable_primitives();
+        assert!(!check_easy_integration(&with).is_easy());
+    }
+
+    #[test]
+    fn arbitrary_call_site_disqualifies() {
+        let s = SchemeInterface::new("X").call_site(CallSite::Arbitrary);
+        let v = check_easy_integration(&s);
+        assert!(v.failures.contains(&IntegrationFailure::ArbitraryCallSite));
+        assert!(v.to_string().contains("condition 2"));
+    }
+
+    #[test]
+    fn monitor_counts() {
+        let mut m = IntegrationMonitor::new();
+        assert!(m.behaved_easily());
+        m.record_rollback();
+        m.record_foreign_field_access();
+        m.record_rollback();
+        assert_eq!(m.rollbacks(), 2);
+        assert_eq!(m.foreign_field_accesses(), 1);
+        assert!(!m.behaved_easily());
+    }
+
+    #[test]
+    fn call_site_display() {
+        assert_eq!(CallSite::OperationBoundary.to_string(), "operation boundary");
+        assert_eq!(CodeShape::Checkpoints.to_string(), "checkpoint installation");
+    }
+}

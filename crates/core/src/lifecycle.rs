@@ -1,0 +1,474 @@
+//! Node life-cycles (§4.1).
+//!
+//! Each node in a set implementation goes through a life-cycle:
+//!
+//! ```text
+//! unallocated → local → shared → retired → unallocated → …
+//!                  └──────────────↗
+//! ```
+//!
+//! A node is *active* while local or shared. Retiring announces the node
+//! is about to become garbage; reclaiming returns its memory for reuse
+//! (a new *incarnation*, i.e. a different logical node — see
+//! [`crate::ids::NodeId`]). The tracker enforces the paper's rules:
+//!
+//! * only unallocated memory can be allocated;
+//! * only the allocating thread owns a `local` node (it may `share` it);
+//! * a node becomes `retired` at most once, from an active state;
+//! * nodes must be unreachable when retired (enforced by the caller /
+//!   simulator, which knows reachability; the tracker records the claim);
+//! * only retired nodes may be reclaimed.
+
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+use crate::ids::{NodeId, ThreadId};
+
+/// The four life-cycle states of §4.1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum NodeState {
+    /// Memory not available to the executing threads.
+    Unallocated,
+    /// Allocated by `owner`; no other thread has access.
+    Local(ThreadId),
+    /// Potentially reachable / accessible by several threads.
+    Shared,
+    /// Announced as garbage; awaiting reclamation.
+    Retired,
+}
+
+impl NodeState {
+    /// Whether the node is *active* (local or shared) per §4.1/§5.1.
+    pub fn is_active(self) -> bool {
+        matches!(self, NodeState::Local(_) | NodeState::Shared)
+    }
+}
+
+impl fmt::Display for NodeState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NodeState::Unallocated => write!(f, "unallocated"),
+            NodeState::Local(t) => write!(f, "local({t})"),
+            NodeState::Shared => write!(f, "shared"),
+            NodeState::Retired => write!(f, "retired"),
+        }
+    }
+}
+
+/// An illegal life-cycle transition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LifecycleError {
+    /// Allocation of an address whose current node is not unallocated.
+    AllocInUse {
+        /// The live node occupying the address.
+        node: NodeId,
+        /// Its current state.
+        state: NodeState,
+    },
+    /// `share` called on a node that is not local.
+    ShareNotLocal {
+        /// The node being shared.
+        node: NodeId,
+        /// Its current state.
+        state: NodeState,
+    },
+    /// `share` called by a thread that does not own the local node.
+    ShareForeign {
+        /// The node being shared.
+        node: NodeId,
+        /// The owning thread.
+        owner: ThreadId,
+        /// The thread that attempted the share.
+        by: ThreadId,
+    },
+    /// `retire` called on a node that is already retired (§4.1: a node
+    /// "cannot be retired again") or not allocated.
+    RetireNotActive {
+        /// The node being retired.
+        node: NodeId,
+        /// Its current state.
+        state: NodeState,
+    },
+    /// `reclaim` called on a node that is not retired.
+    ReclaimNotRetired {
+        /// The node being reclaimed.
+        node: NodeId,
+        /// Its current state.
+        state: NodeState,
+    },
+    /// Operation referenced a node incarnation that is not current.
+    StaleIncarnation {
+        /// The node referenced.
+        node: NodeId,
+        /// The incarnation currently live at that address (0 = never allocated).
+        current: u64,
+    },
+}
+
+impl fmt::Display for LifecycleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LifecycleError::AllocInUse { node, state } => {
+                write!(f, "allocation at {node} while {state}")
+            }
+            LifecycleError::ShareNotLocal { node, state } => {
+                write!(f, "share of {node} while {state}")
+            }
+            LifecycleError::ShareForeign { node, owner, by } => {
+                write!(f, "share of {node} owned by {owner} attempted by {by}")
+            }
+            LifecycleError::RetireNotActive { node, state } => {
+                write!(f, "retire of {node} while {state}")
+            }
+            LifecycleError::ReclaimNotRetired { node, state } => {
+                write!(f, "reclaim of {node} while {state}")
+            }
+            LifecycleError::StaleIncarnation { node, current } => {
+                write!(f, "reference to stale {node} (current incarnation {current})")
+            }
+        }
+    }
+}
+
+impl Error for LifecycleError {}
+
+#[derive(Debug, Clone)]
+struct AddrEntry {
+    /// Incarnation currently (or most recently) occupying the address.
+    incarnation: u64,
+    state: NodeState,
+}
+
+/// Validates life-cycle transitions and maintains the §5.1 counters.
+///
+/// `active()` is the number of nodes that are local or shared —
+/// `active_E(i)` in the paper; `retired()` counts nodes retired but not
+/// yet reclaimed; `max_active()` is `max_active_E(i)`.
+///
+/// # Example
+///
+/// ```
+/// use era_core::lifecycle::{LifecycleTracker, NodeState};
+/// use era_core::ids::ThreadId;
+///
+/// let mut lc = LifecycleTracker::new();
+/// let n = lc.alloc(0, ThreadId(0))?;
+/// lc.share(n)?;
+/// assert_eq!(lc.active(), 1);
+/// lc.retire(n)?;
+/// assert_eq!((lc.active(), lc.retired()), (0, 1));
+/// lc.reclaim(n)?;
+/// assert_eq!(lc.state(n), NodeState::Unallocated);
+/// # Ok::<(), era_core::lifecycle::LifecycleError>(())
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct LifecycleTracker {
+    addrs: HashMap<usize, AddrEntry>,
+    active: usize,
+    retired: usize,
+    max_active: usize,
+    total_allocs: u64,
+    total_reclaims: u64,
+    total_retires: u64,
+}
+
+impl LifecycleTracker {
+    /// Creates an empty tracker (all memory unallocated).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Current state of `node`.
+    ///
+    /// A node whose incarnation is not the one currently at its address
+    /// is, by definition, unallocated (it has been reclaimed); a later
+    /// incarnation is a different node.
+    pub fn state(&self, node: NodeId) -> NodeState {
+        match self.addrs.get(&node.addr) {
+            Some(e) if e.incarnation == node.incarnation => e.state,
+            _ => NodeState::Unallocated,
+        }
+    }
+
+    /// Allocates the next incarnation at `addr` for thread `by`.
+    ///
+    /// # Errors
+    ///
+    /// [`LifecycleError::AllocInUse`] if the current node at `addr` is
+    /// not unallocated.
+    pub fn alloc(&mut self, addr: usize, by: ThreadId) -> Result<NodeId, LifecycleError> {
+        let entry = self.addrs.entry(addr).or_insert(AddrEntry {
+            incarnation: 0,
+            state: NodeState::Unallocated,
+        });
+        if entry.state != NodeState::Unallocated {
+            return Err(LifecycleError::AllocInUse {
+                node: NodeId { addr, incarnation: entry.incarnation },
+                state: entry.state,
+            });
+        }
+        entry.incarnation += 1;
+        entry.state = NodeState::Local(by);
+        self.active += 1;
+        self.max_active = self.max_active.max(self.active);
+        self.total_allocs += 1;
+        Ok(NodeId { addr, incarnation: entry.incarnation })
+    }
+
+    fn entry_mut(&mut self, node: NodeId) -> Result<&mut AddrEntry, LifecycleError> {
+        match self.addrs.get_mut(&node.addr) {
+            Some(e) if e.incarnation == node.incarnation => Ok(e),
+            Some(e) => Err(LifecycleError::StaleIncarnation { node, current: e.incarnation }),
+            None => Err(LifecycleError::StaleIncarnation { node, current: 0 }),
+        }
+    }
+
+    /// Publishes a local node (it may now become reachable).
+    ///
+    /// # Errors
+    ///
+    /// [`LifecycleError::ShareNotLocal`] if the node is not local;
+    /// [`LifecycleError::StaleIncarnation`] if `node` is not current.
+    pub fn share(&mut self, node: NodeId) -> Result<(), LifecycleError> {
+        let e = self.entry_mut(node)?;
+        match e.state {
+            NodeState::Local(_) => {
+                e.state = NodeState::Shared;
+                Ok(())
+            }
+            state => Err(LifecycleError::ShareNotLocal { node, state }),
+        }
+    }
+
+    /// Like [`share`](Self::share) but verifies the sharing thread owns
+    /// the node.
+    ///
+    /// # Errors
+    ///
+    /// Additionally [`LifecycleError::ShareForeign`] when `by` is not the
+    /// allocating thread — §4.1: "While being local, no thread but the
+    /// allocating thread has access to this node."
+    pub fn share_by(&mut self, node: NodeId, by: ThreadId) -> Result<(), LifecycleError> {
+        let e = self.entry_mut(node)?;
+        match e.state {
+            NodeState::Local(owner) if owner == by => {
+                e.state = NodeState::Shared;
+                Ok(())
+            }
+            NodeState::Local(owner) => Err(LifecycleError::ShareForeign { node, owner, by }),
+            state => Err(LifecycleError::ShareNotLocal { node, state }),
+        }
+    }
+
+    /// Retires an active node (announces it as a reclamation candidate).
+    ///
+    /// # Errors
+    ///
+    /// [`LifecycleError::RetireNotActive`] on double-retire or retiring
+    /// unallocated memory.
+    pub fn retire(&mut self, node: NodeId) -> Result<(), LifecycleError> {
+        let e = self.entry_mut(node)?;
+        if !e.state.is_active() {
+            return Err(LifecycleError::RetireNotActive { node, state: e.state });
+        }
+        e.state = NodeState::Retired;
+        self.active -= 1;
+        self.retired += 1;
+        self.total_retires += 1;
+        Ok(())
+    }
+
+    /// Reclaims a retired node; its address becomes available for a new
+    /// incarnation.
+    ///
+    /// # Errors
+    ///
+    /// [`LifecycleError::ReclaimNotRetired`] if the node is not retired.
+    pub fn reclaim(&mut self, node: NodeId) -> Result<(), LifecycleError> {
+        let e = self.entry_mut(node)?;
+        if e.state != NodeState::Retired {
+            return Err(LifecycleError::ReclaimNotRetired { node, state: e.state });
+        }
+        e.state = NodeState::Unallocated;
+        self.retired -= 1;
+        self.total_reclaims += 1;
+        Ok(())
+    }
+
+    /// Number of active (local or shared) nodes — `active_E(i)`.
+    pub fn active(&self) -> usize {
+        self.active
+    }
+
+    /// Number of retired, not-yet-reclaimed nodes.
+    pub fn retired(&self) -> usize {
+        self.retired
+    }
+
+    /// Running maximum of [`active`](Self::active) — `max_active_E(i)`.
+    pub fn max_active(&self) -> usize {
+        self.max_active
+    }
+
+    /// Total allocations performed so far.
+    pub fn total_allocs(&self) -> u64 {
+        self.total_allocs
+    }
+
+    /// Total retire events so far.
+    pub fn total_retires(&self) -> u64 {
+        self.total_retires
+    }
+
+    /// Total reclamations so far.
+    pub fn total_reclaims(&self) -> u64 {
+        self.total_reclaims
+    }
+
+    /// Snapshot of the §5.1 counters as a robustness observation point.
+    pub fn observe(&self) -> crate::robustness::FootprintSample {
+        crate::robustness::FootprintSample {
+            active: self.active,
+            max_active: self.max_active,
+            retired: self.retired,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const T0: ThreadId = ThreadId(0);
+    const T1: ThreadId = ThreadId(1);
+
+    #[test]
+    fn full_cycle() {
+        let mut lc = LifecycleTracker::new();
+        let n = lc.alloc(3, T0).unwrap();
+        assert_eq!(lc.state(n), NodeState::Local(T0));
+        assert!(lc.state(n).is_active());
+        lc.share(n).unwrap();
+        assert_eq!(lc.state(n), NodeState::Shared);
+        lc.retire(n).unwrap();
+        assert_eq!(lc.state(n), NodeState::Retired);
+        assert!(!lc.state(n).is_active());
+        lc.reclaim(n).unwrap();
+        assert_eq!(lc.state(n), NodeState::Unallocated);
+    }
+
+    #[test]
+    fn local_node_can_be_retired_without_sharing() {
+        // §4.1: "some nodes never become shared, and therefore become
+        // retired after being local" (e.g. a failed insert).
+        let mut lc = LifecycleTracker::new();
+        let n = lc.alloc(0, T0).unwrap();
+        lc.retire(n).unwrap();
+        assert_eq!(lc.state(n), NodeState::Retired);
+    }
+
+    #[test]
+    fn double_retire_rejected() {
+        let mut lc = LifecycleTracker::new();
+        let n = lc.alloc(0, T0).unwrap();
+        lc.share(n).unwrap();
+        lc.retire(n).unwrap();
+        let err = lc.retire(n).unwrap_err();
+        assert_eq!(
+            err,
+            LifecycleError::RetireNotActive { node: n, state: NodeState::Retired }
+        );
+    }
+
+    #[test]
+    fn reclaim_requires_retired() {
+        let mut lc = LifecycleTracker::new();
+        let n = lc.alloc(0, T0).unwrap();
+        assert!(matches!(
+            lc.reclaim(n),
+            Err(LifecycleError::ReclaimNotRetired { .. })
+        ));
+    }
+
+    #[test]
+    fn alloc_in_use_rejected() {
+        let mut lc = LifecycleTracker::new();
+        let _ = lc.alloc(0, T0).unwrap();
+        assert!(matches!(lc.alloc(0, T1), Err(LifecycleError::AllocInUse { .. })));
+    }
+
+    #[test]
+    fn reallocation_creates_new_incarnation() {
+        let mut lc = LifecycleTracker::new();
+        let n1 = lc.alloc(0, T0).unwrap();
+        lc.retire(n1).unwrap();
+        lc.reclaim(n1).unwrap();
+        let n2 = lc.alloc(0, T1).unwrap();
+        assert_ne!(n1, n2);
+        assert_eq!(n2.incarnation, 2);
+        // the old node is now permanently unallocated
+        assert_eq!(lc.state(n1), NodeState::Unallocated);
+        assert_eq!(lc.state(n2), NodeState::Local(T1));
+    }
+
+    #[test]
+    fn stale_incarnation_operations_rejected() {
+        let mut lc = LifecycleTracker::new();
+        let n1 = lc.alloc(0, T0).unwrap();
+        lc.retire(n1).unwrap();
+        lc.reclaim(n1).unwrap();
+        let _n2 = lc.alloc(0, T0).unwrap();
+        assert!(matches!(
+            lc.retire(n1),
+            Err(LifecycleError::StaleIncarnation { current: 2, .. })
+        ));
+    }
+
+    #[test]
+    fn share_by_foreign_thread_rejected() {
+        let mut lc = LifecycleTracker::new();
+        let n = lc.alloc(0, T0).unwrap();
+        assert!(matches!(
+            lc.share_by(n, T1),
+            Err(LifecycleError::ShareForeign { .. })
+        ));
+        lc.share_by(n, T0).unwrap();
+    }
+
+    #[test]
+    fn counters_track_active_retired_max() {
+        let mut lc = LifecycleTracker::new();
+        let a = lc.alloc(0, T0).unwrap();
+        let b = lc.alloc(1, T0).unwrap();
+        let c = lc.alloc(2, T1).unwrap();
+        assert_eq!((lc.active(), lc.max_active(), lc.retired()), (3, 3, 0));
+        lc.retire(a).unwrap();
+        lc.retire(b).unwrap();
+        assert_eq!((lc.active(), lc.max_active(), lc.retired()), (1, 3, 2));
+        lc.reclaim(a).unwrap();
+        assert_eq!((lc.active(), lc.max_active(), lc.retired()), (1, 3, 1));
+        lc.retire(c).unwrap();
+        assert_eq!((lc.active(), lc.max_active(), lc.retired()), (0, 3, 2));
+        assert_eq!(lc.total_allocs(), 3);
+        assert_eq!(lc.total_retires(), 3);
+        assert_eq!(lc.total_reclaims(), 1);
+    }
+
+    #[test]
+    fn state_of_unknown_address_is_unallocated() {
+        let lc = LifecycleTracker::new();
+        assert_eq!(lc.state(NodeId::first(99)), NodeState::Unallocated);
+    }
+
+    #[test]
+    fn display_of_errors_is_informative() {
+        let mut lc = LifecycleTracker::new();
+        let n = lc.alloc(0, T0).unwrap();
+        let e = lc.alloc(0, T1).unwrap_err();
+        assert!(e.to_string().contains("allocation"));
+        lc.retire(n).unwrap();
+        let e = lc.retire(n).unwrap_err();
+        assert!(e.to_string().contains("retire"));
+    }
+}

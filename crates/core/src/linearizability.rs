@@ -1,0 +1,555 @@
+//! Linearizability checking (§3, Herlihy & Wing [25]).
+//!
+//! A complete history `H` is linearizable if it is well-formed and, for
+//! every object `O`, the object's sequential specification contains a
+//! sequential history `S` such that (1) `H|O` and `S` are equivalent and
+//! (2) the real-time order of `H|O` is respected. A history with pending
+//! operations is linearizable if it can be *completed* — adding matching
+//! responses to a subset of pending operations and discarding the rest —
+//! into a linearizable complete history.
+//!
+//! The checker is a Wing–Gong style depth-first search over
+//! linearization orders, memoizing visited `(linearized-set, state)`
+//! pairs (Lowe's optimization), so it is exact but intended for the
+//! moderate histories produced by tests and the simulator (up to 128
+//! operations per object).
+
+use std::collections::HashSet;
+
+use crate::history::{EventKind, History, Op, Ret};
+use crate::ids::ObjectId;
+use crate::spec::SequentialSpec;
+use crate::wellformed;
+
+/// One operation extracted from a history projection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct OpRec {
+    op: Op,
+    /// `None` when the operation is pending.
+    ret: Option<Ret>,
+    /// Event index of the invocation within the projection.
+    inv: usize,
+    /// Event index of the response; `usize::MAX` when pending.
+    res: usize,
+}
+
+/// Exact linearizability checker for a [`SequentialSpec`].
+///
+/// # Example
+///
+/// ```
+/// use era_core::history::{History, Op, Ret};
+/// use era_core::ids::{ObjectId, ThreadId};
+/// use era_core::linearizability::Checker;
+/// use era_core::spec::SetSpec;
+///
+/// let (t0, t1, set) = (ThreadId(0), ThreadId(1), ObjectId(1));
+/// let mut h = History::new();
+/// h.invoke(t0, set, Op::Insert(1));
+/// h.respond(t0, set, Ret::Bool(true));
+/// h.invoke(t1, set, Op::Contains(1));
+/// h.respond(t1, set, Ret::Bool(false)); // insert already returned: illegal
+/// assert!(!Checker::new(&SetSpec).is_linearizable(&h));
+/// ```
+#[derive(Debug)]
+pub struct Checker<'a, S: SequentialSpec> {
+    spec: &'a S,
+    /// Maximum number of operations per object the checker accepts
+    /// before refusing (DFS is exponential in the worst case).
+    max_ops: usize,
+}
+
+impl<'a, S: SequentialSpec> Checker<'a, S> {
+    /// Creates a checker for `spec` with the default operation cap (128).
+    pub fn new(spec: &'a S) -> Self {
+        Checker { spec, max_ops: 128 }
+    }
+
+    /// Sets the maximum number of operations per object.
+    pub fn with_max_ops(mut self, max_ops: usize) -> Self {
+        self.max_ops = max_ops.min(128);
+        self
+    }
+
+    /// Checks the projection `H|object` for linearizability.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the projection holds more than the configured maximum
+    /// number of operations (128 hard cap, bitmask-bound).
+    pub fn is_linearizable_object(&self, history: &History, object: ObjectId) -> bool {
+        let proj = history.per_object(object);
+        if !wellformed::is_well_formed(&proj) {
+            return false;
+        }
+        // Extract per-thread operation sequences.
+        let mut per_thread: Vec<Vec<OpRec>> = Vec::new();
+        let threads = proj.threads();
+        for &t in &threads {
+            let tp = proj.per_thread(t);
+            let mut ops = Vec::new();
+            let mut open: Option<(Op, usize)> = None;
+            for (i, e) in proj.events().iter().enumerate() {
+                if e.thread != t {
+                    continue;
+                }
+                match e.kind {
+                    EventKind::Invoke(op) => open = Some((op, i)),
+                    EventKind::Response(ret) => {
+                        let (op, inv) = open.take().expect("well-formed");
+                        ops.push(OpRec { op, ret: Some(ret), inv, res: i });
+                    }
+                }
+            }
+            if let Some((op, inv)) = open {
+                ops.push(OpRec { op, ret: None, inv, res: usize::MAX });
+            }
+            let _ = tp;
+            per_thread.push(ops);
+        }
+        let flat: Vec<OpRec> = per_thread.iter().flatten().copied().collect();
+        let total = flat.len();
+        assert!(
+            total <= self.max_ops,
+            "history has {total} operations on {object}, cap is {}",
+            self.max_ops
+        );
+        if total == 0 {
+            return true;
+        }
+        // Global op ids: (thread index, op index) -> flat bit.
+        let mut bit_of: Vec<Vec<u32>> = Vec::new();
+        let mut next = 0u32;
+        for ops in &per_thread {
+            let mut v = Vec::new();
+            for _ in ops {
+                v.push(next);
+                next += 1;
+            }
+            bit_of.push(v);
+        }
+
+        let full: u128 = if total == 128 { u128::MAX } else { (1u128 << total) - 1 };
+        let mut memo: HashSet<(u128, S::State)> = HashSet::new();
+        self.dfs(&per_thread, &bit_of, 0, full, self.spec.initial(), &mut memo)
+    }
+
+    /// Depth-first search for a valid linearization.
+    ///
+    /// `done` is the bitmask of linearized operations. Completed at
+    /// `done == full` *provided* every remaining (= none) op is handled;
+    /// pending operations may be dropped, which we model by allowing the
+    /// search to succeed once all *completed* operations are linearized
+    /// and every remaining operation is pending.
+    fn dfs(
+        &self,
+        per_thread: &[Vec<OpRec>],
+        bit_of: &[Vec<u32>],
+        done: u128,
+        full: u128,
+        state: S::State,
+        memo: &mut HashSet<(u128, S::State)>,
+    ) -> bool {
+        if done == full {
+            return true;
+        }
+        // If all remaining operations are pending, we may drop them all.
+        let all_remaining_pending = per_thread.iter().enumerate().all(|(ti, ops)| {
+            ops.iter().enumerate().all(|(oi, rec)| {
+                done & (1u128 << bit_of[ti][oi]) != 0 || rec.ret.is_none()
+            })
+        });
+        if all_remaining_pending {
+            return true;
+        }
+        if !memo.insert((done, state.clone())) {
+            return false;
+        }
+        // min response index among un-linearized ops
+        let mut min_res = usize::MAX;
+        for (ti, ops) in per_thread.iter().enumerate() {
+            for (oi, rec) in ops.iter().enumerate() {
+                if done & (1u128 << bit_of[ti][oi]) == 0 {
+                    min_res = min_res.min(rec.res);
+                }
+            }
+        }
+        // Candidates: each thread's first un-linearized op whose
+        // invocation precedes every un-linearized response.
+        for (ti, ops) in per_thread.iter().enumerate() {
+            let oi = match ops
+                .iter()
+                .enumerate()
+                .find(|(oi, _)| done & (1u128 << bit_of[ti][*oi]) == 0)
+            {
+                Some((oi, _)) => oi,
+                None => continue,
+            };
+            let rec = ops[oi];
+            if rec.inv > min_res {
+                continue; // would violate real-time order
+            }
+            let next_done = done | (1u128 << bit_of[ti][oi]);
+            match rec.ret {
+                Some(ret) => {
+                    if let Some(next_state) = self.spec.step(&state, &rec.op, &ret) {
+                        if self.dfs(per_thread, bit_of, next_done, full, next_state, memo) {
+                            return true;
+                        }
+                    }
+                }
+                None => {
+                    // Pending: either linearize with any legal outcome…
+                    for (_, next_state) in self.spec.outcomes(&state, &rec.op) {
+                        if self.dfs(per_thread, bit_of, next_done, full, next_state, memo) {
+                            return true;
+                        }
+                    }
+                    // …or drop it (skip): since a pending op is the last
+                    // of its thread, skipping = marking done without a
+                    // state change.
+                    if self.dfs(per_thread, bit_of, next_done, full, state.clone(), memo) {
+                        return true;
+                    }
+                }
+            }
+        }
+        false
+    }
+
+    /// Checks every object appearing in `history` against the spec.
+    ///
+    /// Callers with heterogeneous objects (e.g. a set plus the SMR API
+    /// object) should project first and use
+    /// [`is_linearizable_object`](Self::is_linearizable_object) with the
+    /// appropriate spec per object.
+    pub fn is_linearizable(&self, history: &History) -> bool {
+        if !wellformed::is_well_formed(history) {
+            return false;
+        }
+        history
+            .objects()
+            .into_iter()
+            .all(|o| self.is_linearizable_object(history, o))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::history::{Op, Ret};
+    use crate::ids::ThreadId;
+    use crate::spec::{QueueSpec, RegisterSpec, SetSpec, StackSpec};
+
+    const T0: ThreadId = ThreadId(0);
+    const T1: ThreadId = ThreadId(1);
+    const T2: ThreadId = ThreadId(2);
+    const SET: ObjectId = ObjectId(1);
+
+    #[test]
+    fn empty_history_linearizable() {
+        assert!(Checker::new(&SetSpec).is_linearizable(&History::new()));
+    }
+
+    #[test]
+    fn sequential_history() {
+        let mut h = History::new();
+        h.invoke(T0, SET, Op::Insert(1));
+        h.respond(T0, SET, Ret::Bool(true));
+        h.invoke(T0, SET, Op::Insert(1));
+        h.respond(T0, SET, Ret::Bool(false));
+        h.invoke(T0, SET, Op::Delete(1));
+        h.respond(T0, SET, Ret::Bool(true));
+        assert!(Checker::new(&SetSpec).is_linearizable(&h));
+    }
+
+    #[test]
+    fn wrong_sequential_return_rejected() {
+        let mut h = History::new();
+        h.invoke(T0, SET, Op::Insert(1));
+        h.respond(T0, SET, Ret::Bool(true));
+        h.invoke(T0, SET, Op::Contains(1));
+        h.respond(T0, SET, Ret::Bool(false));
+        assert!(!Checker::new(&SetSpec).is_linearizable(&h));
+    }
+
+    #[test]
+    fn concurrent_ops_may_linearize_either_way() {
+        // contains(1) overlaps insert(1): both true and false are fine.
+        for observed in [true, false] {
+            let mut h = History::new();
+            h.invoke(T0, SET, Op::Insert(1));
+            h.invoke(T1, SET, Op::Contains(1));
+            h.respond(T1, SET, Ret::Bool(observed));
+            h.respond(T0, SET, Ret::Bool(true));
+            assert!(
+                Checker::new(&SetSpec).is_linearizable(&h),
+                "observed={observed}"
+            );
+        }
+    }
+
+    #[test]
+    fn real_time_order_enforced() {
+        // insert(1) completes before contains(1) starts; contains must
+        // see it.
+        let mut h = History::new();
+        h.invoke(T0, SET, Op::Insert(1));
+        h.respond(T0, SET, Ret::Bool(true));
+        h.invoke(T1, SET, Op::Contains(1));
+        h.respond(T1, SET, Ret::Bool(false));
+        assert!(!Checker::new(&SetSpec).is_linearizable(&h));
+    }
+
+    #[test]
+    fn pending_op_may_take_effect() {
+        // insert(1) is pending, but a later contains already saw the key:
+        // the pending op must be completed (it took effect).
+        let mut h = History::new();
+        h.invoke(T0, SET, Op::Insert(1));
+        h.invoke(T1, SET, Op::Contains(1));
+        h.respond(T1, SET, Ret::Bool(true));
+        assert!(Checker::new(&SetSpec).is_linearizable(&h));
+    }
+
+    #[test]
+    fn pending_op_may_be_dropped() {
+        let mut h = History::new();
+        h.invoke(T0, SET, Op::Insert(1));
+        h.invoke(T1, SET, Op::Contains(1));
+        h.respond(T1, SET, Ret::Bool(false));
+        assert!(Checker::new(&SetSpec).is_linearizable(&h));
+    }
+
+    #[test]
+    fn contradictory_observations_of_pending_rejected() {
+        // Two sequential contains() by T1 observing 1 then not-1, with
+        // only one pending insert(1) and no delete: impossible.
+        let mut h = History::new();
+        h.invoke(T0, SET, Op::Insert(1));
+        h.invoke(T1, SET, Op::Contains(1));
+        h.respond(T1, SET, Ret::Bool(true));
+        h.invoke(T1, SET, Op::Contains(1));
+        h.respond(T1, SET, Ret::Bool(false));
+        assert!(!Checker::new(&SetSpec).is_linearizable(&h));
+    }
+
+    #[test]
+    fn three_thread_queue_history() {
+        let q = ObjectId(9);
+        let spec = QueueSpec;
+        let mut h = History::new();
+        h.invoke(T0, q, Op::Enqueue(1));
+        h.invoke(T1, q, Op::Enqueue(2));
+        h.respond(T0, q, Ret::Unit);
+        h.respond(T1, q, Ret::Unit);
+        h.invoke(T2, q, Op::Dequeue);
+        h.respond(T2, q, Ret::Val(Some(2)));
+        h.invoke(T2, q, Op::Dequeue);
+        h.respond(T2, q, Ret::Val(Some(1)));
+        assert!(Checker::new(&spec).is_linearizable(&h));
+        // FIFO violation: deq 2 then 2 again
+        let mut bad = History::new();
+        bad.invoke(T0, q, Op::Enqueue(1));
+        bad.respond(T0, q, Ret::Unit);
+        bad.invoke(T2, q, Op::Dequeue);
+        bad.respond(T2, q, Ret::Val(Some(2)));
+        assert!(!Checker::new(&spec).is_linearizable(&bad));
+    }
+
+    #[test]
+    fn stack_lifo_checked() {
+        let st = ObjectId(4);
+        let spec = StackSpec;
+        let mut h = History::new();
+        h.invoke(T0, st, Op::Push(1));
+        h.respond(T0, st, Ret::Unit);
+        h.invoke(T0, st, Op::Push(2));
+        h.respond(T0, st, Ret::Unit);
+        h.invoke(T1, st, Op::Pop);
+        h.respond(T1, st, Ret::Val(Some(2)));
+        assert!(Checker::new(&spec).is_linearizable(&h));
+        let mut bad = h.clone();
+        bad.invoke(T1, st, Op::Pop);
+        bad.respond(T1, st, Ret::Val(Some(2)));
+        assert!(!Checker::new(&spec).is_linearizable(&bad));
+    }
+
+    #[test]
+    fn register_cas_history() {
+        let r = ObjectId(7);
+        let spec = RegisterSpec { initial_value: 0 };
+        let mut h = History::new();
+        h.invoke(T0, r, Op::Cas(0, 1));
+        h.invoke(T1, r, Op::Cas(0, 2));
+        h.respond(T0, r, Ret::Bool(true));
+        h.respond(T1, r, Ret::Bool(false));
+        h.invoke(T2, r, Op::Read);
+        h.respond(T2, r, Ret::Val(Some(1)));
+        assert!(Checker::new(&spec).is_linearizable(&h));
+        // Both CAS succeeding from 0 is impossible.
+        let mut bad = History::new();
+        bad.invoke(T0, r, Op::Cas(0, 1));
+        bad.invoke(T1, r, Op::Cas(0, 2));
+        bad.respond(T0, r, Ret::Bool(true));
+        bad.respond(T1, r, Ret::Bool(true));
+        assert!(!Checker::new(&spec).is_linearizable(&bad));
+    }
+
+    #[test]
+    fn non_well_formed_rejected() {
+        let mut h = History::new();
+        h.respond(T0, SET, Ret::Bool(true));
+        assert!(!Checker::new(&SetSpec).is_linearizable(&h));
+    }
+
+    #[test]
+    fn per_object_independence() {
+        // Two independent sets; each linearizable on its own.
+        let s1 = ObjectId(1);
+        let s2 = ObjectId(2);
+        let mut h = History::new();
+        h.invoke(T0, s1, Op::Insert(1));
+        h.respond(T0, s1, Ret::Bool(true));
+        h.invoke(T0, s2, Op::Contains(1));
+        h.respond(T0, s2, Ret::Bool(false));
+        assert!(Checker::new(&SetSpec).is_linearizable(&h));
+    }
+
+    /// Brute-force reference: enumerate all interleavings of complete
+    /// operations and compare with the checker on tiny histories.
+    #[cfg(test)]
+    fn brute_force_set(h: &History, obj: ObjectId) -> bool {
+        use crate::spec::SequentialSpec as _;
+        #[derive(Clone, Copy)]
+        struct R {
+            op: Op,
+            ret: Ret,
+            inv: usize,
+            res: usize,
+        }
+        let proj = h.per_object(obj);
+        let mut recs: Vec<R> = Vec::new();
+        let mut open: std::collections::HashMap<ThreadId, (Op, usize)> = Default::default();
+        for (i, e) in proj.events().iter().enumerate() {
+            match e.kind {
+                EventKind::Invoke(op) => {
+                    open.insert(e.thread, (op, i));
+                }
+                EventKind::Response(ret) => {
+                    let (op, inv) = open.remove(&e.thread).unwrap();
+                    recs.push(R { op, ret, inv, res: i });
+                }
+            }
+        }
+        if !open.is_empty() {
+            panic!("brute force only handles complete histories");
+        }
+        fn perms(recs: &[R], used: &mut Vec<usize>, spec: &SetSpec) -> bool {
+            if used.len() == recs.len() {
+                return true;
+            }
+            for i in 0..recs.len() {
+                if used.contains(&i) {
+                    continue;
+                }
+                // real-time: no unused j with res(j) < inv(i)
+                if recs.iter().enumerate().any(|(j, rj)| {
+                    !used.contains(&j) && j != i && rj.res < recs[i].inv
+                }) {
+                    continue;
+                }
+                used.push(i);
+                // replay
+                let mut st = spec.initial();
+                let mut ok = true;
+                for &k in used.iter() {
+                    match spec.step(&st, &recs[k].op, &recs[k].ret) {
+                        Some(next) => st = next,
+                        None => {
+                            ok = false;
+                            break;
+                        }
+                    }
+                }
+                if ok && perms(recs, used, spec) {
+                    return true;
+                }
+                used.pop();
+            }
+            false
+        }
+        perms(&recs, &mut Vec::new(), &SetSpec)
+    }
+
+    #[test]
+    fn checker_matches_brute_force_on_random_histories() {
+        use std::collections::BTreeSet;
+        // Deterministic pseudo-random generation (no rand dependency in
+        // unit tests): simple LCG.
+        let mut seed = 0x12345678u64;
+        let mut next = move || {
+            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (seed >> 33) as usize
+        };
+        for _case in 0..200 {
+            // Build a small concurrent history over keys {0,1} and 2 threads.
+            let mut h = History::new();
+            let mut model: Vec<Option<(Op, usize)>> = vec![None, None];
+            let mut state: BTreeSet<i64> = BTreeSet::new(); // a *plausible* serial state
+            let mut events = 0;
+            while events < 10 {
+                let t = next() % 2;
+                let tid = ThreadId(t);
+                match model[t] {
+                    None => {
+                        let op = match next() % 3 {
+                            0 => Op::Insert((next() % 2) as i64),
+                            1 => Op::Delete((next() % 2) as i64),
+                            _ => Op::Contains((next() % 2) as i64),
+                        };
+                        h.invoke(tid, SET, op);
+                        model[t] = Some((op, events));
+                        events += 1;
+                    }
+                    Some((op, _)) => {
+                        // Respond with a value that is sometimes right,
+                        // sometimes wrong, to exercise both verdicts.
+                        let truthful = next() % 4 != 0;
+                        let ret = match op {
+                            Op::Insert(k) => {
+                                let ok = state.insert(k);
+                                Ret::Bool(if truthful { ok } else { !ok })
+                            }
+                            Op::Delete(k) => {
+                                let ok = state.remove(&k);
+                                Ret::Bool(if truthful { ok } else { !ok })
+                            }
+                            Op::Contains(k) => {
+                                let ok = state.contains(&k);
+                                Ret::Bool(if truthful { ok } else { !ok })
+                            }
+                            _ => unreachable!(),
+                        };
+                        h.respond(tid, SET, ret);
+                        model[t] = None;
+                        events += 1;
+                    }
+                }
+            }
+            // Complete any pending ops with arbitrary answers.
+            for (t, slot) in model.iter().enumerate() {
+                if let Some((op, _)) = slot {
+                    let ret = match op {
+                        Op::Insert(_) | Op::Delete(_) | Op::Contains(_) => Ret::Bool(true),
+                        _ => Ret::Unit,
+                    };
+                    h.respond(ThreadId(t), SET, ret);
+                }
+            }
+            let fast = Checker::new(&SetSpec).is_linearizable(&h);
+            let slow = brute_force_set(&h, SET);
+            assert_eq!(fast, slow, "disagreement on history:\n{h}");
+        }
+    }
+}

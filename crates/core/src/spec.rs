@@ -1,0 +1,292 @@
+//! Sequential specifications (§3).
+//!
+//! An object is associated with a *sequential specification*: a
+//! prefix-closed set of sequential histories. We represent a
+//! specification operationally, as a deterministic-or-branching state
+//! machine: [`SequentialSpec::outcomes`] enumerates the legal
+//! `(return value, next state)` pairs of an operation in a state. A
+//! sequential history belongs to the specification iff it can be
+//! replayed through `outcomes` from [`SequentialSpec::initial`].
+
+use std::collections::BTreeSet;
+use std::collections::VecDeque;
+use std::fmt::Debug;
+use std::hash::Hash;
+
+use crate::history::{Op, Ret};
+
+/// An operational sequential specification.
+///
+/// Implementations enumerate every legal outcome of applying `op` in
+/// `state`; an empty vector means the operation is illegal for the
+/// object (e.g. `push` on a set).
+pub trait SequentialSpec {
+    /// Abstract state of the object.
+    type State: Clone + Eq + Hash + Debug;
+
+    /// The state of a freshly initialized object (§3: data structures
+    /// are initialized and represent empty sets).
+    fn initial(&self) -> Self::State;
+
+    /// All legal `(return, next state)` outcomes of `op` in `state`.
+    fn outcomes(&self, state: &Self::State, op: &Op) -> Vec<(Ret, Self::State)>;
+
+    /// Whether applying `op` in `state` may return `ret`; if so, the
+    /// successor state.
+    fn step(&self, state: &Self::State, op: &Op, ret: &Ret) -> Option<Self::State> {
+        self.outcomes(state, op)
+            .into_iter()
+            .find(|(r, _)| r == ret)
+            .map(|(_, s)| s)
+    }
+}
+
+/// The set data type of §3: integer keys, `insert`/`delete`/`contains`.
+///
+/// * `insert(key)` inserts and returns `true` iff `key` was absent.
+/// * `delete(key)` removes and returns `true` iff `key` was present.
+/// * `contains(key)` returns whether `key` is present.
+///
+/// # Example
+///
+/// ```
+/// use era_core::spec::{SequentialSpec, SetSpec};
+/// use era_core::history::{Op, Ret};
+///
+/// let spec = SetSpec;
+/// let s0 = spec.initial();
+/// let s1 = spec.step(&s0, &Op::Insert(7), &Ret::Bool(true)).expect("legal");
+/// assert!(spec.step(&s1, &Op::Insert(7), &Ret::Bool(true)).is_none()); // duplicate
+/// assert!(spec.step(&s1, &Op::Contains(7), &Ret::Bool(true)).is_some());
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SetSpec;
+
+impl SequentialSpec for SetSpec {
+    type State = BTreeSet<i64>;
+
+    fn initial(&self) -> Self::State {
+        BTreeSet::new()
+    }
+
+    fn outcomes(&self, state: &Self::State, op: &Op) -> Vec<(Ret, Self::State)> {
+        match *op {
+            Op::Insert(k) => {
+                if state.contains(&k) {
+                    vec![(Ret::Bool(false), state.clone())]
+                } else {
+                    let mut s = state.clone();
+                    s.insert(k);
+                    vec![(Ret::Bool(true), s)]
+                }
+            }
+            Op::Delete(k) => {
+                if state.contains(&k) {
+                    let mut s = state.clone();
+                    s.remove(&k);
+                    vec![(Ret::Bool(true), s)]
+                } else {
+                    vec![(Ret::Bool(false), state.clone())]
+                }
+            }
+            Op::Contains(k) => vec![(Ret::Bool(state.contains(&k)), state.clone())],
+            _ => Vec::new(),
+        }
+    }
+}
+
+/// A LIFO stack of integers: `push`/`pop` (pop of an empty stack returns
+/// `Ret::Val(None)`).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StackSpec;
+
+impl SequentialSpec for StackSpec {
+    type State = Vec<i64>;
+
+    fn initial(&self) -> Self::State {
+        Vec::new()
+    }
+
+    fn outcomes(&self, state: &Self::State, op: &Op) -> Vec<(Ret, Self::State)> {
+        match *op {
+            Op::Push(v) => {
+                let mut s = state.clone();
+                s.push(v);
+                vec![(Ret::Unit, s)]
+            }
+            Op::Pop => match state.last() {
+                Some(&v) => {
+                    let mut s = state.clone();
+                    s.pop();
+                    vec![(Ret::Val(Some(v)), s)]
+                }
+                None => vec![(Ret::Val(None), state.clone())],
+            },
+            _ => Vec::new(),
+        }
+    }
+}
+
+/// A FIFO queue of integers: `enqueue`/`dequeue` (dequeue of an empty
+/// queue returns `Ret::Val(None)`).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct QueueSpec;
+
+impl SequentialSpec for QueueSpec {
+    type State = VecDeque<i64>;
+
+    fn initial(&self) -> Self::State {
+        VecDeque::new()
+    }
+
+    fn outcomes(&self, state: &Self::State, op: &Op) -> Vec<(Ret, Self::State)> {
+        match *op {
+            Op::Enqueue(v) => {
+                let mut s = state.clone();
+                s.push_back(v);
+                vec![(Ret::Unit, s)]
+            }
+            Op::Dequeue => match state.front() {
+                Some(&v) => {
+                    let mut s = state.clone();
+                    s.pop_front();
+                    vec![(Ret::Val(Some(v)), s)]
+                }
+                None => vec![(Ret::Val(None), state.clone())],
+            },
+            _ => Vec::new(),
+        }
+    }
+}
+
+/// An atomic integer register with `read`/`write`/`cas` — memory words
+/// treated as objects, as required by Condition 3 of Definition 5.3.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RegisterSpec {
+    /// Initial register value.
+    pub initial_value: i64,
+}
+
+impl SequentialSpec for RegisterSpec {
+    type State = i64;
+
+    fn initial(&self) -> Self::State {
+        self.initial_value
+    }
+
+    fn outcomes(&self, state: &Self::State, op: &Op) -> Vec<(Ret, Self::State)> {
+        match *op {
+            Op::Read => vec![(Ret::Val(Some(*state)), *state)],
+            Op::Write(v) => vec![(Ret::Unit, v)],
+            Op::Cas(expected, new) => {
+                if *state == expected {
+                    vec![(Ret::Bool(true), new)]
+                } else {
+                    vec![(Ret::Bool(false), *state)]
+                }
+            }
+            _ => Vec::new(),
+        }
+    }
+}
+
+/// A permissive specification for the reclamation scheme's own API
+/// object (§5.2): `beginOp`/`endOp`/`retire`/`alloc`/`protect` are
+/// always legal and return `Unit` (`alloc` may return any value, modelled
+/// as `Unit` here since the model does not track which address is
+/// handed out).
+///
+/// Using a trivial spec is deliberate: the paper's correctness condition
+/// (Def. 5.4) constrains the *data-structure* object's linearizability;
+/// the scheme's API object merely has to be well-formed.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SmrApiSpec;
+
+impl SequentialSpec for SmrApiSpec {
+    type State = ();
+
+    fn initial(&self) -> Self::State {}
+
+    fn outcomes(&self, _state: &Self::State, op: &Op) -> Vec<(Ret, Self::State)> {
+        if op.is_smr_op() {
+            vec![(Ret::Unit, ())]
+        } else {
+            Vec::new()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_spec_semantics() {
+        let spec = SetSpec;
+        let s0 = spec.initial();
+        let s1 = spec.step(&s0, &Op::Insert(1), &Ret::Bool(true)).unwrap();
+        assert!(spec.step(&s0, &Op::Insert(1), &Ret::Bool(false)).is_none());
+        let s2 = spec.step(&s1, &Op::Insert(1), &Ret::Bool(false)).unwrap();
+        assert_eq!(s1, s2);
+        let s3 = spec.step(&s2, &Op::Delete(1), &Ret::Bool(true)).unwrap();
+        assert!(s3.is_empty());
+        assert!(spec.step(&s3, &Op::Delete(1), &Ret::Bool(true)).is_none());
+        assert!(spec.step(&s3, &Op::Contains(1), &Ret::Bool(false)).is_some());
+        // Illegal op for the type
+        assert!(spec.outcomes(&s3, &Op::Push(1)).is_empty());
+    }
+
+    #[test]
+    fn stack_spec_semantics() {
+        let spec = StackSpec;
+        let s = spec.initial();
+        let s = spec.step(&s, &Op::Push(1), &Ret::Unit).unwrap();
+        let s = spec.step(&s, &Op::Push(2), &Ret::Unit).unwrap();
+        let s = spec.step(&s, &Op::Pop, &Ret::Val(Some(2))).unwrap();
+        assert!(spec.step(&s, &Op::Pop, &Ret::Val(Some(2))).is_none());
+        let s = spec.step(&s, &Op::Pop, &Ret::Val(Some(1))).unwrap();
+        let s = spec.step(&s, &Op::Pop, &Ret::Val(None)).unwrap();
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn queue_spec_semantics() {
+        let spec = QueueSpec;
+        let s = spec.initial();
+        let s = spec.step(&s, &Op::Enqueue(1), &Ret::Unit).unwrap();
+        let s = spec.step(&s, &Op::Enqueue(2), &Ret::Unit).unwrap();
+        let s = spec.step(&s, &Op::Dequeue, &Ret::Val(Some(1))).unwrap();
+        let s = spec.step(&s, &Op::Dequeue, &Ret::Val(Some(2))).unwrap();
+        let _ = spec.step(&s, &Op::Dequeue, &Ret::Val(None)).unwrap();
+    }
+
+    #[test]
+    fn register_spec_semantics() {
+        let spec = RegisterSpec { initial_value: 5 };
+        let s = spec.initial();
+        assert_eq!(s, 5);
+        let s = spec.step(&s, &Op::Read, &Ret::Val(Some(5))).unwrap();
+        let s = spec.step(&s, &Op::Cas(5, 9), &Ret::Bool(true)).unwrap();
+        assert_eq!(s, 9);
+        let s = spec.step(&s, &Op::Cas(5, 1), &Ret::Bool(false)).unwrap();
+        assert_eq!(s, 9);
+        let s = spec.step(&s, &Op::Write(0), &Ret::Unit).unwrap();
+        assert_eq!(s, 0);
+    }
+
+    #[test]
+    fn smr_api_spec_accepts_only_smr_ops() {
+        let spec = SmrApiSpec;
+        assert_eq!(spec.outcomes(&(), &Op::BeginOp).len(), 1);
+        assert_eq!(spec.outcomes(&(), &Op::Retire(3)).len(), 1);
+        assert!(spec.outcomes(&(), &Op::Insert(1)).is_empty());
+    }
+
+    #[test]
+    fn outcomes_are_pure() {
+        let spec = SetSpec;
+        let s0 = spec.initial();
+        let _ = spec.outcomes(&s0, &Op::Insert(1));
+        assert!(s0.is_empty(), "outcomes must not mutate the input state");
+    }
+}

@@ -1,0 +1,308 @@
+//! Pointer validity (§4.2, Definition 4.1).
+//!
+//! A pointer variable `p` is *valid* in a configuration `C_m` when,
+//! tracing back to its last update `s_i`:
+//!
+//! * `s_i` allocated a new node into `p`, and that node has not been in
+//!   the `unallocated` state in any configuration since; or
+//! * `s_i` assigned another pointer `q` into `p`, `q` was valid at
+//!   `C_i`, and the referenced node has not been `unallocated` since.
+//!
+//! Otherwise `p` is *invalid*. Dereferencing an invalid pointer is an
+//! **unsafe memory access** (Definition 4.1).
+//!
+//! Pointer variables here cover both thread-local variables and node
+//! pointer *fields* — a field is just a pointer variable living inside a
+//! node, which is how the simulator models `next` pointers. Marked
+//! pointers (Harris-style) carry their mark elsewhere; validity only
+//! concerns the referenced logical node.
+
+use std::collections::{HashMap, HashSet};
+use std::fmt;
+
+use crate::ids::NodeId;
+
+/// Identity of a pointer variable (thread-local or node field).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct VarId(pub u64);
+
+impl fmt::Display for VarId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+/// Validity status of a pointer variable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Validity {
+    /// References a node that has remained allocated since the pointer
+    /// was (transitively) derived from its allocation.
+    Valid,
+    /// References memory whose node has been unallocated since the
+    /// pointer was last updated (or was derived from an invalid source).
+    Invalid,
+    /// Holds no reference.
+    Null,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct PtrState {
+    target: Option<NodeId>,
+    valid: bool,
+}
+
+/// Tracks validity of every pointer variable in an execution.
+///
+/// # Example
+///
+/// ```
+/// use era_core::ids::NodeId;
+/// use era_core::validity::{Validity, ValidityTracker, VarId};
+///
+/// let mut v = ValidityTracker::new();
+/// let (p, q) = (VarId(0), VarId(1));
+/// let n = NodeId::first(3);
+/// v.on_alloc(p, n);
+/// v.on_copy(q, p);
+/// assert_eq!(v.validity(q), Validity::Valid);
+/// v.on_unallocate(n); // the node is reclaimed
+/// assert_eq!(v.validity(p), Validity::Invalid);
+/// assert_eq!(v.validity(q), Validity::Invalid);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct ValidityTracker {
+    ptrs: HashMap<VarId, PtrState>,
+    /// Valid pointers per live node, for O(refs) invalidation.
+    refs: HashMap<NodeId, HashSet<VarId>>,
+}
+
+impl ValidityTracker {
+    /// Creates an empty tracker.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn unlink(&mut self, var: VarId) {
+        if let Some(PtrState { target: Some(node), valid: true }) =
+            self.ptrs.get(&var).copied()
+        {
+            if let Some(set) = self.refs.get_mut(&node) {
+                set.remove(&var);
+                if set.is_empty() {
+                    self.refs.remove(&node);
+                }
+            }
+        }
+    }
+
+    /// `var` was last updated by an allocation of `node` (allocations
+    /// always produce valid pointers — "by definition, p is always valid
+    /// in `C_i`").
+    pub fn on_alloc(&mut self, var: VarId, node: NodeId) {
+        self.unlink(var);
+        self.ptrs.insert(var, PtrState { target: Some(node), valid: true });
+        self.refs.entry(node).or_default().insert(var);
+    }
+
+    /// `dst` was last updated by assigning pointer `src` into it.
+    ///
+    /// `dst` inherits `src`'s target and validity *at this instant*; a
+    /// later unallocation of the target invalidates both.
+    pub fn on_copy(&mut self, dst: VarId, src: VarId) {
+        let state = self
+            .ptrs
+            .get(&src)
+            .copied()
+            .unwrap_or(PtrState { target: None, valid: false });
+        self.unlink(dst);
+        self.ptrs.insert(dst, state);
+        if let PtrState { target: Some(node), valid: true } = state {
+            self.refs.entry(node).or_default().insert(dst);
+        }
+    }
+
+    /// `var` was set to null.
+    pub fn on_null(&mut self, var: VarId) {
+        self.unlink(var);
+        self.ptrs.insert(var, PtrState { target: None, valid: false });
+    }
+
+    /// `var` holds a reference obtained out-of-band (e.g. read from a
+    /// field of a *reclaimed* node): it targets `node` but is invalid
+    /// from birth.
+    pub fn on_invalid_ref(&mut self, var: VarId, node: Option<NodeId>) {
+        self.unlink(var);
+        self.ptrs.insert(var, PtrState { target: node, valid: false });
+    }
+
+    /// `node` transitioned to `unallocated` (reclaimed): every pointer
+    /// currently referencing it becomes — and stays — invalid.
+    pub fn on_unallocate(&mut self, node: NodeId) {
+        if let Some(vars) = self.refs.remove(&node) {
+            for var in vars {
+                if let Some(p) = self.ptrs.get_mut(&var) {
+                    p.valid = false;
+                }
+            }
+        }
+    }
+
+    /// Forgets a variable entirely (e.g. the fields of a node whose
+    /// memory was handed back to the system).
+    pub fn drop_var(&mut self, var: VarId) {
+        self.unlink(var);
+        self.ptrs.remove(&var);
+    }
+
+    /// The node `var` currently references, if any (even when invalid —
+    /// an invalid pointer still "names" the memory formerly occupied by
+    /// the node, per §6's proof).
+    pub fn target(&self, var: VarId) -> Option<NodeId> {
+        self.ptrs.get(&var).and_then(|p| p.target)
+    }
+
+    /// Validity of `var` per Definition 4.1.
+    ///
+    /// Unknown variables are `Null` (never updated).
+    pub fn validity(&self, var: VarId) -> Validity {
+        match self.ptrs.get(&var) {
+            None | Some(PtrState { target: None, .. }) => Validity::Null,
+            Some(PtrState { target: Some(_), valid: true }) => Validity::Valid,
+            Some(PtrState { target: Some(_), valid: false }) => Validity::Invalid,
+        }
+    }
+
+    /// Number of tracked variables (diagnostics).
+    pub fn len(&self) -> usize {
+        self.ptrs.len()
+    }
+
+    /// Whether no variable is tracked.
+    pub fn is_empty(&self) -> bool {
+        self.ptrs.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const P: VarId = VarId(0);
+    const Q: VarId = VarId(1);
+    const R: VarId = VarId(2);
+
+    #[test]
+    fn alloc_produces_valid_pointer() {
+        let mut v = ValidityTracker::new();
+        v.on_alloc(P, NodeId::first(1));
+        assert_eq!(v.validity(P), Validity::Valid);
+        assert_eq!(v.target(P), Some(NodeId::first(1)));
+    }
+
+    #[test]
+    fn unallocation_invalidates_all_references() {
+        let mut v = ValidityTracker::new();
+        let n = NodeId::first(1);
+        v.on_alloc(P, n);
+        v.on_copy(Q, P);
+        v.on_copy(R, Q);
+        v.on_unallocate(n);
+        for var in [P, Q, R] {
+            assert_eq!(v.validity(var), Validity::Invalid, "{var}");
+            assert_eq!(v.target(var), Some(n), "{var} still names the node");
+        }
+    }
+
+    #[test]
+    fn copy_from_invalid_is_invalid() {
+        let mut v = ValidityTracker::new();
+        let n = NodeId::first(1);
+        v.on_alloc(P, n);
+        v.on_unallocate(n);
+        v.on_copy(Q, P);
+        assert_eq!(v.validity(Q), Validity::Invalid);
+    }
+
+    #[test]
+    fn copy_taken_before_unallocation_still_invalidated() {
+        // q := p; reclaim(n); q must be invalid even though the copy
+        // happened while p was valid.
+        let mut v = ValidityTracker::new();
+        let n = NodeId::first(1);
+        v.on_alloc(P, n);
+        v.on_copy(Q, P);
+        v.on_unallocate(n);
+        assert_eq!(v.validity(Q), Validity::Invalid);
+    }
+
+    #[test]
+    fn overwrite_restores_validity() {
+        let mut v = ValidityTracker::new();
+        let n1 = NodeId::first(1);
+        v.on_alloc(P, n1);
+        v.on_unallocate(n1);
+        assert_eq!(v.validity(P), Validity::Invalid);
+        let n2 = NodeId::first(2);
+        v.on_alloc(Q, n2);
+        v.on_copy(P, Q);
+        assert_eq!(v.validity(P), Validity::Valid);
+    }
+
+    #[test]
+    fn new_incarnation_does_not_revive_old_pointers() {
+        let mut v = ValidityTracker::new();
+        let n1 = NodeId::first(1);
+        v.on_alloc(P, n1);
+        v.on_unallocate(n1);
+        // Same address is reallocated: a *different* logical node.
+        let n2 = n1.next_incarnation();
+        v.on_alloc(Q, n2);
+        assert_eq!(v.validity(P), Validity::Invalid);
+        assert_eq!(v.validity(Q), Validity::Valid);
+        // Unallocating the new incarnation must not touch P's record.
+        v.on_unallocate(n2);
+        assert_eq!(v.validity(P), Validity::Invalid);
+        assert_eq!(v.validity(Q), Validity::Invalid);
+    }
+
+    #[test]
+    fn null_and_unknown_vars() {
+        let mut v = ValidityTracker::new();
+        assert_eq!(v.validity(P), Validity::Null);
+        v.on_alloc(P, NodeId::first(1));
+        v.on_null(P);
+        assert_eq!(v.validity(P), Validity::Null);
+        assert_eq!(v.target(P), None);
+    }
+
+    #[test]
+    fn invalid_ref_constructor() {
+        let mut v = ValidityTracker::new();
+        let n = NodeId::first(9);
+        v.on_invalid_ref(P, Some(n));
+        assert_eq!(v.validity(P), Validity::Invalid);
+        assert_eq!(v.target(P), Some(n));
+    }
+
+    #[test]
+    fn drop_var_forgets() {
+        let mut v = ValidityTracker::new();
+        v.on_alloc(P, NodeId::first(1));
+        assert_eq!(v.len(), 1);
+        v.drop_var(P);
+        assert!(v.is_empty());
+        assert_eq!(v.validity(P), Validity::Null);
+    }
+
+    #[test]
+    fn overwriting_unlinks_old_target() {
+        let mut v = ValidityTracker::new();
+        let n1 = NodeId::first(1);
+        let n2 = NodeId::first(2);
+        v.on_alloc(P, n1);
+        v.on_alloc(P, n2); // overwrite
+        v.on_unallocate(n1); // must not invalidate P (it points at n2 now)
+        assert_eq!(v.validity(P), Validity::Valid);
+        assert_eq!(v.target(P), Some(n2));
+    }
+}

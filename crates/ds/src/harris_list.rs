@@ -1,0 +1,531 @@
+//! Harris's lock-free linked list [19] — Algorithm 1 of the paper.
+//!
+//! The defining behaviour (and the crux of the ERA theorem): the
+//! `search` traversal does **not** stop at marked nodes — it walks
+//! straight through chains of logically deleted (and possibly already
+//! *retired*) nodes, unlinking a whole chain with one CAS only when the
+//! traversal needs a window. This makes searches fast and lock-free, but
+//! it means a traversal can stand on a retired node, which is exactly
+//! what protect-validate schemes (HP/HE/IBR) cannot allow (Appendix E).
+//!
+//! Accordingly the list is generic over schemes carrying the
+//! [`SupportsUnlinkedTraversal`] marker — EBR, NBR and Leak. The type
+//! system enforces Appendix E: `HarrisList<Hp>` does not compile.
+//!
+//! The integration follows the paper end-to-end:
+//!
+//! * sentinels `head` (−∞) and `tail` (+∞) that are never removed;
+//! * logical deletion by marking `next` (line 48), physical unlink by
+//!   the marker or any later `search` (lines 18, 50);
+//! * `retire()` at line 34 (duplicate insert retires its local node) and
+//!   line 52 (delete retires its victim after it is surely unlinked);
+//! * the Appendix D phase division, surfaced to the scheme through the
+//!   NBR hooks: `enter_read_phase` when a traversal (re)starts,
+//!   `needs_restart` polls at every hop, `reserve`/`commit_reservations`
+//!   before the write phase. For EBR/Leak these hooks are no-ops and the
+//!   integration degenerates to plain `begin_op`/`end_op` — easy
+//!   integration, as the paper says.
+
+use std::fmt;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use era_smr::common::{
+    is_marked, untagged, with_mark, DropFn, Smr, SmrHeader, SupportsUnlinkedTraversal,
+};
+
+/// Reservation slots for the write phase (NBR).
+const SLOT_PRED: usize = 0;
+const SLOT_CURR: usize = 1;
+
+#[repr(C)]
+struct Node {
+    header: SmrHeader,
+    key: i64,
+    next: AtomicUsize,
+}
+
+impl Node {
+    fn alloc(key: i64, next: usize) -> *mut Node {
+        Box::into_raw(Box::new(Node {
+            header: SmrHeader::new(),
+            key,
+            next: AtomicUsize::new(next),
+        }))
+    }
+}
+
+unsafe fn drop_node(p: *mut u8) {
+    unsafe { drop(Box::from_raw(p as *mut Node)) }
+}
+
+const DROP_NODE: DropFn = drop_node;
+
+/// Harris's lock-free sorted set (sentinel keys −∞/+∞ are internal;
+/// user keys span all of `i64`).
+///
+/// # Example
+///
+/// ```
+/// use era_ds::HarrisList;
+/// use era_smr::{ebr::Ebr, Smr};
+///
+/// let smr = Ebr::new(4);
+/// let list = HarrisList::new(&smr);
+/// let mut ctx = smr.register().unwrap();
+/// assert!(list.insert(&mut ctx, 1));
+/// assert!(list.insert(&mut ctx, 2));
+/// assert!(list.delete(&mut ctx, 1));
+/// assert!(!list.contains(&mut ctx, 1));
+/// assert!(list.contains(&mut ctx, 2));
+/// ```
+///
+/// Appendix E as a type error: hazard pointers do not implement
+/// [`SupportsUnlinkedTraversal`], so this does not compile —
+///
+/// ```compile_fail,E0277
+/// use era_ds::HarrisList;
+/// use era_smr::hp::Hp;
+///
+/// let smr = Hp::new(4, 3);
+/// let list = HarrisList::new(&smr); // HP cannot traverse marked chains
+/// ```
+pub struct HarrisList<'s, S: Smr + SupportsUnlinkedTraversal> {
+    smr: &'s S,
+    /// The −∞ sentinel. Never marked, never retired.
+    head: *mut Node,
+    /// The +∞ sentinel.
+    tail: *mut Node,
+}
+
+// The raw sentinel pointers are immutable after construction and the
+// nodes they reference are shared the same way the scheme's own nodes
+// are.
+unsafe impl<S: Smr + SupportsUnlinkedTraversal + Sync> Sync for HarrisList<'_, S> {}
+unsafe impl<S: Smr + SupportsUnlinkedTraversal + Send> Send for HarrisList<'_, S> {}
+
+impl<S: Smr + SupportsUnlinkedTraversal> fmt::Debug for HarrisList<'_, S> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("HarrisList").field("smr", &self.smr.name()).finish_non_exhaustive()
+    }
+}
+
+struct Window {
+    pred: *const Node,
+    curr: *const Node,
+}
+
+impl<'s, S: Smr + SupportsUnlinkedTraversal> HarrisList<'s, S> {
+    /// Creates an empty set using `smr` for reclamation.
+    ///
+    /// Schemes with reservation slots (NBR) must provide at least 2.
+    pub fn new(smr: &'s S) -> Self {
+        let tail = Node::alloc(i64::MAX, 0);
+        let head = Node::alloc(i64::MIN, tail as usize);
+        HarrisList { smr, head, tail }
+    }
+
+    /// Whether `key` is a user key (the sentinel keys are reserved).
+    fn check_key(key: i64) {
+        assert!(
+            key != i64::MIN && key != i64::MAX,
+            "i64::MIN/MAX are reserved sentinel keys"
+        );
+    }
+
+    /// Algorithm 1, lines 1–22: locate the window for `key`, walking
+    /// through marked chains and unlinking them lazily.
+    ///
+    /// Returns with the write phase entered: `pred`/`curr` are reserved
+    /// and committed (NBR), so the caller may CAS on them; the caller
+    /// must not traverse further without a new read phase.
+    fn search(&self, ctx: &mut S::ThreadCtx, key: i64) -> Window {
+        'retry: loop {
+            self.smr.enter_read_phase(ctx);
+            let mut pred: *const Node = self.head;
+            let mut pred_next =
+                unsafe { (*pred).next.load(Ordering::SeqCst) }; // line 4
+            let mut curr: *const Node = untagged(pred_next) as *const Node;
+            let mut curr_next = unsafe { (*curr).next.load(Ordering::SeqCst) }; // line 6
+            // line 7: traverse while curr is marked or key too small
+            while is_marked(curr_next) || unsafe { (*curr).key } < key {
+                if self.smr.needs_restart(ctx) {
+                    continue 'retry; // neutralized: drop everything
+                }
+                if !is_marked(curr_next) {
+                    pred = curr; // lines 8–10
+                    pred_next = curr_next;
+                }
+                curr = untagged(curr_next) as *const Node; // line 11
+                if curr == self.tail {
+                    break; // line 12
+                }
+                curr_next = unsafe { (*curr).next.load(Ordering::SeqCst) }; // line 13
+            }
+            // Write phase: reserve the window before any CAS.
+            self.smr.reserve(ctx, SLOT_PRED, pred as usize);
+            self.smr.reserve(ctx, SLOT_CURR, curr as usize);
+            if !self.smr.commit_reservations(ctx) {
+                continue 'retry;
+            }
+            if pred_next == curr as usize {
+                // line 14: no marked chain between pred and curr
+                if curr != self.tail
+                    && is_marked(unsafe { (*curr).next.load(Ordering::SeqCst) })
+                {
+                    self.smr.clear_reservations(ctx);
+                    continue 'retry; // lines 15–16
+                }
+                return Window { pred, curr }; // line 17
+            }
+            // line 18: unlink the whole marked chain [pred_next, curr)
+            if unsafe { &(*pred).next }
+                .compare_exchange(
+                    pred_next,
+                    curr as usize,
+                    Ordering::SeqCst,
+                    Ordering::SeqCst,
+                )
+                .is_ok()
+            {
+                if curr != self.tail
+                    && is_marked(unsafe { (*curr).next.load(Ordering::SeqCst) })
+                {
+                    self.smr.clear_reservations(ctx);
+                    continue 'retry; // line 20
+                }
+                return Window { pred, curr }; // line 22
+            }
+            self.smr.clear_reservations(ctx);
+        }
+    }
+
+    /// `insert(key)` — Algorithm 1, lines 27–38.
+    pub fn insert(&self, ctx: &mut S::ThreadCtx, key: i64) -> bool {
+        Self::check_key(key);
+        self.smr.begin_op(ctx);
+        let node = Node::alloc(key, 0);
+        self.smr.init_header(ctx, unsafe { &(*node).header });
+        let result = loop {
+            let w = self.search(ctx, key); // line 30
+            if w.curr != self.tail && unsafe { (*w.curr).key } == key {
+                // lines 33–35: duplicate — retire the local node
+                self.smr.clear_reservations(ctx);
+                unsafe {
+                    self.smr.retire(ctx, node as *mut u8, &(*node).header, DROP_NODE);
+                }
+                break false;
+            }
+            unsafe { (*node).next.store(w.curr as usize, Ordering::SeqCst) }; // line 36
+            let linked = unsafe { &(*w.pred).next }
+                .compare_exchange(
+                    w.curr as usize,
+                    node as usize,
+                    Ordering::SeqCst,
+                    Ordering::SeqCst,
+                )
+                .is_ok(); // line 37
+            self.smr.clear_reservations(ctx);
+            if linked {
+                break true; // line 38
+            }
+        };
+        self.smr.end_op(ctx);
+        result
+    }
+
+    /// `delete(key)` — Algorithm 1, lines 39–53.
+    pub fn delete(&self, ctx: &mut S::ThreadCtx, key: i64) -> bool {
+        Self::check_key(key);
+        self.smr.begin_op(ctx);
+        let result = 'outer: loop {
+            let w = self.search(ctx, key); // line 41
+            if w.curr == self.tail || unsafe { (*w.curr).key } != key {
+                self.smr.clear_reservations(ctx);
+                break false; // lines 44–45
+            }
+            loop {
+                let succ_word = unsafe { (*w.curr).next.load(Ordering::SeqCst) };
+                if is_marked(succ_word) {
+                    // line 46: concurrently deleted — retry the search
+                    self.smr.clear_reservations(ctx);
+                    continue 'outer;
+                }
+                // line 48: logical deletion (mark curr's next)
+                if unsafe { &(*w.curr).next }
+                    .compare_exchange(
+                        succ_word,
+                        with_mark(succ_word),
+                        Ordering::SeqCst,
+                        Ordering::SeqCst,
+                    )
+                    .is_err()
+                {
+                    continue; // line 49
+                }
+                // line 50: try to unlink; otherwise a search() will
+                let unlinked = unsafe { &(*w.pred).next }
+                    .compare_exchange(
+                        w.curr as usize,
+                        untagged(succ_word),
+                        Ordering::SeqCst,
+                        Ordering::SeqCst,
+                    )
+                    .is_ok();
+                self.smr.clear_reservations(ctx);
+                if !unlinked {
+                    let _ = self.search(ctx, key); // line 51
+                    self.smr.clear_reservations(ctx);
+                }
+                // line 52: the marker retires — exactly once per node
+                unsafe {
+                    self.smr.retire(ctx, w.curr as *mut u8, &(*w.curr).header, DROP_NODE);
+                }
+                break 'outer true; // line 53
+            }
+        };
+        self.smr.end_op(ctx);
+        result
+    }
+
+    /// `contains(key)` — Algorithm 1, lines 23–26.
+    pub fn contains(&self, ctx: &mut S::ThreadCtx, key: i64) -> bool {
+        Self::check_key(key);
+        self.smr.begin_op(ctx);
+        let w = self.search(ctx, key); // line 24
+        let found = w.curr != self.tail
+            && !is_marked(unsafe { (*w.curr).next.load(Ordering::SeqCst) })
+            && unsafe { (*w.curr).key } == key; // line 26
+        self.smr.clear_reservations(ctx);
+        self.smr.end_op(ctx);
+        found
+    }
+
+    /// Snapshot of the keys (quiescent use only).
+    pub fn collect_keys(&self) -> Vec<i64> {
+        let mut out = Vec::new();
+        let mut node = untagged(unsafe { (*self.head).next.load(Ordering::SeqCst) })
+            as *const Node;
+        while node != self.tail {
+            let next = unsafe { (*node).next.load(Ordering::SeqCst) };
+            if !is_marked(next) {
+                out.push(unsafe { (*node).key });
+            }
+            node = untagged(next) as *const Node;
+        }
+        out
+    }
+
+    /// Number of unmarked nodes (quiescent use only).
+    pub fn len(&self) -> usize {
+        self.collect_keys().len()
+    }
+
+    /// Whether the set is empty (quiescent use only).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl<S: Smr + SupportsUnlinkedTraversal> Drop for HarrisList<'_, S> {
+    fn drop(&mut self) {
+        let mut node = self.head;
+        while !node.is_null() {
+            let next = untagged(unsafe { (*node).next.load(Ordering::SeqCst) }) as *mut Node;
+            unsafe { drop_node(node as *mut u8) };
+            if node == self.tail {
+                break;
+            }
+            node = next;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use era_smr::ebr::Ebr;
+    use era_smr::leak::Leak;
+    use era_smr::nbr::Nbr;
+
+    fn exercise_sequential<S: Smr + SupportsUnlinkedTraversal>(smr: &S) {
+        let list = HarrisList::new(smr);
+        let mut ctx = smr.register().unwrap();
+        assert!(list.is_empty());
+        assert!(list.insert(&mut ctx, 3));
+        assert!(list.insert(&mut ctx, 1));
+        assert!(list.insert(&mut ctx, 2));
+        assert!(!list.insert(&mut ctx, 2));
+        assert_eq!(list.collect_keys(), vec![1, 2, 3]);
+        assert!(list.contains(&mut ctx, 2));
+        assert!(!list.contains(&mut ctx, 7));
+        assert!(list.delete(&mut ctx, 2));
+        assert!(!list.delete(&mut ctx, 2));
+        assert!(list.insert(&mut ctx, 2));
+        for k in [1, 2, 3] {
+            assert!(list.delete(&mut ctx, k));
+        }
+        assert!(list.is_empty());
+    }
+
+    #[test]
+    fn sequential_semantics_all_compatible_schemes() {
+        exercise_sequential(&Ebr::new(2));
+        exercise_sequential(&Nbr::new(2, 2));
+        exercise_sequential(&Leak::new(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "reserved sentinel keys")]
+    fn sentinel_keys_rejected() {
+        let smr = Leak::new(1);
+        let list = HarrisList::new(&smr);
+        let mut ctx = smr.register().unwrap();
+        let _ = list.insert(&mut ctx, i64::MAX);
+    }
+
+    fn stress<S: Smr + SupportsUnlinkedTraversal + Sync>(
+        smr: &S,
+        threads: usize,
+        per_thread: i64,
+    ) {
+        let list = HarrisList::new(smr);
+        std::thread::scope(|s| {
+            for t in 0..threads {
+                let list = &list;
+                s.spawn(move || {
+                    let mut ctx = smr.register().unwrap();
+                    let base = t as i64 * per_thread;
+                    for k in base..base + per_thread {
+                        assert!(list.insert(&mut ctx, k));
+                    }
+                    for k in base..base + per_thread {
+                        assert!(list.contains(&mut ctx, k));
+                    }
+                    for k in base..base + per_thread {
+                        assert!(list.delete(&mut ctx, k));
+                    }
+                    for _ in 0..4 {
+                        smr.flush(&mut ctx);
+                    }
+                });
+            }
+        });
+        assert!(list.is_empty());
+        // Contended churn on overlapping keys.
+        std::thread::scope(|s| {
+            for _ in 0..threads {
+                let list = &list;
+                s.spawn(move || {
+                    let mut ctx = smr.register().unwrap();
+                    for round in 0..300i64 {
+                        let k = round % 10;
+                        if list.insert(&mut ctx, k) {
+                            let _ = list.delete(&mut ctx, k);
+                        }
+                        let _ = list.contains(&mut ctx, k);
+                    }
+                    for _ in 0..4 {
+                        smr.flush(&mut ctx);
+                    }
+                });
+            }
+        });
+    }
+
+    #[test]
+    fn stress_ebr() {
+        stress(&Ebr::new(8), 4, 250);
+    }
+
+    #[test]
+    fn stress_nbr() {
+        stress(&Nbr::with_threshold(8, 2, 32), 4, 250);
+    }
+
+    #[test]
+    fn stress_leak() {
+        stress(&Leak::new(8), 4, 250);
+    }
+
+    #[test]
+    fn marked_chain_unlinked_in_one_cas() {
+        // Build 1→2→3, mark 1 and 2 without unlinking (simulating two
+        // deletes paused after line 48), then let a search unlink the
+        // whole chain at once.
+        let smr = Leak::new(1);
+        let list = HarrisList::new(&smr);
+        let mut ctx = smr.register().unwrap();
+        for k in [1, 2, 3] {
+            assert!(list.insert(&mut ctx, k));
+        }
+        // Mark nodes 1 and 2 by hand (what delete's line 48 does).
+        unsafe {
+            let n1 = untagged((*list.head).next.load(Ordering::SeqCst)) as *const Node;
+            assert_eq!((*n1).key, 1);
+            let n1_next = (*n1).next.load(Ordering::SeqCst);
+            let n2 = untagged(n1_next) as *const Node;
+            assert_eq!((*n2).key, 2);
+            let n2_next = (*n2).next.load(Ordering::SeqCst);
+            (*n2).next.store(with_mark(n2_next), Ordering::SeqCst);
+            (*n1).next.store(with_mark(n1_next), Ordering::SeqCst);
+        }
+        assert_eq!(list.collect_keys(), vec![3]);
+        // A search for 3 walks through the marked chain and unlinks it.
+        assert!(list.contains(&mut ctx, 3));
+        unsafe {
+            let first = untagged((*list.head).next.load(Ordering::SeqCst)) as *const Node;
+            assert_eq!((*first).key, 3, "marked chain must be physically unlinked");
+        }
+    }
+
+    #[test]
+    fn ebr_reclaims_under_churn() {
+        let smr = Ebr::with_threshold(2, 8);
+        let list = HarrisList::new(&smr);
+        let mut ctx = smr.register().unwrap();
+        for k in 0..300 {
+            assert!(list.insert(&mut ctx, k));
+            assert!(list.delete(&mut ctx, k));
+        }
+        for _ in 0..6 {
+            smr.flush(&mut ctx);
+        }
+        let st = smr.stats();
+        assert_eq!(st.total_retired, 300);
+        assert!(st.total_reclaimed >= 200, "{st}");
+    }
+
+    #[test]
+    fn nbr_reclaims_with_cooperative_readers() {
+        let smr = Nbr::with_threshold(4, 2, 16);
+        let list = HarrisList::new(&smr);
+        std::thread::scope(|s| {
+            let list = &list;
+            let smr_ref = &smr;
+            // Churner retires nodes and neutralizes.
+            s.spawn(move || {
+                let mut ctx = smr_ref.register().unwrap();
+                for k in 0..500i64 {
+                    assert!(list.insert(&mut ctx, k % 50 + 1000));
+                    assert!(list.delete(&mut ctx, k % 50 + 1000));
+                }
+                smr_ref.flush(&mut ctx);
+            });
+            // Cooperative readers poll inside search().
+            for _ in 0..2 {
+                s.spawn(move || {
+                    let mut ctx = smr_ref.register().unwrap();
+                    for k in 0..500i64 {
+                        let _ = list.contains(&mut ctx, k % 50 + 1000);
+                    }
+                });
+            }
+        });
+        let st = smr.stats();
+        assert_eq!(st.total_retired, 500);
+        assert!(
+            st.total_reclaimed >= 400,
+            "cooperative neutralization must reclaim: {st}"
+        );
+    }
+}

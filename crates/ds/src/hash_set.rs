@@ -1,0 +1,168 @@
+//! Michael's lock-free hash set [30]: a fixed array of
+//! [`MichaelList`] buckets.
+//!
+//! Keys hash (Fibonacci multiplicative hashing) to a bucket; each bucket
+//! is an independent sorted list, so the set inherits lock-freedom and
+//! scheme-compatibility (every pointer-based scheme, HP included) from
+//! the list.
+
+use std::fmt;
+
+use era_smr::common::Smr;
+
+use crate::michael_list::MichaelList;
+
+/// A lock-free hash set of `i64` keys.
+///
+/// # Example
+///
+/// ```
+/// use era_ds::HashSet;
+/// use era_smr::{hp::Hp, Smr};
+///
+/// let smr = Hp::new(2, 3);
+/// let set = HashSet::new(&smr, 64);
+/// let mut ctx = smr.register().unwrap();
+/// assert!(set.insert(&mut ctx, 10));
+/// assert!(set.contains(&mut ctx, 10));
+/// assert!(set.delete(&mut ctx, 10));
+/// assert!(!set.contains(&mut ctx, 10));
+/// ```
+pub struct HashSet<'s, S: Smr> {
+    buckets: Vec<MichaelList<'s, S>>,
+}
+
+impl<S: Smr> fmt::Debug for HashSet<'_, S> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("HashSet").field("buckets", &self.buckets.len()).finish()
+    }
+}
+
+impl<'s, S: Smr> HashSet<'s, S> {
+    /// Creates a hash set with `buckets` buckets (rounded up to 1).
+    pub fn new(smr: &'s S, buckets: usize) -> Self {
+        let buckets = buckets.max(1);
+        HashSet { buckets: (0..buckets).map(|_| MichaelList::new(smr)).collect() }
+    }
+
+    fn bucket(&self, key: i64) -> &MichaelList<'s, S> {
+        // Fibonacci hashing on the two's-complement bits.
+        let h = (key as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        let idx = (h % self.buckets.len() as u64) as usize;
+        &self.buckets[idx]
+    }
+
+    /// Inserts `key`; returns `true` iff it was absent.
+    pub fn insert(&self, ctx: &mut S::ThreadCtx, key: i64) -> bool {
+        self.bucket(key).insert(ctx, key)
+    }
+
+    /// Deletes `key`; returns `true` iff it was present.
+    pub fn delete(&self, ctx: &mut S::ThreadCtx, key: i64) -> bool {
+        self.bucket(key).delete(ctx, key)
+    }
+
+    /// Whether `key` is in the set.
+    pub fn contains(&self, ctx: &mut S::ThreadCtx, key: i64) -> bool {
+        self.bucket(key).contains(ctx, key)
+    }
+
+    /// Number of buckets.
+    pub fn bucket_count(&self) -> usize {
+        self.buckets.len()
+    }
+
+    /// Snapshot of all keys, sorted (quiescent use only).
+    pub fn collect_keys(&self) -> Vec<i64> {
+        let mut out: Vec<i64> =
+            self.buckets.iter().flat_map(|b| b.collect_keys()).collect();
+        out.sort_unstable();
+        out
+    }
+
+    /// Number of keys (quiescent use only).
+    pub fn len(&self) -> usize {
+        self.buckets.iter().map(|b| b.len()).sum()
+    }
+
+    /// Whether the set is empty (quiescent use only).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use era_smr::ebr::Ebr;
+    use era_smr::hp::Hp;
+
+    #[test]
+    fn basic_semantics() {
+        let smr = Hp::new(2, 3);
+        let set = HashSet::new(&smr, 16);
+        let mut ctx = smr.register().unwrap();
+        for k in 0..100 {
+            assert!(set.insert(&mut ctx, k));
+        }
+        for k in 0..100 {
+            assert!(!set.insert(&mut ctx, k));
+            assert!(set.contains(&mut ctx, k));
+        }
+        assert_eq!(set.len(), 100);
+        assert_eq!(set.collect_keys(), (0..100).collect::<Vec<_>>());
+        for k in (0..100).step_by(2) {
+            assert!(set.delete(&mut ctx, k));
+        }
+        assert_eq!(set.len(), 50);
+        assert!(!set.contains(&mut ctx, 0));
+        assert!(set.contains(&mut ctx, 1));
+    }
+
+    #[test]
+    fn single_bucket_degenerates_to_list() {
+        let smr = Ebr::new(2);
+        let set = HashSet::new(&smr, 0); // rounded up to 1
+        assert_eq!(set.bucket_count(), 1);
+        let mut ctx = smr.register().unwrap();
+        assert!(set.insert(&mut ctx, -5));
+        assert!(set.insert(&mut ctx, 5));
+        assert_eq!(set.collect_keys(), vec![-5, 5]);
+    }
+
+    #[test]
+    fn negative_keys_hash_fine() {
+        let smr = Ebr::new(2);
+        let set = HashSet::new(&smr, 8);
+        let mut ctx = smr.register().unwrap();
+        for k in [-1000, -1, 0, 1, 1000, i64::MIN + 1, i64::MAX - 1] {
+            assert!(set.insert(&mut ctx, k), "{k}");
+            assert!(set.contains(&mut ctx, k), "{k}");
+        }
+    }
+
+    #[test]
+    fn concurrent_disjoint_and_contended() {
+        let smr = Hp::new(8, 3);
+        let set = HashSet::new(&smr, 32);
+        std::thread::scope(|s| {
+            for t in 0..4i64 {
+                let (set, smr) = (&set, &smr);
+                s.spawn(move || {
+                    let mut ctx = smr.register().unwrap();
+                    let base = t * 500;
+                    for k in base..base + 500 {
+                        assert!(set.insert(&mut ctx, k));
+                    }
+                    for k in base..base + 500 {
+                        assert!(set.delete(&mut ctx, k));
+                    }
+                    for _ in 0..4 {
+                        smr.flush(&mut ctx);
+                    }
+                });
+            }
+        });
+        assert!(set.is_empty());
+    }
+}

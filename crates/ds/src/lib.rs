@@ -1,0 +1,51 @@
+//! # era-ds — lock-free data structures integrated with era-smr
+//!
+//! The data-structure side of the ERA theorem reproduction:
+//!
+//! * [`harris_list`] — **Harris's** lock-free linked list (Algorithm 1 of
+//!   the paper): traversals walk through *marked, possibly retired*
+//!   chains, so the list only accepts reclamation schemes implementing
+//!   [`era_smr::SupportsUnlinkedTraversal`] (EBR, NBR, Leak). Trying to
+//!   instantiate it with HP/HE/IBR is a compile error — Appendix E as a
+//!   type error.
+//! * [`michael_list`] — **Michael's** modification of the list
+//!   (unlink-before-advance), compatible with every pointer-based scheme
+//!   including HP/HE/IBR; the price is extra CAS work on traversals,
+//!   which the `michael_vs_harris` benchmark measures (the paper's §6
+//!   "practical importance" discussion).
+//! * [`treiber_stack`] — Treiber's stack, works with every scheme.
+//! * [`ms_queue`] — the Michael–Scott queue, works with every scheme.
+//! * [`hash_set`] — Michael's hash set: an array of `michael_list`
+//!   buckets.
+//! * [`skip_list`] — a lock-free skip list whose towers are Harris
+//!   lists per level; it requires an [`era_smr::common::EpochProtected`]
+//!   scheme because per-pointer protection would need a slot per level
+//!   (the §5.1 discussion about hazard-pointer counts).
+//! * [`vbr_list`] — a Harris-style list on the [`era_smr::vbr`] arena,
+//!   with explicit `Stale`-rollback integration (the non-easy
+//!   integration VBR demands).
+//!
+//! All structures implement integer-key *set* (or stack/queue)
+//! semantics matching `era_core::spec`, so the test suite checks them
+//! against the same sequential specifications the formal model uses.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod harris_list;
+pub mod hash_set;
+pub mod michael_list;
+pub mod michael_map;
+pub mod ms_queue;
+pub mod skip_list;
+pub mod treiber_stack;
+pub mod vbr_list;
+
+pub use harris_list::HarrisList;
+pub use hash_set::HashSet;
+pub use michael_list::MichaelList;
+pub use michael_map::MichaelMap;
+pub use ms_queue::MsQueue;
+pub use skip_list::SkipList;
+pub use treiber_stack::TreiberStack;
+pub use vbr_list::VbrList;

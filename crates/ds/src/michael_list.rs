@@ -1,0 +1,446 @@
+//! Michael's lock-free linked list [30] — the HP-compatible set.
+//!
+//! Michael modified Harris's list so that traversals never move past a
+//! *marked* node: on encountering one, the traversal unlinks it first
+//! (retrying from the head if the unlink CAS fails). As a result every
+//! node a traversal stands on is reachable-and-protected, which is
+//! exactly what the protect-validate schemes (HP, HE, IBR) need — and
+//! why the paper calls this the implementation that was "originally
+//! designated to fit HP" (§6). The cost relative to Harris's list is
+//! restart-on-contention during traversals.
+//!
+//! The list is a sorted set of `i64` keys with the three-slot hazard
+//! discipline (`curr`, `next`, `prev`), generic over any
+//! [`Smr`] scheme.
+
+use std::fmt;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use era_smr::common::{is_marked, untagged, with_mark, DropFn, Smr, SmrHeader};
+
+/// A list node. The scheme-owned [`SmrHeader`] comes first (Condition 5
+/// of Definition 5.3: the scheme gets its own added field and never
+/// touches `key`/`next`).
+#[repr(C)]
+struct Node {
+    header: SmrHeader,
+    key: i64,
+    next: AtomicUsize,
+}
+
+impl Node {
+    fn alloc(key: i64, next: usize) -> *mut Node {
+        Box::into_raw(Box::new(Node {
+            header: SmrHeader::new(),
+            key,
+            next: AtomicUsize::new(next),
+        }))
+    }
+}
+
+unsafe fn drop_node(p: *mut u8) {
+    unsafe { drop(Box::from_raw(p as *mut Node)) }
+}
+
+const DROP_NODE: DropFn = drop_node;
+
+/// Hazard/protection slots used by the traversal.
+const SLOT_PREV: usize = 2;
+
+/// Michael's lock-free sorted set.
+///
+/// # Example
+///
+/// ```
+/// use era_ds::MichaelList;
+/// use era_smr::{hp::Hp, Smr};
+///
+/// let smr = Hp::new(4, 3); // Michael's list needs 3 hazard slots
+/// let list = MichaelList::new(&smr);
+/// let mut ctx = smr.register().unwrap();
+/// assert!(list.insert(&mut ctx, 5));
+/// assert!(!list.insert(&mut ctx, 5));
+/// assert!(list.contains(&mut ctx, 5));
+/// assert!(list.delete(&mut ctx, 5));
+/// assert!(!list.contains(&mut ctx, 5));
+/// ```
+pub struct MichaelList<'s, S: Smr> {
+    smr: &'s S,
+    head: AtomicUsize,
+}
+
+impl<S: Smr> fmt::Debug for MichaelList<'_, S> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("MichaelList").field("smr", &self.smr.name()).finish_non_exhaustive()
+    }
+}
+
+struct Window {
+    /// Location holding the link to `curr` (the head or a node's `next`).
+    prev: *const AtomicUsize,
+    /// Unmarked link word found at `prev` (0 = end of list).
+    curr_word: usize,
+    found: bool,
+}
+
+impl<'s, S: Smr> MichaelList<'s, S> {
+    /// Creates an empty set using `smr` for reclamation.
+    ///
+    /// Protect-based schemes must provide at least 3 slots per thread.
+    pub fn new(smr: &'s S) -> Self {
+        MichaelList { smr, head: AtomicUsize::new(0) }
+    }
+
+    /// Michael's `find`: positions a window `(prev, curr)` such that
+    /// `curr` is the first node with `key ≥ target`, unlinking every
+    /// marked node encountered on the way.
+    ///
+    /// On return, `curr` (if any) is protected in hazard slot 0 or 1 and
+    /// the node owning `prev` in slot [`SLOT_PREV`] — protections remain
+    /// valid until `end_op`.
+    fn find(&self, ctx: &mut S::ThreadCtx, key: i64) -> Window {
+        'retry: loop {
+            let mut prev: *const AtomicUsize = &self.head;
+            let mut cs = 0usize; // slot currently protecting `curr`
+            let mut curr_word = self.smr.load(ctx, cs, unsafe { &*prev });
+            loop {
+                debug_assert!(!is_marked(curr_word), "prev link must be unmarked");
+                if curr_word == 0 {
+                    return Window { prev, curr_word: 0, found: false };
+                }
+                let node = curr_word as *const Node;
+                let next_word = self.smr.load(ctx, 1 - cs, unsafe { &(*node).next });
+                // Michael's re-validation: curr must still be linked at
+                // prev (also completes the hazard protection argument).
+                if unsafe { &*prev }.load(Ordering::SeqCst) != curr_word {
+                    continue 'retry;
+                }
+                if is_marked(next_word) {
+                    // curr is logically deleted: unlink before advancing.
+                    let succ = untagged(next_word);
+                    if unsafe { &*prev }
+                        .compare_exchange(curr_word, succ, Ordering::SeqCst, Ordering::SeqCst)
+                        .is_err()
+                    {
+                        continue 'retry;
+                    }
+                    unsafe {
+                        self.smr.retire(
+                            ctx,
+                            curr_word as *mut u8,
+                            &(*node).header,
+                            DROP_NODE,
+                        );
+                    }
+                    curr_word = self.smr.load(ctx, cs, unsafe { &*prev });
+                    if is_marked(curr_word) {
+                        continue 'retry;
+                    }
+                    continue;
+                }
+                let ckey = unsafe { (*node).key };
+                if ckey >= key {
+                    return Window { prev, curr_word, found: ckey == key };
+                }
+                // Advance: curr becomes prev. Re-protect it in the prev
+                // slot (validated against the same source).
+                if self.smr.load(ctx, SLOT_PREV, unsafe { &*prev }) != curr_word {
+                    continue 'retry;
+                }
+                prev = unsafe { &(*node).next };
+                curr_word = untagged(next_word);
+                cs = 1 - cs;
+                // `curr_word` is protected: it was loaded into slot 1-cs
+                // (now cs) by the protected load above.
+            }
+        }
+    }
+
+    /// Inserts `key`; returns `true` iff it was absent.
+    pub fn insert(&self, ctx: &mut S::ThreadCtx, key: i64) -> bool {
+        self.smr.begin_op(ctx);
+        let node = Node::alloc(key, 0);
+        self.smr.init_header(ctx, unsafe { &(*node).header });
+        let result = loop {
+            let w = self.find(ctx, key);
+            if w.found {
+                // Duplicate: retire the never-shared local node (§4.1
+                // allows local → retired).
+                unsafe {
+                    self.smr.retire(ctx, node as *mut u8, &(*node).header, DROP_NODE);
+                }
+                break false;
+            }
+            unsafe { (*node).next.store(w.curr_word, Ordering::SeqCst) };
+            if unsafe { &*w.prev }
+                .compare_exchange(
+                    w.curr_word,
+                    node as usize,
+                    Ordering::SeqCst,
+                    Ordering::SeqCst,
+                )
+                .is_ok()
+            {
+                break true;
+            }
+        };
+        self.smr.end_op(ctx);
+        result
+    }
+
+    /// Deletes `key`; returns `true` iff it was present.
+    pub fn delete(&self, ctx: &mut S::ThreadCtx, key: i64) -> bool {
+        self.smr.begin_op(ctx);
+        let result = loop {
+            let w = self.find(ctx, key);
+            if !w.found {
+                break false;
+            }
+            let node = w.curr_word as *const Node;
+            // Plain load: `node` is protected by find(), and the value is
+            // only used as CAS operands, never dereferenced. (A protected
+            // load here would evict the prev-node protection from its
+            // slot and leave `w.prev` dangling under HP.)
+            let next_word = unsafe { (*node).next.load(Ordering::SeqCst) };
+            if is_marked(next_word) {
+                continue; // someone else is deleting it: re-find
+            }
+            // Logically delete (mark), then physically unlink.
+            if unsafe { &(*node).next }
+                .compare_exchange(
+                    next_word,
+                    with_mark(next_word),
+                    Ordering::SeqCst,
+                    Ordering::SeqCst,
+                )
+                .is_err()
+            {
+                continue;
+            }
+            if unsafe { &*w.prev }
+                .compare_exchange(w.curr_word, next_word, Ordering::SeqCst, Ordering::SeqCst)
+                .is_ok()
+            {
+                unsafe {
+                    self.smr.retire(ctx, w.curr_word as *mut u8, &(*node).header, DROP_NODE);
+                }
+            } else {
+                // Let a find() unlink (and retire) it.
+                let _ = self.find(ctx, key);
+            }
+            break true;
+        };
+        self.smr.end_op(ctx);
+        result
+    }
+
+    /// Whether `key` is in the set.
+    pub fn contains(&self, ctx: &mut S::ThreadCtx, key: i64) -> bool {
+        self.smr.begin_op(ctx);
+        let w = self.find(ctx, key);
+        self.smr.end_op(ctx);
+        w.found
+    }
+
+    /// Snapshot of the keys (quiescent use only: tests/debugging).
+    pub fn collect_keys(&self) -> Vec<i64> {
+        let mut out = Vec::new();
+        let mut word = self.head.load(Ordering::SeqCst);
+        while word != 0 {
+            let node = untagged(word) as *const Node;
+            let next = unsafe { (*node).next.load(Ordering::SeqCst) };
+            if !is_marked(next) {
+                out.push(unsafe { (*node).key });
+            }
+            word = untagged(next);
+        }
+        out
+    }
+
+    /// Number of unmarked nodes (quiescent use only).
+    pub fn len(&self) -> usize {
+        self.collect_keys().len()
+    }
+
+    /// Whether the set is empty (quiescent use only).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl<S: Smr> Drop for MichaelList<'_, S> {
+    fn drop(&mut self) {
+        // Exclusive access: free the remaining nodes directly.
+        let mut word = untagged(self.head.load(Ordering::SeqCst));
+        while word != 0 {
+            let node = word as *mut Node;
+            let next = unsafe { (*node).next.load(Ordering::SeqCst) };
+            unsafe { drop_node(node as *mut u8) };
+            word = untagged(next);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use era_smr::ebr::Ebr;
+    use era_smr::he::He;
+    use era_smr::hp::Hp;
+    use era_smr::ibr::Ibr;
+    use era_smr::leak::Leak;
+
+    fn exercise_sequential<S: Smr>(smr: &S) {
+        let list = MichaelList::new(smr);
+        let mut ctx = smr.register().unwrap();
+        assert!(list.is_empty());
+        assert!(list.insert(&mut ctx, 3));
+        assert!(list.insert(&mut ctx, 1));
+        assert!(list.insert(&mut ctx, 2));
+        assert!(!list.insert(&mut ctx, 2));
+        assert_eq!(list.collect_keys(), vec![1, 2, 3]);
+        assert!(list.contains(&mut ctx, 1));
+        assert!(!list.contains(&mut ctx, 9));
+        assert!(list.delete(&mut ctx, 2));
+        assert!(!list.delete(&mut ctx, 2));
+        assert_eq!(list.collect_keys(), vec![1, 3]);
+        assert!(list.insert(&mut ctx, 2));
+        assert_eq!(list.len(), 3);
+        for k in [1, 2, 3] {
+            assert!(list.delete(&mut ctx, k));
+        }
+        assert!(list.is_empty());
+    }
+
+    #[test]
+    fn sequential_semantics_all_schemes() {
+        exercise_sequential(&Ebr::new(2));
+        exercise_sequential(&Hp::new(2, 3));
+        exercise_sequential(&He::new(2, 3));
+        exercise_sequential(&Ibr::new(2));
+        exercise_sequential(&Leak::new(2));
+    }
+
+    #[test]
+    fn negative_and_extreme_keys() {
+        let smr = Hp::new(1, 3);
+        let list = MichaelList::new(&smr);
+        let mut ctx = smr.register().unwrap();
+        for k in [i64::MIN, -5, 0, 5, i64::MAX] {
+            assert!(list.insert(&mut ctx, k));
+        }
+        assert_eq!(list.collect_keys(), vec![i64::MIN, -5, 0, 5, i64::MAX]);
+        for k in [i64::MIN, -5, 0, 5, i64::MAX] {
+            assert!(list.contains(&mut ctx, k));
+            assert!(list.delete(&mut ctx, k));
+        }
+    }
+
+    fn stress<S: Smr + Sync>(smr: &S, threads: usize, per_thread: i64) {
+        let list = MichaelList::new(smr);
+        // Phase 1: each thread inserts a disjoint key range, then
+        // verifies and deletes it. Success counts must be exact.
+        std::thread::scope(|s| {
+            for t in 0..threads {
+                let list = &list;
+                s.spawn(move || {
+                    let mut ctx = smr.register().unwrap();
+                    let base = t as i64 * per_thread;
+                    for k in base..base + per_thread {
+                        assert!(list.insert(&mut ctx, k));
+                    }
+                    for k in base..base + per_thread {
+                        assert!(list.contains(&mut ctx, k));
+                    }
+                    for k in base..base + per_thread {
+                        assert!(list.delete(&mut ctx, k));
+                    }
+                    self::flushed(smr, &mut ctx);
+                });
+            }
+        });
+        assert!(list.is_empty(), "all inserted keys deleted");
+        // Phase 2: contended same-key churn — exactly one winner per round.
+        let winners = std::sync::atomic::AtomicUsize::new(0);
+        std::thread::scope(|s| {
+            for _ in 0..threads {
+                let (list, winners) = (&list, &winners);
+                s.spawn(move || {
+                    let mut ctx = smr.register().unwrap();
+                    for _ in 0..200 {
+                        if list.insert(&mut ctx, 42) {
+                            assert!(list.delete(&mut ctx, 42));
+                            winners.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                    self::flushed(smr, &mut ctx);
+                });
+            }
+        });
+        assert!(!list.contains_quiescent(42));
+    }
+
+    fn flushed<S: Smr>(smr: &S, ctx: &mut S::ThreadCtx) {
+        for _ in 0..4 {
+            smr.flush(ctx);
+        }
+    }
+
+    impl<S: Smr> MichaelList<'_, S> {
+        fn contains_quiescent(&self, key: i64) -> bool {
+            self.collect_keys().contains(&key)
+        }
+    }
+
+    #[test]
+    fn stress_hp() {
+        stress(&Hp::new(8, 3), 4, 250);
+    }
+
+    #[test]
+    fn stress_ebr() {
+        stress(&Ebr::new(8), 4, 250);
+    }
+
+    #[test]
+    fn stress_he() {
+        stress(&He::new(8, 3), 4, 250);
+    }
+
+    #[test]
+    fn stress_ibr() {
+        stress(&Ibr::new(8), 4, 250);
+    }
+
+    #[test]
+    fn hp_footprint_stays_bounded_during_churn() {
+        let smr = Hp::with_threshold(2, 3, 16);
+        let list = MichaelList::new(&smr);
+        let mut ctx = smr.register().unwrap();
+        for round in 0..2_000i64 {
+            assert!(list.insert(&mut ctx, round % 7));
+            assert!(list.delete(&mut ctx, round % 7));
+            let retired = smr.stats().retired_now;
+            assert!(retired <= smr.robustness_bound(), "retired={retired}");
+        }
+    }
+
+    #[test]
+    fn reclamation_actually_happens() {
+        let smr = Ebr::with_threshold(2, 8);
+        let list = MichaelList::new(&smr);
+        let mut ctx = smr.register().unwrap();
+        for k in 0..500 {
+            assert!(list.insert(&mut ctx, k));
+        }
+        for k in 0..500 {
+            assert!(list.delete(&mut ctx, k));
+        }
+        for _ in 0..6 {
+            smr.flush(&mut ctx);
+        }
+        let st = smr.stats();
+        assert_eq!(st.total_retired, 500);
+        assert!(st.total_reclaimed >= 400, "{st}");
+    }
+}

@@ -1,0 +1,392 @@
+//! A lock-free ordered **map** (`i64 → i64`) built on Michael's list
+//! discipline, with in-place value updates.
+//!
+//! Nodes carry a mutable value word next to the immutable key. `get`
+//! reads the value of a protected node; `insert` either links a new
+//! node or CASes the value of the existing one (upsert); `remove`
+//! unlinks Michael-style. The value word belongs to the *data
+//! structure* — the reclamation scheme never touches it (Definition
+//! 5.3, Condition 5, from the structure's side of the fence).
+//!
+//! Works with every pointer-based scheme (the traversal is Michael's —
+//! unlink before advance), so HP's three hazard slots suffice.
+
+use std::fmt;
+use std::sync::atomic::{AtomicI64, AtomicUsize, Ordering};
+
+use era_smr::common::{is_marked, untagged, with_mark, DropFn, Smr, SmrHeader};
+
+#[repr(C)]
+struct Node {
+    header: SmrHeader,
+    key: i64,
+    value: AtomicI64,
+    next: AtomicUsize,
+}
+
+impl Node {
+    fn alloc(key: i64, value: i64, next: usize) -> *mut Node {
+        Box::into_raw(Box::new(Node {
+            header: SmrHeader::new(),
+            key,
+            value: AtomicI64::new(value),
+            next: AtomicUsize::new(next),
+        }))
+    }
+}
+
+unsafe fn drop_node(p: *mut u8) {
+    unsafe { drop(Box::from_raw(p as *mut Node)) }
+}
+
+const DROP_NODE: DropFn = drop_node;
+
+const SLOT_PREV: usize = 2;
+
+/// A lock-free sorted map from `i64` keys to `i64` values.
+///
+/// # Example
+///
+/// ```
+/// use era_ds::MichaelMap;
+/// use era_smr::{hp::Hp, Smr};
+///
+/// let smr = Hp::new(2, 3);
+/// let map = MichaelMap::new(&smr);
+/// let mut ctx = smr.register().unwrap();
+/// assert_eq!(map.insert(&mut ctx, 1, 10), None);
+/// assert_eq!(map.insert(&mut ctx, 1, 11), Some(10)); // upsert
+/// assert_eq!(map.get(&mut ctx, 1), Some(11));
+/// assert_eq!(map.remove(&mut ctx, 1), Some(11));
+/// assert_eq!(map.get(&mut ctx, 1), None);
+/// ```
+pub struct MichaelMap<'s, S: Smr> {
+    smr: &'s S,
+    head: AtomicUsize,
+}
+
+impl<S: Smr> fmt::Debug for MichaelMap<'_, S> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("MichaelMap").field("smr", &self.smr.name()).finish_non_exhaustive()
+    }
+}
+
+struct Window {
+    prev: *const AtomicUsize,
+    curr_word: usize,
+    found: bool,
+}
+
+impl<'s, S: Smr> MichaelMap<'s, S> {
+    /// Creates an empty map using `smr` for reclamation.
+    ///
+    /// Protect-based schemes must provide at least 3 slots per thread.
+    pub fn new(smr: &'s S) -> Self {
+        MichaelMap { smr, head: AtomicUsize::new(0) }
+    }
+
+    /// Michael's find (see [`crate::michael_list`] for the discipline).
+    fn find(&self, ctx: &mut S::ThreadCtx, key: i64) -> Window {
+        'retry: loop {
+            let mut prev: *const AtomicUsize = &self.head;
+            let mut cs = 0usize;
+            let mut curr_word = self.smr.load(ctx, cs, unsafe { &*prev });
+            loop {
+                debug_assert!(!is_marked(curr_word));
+                if curr_word == 0 {
+                    return Window { prev, curr_word: 0, found: false };
+                }
+                let node = curr_word as *const Node;
+                let next_word = self.smr.load(ctx, 1 - cs, unsafe { &(*node).next });
+                if unsafe { &*prev }.load(Ordering::SeqCst) != curr_word {
+                    continue 'retry;
+                }
+                if is_marked(next_word) {
+                    let succ = untagged(next_word);
+                    if unsafe { &*prev }
+                        .compare_exchange(curr_word, succ, Ordering::SeqCst, Ordering::SeqCst)
+                        .is_err()
+                    {
+                        continue 'retry;
+                    }
+                    unsafe {
+                        self.smr.retire(ctx, curr_word as *mut u8, &(*node).header, DROP_NODE);
+                    }
+                    curr_word = self.smr.load(ctx, cs, unsafe { &*prev });
+                    if is_marked(curr_word) {
+                        continue 'retry;
+                    }
+                    continue;
+                }
+                let ckey = unsafe { (*node).key };
+                if ckey >= key {
+                    return Window { prev, curr_word, found: ckey == key };
+                }
+                if self.smr.load(ctx, SLOT_PREV, unsafe { &*prev }) != curr_word {
+                    continue 'retry;
+                }
+                prev = unsafe { &(*node).next };
+                curr_word = untagged(next_word);
+                cs = 1 - cs;
+            }
+        }
+    }
+
+    /// Upsert: maps `key` to `value`; returns the previous value if the
+    /// key was present (whose mapping was atomically replaced), `None`
+    /// if a new entry was created.
+    pub fn insert(&self, ctx: &mut S::ThreadCtx, key: i64, value: i64) -> Option<i64> {
+        self.smr.begin_op(ctx);
+        let mut node: *mut Node = std::ptr::null_mut();
+        let result = loop {
+            let w = self.find(ctx, key);
+            if w.found {
+                // Update in place (the node is protected by find).
+                let existing = w.curr_word as *const Node;
+                let old = unsafe { (*existing).value.swap(value, Ordering::SeqCst) };
+                if !node.is_null() {
+                    unsafe {
+                        self.smr.retire(ctx, node as *mut u8, &(*node).header, DROP_NODE);
+                    }
+                }
+                break Some(old);
+            }
+            if node.is_null() {
+                node = Node::alloc(key, value, 0);
+                self.smr.init_header(ctx, unsafe { &(*node).header });
+            }
+            unsafe { (*node).next.store(w.curr_word, Ordering::SeqCst) };
+            if unsafe { &*w.prev }
+                .compare_exchange(
+                    w.curr_word,
+                    node as usize,
+                    Ordering::SeqCst,
+                    Ordering::SeqCst,
+                )
+                .is_ok()
+            {
+                break None;
+            }
+        };
+        self.smr.end_op(ctx);
+        result
+    }
+
+    /// Returns the value mapped to `key`, if any.
+    pub fn get(&self, ctx: &mut S::ThreadCtx, key: i64) -> Option<i64> {
+        self.smr.begin_op(ctx);
+        let w = self.find(ctx, key);
+        let result = w.found.then(|| {
+            let node = w.curr_word as *const Node;
+            unsafe { (*node).value.load(Ordering::SeqCst) }
+        });
+        self.smr.end_op(ctx);
+        result
+    }
+
+    /// Removes `key`; returns the value it mapped to, if any.
+    ///
+    /// The returned value is the one read under protection just before
+    /// the logical deletion; concurrent `insert` updates may interleave,
+    /// in which case either value is a linearizable answer.
+    pub fn remove(&self, ctx: &mut S::ThreadCtx, key: i64) -> Option<i64> {
+        self.smr.begin_op(ctx);
+        let result = loop {
+            let w = self.find(ctx, key);
+            if !w.found {
+                break None;
+            }
+            let node = w.curr_word as *const Node;
+            let next_word = unsafe { (*node).next.load(Ordering::SeqCst) };
+            if is_marked(next_word) {
+                continue;
+            }
+            let value = unsafe { (*node).value.load(Ordering::SeqCst) };
+            if unsafe { &(*node).next }
+                .compare_exchange(
+                    next_word,
+                    with_mark(next_word),
+                    Ordering::SeqCst,
+                    Ordering::SeqCst,
+                )
+                .is_err()
+            {
+                continue;
+            }
+            if unsafe { &*w.prev }
+                .compare_exchange(w.curr_word, next_word, Ordering::SeqCst, Ordering::SeqCst)
+                .is_ok()
+            {
+                unsafe {
+                    self.smr.retire(ctx, w.curr_word as *mut u8, &(*node).header, DROP_NODE);
+                }
+            } else {
+                let _ = self.find(ctx, key);
+            }
+            break Some(value);
+        };
+        self.smr.end_op(ctx);
+        result
+    }
+
+    /// Atomically bumps the value of `key` by `delta` via CAS; returns
+    /// the new value, or `None` when absent.
+    pub fn fetch_add(&self, ctx: &mut S::ThreadCtx, key: i64, delta: i64) -> Option<i64> {
+        self.smr.begin_op(ctx);
+        let w = self.find(ctx, key);
+        let result = w.found.then(|| {
+            let node = w.curr_word as *const Node;
+            unsafe { (*node).value.fetch_add(delta, Ordering::SeqCst) + delta }
+        });
+        self.smr.end_op(ctx);
+        result
+    }
+
+    /// Snapshot of the entries, sorted by key (quiescent use only).
+    pub fn collect_entries(&self) -> Vec<(i64, i64)> {
+        let mut out = Vec::new();
+        let mut word = self.head.load(Ordering::SeqCst);
+        while word != 0 {
+            let node = untagged(word) as *const Node;
+            let next = unsafe { (*node).next.load(Ordering::SeqCst) };
+            if !is_marked(next) {
+                out.push(unsafe { ((*node).key, (*node).value.load(Ordering::SeqCst)) });
+            }
+            word = untagged(next);
+        }
+        out
+    }
+
+    /// Number of entries (quiescent use only).
+    pub fn len(&self) -> usize {
+        self.collect_entries().len()
+    }
+
+    /// Whether the map is empty (quiescent use only).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl<S: Smr> Drop for MichaelMap<'_, S> {
+    fn drop(&mut self) {
+        let mut word = untagged(self.head.load(Ordering::SeqCst));
+        while word != 0 {
+            let node = word as *mut Node;
+            let next = unsafe { (*node).next.load(Ordering::SeqCst) };
+            unsafe { drop_node(node as *mut u8) };
+            word = untagged(next);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use era_smr::ebr::Ebr;
+    use era_smr::hp::Hp;
+
+    #[test]
+    fn map_semantics() {
+        let smr = Hp::new(2, 3);
+        let map = MichaelMap::new(&smr);
+        let mut ctx = smr.register().unwrap();
+        assert_eq!(map.get(&mut ctx, 1), None);
+        assert_eq!(map.insert(&mut ctx, 1, 100), None);
+        assert_eq!(map.insert(&mut ctx, 2, 200), None);
+        assert_eq!(map.get(&mut ctx, 1), Some(100));
+        assert_eq!(map.insert(&mut ctx, 1, 101), Some(100));
+        assert_eq!(map.get(&mut ctx, 1), Some(101));
+        assert_eq!(map.fetch_add(&mut ctx, 2, 5), Some(205));
+        assert_eq!(map.fetch_add(&mut ctx, 9, 5), None);
+        assert_eq!(map.remove(&mut ctx, 1), Some(101));
+        assert_eq!(map.remove(&mut ctx, 1), None);
+        assert_eq!(map.collect_entries(), vec![(2, 205)]);
+    }
+
+    #[test]
+    fn upsert_does_not_leak_the_speculative_node() {
+        let smr = Hp::with_threshold(2, 3, 4);
+        let map = MichaelMap::new(&smr);
+        let mut ctx = smr.register().unwrap();
+        assert_eq!(map.insert(&mut ctx, 7, 1), None);
+        for i in 0..100 {
+            assert_eq!(map.insert(&mut ctx, 7, i), Some(if i == 0 { 1 } else { i - 1 }));
+        }
+        smr.flush(&mut ctx);
+        // At most the one live node remains unaccounted; upsert paths
+        // must have retired nothing (no speculative nodes allocated when
+        // the key exists on the first look).
+        assert_eq!(map.len(), 1);
+    }
+
+    #[test]
+    fn concurrent_counters_are_exact() {
+        // fetch_add is atomic: concurrent bumps never lose updates.
+        let smr = Ebr::new(8);
+        let map = MichaelMap::new(&smr);
+        {
+            let mut ctx = smr.register().unwrap();
+            assert_eq!(map.insert(&mut ctx, 0, 0), None);
+        }
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let (map, smr) = (&map, &smr);
+                s.spawn(move || {
+                    let mut ctx = smr.register().unwrap();
+                    for _ in 0..1_000 {
+                        map.fetch_add(&mut ctx, 0, 1).expect("key 0 exists");
+                    }
+                });
+            }
+        });
+        assert_eq!(map.collect_entries(), vec![(0, 4_000)]);
+    }
+
+    #[test]
+    fn concurrent_upserts_and_removes() {
+        let smr = Hp::new(8, 3);
+        let map = MichaelMap::new(&smr);
+        std::thread::scope(|s| {
+            for t in 0..4i64 {
+                let (map, smr) = (&map, &smr);
+                s.spawn(move || {
+                    let mut ctx = smr.register().unwrap();
+                    for i in 0..500i64 {
+                        let k = (t * 31 + i) % 64;
+                        map.insert(&mut ctx, k, t * 10_000 + i);
+                        let _ = map.get(&mut ctx, k);
+                        if i % 3 == 0 {
+                            let _ = map.remove(&mut ctx, k);
+                        }
+                    }
+                    smr.flush(&mut ctx);
+                });
+            }
+        });
+        // Quiescent: keys sorted and unique.
+        let entries = map.collect_entries();
+        let keys: Vec<i64> = entries.iter().map(|&(k, _)| k).collect();
+        let mut sorted = keys.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(keys, sorted);
+    }
+
+    #[test]
+    fn reclamation_flows_through() {
+        let smr = Ebr::with_threshold(2, 8);
+        let map = MichaelMap::new(&smr);
+        let mut ctx = smr.register().unwrap();
+        for k in 0..300 {
+            assert_eq!(map.insert(&mut ctx, k, k), None);
+            assert_eq!(map.remove(&mut ctx, k), Some(k));
+        }
+        for _ in 0..6 {
+            smr.flush(&mut ctx);
+        }
+        let st = smr.stats();
+        assert_eq!(st.total_retired, 300);
+        assert!(st.total_reclaimed >= 200, "{st}");
+    }
+}

@@ -1,0 +1,233 @@
+//! The Appendix E counterexample (Figure 2): HP/HE/IBR are not
+//! applicable to Harris's linked list.
+//!
+//! The schedule, on the list `{15, 76}`:
+//!
+//! 1. `T1` invokes `insert(58)`, reads `head.next` (obtaining — and,
+//!    under a protect-based scheme, *protecting* — node 15) and is
+//!    halted (stage *a*);
+//! 2. another thread inserts 43 (stage *b*);
+//! 3. `T2` invokes `delete(43)` and `T3` invokes `delete(15)`; both
+//!    pause right after **marking** their victims (stage *c*,
+//!    Algorithm 1 line 48);
+//! 4. `T4` invokes `delete(44)`: its search walks through the marked
+//!    chain and unlinks nodes 15 and 43 with one CAS, then returns
+//!    `false`;
+//! 5. `T2` and `T3` resume, retire their victims; node 15 is protected
+//!    by `T1` and survives, node 43 is not and is **reclaimed**;
+//! 6. `T1` resumes: it reads `15.next` (stable — 15 is protected and
+//!    its `next` no longer changes), "protects" node 43's address, and
+//!    dereferences memory that has been reclaimed: the oracle reports
+//!    the Definition 4.2 violation a real system would experience as a
+//!    use-after-free.
+//!
+//! Run the same schedule under EBR and nothing bad happens (`T1` pins
+//! the epoch, 43 is never reclaimed) — the counterexample separates the
+//! protect-based schemes from the epoch-based ones, which is the point
+//! of Appendix E.
+
+use std::fmt;
+
+use era_core::ids::ThreadId;
+
+use crate::harris::{HarrisSim, OpKind};
+use crate::schemes::SimScheme;
+
+const T1: ThreadId = ThreadId(0);
+const T2: ThreadId = ThreadId(1);
+const T3: ThreadId = ThreadId(2);
+const T4: ThreadId = ThreadId(3);
+
+/// Result of replaying the Figure 2 schedule.
+#[derive(Debug, Clone)]
+pub struct Figure2Outcome {
+    /// Scheme name.
+    pub scheme: String,
+    /// Definition 4.2 violations detected.
+    pub violations: usize,
+    /// Description of the first violation, if any.
+    pub first_violation: Option<String>,
+    /// Scheme-forced roll-backs observed.
+    pub rollbacks: usize,
+    /// Whether the retired node 43 was reclaimed during the schedule
+    /// (the precondition for the unsafe access).
+    pub node43_reclaimed: bool,
+    /// Whether `T1`'s insert(58) eventually completed.
+    pub t1_completed: bool,
+}
+
+impl Figure2Outcome {
+    /// Whether the scheme survived the schedule safely (it is, at least
+    /// on this execution, applicable).
+    pub fn safe(&self) -> bool {
+        self.violations == 0
+    }
+}
+
+impl fmt::Display for Figure2Outcome {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:<6} violations={} rollbacks={:<3} 43_reclaimed={:<5} t1_done={:<5} {}",
+            self.scheme,
+            self.violations,
+            self.rollbacks,
+            self.node43_reclaimed,
+            self.t1_completed,
+            self.first_violation.as_deref().unwrap_or("-"),
+        )
+    }
+}
+
+/// Replays the Figure 2 schedule with `scheme` integrated.
+///
+/// # Panics
+///
+/// Panics if the schedule cannot be realized (e.g. an op completes at an
+/// unexpected point) — that would indicate an interpreter bug, not a
+/// scheme property.
+pub fn run_figure2(scheme: Box<dyn SimScheme>) -> Figure2Outcome {
+    let name = scheme.name().to_string();
+    let mut sim = HarrisSim::new(scheme);
+
+    // Stage (a): the list holds {15, 76}.
+    assert!(sim.run_op(T4, OpKind::Insert(15)));
+    assert!(sim.run_op(T4, OpKind::Insert(76)));
+
+    // T1 invokes insert(58), reads head.next (protecting node 15 under
+    // protect-based schemes), and is halted by the scheduler.
+    let mut t1 = sim.start_op(T1, OpKind::Insert(58));
+    for _ in 0..3 {
+        assert!(!sim.step(&mut t1));
+    }
+
+    // Stage (b): node 43 is inserted after T1's protection exists. The
+    // paper's footnote 7 stresses that this ordering is crucial for the
+    // HE/IBR contradiction: 43's *birth era* must postdate T1's
+    // reservation. Era clocks tick on allocations, so an unrelated
+    // insert advances the clock first (any busy execution does this
+    // constantly).
+    assert!(sim.run_op(T4, OpKind::Insert(99)));
+    assert!(sim.run_op(T4, OpKind::Insert(43)));
+
+    // Stage (c): T2 marks 43 and T3 marks 15 — both pause after the
+    // marking CAS, before the unlink.
+    let mut t2 = sim.start_op(T2, OpKind::Delete(43));
+    for _ in 0..10_000 {
+        if t2.has_marked_victim() {
+            break;
+        }
+        assert!(!sim.step(&mut t2), "T2 must pause after marking, not finish");
+    }
+    assert!(t2.has_marked_victim());
+    let mut t3 = sim.start_op(T3, OpKind::Delete(15));
+    for _ in 0..10_000 {
+        if t3.has_marked_victim() {
+            break;
+        }
+        assert!(!sim.step(&mut t3), "T3 must pause after marking, not finish");
+    }
+    assert!(t3.has_marked_victim());
+
+    // T4 deletes 44: the search unlinks the marked chain {15, 43} and
+    // the operation returns false.
+    assert!(!sim.run_op(T4, OpKind::Delete(44)));
+
+    // T2 and T3 resume: their own unlink CASes fail (T4 already
+    // unlinked), they re-search and retire their victims.
+    assert_eq!(sim.run_to_completion(&mut t2, 100_000), Some(true));
+    assert_eq!(sim.run_to_completion(&mut t3, 100_000), Some(true));
+
+    // Was node 43 reclaimed? (Under protect-based schemes: yes — nobody
+    // protects it. Under EBR: no — T1 pins the epoch.)
+    let retired_now = sim.sim.heap.sample().retired;
+    // 15 may be pinned (protected / epoch), 43 may or may not be.
+    let node43_reclaimed = retired_now < 2;
+
+    // Stage (d): T1 resumes and traverses onward from node 15.
+    let mut t1_completed = false;
+    for _ in 0..100_000 {
+        if sim.step(&mut t1) {
+            t1_completed = true;
+            break;
+        }
+        if !sim.sim.heap.verdict().is_smr() {
+            break;
+        }
+    }
+
+    let verdict = sim.sim.heap.verdict();
+    Figure2Outcome {
+        scheme: name,
+        violations: verdict.violations.len(),
+        first_violation: verdict.violations.first().map(|v| v.to_string()),
+        rollbacks: sim.sim.monitor.rollbacks(),
+        node43_reclaimed,
+        t1_completed,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schemes::{SimEbr, SimHe, SimHp, SimIbr, SimLeak, SimNbr, SimVbr};
+
+    #[test]
+    fn hp_violates_safety_on_figure2() {
+        let out = run_figure2(Box::new(SimHp::new(4, 3)));
+        assert!(out.node43_reclaimed, "nothing protects 43: {out}");
+        assert!(!out.safe(), "HP must hit the unsafe access: {out}");
+        assert!(!out.t1_completed);
+    }
+
+    #[test]
+    fn he_violates_safety_on_figure2() {
+        let out = run_figure2(Box::new(SimHe::new(4, 3)));
+        assert!(!out.safe(), "{out}");
+    }
+
+    #[test]
+    fn ibr_violates_safety_on_figure2() {
+        let out = run_figure2(Box::new(SimIbr::new(4)));
+        assert!(!out.safe(), "{out}");
+    }
+
+    #[test]
+    fn ebr_survives_figure2() {
+        let out = run_figure2(Box::new(SimEbr::new(4)));
+        assert!(out.safe(), "{out}");
+        assert!(!out.node43_reclaimed, "T1's pinned epoch protects 43");
+        assert!(out.t1_completed);
+        assert_eq!(out.rollbacks, 0);
+    }
+
+    #[test]
+    fn leak_survives_figure2() {
+        let out = run_figure2(Box::new(SimLeak));
+        assert!(out.safe());
+        assert!(out.t1_completed);
+    }
+
+    #[test]
+    fn vbr_survives_figure2_with_rollbacks() {
+        let out = run_figure2(Box::new(SimVbr::new()));
+        assert!(out.safe(), "{out}");
+        assert!(out.node43_reclaimed, "VBR reclaims immediately");
+        assert!(out.t1_completed);
+        assert!(out.rollbacks > 0, "safety came from rolling back: {out}");
+    }
+
+    #[test]
+    fn nbr_survives_figure2_with_rollbacks() {
+        let out = run_figure2(Box::new(SimNbr::new(4, 1)));
+        assert!(out.safe(), "{out}");
+        assert!(out.t1_completed);
+        assert!(out.rollbacks > 0, "{out}");
+    }
+
+    #[test]
+    fn outcome_display() {
+        let out = run_figure2(Box::new(SimEbr::new(4)));
+        assert!(out.to_string().contains("EBR"));
+    }
+}

@@ -1,0 +1,513 @@
+//! The simulated shared heap.
+//!
+//! Memory is modelled at the granularity the paper's proofs need:
+//!
+//! * nodes are **logical entities** — an address plus an incarnation
+//!   ([`era_core::ids::NodeId`]); reallocating an address creates a new
+//!   node (§4.1);
+//! * stored link words carry only the *bits* real memory would hold — an
+//!   address and a mark ([`Word`]) — so ABA and stale-pointer phenomena
+//!   reproduce faithfully;
+//! * every pointer variable (thread-local or node field) is tracked for
+//!   Definition 4.1 validity, and every access streams through the
+//!   embedded [`SafetyChecker`], so an unsafe access or a Definition 4.2
+//!   violation is *detected*, not crashed on;
+//! * reclaimed memory either stays in **program space** (a free list the
+//!   allocator reuses, content retained — stale reads return old bits)
+//!   or moves to **system space** (any dereference is a Condition 1
+//!   violation).
+
+use std::collections::{HashMap, HashSet};
+
+use era_core::ids::{NodeId, ThreadId};
+use era_core::lifecycle::{LifecycleError, LifecycleTracker};
+use era_core::robustness::FootprintSample;
+use era_core::safety::{DerefKind, MemEvent, PtrSource, SafetyChecker, SafetyVerdict};
+use era_core::validity::{Validity, VarId};
+
+/// The raw bits a link word holds: an address and a Harris mark.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Word {
+    /// Target address.
+    pub addr: usize,
+    /// Deletion mark.
+    pub mark: bool,
+}
+
+impl Word {
+    /// The same address without the mark.
+    pub fn unmarked(self) -> Word {
+        Word { addr: self.addr, mark: false }
+    }
+
+    /// The same address with the mark set.
+    pub fn marked(self) -> Word {
+        Word { addr: self.addr, mark: true }
+    }
+}
+
+/// A thread-local pointer variable: its identity for validity tracking
+/// plus the bits it currently holds.
+#[derive(Debug, Clone, Copy)]
+pub struct Local {
+    /// Identity in the validity tracker.
+    pub var: VarId,
+    /// Current content (`None` = null).
+    pub word: Option<Word>,
+}
+
+impl Local {
+    /// The held word.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the local is null — simulated programs must check
+    /// before dereferencing.
+    pub fn word(&self) -> Word {
+        self.word.expect("dereferencing a null local")
+    }
+}
+
+#[derive(Debug)]
+struct Cell {
+    node: NodeId,
+    key: i64,
+    next: Option<Word>,
+    /// Validity identity of the `next` field for this incarnation.
+    next_var: VarId,
+}
+
+/// The simulated heap: allocator, lifecycle, validity, safety oracle.
+#[derive(Debug, Default)]
+pub struct SimHeap {
+    lifecycle: LifecycleTracker,
+    checker: SafetyChecker,
+    cells: HashMap<usize, Cell>,
+    free: Vec<usize>,
+    system_space: HashSet<usize>,
+    next_addr: usize,
+    next_var: u64,
+}
+
+impl SimHeap {
+    /// Creates an empty heap.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Mints a fresh pointer-variable identity (for thread locals).
+    pub fn new_var(&mut self) -> VarId {
+        let v = VarId(self.next_var);
+        self.next_var += 1;
+        v
+    }
+
+    /// Creates a fresh null local.
+    pub fn new_local(&mut self) -> Local {
+        Local { var: self.new_var(), word: None }
+    }
+
+    /// The lifecycle tracker (counters, states).
+    pub fn lifecycle(&self) -> &LifecycleTracker {
+        &self.lifecycle
+    }
+
+    /// The safety verdict so far.
+    pub fn verdict(&self) -> &SafetyVerdict {
+        self.checker.verdict()
+    }
+
+    /// Current footprint sample (`active`, `max_active`, `retired`).
+    pub fn sample(&self) -> FootprintSample {
+        self.lifecycle.observe()
+    }
+
+    /// Definition 4.1 validity of a local.
+    pub fn validity(&self, local: &Local) -> Validity {
+        self.checker.validity().validity(local.var)
+    }
+
+    /// The logical node a local references (even when invalid).
+    pub fn target(&self, local: &Local) -> Option<NodeId> {
+        self.checker.validity().target(local.var)
+    }
+
+    /// The node currently *live* at `addr`, if any.
+    pub fn live_node_at(&self, addr: usize) -> Option<NodeId> {
+        let cell = self.cells.get(&addr)?;
+        self.lifecycle.state(cell.node).is_active().then_some(cell.node)
+    }
+
+    /// Allocates a node with `key` into `dst` (reusing program-space
+    /// memory first). The node starts `local` to `tid` with a null
+    /// `next`.
+    pub fn alloc(&mut self, tid: ThreadId, key: i64, dst: &mut Local) -> NodeId {
+        let addr = self.free.pop().unwrap_or_else(|| {
+            let a = self.next_addr;
+            self.next_addr += 1;
+            a
+        });
+        let node = self.lifecycle.alloc(addr, tid).expect("address came from the free pool");
+        let next_var = self.new_var();
+        self.checker.record(MemEvent::PtrUpdate { var: next_var, source: PtrSource::Null });
+        self.cells.insert(addr, Cell { node, key, next: None, next_var });
+        self.checker.record(MemEvent::PtrUpdate { var: dst.var, source: PtrSource::Alloc(node) });
+        dst.word = Some(Word { addr, mark: false });
+        node
+    }
+
+    /// Publishes the node referenced by `src` (local → shared).
+    ///
+    /// # Panics
+    ///
+    /// Panics on a life-cycle violation (sharing a non-local node).
+    pub fn share(&mut self, src: &Local) {
+        let node = self.target(src).expect("sharing through a null pointer");
+        self.lifecycle.share(node).expect("share of a local node");
+    }
+
+    /// Retires a node.
+    ///
+    /// # Errors
+    ///
+    /// Life-cycle errors (double retire, stale incarnation) propagate —
+    /// the simulated schemes rely on the plain implementation issuing
+    /// correct `retire()` calls (§4.1).
+    pub fn retire(&mut self, node: NodeId) -> Result<(), LifecycleError> {
+        self.lifecycle.retire(node)
+    }
+
+    /// Reclaims a retired node. With `to_system = false` the memory
+    /// joins the program-space free pool (content retained, address
+    /// reusable); with `to_system = true` it leaves program space.
+    ///
+    /// # Errors
+    ///
+    /// Life-cycle errors propagate.
+    pub fn reclaim(&mut self, node: NodeId, to_system: bool) -> Result<(), LifecycleError> {
+        self.lifecycle.reclaim(node)?;
+        self.checker.record(MemEvent::Unallocate { node, to_system });
+        if to_system {
+            self.system_space.insert(node.addr);
+        } else {
+            self.free.push(node.addr);
+        }
+        Ok(())
+    }
+
+    /// Copies one local into another (a plain pointer assignment).
+    pub fn assign(&mut self, dst: &mut Local, src: &Local) {
+        self.checker.record(MemEvent::PtrUpdate {
+            var: dst.var,
+            source: PtrSource::Copy(src.var),
+        });
+        dst.word = src.word;
+    }
+
+    /// Like [`assign`](Self::assign) but strips/sets the mark bit on
+    /// the copied bits (a local operation on the value).
+    pub fn assign_with_mark(&mut self, dst: &mut Local, src: &Local, mark: bool) {
+        self.checker.record(MemEvent::PtrUpdate {
+            var: dst.var,
+            source: PtrSource::Copy(src.var),
+        });
+        dst.word = src.word.map(|w| Word { addr: w.addr, mark });
+    }
+
+    /// Reads a global entry-point variable (e.g. the list head) into a
+    /// local. Entry points are immortal, so the result is always valid.
+    pub fn read_global(&mut self, dst: &mut Local, global: &Local) {
+        self.checker.record(MemEvent::PtrUpdate {
+            var: dst.var,
+            source: PtrSource::Copy(global.var),
+        });
+        dst.word = global.word;
+    }
+
+    /// Dereferences `src` to read the node's `next` field into `dst`.
+    ///
+    /// Emits the oracle events; returns the bits actually found in
+    /// memory (stale bits if the node was reclaimed into program space,
+    /// the *new* node's bits if the address was reused, `None` from
+    /// system space).
+    pub fn read_next(&mut self, tid: ThreadId, src: &Local, dst: &mut Local) -> Option<Word> {
+        let addr = src.word().addr;
+        let in_program_space = !self.system_space.contains(&addr);
+        let was_valid = self.validity(src) == Validity::Valid;
+        self.checker.record(MemEvent::Deref {
+            thread: tid,
+            ptr: src.var,
+            kind: DerefKind::ReadPtrInto { dst: dst.var },
+            in_program_space,
+        });
+        if !in_program_space {
+            dst.word = None;
+            return None;
+        }
+        let (next, next_var) = {
+            let cell = self.cells.get(&addr).expect("program-space cell exists");
+            (cell.next, cell.next_var)
+        };
+        if was_valid {
+            // A safe read: dst inherits the field's provenance.
+            self.checker.record(MemEvent::PtrUpdate {
+                var: dst.var,
+                source: PtrSource::Copy(next_var),
+            });
+        }
+        // (On an unsafe read the checker has already tainted dst and
+        // marked it an invalid reference.)
+        dst.word = next;
+        next
+    }
+
+    /// Dereferences `src` to read the node's immutable key into the
+    /// scratch value variable `scratch`.
+    ///
+    /// Returns the key bits found in memory.
+    pub fn read_key(&mut self, tid: ThreadId, src: &Local, scratch: VarId) -> i64 {
+        let addr = src.word().addr;
+        let in_program_space = !self.system_space.contains(&addr);
+        self.checker.record(MemEvent::Deref {
+            thread: tid,
+            ptr: src.var,
+            kind: DerefKind::ReadValInto { dst: scratch },
+            in_program_space,
+        });
+        if !in_program_space {
+            return 0; // poisoned; the violation is already recorded
+        }
+        self.cells.get(&addr).expect("program-space cell exists").key
+    }
+
+    /// Initializing store of the `next` field of the (still local) node
+    /// referenced by `node_ptr`: `node.next := src` (with `mark`).
+    pub fn write_next(&mut self, tid: ThreadId, node_ptr: &Local, src: &Local, mark: bool) {
+        let addr = node_ptr.word().addr;
+        let in_program_space = !self.system_space.contains(&addr);
+        self.checker.record(MemEvent::Deref {
+            thread: tid,
+            ptr: node_ptr.var,
+            kind: DerefKind::Write,
+            in_program_space,
+        });
+        if !in_program_space {
+            return;
+        }
+        let src_var = src.var;
+        let word = src.word.map(|w| Word { addr: w.addr, mark });
+        let cell = self.cells.get_mut(&addr).expect("program-space cell exists");
+        cell.next = word;
+        let next_var = cell.next_var;
+        self.checker
+            .record(MemEvent::PtrUpdate { var: next_var, source: PtrSource::Copy(src_var) });
+    }
+
+    /// CAS on the `next` field of the node referenced by `target`:
+    /// succeeds iff the stored bits equal `expected` bit-for-bit (the
+    /// hardware comparison — incarnations are invisible to it, so ABA is
+    /// possible, exactly as on real memory).
+    ///
+    /// `new_src` provides both the new bits (with `new_mark`) and the
+    /// provenance for the field's validity tracking.
+    pub fn cas_next(
+        &mut self,
+        tid: ThreadId,
+        target: &Local,
+        expected: Option<Word>,
+        new_src: &Local,
+        new_mark: bool,
+    ) -> bool {
+        let addr = target.word().addr;
+        let in_program_space = !self.system_space.contains(&addr);
+        let current = if in_program_space {
+            self.cells.get(&addr).expect("program-space cell exists").next
+        } else {
+            None
+        };
+        let success = in_program_space && current == expected;
+        self.checker.record(MemEvent::Deref {
+            thread: tid,
+            ptr: target.var,
+            kind: if success { DerefKind::Write } else { DerefKind::FailedWrite },
+            in_program_space,
+        });
+        if success {
+            let src_var = new_src.var;
+            let word = new_src.word.map(|w| Word { addr: w.addr, mark: new_mark });
+            let cell = self.cells.get_mut(&addr).expect("program-space cell exists");
+            cell.next = word;
+            let next_var = cell.next_var;
+            self.checker
+                .record(MemEvent::PtrUpdate { var: next_var, source: PtrSource::Copy(src_var) });
+        }
+        success
+    }
+
+    /// Records that the program *used* the value held by a local (a
+    /// branch on the mark bit, a key comparison, …) — the trigger for
+    /// Condition 3 of Definition 4.2.
+    pub fn use_var(&mut self, tid: ThreadId, var: VarId) {
+        self.checker.record(MemEvent::UseVar { thread: tid, var });
+    }
+
+    /// Records an overwrite of a (non-pointer) scratch variable.
+    pub fn overwrite_var(&mut self, var: VarId) {
+        self.checker.record(MemEvent::OverwriteVar { var });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const T0: ThreadId = ThreadId(0);
+
+    fn setup() -> (SimHeap, Local, NodeId) {
+        let mut heap = SimHeap::new();
+        let mut p = heap.new_local();
+        let node = heap.alloc(T0, 5, &mut p);
+        (heap, p, node)
+    }
+
+    #[test]
+    fn alloc_produces_valid_pointer() {
+        let (heap, p, node) = setup();
+        assert_eq!(heap.validity(&p), Validity::Valid);
+        assert_eq!(heap.target(&p), Some(node));
+        assert_eq!(heap.sample().active, 1);
+    }
+
+    #[test]
+    fn read_next_through_valid_pointer_is_safe() {
+        let (mut heap, mut p, _) = setup();
+        let mut q = heap.new_local();
+        let mut r = heap.new_local();
+        heap.alloc(T0, 6, &mut q);
+        heap.write_next(T0, &p, &q, false);
+        let w = heap.read_next(T0, &p, &mut r);
+        assert_eq!(w, q.word);
+        assert_eq!(heap.validity(&r), Validity::Valid);
+        assert!(heap.verdict().all_accesses_safe());
+        let _ = &mut p;
+    }
+
+    #[test]
+    fn reclaimed_program_space_read_is_unsafe_but_tolerated() {
+        let (mut heap, p, node) = setup();
+        heap.share(&p);
+        heap.retire(node).unwrap();
+        heap.reclaim(node, false).unwrap();
+        let mut q = heap.new_local();
+        let _ = heap.read_next(T0, &p, &mut q);
+        let v = heap.verdict();
+        assert_eq!(v.unsafe_accesses.len(), 1);
+        assert!(v.is_smr(), "value not used yet");
+        // Branching on the tainted value breaks Condition 3.
+        heap.use_var(T0, q.var);
+        assert!(!heap.verdict().is_smr());
+    }
+
+    #[test]
+    fn system_space_read_is_a_condition1_violation() {
+        let (mut heap, p, node) = setup();
+        heap.share(&p);
+        heap.retire(node).unwrap();
+        heap.reclaim(node, true).unwrap();
+        let mut q = heap.new_local();
+        let w = heap.read_next(T0, &p, &mut q);
+        assert_eq!(w, None);
+        assert!(!heap.verdict().is_smr());
+    }
+
+    #[test]
+    fn reuse_returns_new_nodes_bits_aba_style() {
+        let (mut heap, p, node) = setup();
+        heap.share(&p);
+        heap.retire(node).unwrap();
+        heap.reclaim(node, false).unwrap();
+        // Reuse the address for a different node.
+        let mut fresh = heap.new_local();
+        let node2 = heap.alloc(T0, 99, &mut fresh);
+        assert_eq!(node2.addr, node.addr);
+        assert_eq!(node2.incarnation, node.incarnation + 1);
+        // The stale pointer reads the *new* node's content.
+        let mut q = heap.new_local();
+        heap.write_next(T0, &fresh, &fresh, true);
+        let w = heap.read_next(T0, &p, &mut q);
+        assert_eq!(w.map(|w| w.addr), Some(node2.addr));
+        assert_eq!(heap.verdict().unsafe_accesses.len(), 1);
+    }
+
+    #[test]
+    fn cas_compares_bits_not_incarnations() {
+        // Genuine ABA: a cell still holds the bits of a dead node; a CAS
+        // expecting those bits succeeds.
+        let mut heap = SimHeap::new();
+        let mut holder = heap.new_local();
+        let _holder_node = heap.alloc(T0, 0, &mut holder);
+        let mut a = heap.new_local();
+        let na = heap.alloc(T0, 1, &mut a);
+        heap.write_next(T0, &holder, &a, false);
+        heap.share(&holder);
+        heap.share(&a);
+        heap.retire(na).unwrap();
+        heap.reclaim(na, false).unwrap();
+        // holder.next still holds A's bits; CAS with those bits succeeds.
+        let null = heap.new_local();
+        let ok = heap.cas_next(T0, &holder, Some(Word { addr: na.addr, mark: false }), &null, false);
+        assert!(ok, "bit-level CAS must be ABA-prone");
+    }
+
+    #[test]
+    fn failed_cas_on_reclaimed_node_is_not_a_violation() {
+        let (mut heap, p, node) = setup();
+        heap.share(&p);
+        heap.retire(node).unwrap();
+        heap.reclaim(node, false).unwrap();
+        let null = heap.new_local();
+        let failed = heap.cas_next(
+            T0,
+            &p,
+            Some(Word { addr: 4242, mark: false }),
+            &null,
+            false,
+        );
+        assert!(!failed);
+        assert!(heap.verdict().is_smr(), "failed CAS is Condition-2 safe");
+        // A *successful* write through the invalid pointer would violate.
+        let current = {
+            // read the stale bits through an unsafe read (not used)
+            let mut tmp = heap.new_local();
+            heap.read_next(T0, &p, &mut tmp)
+        };
+        let ok = heap.cas_next(T0, &p, current, &null, false);
+        assert!(ok);
+        assert!(!heap.verdict().is_smr(), "mutating reclaimed memory violates");
+    }
+
+    #[test]
+    fn footprint_counters_flow_through() {
+        let (mut heap, p, node) = setup();
+        heap.share(&p);
+        assert_eq!(heap.sample(), FootprintSample { active: 1, max_active: 1, retired: 0 });
+        heap.retire(node).unwrap();
+        assert_eq!(heap.sample().retired, 1);
+        heap.reclaim(node, false).unwrap();
+        assert_eq!(heap.sample().retired, 0);
+    }
+
+    #[test]
+    fn key_reads_taint_when_unsafe() {
+        let (mut heap, p, node) = setup();
+        let scratch = heap.new_var();
+        assert_eq!(heap.read_key(T0, &p, scratch), 5);
+        heap.share(&p);
+        heap.retire(node).unwrap();
+        heap.reclaim(node, false).unwrap();
+        let _ = heap.read_key(T0, &p, scratch);
+        assert!(heap.verdict().is_smr());
+        heap.use_var(T0, scratch);
+        assert!(!heap.verdict().is_smr());
+    }
+}

@@ -1,0 +1,58 @@
+//! # era-sim — the deterministic shared-memory simulator
+//!
+//! This crate is the substrate that makes the ERA theorem's *proof*
+//! executable. It provides:
+//!
+//! * [`heap`] — a simulated heap with logical node incarnations,
+//!   program/system space, bit-level link words (ABA-faithful CAS), and
+//!   every access streamed through `era-core`'s Definition 4.1/4.2
+//!   safety oracle;
+//! * [`schemes`] — simulated reclamation schemes (EBR, HP, HE, IBR,
+//!   VBR, NBR, Leak) as per-primitive hooks, each carrying its static
+//!   Definition 5.3 interface description;
+//! * [`harris`] — a small-step interpreter for Harris's linked list
+//!   (Algorithm 1), one shared-memory access per step, so adversarial
+//!   schedules can pause a thread *anywhere*;
+//! * [`michael`] — the same for Michael's HP-compatible modification,
+//!   on which HP/HE/IBR are provably *safe* (§4.3) — the positive
+//!   counterpart to the Figure 1/2 violations;
+//! * [`progress`] — operational progress checks (solo-completion
+//!   sweeps, minimal progress) for Condition 3 of Definition 5.4;
+//! * [`theorem`] — the Theorem 6.1 construction (Figure 1): the paused
+//!   reader, the churning writer, the solo run, and the per-scheme
+//!   outcome (which ERA property was sacrificed);
+//! * [`figure2`] — the Appendix E counterexample (Figure 2) showing
+//!   HP/HE/IBR's protect-validate discipline failing on Harris's list;
+//! * [`phases`] — the Appendix C/D access-aware phase check for the
+//!   Harris interpreter.
+//!
+//! ## Example: replay the theorem against EBR
+//!
+//! ```
+//! use era_sim::schemes::SimEbr;
+//! use era_sim::theorem::{run_figure1, Sacrificed};
+//!
+//! let outcome = run_figure1(Box::new(SimEbr::new(2)), 64);
+//! // EBR is safe and easy — the property it gives up is robustness.
+//! assert_eq!(outcome.sacrificed, Sacrificed::Robustness);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod figure2;
+pub mod harris;
+pub mod heap;
+pub mod locked;
+pub mod michael;
+pub mod phases;
+pub mod progress;
+pub mod schemes;
+pub mod theorem;
+pub mod world;
+
+pub use harris::{HarrisOp, HarrisSim, OpKind};
+pub use michael::{MichaelOp, MichaelSim};
+pub use theorem::{run_figure1, Sacrificed, TheoremOutcome};
+pub use world::Sim;

@@ -1,0 +1,240 @@
+//! A deliberately *blocking* list — the negative control for the
+//! progress checker.
+//!
+//! Condition 3 of Definition 5.4 requires the integrated implementation
+//! to preserve the plain implementation's progress guarantee. The
+//! operational checks in [`crate::progress`] claim to detect blocking;
+//! this module provides a coarse-grained locked list so the claim can
+//! be validated: pause the lock holder anywhere inside its critical
+//! section and the solo-running peer spins forever, which the sweep
+//! reports as stuck.
+//!
+//! (The lock itself lives outside the simulated heap: the safety oracle
+//! tracks memory reclamation, and a mutex-protected list with no
+//! reclamation hazards is perfectly "safe" — it fails *progress*, not
+//! safety, which is exactly the distinction Definition 5.4 draws.)
+
+use era_core::ids::ThreadId;
+
+use crate::heap::Local;
+use crate::schemes::SimScheme;
+use crate::world::Sim;
+
+/// Interpreter state for one locked-list operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum State {
+    Begin,
+    Acquire,
+    Traverse,
+    Mutate,
+    Release,
+    Done,
+}
+
+/// Which operation to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LockedOpKind {
+    /// Insert a key.
+    Insert(i64),
+    /// Delete a key.
+    Delete(i64),
+}
+
+/// One in-flight operation on the locked list.
+#[derive(Debug)]
+pub struct LockedOp {
+    tid: ThreadId,
+    kind: LockedOpKind,
+    state: State,
+    cursor: Local,
+    result: Option<bool>,
+    /// Steps taken (spinning on the lock counts — that is the point).
+    pub steps: usize,
+}
+
+impl LockedOp {
+    /// The result once complete.
+    pub fn result(&self) -> Option<bool> {
+        self.result
+    }
+
+    /// Whether the operation holds the lock right now.
+    pub fn holds_lock(&self) -> bool {
+        matches!(self.state, State::Traverse | State::Mutate | State::Release)
+    }
+
+    /// Whether the operation has completed.
+    pub fn is_done(&self) -> bool {
+        self.state == State::Done
+    }
+}
+
+/// A coarse-grained locked sorted list in the simulator.
+#[derive(Debug)]
+pub struct LockedListSim {
+    /// The simulation world (reclamation is trivial here — retired
+    /// nodes are reclaimed immediately, safely, because the lock
+    /// serializes everything).
+    pub sim: Sim,
+    head: Local,
+    locked_by: Option<ThreadId>,
+    keys: Vec<i64>,
+}
+
+impl LockedListSim {
+    /// Builds an empty locked list.
+    pub fn new(scheme: Box<dyn SimScheme>) -> Self {
+        let mut sim = Sim::new(scheme);
+        let setup = ThreadId(0);
+        let mut head = sim.heap.new_local();
+        let head_node = sim.heap.alloc(setup, i64::MIN, &mut head);
+        sim.scheme.on_alloc(&mut sim.heap, head_node);
+        sim.heap.share(&head);
+        LockedListSim { sim, head, locked_by: None, keys: Vec::new() }
+    }
+
+    /// Starts an operation.
+    pub fn start_op(&mut self, tid: ThreadId, kind: LockedOpKind) -> LockedOp {
+        let cursor = self.sim.heap.new_local();
+        LockedOp { tid, kind, state: State::Begin, cursor, result: None, steps: 0 }
+    }
+
+    /// One step. A blocked acquire consumes a step without progress —
+    /// the behaviour the solo-completion sweep must catch.
+    pub fn step(&mut self, op: &mut LockedOp) -> bool {
+        if op.state == State::Done {
+            return true;
+        }
+        op.steps += 1;
+        match op.state {
+            State::Done => unreachable!(),
+            State::Begin => {
+                let Sim { heap, scheme, .. } = &mut self.sim;
+                scheme.begin_op(heap, op.tid);
+                op.state = State::Acquire;
+            }
+            State::Acquire => {
+                if self.locked_by.is_none() {
+                    self.locked_by = Some(op.tid);
+                    op.state = State::Traverse;
+                }
+                // else: spin — stay in Acquire.
+            }
+            State::Traverse => {
+                // Touch the head so the step is a real shared access.
+                let head = self.head;
+                self.sim.heap.read_global(&mut op.cursor, &head);
+                op.state = State::Mutate;
+            }
+            State::Mutate => {
+                let result = match op.kind {
+                    LockedOpKind::Insert(k) => {
+                        if self.keys.contains(&k) {
+                            false
+                        } else {
+                            self.keys.push(k);
+                            true
+                        }
+                    }
+                    LockedOpKind::Delete(k) => {
+                        if let Some(i) = self.keys.iter().position(|&x| x == k) {
+                            self.keys.remove(i);
+                            true
+                        } else {
+                            false
+                        }
+                    }
+                };
+                op.result = Some(result);
+                op.state = State::Release;
+            }
+            State::Release => {
+                debug_assert_eq!(self.locked_by, Some(op.tid));
+                self.locked_by = None;
+                let Sim { heap, scheme, .. } = &mut self.sim;
+                scheme.end_op(heap, op.tid);
+                op.state = State::Done;
+            }
+        }
+        op.state == State::Done
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schemes::SimLeak;
+
+    const T0: ThreadId = ThreadId(0);
+    const T1: ThreadId = ThreadId(1);
+
+    #[test]
+    fn sequential_ops_work() {
+        let mut sim = LockedListSim::new(Box::new(SimLeak));
+        let mut op = sim.start_op(T0, LockedOpKind::Insert(1));
+        while !sim.step(&mut op) {}
+        assert_eq!(op.result(), Some(true));
+        let mut op = sim.start_op(T0, LockedOpKind::Delete(1));
+        while !sim.step(&mut op) {}
+        assert_eq!(op.result(), Some(true));
+    }
+
+    #[test]
+    fn progress_sweep_detects_the_blocking() {
+        // The negative control: pause the lock holder inside its
+        // critical section; the solo thread must NOT complete.
+        let mut stuck_positions = 0usize;
+        let mut free_positions = 0usize;
+        for k in 0..8 {
+            let mut sim = LockedListSim::new(Box::new(SimLeak));
+            let mut adv = sim.start_op(T1, LockedOpKind::Insert(1));
+            let mut done_early = false;
+            for _ in 0..k {
+                if sim.step(&mut adv) {
+                    done_early = true;
+                    break;
+                }
+            }
+            if done_early {
+                break;
+            }
+            let holder_blocked = adv.holds_lock();
+            let mut solo = sim.start_op(T0, LockedOpKind::Insert(2));
+            let mut completed = false;
+            for _ in 0..10_000 {
+                if sim.step(&mut solo) {
+                    completed = true;
+                    break;
+                }
+            }
+            if completed {
+                free_positions += 1;
+                assert!(!holder_blocked, "completion while the adversary holds the lock?!");
+            } else {
+                stuck_positions += 1;
+                assert!(holder_blocked, "stuck without the adversary holding the lock?!");
+            }
+        }
+        assert!(stuck_positions > 0, "the sweep must find the blocking window");
+        assert!(free_positions > 0, "outside the critical section it is free");
+    }
+
+    #[test]
+    fn blocking_is_a_progress_failure_not_a_safety_failure() {
+        // Even at the stuck position, the Definition 4.2 oracle is
+        // silent: safety and progress are separate conditions of
+        // Definition 5.4, and the checkers separate them too.
+        let mut sim = LockedListSim::new(Box::new(SimLeak));
+        let mut adv = sim.start_op(T1, LockedOpKind::Insert(1));
+        for _ in 0..3 {
+            sim.step(&mut adv);
+        }
+        assert!(adv.holds_lock());
+        let mut solo = sim.start_op(T0, LockedOpKind::Insert(2));
+        for _ in 0..1_000 {
+            sim.step(&mut solo);
+        }
+        assert!(!solo.is_done());
+        assert!(sim.sim.heap.verdict().is_smr(), "blocked, but perfectly safe");
+    }
+}

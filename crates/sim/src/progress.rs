@@ -1,0 +1,223 @@
+//! Operational progress checking — Condition 3 of Definition 5.4.
+//!
+//! Lock-freedom (§3) is an infinite-history property, so it cannot be
+//! decided from one run; but its operational fingerprints can be
+//! checked exhaustively at small scale:
+//!
+//! * **solo completion** (the property the Theorem 6.1 proof leans on:
+//!   "as `T1` is the only effective thread, and as lock-freedom is
+//!   guaranteed, every such read operation by `T1` indeed terminates"):
+//!   for *every* prefix length `k`, pause an adversary thread after `k`
+//!   steps of its operation and solo-run the other thread — it must
+//!   complete within a budget, wherever the adversary was left standing;
+//! * **minimal progress**: under a fair round-robin schedule, some
+//!   pending operation always completes within a budget.
+//!
+//! A scheme that made the integrated list effectively blocking (say, a
+//! reader waiting on a writer's lock) would fail the sweep at some `k`.
+
+use era_core::ids::ThreadId;
+
+use crate::harris::{HarrisSim, OpKind};
+use crate::schemes::SimScheme;
+
+/// Result of a progress sweep.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProgressReport {
+    /// Scheme name.
+    pub scheme: String,
+    /// Pause positions exercised.
+    pub positions: usize,
+    /// Positions at which the solo run failed to complete in budget
+    /// (empty ⇒ non-blocking at this scale).
+    pub stuck_at: Vec<usize>,
+    /// Whether a Definition 4.2 violation aborted a solo run (counted
+    /// separately — that is an applicability failure, not a progress
+    /// failure).
+    pub violations: usize,
+}
+
+impl ProgressReport {
+    /// Whether every solo run completed (no blocking observed).
+    pub fn is_nonblocking(&self) -> bool {
+        self.stuck_at.is_empty()
+    }
+}
+
+/// Schedule sweep: for every `k`, run the adversary's operation for `k`
+/// steps, then solo-run a fresh operation of the other thread.
+///
+/// `adversary`/`solo` are the operations to interleave; `max_k` bounds
+/// the sweep (the adversary is re-created per position, so positions
+/// past its completion are skipped).
+pub fn solo_completion_sweep(
+    factory: impl Fn() -> Box<dyn SimScheme>,
+    adversary: OpKind,
+    solo: OpKind,
+    max_k: usize,
+) -> ProgressReport {
+    let name = factory().name().to_string();
+    let mut stuck_at = Vec::new();
+    let mut violations = 0usize;
+    let mut positions = 0usize;
+    let t_adv = ThreadId(1);
+    let t_solo = ThreadId(0);
+    for k in 0..max_k {
+        let mut sim = HarrisSim::new(factory());
+        // A small populated list so traversals are non-trivial.
+        for key in [1, 3, 5] {
+            assert!(sim.run_op(t_adv, OpKind::Insert(key)));
+        }
+        let mut adv = sim.start_op(t_adv, adversary);
+        let mut done_early = false;
+        for _ in 0..k {
+            if sim.step(&mut adv) {
+                done_early = true;
+                break;
+            }
+        }
+        if done_early {
+            break; // k exceeds the adversary's length: sweep complete
+        }
+        positions += 1;
+        // Solo-run the other thread with a generous budget.
+        let mut op = sim.start_op(t_solo, solo);
+        let mut completed = false;
+        for _ in 0..100_000 {
+            if sim.step(&mut op) {
+                completed = true;
+                break;
+            }
+            if !sim.sim.heap.verdict().is_smr() {
+                violations += 1;
+                completed = true; // aborted by the oracle, not blocked
+                break;
+            }
+        }
+        if !completed {
+            stuck_at.push(k);
+        }
+    }
+    ProgressReport { scheme: name, positions, stuck_at, violations }
+}
+
+/// Minimal progress under round-robin: both threads run operation
+/// streams; within every window of `budget` steps, at least one
+/// operation completes.
+pub fn minimal_progress_round_robin(
+    factory: impl Fn() -> Box<dyn SimScheme>,
+    total_ops: usize,
+    budget: usize,
+) -> bool {
+    let t0 = ThreadId(0);
+    let t1 = ThreadId(1);
+    let mut sim = HarrisSim::new(factory());
+    let kinds = [
+        OpKind::Insert(1),
+        OpKind::Delete(1),
+        OpKind::Insert(2),
+        OpKind::Contains(1),
+        OpKind::Delete(2),
+    ];
+    let mut ops = [
+        Some(sim.start_op(t0, kinds[0])),
+        Some(sim.start_op(t1, kinds[1])),
+    ];
+    let mut next_kind = [2usize % kinds.len(), 3usize % kinds.len()];
+    let mut completed = 0usize;
+    let mut steps_since_completion = 0usize;
+    while completed < total_ops {
+        for (i, slot) in ops.iter_mut().enumerate() {
+            let tid = if i == 0 { t0 } else { t1 };
+            if slot.is_none() {
+                let kind = kinds[next_kind[i]];
+                next_kind[i] = (next_kind[i] + 1) % kinds.len();
+                *slot = Some(sim.start_op(tid, kind));
+            }
+            if let Some(op) = slot {
+                if sim.step(op) {
+                    *slot = None;
+                    completed += 1;
+                    steps_since_completion = 0;
+                } else {
+                    steps_since_completion += 1;
+                    if steps_since_completion > budget {
+                        return false; // no one finished in a full window
+                    }
+                }
+            }
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schemes::{SimEbr, SimLeak, SimNbr, SimVbr};
+
+    #[test]
+    fn ebr_solo_runs_complete_from_every_pause_position() {
+        let r = solo_completion_sweep(
+            || Box::new(SimEbr::new(2)),
+            OpKind::Delete(3),
+            OpKind::Insert(4),
+            200,
+        );
+        assert!(r.is_nonblocking(), "{r:?}");
+        assert_eq!(r.violations, 0);
+        assert!(r.positions > 5, "the sweep must cover real positions");
+    }
+
+    #[test]
+    fn vbr_and_nbr_solo_runs_complete_despite_rollbacks() {
+        for (name, r) in [
+            (
+                "VBR",
+                solo_completion_sweep(
+                    || Box::new(SimVbr::new()),
+                    OpKind::Delete(3),
+                    OpKind::Insert(4),
+                    200,
+                ),
+            ),
+            (
+                "NBR",
+                solo_completion_sweep(
+                    || Box::new(SimNbr::new(2, 1)),
+                    OpKind::Delete(3),
+                    OpKind::Insert(4),
+                    200,
+                ),
+            ),
+        ] {
+            assert!(r.is_nonblocking(), "{name}: {r:?}");
+            assert_eq!(r.violations, 0, "{name}");
+        }
+    }
+
+    #[test]
+    fn sweep_covers_adversary_mid_write_positions() {
+        // Pausing the adversary *between its mark and unlink CASes* is
+        // the interesting case: the solo thread must unlink the marked
+        // node itself and proceed.
+        let r = solo_completion_sweep(
+            || Box::new(SimLeak),
+            OpKind::Delete(3),
+            OpKind::Delete(3), // same key: must cope with the half-done delete
+            200,
+        );
+        assert!(r.is_nonblocking(), "{r:?}");
+    }
+
+    #[test]
+    fn minimal_progress_under_round_robin() {
+        for factory in [
+            || Box::new(SimEbr::new(2)) as Box<dyn SimScheme>,
+            || Box::new(SimVbr::new()) as Box<dyn SimScheme>,
+            || Box::new(SimNbr::new(2, 2)) as Box<dyn SimScheme>,
+        ] {
+            assert!(minimal_progress_round_robin(factory, 40, 10_000));
+        }
+    }
+}

@@ -1,0 +1,76 @@
+//! The simulation world: heap + scheme + monitors + history.
+
+use era_core::applicability::{AccessAwareChecker, PhaseEvent};
+use era_core::history::{History, Op, Ret};
+use era_core::ids::{ObjectId, ThreadId};
+use era_core::integration::IntegrationMonitor;
+use era_core::robustness::FootprintSample;
+
+use crate::heap::SimHeap;
+use crate::schemes::SimScheme;
+
+/// The object id under which set operations are recorded in the history.
+pub const SET_OBJECT: ObjectId = ObjectId(1);
+
+/// Everything one simulated execution owns.
+#[derive(Debug)]
+pub struct Sim {
+    /// The shared heap with the safety oracle.
+    pub heap: SimHeap,
+    /// The integrated reclamation scheme.
+    pub scheme: Box<dyn SimScheme>,
+    /// Roll-back / foreign-field monitor (Definition 5.3 dynamic side).
+    pub monitor: IntegrationMonitor,
+    /// History of set-operation invocations/responses (§3).
+    pub history: History,
+    /// Footprint samples taken via [`Sim::sample`].
+    pub samples: Vec<FootprintSample>,
+    /// Optional Appendix C access-aware phase checker (enabled via
+    /// [`Sim::enable_phase_check`]).
+    pub phases: Option<AccessAwareChecker>,
+}
+
+impl Sim {
+    /// Creates a world around `scheme`.
+    pub fn new(scheme: Box<dyn SimScheme>) -> Self {
+        Sim {
+            heap: SimHeap::new(),
+            scheme,
+            monitor: IntegrationMonitor::new(),
+            history: History::new(),
+            samples: Vec::new(),
+            phases: None,
+        }
+    }
+
+    /// Turns on the Appendix C phase-discipline checker; the Harris
+    /// interpreter then emits the Appendix D phase division.
+    pub fn enable_phase_check(&mut self) {
+        self.phases = Some(AccessAwareChecker::new());
+    }
+
+    /// Emits a phase event when checking is enabled.
+    pub fn phase_event(&mut self, tid: ThreadId, event: PhaseEvent) {
+        if let Some(chk) = &mut self.phases {
+            chk.record(tid, event);
+        }
+    }
+
+    /// Records an operation invocation in the history.
+    pub fn record_invoke(&mut self, tid: ThreadId, op: Op) {
+        self.history.invoke(tid, SET_OBJECT, op);
+    }
+
+    /// Records an operation response in the history.
+    pub fn record_response(&mut self, tid: ThreadId, ret: Ret) {
+        self.history.respond(tid, SET_OBJECT, ret);
+    }
+
+    /// Takes (and stores) a footprint sample of the current
+    /// configuration.
+    pub fn sample(&mut self) -> FootprintSample {
+        let s = self.heap.sample();
+        self.samples.push(s);
+        s
+    }
+}

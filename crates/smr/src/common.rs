@@ -1,0 +1,398 @@
+//! The common surface of pointer-based reclamation schemes.
+//!
+//! [`Smr`]'s methods map one-to-one onto the insertion points allowed by
+//! Definition 5.3 (easy integration) plus the extra hooks that the
+//! *non-easy* schemes (NBR) require:
+//!
+//! | Method | Def. 5.3 call site |
+//! |---|---|
+//! | [`Smr::begin_op`] / [`Smr::end_op`] | operation boundaries |
+//! | [`Smr::load`] | primitive (read) replacement |
+//! | [`Smr::init_header`] | alloc replacement |
+//! | [`Smr::retire`] | retire replacement |
+//! | [`Smr::enter_read_phase`], [`Smr::needs_restart`], [`Smr::reserve`], [`Smr::commit_reservations`] | **arbitrary** code locations — using them is what makes an integration non-easy |
+
+use std::fmt;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+/// Reclamation-scheme-owned header embedded in every node.
+///
+/// Condition 5 of Definition 5.3 allows a scheme to *add* fields to the
+/// node layout. This is that field: data structures embed one
+/// `SmrHeader` per node and hand it to [`Smr::init_header`] right after
+/// allocation and to [`Smr::retire`] on retirement. Epoch-free schemes
+/// (EBR, HP, leak) ignore it; HE/IBR store the node's birth era in it.
+#[derive(Debug, Default)]
+#[repr(C)]
+pub struct SmrHeader {
+    /// Era/epoch at allocation (HE/IBR); unused otherwise.
+    pub birth_era: AtomicU64,
+}
+
+impl SmrHeader {
+    /// A fresh header (birth era 0).
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+/// Destructor for a retired node: must free exactly the allocation that
+/// produced the pointer.
+pub type DropFn = unsafe fn(*mut u8);
+
+/// A node awaiting reclamation.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Retired {
+    pub ptr: *mut u8,
+    pub birth_era: u64,
+    pub retire_era: u64,
+    pub drop_fn: DropFn,
+}
+
+// Retired nodes are plain data; the schemes guarantee exclusive access.
+unsafe impl Send for Retired {}
+
+impl Retired {
+    /// # Safety
+    ///
+    /// Caller promises `ptr` is exclusively owned garbage.
+    pub unsafe fn free(self) {
+        unsafe { (self.drop_fn)(self.ptr) }
+    }
+}
+
+/// Shared footprint counters every scheme maintains.
+#[derive(Debug, Default)]
+pub(crate) struct StatCells {
+    pub retired_now: AtomicUsize,
+    pub total_retired: AtomicU64,
+    pub total_reclaimed: AtomicU64,
+}
+
+impl StatCells {
+    pub fn on_retire(&self) {
+        self.retired_now.fetch_add(1, Ordering::Relaxed);
+        self.total_retired.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn on_reclaim(&self, n: usize) {
+        if n > 0 {
+            self.retired_now.fetch_sub(n, Ordering::Relaxed);
+            self.total_reclaimed.fetch_add(n as u64, Ordering::Relaxed);
+        }
+    }
+
+    pub fn snapshot(&self, era: u64) -> SmrStats {
+        SmrStats {
+            retired_now: self.retired_now.load(Ordering::Relaxed),
+            total_retired: self.total_retired.load(Ordering::Relaxed),
+            total_reclaimed: self.total_reclaimed.load(Ordering::Relaxed),
+            era,
+        }
+    }
+}
+
+/// A snapshot of a scheme's footprint counters — the raw material of
+/// the §5.1 robustness measurements.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SmrStats {
+    /// Nodes retired and not yet reclaimed, right now.
+    pub retired_now: usize,
+    /// Total retire calls so far.
+    pub total_retired: u64,
+    /// Total nodes reclaimed so far.
+    pub total_reclaimed: u64,
+    /// Current global era/epoch (0 for schemes without one).
+    pub era: u64,
+}
+
+impl fmt::Display for SmrStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "retired_now={} total_retired={} total_reclaimed={} era={}",
+            self.retired_now, self.total_retired, self.total_reclaimed, self.era
+        )
+    }
+}
+
+/// Registration failed: every thread slot is taken.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RegisterError {
+    /// The scheme's configured capacity.
+    pub capacity: usize,
+}
+
+impl fmt::Display for RegisterError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "all {} thread slots are in use", self.capacity)
+    }
+}
+
+impl std::error::Error for RegisterError {}
+
+/// A pointer-based safe memory reclamation scheme.
+///
+/// The per-thread state lives in [`Smr::ThreadCtx`]; every method takes
+/// the scheme (`&self`, shared between threads) and the calling thread's
+/// context (`&mut`). Contexts release their slot and hand leftover
+/// garbage back to the scheme when dropped; the scheme frees all
+/// remaining garbage when *it* is dropped (at that point no thread can
+/// hold references).
+///
+/// # Safety contract of `retire`
+///
+/// `retire` is `unsafe`: the caller promises the node is unreachable
+/// from every entry point, will not be retired again, and that `drop_fn`
+/// frees exactly the allocation behind `ptr`. This mirrors the paper's
+/// §4.1 assumption that the plain implementation issues correct
+/// `retire()` calls.
+pub trait Smr: Send + Sync {
+    /// Per-thread state.
+    type ThreadCtx: Send;
+
+    /// Registers the calling thread.
+    ///
+    /// # Errors
+    ///
+    /// [`RegisterError`] when the configured thread capacity is
+    /// exhausted (the schemes are *transparent* up to their capacity:
+    /// threads may come and go, slots are recycled).
+    fn register(&self) -> Result<Self::ThreadCtx, RegisterError>;
+
+    /// Scheme name for reports.
+    fn name(&self) -> &'static str;
+
+    /// Called on entry to every data-structure operation.
+    fn begin_op(&self, ctx: &mut Self::ThreadCtx);
+
+    /// Called before every data-structure operation returns.
+    fn end_op(&self, ctx: &mut Self::ThreadCtx);
+
+    /// Protected load of the link word `src`, using protection slot
+    /// `slot` where the scheme protects (HP/HE publish-and-validate;
+    /// epoch schemes are plain loads).
+    ///
+    /// Link words may carry low-bit tags (Harris marks); protection
+    /// applies to the untagged address.
+    fn load(&self, ctx: &mut Self::ThreadCtx, slot: usize, src: &AtomicUsize) -> usize {
+        let _ = (ctx, slot);
+        src.load(Ordering::SeqCst)
+    }
+
+    /// Initializes the scheme header of a freshly allocated node.
+    fn init_header(&self, ctx: &mut Self::ThreadCtx, header: &SmrHeader) {
+        let _ = (ctx, header);
+    }
+
+    /// Hands an unreachable node to the scheme.
+    ///
+    /// `header` may be null for schemes that ignore it (EBR/HP/leak);
+    /// HE/IBR read the birth era from it.
+    ///
+    /// # Safety
+    ///
+    /// See the trait-level contract.
+    unsafe fn retire(
+        &self,
+        ctx: &mut Self::ThreadCtx,
+        ptr: *mut u8,
+        header: *const SmrHeader,
+        drop_fn: DropFn,
+    );
+
+    /// NBR hook: the thread enters (or restarts) a read-only phase.
+    fn enter_read_phase(&self, ctx: &mut Self::ThreadCtx) {
+        let _ = ctx;
+    }
+
+    /// NBR hook: poll for neutralization. `true` means the thread must
+    /// drop every pointer it collected in the current read phase and
+    /// restart it. Easy-integrated schemes never request a restart.
+    fn needs_restart(&self, ctx: &mut Self::ThreadCtx) -> bool {
+        let _ = ctx;
+        false
+    }
+
+    /// NBR hook: publish a reservation for the (untagged) node address
+    /// `word` in reservation slot `slot` ahead of a write phase.
+    fn reserve(&self, ctx: &mut Self::ThreadCtx, slot: usize, word: usize) {
+        let _ = (ctx, slot, word);
+    }
+
+    /// NBR hook: after publishing reservations, verify no neutralization
+    /// intervened; `false` means restart the read phase (reservations
+    /// are void). Easy schemes return `true`.
+    fn commit_reservations(&self, ctx: &mut Self::ThreadCtx) -> bool {
+        let _ = ctx;
+        true
+    }
+
+    /// NBR hook: drop all reservations (end of write phase).
+    fn clear_reservations(&self, ctx: &mut Self::ThreadCtx) {
+        let _ = ctx;
+    }
+
+    /// Footprint counters.
+    fn stats(&self) -> SmrStats;
+
+    /// Eagerly attempt reclamation on this thread's garbage (useful in
+    /// tests and shutdown paths; never required for correctness).
+    fn flush(&self, ctx: &mut Self::ThreadCtx) {
+        let _ = ctx;
+    }
+}
+
+/// Marker: the scheme's `load` is safe even when traversing *retired*
+/// (marked, unlinked) nodes — the capability Harris's linked list
+/// requires and HP/HE/IBR famously lack (Appendix E).
+///
+/// # Safety
+///
+/// Implementors promise that any pointer obtained through `load` between
+/// `begin_op`/`enter_read_phase` and the corresponding
+/// `end_op`/restart remains dereferenceable even if the node it names
+/// was retired before or during the traversal.
+pub unsafe trait SupportsUnlinkedTraversal: Smr {}
+
+/// Marker: `begin_op`/`end_op` alone protect *every* access in between —
+/// no per-pointer reservations, no restart polling (epoch-style
+/// schemes: EBR and the leaking baseline).
+///
+/// Structures with many simultaneously-held pointers (the skip list,
+/// whose hazard-pointer count would grow with the tower height — the
+/// §5.1 discussion) demand this; integrating a reservation-based scheme
+/// there is exactly the "non-trivial integration" the paper describes.
+///
+/// # Safety
+///
+/// Implementors promise that between `begin_op` and `end_op`, no node
+/// that was reachable at any point since `begin_op` is reclaimed.
+pub unsafe trait EpochProtected: SupportsUnlinkedTraversal {}
+
+/// Lock-free slot registry: fixed capacity, acquire/release by CAS.
+#[derive(Debug)]
+pub(crate) struct SlotRegistry {
+    in_use: Box<[std::sync::atomic::AtomicBool]>,
+}
+
+impl SlotRegistry {
+    pub fn new(capacity: usize) -> Self {
+        let v: Vec<std::sync::atomic::AtomicBool> =
+            (0..capacity).map(|_| std::sync::atomic::AtomicBool::new(false)).collect();
+        SlotRegistry { in_use: v.into_boxed_slice() }
+    }
+
+    pub fn capacity(&self) -> usize {
+        self.in_use.len()
+    }
+
+    pub fn acquire(&self) -> Result<usize, RegisterError> {
+        for (i, slot) in self.in_use.iter().enumerate() {
+            if slot
+                .compare_exchange(false, true, Ordering::SeqCst, Ordering::SeqCst)
+                .is_ok()
+            {
+                return Ok(i);
+            }
+        }
+        Err(RegisterError { capacity: self.in_use.len() })
+    }
+
+    pub fn release(&self, idx: usize) {
+        self.in_use[idx].store(false, Ordering::SeqCst);
+    }
+
+    pub fn is_in_use(&self, idx: usize) -> bool {
+        self.in_use[idx].load(Ordering::SeqCst)
+    }
+}
+
+/// Strips low-bit tags (Harris marks) off a link word.
+#[inline]
+pub fn untagged(word: usize) -> usize {
+    word & !0b11
+}
+
+/// Whether the link word carries the deletion mark.
+#[inline]
+pub fn is_marked(word: usize) -> bool {
+    word & 0b1 == 0b1
+}
+
+/// Sets the deletion mark on a link word.
+#[inline]
+pub fn with_mark(word: usize) -> usize {
+    word | 0b1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tag_helpers() {
+        let p = 0x1000usize;
+        assert!(!is_marked(p));
+        let m = with_mark(p);
+        assert!(is_marked(m));
+        assert_eq!(untagged(m), p);
+        assert_eq!(untagged(p), p);
+    }
+
+    #[test]
+    fn slot_registry_acquire_release() {
+        let r = SlotRegistry::new(2);
+        assert_eq!(r.capacity(), 2);
+        let a = r.acquire().unwrap();
+        let b = r.acquire().unwrap();
+        assert_ne!(a, b);
+        assert!(r.acquire().is_err());
+        assert!(r.is_in_use(a));
+        r.release(a);
+        assert!(!r.is_in_use(a));
+        let c = r.acquire().unwrap();
+        assert_eq!(c, a);
+    }
+
+    #[test]
+    fn slot_registry_concurrent_uniqueness() {
+        use std::collections::HashSet;
+        use std::sync::Mutex;
+        let r = SlotRegistry::new(64);
+        let seen = Mutex::new(HashSet::new());
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|| {
+                    for _ in 0..100 {
+                        let idx = r.acquire().unwrap();
+                        assert!(seen.lock().unwrap().insert(idx), "slot {idx} double-acquired");
+                        seen.lock().unwrap().remove(&idx);
+                        r.release(idx);
+                    }
+                });
+            }
+        });
+    }
+
+    #[test]
+    fn stat_cells_roundtrip() {
+        let s = StatCells::default();
+        s.on_retire();
+        s.on_retire();
+        s.on_reclaim(1);
+        s.on_reclaim(0);
+        let snap = s.snapshot(7);
+        assert_eq!(snap.retired_now, 1);
+        assert_eq!(snap.total_retired, 2);
+        assert_eq!(snap.total_reclaimed, 1);
+        assert_eq!(snap.era, 7);
+        assert!(snap.to_string().contains("retired_now=1"));
+    }
+
+    #[test]
+    fn register_error_display() {
+        let e = RegisterError { capacity: 4 };
+        assert_eq!(e.to_string(), "all 4 thread slots are in use");
+    }
+}

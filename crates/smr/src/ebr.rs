@@ -1,0 +1,410 @@
+//! Epoch-based reclamation (EBR) — Fraser [16], Harris [19], Brown [8].
+//!
+//! The scheme the paper proves *strongly applicable* (Appendix A) and
+//! uses as the canonical easily-integrated scheme (§5.2): the execution
+//! is divided into epochs; threads announce the global epoch on
+//! `begin_op` and a quiescent state on `end_op`; the epoch advances only
+//! when every in-operation thread has announced the current epoch; a
+//! node retired in epoch `e` is reclaimed once the global epoch reaches
+//! `e + 2`, at which point no thread can still hold a reference.
+//!
+//! The price is robustness: a single stalled thread pins its announced
+//! epoch forever, the epoch never advances, and every subsequently
+//! retired node accumulates — the engine of the paper's Theorem 6.1
+//! construction (Figure 1).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use crate::common::{
+    DropFn, RegisterError, Retired, SlotRegistry, Smr, SmrHeader, SmrStats, StatCells,
+    SupportsUnlinkedTraversal,
+};
+
+/// Announcement value meaning "not inside any operation".
+const QUIESCENT: u64 = u64::MAX;
+
+#[derive(Debug)]
+struct EbrInner {
+    epoch: AtomicU64,
+    announcements: Box<[AtomicU64]>,
+    registry: SlotRegistry,
+    stats: StatCells,
+    orphans: Mutex<Vec<Retired>>,
+    retire_threshold: usize,
+}
+
+impl EbrInner {
+    /// Advances the epoch if every registered, in-operation thread has
+    /// announced the current value. Returns the (possibly new) epoch.
+    fn try_advance(&self) -> u64 {
+        let e = self.epoch.load(Ordering::SeqCst);
+        for i in 0..self.registry.capacity() {
+            if !self.registry.is_in_use(i) {
+                continue;
+            }
+            let a = self.announcements[i].load(Ordering::SeqCst);
+            if a != QUIESCENT && a != e {
+                return e; // someone lags: cannot advance
+            }
+        }
+        // CAS failure means someone else advanced; either way progress.
+        let _ = self
+            .epoch
+            .compare_exchange(e, e + 1, Ordering::SeqCst, Ordering::SeqCst);
+        self.epoch.load(Ordering::SeqCst)
+    }
+}
+
+impl Drop for EbrInner {
+    fn drop(&mut self) {
+        let orphans = std::mem::take(&mut *self.orphans.lock().unwrap());
+        let n = orphans.len();
+        for g in orphans {
+            unsafe { g.free() };
+        }
+        self.stats.on_reclaim(n);
+    }
+}
+
+/// Epoch-based reclamation.
+///
+/// # Example
+///
+/// ```
+/// use era_smr::{ebr::Ebr, Smr};
+///
+/// let smr = Ebr::new(4);
+/// let mut ctx = smr.register().unwrap();
+/// smr.begin_op(&mut ctx);
+/// /* …data-structure operation… */
+/// smr.end_op(&mut ctx);
+/// assert_eq!(smr.name(), "EBR");
+/// ```
+#[derive(Debug, Clone)]
+pub struct Ebr {
+    inner: Arc<EbrInner>,
+}
+
+/// Per-thread context for [`Ebr`]: the slot index and the three
+/// epoch-tagged local retire lists of Appendix A.
+#[derive(Debug)]
+pub struct EbrCtx {
+    inner: Arc<EbrInner>,
+    idx: usize,
+    lists: [Vec<Retired>; 3],
+    list_epochs: [u64; 3],
+    retired_since_scan: usize,
+}
+
+impl EbrCtx {
+    /// Frees every local list whose epoch is ≤ `epoch - 2`.
+    fn collect(&mut self, epoch: u64) {
+        for i in 0..3 {
+            if !self.lists[i].is_empty() && self.list_epochs[i] + 2 <= epoch {
+                let n = self.lists[i].len();
+                for g in self.lists[i].drain(..) {
+                    unsafe { g.free() };
+                }
+                self.inner.stats.on_reclaim(n);
+            }
+        }
+    }
+}
+
+impl Drop for EbrCtx {
+    fn drop(&mut self) {
+        let mut orphans = self.inner.orphans.lock().unwrap();
+        for list in &mut self.lists {
+            orphans.append(list);
+        }
+        drop(orphans);
+        self.inner.announcements[self.idx].store(QUIESCENT, Ordering::SeqCst);
+        self.inner.registry.release(self.idx);
+    }
+}
+
+impl Ebr {
+    /// Default local-retire-list length that triggers a reclamation
+    /// attempt.
+    pub const DEFAULT_RETIRE_THRESHOLD: usize = 64;
+
+    /// Creates an EBR instance for up to `max_threads` threads.
+    pub fn new(max_threads: usize) -> Self {
+        Self::with_threshold(max_threads, Self::DEFAULT_RETIRE_THRESHOLD)
+    }
+
+    /// Creates an EBR instance with a custom retire threshold.
+    pub fn with_threshold(max_threads: usize, retire_threshold: usize) -> Self {
+        let announcements: Vec<AtomicU64> =
+            (0..max_threads).map(|_| AtomicU64::new(QUIESCENT)).collect();
+        Ebr {
+            inner: Arc::new(EbrInner {
+                epoch: AtomicU64::new(2), // start >1 so `e-2` never underflows
+                announcements: announcements.into_boxed_slice(),
+                registry: SlotRegistry::new(max_threads),
+                stats: StatCells::default(),
+                orphans: Mutex::new(Vec::new()),
+                retire_threshold: retire_threshold.max(1),
+            }),
+        }
+    }
+
+    /// The current global epoch.
+    pub fn epoch(&self) -> u64 {
+        self.inner.epoch.load(Ordering::SeqCst)
+    }
+}
+
+impl Smr for Ebr {
+    type ThreadCtx = EbrCtx;
+
+    fn register(&self) -> Result<EbrCtx, RegisterError> {
+        let idx = self.inner.registry.acquire()?;
+        self.inner.announcements[idx].store(QUIESCENT, Ordering::SeqCst);
+        Ok(EbrCtx {
+            inner: Arc::clone(&self.inner),
+            idx,
+            lists: [Vec::new(), Vec::new(), Vec::new()],
+            list_epochs: [0; 3],
+            retired_since_scan: 0,
+        })
+    }
+
+    fn name(&self) -> &'static str {
+        "EBR"
+    }
+
+    fn begin_op(&self, ctx: &mut EbrCtx) {
+        // Announce the current epoch; re-read to narrow the window in
+        // which we announce a stale value (a stale announcement is safe
+        // but blocks advancement).
+        loop {
+            let e = self.inner.epoch.load(Ordering::SeqCst);
+            self.inner.announcements[ctx.idx].store(e, Ordering::SeqCst);
+            if self.inner.epoch.load(Ordering::SeqCst) == e {
+                break;
+            }
+        }
+    }
+
+    fn end_op(&self, ctx: &mut EbrCtx) {
+        self.inner.announcements[ctx.idx].store(QUIESCENT, Ordering::SeqCst);
+    }
+
+    unsafe fn retire(
+        &self,
+        ctx: &mut EbrCtx,
+        ptr: *mut u8,
+        _header: *const SmrHeader,
+        drop_fn: DropFn,
+    ) {
+        let e = self.inner.epoch.load(Ordering::SeqCst);
+        let slot = (e % 3) as usize;
+        if ctx.list_epochs[slot] != e {
+            // The list holds epoch e-3 (≤ e-2) garbage: free it first.
+            if !ctx.lists[slot].is_empty() {
+                let n = ctx.lists[slot].len();
+                for g in ctx.lists[slot].drain(..) {
+                    unsafe { g.free() };
+                }
+                self.inner.stats.on_reclaim(n);
+            }
+            ctx.list_epochs[slot] = e;
+        }
+        ctx.lists[slot].push(Retired { ptr, birth_era: 0, retire_era: e, drop_fn });
+        self.inner.stats.on_retire();
+        ctx.retired_since_scan += 1;
+        if ctx.retired_since_scan >= self.inner.retire_threshold {
+            ctx.retired_since_scan = 0;
+            let epoch = self.inner.try_advance();
+            ctx.collect(epoch);
+        }
+    }
+
+    fn stats(&self) -> SmrStats {
+        self.inner.stats.snapshot(self.inner.epoch.load(Ordering::SeqCst))
+    }
+
+    fn flush(&self, ctx: &mut EbrCtx) {
+        let e = self.inner.try_advance();
+        let e = if e == self.inner.epoch.load(Ordering::SeqCst) {
+            // A second attempt helps the common single-threaded case:
+            // advancing twice makes the previous epoch's garbage eligible.
+            self.inner.try_advance()
+        } else {
+            e
+        };
+        ctx.collect(e);
+        // Adopt orphaned garbage from departed threads: anything retired
+        // two or more epochs ago is reclaimable by whoever finds it.
+        let eligible: Vec<Retired> = {
+            let mut orphans = self.inner.orphans.lock().unwrap();
+            let (free, keep): (Vec<_>, Vec<_>) =
+                orphans.drain(..).partition(|g| g.retire_era + 2 <= e);
+            *orphans = keep;
+            free
+        };
+        let n = eligible.len();
+        for g in eligible {
+            unsafe { g.free() };
+        }
+        self.inner.stats.on_reclaim(n);
+    }
+}
+
+// Between begin_op and end_op the announced epoch pins every node that
+// was reachable since the announcement: nothing retired during the
+// operation can be reclaimed before it ends.
+unsafe impl crate::common::EpochProtected for Ebr {}
+
+// EBR's epoch discipline makes traversal of retired nodes safe: a node
+// is only reclaimed two epochs after retirement, and every traversal
+// running in an operation pins its announced epoch.
+unsafe impl SupportsUnlinkedTraversal for Ebr {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    unsafe fn free_u64(p: *mut u8) {
+        unsafe { drop(Box::from_raw(p as *mut u64)) }
+    }
+
+    fn retire_one(smr: &Ebr, ctx: &mut EbrCtx, v: u64) {
+        let p = Box::into_raw(Box::new(v)) as *mut u8;
+        unsafe { smr.retire(ctx, p, std::ptr::null(), free_u64) };
+    }
+
+    #[test]
+    fn epoch_advances_when_all_quiescent() {
+        let smr = Ebr::new(2);
+        let e0 = smr.epoch();
+        let mut ctx = smr.register().unwrap();
+        smr.begin_op(&mut ctx);
+        smr.end_op(&mut ctx);
+        smr.flush(&mut ctx);
+        assert!(smr.epoch() > e0);
+    }
+
+    #[test]
+    fn garbage_reclaimed_after_two_epochs() {
+        let smr = Ebr::with_threshold(2, 1);
+        let mut ctx = smr.register().unwrap();
+        smr.begin_op(&mut ctx);
+        for i in 0..10 {
+            retire_one(&smr, &mut ctx, i);
+        }
+        smr.end_op(&mut ctx);
+        // A few flushes advance the epoch enough to free everything.
+        for _ in 0..4 {
+            smr.flush(&mut ctx);
+        }
+        let st = smr.stats();
+        assert_eq!(st.retired_now, 0, "{st}");
+        assert_eq!(st.total_reclaimed, 10);
+    }
+
+    #[test]
+    fn stalled_thread_blocks_reclamation() {
+        // The non-robustness witness (Definition 5.1 failure).
+        let smr = Ebr::with_threshold(2, 1);
+        let mut stalled = smr.register().unwrap();
+        smr.begin_op(&mut stalled); // announces the epoch and never ends
+        let e_before = smr.epoch();
+
+        let mut worker = smr.register().unwrap();
+        for i in 0..100 {
+            smr.begin_op(&mut worker);
+            retire_one(&smr, &mut worker, i);
+            smr.end_op(&mut worker);
+        }
+        for _ in 0..4 {
+            smr.flush(&mut worker);
+        }
+        // The epoch can advance at most once past the stalled thread's
+        // announcement (it announced the then-current epoch), then pins.
+        assert!(
+            smr.epoch() <= e_before + 1,
+            "stalled announcement must pin the epoch: {} vs {}",
+            smr.epoch(),
+            e_before
+        );
+        let st = smr.stats();
+        assert_eq!(st.total_reclaimed, 0, "{st}");
+        assert_eq!(st.retired_now, 100);
+
+        // Un-stall: everything drains.
+        smr.end_op(&mut stalled);
+        for _ in 0..6 {
+            smr.flush(&mut worker);
+        }
+        assert_eq!(smr.stats().retired_now, 0);
+    }
+
+    #[test]
+    fn concurrent_churn_reclaims_most_garbage() {
+        let smr = Ebr::with_threshold(8, 8);
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let smr = &smr;
+                s.spawn(move || {
+                    let mut ctx = smr.register().unwrap();
+                    for i in 0..1_000u64 {
+                        smr.begin_op(&mut ctx);
+                        retire_one(smr, &mut ctx, i);
+                        smr.end_op(&mut ctx);
+                    }
+                    for _ in 0..8 {
+                        smr.flush(&mut ctx);
+                    }
+                });
+            }
+        });
+        let st = smr.stats();
+        assert_eq!(st.total_retired, 4_000);
+        assert!(
+            st.total_reclaimed >= 3_000,
+            "most garbage should be reclaimed under churn: {st}"
+        );
+    }
+
+    #[test]
+    fn drop_frees_leftovers() {
+        static FREED: AtomicUsize = AtomicUsize::new(0);
+        unsafe fn counting(p: *mut u8) {
+            FREED.fetch_add(1, Ordering::SeqCst);
+            unsafe { drop(Box::from_raw(p as *mut u64)) }
+        }
+        FREED.store(0, Ordering::SeqCst);
+        let smr = Ebr::new(2);
+        let mut ctx = smr.register().unwrap();
+        smr.begin_op(&mut ctx);
+        let p = Box::into_raw(Box::new(1u64)) as *mut u8;
+        unsafe { smr.retire(&mut ctx, p, std::ptr::null(), counting) };
+        smr.end_op(&mut ctx);
+        drop(ctx);
+        drop(smr);
+        assert_eq!(FREED.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn stale_announcement_blocks_but_never_breaks() {
+        // Two threads ping-pong; epoch keeps advancing.
+        let smr = Ebr::with_threshold(2, 1);
+        let mut a = smr.register().unwrap();
+        let mut b = smr.register().unwrap();
+        let start = smr.epoch();
+        for i in 0..50 {
+            smr.begin_op(&mut a);
+            smr.begin_op(&mut b);
+            retire_one(&smr, &mut a, i);
+            smr.end_op(&mut a);
+            smr.end_op(&mut b);
+            smr.flush(&mut a);
+        }
+        assert!(smr.epoch() > start);
+        assert!(smr.stats().total_reclaimed > 0);
+    }
+}

@@ -1,0 +1,390 @@
+//! Hazard eras (HE) — Ramalhete & Correia [36].
+//!
+//! HE replaces HP's per-pointer addresses with per-pointer *eras*: a
+//! global era clock advances as nodes are allocated and retired; every
+//! node records its birth era; retirement records its retire era. A
+//! protected load publishes the current era in a reservation slot and
+//! validates the clock did not move. A retired node may be freed only
+//! when no reservation era `e` falls inside its `[birth, retire]`
+//! lifetime.
+//!
+//! Like HP, HE is easy to integrate and robust (bounded footprint), and
+//! like HP it is **not** applicable to Harris's list: a validated era
+//! does not protect nodes whose lifetime ended before the era was
+//! published — exactly the Figure 2 scenario — so `He` does not
+//! implement [`SupportsUnlinkedTraversal`](crate::common::SupportsUnlinkedTraversal).
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+use crate::common::{
+    DropFn, RegisterError, Retired, SlotRegistry, Smr, SmrHeader, SmrStats, StatCells,
+};
+
+/// Reservation slot value meaning "nothing reserved".
+const NONE: u64 = u64::MAX;
+
+#[derive(Debug)]
+struct HeInner {
+    era: AtomicU64,
+    /// `capacity × k` era reservations.
+    reservations: Box<[AtomicU64]>,
+    k: usize,
+    registry: SlotRegistry,
+    stats: StatCells,
+    orphans: Mutex<Vec<Retired>>,
+    scan_threshold: usize,
+    /// Advance the era every this many allocations (and retirements).
+    era_frequency: u64,
+}
+
+impl HeInner {
+    /// Whether some published reservation era lies within `[birth, retire]`.
+    fn is_protected(&self, reservations: &[u64], birth: u64, retire: u64) -> bool {
+        reservations.iter().any(|&e| e != NONE && birth <= e && e <= retire)
+    }
+
+    fn scan(&self, garbage: &mut Vec<Retired>) {
+        let snapshot: Vec<u64> =
+            self.reservations.iter().map(|r| r.load(Ordering::SeqCst)).collect();
+        let before = garbage.len();
+        let mut kept = Vec::new();
+        for g in garbage.drain(..) {
+            if self.is_protected(&snapshot, g.birth_era, g.retire_era) {
+                kept.push(g);
+            } else {
+                unsafe { g.free() };
+            }
+        }
+        self.stats.on_reclaim(before - kept.len());
+        *garbage = kept;
+    }
+}
+
+impl Drop for HeInner {
+    fn drop(&mut self) {
+        let orphans = std::mem::take(&mut *self.orphans.lock().unwrap());
+        let n = orphans.len();
+        for g in orphans {
+            unsafe { g.free() };
+        }
+        self.stats.on_reclaim(n);
+    }
+}
+
+/// Hazard-era reclamation.
+///
+/// # Example
+///
+/// ```
+/// use era_smr::{he::He, Smr, SmrHeader};
+/// use std::sync::atomic::AtomicUsize;
+///
+/// let smr = He::new(4, 3);
+/// let mut ctx = smr.register().unwrap();
+/// let header = SmrHeader::new();
+/// smr.init_header(&mut ctx, &header); // stamps the birth era
+/// assert!(header.birth_era.load(std::sync::atomic::Ordering::SeqCst) >= 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct He {
+    inner: Arc<HeInner>,
+}
+
+/// Per-thread context for [`He`].
+#[derive(Debug)]
+pub struct HeCtx {
+    inner: Arc<HeInner>,
+    idx: usize,
+    garbage: Vec<Retired>,
+    allocs: u64,
+    retires: u64,
+}
+
+impl Drop for HeCtx {
+    fn drop(&mut self) {
+        for s in 0..self.inner.k {
+            self.inner.reservations[self.idx * self.inner.k + s].store(NONE, Ordering::SeqCst);
+        }
+        self.inner.orphans.lock().unwrap().append(&mut self.garbage);
+        self.inner.registry.release(self.idx);
+    }
+}
+
+impl He {
+    /// Default retired-list length triggering a scan.
+    pub const DEFAULT_SCAN_THRESHOLD: usize = 64;
+    /// Default era advance frequency (allocations per era).
+    pub const DEFAULT_ERA_FREQUENCY: u64 = 32;
+
+    /// Creates an HE instance: `max_threads` threads, `k` reservation
+    /// slots each.
+    pub fn new(max_threads: usize, k: usize) -> Self {
+        Self::with_params(
+            max_threads,
+            k,
+            Self::DEFAULT_SCAN_THRESHOLD,
+            Self::DEFAULT_ERA_FREQUENCY,
+        )
+    }
+
+    /// Creates an HE instance with custom scan threshold and era
+    /// frequency.
+    pub fn with_params(
+        max_threads: usize,
+        k: usize,
+        scan_threshold: usize,
+        era_frequency: u64,
+    ) -> Self {
+        assert!(k >= 1);
+        let reservations: Vec<AtomicU64> =
+            (0..max_threads * k).map(|_| AtomicU64::new(NONE)).collect();
+        He {
+            inner: Arc::new(HeInner {
+                era: AtomicU64::new(1),
+                reservations: reservations.into_boxed_slice(),
+                k,
+                registry: SlotRegistry::new(max_threads),
+                stats: StatCells::default(),
+                orphans: Mutex::new(Vec::new()),
+                scan_threshold: scan_threshold.max(1),
+                era_frequency: era_frequency.max(1),
+            }),
+        }
+    }
+
+    /// Current global era.
+    pub fn era(&self) -> u64 {
+        self.inner.era.load(Ordering::SeqCst)
+    }
+}
+
+impl Smr for He {
+    type ThreadCtx = HeCtx;
+
+    fn register(&self) -> Result<HeCtx, RegisterError> {
+        let idx = self.inner.registry.acquire()?;
+        for s in 0..self.inner.k {
+            self.inner.reservations[idx * self.inner.k + s].store(NONE, Ordering::SeqCst);
+        }
+        Ok(HeCtx {
+            inner: Arc::clone(&self.inner),
+            idx,
+            garbage: Vec::new(),
+            allocs: 0,
+            retires: 0,
+        })
+    }
+
+    fn name(&self) -> &'static str {
+        "HE"
+    }
+
+    fn begin_op(&self, _ctx: &mut HeCtx) {}
+
+    fn end_op(&self, ctx: &mut HeCtx) {
+        for s in 0..self.inner.k {
+            self.inner.reservations[ctx.idx * self.inner.k + s].store(NONE, Ordering::SeqCst);
+        }
+    }
+
+    fn load(&self, ctx: &mut HeCtx, slot: usize, src: &AtomicUsize) -> usize {
+        assert!(slot < self.inner.k, "reservation slot out of range");
+        let cell = &self.inner.reservations[ctx.idx * self.inner.k + slot];
+        let mut era = self.inner.era.load(Ordering::SeqCst);
+        loop {
+            cell.store(era, Ordering::SeqCst);
+            let p = src.load(Ordering::SeqCst);
+            let now = self.inner.era.load(Ordering::SeqCst);
+            if now == era {
+                return p;
+            }
+            era = now;
+        }
+    }
+
+    fn init_header(&self, ctx: &mut HeCtx, header: &SmrHeader) {
+        let e = self.inner.era.load(Ordering::SeqCst);
+        header.birth_era.store(e, Ordering::SeqCst);
+        ctx.allocs += 1;
+        if ctx.allocs.is_multiple_of(self.inner.era_frequency) {
+            self.inner.era.fetch_add(1, Ordering::SeqCst);
+        }
+    }
+
+    unsafe fn retire(
+        &self,
+        ctx: &mut HeCtx,
+        ptr: *mut u8,
+        header: *const SmrHeader,
+        drop_fn: DropFn,
+    ) {
+        let birth = if header.is_null() {
+            0
+        } else {
+            unsafe { (*header).birth_era.load(Ordering::SeqCst) }
+        };
+        let retire_era = self.inner.era.load(Ordering::SeqCst);
+        ctx.garbage.push(Retired { ptr, birth_era: birth, retire_era, drop_fn });
+        self.inner.stats.on_retire();
+        ctx.retires += 1;
+        if ctx.retires.is_multiple_of(self.inner.era_frequency) {
+            self.inner.era.fetch_add(1, Ordering::SeqCst);
+        }
+        if ctx.garbage.len() >= self.inner.scan_threshold {
+            self.inner.scan(&mut ctx.garbage);
+        }
+    }
+
+    fn stats(&self) -> SmrStats {
+        self.inner.stats.snapshot(self.inner.era.load(Ordering::SeqCst))
+    }
+
+    fn flush(&self, ctx: &mut HeCtx) {
+        self.inner.scan(&mut ctx.garbage);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    unsafe fn free_node(p: *mut u8) {
+        unsafe { drop(Box::from_raw(p as *mut (SmrHeader, u64))) }
+    }
+
+    fn alloc_node(smr: &He, ctx: &mut HeCtx, v: u64) -> *mut (SmrHeader, u64) {
+        let node = Box::into_raw(Box::new((SmrHeader::new(), v)));
+        smr.init_header(ctx, unsafe { &(*node).0 });
+        node
+    }
+
+    #[test]
+    fn era_advances_with_allocations() {
+        let smr = He::with_params(1, 1, 64, 4);
+        let mut ctx = smr.register().unwrap();
+        let e0 = smr.era();
+        let mut nodes = Vec::new();
+        for i in 0..16 {
+            nodes.push(alloc_node(&smr, &mut ctx, i));
+        }
+        assert!(smr.era() >= e0 + 4);
+        for n in nodes {
+            unsafe { drop(Box::from_raw(n)) };
+        }
+    }
+
+    #[test]
+    fn reservation_protects_lifetime_overlap() {
+        let smr = He::with_params(2, 1, 1, 1);
+        let mut reader = smr.register().unwrap();
+        let mut writer = smr.register().unwrap();
+
+        let node = alloc_node(&smr, &mut writer, 7);
+        let shared = AtomicUsize::new(node as usize);
+
+        // Reader protects: publishes the current era.
+        smr.begin_op(&mut reader);
+        let p = smr.load(&mut reader, 0, &shared);
+        assert_eq!(p, node as usize);
+
+        // Writer unlinks + retires; node's lifetime covers the
+        // reader's published era, so it must survive scans.
+        shared.store(0, Ordering::SeqCst);
+        unsafe {
+            smr.retire(&mut writer, node as *mut u8, &(*node).0, free_node);
+        }
+        smr.flush(&mut writer);
+        assert_eq!(smr.stats().retired_now, 1);
+
+        smr.end_op(&mut reader);
+        smr.flush(&mut writer);
+        assert_eq!(smr.stats().retired_now, 0);
+    }
+
+    #[test]
+    fn nodes_born_after_reservation_are_reclaimable() {
+        // The robustness property: a stalled reader pins only the
+        // lifetimes overlapping its published era.
+        let smr = He::with_params(2, 1, 1, 1);
+        let mut stalled = smr.register().unwrap();
+        let mut worker = smr.register().unwrap();
+
+        let first = alloc_node(&smr, &mut worker, 0);
+        let shared = AtomicUsize::new(first as usize);
+        smr.begin_op(&mut stalled);
+        let _ = smr.load(&mut stalled, 0, &shared); // publishes era E
+
+        // Retire the first node (its lifetime covers E: pinned)…
+        shared.store(0, Ordering::SeqCst);
+        unsafe { smr.retire(&mut worker, first as *mut u8, &(*first).0, free_node) };
+        // …then churn 100 nodes born strictly after E.
+        for i in 1..=100u64 {
+            let n = alloc_node(&smr, &mut worker, i);
+            unsafe { smr.retire(&mut worker, n as *mut u8, &(*n).0, free_node) };
+        }
+        smr.flush(&mut worker);
+        let st = smr.stats();
+        assert_eq!(st.retired_now, 1, "only the era-E node is pinned: {st}");
+        smr.end_op(&mut stalled);
+        smr.flush(&mut worker);
+        assert_eq!(smr.stats().retired_now, 0);
+    }
+
+    #[test]
+    fn null_header_defaults_to_birth_zero() {
+        let smr = He::with_params(1, 1, 1, 1);
+        let mut ctx = smr.register().unwrap();
+        let p = Box::into_raw(Box::new(1u64)) as *mut u8;
+        unsafe fn free_u64(p: *mut u8) {
+            unsafe { drop(Box::from_raw(p as *mut u64)) }
+        }
+        unsafe { smr.retire(&mut ctx, p, std::ptr::null(), free_u64) };
+        smr.flush(&mut ctx);
+        assert_eq!(smr.stats().retired_now, 0);
+    }
+
+    #[test]
+    fn concurrent_stress() {
+        let smr = He::new(8, 2);
+        let shared = AtomicUsize::new(0);
+        std::thread::scope(|s| {
+            for _ in 0..2 {
+                let (smr, shared) = (&smr, &shared);
+                s.spawn(move || {
+                    let mut ctx = smr.register().unwrap();
+                    for i in 0..1_000u64 {
+                        smr.begin_op(&mut ctx);
+                        let n = alloc_node(smr, &mut ctx, i);
+                        let old = shared.swap(n as usize, Ordering::SeqCst);
+                        if old != 0 {
+                            let hdr = unsafe { &(*(old as *mut (SmrHeader, u64))).0 };
+                            unsafe { smr.retire(&mut ctx, old as *mut u8, hdr, free_node) };
+                        }
+                        smr.end_op(&mut ctx);
+                    }
+                    smr.flush(&mut ctx);
+                });
+            }
+            for _ in 0..2 {
+                let (smr, shared) = (&smr, &shared);
+                s.spawn(move || {
+                    let mut ctx = smr.register().unwrap();
+                    for _ in 0..1_000 {
+                        smr.begin_op(&mut ctx);
+                        let p = smr.load(&mut ctx, 0, shared);
+                        if p != 0 {
+                            let v = unsafe { (*(p as *const (SmrHeader, u64))).1 };
+                            assert!(v < 1_000);
+                        }
+                        smr.end_op(&mut ctx);
+                    }
+                });
+            }
+        });
+        let last = shared.load(Ordering::SeqCst);
+        if last != 0 {
+            unsafe { drop(Box::from_raw(last as *mut (SmrHeader, u64))) };
+        }
+    }
+}

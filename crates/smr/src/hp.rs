@@ -1,0 +1,379 @@
+//! Hazard pointers (HP) — Michael [32].
+//!
+//! Each thread owns `k` single-writer *hazard* slots. A protected load
+//! publishes the target address in a slot and re-reads the source word;
+//! if it changed, the protection may have raced a concurrent unlink and
+//! the load retries. Retired nodes pile up in a small per-thread list;
+//! when it exceeds a threshold the thread *scans* all hazard slots and
+//! frees exactly the retired nodes no slot names.
+//!
+//! HP is the canonical **easy + robust** scheme: the retired population
+//! is bounded by `threshold + capacity·k` regardless of stalls, but the
+//! protect-validate discipline cannot follow a chain of *marked,
+//! unlinked* nodes (a validated source pointer does not imply the
+//! referenced node is reachable), so HP is **not applicable to Harris's
+//! linked list** (Appendix E) — accordingly, `Hp` does *not* implement
+//! [`SupportsUnlinkedTraversal`](crate::common::SupportsUnlinkedTraversal).
+
+use std::collections::HashSet;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+use crate::common::{
+    untagged, DropFn, RegisterError, Retired, SlotRegistry, Smr, SmrHeader, SmrStats, StatCells,
+};
+
+#[derive(Debug)]
+struct HpInner {
+    /// `capacity × k` hazard slots; 0 = empty.
+    hazards: Box<[AtomicUsize]>,
+    k: usize,
+    registry: SlotRegistry,
+    stats: StatCells,
+    orphans: Mutex<Vec<Retired>>,
+    scan_threshold: usize,
+}
+
+impl HpInner {
+    fn hazard_set(&self) -> HashSet<usize> {
+        let mut set = HashSet::new();
+        for h in self.hazards.iter() {
+            let v = h.load(Ordering::SeqCst);
+            if v != 0 {
+                set.insert(v);
+            }
+        }
+        set
+    }
+
+    /// Frees every retired node not named by a hazard slot.
+    fn scan(&self, garbage: &mut Vec<Retired>) {
+        let hazards = self.hazard_set();
+        let before = garbage.len();
+        let mut kept = Vec::with_capacity(hazards.len().min(before));
+        for g in garbage.drain(..) {
+            if hazards.contains(&(g.ptr as usize)) {
+                kept.push(g);
+            } else {
+                unsafe { g.free() };
+            }
+        }
+        self.stats.on_reclaim(before - kept.len());
+        *garbage = kept;
+    }
+}
+
+impl Drop for HpInner {
+    fn drop(&mut self) {
+        let orphans = std::mem::take(&mut *self.orphans.lock().unwrap());
+        let n = orphans.len();
+        for g in orphans {
+            unsafe { g.free() };
+        }
+        self.stats.on_reclaim(n);
+    }
+}
+
+/// Hazard-pointer reclamation.
+///
+/// # Example
+///
+/// ```
+/// use era_smr::{hp::Hp, Smr};
+/// use std::sync::atomic::{AtomicUsize, Ordering};
+///
+/// let smr = Hp::new(4, 3); // 4 threads × 3 hazard slots
+/// let mut ctx = smr.register().unwrap();
+/// let node = Box::into_raw(Box::new(5u64)) as usize;
+/// let shared = AtomicUsize::new(node);
+/// smr.begin_op(&mut ctx);
+/// let p = smr.load(&mut ctx, 0, &shared); // protected
+/// assert_eq!(p, node);
+/// smr.end_op(&mut ctx);
+/// # unsafe { drop(Box::from_raw(node as *mut u64)) };
+/// ```
+#[derive(Debug, Clone)]
+pub struct Hp {
+    inner: Arc<HpInner>,
+}
+
+/// Per-thread context for [`Hp`].
+#[derive(Debug)]
+pub struct HpCtx {
+    inner: Arc<HpInner>,
+    idx: usize,
+    garbage: Vec<Retired>,
+}
+
+impl Drop for HpCtx {
+    fn drop(&mut self) {
+        for s in 0..self.inner.k {
+            self.inner.hazards[self.idx * self.inner.k + s].store(0, Ordering::SeqCst);
+        }
+        self.inner.orphans.lock().unwrap().append(&mut self.garbage);
+        self.inner.registry.release(self.idx);
+    }
+}
+
+impl Hp {
+    /// Default retired-list length triggering a scan.
+    pub const DEFAULT_SCAN_THRESHOLD: usize = 64;
+
+    /// Creates an HP instance: `max_threads` threads, `k` hazard slots
+    /// each.
+    pub fn new(max_threads: usize, k: usize) -> Self {
+        Self::with_threshold(max_threads, k, Self::DEFAULT_SCAN_THRESHOLD)
+    }
+
+    /// Creates an HP instance with a custom scan threshold.
+    pub fn with_threshold(max_threads: usize, k: usize, scan_threshold: usize) -> Self {
+        assert!(k >= 1, "at least one hazard slot per thread");
+        let hazards: Vec<AtomicUsize> =
+            (0..max_threads * k).map(|_| AtomicUsize::new(0)).collect();
+        Hp {
+            inner: Arc::new(HpInner {
+                hazards: hazards.into_boxed_slice(),
+                k,
+                registry: SlotRegistry::new(max_threads),
+                stats: StatCells::default(),
+                orphans: Mutex::new(Vec::new()),
+                scan_threshold: scan_threshold.max(1),
+            }),
+        }
+    }
+
+    /// Hazard slots per thread.
+    pub fn slots_per_thread(&self) -> usize {
+        self.inner.k
+    }
+
+    /// The worst-case retired-population bound: `threshold` per thread
+    /// plus one node per hazard slot.
+    pub fn robustness_bound(&self) -> usize {
+        self.inner.scan_threshold * self.inner.registry.capacity()
+            + self.inner.hazards.len()
+    }
+}
+
+impl Smr for Hp {
+    type ThreadCtx = HpCtx;
+
+    fn register(&self) -> Result<HpCtx, RegisterError> {
+        let idx = self.inner.registry.acquire()?;
+        for s in 0..self.inner.k {
+            self.inner.hazards[idx * self.inner.k + s].store(0, Ordering::SeqCst);
+        }
+        Ok(HpCtx { inner: Arc::clone(&self.inner), idx, garbage: Vec::new() })
+    }
+
+    fn name(&self) -> &'static str {
+        "HP"
+    }
+
+    fn begin_op(&self, _ctx: &mut HpCtx) {}
+
+    fn end_op(&self, ctx: &mut HpCtx) {
+        for s in 0..self.inner.k {
+            self.inner.hazards[ctx.idx * self.inner.k + s].store(0, Ordering::SeqCst);
+        }
+    }
+
+    fn load(&self, ctx: &mut HpCtx, slot: usize, src: &AtomicUsize) -> usize {
+        assert!(slot < self.inner.k, "hazard slot out of range");
+        let cell = &self.inner.hazards[ctx.idx * self.inner.k + slot];
+        let mut cur = src.load(Ordering::SeqCst);
+        loop {
+            cell.store(untagged(cur), Ordering::SeqCst);
+            let again = src.load(Ordering::SeqCst);
+            if again == cur {
+                return cur;
+            }
+            cur = again;
+        }
+    }
+
+    unsafe fn retire(
+        &self,
+        ctx: &mut HpCtx,
+        ptr: *mut u8,
+        _header: *const SmrHeader,
+        drop_fn: DropFn,
+    ) {
+        ctx.garbage.push(Retired { ptr, birth_era: 0, retire_era: 0, drop_fn });
+        self.inner.stats.on_retire();
+        if ctx.garbage.len() >= self.inner.scan_threshold {
+            self.inner.scan(&mut ctx.garbage);
+        }
+    }
+
+    fn stats(&self) -> SmrStats {
+        self.inner.stats.snapshot(0)
+    }
+
+    fn flush(&self, ctx: &mut HpCtx) {
+        self.inner.scan(&mut ctx.garbage);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    unsafe fn free_u64(p: *mut u8) {
+        unsafe { drop(Box::from_raw(p as *mut u64)) }
+    }
+
+    fn new_node(v: u64) -> usize {
+        Box::into_raw(Box::new(v)) as usize
+    }
+
+    #[test]
+    fn protected_node_survives_scan() {
+        let smr = Hp::with_threshold(2, 2, 1);
+        let mut reader = smr.register().unwrap();
+        let mut writer = smr.register().unwrap();
+
+        let node = new_node(42);
+        let shared = AtomicUsize::new(node);
+
+        smr.begin_op(&mut reader);
+        let p = smr.load(&mut reader, 0, &shared);
+        assert_eq!(p, node);
+
+        // Writer unlinks and retires; scans cannot free it (protected).
+        shared.store(0, Ordering::SeqCst);
+        unsafe { smr.retire(&mut writer, node as *mut u8, std::ptr::null(), free_u64) };
+        smr.flush(&mut writer);
+        assert_eq!(smr.stats().retired_now, 1, "still protected");
+
+        // Reader drops protection: now it goes.
+        smr.end_op(&mut reader);
+        smr.flush(&mut writer);
+        assert_eq!(smr.stats().retired_now, 0);
+        assert_eq!(smr.stats().total_reclaimed, 1);
+    }
+
+    #[test]
+    fn bounded_footprint_under_stall() {
+        // A stalled reader protects at most k nodes; everything else is
+        // reclaimed — HP's robustness (contrast with EBR's test).
+        let smr = Hp::with_threshold(2, 3, 4);
+        let mut stalled = smr.register().unwrap();
+        let shared = AtomicUsize::new(new_node(0));
+        smr.begin_op(&mut stalled);
+        let pinned = smr.load(&mut stalled, 0, &shared);
+        // stalled never calls end_op
+
+        let mut worker = smr.register().unwrap();
+        // Unlink the pinned node and retire it.
+        shared.store(0, Ordering::SeqCst);
+        unsafe { smr.retire(&mut worker, pinned as *mut u8, std::ptr::null(), free_u64) };
+        // Churn 1000 more nodes through.
+        for i in 1..=1000u64 {
+            let n = new_node(i);
+            unsafe { smr.retire(&mut worker, n as *mut u8, std::ptr::null(), free_u64) };
+        }
+        smr.flush(&mut worker);
+        let st = smr.stats();
+        assert!(
+            st.retired_now <= smr.robustness_bound(),
+            "retired {} exceeds bound {}",
+            st.retired_now,
+            smr.robustness_bound()
+        );
+        assert_eq!(st.retired_now, 1, "only the pinned node survives");
+        smr.end_op(&mut stalled);
+        smr.flush(&mut worker);
+        assert_eq!(smr.stats().retired_now, 0);
+    }
+
+    #[test]
+    fn load_retries_on_concurrent_change() {
+        // Single-threaded simulation of the validation path: the loop in
+        // load() re-reads until stable, so a load from a stable word
+        // returns it unchanged even with a tag.
+        let smr = Hp::new(1, 1);
+        let mut ctx = smr.register().unwrap();
+        let node = new_node(1);
+        let tagged = node | 1;
+        let shared = AtomicUsize::new(tagged);
+        let p = smr.load(&mut ctx, 0, &shared);
+        assert_eq!(p, tagged, "tag preserved");
+        // The hazard slot holds the *untagged* address.
+        assert_eq!(
+            smr.inner.hazards[0].load(Ordering::SeqCst),
+            node,
+            "hazard must strip tags"
+        );
+        unsafe { drop(Box::from_raw(node as *mut u64)) };
+    }
+
+    #[test]
+    fn concurrent_stress_no_double_free() {
+        // 4 threads hammer one shared slot: replace the node, retire the
+        // old one, while readers keep protected loads on it.
+        let smr = Hp::with_threshold(8, 1, 8);
+        let shared = AtomicUsize::new(new_node(0));
+        std::thread::scope(|s| {
+            for _ in 0..2 {
+                let smr = &smr;
+                let shared = &shared;
+                s.spawn(move || {
+                    let mut ctx = smr.register().unwrap();
+                    for i in 0..2_000u64 {
+                        smr.begin_op(&mut ctx);
+                        let old = shared.swap(new_node(i), Ordering::SeqCst);
+                        unsafe {
+                            smr.retire(&mut ctx, old as *mut u8, std::ptr::null(), free_u64)
+                        };
+                        smr.end_op(&mut ctx);
+                    }
+                    smr.flush(&mut ctx);
+                });
+            }
+            for _ in 0..2 {
+                let smr = &smr;
+                let shared = &shared;
+                s.spawn(move || {
+                    let mut ctx = smr.register().unwrap();
+                    for _ in 0..2_000 {
+                        smr.begin_op(&mut ctx);
+                        let p = smr.load(&mut ctx, 0, shared);
+                        // Dereference under protection: must not crash.
+                        let v = unsafe { *(p as *const u64) };
+                        assert!(v < 2_000);
+                        smr.end_op(&mut ctx);
+                    }
+                });
+            }
+        });
+        // Free the final node.
+        let last = shared.load(Ordering::SeqCst);
+        unsafe { drop(Box::from_raw(last as *mut u64)) };
+        let st = smr.stats();
+        assert_eq!(st.total_retired, 4_000);
+    }
+
+    #[test]
+    fn registration_reuses_slots_and_clears_hazards() {
+        let smr = Hp::new(1, 2);
+        let mut c1 = smr.register().unwrap();
+        let node = new_node(9);
+        let shared = AtomicUsize::new(node);
+        let _ = smr.load(&mut c1, 1, &shared);
+        drop(c1); // must clear hazards
+        let c2 = smr.register().unwrap();
+        assert_eq!(smr.inner.hazards[1].load(Ordering::SeqCst), 0);
+        drop(c2);
+        unsafe { drop(Box::from_raw(node as *mut u64)) };
+    }
+
+    #[test]
+    #[should_panic(expected = "hazard slot out of range")]
+    fn out_of_range_slot_panics() {
+        let smr = Hp::new(1, 1);
+        let mut ctx = smr.register().unwrap();
+        let shared = AtomicUsize::new(0);
+        let _ = smr.load(&mut ctx, 1, &shared);
+    }
+}

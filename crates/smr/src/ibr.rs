@@ -1,0 +1,402 @@
+//! Interval-based reclamation (IBR) — Wen et al. [45], the 2GE
+//! (two-global-epoch, tagged) variant.
+//!
+//! Each thread reserves an *interval* of eras `[lower, upper]` instead
+//! of one era per pointer: `begin_op` sets both bounds to the current
+//! era; every protected load extends `upper` to the current era and
+//! validates. A retired node is freed when its `[birth, retire]`
+//! lifetime intersects no reserved interval.
+//!
+//! IBR is easy to integrate (one reservation per thread, no per-pointer
+//! bookkeeping) and **weakly robust**: a stalled thread pins every node
+//! whose lifetime intersects its reserved interval, which is bounded by
+//! the number of nodes live during those eras (linear in
+//! `max_active · N`) plus the bounded allocations per era — Definition
+//! 5.2 but not 5.1 in adversarial executions. Like HP/HE it cannot
+//! traverse retired chains, so no
+//! [`SupportsUnlinkedTraversal`](crate::common::SupportsUnlinkedTraversal).
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+use crate::common::{
+    DropFn, RegisterError, Retired, SlotRegistry, Smr, SmrHeader, SmrStats, StatCells,
+};
+
+/// Interval bound meaning "no reservation".
+const NONE: u64 = u64::MAX;
+
+#[derive(Debug)]
+struct IbrInner {
+    era: AtomicU64,
+    /// Per-thread interval lower bounds.
+    lower: Box<[AtomicU64]>,
+    /// Per-thread interval upper bounds.
+    upper: Box<[AtomicU64]>,
+    registry: SlotRegistry,
+    stats: StatCells,
+    orphans: Mutex<Vec<Retired>>,
+    scan_threshold: usize,
+    era_frequency: u64,
+}
+
+impl IbrInner {
+    fn scan(&self, garbage: &mut Vec<Retired>) {
+        let intervals: Vec<(u64, u64)> = (0..self.registry.capacity())
+            .map(|i| {
+                (self.lower[i].load(Ordering::SeqCst), self.upper[i].load(Ordering::SeqCst))
+            })
+            .collect();
+        let before = garbage.len();
+        let mut kept = Vec::new();
+        'outer: for g in garbage.drain(..) {
+            for &(lo, hi) in &intervals {
+                if lo == NONE {
+                    continue;
+                }
+                // Lifetimes/intervals intersect iff birth ≤ hi ∧ lo ≤ retire.
+                if g.birth_era <= hi && lo <= g.retire_era {
+                    kept.push(g);
+                    continue 'outer;
+                }
+            }
+            unsafe { g.free() };
+        }
+        self.stats.on_reclaim(before - kept.len());
+        *garbage = kept;
+    }
+}
+
+impl Drop for IbrInner {
+    fn drop(&mut self) {
+        let orphans = std::mem::take(&mut *self.orphans.lock().unwrap());
+        let n = orphans.len();
+        for g in orphans {
+            unsafe { g.free() };
+        }
+        self.stats.on_reclaim(n);
+    }
+}
+
+/// Interval-based reclamation (2GE variant).
+///
+/// # Example
+///
+/// ```
+/// use era_smr::{ibr::Ibr, Smr};
+///
+/// let smr = Ibr::new(4);
+/// let mut ctx = smr.register().unwrap();
+/// smr.begin_op(&mut ctx); // reserves [era, era]
+/// smr.end_op(&mut ctx);   // clears the reservation
+/// ```
+#[derive(Debug, Clone)]
+pub struct Ibr {
+    inner: Arc<IbrInner>,
+}
+
+/// Per-thread context for [`Ibr`].
+#[derive(Debug)]
+pub struct IbrCtx {
+    inner: Arc<IbrInner>,
+    idx: usize,
+    garbage: Vec<Retired>,
+    allocs: u64,
+}
+
+impl Drop for IbrCtx {
+    fn drop(&mut self) {
+        self.inner.lower[self.idx].store(NONE, Ordering::SeqCst);
+        self.inner.upper[self.idx].store(NONE, Ordering::SeqCst);
+        self.inner.orphans.lock().unwrap().append(&mut self.garbage);
+        self.inner.registry.release(self.idx);
+    }
+}
+
+impl Ibr {
+    /// Default retired-list length triggering a scan.
+    pub const DEFAULT_SCAN_THRESHOLD: usize = 64;
+    /// Default allocations per era.
+    pub const DEFAULT_ERA_FREQUENCY: u64 = 32;
+
+    /// Creates an IBR instance for up to `max_threads` threads.
+    pub fn new(max_threads: usize) -> Self {
+        Self::with_params(
+            max_threads,
+            Self::DEFAULT_SCAN_THRESHOLD,
+            Self::DEFAULT_ERA_FREQUENCY,
+        )
+    }
+
+    /// Creates an IBR instance with custom scan threshold and era
+    /// frequency (allocations per era advance).
+    pub fn with_params(max_threads: usize, scan_threshold: usize, era_frequency: u64) -> Self {
+        let mk = |v: u64| -> Box<[AtomicU64]> {
+            (0..max_threads).map(|_| AtomicU64::new(v)).collect::<Vec<_>>().into_boxed_slice()
+        };
+        Ibr {
+            inner: Arc::new(IbrInner {
+                era: AtomicU64::new(1),
+                lower: mk(NONE),
+                upper: mk(NONE),
+                registry: SlotRegistry::new(max_threads),
+                stats: StatCells::default(),
+                orphans: Mutex::new(Vec::new()),
+                scan_threshold: scan_threshold.max(1),
+                era_frequency: era_frequency.max(1),
+            }),
+        }
+    }
+
+    /// Current global era.
+    pub fn era(&self) -> u64 {
+        self.inner.era.load(Ordering::SeqCst)
+    }
+}
+
+impl Smr for Ibr {
+    type ThreadCtx = IbrCtx;
+
+    fn register(&self) -> Result<IbrCtx, RegisterError> {
+        let idx = self.inner.registry.acquire()?;
+        self.inner.lower[idx].store(NONE, Ordering::SeqCst);
+        self.inner.upper[idx].store(NONE, Ordering::SeqCst);
+        Ok(IbrCtx { inner: Arc::clone(&self.inner), idx, garbage: Vec::new(), allocs: 0 })
+    }
+
+    fn name(&self) -> &'static str {
+        "IBR"
+    }
+
+    fn begin_op(&self, ctx: &mut IbrCtx) {
+        let e = self.inner.era.load(Ordering::SeqCst);
+        self.inner.lower[ctx.idx].store(e, Ordering::SeqCst);
+        self.inner.upper[ctx.idx].store(e, Ordering::SeqCst);
+    }
+
+    fn end_op(&self, ctx: &mut IbrCtx) {
+        self.inner.lower[ctx.idx].store(NONE, Ordering::SeqCst);
+        self.inner.upper[ctx.idx].store(NONE, Ordering::SeqCst);
+    }
+
+    fn load(&self, ctx: &mut IbrCtx, _slot: usize, src: &AtomicUsize) -> usize {
+        let upper = &self.inner.upper[ctx.idx];
+        let mut e = self.inner.era.load(Ordering::SeqCst);
+        loop {
+            // Extend the reservation to cover era `e` *before* using the
+            // pointer, then validate the clock did not move.
+            if upper.load(Ordering::SeqCst) < e || upper.load(Ordering::SeqCst) == NONE {
+                upper.store(e, Ordering::SeqCst);
+            }
+            let p = src.load(Ordering::SeqCst);
+            let now = self.inner.era.load(Ordering::SeqCst);
+            if now == e {
+                return p;
+            }
+            e = now;
+        }
+    }
+
+    fn init_header(&self, ctx: &mut IbrCtx, header: &SmrHeader) {
+        let e = self.inner.era.load(Ordering::SeqCst);
+        header.birth_era.store(e, Ordering::SeqCst);
+        ctx.allocs += 1;
+        if ctx.allocs.is_multiple_of(self.inner.era_frequency) {
+            self.inner.era.fetch_add(1, Ordering::SeqCst);
+        }
+    }
+
+    unsafe fn retire(
+        &self,
+        ctx: &mut IbrCtx,
+        ptr: *mut u8,
+        header: *const SmrHeader,
+        drop_fn: DropFn,
+    ) {
+        let birth = if header.is_null() {
+            0
+        } else {
+            unsafe { (*header).birth_era.load(Ordering::SeqCst) }
+        };
+        let retire_era = self.inner.era.load(Ordering::SeqCst);
+        ctx.garbage.push(Retired { ptr, birth_era: birth, retire_era, drop_fn });
+        self.inner.stats.on_retire();
+        if ctx.garbage.len() >= self.inner.scan_threshold {
+            self.inner.scan(&mut ctx.garbage);
+        }
+    }
+
+    fn stats(&self) -> SmrStats {
+        self.inner.stats.snapshot(self.inner.era.load(Ordering::SeqCst))
+    }
+
+    fn flush(&self, ctx: &mut IbrCtx) {
+        self.inner.scan(&mut ctx.garbage);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    unsafe fn free_node(p: *mut u8) {
+        unsafe { drop(Box::from_raw(p as *mut (SmrHeader, u64))) }
+    }
+
+    fn alloc_node(smr: &Ibr, ctx: &mut IbrCtx, v: u64) -> *mut (SmrHeader, u64) {
+        let node = Box::into_raw(Box::new((SmrHeader::new(), v)));
+        smr.init_header(ctx, unsafe { &(*node).0 });
+        node
+    }
+
+    fn retire_node(smr: &Ibr, ctx: &mut IbrCtx, node: *mut (SmrHeader, u64)) {
+        unsafe { smr.retire(ctx, node as *mut u8, &(*node).0, free_node) };
+    }
+
+    #[test]
+    fn interval_reservation_protects_overlap() {
+        let smr = Ibr::with_params(2, 1, 1);
+        let mut reader = smr.register().unwrap();
+        let mut writer = smr.register().unwrap();
+
+        let node = alloc_node(&smr, &mut writer, 7);
+        let shared = AtomicUsize::new(node as usize);
+
+        smr.begin_op(&mut reader);
+        let p = smr.load(&mut reader, 0, &shared);
+        assert_eq!(p, node as usize);
+
+        shared.store(0, Ordering::SeqCst);
+        retire_node(&smr, &mut writer, node);
+        smr.flush(&mut writer);
+        assert_eq!(smr.stats().retired_now, 1, "lifetime intersects the interval");
+
+        smr.end_op(&mut reader);
+        smr.flush(&mut writer);
+        assert_eq!(smr.stats().retired_now, 0);
+    }
+
+    #[test]
+    fn stalled_interval_pins_only_its_cohort() {
+        let smr = Ibr::with_params(2, 1, 1);
+        let mut stalled = smr.register().unwrap();
+        let mut worker = smr.register().unwrap();
+
+        let pinned = alloc_node(&smr, &mut worker, 0);
+        let shared = AtomicUsize::new(pinned as usize);
+        smr.begin_op(&mut stalled);
+        let _ = smr.load(&mut stalled, 0, &shared);
+        // stalled never ends its op: interval [E, E'] frozen.
+
+        shared.store(0, Ordering::SeqCst);
+        retire_node(&smr, &mut worker, pinned);
+        // Churn nodes born strictly later (era_frequency=1 advances fast).
+        for i in 1..=200u64 {
+            let n = alloc_node(&smr, &mut worker, i);
+            retire_node(&smr, &mut worker, n);
+        }
+        smr.flush(&mut worker);
+        let st = smr.stats();
+        assert!(
+            st.retired_now <= 3,
+            "stalled interval must pin only the old cohort: {st}"
+        );
+        smr.end_op(&mut stalled);
+        smr.flush(&mut worker);
+        assert_eq!(smr.stats().retired_now, 0);
+    }
+
+    #[test]
+    fn growing_cohort_in_one_interval_accumulates() {
+        // The weak-robustness witness: nodes born & retired *inside* the
+        // stalled interval all stay (bounded by live-in-interval, which
+        // is what Definition 5.2 allows).
+        let smr = Ibr::with_params(2, 1, u64::MAX); // era never advances via allocs
+        let mut stalled = smr.register().unwrap();
+        let mut worker = smr.register().unwrap();
+
+        let n0 = alloc_node(&smr, &mut worker, 0);
+        let shared = AtomicUsize::new(n0 as usize);
+        smr.begin_op(&mut stalled);
+        let _ = smr.load(&mut stalled, 0, &shared);
+
+        shared.store(0, Ordering::SeqCst);
+        retire_node(&smr, &mut worker, n0);
+        for i in 1..=100u64 {
+            let n = alloc_node(&smr, &mut worker, i);
+            retire_node(&smr, &mut worker, n);
+        }
+        smr.flush(&mut worker);
+        // Era frozen: every node's lifetime is [E, E] = the interval.
+        assert_eq!(smr.stats().retired_now, 101);
+        smr.end_op(&mut stalled);
+        smr.flush(&mut worker);
+        assert_eq!(smr.stats().retired_now, 0);
+    }
+
+    #[test]
+    fn begin_op_resets_interval() {
+        let smr = Ibr::with_params(1, 64, 1);
+        let mut ctx = smr.register().unwrap();
+        smr.begin_op(&mut ctx);
+        let e1 = smr.inner.lower[0].load(Ordering::SeqCst);
+        smr.end_op(&mut ctx);
+        assert_eq!(smr.inner.lower[0].load(Ordering::SeqCst), NONE);
+        // Advance the era, begin again: fresh interval.
+        let mut tmp = Vec::new();
+        for i in 0..8 {
+            tmp.push(alloc_node(&smr, &mut ctx, i));
+        }
+        smr.begin_op(&mut ctx);
+        let e2 = smr.inner.lower[0].load(Ordering::SeqCst);
+        assert!(e2 > e1);
+        smr.end_op(&mut ctx);
+        for n in tmp {
+            unsafe { drop(Box::from_raw(n)) };
+        }
+    }
+
+    #[test]
+    fn concurrent_stress() {
+        let smr = Ibr::new(8);
+        let shared = AtomicUsize::new(0);
+        std::thread::scope(|s| {
+            for _ in 0..2 {
+                let (smr, shared) = (&smr, &shared);
+                s.spawn(move || {
+                    let mut ctx = smr.register().unwrap();
+                    for i in 0..1_000u64 {
+                        smr.begin_op(&mut ctx);
+                        let n = alloc_node(smr, &mut ctx, i);
+                        let old = shared.swap(n as usize, Ordering::SeqCst);
+                        if old != 0 {
+                            let node = old as *mut (SmrHeader, u64);
+                            retire_node(smr, &mut ctx, node);
+                        }
+                        smr.end_op(&mut ctx);
+                    }
+                    smr.flush(&mut ctx);
+                });
+            }
+            for _ in 0..2 {
+                let (smr, shared) = (&smr, &shared);
+                s.spawn(move || {
+                    let mut ctx = smr.register().unwrap();
+                    for _ in 0..1_000 {
+                        smr.begin_op(&mut ctx);
+                        let p = smr.load(&mut ctx, 0, shared);
+                        if p != 0 {
+                            let v = unsafe { (*(p as *const (SmrHeader, u64))).1 };
+                            assert!(v < 1_000);
+                        }
+                        smr.end_op(&mut ctx);
+                    }
+                });
+            }
+        });
+        let last = shared.load(Ordering::SeqCst);
+        if last != 0 {
+            unsafe { drop(Box::from_raw(last as *mut (SmrHeader, u64))) };
+        }
+    }
+}

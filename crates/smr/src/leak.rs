@@ -1,0 +1,188 @@
+//! The no-reclamation baseline.
+//!
+//! `Leak` never frees retired nodes during the execution (they are all
+//! released when the scheme itself is dropped, so tests do not leak
+//! process memory). It is the paper's implicit baseline: trivially easy
+//! to integrate and strongly applicable — every access is safe because
+//! nothing is ever reclaimed — but with an unbounded retired footprint,
+//! the extreme of non-robustness.
+
+use std::sync::{Arc, Mutex};
+
+use crate::common::{
+    DropFn, RegisterError, Retired, SlotRegistry, Smr, SmrHeader, SmrStats, StatCells,
+    SupportsUnlinkedTraversal,
+};
+
+#[derive(Debug)]
+struct LeakInner {
+    registry: SlotRegistry,
+    stats: StatCells,
+    orphans: Mutex<Vec<Retired>>,
+}
+
+impl Drop for LeakInner {
+    fn drop(&mut self) {
+        // No thread contexts remain (they hold an Arc): safe to free.
+        let orphans = std::mem::take(&mut *self.orphans.lock().unwrap());
+        let n = orphans.len();
+        for g in orphans {
+            unsafe { g.free() };
+        }
+        self.stats.on_reclaim(n);
+    }
+}
+
+/// The leaking baseline scheme.
+///
+/// # Example
+///
+/// ```
+/// use era_smr::{leak::Leak, Smr};
+///
+/// let smr = Leak::new(4);
+/// let mut ctx = smr.register().unwrap();
+/// let p = Box::into_raw(Box::new(7i64)) as *mut u8;
+/// unsafe fn free_i64(p: *mut u8) {
+///     unsafe { drop(Box::from_raw(p as *mut i64)) }
+/// }
+/// unsafe { smr.retire(&mut ctx, p, std::ptr::null(), free_i64) };
+/// assert_eq!(smr.stats().retired_now, 1);
+/// drop(ctx);
+/// drop(smr); // everything is released here
+/// ```
+#[derive(Debug, Clone)]
+pub struct Leak {
+    inner: Arc<LeakInner>,
+}
+
+/// Per-thread context for [`Leak`].
+#[derive(Debug)]
+pub struct LeakCtx {
+    inner: Arc<LeakInner>,
+    idx: usize,
+    garbage: Vec<Retired>,
+}
+
+impl Drop for LeakCtx {
+    fn drop(&mut self) {
+        self.inner.orphans.lock().unwrap().append(&mut self.garbage);
+        self.inner.registry.release(self.idx);
+    }
+}
+
+impl Leak {
+    /// Creates a leaking scheme for up to `max_threads` threads.
+    pub fn new(max_threads: usize) -> Self {
+        Leak {
+            inner: Arc::new(LeakInner {
+                registry: SlotRegistry::new(max_threads),
+                stats: StatCells::default(),
+                orphans: Mutex::new(Vec::new()),
+            }),
+        }
+    }
+}
+
+impl Smr for Leak {
+    type ThreadCtx = LeakCtx;
+
+    fn register(&self) -> Result<LeakCtx, RegisterError> {
+        let idx = self.inner.registry.acquire()?;
+        Ok(LeakCtx { inner: Arc::clone(&self.inner), idx, garbage: Vec::new() })
+    }
+
+    fn name(&self) -> &'static str {
+        "Leak"
+    }
+
+    fn begin_op(&self, _ctx: &mut LeakCtx) {}
+
+    fn end_op(&self, _ctx: &mut LeakCtx) {}
+
+    unsafe fn retire(
+        &self,
+        ctx: &mut LeakCtx,
+        ptr: *mut u8,
+        _header: *const SmrHeader,
+        drop_fn: DropFn,
+    ) {
+        ctx.garbage.push(Retired { ptr, birth_era: 0, retire_era: 0, drop_fn });
+        self.inner.stats.on_retire();
+    }
+
+    fn stats(&self) -> SmrStats {
+        self.inner.stats.snapshot(0)
+    }
+}
+
+// Trivially epoch-protected: nothing is ever reclaimed mid-run.
+unsafe impl crate::common::EpochProtected for Leak {}
+
+// Nothing is ever reclaimed during the run, so traversing retired nodes
+// is trivially safe.
+unsafe impl SupportsUnlinkedTraversal for Leak {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    static FREED: AtomicUsize = AtomicUsize::new(0);
+
+    unsafe fn counting_free(p: *mut u8) {
+        FREED.fetch_add(1, Ordering::SeqCst);
+        unsafe { drop(Box::from_raw(p as *mut u64)) }
+    }
+
+    #[test]
+    fn never_frees_during_run_frees_on_drop() {
+        FREED.store(0, Ordering::SeqCst);
+        let smr = Leak::new(2);
+        let mut ctx = smr.register().unwrap();
+        for i in 0..10u64 {
+            let p = Box::into_raw(Box::new(i)) as *mut u8;
+            unsafe { smr.retire(&mut ctx, p, std::ptr::null(), counting_free) };
+        }
+        assert_eq!(smr.stats().retired_now, 10);
+        assert_eq!(FREED.load(Ordering::SeqCst), 0);
+        smr.flush(&mut ctx);
+        assert_eq!(FREED.load(Ordering::SeqCst), 0, "flush must not free");
+        drop(ctx);
+        drop(smr);
+        assert_eq!(FREED.load(Ordering::SeqCst), 10);
+    }
+
+    #[test]
+    fn registration_capacity() {
+        let smr = Leak::new(1);
+        let c1 = smr.register().unwrap();
+        assert!(smr.register().is_err());
+        drop(c1);
+        let _c2 = smr.register().unwrap();
+    }
+
+    #[test]
+    fn concurrent_retires_count() {
+        let smr = Leak::new(8);
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let smr = &smr;
+                s.spawn(move || {
+                    let mut ctx = smr.register().unwrap();
+                    for i in 0..100u64 {
+                        let p = Box::into_raw(Box::new(i)) as *mut u8;
+                        unsafe fn free_u64(p: *mut u8) {
+                            unsafe { drop(Box::from_raw(p as *mut u64)) }
+                        }
+                        unsafe { smr.retire(&mut ctx, p, std::ptr::null(), free_u64) };
+                    }
+                });
+            }
+        });
+        let st = smr.stats();
+        assert_eq!(st.retired_now, 400);
+        assert_eq!(st.total_retired, 400);
+        assert_eq!(st.total_reclaimed, 0);
+    }
+}

@@ -1,0 +1,358 @@
+//! Quiescent-state-based reclamation (QSBR) — the RCU-style ancestor of
+//! EBR (Fraser [16] credits it as the starting point).
+//!
+//! There are no per-operation brackets at all: each thread occasionally
+//! announces a *quiescent state* — a moment at which it holds no
+//! references into any shared structure — by calling [`Qsbr::quiescent`].
+//! A node retired in grace period `g` is reclaimed once every registered
+//! thread has announced a quiescent state in `g + 1` or later.
+//!
+//! QSBR is instructive for the ERA classification because it holds only
+//! **one** of the three properties (the theorem bounds from above, not
+//! below):
+//!
+//! * **not easily integrated** — `quiescent()` must be placed at
+//!   application points where the thread provably holds no references,
+//!   which is an *arbitrary code location* requiring understanding of
+//!   the whole program (Definition 5.3, Condition 2 fails);
+//! * **not robust** — a thread that stops announcing quiescence blocks
+//!   all reclamation, like EBR's stalled announcement;
+//! * **widely applicable** — like EBR, traversals through retired nodes
+//!   are protected until the trailing grace period, so it composes with
+//!   Harris-style structures.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use crate::common::{
+    DropFn, RegisterError, Retired, SlotRegistry, Smr, SmrHeader, SmrStats, StatCells,
+    SupportsUnlinkedTraversal,
+};
+
+#[derive(Debug)]
+struct QsbrInner {
+    grace: AtomicU64,
+    /// Latest grace period each slot has announced quiescence in.
+    announced: Box<[AtomicU64]>,
+    registry: SlotRegistry,
+    stats: StatCells,
+    orphans: Mutex<Vec<Retired>>,
+    retire_threshold: usize,
+}
+
+impl QsbrInner {
+    /// Advances the grace period if every registered thread has
+    /// announced the current one.
+    fn try_advance(&self) -> u64 {
+        let g = self.grace.load(Ordering::SeqCst);
+        for i in 0..self.registry.capacity() {
+            if self.registry.is_in_use(i) && self.announced[i].load(Ordering::SeqCst) < g {
+                return g;
+            }
+        }
+        let _ = self.grace.compare_exchange(g, g + 1, Ordering::SeqCst, Ordering::SeqCst);
+        self.grace.load(Ordering::SeqCst)
+    }
+}
+
+impl Drop for QsbrInner {
+    fn drop(&mut self) {
+        let orphans = std::mem::take(&mut *self.orphans.lock().unwrap());
+        let n = orphans.len();
+        for g in orphans {
+            unsafe { g.free() };
+        }
+        self.stats.on_reclaim(n);
+    }
+}
+
+/// Quiescent-state-based reclamation.
+///
+/// # Example
+///
+/// ```
+/// use era_smr::{qsbr::Qsbr, Smr};
+///
+/// let smr = Qsbr::new(4);
+/// let mut ctx = smr.register().unwrap();
+/// /* …operations; no begin_op/end_op needed… */
+/// smr.quiescent(&mut ctx); // "I hold no shared references right now"
+/// ```
+#[derive(Debug, Clone)]
+pub struct Qsbr {
+    inner: Arc<QsbrInner>,
+}
+
+/// Per-thread context for [`Qsbr`].
+#[derive(Debug)]
+pub struct QsbrCtx {
+    inner: Arc<QsbrInner>,
+    idx: usize,
+    garbage: Vec<Retired>,
+    retired_since_scan: usize,
+}
+
+impl Drop for QsbrCtx {
+    fn drop(&mut self) {
+        self.inner.orphans.lock().unwrap().append(&mut self.garbage);
+        // A departing thread counts as permanently quiescent.
+        self.inner.announced[self.idx].store(u64::MAX, Ordering::SeqCst);
+        self.inner.registry.release(self.idx);
+    }
+}
+
+impl Qsbr {
+    /// Default retired-list length that triggers a collection attempt.
+    pub const DEFAULT_RETIRE_THRESHOLD: usize = 64;
+
+    /// Creates a QSBR instance for up to `max_threads` threads.
+    pub fn new(max_threads: usize) -> Self {
+        Self::with_threshold(max_threads, Self::DEFAULT_RETIRE_THRESHOLD)
+    }
+
+    /// Creates a QSBR instance with a custom retire threshold.
+    pub fn with_threshold(max_threads: usize, retire_threshold: usize) -> Self {
+        let announced: Vec<AtomicU64> =
+            (0..max_threads).map(|_| AtomicU64::new(u64::MAX)).collect();
+        Qsbr {
+            inner: Arc::new(QsbrInner {
+                grace: AtomicU64::new(2),
+                announced: announced.into_boxed_slice(),
+                registry: SlotRegistry::new(max_threads),
+                stats: StatCells::default(),
+                orphans: Mutex::new(Vec::new()),
+                retire_threshold: retire_threshold.max(1),
+            }),
+        }
+    }
+
+    /// The current grace period.
+    pub fn grace_period(&self) -> u64 {
+        self.inner.grace.load(Ordering::SeqCst)
+    }
+
+    /// Announces that the calling thread holds **no** references into
+    /// any structure managed by this instance, and attempts collection.
+    ///
+    /// This is the integration burden: the *application* must find the
+    /// points where this is true (Definition 5.3 calls such insertions
+    /// arbitrary code locations — QSBR is not easily integrated).
+    pub fn quiescent(&self, ctx: &mut QsbrCtx) {
+        let g = self.inner.grace.load(Ordering::SeqCst);
+        self.inner.announced[ctx.idx].store(g, Ordering::SeqCst);
+        let g = self.inner.try_advance();
+        self.collect(ctx, g);
+    }
+
+    fn collect(&self, ctx: &mut QsbrCtx, grace: u64) {
+        if ctx.garbage.is_empty() {
+            return;
+        }
+        let (free, keep): (Vec<_>, Vec<_>) =
+            ctx.garbage.drain(..).partition(|r| r.retire_era + 2 <= grace);
+        let n = free.len();
+        for g in free {
+            unsafe { g.free() };
+        }
+        ctx.garbage = keep;
+        self.inner.stats.on_reclaim(n);
+    }
+}
+
+impl Smr for Qsbr {
+    type ThreadCtx = QsbrCtx;
+
+    fn register(&self) -> Result<QsbrCtx, RegisterError> {
+        let idx = self.inner.registry.acquire()?;
+        // A fresh thread is quiescent until it touches anything.
+        self.inner.announced[idx].store(u64::MAX, Ordering::SeqCst);
+        Ok(QsbrCtx {
+            inner: Arc::clone(&self.inner),
+            idx,
+            garbage: Vec::new(),
+            retired_since_scan: 0,
+        })
+    }
+
+    fn name(&self) -> &'static str {
+        "QSBR"
+    }
+
+    /// No per-operation work — but entering an operation ends the
+    /// thread's standing quiescence (it is about to hold references).
+    fn begin_op(&self, ctx: &mut QsbrCtx) {
+        let g = self.inner.grace.load(Ordering::SeqCst);
+        // `g - 1`: quiescent up to the previous period, not the current.
+        self.inner.announced[ctx.idx].store(g.saturating_sub(1), Ordering::SeqCst);
+    }
+
+    fn end_op(&self, _ctx: &mut QsbrCtx) {
+        // Deliberately empty: QSBR does not know when references die —
+        // only the application's quiescent() calls say so.
+    }
+
+    unsafe fn retire(
+        &self,
+        ctx: &mut QsbrCtx,
+        ptr: *mut u8,
+        _header: *const SmrHeader,
+        drop_fn: DropFn,
+    ) {
+        let g = self.inner.grace.load(Ordering::SeqCst);
+        ctx.garbage.push(Retired { ptr, birth_era: 0, retire_era: g, drop_fn });
+        self.inner.stats.on_retire();
+        ctx.retired_since_scan += 1;
+        if ctx.retired_since_scan >= self.inner.retire_threshold {
+            ctx.retired_since_scan = 0;
+            let g = self.inner.try_advance();
+            self.collect(ctx, g);
+        }
+    }
+
+    fn stats(&self) -> SmrStats {
+        self.inner.stats.snapshot(self.inner.grace.load(Ordering::SeqCst))
+    }
+
+    fn flush(&self, ctx: &mut QsbrCtx) {
+        let g = self.inner.try_advance();
+        self.collect(ctx, g);
+        // Adopt orphaned garbage from departed threads.
+        let eligible: Vec<Retired> = {
+            let mut orphans = self.inner.orphans.lock().unwrap();
+            let (free, keep): (Vec<_>, Vec<_>) =
+                orphans.drain(..).partition(|r| r.retire_era + 2 <= g);
+            *orphans = keep;
+            free
+        };
+        let n = eligible.len();
+        for r in eligible {
+            unsafe { r.free() };
+        }
+        self.inner.stats.on_reclaim(n);
+    }
+}
+
+// Safe under QSBR's contract: nothing retired after a thread's last
+// quiescent announcement is reclaimed before its next one, so pointers
+// held between quiescent points — including into retired chains —
+// remain dereferenceable.
+unsafe impl SupportsUnlinkedTraversal for Qsbr {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    unsafe fn free_u64(p: *mut u8) {
+        unsafe { drop(Box::from_raw(p as *mut u64)) }
+    }
+
+    fn retire_one(smr: &Qsbr, ctx: &mut QsbrCtx, v: u64) {
+        let p = Box::into_raw(Box::new(v)) as *mut u8;
+        unsafe { smr.retire(ctx, p, std::ptr::null(), free_u64) };
+    }
+
+    #[test]
+    fn reclaims_after_all_threads_quiesce() {
+        let smr = Qsbr::with_threshold(2, 4);
+        let mut a = smr.register().unwrap();
+        let mut b = smr.register().unwrap();
+        smr.begin_op(&mut a);
+        smr.begin_op(&mut b);
+        for i in 0..10 {
+            retire_one(&smr, &mut a, i);
+        }
+        assert_eq!(smr.stats().retired_now, 10);
+        for _ in 0..4 {
+            smr.quiescent(&mut a);
+            smr.quiescent(&mut b);
+        }
+        assert_eq!(smr.stats().retired_now, 0, "{}", smr.stats());
+    }
+
+    #[test]
+    fn non_quiescing_thread_blocks_everything() {
+        // The not-robust witness.
+        let smr = Qsbr::with_threshold(2, 1);
+        let mut busy = smr.register().unwrap();
+        let mut worker = smr.register().unwrap();
+        smr.begin_op(&mut busy); // never announces quiescence again
+        smr.begin_op(&mut worker);
+        for i in 0..200 {
+            retire_one(&smr, &mut worker, i);
+            smr.quiescent(&mut worker);
+        }
+        assert_eq!(smr.stats().retired_now, 200, "busy thread blocks reclamation");
+        // One quiescent announcement from the busy thread drains it.
+        for _ in 0..4 {
+            smr.quiescent(&mut busy);
+            smr.quiescent(&mut worker);
+        }
+        assert_eq!(smr.stats().retired_now, 0);
+    }
+
+    #[test]
+    fn departed_threads_do_not_block() {
+        let smr = Qsbr::with_threshold(2, 1);
+        let a = smr.register().unwrap();
+        drop(a); // departing thread is permanently quiescent
+        let mut worker = smr.register().unwrap();
+        smr.begin_op(&mut worker);
+        for i in 0..10 {
+            retire_one(&smr, &mut worker, i);
+        }
+        for _ in 0..4 {
+            smr.quiescent(&mut worker);
+        }
+        assert_eq!(smr.stats().retired_now, 0);
+    }
+
+    #[test]
+    fn fresh_threads_are_quiescent() {
+        let smr = Qsbr::with_threshold(2, 1);
+        let mut worker = smr.register().unwrap();
+        let _idle = smr.register().unwrap(); // registered, never operates
+        smr.begin_op(&mut worker);
+        for i in 0..10 {
+            retire_one(&smr, &mut worker, i);
+        }
+        for _ in 0..4 {
+            smr.quiescent(&mut worker);
+        }
+        assert_eq!(smr.stats().retired_now, 0, "idle threads must not block");
+    }
+
+    #[test]
+    fn works_with_harris_style_usage() {
+        // QSBR + a grace-period discipline around a raw shared cell.
+        let smr = Qsbr::with_threshold(2, 2);
+        let cell = std::sync::atomic::AtomicUsize::new(0);
+        std::thread::scope(|s| {
+            for _ in 0..2 {
+                let (smr, cell) = (&smr, &cell);
+                s.spawn(move || {
+                    let mut ctx = smr.register().unwrap();
+                    for i in 0..1_000u64 {
+                        smr.begin_op(&mut ctx);
+                        let newp = Box::into_raw(Box::new(i)) as usize;
+                        let old = cell.swap(newp, Ordering::SeqCst);
+                        if old != 0 {
+                            unsafe {
+                                smr.retire(&mut ctx, old as *mut u8, std::ptr::null(), free_u64)
+                            };
+                        }
+                        // Quiescent point: we hold no references now.
+                        smr.quiescent(&mut ctx);
+                    }
+                });
+            }
+        });
+        let last = cell.load(Ordering::SeqCst);
+        unsafe { drop(Box::from_raw(last as *mut u64)) };
+        let mut ctx = smr.register().unwrap();
+        for _ in 0..4 {
+            smr.quiescent(&mut ctx);
+            smr.flush(&mut ctx); // adopts departed threads' garbage
+        }
+        assert_eq!(smr.stats().retired_now, 0);
+    }
+}

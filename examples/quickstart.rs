@@ -1,0 +1,48 @@
+//! Quickstart: a lock-free set with safe memory reclamation.
+//!
+//! Builds Harris's linked list with epoch-based reclamation (the
+//! easy + widely-applicable corner of the ERA triangle), runs a few
+//! threads against it, and inspects the reclamation counters.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use era::ds::HarrisList;
+use era::smr::common::Smr;
+use era::smr::ebr::Ebr;
+
+fn main() {
+    // One EBR instance serves any number of data structures; size it for
+    // the maximum number of concurrently registered threads.
+    let smr = Ebr::new(8);
+    let list = HarrisList::new(&smr);
+
+    std::thread::scope(|s| {
+        for t in 0..4i64 {
+            let (list, smr) = (&list, &smr);
+            s.spawn(move || {
+                let mut ctx = smr.register().expect("thread slot");
+                let base = t * 1_000;
+                for k in base..base + 1_000 {
+                    assert!(list.insert(&mut ctx, k));
+                }
+                for k in base..base + 1_000 {
+                    assert!(list.contains(&mut ctx, k));
+                }
+                // Delete the odd keys: the nodes are retired and, two
+                // epochs later, reclaimed.
+                for k in (base + 1..base + 1_000).step_by(2) {
+                    assert!(list.delete(&mut ctx, k));
+                }
+                smr.flush(&mut ctx);
+            });
+        }
+    });
+
+    let stats = smr.stats();
+    println!("set size now: {}", list.len());
+    println!("epoch:        {}", smr.epoch());
+    println!("reclamation:  {stats}");
+    assert_eq!(list.len(), 2_000);
+    assert_eq!(stats.total_retired, 2_000);
+    println!("quickstart OK");
+}

@@ -1,0 +1,58 @@
+//! RCU-style usage: quiescent-state-based reclamation (QSBR).
+//!
+//! QSBR has the lowest per-operation overhead of any scheme here — no
+//! begin/end barriers at all — but the application must announce
+//! *quiescent points* (moments a thread holds no shared references)
+//! itself. That placement is an arbitrary-code-location insertion, so
+//! by Definition 5.3 QSBR is **not** easily integrated; and a thread
+//! that stops announcing blocks all reclamation, so it is **not**
+//! robust. It keeps only wide applicability — a corner of the ERA
+//! triangle with a single property, showing the theorem is an upper
+//! bound, not a guarantee of two.
+//!
+//! Run with: `cargo run --release --example rcu_style`
+
+use era::ds::HarrisList;
+use era::smr::common::Smr;
+use era::smr::qsbr::Qsbr;
+
+fn main() {
+    let smr = Qsbr::with_threshold(8, 32);
+    let list = HarrisList::new(&smr);
+
+    std::thread::scope(|s| {
+        for t in 0..4i64 {
+            let (list, smr) = (&list, &smr);
+            s.spawn(move || {
+                let mut ctx = smr.register().unwrap();
+                let base = t * 500;
+                for k in base..base + 500 {
+                    assert!(list.insert(&mut ctx, k));
+                    assert!(list.delete(&mut ctx, k));
+                    // The RCU discipline: announce quiescence at the
+                    // application's own "between requests" points.
+                    if k % 16 == 0 {
+                        smr.quiescent(&mut ctx);
+                    }
+                }
+                smr.quiescent(&mut ctx);
+                smr.flush(&mut ctx);
+            });
+        }
+    });
+
+    let mut ctx = smr.register().unwrap();
+    for _ in 0..4 {
+        smr.quiescent(&mut ctx);
+        smr.flush(&mut ctx);
+    }
+    let st = smr.stats();
+    println!("grace period   : {}", smr.grace_period());
+    println!("reclamation    : {st}");
+    assert_eq!(st.total_retired, 2_000);
+    assert_eq!(st.retired_now, 0, "everything drained at quiescence");
+    println!(
+        "rcu_style OK — zero per-op barriers, at the price of hand-placed \
+         quiescent points (not easy) and stall sensitivity (not robust)"
+    );
+}

@@ -1,0 +1,105 @@
+//! Step-by-step replay of the Theorem 6.1 construction (Figure 1),
+//! narrated, for one scheme of your choice.
+//!
+//! Run with: `cargo run --example theorem_replay [EBR|HP|HE|IBR|VBR|NBR|Leak]`
+//! (default: HP, the most instructive failure).
+
+use era::core::ids::ThreadId;
+use era::sim::schemes::{SimEbr, SimHe, SimHp, SimIbr, SimLeak, SimNbr, SimScheme, SimVbr};
+use era::sim::{HarrisSim, OpKind};
+
+fn scheme_by_name(name: &str) -> Box<dyn SimScheme> {
+    match name {
+        "EBR" => Box::new(SimEbr::new(2)),
+        "HP" => Box::new(SimHp::new(2, 3)),
+        "HE" => Box::new(SimHe::new(2, 3)),
+        "IBR" => Box::new(SimIbr::new(2)),
+        "VBR" => Box::new(SimVbr::new()),
+        "NBR" => Box::new(SimNbr::new(2, 1)),
+        "Leak" => Box::new(SimLeak),
+        other => panic!("unknown scheme {other}"),
+    }
+}
+
+fn main() {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "HP".to_string());
+    let scheme = scheme_by_name(&name);
+    println!("== Theorem 6.1 construction, narrated, scheme = {name} ==\n");
+
+    let t1 = ThreadId(0);
+    let t2 = ThreadId(1);
+    let mut sim = HarrisSim::new(scheme);
+
+    println!("stage a: T2 builds the list {{1, 2}}");
+    assert!(sim.run_op(t2, OpKind::Insert(1)));
+    assert!(sim.run_op(t2, OpKind::Insert(2)));
+    let s = sim.sim.heap.sample();
+    println!("         active={} retired={}\n", s.active, s.retired);
+
+    println!("T1 invokes delete(3) and pauses right after reading head.next");
+    let mut op1 = sim.start_op(t1, OpKind::Delete(3));
+    for _ in 0..3 {
+        sim.step(&mut op1);
+    }
+    println!("         T1 now stands on node {:?}\n", sim.current_target(&op1));
+
+    println!("stages b–c: T2 runs delete(1)");
+    assert!(sim.run_op(t2, OpKind::Delete(1)));
+    let s = sim.sim.heap.sample();
+    println!("         active={} retired={}\n", s.active, s.retired);
+
+    println!("stages d+: T2 alternates insert(n+1); delete(n) for 40 rounds");
+    for (round, n) in (2i64..42).enumerate() {
+        assert!(sim.run_op(t2, OpKind::Insert(n + 1)));
+        assert!(sim.run_op(t2, OpKind::Delete(n)));
+        if round % 10 == 9 {
+            let s = sim.sim.heap.sample();
+            println!(
+                "         round {:>2}: active={} max_active={} retired={}",
+                round + 1,
+                s.active,
+                s.max_active,
+                s.retired
+            );
+        }
+    }
+
+    println!("\nsolo run: T1 is now the only effective thread");
+    let mut steps = 0usize;
+    loop {
+        steps += 1;
+        if sim.step(&mut op1) {
+            println!("         T1 completed after {steps} solo steps, result {:?}", op1.result());
+            break;
+        }
+        if !sim.sim.heap.verdict().is_smr() {
+            println!("         after {steps} solo steps the oracle reports:");
+            for v in &sim.sim.heap.verdict().violations {
+                println!("           VIOLATION: {v}");
+            }
+            break;
+        }
+        if steps > 1_000_000 {
+            println!("         (budget exhausted)");
+            break;
+        }
+    }
+
+    let verdict = sim.sim.heap.verdict();
+    let s = sim.sim.heap.sample();
+    println!("\nsummary for {name}:");
+    println!("  unsafe accesses : {}", verdict.unsafe_accesses.len());
+    println!("  violations      : {}", verdict.violations.len());
+    println!("  rollbacks       : {}", sim.sim.monitor.rollbacks());
+    println!("  retired now     : {}", s.retired);
+    println!(
+        "  sacrificed      : {}",
+        if !verdict.violations.is_empty() {
+            "wide applicability (unsafe on Harris's list)"
+        } else if sim.sim.monitor.rollbacks() > 0 {
+            "easy integration (rollbacks required)"
+        } else {
+            "robustness (retired nodes unbounded)"
+        }
+    );
+}

@@ -1,0 +1,22 @@
+//! # era — reproduction of "The ERA Theorem for Safe Memory Reclamation"
+//!
+//! Facade crate re-exporting the workspace members:
+//!
+//! * [`core`] (`era-core`) — the executable formal model: histories,
+//!   linearizability, pointer validity, SMR safety, robustness,
+//!   integration and applicability, and the ERA matrix.
+//! * [`sim`] (`era-sim`) — the deterministic shared-memory simulator and
+//!   the paper's Figure 1 / Figure 2 constructions.
+//! * [`smr`] (`era-smr`) — real, concurrent reclamation schemes: EBR,
+//!   HP, HE, IBR, VBR, NBR and a leaking baseline.
+//! * [`ds`] (`era-ds`) — lock-free data structures integrated with the
+//!   schemes: Harris/Michael lists, Treiber stack, Michael–Scott queue,
+//!   hash map.
+//!
+//! See `README.md` for a tour and `EXPERIMENTS.md` for the reproduction
+//! of every figure in the paper.
+
+pub use era_core as core;
+pub use era_ds as ds;
+pub use era_sim as sim;
+pub use era_smr as smr;

@@ -1,0 +1,173 @@
+//! Failure injection: threads that die at the worst moments.
+//!
+//! Nikolaev & Ravindran's *transparency* (§2 related work) asks that
+//! threads may come and go without compromising the scheme. We inject
+//! the nastier version: a thread's context is dropped **mid-operation**
+//! (the thread panicked or was torn down while pinned). The schemes
+//! must (a) not free anything the departed thread could still have
+//! referenced *before* the drop, (b) release the slot for reuse, and
+//! (c) let reclamation resume afterwards — including adopting the
+//! departed thread's orphaned garbage.
+
+use era::ds::MichaelList;
+use era::smr::common::Smr;
+use era::smr::{ebr::Ebr, he::He, hp::Hp, ibr::Ibr, nbr::Nbr, qsbr::Qsbr};
+
+/// Begin an op, load through a protected slot, then drop the context
+/// without ever calling `end_op` — the "thread died pinned" injection.
+fn die_pinned<S: Smr>(smr: &S) {
+    let mut ctx = smr.register().expect("slot");
+    smr.begin_op(&mut ctx);
+    let word = std::sync::atomic::AtomicUsize::new(0);
+    let _ = smr.load(&mut ctx, 0, &word);
+    drop(ctx); // no end_op
+}
+
+fn churn_and_drain<S: Smr>(smr: &S, rounds: i64) -> (u64, usize) {
+    let list = MichaelList::new(smr);
+    let mut ctx = smr.register().expect("slot");
+    for k in 0..rounds {
+        assert!(list.insert(&mut ctx, k % 97));
+        assert!(list.delete(&mut ctx, k % 97));
+    }
+    for _ in 0..8 {
+        smr.flush(&mut ctx);
+    }
+    let st = smr.stats();
+    (st.total_retired, st.retired_now)
+}
+
+#[test]
+fn ebr_recovers_after_a_thread_dies_pinned() {
+    let smr = Ebr::with_threshold(4, 8);
+    die_pinned(&smr);
+    // The dead thread's announcement was cleared on drop: the epoch can
+    // advance and reclamation proceeds as if it had never existed.
+    let (retired, now) = churn_and_drain(&smr, 2_000);
+    assert_eq!(retired, 2_000);
+    assert_eq!(now, 0, "dead pinned thread must not block EBR forever");
+}
+
+#[test]
+fn hp_recovers_after_a_thread_dies_pinned() {
+    let smr = Hp::with_threshold(4, 3, 8);
+    die_pinned(&smr);
+    let (retired, now) = churn_and_drain(&smr, 2_000);
+    assert_eq!(retired, 2_000);
+    assert_eq!(now, 0, "dead thread's hazards must be cleared on drop");
+}
+
+#[test]
+fn he_and_ibr_recover_after_a_thread_dies_pinned() {
+    let he = He::with_params(4, 3, 8, 4);
+    die_pinned(&he);
+    let (_, now) = churn_and_drain(&he, 2_000);
+    assert_eq!(now, 0);
+
+    let ibr = Ibr::with_params(4, 8, 4);
+    die_pinned(&ibr);
+    let (_, now) = churn_and_drain(&ibr, 2_000);
+    assert_eq!(now, 0);
+}
+
+#[test]
+fn nbr_recovers_after_a_thread_dies_pinned() {
+    let smr = Nbr::with_threshold(4, 2, 8);
+    die_pinned(&smr);
+    let (_, now) = churn_and_drain(&smr, 2_000);
+    assert_eq!(now, 0, "dead thread counts as quiescent for neutralization");
+}
+
+#[test]
+fn qsbr_recovers_after_a_thread_dies_pinned() {
+    let smr = Qsbr::with_threshold(4, 8);
+    die_pinned(&smr);
+    // QSBR still needs the LIVE thread to announce quiescence.
+    let list = MichaelList::new(&smr);
+    let mut ctx = smr.register().expect("slot");
+    for k in 0..500i64 {
+        assert!(list.insert(&mut ctx, k % 31));
+        assert!(list.delete(&mut ctx, k % 31));
+        if k % 16 == 0 {
+            smr.quiescent(&mut ctx);
+        }
+    }
+    for _ in 0..4 {
+        smr.quiescent(&mut ctx);
+        smr.flush(&mut ctx);
+    }
+    assert_eq!(smr.stats().retired_now, 0, "a departed thread is permanently quiescent");
+}
+
+#[test]
+fn slots_are_reusable_after_many_deaths() {
+    // Capacity 2: if dead threads leaked their slots, the 17th
+    // registration would fail.
+    let smr = Ebr::new(2);
+    for _ in 0..16 {
+        die_pinned(&smr);
+    }
+    let mut ctx = smr.register().expect("slots recycled after deaths");
+    smr.begin_op(&mut ctx);
+    smr.end_op(&mut ctx);
+}
+
+#[test]
+fn orphaned_garbage_is_adopted_not_leaked() {
+    let smr = Ebr::with_threshold(4, 1_000_000); // never self-collects
+    {
+        // A worker retires a pile and dies without flushing.
+        let list = MichaelList::new(&smr);
+        let mut ctx = smr.register().unwrap();
+        for k in 0..500i64 {
+            assert!(list.insert(&mut ctx, k));
+            assert!(list.delete(&mut ctx, k));
+        }
+        drop(ctx); // garbage goes to the orphan pool
+        assert_eq!(smr.stats().retired_now, 500);
+        // A survivor adopts and frees it.
+        let mut survivor = smr.register().unwrap();
+        for _ in 0..6 {
+            smr.begin_op(&mut survivor);
+            smr.end_op(&mut survivor);
+            smr.flush(&mut survivor);
+        }
+        assert_eq!(smr.stats().retired_now, 0, "{}", smr.stats());
+    }
+}
+
+#[test]
+fn death_during_concurrent_churn() {
+    // Threads keep dying pinned while others churn: the system must
+    // neither crash nor wedge, and must drain at the end.
+    let smr = Ebr::with_threshold(8, 16);
+    let list = MichaelList::new(&smr);
+    std::thread::scope(|s| {
+        for t in 0..2i64 {
+            let (list, smr) = (&list, &smr);
+            s.spawn(move || {
+                let mut ctx = smr.register().unwrap();
+                for k in 0..2_000i64 {
+                    let key = t * 10_000 + k % 101;
+                    let _ = list.insert(&mut ctx, key);
+                    let _ = list.delete(&mut ctx, key);
+                }
+                for _ in 0..4 {
+                    smr.flush(&mut ctx);
+                }
+            });
+        }
+        s.spawn(|| {
+            for _ in 0..50 {
+                die_pinned(&smr);
+            }
+        });
+    });
+    let mut ctx = smr.register().unwrap();
+    for _ in 0..8 {
+        smr.begin_op(&mut ctx);
+        smr.end_op(&mut ctx);
+        smr.flush(&mut ctx);
+    }
+    assert_eq!(smr.stats().retired_now, 0, "{}", smr.stats());
+}

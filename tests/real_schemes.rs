@@ -1,0 +1,226 @@
+//! Cross-crate integration tests of the *real* schemes and structures:
+//! every compatible (structure × scheme) pair under multi-threaded
+//! stress, plus the paper-level properties one can check on real
+//! hardware — footprint bounds, transparency (thread churn), and the
+//! drain-on-quiescence behaviour.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use era::ds::{HarrisList, HashSet, MichaelList, MsQueue, TreiberStack};
+use era::smr::common::{Smr, SupportsUnlinkedTraversal};
+use era::smr::{ebr::Ebr, he::He, hp::Hp, ibr::Ibr, leak::Leak, nbr::Nbr};
+
+const THREADS: usize = 4;
+const PER_THREAD: i64 = 300;
+
+fn stress_michael<S: Smr + Sync>(smr: &S) {
+    let list = MichaelList::new(smr);
+    let succeeded = AtomicUsize::new(0);
+    std::thread::scope(|s| {
+        for t in 0..THREADS {
+            let (list, succeeded) = (&list, &succeeded);
+            s.spawn(move || {
+                let mut ctx = smr.register().unwrap();
+                // Disjoint ranges: all succeed.
+                let base = t as i64 * PER_THREAD;
+                for k in base..base + PER_THREAD {
+                    assert!(list.insert(&mut ctx, k));
+                }
+                // Contended key: exactly one winner per round.
+                for _ in 0..100 {
+                    if list.insert(&mut ctx, -1) {
+                        assert!(list.delete(&mut ctx, -1));
+                        succeeded.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+                for k in base..base + PER_THREAD {
+                    assert!(list.delete(&mut ctx, k));
+                }
+                for _ in 0..4 {
+                    smr.flush(&mut ctx);
+                }
+            });
+        }
+    });
+    assert!(list.is_empty() || list.collect_keys() == vec![-1]);
+}
+
+fn stress_harris<S: Smr + SupportsUnlinkedTraversal + Sync>(smr: &S) {
+    let list = HarrisList::new(smr);
+    std::thread::scope(|s| {
+        for t in 0..THREADS {
+            let list = &list;
+            s.spawn(move || {
+                let mut ctx = smr.register().unwrap();
+                let base = t as i64 * PER_THREAD;
+                for k in base..base + PER_THREAD {
+                    assert!(list.insert(&mut ctx, k));
+                    assert!(list.contains(&mut ctx, k));
+                }
+                for k in base..base + PER_THREAD {
+                    assert!(list.delete(&mut ctx, k));
+                }
+                for _ in 0..4 {
+                    smr.flush(&mut ctx);
+                }
+            });
+        }
+    });
+    assert!(list.is_empty());
+}
+
+#[test]
+fn michael_list_under_every_scheme() {
+    stress_michael(&Ebr::new(THREADS + 1));
+    stress_michael(&Hp::new(THREADS + 1, 3));
+    stress_michael(&He::new(THREADS + 1, 3));
+    stress_michael(&Ibr::new(THREADS + 1));
+    stress_michael(&Leak::new(THREADS + 1));
+}
+
+#[test]
+fn harris_list_under_every_compatible_scheme() {
+    stress_harris(&Ebr::new(THREADS + 1));
+    stress_harris(&Nbr::with_threshold(THREADS + 1, 2, 32));
+    stress_harris(&Leak::new(THREADS + 1));
+}
+
+#[test]
+fn stack_and_queue_under_hp_and_ebr() {
+    let hp = Hp::new(THREADS + 1, 2);
+    let stack = TreiberStack::new(&hp);
+    let queue_smr = Ebr::new(THREADS + 1);
+    let queue = MsQueue::new(&queue_smr);
+    let popped = AtomicUsize::new(0);
+    let dequeued = AtomicUsize::new(0);
+    std::thread::scope(|s| {
+        for t in 0..THREADS {
+            let (stack, queue, popped, dequeued, queue_smr, hp) =
+                (&stack, &queue, &popped, &dequeued, &queue_smr, &hp);
+            s.spawn(move || {
+                let mut sctx = hp.register().unwrap();
+                let mut qctx = queue_smr.register().unwrap();
+                for i in 0..500 {
+                    stack.push(&mut sctx, t as i64 * 1000 + i);
+                    queue.enqueue(&mut qctx, t as i64 * 1000 + i);
+                    if stack.pop(&mut sctx).is_some() {
+                        popped.fetch_add(1, Ordering::Relaxed);
+                    }
+                    if queue.dequeue(&mut qctx).is_some() {
+                        dequeued.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+                hp.flush(&mut sctx);
+                queue_smr.flush(&mut qctx);
+            });
+        }
+    });
+    assert_eq!(popped.load(Ordering::Relaxed) + stack.len(), THREADS * 500);
+    assert_eq!(dequeued.load(Ordering::Relaxed) + queue.len(), THREADS * 500);
+}
+
+#[test]
+fn hash_set_under_contention() {
+    let smr = Hp::new(THREADS + 1, 3);
+    let set = HashSet::new(&smr, 64);
+    std::thread::scope(|s| {
+        for t in 0..THREADS {
+            let set = &set;
+            let smr = &smr;
+            s.spawn(move || {
+                let mut ctx = smr.register().unwrap();
+                for i in 0..1_000i64 {
+                    let k = (t as i64 * 37 + i * 11) % 256;
+                    if set.insert(&mut ctx, k) {
+                        let _ = set.contains(&mut ctx, k);
+                        let _ = set.delete(&mut ctx, k);
+                    }
+                }
+                smr.flush(&mut ctx);
+            });
+        }
+    });
+    // Quiescent invariant: no duplicates across buckets.
+    let keys = set.collect_keys();
+    let mut dedup = keys.clone();
+    dedup.dedup();
+    assert_eq!(keys, dedup);
+}
+
+#[test]
+fn transparency_threads_come_and_go() {
+    // Nikolaev & Ravindran's transparency property (§2 related work):
+    // thread slots are recycled; repeated register/unregister cycles
+    // never exhaust capacity or corrupt reclamation.
+    let smr = Ebr::new(4);
+    let list = MichaelList::new(&smr);
+    for wave in 0..16 {
+        std::thread::scope(|s| {
+            for t in 0..4i64 {
+                let (list, smr) = (&list, &smr);
+                s.spawn(move || {
+                    let mut ctx = smr.register().expect("slots are recycled");
+                    let k = wave * 100 + t;
+                    assert!(list.insert(&mut ctx, k));
+                    assert!(list.delete(&mut ctx, k));
+                    smr.flush(&mut ctx);
+                });
+            }
+        });
+    }
+    assert!(list.is_empty());
+    let st = smr.stats();
+    assert_eq!(st.total_retired, 64);
+}
+
+#[test]
+fn hp_footprint_bound_holds_under_parallel_churn() {
+    let smr = Hp::with_threshold(THREADS + 1, 3, 32);
+    let list = MichaelList::new(&smr);
+    let bound = smr.robustness_bound();
+    std::thread::scope(|s| {
+        for t in 0..THREADS {
+            let (list, smr) = (&list, &smr);
+            s.spawn(move || {
+                let mut ctx = smr.register().unwrap();
+                for i in 0..2_000i64 {
+                    let k = (t as i64 * 7 + i) % 64;
+                    let _ = list.insert(&mut ctx, k);
+                    let _ = list.delete(&mut ctx, k);
+                    assert!(
+                        smr.stats().retired_now <= bound,
+                        "HP bound {bound} violated"
+                    );
+                }
+            });
+        }
+    });
+}
+
+#[test]
+fn ebr_drains_fully_at_quiescence() {
+    let smr = Ebr::with_threshold(THREADS + 1, 8);
+    let list = MichaelList::new(&smr);
+    std::thread::scope(|s| {
+        for t in 0..THREADS {
+            let (list, smr) = (&list, &smr);
+            s.spawn(move || {
+                let mut ctx = smr.register().unwrap();
+                for i in 0..1_000i64 {
+                    let k = t as i64 * 1_000 + i;
+                    let _ = list.insert(&mut ctx, k);
+                    let _ = list.delete(&mut ctx, k);
+                }
+                for _ in 0..8 {
+                    smr.flush(&mut ctx);
+                }
+            });
+        }
+    });
+    // One more drain from a fresh context: everything must go.
+    let mut ctx = smr.register().unwrap();
+    for _ in 0..8 {
+        smr.flush(&mut ctx);
+    }
+    assert_eq!(smr.stats().retired_now, 0, "{}", smr.stats());
+}

@@ -1,0 +1,155 @@
+//! Randomized-schedule integration test: the integrated (scheme +
+//! Harris list) implementations stay linearizable and Definition-4.2
+//! safe under arbitrary interleavings — Conditions 1–2 of the
+//! applicability Definition 5.4, checked mechanically.
+//!
+//! The scheduler is a seeded uniform random walk over thread steps, so
+//! failures are reproducible.
+
+use era::core::ids::ThreadId;
+use era::core::linearizability::Checker;
+use era::core::spec::SetSpec;
+use era::sim::schemes::{SimEbr, SimLeak, SimNbr, SimScheme, SimVbr};
+use era::sim::{HarrisOp, HarrisSim, OpKind};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Runs `total_ops` random operations over `threads` threads under a
+/// random schedule; returns the finished world.
+fn random_run(
+    scheme: Box<dyn SimScheme>,
+    threads: usize,
+    total_ops: usize,
+    key_range: i64,
+    seed: u64,
+) -> HarrisSim {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut sim = HarrisSim::new(scheme);
+    let mut pending: Vec<Option<HarrisOp>> = (0..threads).map(|_| None).collect();
+    let mut started = 0usize;
+    let mut finished = 0usize;
+    let mut guard = 0usize;
+    while finished < total_ops {
+        guard += 1;
+        assert!(guard < 20_000_000, "random schedule did not terminate");
+        let t = rng.random_range(0..threads);
+        if pending[t].is_none() {
+            if started < total_ops {
+                let key = rng.random_range(0..key_range);
+                let kind = match rng.random_range(0..3u32) {
+                    0 => OpKind::Insert(key),
+                    1 => OpKind::Delete(key),
+                    _ => OpKind::Contains(key),
+                };
+                pending[t] = Some(sim.start_op(ThreadId(t), kind));
+                started += 1;
+            } else {
+                continue;
+            }
+        }
+        if let Some(op) = &mut pending[t] {
+            if sim.step(op) {
+                pending[t] = None;
+                finished += 1;
+            }
+        }
+    }
+    sim
+}
+
+fn check_safe_and_linearizable(name: &str, make: impl Fn() -> Box<dyn SimScheme>) {
+    for seed in 0..8u64 {
+        let sim = random_run(make(), 3, 30, 5, 0xC0FFEE + seed);
+        let verdict = sim.sim.heap.verdict();
+        assert!(
+            verdict.is_smr(),
+            "{name} seed {seed}: violations {:?}",
+            verdict.violations
+        );
+        assert!(
+            Checker::new(&SetSpec).is_linearizable(&sim.sim.history),
+            "{name} seed {seed}: non-linearizable history:\n{}",
+            sim.sim.history
+        );
+    }
+}
+
+#[test]
+fn ebr_random_schedules_are_safe_and_linearizable() {
+    check_safe_and_linearizable("EBR", || Box::new(SimEbr::new(3)));
+}
+
+#[test]
+fn leak_random_schedules_are_safe_and_linearizable() {
+    check_safe_and_linearizable("Leak", || Box::new(SimLeak));
+}
+
+#[test]
+fn vbr_random_schedules_are_safe_and_linearizable() {
+    check_safe_and_linearizable("VBR", || Box::new(SimVbr::new()));
+}
+
+#[test]
+fn nbr_random_schedules_are_safe_and_linearizable() {
+    check_safe_and_linearizable("NBR", || Box::new(SimNbr::new(3, 2)));
+}
+
+#[test]
+fn larger_random_runs_preserve_footprint_expectations() {
+    // Bigger runs (history too large for the linearizability checker,
+    // so we check safety + footprint only).
+    let sim = random_run(Box::new(SimVbr::new()), 4, 400, 12, 99);
+    assert!(sim.sim.heap.verdict().is_smr());
+    assert_eq!(sim.sim.heap.sample().retired, 0, "VBR: retire is reclaim");
+
+    let sim = random_run(Box::new(SimNbr::new(4, 4)), 4, 400, 12, 100);
+    assert!(sim.sim.heap.verdict().is_smr());
+    assert!(sim.sim.heap.sample().retired <= 8, "NBR threshold bound");
+
+    let sim = random_run(Box::new(SimEbr::new(4)), 4, 400, 12, 101);
+    assert!(sim.sim.heap.verdict().is_smr());
+}
+
+#[test]
+fn histories_from_random_runs_are_well_formed() {
+    use era::core::wellformed;
+    for seed in 0..4 {
+        let sim = random_run(Box::new(SimEbr::new(3)), 3, 40, 6, seed);
+        wellformed::check(&sim.sim.history).expect("well-formed history");
+    }
+}
+
+#[test]
+fn phase_discipline_holds_on_random_schedules() {
+    // Appendix D under random interleavings, not just the scripted ones.
+    use era::core::ids::ThreadId;
+    let mut rng = StdRng::seed_from_u64(4242);
+    let mut sim = HarrisSim::new(Box::new(SimEbr::new(3)) as Box<dyn SimScheme>);
+    sim.sim.enable_phase_check();
+    let mut pending: Vec<Option<HarrisOp>> = vec![None, None, None];
+    let mut finished = 0;
+    while finished < 60 {
+        let t = rng.random_range(0..3usize);
+        if pending[t].is_none() {
+            let key = rng.random_range(0..6i64);
+            let kind = match rng.random_range(0..3u32) {
+                0 => OpKind::Insert(key),
+                1 => OpKind::Delete(key),
+                _ => OpKind::Contains(key),
+            };
+            pending[t] = Some(sim.start_op(ThreadId(t), kind));
+        }
+        if let Some(op) = &mut pending[t] {
+            if sim.step(op) {
+                pending[t] = None;
+                finished += 1;
+            }
+        }
+    }
+    let phases = sim.sim.phases.take().unwrap();
+    assert!(
+        phases.is_access_aware(),
+        "Harris is access-aware (App. D): {:?}",
+        phases.violations()
+    );
+}
