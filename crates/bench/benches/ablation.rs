@@ -36,18 +36,22 @@ fn benches(c: &mut Criterion) {
     let mut g = c.benchmark_group("ablation/ebr_retire_threshold");
     g.throughput(Throughput::Elements(ops));
     for threshold in [1usize, 8, 64, 512] {
-        g.bench_with_input(BenchmarkId::from_parameter(threshold), &threshold, |b, &t| {
-            b.iter(|| run_michael(&Ebr::with_threshold(8, t), &s))
-        });
+        g.bench_with_input(
+            BenchmarkId::from_parameter(threshold),
+            &threshold,
+            |b, &t| b.iter(|| run_michael(&Ebr::with_threshold(8, t), &s)),
+        );
     }
     g.finish();
 
     let mut g = c.benchmark_group("ablation/hp_scan_threshold");
     g.throughput(Throughput::Elements(ops));
     for threshold in [1usize, 8, 64, 512] {
-        g.bench_with_input(BenchmarkId::from_parameter(threshold), &threshold, |b, &t| {
-            b.iter(|| run_michael(&Hp::with_threshold(8, 3, t), &s))
-        });
+        g.bench_with_input(
+            BenchmarkId::from_parameter(threshold),
+            &threshold,
+            |b, &t| b.iter(|| run_michael(&Hp::with_threshold(8, 3, t), &s)),
+        );
     }
     g.finish();
 

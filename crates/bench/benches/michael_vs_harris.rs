@@ -34,7 +34,9 @@ fn benches(c: &mut Criterion) {
             prefill: (key_range / 2) as usize,
             seed: 11,
         };
-        g.throughput(Throughput::Elements((spec.ops_per_thread * spec.threads) as u64));
+        g.throughput(Throughput::Elements(
+            (spec.ops_per_thread * spec.threads) as u64,
+        ));
         g.bench_with_input(BenchmarkId::new("harris+EBR", key_range), &spec, |b, s| {
             b.iter(|| run_harris(&Ebr::new(16), s))
         });

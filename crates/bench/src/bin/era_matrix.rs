@@ -29,7 +29,9 @@ fn main() {
     println!("--- Paper reference classification ---");
     let reference = reference_matrix();
     println!("{reference}");
-    reference.check_theorem().expect("reference matrix contradicts the theorem");
+    reference
+        .check_theorem()
+        .expect("reference matrix contradicts the theorem");
 
     println!("--- Measured from the simulator (Figure 1 replays, {rounds} rounds) ---");
     let measured = measured_matrix(rounds);
@@ -41,11 +43,7 @@ fn main() {
 
     println!("--- Real-scheme robustness (stalled reader, churn at 4 scales) ---");
     let scales = [2_000usize, 8_000, 32_000, 128_000];
-    let mut table = era_bench::table::Table::new([
-        "scheme",
-        "peaks (per scale)",
-        "classification",
-    ]);
+    let mut table = era_bench::table::Table::new(["scheme", "peaks (per scale)", "classification"]);
     macro_rules! classify_real {
         ($name:literal, $make:expr) => {{
             let mut obs = Vec::new();
@@ -62,11 +60,7 @@ fn main() {
                 });
             }
             let verdict = classify(&obs);
-            table.row([
-                $name.to_string(),
-                peaks.join(" "),
-                verdict.to_string(),
-            ]);
+            table.row([$name.to_string(), peaks.join(" "), verdict.to_string()]);
         }};
     }
     classify_real!("EBR", Ebr::with_threshold(4, 16));

@@ -28,8 +28,7 @@ fn main() {
 
     // Trajectory: retired population at sampled stages.
     let mut traj = Table::new(
-        std::iter::once("round".to_string())
-            .chain(outcomes.iter().map(|o| o.scheme.clone())),
+        std::iter::once("round".to_string()).chain(outcomes.iter().map(|o| o.scheme.clone())),
     );
     let checkpoints: Vec<usize> = (1..=10).map(|i| i * rounds / 10).collect();
     let series: Vec<Vec<usize>> = all_schemes(2)

@@ -41,8 +41,12 @@ fn main() {
             "disjoint churn (retires only post-stall nodes)"
         };
         println!("--- {label} ---");
-        let mut table =
-            Table::new(["scheme", "peak_retired", "final_retired", "series (every ~25%)"]);
+        let mut table = Table::new([
+            "scheme",
+            "peak_retired",
+            "final_retired",
+            "series (every ~25%)",
+        ]);
         macro_rules! run {
             ($name:literal, $make:expr) => {{
                 let smr = $make;

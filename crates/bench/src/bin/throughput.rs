@@ -6,22 +6,48 @@
 //! Harris's list (EBR/NBR/Leak — the type system excludes the rest) and
 //! the VBR list, across thread counts and operation mixes.
 //!
-//! Usage: `throughput [ops_per_thread] [key_range]` (defaults 200000, 1024).
+//! Usage: `throughput [ops_per_thread] [key_range] [--report out.jsonl]`
+//! (defaults 200000, 1024). With `--report`, every Michael/Harris run is
+//! traced through an [`era_obs::Recorder`] and the JSON-lines report
+//! (throughput, retired high-water, footprint curve, reclaim-latency
+//! histogram) is written to the given path.
 
-use era_bench::runner::{run_harris, run_michael, run_skiplist, run_vbr};
+use std::path::PathBuf;
+
+use era_bench::report::{write_jsonl, RunRecord};
+use era_bench::runner::{
+    run_harris, run_harris_traced, run_michael, run_michael_traced, run_skiplist, run_vbr,
+};
 use era_bench::table::Table;
 use era_bench::workload::{Mix, WorkloadSpec};
+use era_obs::Recorder;
+use era_smr::common::Smr as _;
 use era_smr::{ebr::Ebr, he::He, hp::Hp, ibr::Ibr, leak::Leak, nbr::Nbr};
 
 fn main() {
-    let ops: usize = std::env::args()
-        .nth(1)
+    let mut report_path: Option<PathBuf> = None;
+    let mut positional: Vec<String> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        if arg == "--report" {
+            report_path = args.next().map(PathBuf::from);
+            if report_path.is_none() {
+                eprintln!("--report requires a path argument");
+                std::process::exit(2);
+            }
+        } else {
+            positional.push(arg);
+        }
+    }
+    let ops: usize = positional
+        .first()
         .and_then(|s| s.parse().ok())
         .unwrap_or(200_000);
-    let key_range: i64 = std::env::args()
-        .nth(2)
+    let key_range: i64 = positional
+        .get(1)
         .and_then(|s| s.parse().ok())
         .unwrap_or(1_024);
+    let mut records: Vec<RunRecord> = Vec::new();
     let threads = [1usize, 2, 4, 8];
     let mixes = [Mix::READ_HEAVY, Mix::UPDATE_HEAVY];
 
@@ -50,7 +76,15 @@ fn main() {
                 let mut cells = vec![$label.to_string()];
                 for &t in &threads {
                     let smr = $make;
-                    let st = run_michael(&smr, &spec!(t));
+                    let spec = spec!(t);
+                    let st = if report_path.is_some() {
+                        let rec = Recorder::new(t + 2);
+                        let st = run_michael_traced(&smr, &spec, &rec);
+                        records.push(RunRecord::collect("michael", smr.name(), &spec, st, &rec));
+                        st
+                    } else {
+                        run_michael(&smr, &spec)
+                    };
                     cells.push(format!("{:.2}", st.mops()));
                 }
                 table.row(cells);
@@ -61,7 +95,15 @@ fn main() {
                 let mut cells = vec![$label.to_string()];
                 for &t in &threads {
                     let smr = $make;
-                    let st = run_harris(&smr, &spec!(t));
+                    let spec = spec!(t);
+                    let st = if report_path.is_some() {
+                        let rec = Recorder::new(t + 2);
+                        let st = run_harris_traced(&smr, &spec, &rec);
+                        records.push(RunRecord::collect("harris", smr.name(), &spec, st, &rec));
+                        st
+                    } else {
+                        run_harris(&smr, &spec)
+                    };
                     cells.push(format!("{:.2}", st.mops()));
                 }
                 table.row(cells);
@@ -99,4 +141,13 @@ fn main() {
          HP/HE pay per-read validation; Harris beats Michael under churn \
          (see also the michael_vs_harris Criterion bench, experiment E6)."
     );
+    if let Some(path) = report_path {
+        match write_jsonl(&path, &records) {
+            Ok(()) => println!("wrote {} run records to {}", records.len(), path.display()),
+            Err(e) => {
+                eprintln!("failed to write report {}: {e}", path.display());
+                std::process::exit(1);
+            }
+        }
+    }
 }

@@ -10,13 +10,20 @@
 //! * [`runner`] — throughput runners for every (structure × scheme)
 //!   pair, plus the stalled-thread robustness harness of Definition 5.1
 //!   measurements;
+//! * [`report`] — JSON-lines run reports (throughput, footprint curve,
+//!   reclamation-latency histogram) built on [`era_obs`];
 //! * [`table`] — plain-text table rendering for the binaries.
 
 #![warn(missing_docs)]
 
+pub mod report;
 pub mod runner;
 pub mod table;
 pub mod workload;
 
-pub use runner::{run_harris, run_michael, run_skiplist, run_vbr, RunStats, StallReport};
+pub use report::{write_jsonl, RunRecord};
+pub use runner::{
+    run_harris, run_harris_traced, run_michael, run_michael_traced, run_skiplist, run_vbr,
+    RunStats, StallReport,
+};
 pub use workload::{Mix, WorkloadSpec};

@@ -4,9 +4,22 @@ use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::time::{Duration, Instant};
 
 use era_ds::{HarrisList, MichaelList, SkipList, VbrList};
+use era_obs::{Hook, Recorder, SchemeId, ThreadTracer};
 use era_smr::common::{EpochProtected, Smr, SupportsUnlinkedTraversal};
 
 use crate::workload::{GenOp, WorkloadSpec};
+
+/// Trace thread slot used by the runner's footprint sampler.
+const SAMPLER_THREAD: u16 = u16::MAX - 1;
+
+/// Tracer for thread 0's footprint sampler: one [`Hook::Sample`] per
+/// sampling interval carrying `(retired_now, ops_done)`.
+fn sampler(recorder: Option<&Recorder>, scheme: &str) -> ThreadTracer {
+    match recorder {
+        Some(rec) => rec.tracer(SAMPLER_THREAD, SchemeId::from_name(scheme)),
+        None => ThreadTracer::disabled(),
+    }
+}
 
 /// Result of one throughput run.
 #[derive(Debug, Clone, Copy)]
@@ -17,6 +30,10 @@ pub struct RunStats {
     pub elapsed: Duration,
     /// Peak retired population observed by the sampler.
     pub peak_retired: usize,
+    /// The scheme's own retired-population high-water mark (exact,
+    /// updated on every retire — the sampler's `peak_retired` can only
+    /// undershoot it).
+    pub retired_peak: usize,
     /// Retired population after the final flush.
     pub final_retired: usize,
     /// Total nodes retired.
@@ -35,6 +52,28 @@ impl RunStats {
 /// Drives `spec` against a [`MichaelList`] (works with every
 /// pointer-based scheme, HP included).
 pub fn run_michael<S: Smr + Sync>(smr: &S, spec: &WorkloadSpec) -> RunStats {
+    run_michael_inner(smr, spec, None)
+}
+
+/// [`run_michael`] with an attached [`era_obs::Recorder`]: the scheme
+/// emits its hook events into the recorder and thread 0 samples the
+/// retired population as [`Hook::Sample`] events (the footprint curve).
+pub fn run_michael_traced<S: Smr + Sync>(
+    smr: &S,
+    spec: &WorkloadSpec,
+    recorder: &Recorder,
+) -> RunStats {
+    run_michael_inner(smr, spec, Some(recorder))
+}
+
+fn run_michael_inner<S: Smr + Sync>(
+    smr: &S,
+    spec: &WorkloadSpec,
+    recorder: Option<&Recorder>,
+) -> RunStats {
+    if let Some(rec) = recorder {
+        smr.attach_recorder(rec);
+    }
     let list = MichaelList::new(smr);
     {
         let mut ctx = smr.register().expect("capacity for the prefill thread");
@@ -49,6 +88,11 @@ pub fn run_michael<S: Smr + Sync>(smr: &S, spec: &WorkloadSpec) -> RunStats {
             let (list, peak) = (&list, &peak);
             s.spawn(move || {
                 let mut ctx = smr.register().expect("thread capacity");
+                let mut tracer = if t == 0 {
+                    sampler(recorder, smr.name())
+                } else {
+                    ThreadTracer::disabled()
+                };
                 for (i, op) in spec.ops_for_thread(t).enumerate() {
                     match op {
                         GenOp::Contains(k) => {
@@ -62,7 +106,9 @@ pub fn run_michael<S: Smr + Sync>(smr: &S, spec: &WorkloadSpec) -> RunStats {
                         }
                     }
                     if i % 1024 == 0 {
-                        peak.fetch_max(smr.stats().retired_now, Ordering::Relaxed);
+                        let retired = smr.stats().retired_now;
+                        peak.fetch_max(retired, Ordering::Relaxed);
+                        tracer.emit(Hook::Sample, retired as u64, i as u64);
                     }
                 }
                 for _ in 0..4 {
@@ -77,6 +123,7 @@ pub fn run_michael<S: Smr + Sync>(smr: &S, spec: &WorkloadSpec) -> RunStats {
         ops: spec.ops_per_thread * spec.threads,
         elapsed,
         peak_retired: peak.load(Ordering::Relaxed).max(st.retired_now),
+        retired_peak: st.retired_peak,
         final_retired: st.retired_now,
         total_retired: st.total_retired,
         total_reclaimed: st.total_reclaimed,
@@ -89,6 +136,27 @@ pub fn run_harris<S: Smr + SupportsUnlinkedTraversal + Sync>(
     smr: &S,
     spec: &WorkloadSpec,
 ) -> RunStats {
+    run_harris_inner(smr, spec, None)
+}
+
+/// [`run_harris`] with an attached [`era_obs::Recorder`] (see
+/// [`run_michael_traced`]).
+pub fn run_harris_traced<S: Smr + SupportsUnlinkedTraversal + Sync>(
+    smr: &S,
+    spec: &WorkloadSpec,
+    recorder: &Recorder,
+) -> RunStats {
+    run_harris_inner(smr, spec, Some(recorder))
+}
+
+fn run_harris_inner<S: Smr + SupportsUnlinkedTraversal + Sync>(
+    smr: &S,
+    spec: &WorkloadSpec,
+    recorder: Option<&Recorder>,
+) -> RunStats {
+    if let Some(rec) = recorder {
+        smr.attach_recorder(rec);
+    }
     let list = HarrisList::new(smr);
     {
         let mut ctx = smr.register().expect("capacity for the prefill thread");
@@ -103,6 +171,11 @@ pub fn run_harris<S: Smr + SupportsUnlinkedTraversal + Sync>(
             let (list, peak) = (&list, &peak);
             s.spawn(move || {
                 let mut ctx = smr.register().expect("thread capacity");
+                let mut tracer = if t == 0 {
+                    sampler(recorder, smr.name())
+                } else {
+                    ThreadTracer::disabled()
+                };
                 for (i, op) in spec.ops_for_thread(t).enumerate() {
                     match op {
                         GenOp::Contains(k) => {
@@ -116,7 +189,9 @@ pub fn run_harris<S: Smr + SupportsUnlinkedTraversal + Sync>(
                         }
                     }
                     if i % 1024 == 0 {
-                        peak.fetch_max(smr.stats().retired_now, Ordering::Relaxed);
+                        let retired = smr.stats().retired_now;
+                        peak.fetch_max(retired, Ordering::Relaxed);
+                        tracer.emit(Hook::Sample, retired as u64, i as u64);
                     }
                 }
                 for _ in 0..4 {
@@ -131,6 +206,7 @@ pub fn run_harris<S: Smr + SupportsUnlinkedTraversal + Sync>(
         ops: spec.ops_per_thread * spec.threads,
         elapsed,
         peak_retired: peak.load(Ordering::Relaxed).max(st.retired_now),
+        retired_peak: st.retired_peak,
         final_retired: st.retired_now,
         total_retired: st.total_retired,
         total_reclaimed: st.total_reclaimed,
@@ -178,6 +254,7 @@ pub fn run_skiplist<S: Smr + EpochProtected + Sync>(smr: &S, spec: &WorkloadSpec
         ops: spec.ops_per_thread * spec.threads,
         elapsed,
         peak_retired: st.retired_now,
+        retired_peak: st.retired_peak,
         final_retired: st.retired_now,
         total_retired: st.total_retired,
         total_reclaimed: st.total_reclaimed,
@@ -219,6 +296,7 @@ pub fn run_vbr(spec: &WorkloadSpec) -> RunStats {
         ops: spec.ops_per_thread * spec.threads,
         elapsed,
         peak_retired: st.retired_now,
+        retired_peak: st.retired_peak,
         final_retired: st.retired_now,
         total_retired: st.total_retired,
         total_reclaimed: st.total_reclaimed,
@@ -367,7 +445,10 @@ mod tests {
     fn harris_runner_with_nbr() {
         let smr = Nbr::new(8, 2);
         let stats = run_harris(&smr, &WorkloadSpec::small());
-        assert!(stats.final_retired <= 64 * 8, "NBR keeps the footprint bounded");
+        assert!(
+            stats.final_retired <= 64 * 8,
+            "NBR keeps the footprint bounded"
+        );
     }
 
     #[test]
@@ -380,7 +461,10 @@ mod tests {
     #[test]
     fn update_heavy_workload_reclaims_under_leak_never() {
         let smr = Leak::new(8);
-        let spec = WorkloadSpec { mix: Mix::UPDATE_HEAVY, ..WorkloadSpec::small() };
+        let spec = WorkloadSpec {
+            mix: Mix::UPDATE_HEAVY,
+            ..WorkloadSpec::small()
+        };
         let stats = run_michael(&smr, &spec);
         assert_eq!(stats.total_reclaimed, 0);
         assert_eq!(stats.final_retired as u64, stats.total_retired);
@@ -395,7 +479,11 @@ mod tests {
             "EBR under stall must accumulate: {}",
             r1.peak_retired
         );
-        assert!(r1.final_retired < 200, "unstalling drains: {}", r1.final_retired);
+        assert!(
+            r1.final_retired < 200,
+            "unstalling drains: {}",
+            r1.final_retired
+        );
 
         let hp = Hp::with_threshold(4, 3, 16);
         let r2 = stall_churn_michael(&hp, "HP", 64, 5_000, false);
@@ -424,6 +512,10 @@ mod tests {
             "but only the cohort: {}",
             r.peak_retired
         );
-        assert!(r.final_retired < 64, "unstalling drains: {}", r.final_retired);
+        assert!(
+            r.final_retired < 64,
+            "unstalling drains: {}",
+            r.final_retired
+        );
     }
 }

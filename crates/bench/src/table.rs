@@ -10,7 +10,10 @@ pub struct Table {
 impl Table {
     /// Creates a table with the given header.
     pub fn new<S: Into<String>>(header: impl IntoIterator<Item = S>) -> Self {
-        Table { header: header.into_iter().map(Into::into).collect(), rows: Vec::new() }
+        Table {
+            header: header.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
     }
 
     /// Appends a row (padded/truncated to the header width).
@@ -50,7 +53,11 @@ impl std::fmt::Display for Table {
             writeln!(f)
         };
         print_row(f, &self.header)?;
-        writeln!(f, "{}", "-".repeat(widths.iter().sum::<usize>() + 2 * (cols - 1)))?;
+        writeln!(
+            f,
+            "{}",
+            "-".repeat(widths.iter().sum::<usize>() + 2 * (cols - 1))
+        )?;
         for row in &self.rows {
             print_row(f, row)?;
         }

@@ -16,11 +16,23 @@ pub struct Mix {
 
 impl Mix {
     /// 90% reads, 5% inserts, 5% deletes — the classic read-heavy mix.
-    pub const READ_HEAVY: Mix = Mix { reads: 90, inserts: 5, deletes: 5 };
+    pub const READ_HEAVY: Mix = Mix {
+        reads: 90,
+        inserts: 5,
+        deletes: 5,
+    };
     /// 0% reads, 50% inserts, 50% deletes — maximum churn.
-    pub const UPDATE_HEAVY: Mix = Mix { reads: 0, inserts: 50, deletes: 50 };
+    pub const UPDATE_HEAVY: Mix = Mix {
+        reads: 0,
+        inserts: 50,
+        deletes: 50,
+    };
     /// 50/25/25 — balanced.
-    pub const MIXED: Mix = Mix { reads: 50, inserts: 25, deletes: 25 };
+    pub const MIXED: Mix = Mix {
+        reads: 50,
+        inserts: 25,
+        deletes: 25,
+    };
 
     /// Validates the mix.
     pub fn is_valid(&self) -> bool {
@@ -135,7 +147,12 @@ mod tests {
         assert!(Mix::READ_HEAVY.is_valid());
         assert!(Mix::UPDATE_HEAVY.is_valid());
         assert!(Mix::MIXED.is_valid());
-        assert!(!Mix { reads: 50, inserts: 50, deletes: 50 }.is_valid());
+        assert!(!Mix {
+            reads: 50,
+            inserts: 50,
+            deletes: 50
+        }
+        .is_valid());
     }
 
     #[test]

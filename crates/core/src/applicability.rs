@@ -64,7 +64,11 @@ impl ApplicabilityVerdict {
 
     /// The fully-applicable verdict.
     pub fn applicable() -> Self {
-        ApplicabilityVerdict { memory_safe: true, linearizable: true, progress_preserved: true }
+        ApplicabilityVerdict {
+            memory_safe: true,
+            linearizable: true,
+            progress_preserved: true,
+        }
     }
 }
 
@@ -300,7 +304,8 @@ impl AccessAwareChecker {
         match event {
             PhaseEvent::PhaseStart(kind) => {
                 if state.kind == Some(kind) {
-                    self.violations.push(PhaseViolation::NonAlternatingPhases { thread });
+                    self.violations
+                        .push(PhaseViolation::NonAlternatingPhases { thread });
                 }
                 state.phase += 1;
                 state.kind = Some(kind);
@@ -313,23 +318,30 @@ impl AccessAwareChecker {
                 // acquired in the current phase (the thread obviously
                 // still holds a fresh pointer to it).
                 if state.acquired.get(&var) == Some(&Acquisition::LocalAlloc) {
-                    state.acquired.insert(var, Acquisition::InPhase(state.phase));
+                    state
+                        .acquired
+                        .insert(var, Acquisition::InPhase(state.phase));
                 }
             }
             PhaseEvent::ReadGlobalInto { var } => {
                 if state.kind.is_none() {
-                    self.violations.push(PhaseViolation::AccessOutsidePhases { thread });
+                    self.violations
+                        .push(PhaseViolation::AccessOutsidePhases { thread });
                     return;
                 }
-                state.acquired.insert(var, Acquisition::InPhase(state.phase));
+                state
+                    .acquired
+                    .insert(var, Acquisition::InPhase(state.phase));
             }
             PhaseEvent::DerefReadInto { src, dst } => {
                 if state.kind.is_none() {
-                    self.violations.push(PhaseViolation::AccessOutsidePhases { thread });
+                    self.violations
+                        .push(PhaseViolation::AccessOutsidePhases { thread });
                     return;
                 }
                 if !Self::permitted(state, src) {
-                    self.violations.push(PhaseViolation::UnpermittedDeref { thread, var: src });
+                    self.violations
+                        .push(PhaseViolation::UnpermittedDeref { thread, var: src });
                 }
                 // In a read-only phase the result is permitted for the
                 // current phase; in a write phase the result is obtained
@@ -337,13 +349,17 @@ impl AccessAwareChecker {
                 // dereferenceable until a later acquisition.
                 match state.kind {
                     Some(PhaseKind::ReadOnly) => {
-                        state.acquired.insert(dst, Acquisition::InPhase(state.phase));
+                        state
+                            .acquired
+                            .insert(dst, Acquisition::InPhase(state.phase));
                     }
                     Some(PhaseKind::Write) => {
                         // Mark as acquired in the *write* phase: never
                         // permitted for deref (neither now nor after the
                         // next read-only phase begins).
-                        state.acquired.insert(dst, Acquisition::InPhase(state.phase));
+                        state
+                            .acquired
+                            .insert(dst, Acquisition::InPhase(state.phase));
                     }
                     None => {}
                 }
@@ -362,17 +378,20 @@ impl AccessAwareChecker {
             PhaseEvent::SharedWrite { via } => {
                 match state.kind {
                     None => {
-                        self.violations.push(PhaseViolation::AccessOutsidePhases { thread });
+                        self.violations
+                            .push(PhaseViolation::AccessOutsidePhases { thread });
                         return;
                     }
                     Some(PhaseKind::ReadOnly) => {
-                        self.violations.push(PhaseViolation::WriteInReadOnlyPhase { thread });
+                        self.violations
+                            .push(PhaseViolation::WriteInReadOnlyPhase { thread });
                         return;
                     }
                     Some(PhaseKind::Write) => {}
                 }
                 if !Self::permitted(state, via) {
-                    self.violations.push(PhaseViolation::UnpermittedDeref { thread, var: via });
+                    self.violations
+                        .push(PhaseViolation::UnpermittedDeref { thread, var: via });
                 }
             }
         }
@@ -418,7 +437,10 @@ mod tests {
         c.record(T, PhaseEvent::PhaseStart(PhaseKind::ReadOnly));
         c.record(T, PhaseEvent::ReadGlobalInto { var: P });
         c.record(T, PhaseEvent::SharedWrite { via: P });
-        assert_eq!(c.violations(), &[PhaseViolation::WriteInReadOnlyPhase { thread: T }]);
+        assert_eq!(
+            c.violations(),
+            &[PhaseViolation::WriteInReadOnlyPhase { thread: T }]
+        );
     }
 
     #[test]
@@ -430,7 +452,10 @@ mod tests {
         c.record(T, PhaseEvent::PhaseStart(PhaseKind::ReadOnly));
         // P was acquired two phases ago: not permitted in this phase.
         c.record(T, PhaseEvent::DerefReadInto { src: P, dst: Q });
-        assert_eq!(c.violations(), &[PhaseViolation::UnpermittedDeref { thread: T, var: P }]);
+        assert_eq!(
+            c.violations(),
+            &[PhaseViolation::UnpermittedDeref { thread: T, var: P }]
+        );
     }
 
     #[test]
@@ -441,7 +466,10 @@ mod tests {
         c.record(T, PhaseEvent::PhaseStart(PhaseKind::Write));
         c.record(T, PhaseEvent::DerefReadInto { src: P, dst: Q }); // ok: reads P
         c.record(T, PhaseEvent::DerefReadInto { src: Q, dst: R }); // Q obtained in write phase
-        assert_eq!(c.violations(), &[PhaseViolation::UnpermittedDeref { thread: T, var: Q }]);
+        assert_eq!(
+            c.violations(),
+            &[PhaseViolation::UnpermittedDeref { thread: T, var: Q }]
+        );
     }
 
     #[test]
@@ -465,14 +493,20 @@ mod tests {
         let mut c = AccessAwareChecker::new();
         c.record(T, PhaseEvent::PhaseStart(PhaseKind::ReadOnly));
         c.record(T, PhaseEvent::PhaseStart(PhaseKind::ReadOnly));
-        assert_eq!(c.violations(), &[PhaseViolation::NonAlternatingPhases { thread: T }]);
+        assert_eq!(
+            c.violations(),
+            &[PhaseViolation::NonAlternatingPhases { thread: T }]
+        );
     }
 
     #[test]
     fn access_outside_phases_flagged() {
         let mut c = AccessAwareChecker::new();
         c.record(T, PhaseEvent::ReadGlobalInto { var: P });
-        assert_eq!(c.violations(), &[PhaseViolation::AccessOutsidePhases { thread: T }]);
+        assert_eq!(
+            c.violations(),
+            &[PhaseViolation::AccessOutsidePhases { thread: T }]
+        );
     }
 
     #[test]
@@ -484,7 +518,10 @@ mod tests {
         c.record(t1, PhaseEvent::PhaseStart(PhaseKind::ReadOnly));
         // t1 never acquired P.
         c.record(t1, PhaseEvent::DerefReadInto { src: P, dst: Q });
-        assert_eq!(c.violations(), &[PhaseViolation::UnpermittedDeref { thread: t1, var: P }]);
+        assert_eq!(
+            c.violations(),
+            &[PhaseViolation::UnpermittedDeref { thread: t1, var: P }]
+        );
     }
 
     #[test]
@@ -508,7 +545,10 @@ mod tests {
         let ok = ApplicabilityVerdict::applicable();
         assert!(ok.is_applicable());
         assert_eq!(ok.to_string(), "applicable");
-        let bad = ApplicabilityVerdict { memory_safe: false, ..ok };
+        let bad = ApplicabilityVerdict {
+            memory_safe: false,
+            ..ok
+        };
         assert!(!bad.is_applicable());
         assert!(bad.to_string().contains("safety=false"));
         assert!(ApplicabilityClass::Strong.is_wide());

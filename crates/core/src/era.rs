@@ -59,9 +59,7 @@ impl EraProfile {
 
     /// Whether this profile contradicts Theorem 6.1.
     pub fn contradicts_theorem(&self) -> bool {
-        self.easy_integration
-            && self.robustness.is_weakly_robust()
-            && self.applicability.is_wide()
+        self.easy_integration && self.robustness.is_weakly_robust() && self.applicability.is_wide()
     }
 }
 
@@ -128,7 +126,9 @@ impl EraMatrix {
     pub fn check_theorem(&self) -> Result<(), TheoremViolation> {
         for row in &self.rows {
             if row.contradicts_theorem() {
-                return Err(TheoremViolation { profile: row.clone() });
+                return Err(TheoremViolation {
+                    profile: row.clone(),
+                });
             }
         }
         Ok(())
@@ -137,7 +137,9 @@ impl EraMatrix {
 
 impl FromIterator<EraProfile> for EraMatrix {
     fn from_iter<I: IntoIterator<Item = EraProfile>>(iter: I) -> Self {
-        EraMatrix { rows: iter.into_iter().collect() }
+        EraMatrix {
+            rows: iter.into_iter().collect(),
+        }
     }
 }
 

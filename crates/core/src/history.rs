@@ -151,12 +151,20 @@ impl History {
 
     /// Appends an invocation event.
     pub fn invoke(&mut self, thread: ThreadId, object: ObjectId, op: Op) {
-        self.events.push(Event { thread, object, kind: EventKind::Invoke(op) });
+        self.events.push(Event {
+            thread,
+            object,
+            kind: EventKind::Invoke(op),
+        });
     }
 
     /// Appends a response event.
     pub fn respond(&mut self, thread: ThreadId, object: ObjectId, ret: Ret) {
-        self.events.push(Event { thread, object, kind: EventKind::Response(ret) });
+        self.events.push(Event {
+            thread,
+            object,
+            kind: EventKind::Response(ret),
+        });
     }
 
     /// Appends an arbitrary event.
@@ -182,14 +190,24 @@ impl History {
     /// `H|T` — the sub-history of events executed by `thread`.
     pub fn per_thread(&self, thread: ThreadId) -> History {
         History {
-            events: self.events.iter().copied().filter(|e| e.thread == thread).collect(),
+            events: self
+                .events
+                .iter()
+                .copied()
+                .filter(|e| e.thread == thread)
+                .collect(),
         }
     }
 
     /// `H|O` — the sub-history of events executed on `object`.
     pub fn per_object(&self, object: ObjectId) -> History {
         History {
-            events: self.events.iter().copied().filter(|e| e.object == object).collect(),
+            events: self
+                .events
+                .iter()
+                .copied()
+                .filter(|e| e.object == object)
+                .collect(),
         }
     }
 
@@ -230,7 +248,9 @@ impl History {
                 threads.push(t);
             }
         }
-        threads.iter().all(|&t| self.per_thread(t) == other.per_thread(t))
+        threads
+            .iter()
+            .all(|&t| self.per_thread(t) == other.per_thread(t))
     }
 
     /// An operation is *complete* when its matching response is present;
@@ -251,9 +271,7 @@ impl History {
         let mut open: HashMap<(ThreadId, ObjectId), Vec<Op>> = HashMap::new();
         for e in &self.events {
             match e.kind {
-                EventKind::Invoke(op) => {
-                    open.entry((e.thread, e.object)).or_default().push(op)
-                }
+                EventKind::Invoke(op) => open.entry((e.thread, e.object)).or_default().push(op),
                 EventKind::Response(_) => {
                     if let Some(stack) = open.get_mut(&(e.thread, e.object)) {
                         stack.pop();
@@ -272,7 +290,9 @@ impl History {
 
 impl FromIterator<Event> for History {
     fn from_iter<I: IntoIterator<Item = Event>>(iter: I) -> Self {
-        History { events: iter.into_iter().collect() }
+        History {
+            events: iter.into_iter().collect(),
+        }
     }
 }
 

@@ -50,12 +50,18 @@ pub struct NodeId {
 impl NodeId {
     /// The first logical node living at `addr`.
     pub fn first(addr: usize) -> Self {
-        NodeId { addr, incarnation: 1 }
+        NodeId {
+            addr,
+            incarnation: 1,
+        }
     }
 
     /// The logical node of the next allocation at the same address.
     pub fn next_incarnation(self) -> Self {
-        NodeId { addr: self.addr, incarnation: self.incarnation + 1 }
+        NodeId {
+            addr: self.addr,
+            incarnation: self.incarnation + 1,
+        }
     }
 }
 

@@ -275,7 +275,10 @@ pub fn check_easy_integration(iface: &SchemeInterface) -> EasyIntegrationVerdict
     if let Some(shape) = iface.required_code_shape {
         failures.push(IntegrationFailure::RequiresCodeShape(shape));
     }
-    EasyIntegrationVerdict { scheme: iface.name.clone(), failures }
+    EasyIntegrationVerdict {
+        scheme: iface.name.clone(),
+        failures,
+    }
 }
 
 /// Runtime monitor for the dynamic side of Definition 5.3: the simulator
@@ -353,9 +356,9 @@ mod tests {
         let v = check_easy_integration(&nbr);
         assert!(!v.is_easy());
         assert!(v.failures.contains(&IntegrationFailure::RequiresRollback));
-        assert!(v
-            .failures
-            .contains(&IntegrationFailure::RequiresCodeShape(CodeShape::ReadWritePhases)));
+        assert!(v.failures.contains(&IntegrationFailure::RequiresCodeShape(
+            CodeShape::ReadWritePhases
+        )));
     }
 
     #[test]
@@ -403,7 +406,13 @@ mod tests {
 
     #[test]
     fn call_site_display() {
-        assert_eq!(CallSite::OperationBoundary.to_string(), "operation boundary");
-        assert_eq!(CodeShape::Checkpoints.to_string(), "checkpoint installation");
+        assert_eq!(
+            CallSite::OperationBoundary.to_string(),
+            "operation boundary"
+        );
+        assert_eq!(
+            CodeShape::Checkpoints.to_string(),
+            "checkpoint installation"
+        );
     }
 }

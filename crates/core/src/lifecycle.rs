@@ -125,7 +125,10 @@ impl fmt::Display for LifecycleError {
                 write!(f, "reclaim of {node} while {state}")
             }
             LifecycleError::StaleIncarnation { node, current } => {
-                write!(f, "reference to stale {node} (current incarnation {current})")
+                write!(
+                    f,
+                    "reference to stale {node} (current incarnation {current})"
+                )
             }
         }
     }
@@ -204,7 +207,10 @@ impl LifecycleTracker {
         });
         if entry.state != NodeState::Unallocated {
             return Err(LifecycleError::AllocInUse {
-                node: NodeId { addr, incarnation: entry.incarnation },
+                node: NodeId {
+                    addr,
+                    incarnation: entry.incarnation,
+                },
                 state: entry.state,
             });
         }
@@ -213,13 +219,19 @@ impl LifecycleTracker {
         self.active += 1;
         self.max_active = self.max_active.max(self.active);
         self.total_allocs += 1;
-        Ok(NodeId { addr, incarnation: entry.incarnation })
+        Ok(NodeId {
+            addr,
+            incarnation: entry.incarnation,
+        })
     }
 
     fn entry_mut(&mut self, node: NodeId) -> Result<&mut AddrEntry, LifecycleError> {
         match self.addrs.get_mut(&node.addr) {
             Some(e) if e.incarnation == node.incarnation => Ok(e),
-            Some(e) => Err(LifecycleError::StaleIncarnation { node, current: e.incarnation }),
+            Some(e) => Err(LifecycleError::StaleIncarnation {
+                node,
+                current: e.incarnation,
+            }),
             None => Err(LifecycleError::StaleIncarnation { node, current: 0 }),
         }
     }
@@ -270,7 +282,10 @@ impl LifecycleTracker {
     pub fn retire(&mut self, node: NodeId) -> Result<(), LifecycleError> {
         let e = self.entry_mut(node)?;
         if !e.state.is_active() {
-            return Err(LifecycleError::RetireNotActive { node, state: e.state });
+            return Err(LifecycleError::RetireNotActive {
+                node,
+                state: e.state,
+            });
         }
         e.state = NodeState::Retired;
         self.active -= 1;
@@ -288,7 +303,10 @@ impl LifecycleTracker {
     pub fn reclaim(&mut self, node: NodeId) -> Result<(), LifecycleError> {
         let e = self.entry_mut(node)?;
         if e.state != NodeState::Retired {
-            return Err(LifecycleError::ReclaimNotRetired { node, state: e.state });
+            return Err(LifecycleError::ReclaimNotRetired {
+                node,
+                state: e.state,
+            });
         }
         e.state = NodeState::Unallocated;
         self.retired -= 1;
@@ -377,7 +395,10 @@ mod tests {
         let err = lc.retire(n).unwrap_err();
         assert_eq!(
             err,
-            LifecycleError::RetireNotActive { node: n, state: NodeState::Retired }
+            LifecycleError::RetireNotActive {
+                node: n,
+                state: NodeState::Retired
+            }
         );
     }
 
@@ -395,7 +416,10 @@ mod tests {
     fn alloc_in_use_rejected() {
         let mut lc = LifecycleTracker::new();
         let _ = lc.alloc(0, T0).unwrap();
-        assert!(matches!(lc.alloc(0, T1), Err(LifecycleError::AllocInUse { .. })));
+        assert!(matches!(
+            lc.alloc(0, T1),
+            Err(LifecycleError::AllocInUse { .. })
+        ));
     }
 
     #[test]

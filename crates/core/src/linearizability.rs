@@ -97,12 +97,22 @@ impl<'a, S: SequentialSpec> Checker<'a, S> {
                     EventKind::Invoke(op) => open = Some((op, i)),
                     EventKind::Response(ret) => {
                         let (op, inv) = open.take().expect("well-formed");
-                        ops.push(OpRec { op, ret: Some(ret), inv, res: i });
+                        ops.push(OpRec {
+                            op,
+                            ret: Some(ret),
+                            inv,
+                            res: i,
+                        });
                     }
                 }
             }
             if let Some((op, inv)) = open {
-                ops.push(OpRec { op, ret: None, inv, res: usize::MAX });
+                ops.push(OpRec {
+                    op,
+                    ret: None,
+                    inv,
+                    res: usize::MAX,
+                });
             }
             let _ = tp;
             per_thread.push(ops);
@@ -129,9 +139,20 @@ impl<'a, S: SequentialSpec> Checker<'a, S> {
             bit_of.push(v);
         }
 
-        let full: u128 = if total == 128 { u128::MAX } else { (1u128 << total) - 1 };
+        let full: u128 = if total == 128 {
+            u128::MAX
+        } else {
+            (1u128 << total) - 1
+        };
         let mut memo: HashSet<(u128, S::State)> = HashSet::new();
-        self.dfs(&per_thread, &bit_of, 0, full, self.spec.initial(), &mut memo)
+        self.dfs(
+            &per_thread,
+            &bit_of,
+            0,
+            full,
+            self.spec.initial(),
+            &mut memo,
+        )
     }
 
     /// Depth-first search for a valid linearization.
@@ -155,9 +176,9 @@ impl<'a, S: SequentialSpec> Checker<'a, S> {
         }
         // If all remaining operations are pending, we may drop them all.
         let all_remaining_pending = per_thread.iter().enumerate().all(|(ti, ops)| {
-            ops.iter().enumerate().all(|(oi, rec)| {
-                done & (1u128 << bit_of[ti][oi]) != 0 || rec.ret.is_none()
-            })
+            ops.iter()
+                .enumerate()
+                .all(|(oi, rec)| done & (1u128 << bit_of[ti][oi]) != 0 || rec.ret.is_none())
         });
         if all_remaining_pending {
             return true;
@@ -438,7 +459,12 @@ mod tests {
                 }
                 EventKind::Response(ret) => {
                     let (op, inv) = open.remove(&e.thread).unwrap();
-                    recs.push(R { op, ret, inv, res: i });
+                    recs.push(R {
+                        op,
+                        ret,
+                        inv,
+                        res: i,
+                    });
                 }
             }
         }
@@ -454,9 +480,11 @@ mod tests {
                     continue;
                 }
                 // real-time: no unused j with res(j) < inv(i)
-                if recs.iter().enumerate().any(|(j, rj)| {
-                    !used.contains(&j) && j != i && rj.res < recs[i].inv
-                }) {
+                if recs
+                    .iter()
+                    .enumerate()
+                    .any(|(j, rj)| !used.contains(&j) && j != i && rj.res < recs[i].inv)
+                {
                     continue;
                 }
                 used.push(i);
@@ -489,7 +517,9 @@ mod tests {
         // unit tests): simple LCG.
         let mut seed = 0x12345678u64;
         let mut next = move || {
-            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            seed = seed
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             (seed >> 33) as usize
         };
         for _case in 0..200 {

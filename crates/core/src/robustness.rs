@@ -88,7 +88,10 @@ impl RobustnessVerdict {
     /// Whether the verdict satisfies Definition 5.2 (robust schemes are
     /// weakly robust too).
     pub fn is_weakly_robust(self) -> bool {
-        matches!(self, RobustnessVerdict::Robust | RobustnessVerdict::WeaklyRobust)
+        matches!(
+            self,
+            RobustnessVerdict::Robust | RobustnessVerdict::WeaklyRobust
+        )
     }
 }
 
@@ -207,7 +210,12 @@ pub fn classify(observations: &[RobustnessObservation]) -> RobustnessReport {
 
     let retired_pts: Vec<(f64, f64)> = observations
         .iter()
-        .map(|o| (o.scale as f64, o.peak_retired as f64 / o.threads.max(1) as f64))
+        .map(|o| {
+            (
+                o.scale as f64,
+                o.peak_retired as f64 / o.threads.max(1) as f64,
+            )
+        })
         .collect();
     let active_pts: Vec<(f64, f64)> = observations
         .iter()
@@ -324,9 +332,21 @@ mod tests {
     #[test]
     fn from_samples_takes_peaks() {
         let samples = [
-            FootprintSample { active: 1, max_active: 1, retired: 0 },
-            FootprintSample { active: 5, max_active: 5, retired: 9 },
-            FootprintSample { active: 2, max_active: 5, retired: 3 },
+            FootprintSample {
+                active: 1,
+                max_active: 1,
+                retired: 0,
+            },
+            FootprintSample {
+                active: 5,
+                max_active: 5,
+                retired: 9,
+            },
+            FootprintSample {
+                active: 2,
+                max_active: 5,
+                retired: 3,
+            },
         ];
         let o = RobustnessObservation::from_samples(100, 2, &samples);
         assert_eq!(o.peak_retired, 9);
@@ -335,8 +355,9 @@ mod tests {
 
     #[test]
     fn loglog_slope_sanity() {
-        let pts: Vec<(f64, f64)> =
-            (1..=10).map(|i| (i as f64 * 100.0, (i as f64 * 100.0).powi(2))).collect();
+        let pts: Vec<(f64, f64)> = (1..=10)
+            .map(|i| (i as f64 * 100.0, (i as f64 * 100.0).powi(2)))
+            .collect();
         let s = loglog_slope(&pts);
         assert!((s - 2.0).abs() < 0.05, "slope={s}");
         let flat: Vec<(f64, f64)> = (1..=10).map(|i| (i as f64 * 100.0, 42.0)).collect();

@@ -155,7 +155,12 @@ impl fmt::Display for Violation {
                 "{} mutated reclaimed memory via invalid {} at {}",
                 access.thread, access.ptr, access.at
             ),
-            Violation::TaintedValueUsed { origin, var, used_at, used_by } => write!(
+            Violation::TaintedValueUsed {
+                origin,
+                var,
+                used_at,
+                used_by,
+            } => write!(
                 f,
                 "{used_by} used {var} at {used_at}, tainted by unsafe read at {} via {}",
                 origin.at, origin.ptr
@@ -280,7 +285,12 @@ impl SafetyChecker {
                     PtrSource::Null => self.validity.on_null(var),
                 }
             }
-            MemEvent::Deref { thread, ptr, kind, in_program_space } => {
+            MemEvent::Deref {
+                thread,
+                ptr,
+                kind,
+                in_program_space,
+            } => {
                 // Dereferencing is a use of `ptr`'s value.
                 if let Some(origin) = self.tainted.get(&ptr).copied() {
                     self.verdict.violations.push(Violation::TaintedValueUsed {
@@ -361,7 +371,10 @@ impl SafetyChecker {
     ///
     /// Equivalent to `record(PtrUpdate { var: dst, source: Copy(src_field) })`.
     pub fn record_ptr_read(&mut self, dst: VarId, src_field: VarId) {
-        self.record(MemEvent::PtrUpdate { var: dst, source: PtrSource::Copy(src_field) });
+        self.record(MemEvent::PtrUpdate {
+            var: dst,
+            source: PtrSource::Copy(src_field),
+        });
     }
 
     /// The verdict so far.
@@ -386,7 +399,10 @@ mod tests {
 
     fn alloc(chk: &mut SafetyChecker, var: VarId, addr: usize) -> NodeId {
         let n = NodeId::first(addr);
-        chk.record(MemEvent::PtrUpdate { var, source: PtrSource::Alloc(n) });
+        chk.record(MemEvent::PtrUpdate {
+            var,
+            source: PtrSource::Alloc(n),
+        });
         n
     }
 
@@ -410,7 +426,10 @@ mod tests {
     fn unsafe_read_alone_is_not_a_violation() {
         let mut chk = SafetyChecker::new();
         let n = alloc(&mut chk, P, 0);
-        chk.record(MemEvent::Unallocate { node: n, to_system: false });
+        chk.record(MemEvent::Unallocate {
+            node: n,
+            to_system: false,
+        });
         chk.record(MemEvent::Deref {
             thread: T,
             ptr: P,
@@ -427,7 +446,10 @@ mod tests {
     fn condition1_system_space() {
         let mut chk = SafetyChecker::new();
         let n = alloc(&mut chk, P, 0);
-        chk.record(MemEvent::Unallocate { node: n, to_system: true });
+        chk.record(MemEvent::Unallocate {
+            node: n,
+            to_system: true,
+        });
         chk.record(MemEvent::Deref {
             thread: T,
             ptr: P,
@@ -435,14 +457,20 @@ mod tests {
             in_program_space: false,
         });
         let v = chk.verdict();
-        assert!(matches!(v.violations[0], Violation::SystemSpaceAccess { .. }));
+        assert!(matches!(
+            v.violations[0],
+            Violation::SystemSpaceAccess { .. }
+        ));
     }
 
     #[test]
     fn condition2_mutation() {
         let mut chk = SafetyChecker::new();
         let n = alloc(&mut chk, P, 0);
-        chk.record(MemEvent::Unallocate { node: n, to_system: false });
+        chk.record(MemEvent::Unallocate {
+            node: n,
+            to_system: false,
+        });
         chk.record(MemEvent::Deref {
             thread: T,
             ptr: P,
@@ -460,7 +488,10 @@ mod tests {
         // VBR's trick: attempting an update that is guaranteed to fail.
         let mut chk = SafetyChecker::new();
         let n = alloc(&mut chk, P, 0);
-        chk.record(MemEvent::Unallocate { node: n, to_system: false });
+        chk.record(MemEvent::Unallocate {
+            node: n,
+            to_system: false,
+        });
         chk.record(MemEvent::Deref {
             thread: T,
             ptr: P,
@@ -475,7 +506,10 @@ mod tests {
     fn condition3_use_of_tainted_value() {
         let mut chk = SafetyChecker::new();
         let n = alloc(&mut chk, P, 0);
-        chk.record(MemEvent::Unallocate { node: n, to_system: false });
+        chk.record(MemEvent::Unallocate {
+            node: n,
+            to_system: false,
+        });
         chk.record(MemEvent::Deref {
             thread: T,
             ptr: P,
@@ -493,7 +527,10 @@ mod tests {
     fn condition3_overwrite_clears_taint() {
         let mut chk = SafetyChecker::new();
         let n = alloc(&mut chk, P, 0);
-        chk.record(MemEvent::Unallocate { node: n, to_system: false });
+        chk.record(MemEvent::Unallocate {
+            node: n,
+            to_system: false,
+        });
         chk.record(MemEvent::Deref {
             thread: T,
             ptr: P,
@@ -511,7 +548,10 @@ mod tests {
         // pointer from reclaimed memory, then traverse through it.
         let mut chk = SafetyChecker::new();
         let n = alloc(&mut chk, P, 0);
-        chk.record(MemEvent::Unallocate { node: n, to_system: false });
+        chk.record(MemEvent::Unallocate {
+            node: n,
+            to_system: false,
+        });
         chk.record(MemEvent::Deref {
             thread: T,
             ptr: P,
@@ -536,14 +576,20 @@ mod tests {
     fn copying_tainted_pointer_is_a_use() {
         let mut chk = SafetyChecker::new();
         let n = alloc(&mut chk, P, 0);
-        chk.record(MemEvent::Unallocate { node: n, to_system: false });
+        chk.record(MemEvent::Unallocate {
+            node: n,
+            to_system: false,
+        });
         chk.record(MemEvent::Deref {
             thread: T,
             ptr: P,
             kind: DerefKind::ReadPtrInto { dst: Q },
             in_program_space: true,
         });
-        chk.record(MemEvent::PtrUpdate { var: V, source: PtrSource::Copy(Q) });
+        chk.record(MemEvent::PtrUpdate {
+            var: V,
+            source: PtrSource::Copy(Q),
+        });
         assert!(!chk.verdict().is_smr());
     }
 
@@ -552,7 +598,10 @@ mod tests {
         let mut chk = SafetyChecker::new();
         let n = alloc(&mut chk, P, 0);
         let _m = alloc(&mut chk, Q, 1);
-        chk.record(MemEvent::Unallocate { node: n, to_system: false });
+        chk.record(MemEvent::Unallocate {
+            node: n,
+            to_system: false,
+        });
         // taint V via unsafe read
         chk.record(MemEvent::Deref {
             thread: T,
@@ -574,6 +623,9 @@ mod tests {
     #[test]
     fn verdict_display() {
         let chk = SafetyChecker::new();
-        assert_eq!(chk.verdict().to_string(), "0 unsafe access(es), 0 violation(s)");
+        assert_eq!(
+            chk.verdict().to_string(),
+            "0 unsafe access(es), 0 violation(s)"
+        );
     }
 }

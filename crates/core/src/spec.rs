@@ -231,7 +231,9 @@ mod tests {
         let s3 = spec.step(&s2, &Op::Delete(1), &Ret::Bool(true)).unwrap();
         assert!(s3.is_empty());
         assert!(spec.step(&s3, &Op::Delete(1), &Ret::Bool(true)).is_none());
-        assert!(spec.step(&s3, &Op::Contains(1), &Ret::Bool(false)).is_some());
+        assert!(spec
+            .step(&s3, &Op::Contains(1), &Ret::Bool(false))
+            .is_some());
         // Illegal op for the type
         assert!(spec.outcomes(&s3, &Op::Push(1)).is_empty());
     }

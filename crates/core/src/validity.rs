@@ -83,8 +83,10 @@ impl ValidityTracker {
     }
 
     fn unlink(&mut self, var: VarId) {
-        if let Some(PtrState { target: Some(node), valid: true }) =
-            self.ptrs.get(&var).copied()
+        if let Some(PtrState {
+            target: Some(node),
+            valid: true,
+        }) = self.ptrs.get(&var).copied()
         {
             if let Some(set) = self.refs.get_mut(&node) {
                 set.remove(&var);
@@ -100,7 +102,13 @@ impl ValidityTracker {
     /// in `C_i`").
     pub fn on_alloc(&mut self, var: VarId, node: NodeId) {
         self.unlink(var);
-        self.ptrs.insert(var, PtrState { target: Some(node), valid: true });
+        self.ptrs.insert(
+            var,
+            PtrState {
+                target: Some(node),
+                valid: true,
+            },
+        );
         self.refs.entry(node).or_default().insert(var);
     }
 
@@ -109,14 +117,17 @@ impl ValidityTracker {
     /// `dst` inherits `src`'s target and validity *at this instant*; a
     /// later unallocation of the target invalidates both.
     pub fn on_copy(&mut self, dst: VarId, src: VarId) {
-        let state = self
-            .ptrs
-            .get(&src)
-            .copied()
-            .unwrap_or(PtrState { target: None, valid: false });
+        let state = self.ptrs.get(&src).copied().unwrap_or(PtrState {
+            target: None,
+            valid: false,
+        });
         self.unlink(dst);
         self.ptrs.insert(dst, state);
-        if let PtrState { target: Some(node), valid: true } = state {
+        if let PtrState {
+            target: Some(node),
+            valid: true,
+        } = state
+        {
             self.refs.entry(node).or_default().insert(dst);
         }
     }
@@ -124,7 +135,13 @@ impl ValidityTracker {
     /// `var` was set to null.
     pub fn on_null(&mut self, var: VarId) {
         self.unlink(var);
-        self.ptrs.insert(var, PtrState { target: None, valid: false });
+        self.ptrs.insert(
+            var,
+            PtrState {
+                target: None,
+                valid: false,
+            },
+        );
     }
 
     /// `var` holds a reference obtained out-of-band (e.g. read from a
@@ -132,7 +149,13 @@ impl ValidityTracker {
     /// from birth.
     pub fn on_invalid_ref(&mut self, var: VarId, node: Option<NodeId>) {
         self.unlink(var);
-        self.ptrs.insert(var, PtrState { target: node, valid: false });
+        self.ptrs.insert(
+            var,
+            PtrState {
+                target: node,
+                valid: false,
+            },
+        );
     }
 
     /// `node` transitioned to `unallocated` (reclaimed): every pointer
@@ -167,8 +190,14 @@ impl ValidityTracker {
     pub fn validity(&self, var: VarId) -> Validity {
         match self.ptrs.get(&var) {
             None | Some(PtrState { target: None, .. }) => Validity::Null,
-            Some(PtrState { target: Some(_), valid: true }) => Validity::Valid,
-            Some(PtrState { target: Some(_), valid: false }) => Validity::Invalid,
+            Some(PtrState {
+                target: Some(_),
+                valid: true,
+            }) => Validity::Valid,
+            Some(PtrState {
+                target: Some(_),
+                valid: false,
+            }) => Validity::Invalid,
         }
     }
 

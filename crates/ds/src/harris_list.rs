@@ -105,7 +105,9 @@ unsafe impl<S: Smr + SupportsUnlinkedTraversal + Send> Send for HarrisList<'_, S
 
 impl<S: Smr + SupportsUnlinkedTraversal> fmt::Debug for HarrisList<'_, S> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.debug_struct("HarrisList").field("smr", &self.smr.name()).finish_non_exhaustive()
+        f.debug_struct("HarrisList")
+            .field("smr", &self.smr.name())
+            .finish_non_exhaustive()
     }
 }
 
@@ -142,11 +144,10 @@ impl<'s, S: Smr + SupportsUnlinkedTraversal> HarrisList<'s, S> {
         'retry: loop {
             self.smr.enter_read_phase(ctx);
             let mut pred: *const Node = self.head;
-            let mut pred_next =
-                unsafe { (*pred).next.load(Ordering::SeqCst) }; // line 4
+            let mut pred_next = unsafe { (*pred).next.load(Ordering::SeqCst) }; // line 4
             let mut curr: *const Node = untagged(pred_next) as *const Node;
             let mut curr_next = unsafe { (*curr).next.load(Ordering::SeqCst) }; // line 6
-            // line 7: traverse while curr is marked or key too small
+                                                                                // line 7: traverse while curr is marked or key too small
             while is_marked(curr_next) || unsafe { (*curr).key } < key {
                 if self.smr.needs_restart(ctx) {
                     continue 'retry; // neutralized: drop everything
@@ -169,9 +170,7 @@ impl<'s, S: Smr + SupportsUnlinkedTraversal> HarrisList<'s, S> {
             }
             if pred_next == curr as usize {
                 // line 14: no marked chain between pred and curr
-                if curr != self.tail
-                    && is_marked(unsafe { (*curr).next.load(Ordering::SeqCst) })
-                {
+                if curr != self.tail && is_marked(unsafe { (*curr).next.load(Ordering::SeqCst) }) {
                     self.smr.clear_reservations(ctx);
                     continue 'retry; // lines 15–16
                 }
@@ -179,17 +178,10 @@ impl<'s, S: Smr + SupportsUnlinkedTraversal> HarrisList<'s, S> {
             }
             // line 18: unlink the whole marked chain [pred_next, curr)
             if unsafe { &(*pred).next }
-                .compare_exchange(
-                    pred_next,
-                    curr as usize,
-                    Ordering::SeqCst,
-                    Ordering::SeqCst,
-                )
+                .compare_exchange(pred_next, curr as usize, Ordering::SeqCst, Ordering::SeqCst)
                 .is_ok()
             {
-                if curr != self.tail
-                    && is_marked(unsafe { (*curr).next.load(Ordering::SeqCst) })
-                {
+                if curr != self.tail && is_marked(unsafe { (*curr).next.load(Ordering::SeqCst) }) {
                     self.smr.clear_reservations(ctx);
                     continue 'retry; // line 20
                 }
@@ -211,7 +203,8 @@ impl<'s, S: Smr + SupportsUnlinkedTraversal> HarrisList<'s, S> {
                 // lines 33–35: duplicate — retire the local node
                 self.smr.clear_reservations(ctx);
                 unsafe {
-                    self.smr.retire(ctx, node as *mut u8, &(*node).header, DROP_NODE);
+                    self.smr
+                        .retire(ctx, node as *mut u8, &(*node).header, DROP_NODE);
                 }
                 break false;
             }
@@ -278,7 +271,8 @@ impl<'s, S: Smr + SupportsUnlinkedTraversal> HarrisList<'s, S> {
                 }
                 // line 52: the marker retires — exactly once per node
                 unsafe {
-                    self.smr.retire(ctx, w.curr as *mut u8, &(*w.curr).header, DROP_NODE);
+                    self.smr
+                        .retire(ctx, w.curr as *mut u8, &(*w.curr).header, DROP_NODE);
                 }
                 break 'outer true; // line 53
             }
@@ -303,8 +297,7 @@ impl<'s, S: Smr + SupportsUnlinkedTraversal> HarrisList<'s, S> {
     /// Snapshot of the keys (quiescent use only).
     pub fn collect_keys(&self) -> Vec<i64> {
         let mut out = Vec::new();
-        let mut node = untagged(unsafe { (*self.head).next.load(Ordering::SeqCst) })
-            as *const Node;
+        let mut node = untagged(unsafe { (*self.head).next.load(Ordering::SeqCst) }) as *const Node;
         while node != self.tail {
             let next = unsafe { (*node).next.load(Ordering::SeqCst) };
             if !is_marked(next) {
@@ -383,11 +376,7 @@ mod tests {
         let _ = list.insert(&mut ctx, i64::MAX);
     }
 
-    fn stress<S: Smr + SupportsUnlinkedTraversal + Sync>(
-        smr: &S,
-        threads: usize,
-        per_thread: i64,
-    ) {
+    fn stress<S: Smr + SupportsUnlinkedTraversal + Sync>(smr: &S, threads: usize, per_thread: i64) {
         let list = HarrisList::new(smr);
         std::thread::scope(|s| {
             for t in 0..threads {

@@ -34,7 +34,9 @@ pub struct HashSet<'s, S: Smr> {
 
 impl<S: Smr> fmt::Debug for HashSet<'_, S> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.debug_struct("HashSet").field("buckets", &self.buckets.len()).finish()
+        f.debug_struct("HashSet")
+            .field("buckets", &self.buckets.len())
+            .finish()
     }
 }
 
@@ -42,7 +44,9 @@ impl<'s, S: Smr> HashSet<'s, S> {
     /// Creates a hash set with `buckets` buckets (rounded up to 1).
     pub fn new(smr: &'s S, buckets: usize) -> Self {
         let buckets = buckets.max(1);
-        HashSet { buckets: (0..buckets).map(|_| MichaelList::new(smr)).collect() }
+        HashSet {
+            buckets: (0..buckets).map(|_| MichaelList::new(smr)).collect(),
+        }
     }
 
     fn bucket(&self, key: i64) -> &MichaelList<'s, S> {
@@ -74,8 +78,7 @@ impl<'s, S: Smr> HashSet<'s, S> {
 
     /// Snapshot of all keys, sorted (quiescent use only).
     pub fn collect_keys(&self) -> Vec<i64> {
-        let mut out: Vec<i64> =
-            self.buckets.iter().flat_map(|b| b.collect_keys()).collect();
+        let mut out: Vec<i64> = self.buckets.iter().flat_map(|b| b.collect_keys()).collect();
         out.sort_unstable();
         out
     }

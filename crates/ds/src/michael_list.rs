@@ -71,7 +71,9 @@ pub struct MichaelList<'s, S: Smr> {
 
 impl<S: Smr> fmt::Debug for MichaelList<'_, S> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.debug_struct("MichaelList").field("smr", &self.smr.name()).finish_non_exhaustive()
+        f.debug_struct("MichaelList")
+            .field("smr", &self.smr.name())
+            .finish_non_exhaustive()
     }
 }
 
@@ -88,7 +90,10 @@ impl<'s, S: Smr> MichaelList<'s, S> {
     ///
     /// Protect-based schemes must provide at least 3 slots per thread.
     pub fn new(smr: &'s S) -> Self {
-        MichaelList { smr, head: AtomicUsize::new(0) }
+        MichaelList {
+            smr,
+            head: AtomicUsize::new(0),
+        }
     }
 
     /// Michael's `find`: positions a window `(prev, curr)` such that
@@ -106,7 +111,11 @@ impl<'s, S: Smr> MichaelList<'s, S> {
             loop {
                 debug_assert!(!is_marked(curr_word), "prev link must be unmarked");
                 if curr_word == 0 {
-                    return Window { prev, curr_word: 0, found: false };
+                    return Window {
+                        prev,
+                        curr_word: 0,
+                        found: false,
+                    };
                 }
                 let node = curr_word as *const Node;
                 let next_word = self.smr.load(ctx, 1 - cs, unsafe { &(*node).next });
@@ -125,12 +134,8 @@ impl<'s, S: Smr> MichaelList<'s, S> {
                         continue 'retry;
                     }
                     unsafe {
-                        self.smr.retire(
-                            ctx,
-                            curr_word as *mut u8,
-                            &(*node).header,
-                            DROP_NODE,
-                        );
+                        self.smr
+                            .retire(ctx, curr_word as *mut u8, &(*node).header, DROP_NODE);
                     }
                     curr_word = self.smr.load(ctx, cs, unsafe { &*prev });
                     if is_marked(curr_word) {
@@ -140,7 +145,11 @@ impl<'s, S: Smr> MichaelList<'s, S> {
                 }
                 let ckey = unsafe { (*node).key };
                 if ckey >= key {
-                    return Window { prev, curr_word, found: ckey == key };
+                    return Window {
+                        prev,
+                        curr_word,
+                        found: ckey == key,
+                    };
                 }
                 // Advance: curr becomes prev. Re-protect it in the prev
                 // slot (validated against the same source).
@@ -167,7 +176,8 @@ impl<'s, S: Smr> MichaelList<'s, S> {
                 // Duplicate: retire the never-shared local node (§4.1
                 // allows local → retired).
                 unsafe {
-                    self.smr.retire(ctx, node as *mut u8, &(*node).header, DROP_NODE);
+                    self.smr
+                        .retire(ctx, node as *mut u8, &(*node).header, DROP_NODE);
                 }
                 break false;
             }
@@ -222,7 +232,8 @@ impl<'s, S: Smr> MichaelList<'s, S> {
                 .is_ok()
             {
                 unsafe {
-                    self.smr.retire(ctx, w.curr_word as *mut u8, &(*node).header, DROP_NODE);
+                    self.smr
+                        .retire(ctx, w.curr_word as *mut u8, &(*node).header, DROP_NODE);
                 }
             } else {
                 // Let a find() unlink (and retire) it.

@@ -67,7 +67,9 @@ pub struct MichaelMap<'s, S: Smr> {
 
 impl<S: Smr> fmt::Debug for MichaelMap<'_, S> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.debug_struct("MichaelMap").field("smr", &self.smr.name()).finish_non_exhaustive()
+        f.debug_struct("MichaelMap")
+            .field("smr", &self.smr.name())
+            .finish_non_exhaustive()
     }
 }
 
@@ -82,7 +84,10 @@ impl<'s, S: Smr> MichaelMap<'s, S> {
     ///
     /// Protect-based schemes must provide at least 3 slots per thread.
     pub fn new(smr: &'s S) -> Self {
-        MichaelMap { smr, head: AtomicUsize::new(0) }
+        MichaelMap {
+            smr,
+            head: AtomicUsize::new(0),
+        }
     }
 
     /// Michael's find (see [`crate::michael_list`] for the discipline).
@@ -94,7 +99,11 @@ impl<'s, S: Smr> MichaelMap<'s, S> {
             loop {
                 debug_assert!(!is_marked(curr_word));
                 if curr_word == 0 {
-                    return Window { prev, curr_word: 0, found: false };
+                    return Window {
+                        prev,
+                        curr_word: 0,
+                        found: false,
+                    };
                 }
                 let node = curr_word as *const Node;
                 let next_word = self.smr.load(ctx, 1 - cs, unsafe { &(*node).next });
@@ -110,7 +119,8 @@ impl<'s, S: Smr> MichaelMap<'s, S> {
                         continue 'retry;
                     }
                     unsafe {
-                        self.smr.retire(ctx, curr_word as *mut u8, &(*node).header, DROP_NODE);
+                        self.smr
+                            .retire(ctx, curr_word as *mut u8, &(*node).header, DROP_NODE);
                     }
                     curr_word = self.smr.load(ctx, cs, unsafe { &*prev });
                     if is_marked(curr_word) {
@@ -120,7 +130,11 @@ impl<'s, S: Smr> MichaelMap<'s, S> {
                 }
                 let ckey = unsafe { (*node).key };
                 if ckey >= key {
-                    return Window { prev, curr_word, found: ckey == key };
+                    return Window {
+                        prev,
+                        curr_word,
+                        found: ckey == key,
+                    };
                 }
                 if self.smr.load(ctx, SLOT_PREV, unsafe { &*prev }) != curr_word {
                     continue 'retry;
@@ -146,7 +160,8 @@ impl<'s, S: Smr> MichaelMap<'s, S> {
                 let old = unsafe { (*existing).value.swap(value, Ordering::SeqCst) };
                 if !node.is_null() {
                     unsafe {
-                        self.smr.retire(ctx, node as *mut u8, &(*node).header, DROP_NODE);
+                        self.smr
+                            .retire(ctx, node as *mut u8, &(*node).header, DROP_NODE);
                     }
                 }
                 break Some(old);
@@ -218,7 +233,8 @@ impl<'s, S: Smr> MichaelMap<'s, S> {
                 .is_ok()
             {
                 unsafe {
-                    self.smr.retire(ctx, w.curr_word as *mut u8, &(*node).header, DROP_NODE);
+                    self.smr
+                        .retire(ctx, w.curr_word as *mut u8, &(*node).header, DROP_NODE);
                 }
             } else {
                 let _ = self.find(ctx, key);
@@ -311,7 +327,10 @@ mod tests {
         let mut ctx = smr.register().unwrap();
         assert_eq!(map.insert(&mut ctx, 7, 1), None);
         for i in 0..100 {
-            assert_eq!(map.insert(&mut ctx, 7, i), Some(if i == 0 { 1 } else { i - 1 }));
+            assert_eq!(
+                map.insert(&mut ctx, 7, i),
+                Some(if i == 0 { 1 } else { i - 1 })
+            );
         }
         smr.flush(&mut ctx);
         // At most the one live node remains unaccounted; upsert paths

@@ -59,7 +59,9 @@ pub struct MsQueue<'s, S: Smr> {
 
 impl<S: Smr> fmt::Debug for MsQueue<'_, S> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.debug_struct("MsQueue").field("smr", &self.smr.name()).finish_non_exhaustive()
+        f.debug_struct("MsQueue")
+            .field("smr", &self.smr.name())
+            .finish_non_exhaustive()
     }
 }
 
@@ -69,7 +71,11 @@ impl<'s, S: Smr> MsQueue<'s, S> {
     /// Protect-based schemes must provide at least 2 slots per thread.
     pub fn new(smr: &'s S) -> Self {
         let dummy = Node::alloc(0) as usize;
-        MsQueue { smr, head: AtomicUsize::new(dummy), tail: AtomicUsize::new(dummy) }
+        MsQueue {
+            smr,
+            head: AtomicUsize::new(dummy),
+            tail: AtomicUsize::new(dummy),
+        }
     }
 
     /// Appends `value` at the tail.
@@ -86,12 +92,9 @@ impl<'s, S: Smr> MsQueue<'s, S> {
             }
             if next != 0 {
                 // Tail lags: help it forward.
-                let _ = self.tail.compare_exchange(
-                    tail,
-                    next,
-                    Ordering::SeqCst,
-                    Ordering::SeqCst,
-                );
+                let _ = self
+                    .tail
+                    .compare_exchange(tail, next, Ordering::SeqCst, Ordering::SeqCst);
                 continue;
             }
             if unsafe { &(*tail_node).next }
@@ -126,12 +129,9 @@ impl<'s, S: Smr> MsQueue<'s, S> {
             }
             if head == tail {
                 // Tail lags behind a non-empty queue: help.
-                let _ = self.tail.compare_exchange(
-                    tail,
-                    next,
-                    Ordering::SeqCst,
-                    Ordering::SeqCst,
-                );
+                let _ = self
+                    .tail
+                    .compare_exchange(tail, next, Ordering::SeqCst, Ordering::SeqCst);
                 continue;
             }
             // Read the value *before* the CAS: after it, another thread
@@ -143,7 +143,8 @@ impl<'s, S: Smr> MsQueue<'s, S> {
                 .is_ok()
             {
                 unsafe {
-                    self.smr.retire(ctx, head as *mut u8, &(*head_node).header, DROP_NODE);
+                    self.smr
+                        .retire(ctx, head as *mut u8, &(*head_node).header, DROP_NODE);
                 }
                 break Some(value);
             }
@@ -161,8 +162,11 @@ impl<'s, S: Smr> MsQueue<'s, S> {
     /// Number of values (quiescent use only).
     pub fn len(&self) -> usize {
         let mut n = 0;
-        let mut word =
-            unsafe { (*(self.head.load(Ordering::SeqCst) as *const Node)).next.load(Ordering::SeqCst) };
+        let mut word = unsafe {
+            (*(self.head.load(Ordering::SeqCst) as *const Node))
+                .next
+                .load(Ordering::SeqCst)
+        };
         while word != 0 {
             n += 1;
             word = unsafe { (*(word as *const Node)).next.load(Ordering::SeqCst) };

@@ -76,7 +76,9 @@ unsafe impl<S: Smr + EpochProtected + Send> Send for SkipList<'_, S> {}
 
 impl<S: Smr + EpochProtected> fmt::Debug for SkipList<'_, S> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.debug_struct("SkipList").field("smr", &self.smr.name()).finish_non_exhaustive()
+        f.debug_struct("SkipList")
+            .field("smr", &self.smr.name())
+            .finish_non_exhaustive()
     }
 }
 
@@ -94,7 +96,12 @@ impl<'s, S: Smr + EpochProtected> SkipList<'s, S> {
         for level in 0..MAX_HEIGHT {
             unsafe { (*head).next[level].store(tail as usize, Ordering::SeqCst) };
         }
-        SkipList { smr, head, tail, rng: AtomicU64::new(0x9E37_79B9_7F4A_7C15) }
+        SkipList {
+            smr,
+            head,
+            tail,
+            rng: AtomicU64::new(0x9E37_79B9_7F4A_7C15),
+        }
     }
 
     fn check_key(key: i64) {
@@ -123,8 +130,7 @@ impl<'s, S: Smr + EpochProtected> SkipList<'s, S> {
             let mut succs = [std::ptr::null::<Node>(); MAX_HEIGHT];
             let mut pred: *const Node = self.head;
             for level in (0..MAX_HEIGHT).rev() {
-                let mut curr_word =
-                    unsafe { (*pred).next[level].load(Ordering::SeqCst) };
+                let mut curr_word = unsafe { (*pred).next[level].load(Ordering::SeqCst) };
                 if is_marked(curr_word) {
                     // pred got deleted under us: start over.
                     continue 'retry;
@@ -166,7 +172,11 @@ impl<'s, S: Smr + EpochProtected> SkipList<'s, S> {
                 && unsafe { (*candidate).key } == key
                 && !is_marked(unsafe { (*candidate).next[0].load(Ordering::SeqCst) }))
             .then_some(candidate);
-            return FindResult { preds, succs, found };
+            return FindResult {
+                preds,
+                succs,
+                found,
+            };
         }
     }
 
@@ -181,15 +191,14 @@ impl<'s, S: Smr + EpochProtected> SkipList<'s, S> {
             let w = self.find(key);
             if w.found.is_some() {
                 unsafe {
-                    self.smr.retire(ctx, node as *mut u8, &(*node).header, DROP_NODE);
+                    self.smr
+                        .retire(ctx, node as *mut u8, &(*node).header, DROP_NODE);
                 }
                 break false;
             }
             // Prepare the tower, then link level 0 (the linearization).
             for level in 0..height {
-                unsafe {
-                    (*node).next[level].store(w.succs[level] as usize, Ordering::SeqCst)
-                };
+                unsafe { (*node).next[level].store(w.succs[level] as usize, Ordering::SeqCst) };
             }
             if unsafe { &(*w.preds[0]).next[0] }
                 .compare_exchange(
@@ -257,7 +266,9 @@ impl<'s, S: Smr + EpochProtected> SkipList<'s, S> {
         self.smr.begin_op(ctx);
         let result = 'done: {
             let w = self.find(key);
-            let Some(node) = w.found else { break 'done false };
+            let Some(node) = w.found else {
+                break 'done false;
+            };
             let height = unsafe { (*node).height };
             // Mark the upper levels top-down (idempotent, cooperative).
             for level in (1..height).rev() {
@@ -282,18 +293,14 @@ impl<'s, S: Smr + EpochProtected> SkipList<'s, S> {
                     break;
                 }
                 if unsafe { &(*node).next[0] }
-                    .compare_exchange(
-                        succ,
-                        with_mark(succ),
-                        Ordering::SeqCst,
-                        Ordering::SeqCst,
-                    )
+                    .compare_exchange(succ, with_mark(succ), Ordering::SeqCst, Ordering::SeqCst)
                     .is_ok()
                 {
                     // We won: physically unlink via find, then retire.
                     let _ = self.find(key);
                     unsafe {
-                        self.smr.retire(ctx, node as *mut u8, &(*node).header, DROP_NODE);
+                        self.smr
+                            .retire(ctx, node as *mut u8, &(*node).header, DROP_NODE);
                     }
                     self.smr.end_op(ctx);
                     return true;
@@ -377,8 +384,7 @@ impl<'s, S: Smr + EpochProtected> SkipList<'s, S> {
         // Upper levels: sorted sub-chains of live nodes.
         for level in 1..MAX_HEIGHT {
             let mut node =
-                untagged(unsafe { (*self.head).next[level].load(Ordering::SeqCst) })
-                    as *const Node;
+                untagged(unsafe { (*self.head).next[level].load(Ordering::SeqCst) }) as *const Node;
             let mut last = i64::MIN;
             while node != self.tail {
                 let key = unsafe { (*node).key };
@@ -386,8 +392,8 @@ impl<'s, S: Smr + EpochProtected> SkipList<'s, S> {
                     return Err(format!("level-{level} order violated at key {key}"));
                 }
                 last = key;
-                node = untagged(unsafe { (*node).next[level].load(Ordering::SeqCst) })
-                    as *const Node;
+                node =
+                    untagged(unsafe { (*node).next[level].load(Ordering::SeqCst) }) as *const Node;
             }
         }
         Ok(())

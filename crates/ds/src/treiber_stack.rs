@@ -48,14 +48,19 @@ pub struct TreiberStack<'s, S: Smr> {
 
 impl<S: Smr> fmt::Debug for TreiberStack<'_, S> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.debug_struct("TreiberStack").field("smr", &self.smr.name()).finish_non_exhaustive()
+        f.debug_struct("TreiberStack")
+            .field("smr", &self.smr.name())
+            .finish_non_exhaustive()
     }
 }
 
 impl<'s, S: Smr> TreiberStack<'s, S> {
     /// Creates an empty stack using `smr` for reclamation.
     pub fn new(smr: &'s S) -> Self {
-        TreiberStack { smr, head: AtomicUsize::new(0) }
+        TreiberStack {
+            smr,
+            head: AtomicUsize::new(0),
+        }
     }
 
     /// Pushes `value`.
@@ -98,7 +103,8 @@ impl<'s, S: Smr> TreiberStack<'s, S> {
             {
                 let value = unsafe { (*node).value };
                 unsafe {
-                    self.smr.retire(ctx, head as *mut u8, &(*node).header, DROP_NODE);
+                    self.smr
+                        .retire(ctx, head as *mut u8, &(*node).header, DROP_NODE);
                 }
                 break Some(value);
             }

@@ -101,7 +101,9 @@ impl VbrList {
         arena.write(tail, NEXT, 0).expect("fresh handle");
         let head = arena.alloc().expect("room for sentinels");
         arena.write(head, KEY, NEG_INF).expect("fresh handle");
-        arena.write(head, NEXT, tail.pack(false)).expect("fresh handle");
+        arena
+            .write(head, NEXT, tail.pack(false))
+            .expect("fresh handle");
         VbrList { arena, head, tail }
     }
 
@@ -158,7 +160,12 @@ impl VbrList {
                     return Err(Stale); // roll back and retry
                 }
             }
-            return Ok(Window { pred, curr_packed, curr, curr_key });
+            return Ok(Window {
+                pred,
+                curr_packed,
+                curr,
+                curr_key,
+            });
         }
         // Unlink the marked chain [pred_next .. curr) in one CAS.
         match self.arena.cas(pred, NEXT, pred_next, curr_packed)? {
@@ -170,7 +177,12 @@ impl VbrList {
                         return Err(Stale);
                     }
                 }
-                Ok(Window { pred, curr_packed, curr, curr_key })
+                Ok(Window {
+                    pred,
+                    curr_packed,
+                    curr,
+                    curr_key,
+                })
             }
             false => Err(Stale), // contention: roll back
         }
@@ -206,7 +218,10 @@ impl VbrList {
                 // rollback discipline uniform.
                 continue;
             }
-            match self.arena.cas(w.pred, NEXT, w.curr_packed, node.pack(false)) {
+            match self
+                .arena
+                .cas(w.pred, NEXT, w.curr_packed, node.pack(false))
+            {
                 Ok(true) => return Ok(true),
                 Ok(false) | Err(Stale) => {
                     // Roll back: recycle the local node (local → retired,
@@ -257,7 +272,8 @@ impl VbrList {
             }
             // Physical unlink; on failure let a search() do it.
             let unlinked = matches!(
-                self.arena.cas(w.pred, NEXT, w.curr_packed, succ_h.pack(false)),
+                self.arena
+                    .cas(w.pred, NEXT, w.curr_packed, succ_h.pack(false)),
                 Ok(true)
             );
             if !unlinked {
@@ -301,7 +317,10 @@ impl VbrList {
             if nh.pack(false) == 0 {
                 break;
             }
-            let (node, _) = self.arena.upgrade(nh.pack(false)).expect("quiescent traversal");
+            let (node, _) = self
+                .arena
+                .upgrade(nh.pack(false))
+                .expect("quiescent traversal");
             if node == self.tail {
                 break;
             }

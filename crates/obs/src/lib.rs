@@ -1,0 +1,52 @@
+//! # era-obs: observability for the ERA workspace
+//!
+//! Lock-free event tracing, aggregate metrics, and structured report
+//! emission shared by `era-smr` (the real reclamation schemes),
+//! `era-sim` (the safety-oracle simulator), and `era-bench`.
+//!
+//! ## Design
+//!
+//! - **Per-thread rings** ([`Ring`]): each instrumented thread writes
+//!   fixed-size 32-byte [`Event`] records into its own preallocated
+//!   drop-oldest ring. The hot path is two atomic stores around a
+//!   plain copy — no allocation, no locks, no cross-thread contention.
+//! - **Global logical clock**: one `fetch_add(1)` per event gives a
+//!   total order across threads and schemes, so a drained trace is a
+//!   single coherent timeline without OS-clock skew.
+//! - **Aggregate metrics** ([`Metrics`]): always-exact counters beside
+//!   the lossy rings — per-hook call counts, a retire→reclaim latency
+//!   [`Log2Histogram`], a footprint [`HighWater`] mark, and per-thread
+//!   *blame* counters attributing blocked reclamation to the stalled
+//!   thread (the robustness axis of the ERA trade-off).
+//! - **Zero-cost off switch**: with the crate's `rt` feature disabled
+//!   (downstream: `era-smr`/`era-sim`/`era-bench` without their
+//!   `trace` feature), [`ThreadTracer`] is a zero-sized no-op and the
+//!   instrumentation compiles away entirely.
+//! - **Reports** ([`report`]): a dependency-free JSON-lines writer for
+//!   `BENCH_*.jsonl` artifacts — throughput, footprint curves, latency
+//!   histograms, hook counts.
+//!
+//! ## Usage sketch
+//!
+//! ```ignore
+//! let recorder = Recorder::new(threads);
+//! let mut tracer = recorder.tracer(0, SchemeId::EBR); // one per thread
+//! tracer.emit(Hook::Retire, addr, retired_now);       // hot path
+//! let log = recorder.drain();                         // merged, ts-ordered
+//! ```
+
+#![warn(missing_docs)]
+
+mod event;
+mod metrics;
+pub mod report;
+mod ring;
+
+mod recorder;
+
+pub use event::{phase_name, Event, Hook, SchemeId};
+pub use metrics::{
+    Counter, HighWater, HistogramSnapshot, Log2Histogram, Metrics, HISTOGRAM_BUCKETS,
+};
+pub use recorder::{Recorder, ThreadTracer, TraceLog, DEFAULT_RING_CAPACITY};
+pub use ring::Ring;

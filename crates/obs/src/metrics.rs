@@ -1,0 +1,257 @@
+//! Always-on aggregate metrics: counters, high-water marks, log₂
+//! histograms, and per-thread blame.
+//!
+//! Unlike the event rings these never drop data — they are single
+//! atomic words (or small arrays of them) updated with relaxed RMWs,
+//! cheap enough to leave on even when full event tracing is not.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::event::Hook;
+
+/// A monotone counter.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// Adds `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A maximum-so-far gauge (e.g. footprint high-water mark).
+#[derive(Debug, Default)]
+pub struct HighWater(AtomicU64);
+
+impl HighWater {
+    /// Raises the mark to `value` if higher.
+    #[inline]
+    pub fn record(&self, value: u64) {
+        self.0.fetch_max(value, Ordering::Relaxed);
+    }
+
+    /// Highest value recorded.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Number of buckets in a [`Log2Histogram`]: one per possible
+/// bit-length of a `u64`, plus one for zero.
+pub const HISTOGRAM_BUCKETS: usize = 65;
+
+/// A lock-free histogram with power-of-two bucket boundaries.
+///
+/// Bucket 0 holds exact zeros; bucket `k ≥ 1` holds values `v` with
+/// `2^(k-1) <= v < 2^k`. Recording is one relaxed `fetch_add`.
+pub struct Log2Histogram {
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+}
+
+impl Default for Log2Histogram {
+    fn default() -> Self {
+        Log2Histogram {
+            buckets: [const { AtomicU64::new(0) }; HISTOGRAM_BUCKETS],
+        }
+    }
+}
+
+impl Log2Histogram {
+    /// Bucket index for `value`.
+    #[inline]
+    pub fn bucket_of(value: u64) -> usize {
+        (u64::BITS - value.leading_zeros()) as usize
+    }
+
+    /// Records one observation.
+    #[inline]
+    pub fn record(&self, value: u64) {
+        self.buckets[Self::bucket_of(value)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A consistent-enough copy of the bucket counts.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let mut counts = [0u64; HISTOGRAM_BUCKETS];
+        for (out, bucket) in counts.iter_mut().zip(&self.buckets) {
+            *out = bucket.load(Ordering::Relaxed);
+        }
+        HistogramSnapshot { counts }
+    }
+}
+
+impl std::fmt::Debug for Log2Histogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Log2Histogram({} samples)", self.snapshot().total())
+    }
+}
+
+/// An owned copy of a [`Log2Histogram`]'s bucket counts.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    counts: [u64; HISTOGRAM_BUCKETS],
+}
+
+impl HistogramSnapshot {
+    /// Total observations.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Non-empty buckets as `(upper_bound_exclusive, count)` pairs;
+    /// bucket 0 reports as upper bound 1 (i.e. the value 0).
+    pub fn nonzero_buckets(&self) -> Vec<(u64, u64)> {
+        self.counts
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(k, &c)| (if k >= 64 { u64::MAX } else { 1u64 << k }, c))
+            .collect()
+    }
+
+    /// Upper bound (exclusive) of the bucket containing the `q`-th
+    /// quantile (`0.0..=1.0`), or 0 if empty. A coarse but monotone
+    /// summary — exact within a factor of two.
+    pub fn quantile_upper_bound(&self, q: f64) -> u64 {
+        let total = self.total();
+        if total == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * total as f64).ceil() as u64).max(1);
+        let mut seen = 0;
+        for (k, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return if k >= 64 { u64::MAX } else { 1u64 << k };
+            }
+        }
+        u64::MAX
+    }
+}
+
+/// The aggregate metric block owned by a [`crate::Recorder`].
+#[derive(Debug)]
+pub struct Metrics {
+    /// Calls per instrumented hook, across all threads and schemes.
+    hook_counts: [Counter; Hook::COUNT],
+    /// Retire→reclaim latency in trace ticks.
+    pub reclaim_latency: Log2Histogram,
+    /// Highest retired-but-unreclaimed population ever observed.
+    pub footprint_peak: HighWater,
+    /// Times thread slot `i` was blamed for blocking reclamation
+    /// (stalled-thread attribution; ERA robustness axis).
+    blame: Box<[Counter]>,
+}
+
+impl Metrics {
+    /// Metrics sized for `max_threads` blame slots.
+    pub fn new(max_threads: usize) -> Metrics {
+        Metrics {
+            hook_counts: std::array::from_fn(|_| Counter::default()),
+            reclaim_latency: Log2Histogram::default(),
+            footprint_peak: HighWater::default(),
+            blame: (0..max_threads.max(1))
+                .map(|_| Counter::default())
+                .collect(),
+        }
+    }
+
+    /// Bumps the call counter for `hook`.
+    #[inline]
+    pub fn count_hook(&self, hook: Hook) {
+        self.hook_counts[hook as u8 as usize].add(1);
+    }
+
+    /// Calls observed for `hook`.
+    pub fn hook_count(&self, hook: Hook) -> u64 {
+        self.hook_counts[hook as u8 as usize].get()
+    }
+
+    /// Blames thread slot `thread` for blocking reclamation once.
+    /// Out-of-range slots land on the last counter rather than
+    /// panicking on the hot path.
+    #[inline]
+    pub fn blame(&self, thread: usize) {
+        let idx = thread.min(self.blame.len() - 1);
+        self.blame[idx].add(1);
+    }
+
+    /// Blame count per thread slot.
+    pub fn blame_counts(&self) -> Vec<u64> {
+        self.blame.iter().map(Counter::get).collect()
+    }
+
+    /// The thread slot with the highest blame count, if any blame was
+    /// recorded at all.
+    pub fn most_blamed(&self) -> Option<(usize, u64)> {
+        self.blame
+            .iter()
+            .map(Counter::get)
+            .enumerate()
+            .max_by_key(|&(_, c)| c)
+            .filter(|&(_, c)| c > 0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn log2_bucketing() {
+        assert_eq!(Log2Histogram::bucket_of(0), 0);
+        assert_eq!(Log2Histogram::bucket_of(1), 1);
+        assert_eq!(Log2Histogram::bucket_of(2), 2);
+        assert_eq!(Log2Histogram::bucket_of(3), 2);
+        assert_eq!(Log2Histogram::bucket_of(4), 3);
+        assert_eq!(Log2Histogram::bucket_of(1023), 10);
+        assert_eq!(Log2Histogram::bucket_of(1024), 11);
+        assert_eq!(Log2Histogram::bucket_of(u64::MAX), 64);
+    }
+
+    #[test]
+    fn histogram_snapshot_and_quantiles() {
+        let h = Log2Histogram::default();
+        for v in [0, 1, 1, 3, 7, 7, 7, 100] {
+            h.record(v);
+        }
+        let snap = h.snapshot();
+        assert_eq!(snap.total(), 8);
+        assert_eq!(
+            snap.nonzero_buckets(),
+            vec![(1, 1), (2, 2), (4, 1), (8, 3), (128, 1)]
+        );
+        assert_eq!(snap.quantile_upper_bound(0.0), 1);
+        assert_eq!(snap.quantile_upper_bound(0.5), 4);
+        assert_eq!(snap.quantile_upper_bound(1.0), 128);
+        assert_eq!(
+            HistogramSnapshot {
+                counts: [0; HISTOGRAM_BUCKETS]
+            }
+            .quantile_upper_bound(0.5),
+            0
+        );
+    }
+
+    #[test]
+    fn high_water_and_blame() {
+        let m = Metrics::new(4);
+        m.footprint_peak.record(10);
+        m.footprint_peak.record(3);
+        assert_eq!(m.footprint_peak.get(), 10);
+        m.blame(1);
+        m.blame(1);
+        m.blame(9); // clamps to last slot
+        assert_eq!(m.blame_counts(), vec![0, 2, 0, 1]);
+        assert_eq!(m.most_blamed(), Some((1, 2)));
+        m.count_hook(Hook::Retire);
+        assert_eq!(m.hook_count(Hook::Retire), 1);
+        assert_eq!(m.hook_count(Hook::Reclaim), 0);
+    }
+}

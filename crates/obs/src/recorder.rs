@@ -1,0 +1,349 @@
+//! The [`Recorder`] facade and per-thread [`ThreadTracer`] handles.
+//!
+//! A `Recorder` owns the global logical clock, the aggregate
+//! [`Metrics`], and one [`Ring`] per issued tracer. Tracers are the
+//! only write path: each holds an exclusive `Arc` to its own ring, so
+//! the single-writer contract is enforced by construction. Draining
+//! merges every ring into one timestamp-ordered log.
+//!
+//! With the `rt` feature disabled, [`ThreadTracer`] is a zero-sized
+//! type and every emit is an empty inline function — the instrumented
+//! code compiles to exactly what it was before instrumentation.
+
+use crate::event::{Event, Hook, SchemeId};
+use crate::metrics::Metrics;
+#[cfg(feature = "rt")]
+use crate::ring::Ring;
+
+#[cfg(feature = "rt")]
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+#[cfg(feature = "rt")]
+use std::sync::Mutex;
+
+/// Default per-thread ring capacity (events).
+pub const DEFAULT_RING_CAPACITY: usize = 4096;
+
+#[cfg(feature = "rt")]
+#[derive(Debug)]
+struct RecorderCore {
+    clock: AtomicU64,
+    metrics: Metrics,
+    rings: Mutex<Vec<Arc<Ring>>>,
+    ring_capacity: usize,
+}
+
+/// Shared handle to a trace session. Cloning is cheap; all clones feed
+/// the same clock, metrics, and drain pool.
+#[derive(Debug, Clone)]
+pub struct Recorder {
+    #[cfg(feature = "rt")]
+    core: Arc<RecorderCore>,
+    /// Kept alive even without `rt` so metric accessors stay usable
+    /// (they simply never get written to by tracers).
+    #[cfg(not(feature = "rt"))]
+    metrics: Arc<Metrics>,
+}
+
+impl Recorder {
+    /// A recorder with blame slots for `max_threads` and the default
+    /// ring capacity.
+    pub fn new(max_threads: usize) -> Recorder {
+        Recorder::with_ring_capacity(max_threads, DEFAULT_RING_CAPACITY)
+    }
+
+    /// A recorder whose tracers get rings of `ring_capacity` events.
+    pub fn with_ring_capacity(max_threads: usize, ring_capacity: usize) -> Recorder {
+        #[cfg(feature = "rt")]
+        {
+            Recorder {
+                core: Arc::new(RecorderCore {
+                    clock: AtomicU64::new(1),
+                    metrics: Metrics::new(max_threads),
+                    rings: Mutex::new(Vec::new()),
+                    ring_capacity,
+                }),
+            }
+        }
+        #[cfg(not(feature = "rt"))]
+        {
+            let _ = ring_capacity;
+            Recorder {
+                metrics: Arc::new(Metrics::new(max_threads)),
+            }
+        }
+    }
+
+    /// The aggregate metrics block.
+    pub fn metrics(&self) -> &Metrics {
+        #[cfg(feature = "rt")]
+        {
+            &self.core.metrics
+        }
+        #[cfg(not(feature = "rt"))]
+        {
+            &self.metrics
+        }
+    }
+
+    /// Current logical time (next timestamp to be issued).
+    pub fn now(&self) -> u64 {
+        #[cfg(feature = "rt")]
+        {
+            self.core.clock.load(Ordering::Relaxed)
+        }
+        #[cfg(not(feature = "rt"))]
+        {
+            0
+        }
+    }
+
+    /// Draws a fresh timestamp from the global clock.
+    #[inline]
+    pub fn tick(&self) -> u64 {
+        #[cfg(feature = "rt")]
+        {
+            self.core.clock.fetch_add(1, Ordering::Relaxed)
+        }
+        #[cfg(not(feature = "rt"))]
+        {
+            0
+        }
+    }
+
+    /// Issues a tracer for thread slot `thread` attributed to
+    /// `scheme`. Allocates (and registers) a private ring — call at
+    /// registration time, not on the hot path.
+    pub fn tracer(&self, thread: u16, scheme: SchemeId) -> ThreadTracer {
+        #[cfg(feature = "rt")]
+        {
+            let ring = Arc::new(Ring::new(self.core.ring_capacity));
+            self.core.rings.lock().unwrap().push(Arc::clone(&ring));
+            ThreadTracer {
+                inner: Some(TracerInner {
+                    recorder: Arc::clone(&self.core),
+                    ring,
+                    thread,
+                    scheme,
+                }),
+            }
+        }
+        #[cfg(not(feature = "rt"))]
+        {
+            let _ = (thread, scheme);
+            ThreadTracer {}
+        }
+    }
+
+    /// Drains every ring and returns the merged, timestamp-ordered
+    /// log. Safe to call while writers are active (in-flight events
+    /// appear in a later drain); safe to call repeatedly (each event
+    /// is returned once).
+    pub fn drain(&self) -> TraceLog {
+        #[cfg(feature = "rt")]
+        {
+            let rings = self.core.rings.lock().unwrap();
+            let mut events = Vec::new();
+            for ring in rings.iter() {
+                ring.drain_into(&mut events);
+            }
+            let dropped = rings.iter().map(|r| r.dropped()).sum();
+            drop(rings);
+            events.sort_by_key(|e| e.ts);
+            TraceLog { events, dropped }
+        }
+        #[cfg(not(feature = "rt"))]
+        {
+            TraceLog {
+                events: Vec::new(),
+                dropped: 0,
+            }
+        }
+    }
+}
+
+impl Default for Recorder {
+    fn default() -> Self {
+        Recorder::new(64)
+    }
+}
+
+/// A drained, merged, timestamp-ordered batch of events.
+#[derive(Debug, Clone, Default)]
+pub struct TraceLog {
+    /// Events in ascending `ts` order.
+    pub events: Vec<Event>,
+    /// Cumulative events lost to ring overwrite across the session.
+    pub dropped: u64,
+}
+
+impl TraceLog {
+    /// Events matching `hook`.
+    pub fn with_hook(&self, hook: Hook) -> impl Iterator<Item = &Event> {
+        self.events.iter().filter(move |e| e.hook == hook as u8)
+    }
+
+    /// True when `events` is non-decreasing in `ts` (drained logs
+    /// always are; exposed for tests and sanity checks).
+    pub fn is_time_ordered(&self) -> bool {
+        self.events.windows(2).all(|w| w[0].ts <= w[1].ts)
+    }
+}
+
+#[cfg(feature = "rt")]
+#[derive(Debug)]
+struct TracerInner {
+    recorder: Arc<RecorderCore>,
+    ring: Arc<Ring>,
+    thread: u16,
+    scheme: SchemeId,
+}
+
+/// A per-thread emit handle. One tracer = one writer = one ring; hand
+/// each instrumented thread its own (via [`Recorder::tracer`]).
+///
+/// The disabled (default) state — from [`ThreadTracer::disabled`] or
+/// any tracer when the `rt` feature is off — makes every emit a no-op
+/// without branching on anything but a local `Option`.
+#[derive(Debug, Default)]
+pub struct ThreadTracer {
+    #[cfg(feature = "rt")]
+    inner: Option<TracerInner>,
+}
+
+impl ThreadTracer {
+    /// A tracer that ignores everything (zero cost, no recorder).
+    pub const fn disabled() -> ThreadTracer {
+        #[cfg(feature = "rt")]
+        {
+            ThreadTracer { inner: None }
+        }
+        #[cfg(not(feature = "rt"))]
+        {
+            ThreadTracer {}
+        }
+    }
+
+    /// Whether emits actually record anything.
+    pub fn is_enabled(&self) -> bool {
+        #[cfg(feature = "rt")]
+        {
+            self.inner.is_some()
+        }
+        #[cfg(not(feature = "rt"))]
+        {
+            false
+        }
+    }
+
+    /// Emits one event under this tracer's thread and scheme. Hot
+    /// path: a clock `fetch_add`, a hook-counter `fetch_add`, and a
+    /// ring push. Never allocates, never blocks.
+    #[inline]
+    pub fn emit(&mut self, hook: Hook, a: u64, b: u64) {
+        #[cfg(feature = "rt")]
+        if let Some(inner) = &self.inner {
+            let mut event = Event::new(inner.thread, inner.scheme, hook, a, b);
+            event.ts = inner.recorder.clock.fetch_add(1, Ordering::Relaxed);
+            inner.recorder.metrics.count_hook(hook);
+            inner.ring.push(event);
+        }
+        #[cfg(not(feature = "rt"))]
+        {
+            let _ = (hook, a, b);
+        }
+    }
+
+    /// Emits with an explicit thread slot (for single-tracer producers
+    /// that multiplex several logical threads, like the simulator).
+    #[inline]
+    pub fn emit_for(&mut self, thread: u16, hook: Hook, a: u64, b: u64) {
+        #[cfg(feature = "rt")]
+        if let Some(inner) = &self.inner {
+            let mut event = Event::new(thread, inner.scheme, hook, a, b);
+            event.ts = inner.recorder.clock.fetch_add(1, Ordering::Relaxed);
+            inner.recorder.metrics.count_hook(hook);
+            inner.ring.push(event);
+        }
+        #[cfg(not(feature = "rt"))]
+        {
+            let _ = (thread, hook, a, b);
+        }
+    }
+
+    /// The metrics block of the recorder backing this tracer, when
+    /// enabled. Lets instrumented code record latencies or blame
+    /// without a second handle.
+    pub fn metrics(&self) -> Option<&Metrics> {
+        #[cfg(feature = "rt")]
+        {
+            self.inner.as_ref().map(|inner| &inner.recorder.metrics)
+        }
+        #[cfg(not(feature = "rt"))]
+        {
+            None
+        }
+    }
+
+    /// A fresh timestamp from the backing clock (0 when disabled).
+    /// Used to stamp retire times for latency measurement.
+    #[inline]
+    pub fn stamp(&self) -> u64 {
+        #[cfg(feature = "rt")]
+        {
+            match &self.inner {
+                Some(inner) => inner.recorder.clock.fetch_add(1, Ordering::Relaxed),
+                None => 0,
+            }
+        }
+        #[cfg(not(feature = "rt"))]
+        {
+            0
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_tracer_is_inert() {
+        let mut t = ThreadTracer::disabled();
+        assert!(!t.is_enabled());
+        t.emit(Hook::Retire, 1, 2);
+        assert_eq!(t.stamp(), 0);
+        assert!(t.metrics().is_none());
+    }
+
+    #[cfg(feature = "rt")]
+    #[test]
+    fn merged_drain_is_time_ordered_across_tracers() {
+        let rec = Recorder::new(4);
+        let mut t0 = rec.tracer(0, SchemeId::EBR);
+        let mut t1 = rec.tracer(1, SchemeId::EBR);
+        for i in 0..50 {
+            t0.emit(Hook::Load, i, 0);
+            t1.emit(Hook::Retire, i, 0);
+        }
+        let log = rec.drain();
+        assert_eq!(log.events.len(), 100);
+        assert!(log.is_time_ordered());
+        assert_eq!(log.with_hook(Hook::Retire).count(), 50);
+        assert_eq!(rec.metrics().hook_count(Hook::Load), 50);
+        // Timestamps are globally unique (strict order after sort).
+        assert!(log.events.windows(2).all(|w| w[0].ts < w[1].ts));
+        // Re-draining returns nothing new.
+        assert!(rec.drain().events.is_empty());
+    }
+
+    #[cfg(feature = "rt")]
+    #[test]
+    fn emit_for_attributes_threads() {
+        let rec = Recorder::new(8);
+        let mut t = rec.tracer(0, SchemeId::NONE);
+        t.emit_for(5, Hook::Phase, 1, 0);
+        let log = rec.drain();
+        assert_eq!(log.events[0].thread, 5);
+    }
+}

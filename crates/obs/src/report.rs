@@ -1,0 +1,222 @@
+//! A tiny hand-rolled JSON emitter for structured run reports.
+//!
+//! The workspace builds offline with no serialization dependency, so
+//! reports are assembled with this writer instead. It produces one
+//! compact JSON object per call — suitable for JSON-lines files
+//! (`BENCH_*.jsonl`) that downstream tooling can ingest line by line.
+
+use crate::event::{Event, Hook};
+use crate::metrics::{HistogramSnapshot, Metrics};
+
+/// Builds one JSON object, field by field, in insertion order.
+#[derive(Debug, Clone)]
+pub struct JsonObject {
+    buf: String,
+    first: bool,
+}
+
+impl JsonObject {
+    /// An empty object (`{}` until fields are added).
+    pub fn new() -> JsonObject {
+        JsonObject {
+            buf: String::from("{"),
+            first: true,
+        }
+    }
+
+    fn key(&mut self, name: &str) {
+        if !self.first {
+            self.buf.push(',');
+        }
+        self.first = false;
+        push_json_string(&mut self.buf, name);
+        self.buf.push(':');
+    }
+
+    /// Adds a string field (escaped).
+    pub fn str(mut self, name: &str, value: &str) -> Self {
+        self.key(name);
+        push_json_string(&mut self.buf, value);
+        self
+    }
+
+    /// Adds an unsigned integer field.
+    pub fn u64(mut self, name: &str, value: u64) -> Self {
+        self.key(name);
+        self.buf.push_str(&value.to_string());
+        self
+    }
+
+    /// Adds a float field (JSON `null` when non-finite).
+    pub fn f64(mut self, name: &str, value: f64) -> Self {
+        self.key(name);
+        if value.is_finite() {
+            self.buf.push_str(&format!("{value:.6}"));
+        } else {
+            self.buf.push_str("null");
+        }
+        self
+    }
+
+    /// Adds a boolean field.
+    pub fn bool(mut self, name: &str, value: bool) -> Self {
+        self.key(name);
+        self.buf.push_str(if value { "true" } else { "false" });
+        self
+    }
+
+    /// Adds a field whose value is already-rendered JSON (object,
+    /// array, …). The caller vouches for its validity.
+    pub fn raw(mut self, name: &str, json: &str) -> Self {
+        self.key(name);
+        self.buf.push_str(json);
+        self
+    }
+
+    /// Adds an array of `(label, count)` pairs rendered as
+    /// `[[label, count], ...]` — the histogram wire format.
+    pub fn pairs(mut self, name: &str, pairs: &[(u64, u64)]) -> Self {
+        self.key(name);
+        self.buf.push('[');
+        for (i, (a, b)) in pairs.iter().enumerate() {
+            if i > 0 {
+                self.buf.push(',');
+            }
+            self.buf.push_str(&format!("[{a},{b}]"));
+        }
+        self.buf.push(']');
+        self
+    }
+
+    /// Adds an array of unsigned integers.
+    pub fn u64_array(mut self, name: &str, values: &[u64]) -> Self {
+        self.key(name);
+        self.buf.push('[');
+        for (i, v) in values.iter().enumerate() {
+            if i > 0 {
+                self.buf.push(',');
+            }
+            self.buf.push_str(&v.to_string());
+        }
+        self.buf.push(']');
+        self
+    }
+
+    /// Finishes the object and returns the JSON text (single line).
+    pub fn finish(mut self) -> String {
+        self.buf.push('}');
+        self.buf
+    }
+}
+
+impl Default for JsonObject {
+    fn default() -> Self {
+        JsonObject::new()
+    }
+}
+
+fn push_json_string(buf: &mut String, s: &str) {
+    buf.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => buf.push_str("\\\""),
+            '\\' => buf.push_str("\\\\"),
+            '\n' => buf.push_str("\\n"),
+            '\r' => buf.push_str("\\r"),
+            '\t' => buf.push_str("\\t"),
+            c if (c as u32) < 0x20 => buf.push_str(&format!("\\u{:04x}", c as u32)),
+            c => buf.push(c),
+        }
+    }
+    buf.push('"');
+}
+
+/// Renders a histogram snapshot as a JSON object with total, coarse
+/// quantile bounds, and the non-empty `[upper_bound, count]` buckets.
+pub fn histogram_json(snapshot: &HistogramSnapshot) -> String {
+    JsonObject::new()
+        .u64("total", snapshot.total())
+        .u64("p50_le", snapshot.quantile_upper_bound(0.5))
+        .u64("p99_le", snapshot.quantile_upper_bound(0.99))
+        .u64("max_le", snapshot.quantile_upper_bound(1.0))
+        .pairs("buckets", &snapshot.nonzero_buckets())
+        .finish()
+}
+
+/// Renders the per-hook call counters as a JSON object keyed by hook
+/// name, omitting hooks that never fired.
+pub fn hook_counts_json(metrics: &Metrics) -> String {
+    let mut obj = JsonObject::new();
+    for hook in Hook::ALL {
+        let n = metrics.hook_count(hook);
+        if n > 0 {
+            obj = obj.u64(hook.name(), n);
+        }
+    }
+    obj.finish()
+}
+
+/// Renders one trace event as a JSON line (for trace exports).
+pub fn event_json(event: &Event) -> String {
+    JsonObject::new()
+        .u64("ts", event.ts)
+        .u64("thread", event.thread as u64)
+        .str("scheme", event.scheme().name())
+        .str("hook", event.hook().name())
+        .u64("a", event.a)
+        .u64("b", event.b)
+        .finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::SchemeId;
+    use crate::metrics::Log2Histogram;
+
+    #[test]
+    fn object_renders_in_order_with_escapes() {
+        let json = JsonObject::new()
+            .str("name", "a\"b\\c\nd")
+            .u64("n", 42)
+            .f64("rate", 1.5)
+            .f64("bad", f64::NAN)
+            .bool("ok", true)
+            .raw("nested", "{\"x\":1}")
+            .u64_array("xs", &[1, 2, 3])
+            .finish();
+        assert_eq!(
+            json,
+            "{\"name\":\"a\\\"b\\\\c\\nd\",\"n\":42,\"rate\":1.500000,\"bad\":null,\
+             \"ok\":true,\"nested\":{\"x\":1},\"xs\":[1,2,3]}"
+        );
+    }
+
+    #[test]
+    fn histogram_json_shape() {
+        let h = Log2Histogram::default();
+        h.record(3);
+        h.record(3);
+        h.record(300);
+        let json = histogram_json(&h.snapshot());
+        assert_eq!(
+            json,
+            "{\"total\":3,\"p50_le\":4,\"p99_le\":512,\"max_le\":512,\"buckets\":[[4,2],[512,1]]}"
+        );
+    }
+
+    #[test]
+    fn event_json_shape() {
+        let mut e = Event::new(2, SchemeId::VBR, Hook::Reclaim, 16, 5);
+        e.ts = 99;
+        assert_eq!(
+            event_json(&e),
+            "{\"ts\":99,\"thread\":2,\"scheme\":\"vbr\",\"hook\":\"reclaim\",\"a\":16,\"b\":5}"
+        );
+    }
+
+    #[test]
+    fn empty_object() {
+        assert_eq!(JsonObject::new().finish(), "{}");
+    }
+}

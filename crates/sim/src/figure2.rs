@@ -117,7 +117,10 @@ pub fn run_figure2(scheme: Box<dyn SimScheme>) -> Figure2Outcome {
         if t2.has_marked_victim() {
             break;
         }
-        assert!(!sim.step(&mut t2), "T2 must pause after marking, not finish");
+        assert!(
+            !sim.step(&mut t2),
+            "T2 must pause after marking, not finish"
+        );
     }
     assert!(t2.has_marked_victim());
     let mut t3 = sim.start_op(T3, OpKind::Delete(15));
@@ -125,7 +128,10 @@ pub fn run_figure2(scheme: Box<dyn SimScheme>) -> Figure2Outcome {
         if t3.has_marked_victim() {
             break;
         }
-        assert!(!sim.step(&mut t3), "T3 must pause after marking, not finish");
+        assert!(
+            !sim.step(&mut t3),
+            "T3 must pause after marking, not finish"
+        );
     }
     assert!(t3.has_marked_victim());
 

@@ -152,7 +152,13 @@ impl HarrisSim {
         sim.heap.write_next(setup_tid, &head, &tail, false);
         sim.heap.share(&tail);
         sim.heap.share(&head);
-        HarrisSim { sim, head, tail, head_node, tail_node }
+        HarrisSim {
+            sim,
+            head,
+            tail,
+            head_node,
+            tail_node,
+        }
     }
 
     /// The sentinels' logical identities (for assertions).
@@ -196,6 +202,12 @@ impl HarrisSim {
         if scheme_forced {
             op.rollbacks += 1;
             self.sim.monitor.record_rollback();
+            self.sim.tracer.emit_for(
+                op.tid.0 as u16,
+                era_obs::Hook::Rollback,
+                op.steps as u64,
+                op.rollbacks as u64,
+            );
         }
         {
             let Sim { heap, scheme, .. } = &mut self.sim;
@@ -204,7 +216,8 @@ impl HarrisSim {
         // A retry re-enters the traversal: a new read-only phase when we
         // were writing, a continuation of the current one otherwise.
         if op.phase == PhaseKind::Write {
-            self.sim.phase_event(op.tid, PhaseEvent::PhaseStart(PhaseKind::ReadOnly));
+            self.sim
+                .phase_event(op.tid, PhaseEvent::PhaseStart(PhaseKind::ReadOnly));
             op.phase = PhaseKind::ReadOnly;
         }
         op.state = State::ReadHead;
@@ -237,9 +250,15 @@ impl HarrisSim {
                     op.new_node_id = Some(node);
                 }
                 op.phase = PhaseKind::ReadOnly;
-                self.sim.phase_event(tid, PhaseEvent::PhaseStart(PhaseKind::ReadOnly));
+                self.sim
+                    .phase_event(tid, PhaseEvent::PhaseStart(PhaseKind::ReadOnly));
                 if op.kind.key() != i64::MIN && op.new_node_id.is_some() {
-                    self.sim.phase_event(tid, PhaseEvent::LocalAlloc { var: op.new_node.var });
+                    self.sim.phase_event(
+                        tid,
+                        PhaseEvent::LocalAlloc {
+                            var: op.new_node.var,
+                        },
+                    );
                 }
                 op.state = State::ReadHead;
             }
@@ -247,7 +266,8 @@ impl HarrisSim {
                 // Read the entry point (a global variable, always valid).
                 let head = self.head;
                 self.sim.heap.read_global(&mut op.pred, &head);
-                self.sim.phase_event(tid, PhaseEvent::ReadGlobalInto { var: op.pred.var });
+                self.sim
+                    .phase_event(tid, PhaseEvent::ReadGlobalInto { var: op.pred.var });
                 op.state = State::ReadPredNext;
             }
             State::ReadPredNext => {
@@ -257,13 +277,19 @@ impl HarrisSim {
                     Outcome::Ok => {
                         self.sim.phase_event(
                             tid,
-                            PhaseEvent::DerefReadInto { src: op.pred.var, dst: op.pred_next.var },
+                            PhaseEvent::DerefReadInto {
+                                src: op.pred.var,
+                                dst: op.pred_next.var,
+                            },
                         );
                         let pn = op.pred_next;
                         self.sim.heap.assign_with_mark(&mut op.curr, &pn, false);
                         self.sim.phase_event(
                             tid,
-                            PhaseEvent::LocalCopy { src: op.pred_next.var, dst: op.curr.var },
+                            PhaseEvent::LocalCopy {
+                                src: op.pred_next.var,
+                                dst: op.curr.var,
+                            },
                         );
                         op.state = State::ReadCurrNext;
                     }
@@ -276,7 +302,10 @@ impl HarrisSim {
                     Outcome::Ok => {
                         self.sim.phase_event(
                             tid,
-                            PhaseEvent::DerefReadInto { src: op.curr.var, dst: op.curr_next.var },
+                            PhaseEvent::DerefReadInto {
+                                src: op.curr.var,
+                                dst: op.curr_next.var,
+                            },
                         );
                         // Branch on the mark bit: a *use* of the value.
                         self.sim.heap.use_var(tid, op.curr_next.var);
@@ -288,7 +317,10 @@ impl HarrisSim {
                             self.sim.heap.assign_with_mark(&mut op.curr, &cn, false);
                             self.sim.phase_event(
                                 tid,
-                                PhaseEvent::LocalCopy { src: op.curr_next.var, dst: op.curr.var },
+                                PhaseEvent::LocalCopy {
+                                    src: op.curr_next.var,
+                                    dst: op.curr.var,
+                                },
                             );
                             op.state = State::ReadCurrNext;
                         } else {
@@ -305,7 +337,10 @@ impl HarrisSim {
                     Ok(bits) => {
                         self.sim.phase_event(
                             tid,
-                            PhaseEvent::DerefReadInto { src: op.curr.var, dst: op.key_scratch },
+                            PhaseEvent::DerefReadInto {
+                                src: op.curr.var,
+                                dst: op.key_scratch,
+                            },
                         );
                         self.sim.heap.use_var(tid, op.key_scratch);
                         op.curr_key = bits;
@@ -317,15 +352,24 @@ impl HarrisSim {
                             self.sim.heap.assign_with_mark(&mut op.curr, &cn, false);
                             self.sim.phase_event(
                                 tid,
-                                PhaseEvent::LocalCopy { src: op.curr.var, dst: op.pred.var },
+                                PhaseEvent::LocalCopy {
+                                    src: op.curr.var,
+                                    dst: op.pred.var,
+                                },
                             );
                             self.sim.phase_event(
                                 tid,
-                                PhaseEvent::LocalCopy { src: op.curr_next.var, dst: op.pred_next.var },
+                                PhaseEvent::LocalCopy {
+                                    src: op.curr_next.var,
+                                    dst: op.pred_next.var,
+                                },
                             );
                             self.sim.phase_event(
                                 tid,
-                                PhaseEvent::LocalCopy { src: op.curr_next.var, dst: op.curr.var },
+                                PhaseEvent::LocalCopy {
+                                    src: op.curr_next.var,
+                                    dst: op.curr.var,
+                                },
                             );
                             op.state = State::ReadCurrNext;
                         } else {
@@ -354,7 +398,10 @@ impl HarrisSim {
                     Outcome::Ok => {
                         self.sim.phase_event(
                             tid,
-                            PhaseEvent::DerefReadInto { src: op.curr.var, dst: op.succ.var },
+                            PhaseEvent::DerefReadInto {
+                                src: op.curr.var,
+                                dst: op.succ.var,
+                            },
                         );
                         self.sim.heap.use_var(tid, op.succ.var);
                         let marked = op.succ.word.is_some_and(|w| w.mark);
@@ -372,7 +419,8 @@ impl HarrisSim {
                 match scheme.pre_write(heap, tid, &[&op.pred, &op.curr]) {
                     Outcome::Rollback => self.restart(op, true),
                     Outcome::Ok => {
-                        self.sim.phase_event(tid, PhaseEvent::SharedWrite { via: op.pred.var });
+                        self.sim
+                            .phase_event(tid, PhaseEvent::SharedWrite { via: op.pred.var });
                         let ok = self.sim.heap.cas_next(
                             tid,
                             &op.pred,
@@ -385,7 +433,10 @@ impl HarrisSim {
                             self.sim.heap.assign(&mut op.pred_next, &c);
                             self.sim.phase_event(
                                 tid,
-                                PhaseEvent::LocalCopy { src: op.curr.var, dst: op.pred_next.var },
+                                PhaseEvent::LocalCopy {
+                                    src: op.curr.var,
+                                    dst: op.pred_next.var,
+                                },
                             );
                             op.state = State::WindowRecheck;
                         } else {
@@ -398,7 +449,12 @@ impl HarrisSim {
                 // Line 36: new_node.next = curr (the node is still local).
                 let (nn, c) = (op.new_node, op.curr);
                 self.sim.heap.write_next(tid, &nn, &c, false);
-                self.sim.phase_event(tid, PhaseEvent::SharedWrite { via: op.new_node.var });
+                self.sim.phase_event(
+                    tid,
+                    PhaseEvent::SharedWrite {
+                        via: op.new_node.var,
+                    },
+                );
                 op.state = State::InsertCas;
             }
             State::InsertCas => {
@@ -406,7 +462,8 @@ impl HarrisSim {
                 match scheme.pre_write(heap, tid, &[&op.pred]) {
                     Outcome::Rollback => self.restart(op, true),
                     Outcome::Ok => {
-                        self.sim.phase_event(tid, PhaseEvent::SharedWrite { via: op.pred.var });
+                        self.sim
+                            .phase_event(tid, PhaseEvent::SharedWrite { via: op.pred.var });
                         let ok = self.sim.heap.cas_next(
                             tid,
                             &op.pred,
@@ -416,8 +473,12 @@ impl HarrisSim {
                         );
                         if ok {
                             self.sim.heap.share(&op.new_node);
-                            self.sim
-                                .phase_event(tid, PhaseEvent::Shared { var: op.new_node.var });
+                            self.sim.phase_event(
+                                tid,
+                                PhaseEvent::Shared {
+                                    var: op.new_node.var,
+                                },
+                            );
                             self.finish(op, true);
                         } else {
                             self.restart(op, false);
@@ -432,7 +493,10 @@ impl HarrisSim {
                     Outcome::Ok => {
                         self.sim.phase_event(
                             tid,
-                            PhaseEvent::DerefReadInto { src: op.curr.var, dst: op.succ.var },
+                            PhaseEvent::DerefReadInto {
+                                src: op.curr.var,
+                                dst: op.succ.var,
+                            },
                         );
                         self.sim.heap.use_var(tid, op.succ.var);
                         let marked = op.succ.word.is_some_and(|w| w.mark);
@@ -450,14 +514,12 @@ impl HarrisSim {
                 match scheme.pre_write(heap, tid, &[&op.pred, &op.curr]) {
                     Outcome::Rollback => self.restart(op, true),
                     Outcome::Ok => {
-                        self.sim.phase_event(tid, PhaseEvent::SharedWrite { via: op.curr.var });
-                        let ok = self.sim.heap.cas_next(
-                            tid,
-                            &op.curr,
-                            op.succ.word,
-                            &op.succ,
-                            true,
-                        );
+                        self.sim
+                            .phase_event(tid, PhaseEvent::SharedWrite { via: op.curr.var });
+                        let ok =
+                            self.sim
+                                .heap
+                                .cas_next(tid, &op.curr, op.succ.word, &op.succ, true);
                         if ok {
                             op.victim_node = self.target_of(&op.curr);
                             let c = op.curr;
@@ -471,9 +533,12 @@ impl HarrisSim {
             }
             State::DeleteUnlinkCas => {
                 // Line 50: try to unlink the victim ourselves.
-                self.sim.phase_event(tid, PhaseEvent::SharedWrite { via: op.pred.var });
-                let ok =
-                    self.sim.heap.cas_next(tid, &op.pred, op.curr.word, &op.succ, false);
+                self.sim
+                    .phase_event(tid, PhaseEvent::SharedWrite { via: op.pred.var });
+                let ok = self
+                    .sim
+                    .heap
+                    .cas_next(tid, &op.pred, op.curr.word, &op.succ, false);
                 if ok {
                     op.state = State::RetireVictim;
                 } else {
@@ -547,7 +612,8 @@ impl HarrisSim {
     /// Convenience: run a whole operation for `tid`.
     pub fn run_op(&mut self, tid: ThreadId, kind: OpKind) -> bool {
         let mut op = self.start_op(tid, kind);
-        self.run_to_completion(&mut op, 1_000_000).expect("operation completes")
+        self.run_to_completion(&mut op, 1_000_000)
+            .expect("operation completes")
     }
 
     /// Quiescent snapshot of the set's keys.
@@ -561,7 +627,10 @@ impl HarrisSim {
                 // a fresh traversal is overkill for a debug helper; go
                 // through the heap API with a throwaway thread id.
                 let mut tmp = self.sim.heap.new_local();
-                let holder = Local { var: self.head.var, word: Some(crate::heap::Word { addr, mark: false }) };
+                let holder = Local {
+                    var: self.head.var,
+                    word: Some(crate::heap::Word { addr, mark: false }),
+                };
                 self.sim.heap.read_next(ThreadId(99), &holder, &mut tmp)
             };
             match next {
@@ -571,8 +640,13 @@ impl HarrisSim {
                         break;
                     }
                     let mut tmp = self.sim.heap.new_local();
-                    let holder =
-                        Local { var: self.head.var, word: Some(crate::heap::Word { addr: w.addr, mark: false }) };
+                    let holder = Local {
+                        var: self.head.var,
+                        word: Some(crate::heap::Word {
+                            addr: w.addr,
+                            mark: false,
+                        }),
+                    };
                     let nn = self.sim.heap.read_next(ThreadId(99), &holder, &mut tmp);
                     if !nn.is_some_and(|x| x.mark) {
                         let scratch = self.sim.heap.new_var();
@@ -738,7 +812,10 @@ mod tests {
         let done = sim.run_to_completion(&mut t1, 10_000);
         assert_eq!(done, Some(true));
         assert!(sim.sim.heap.verdict().is_smr());
-        assert!(sim.sim.monitor.rollbacks() > 0, "neutralized restarts happened");
+        assert!(
+            sim.sim.monitor.rollbacks() > 0,
+            "neutralized restarts happened"
+        );
     }
 
     #[test]

@@ -22,8 +22,9 @@ use std::collections::{HashMap, HashSet};
 use era_core::ids::{NodeId, ThreadId};
 use era_core::lifecycle::{LifecycleError, LifecycleTracker};
 use era_core::robustness::FootprintSample;
-use era_core::safety::{DerefKind, MemEvent, PtrSource, SafetyChecker, SafetyVerdict};
+use era_core::safety::{DerefKind, MemEvent, PtrSource, SafetyChecker, SafetyVerdict, Violation};
 use era_core::validity::{Validity, VarId};
+use era_obs::{Hook, ThreadTracer};
 
 /// The raw bits a link word holds: an address and a Harris mark.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -37,12 +38,18 @@ pub struct Word {
 impl Word {
     /// The same address without the mark.
     pub fn unmarked(self) -> Word {
-        Word { addr: self.addr, mark: false }
+        Word {
+            addr: self.addr,
+            mark: false,
+        }
     }
 
     /// The same address with the mark set.
     pub fn marked(self) -> Word {
-        Word { addr: self.addr, mark: true }
+        Word {
+            addr: self.addr,
+            mark: true,
+        }
     }
 }
 
@@ -87,12 +94,70 @@ pub struct SimHeap {
     system_space: HashSet<usize>,
     next_addr: usize,
     next_var: u64,
+    tracer: ThreadTracer,
+    /// Violations already reported through the tracer.
+    traced_violations: usize,
 }
 
 impl SimHeap {
     /// Creates an empty heap.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Hands the heap a tracer: every oracle-checked dereference then
+    /// emits a [`Hook::OracleCheck`] event, and each *new* Definition
+    /// 4.2 violation a [`Hook::OracleViolation`] event, attributed to
+    /// the accessing thread.
+    pub fn set_tracer(&mut self, tracer: ThreadTracer) {
+        self.tracer = tracer;
+        self.traced_violations = self.checker.verdict().violations.len();
+    }
+
+    /// Emits the oracle events for a checked access at `addr` by `tid`.
+    fn trace_check(&mut self, tid: ThreadId, addr: usize) {
+        if !self.tracer.is_enabled() {
+            return;
+        }
+        let violations = self.checker.verdict().violations.len();
+        self.tracer.emit_for(
+            tid.0 as u16,
+            Hook::OracleCheck,
+            addr as u64,
+            violations as u64,
+        );
+        self.sweep_violations();
+    }
+
+    /// Emits one [`Hook::OracleViolation`] per Definition 4.2 violation
+    /// not yet reported, attributed to the thread recorded in the
+    /// violation itself (violations can arise from any checked event —
+    /// a dereference, a value use, or a tainted-pointer copy).
+    fn sweep_violations(&mut self) {
+        if !self.tracer.is_enabled() {
+            return;
+        }
+        let violations = &self.checker.verdict().violations;
+        if self.traced_violations >= violations.len() {
+            return;
+        }
+        let fresh: Vec<(u16, u64)> = violations[self.traced_violations..]
+            .iter()
+            .map(|v| match v {
+                Violation::SystemSpaceAccess { access }
+                | Violation::MutatedReclaimed { access } => (access.thread.0 as u16, access.ptr.0),
+                Violation::TaintedValueUsed { used_by, var, .. } => (used_by.0 as u16, var.0),
+            })
+            .collect();
+        for (thread, subject) in fresh {
+            self.traced_violations += 1;
+            self.tracer.emit_for(
+                thread,
+                Hook::OracleViolation,
+                subject,
+                self.traced_violations as u64,
+            );
+        }
     }
 
     /// Mints a fresh pointer-variable identity (for thread locals).
@@ -104,7 +169,10 @@ impl SimHeap {
 
     /// Creates a fresh null local.
     pub fn new_local(&mut self) -> Local {
-        Local { var: self.new_var(), word: None }
+        Local {
+            var: self.new_var(),
+            word: None,
+        }
     }
 
     /// The lifecycle tracker (counters, states).
@@ -135,7 +203,10 @@ impl SimHeap {
     /// The node currently *live* at `addr`, if any.
     pub fn live_node_at(&self, addr: usize) -> Option<NodeId> {
         let cell = self.cells.get(&addr)?;
-        self.lifecycle.state(cell.node).is_active().then_some(cell.node)
+        self.lifecycle
+            .state(cell.node)
+            .is_active()
+            .then_some(cell.node)
     }
 
     /// Allocates a node with `key` into `dst` (reusing program-space
@@ -147,11 +218,28 @@ impl SimHeap {
             self.next_addr += 1;
             a
         });
-        let node = self.lifecycle.alloc(addr, tid).expect("address came from the free pool");
+        let node = self
+            .lifecycle
+            .alloc(addr, tid)
+            .expect("address came from the free pool");
         let next_var = self.new_var();
-        self.checker.record(MemEvent::PtrUpdate { var: next_var, source: PtrSource::Null });
-        self.cells.insert(addr, Cell { node, key, next: None, next_var });
-        self.checker.record(MemEvent::PtrUpdate { var: dst.var, source: PtrSource::Alloc(node) });
+        self.checker.record(MemEvent::PtrUpdate {
+            var: next_var,
+            source: PtrSource::Null,
+        });
+        self.cells.insert(
+            addr,
+            Cell {
+                node,
+                key,
+                next: None,
+                next_var,
+            },
+        );
+        self.checker.record(MemEvent::PtrUpdate {
+            var: dst.var,
+            source: PtrSource::Alloc(node),
+        });
         dst.word = Some(Word { addr, mark: false });
         node
     }
@@ -186,7 +274,8 @@ impl SimHeap {
     /// Life-cycle errors propagate.
     pub fn reclaim(&mut self, node: NodeId, to_system: bool) -> Result<(), LifecycleError> {
         self.lifecycle.reclaim(node)?;
-        self.checker.record(MemEvent::Unallocate { node, to_system });
+        self.checker
+            .record(MemEvent::Unallocate { node, to_system });
         if to_system {
             self.system_space.insert(node.addr);
         } else {
@@ -201,6 +290,7 @@ impl SimHeap {
             var: dst.var,
             source: PtrSource::Copy(src.var),
         });
+        self.sweep_violations();
         dst.word = src.word;
     }
 
@@ -211,6 +301,7 @@ impl SimHeap {
             var: dst.var,
             source: PtrSource::Copy(src.var),
         });
+        self.sweep_violations();
         dst.word = src.word.map(|w| Word { addr: w.addr, mark });
     }
 
@@ -221,6 +312,7 @@ impl SimHeap {
             var: dst.var,
             source: PtrSource::Copy(global.var),
         });
+        self.sweep_violations();
         dst.word = global.word;
     }
 
@@ -240,6 +332,7 @@ impl SimHeap {
             kind: DerefKind::ReadPtrInto { dst: dst.var },
             in_program_space,
         });
+        self.trace_check(tid, addr);
         if !in_program_space {
             dst.word = None;
             return None;
@@ -257,6 +350,7 @@ impl SimHeap {
         }
         // (On an unsafe read the checker has already tainted dst and
         // marked it an invalid reference.)
+        self.sweep_violations();
         dst.word = next;
         next
     }
@@ -274,10 +368,14 @@ impl SimHeap {
             kind: DerefKind::ReadValInto { dst: scratch },
             in_program_space,
         });
+        self.trace_check(tid, addr);
         if !in_program_space {
             return 0; // poisoned; the violation is already recorded
         }
-        self.cells.get(&addr).expect("program-space cell exists").key
+        self.cells
+            .get(&addr)
+            .expect("program-space cell exists")
+            .key
     }
 
     /// Initializing store of the `next` field of the (still local) node
@@ -291,16 +389,23 @@ impl SimHeap {
             kind: DerefKind::Write,
             in_program_space,
         });
+        self.trace_check(tid, addr);
         if !in_program_space {
             return;
         }
         let src_var = src.var;
         let word = src.word.map(|w| Word { addr: w.addr, mark });
-        let cell = self.cells.get_mut(&addr).expect("program-space cell exists");
+        let cell = self
+            .cells
+            .get_mut(&addr)
+            .expect("program-space cell exists");
         cell.next = word;
         let next_var = cell.next_var;
-        self.checker
-            .record(MemEvent::PtrUpdate { var: next_var, source: PtrSource::Copy(src_var) });
+        self.checker.record(MemEvent::PtrUpdate {
+            var: next_var,
+            source: PtrSource::Copy(src_var),
+        });
+        self.sweep_violations();
     }
 
     /// CAS on the `next` field of the node referenced by `target`:
@@ -321,7 +426,10 @@ impl SimHeap {
         let addr = target.word().addr;
         let in_program_space = !self.system_space.contains(&addr);
         let current = if in_program_space {
-            self.cells.get(&addr).expect("program-space cell exists").next
+            self.cells
+                .get(&addr)
+                .expect("program-space cell exists")
+                .next
         } else {
             None
         };
@@ -329,17 +437,31 @@ impl SimHeap {
         self.checker.record(MemEvent::Deref {
             thread: tid,
             ptr: target.var,
-            kind: if success { DerefKind::Write } else { DerefKind::FailedWrite },
+            kind: if success {
+                DerefKind::Write
+            } else {
+                DerefKind::FailedWrite
+            },
             in_program_space,
         });
+        self.trace_check(tid, addr);
         if success {
             let src_var = new_src.var;
-            let word = new_src.word.map(|w| Word { addr: w.addr, mark: new_mark });
-            let cell = self.cells.get_mut(&addr).expect("program-space cell exists");
+            let word = new_src.word.map(|w| Word {
+                addr: w.addr,
+                mark: new_mark,
+            });
+            let cell = self
+                .cells
+                .get_mut(&addr)
+                .expect("program-space cell exists");
             cell.next = word;
             let next_var = cell.next_var;
-            self.checker
-                .record(MemEvent::PtrUpdate { var: next_var, source: PtrSource::Copy(src_var) });
+            self.checker.record(MemEvent::PtrUpdate {
+                var: next_var,
+                source: PtrSource::Copy(src_var),
+            });
+            self.sweep_violations();
         }
         success
     }
@@ -349,6 +471,7 @@ impl SimHeap {
     /// Condition 3 of Definition 4.2.
     pub fn use_var(&mut self, tid: ThreadId, var: VarId) {
         self.checker.record(MemEvent::UseVar { thread: tid, var });
+        self.trace_check(tid, var.0 as usize);
     }
 
     /// Records an overwrite of a (non-pointer) scratch variable.
@@ -455,7 +578,16 @@ mod tests {
         heap.reclaim(na, false).unwrap();
         // holder.next still holds A's bits; CAS with those bits succeeds.
         let null = heap.new_local();
-        let ok = heap.cas_next(T0, &holder, Some(Word { addr: na.addr, mark: false }), &null, false);
+        let ok = heap.cas_next(
+            T0,
+            &holder,
+            Some(Word {
+                addr: na.addr,
+                mark: false,
+            }),
+            &null,
+            false,
+        );
         assert!(ok, "bit-level CAS must be ABA-prone");
     }
 
@@ -469,7 +601,10 @@ mod tests {
         let failed = heap.cas_next(
             T0,
             &p,
-            Some(Word { addr: 4242, mark: false }),
+            Some(Word {
+                addr: 4242,
+                mark: false,
+            }),
             &null,
             false,
         );
@@ -483,14 +618,24 @@ mod tests {
         };
         let ok = heap.cas_next(T0, &p, current, &null, false);
         assert!(ok);
-        assert!(!heap.verdict().is_smr(), "mutating reclaimed memory violates");
+        assert!(
+            !heap.verdict().is_smr(),
+            "mutating reclaimed memory violates"
+        );
     }
 
     #[test]
     fn footprint_counters_flow_through() {
         let (mut heap, p, node) = setup();
         heap.share(&p);
-        assert_eq!(heap.sample(), FootprintSample { active: 1, max_active: 1, retired: 0 });
+        assert_eq!(
+            heap.sample(),
+            FootprintSample {
+                active: 1,
+                max_active: 1,
+                retired: 0
+            }
+        );
         heap.retire(node).unwrap();
         assert_eq!(heap.sample().retired, 1);
         heap.reclaim(node, false).unwrap();

@@ -90,13 +90,25 @@ impl LockedListSim {
         let head_node = sim.heap.alloc(setup, i64::MIN, &mut head);
         sim.scheme.on_alloc(&mut sim.heap, head_node);
         sim.heap.share(&head);
-        LockedListSim { sim, head, locked_by: None, keys: Vec::new() }
+        LockedListSim {
+            sim,
+            head,
+            locked_by: None,
+            keys: Vec::new(),
+        }
     }
 
     /// Starts an operation.
     pub fn start_op(&mut self, tid: ThreadId, kind: LockedOpKind) -> LockedOp {
         let cursor = self.sim.heap.new_local();
-        LockedOp { tid, kind, state: State::Begin, cursor, result: None, steps: 0 }
+        LockedOp {
+            tid,
+            kind,
+            state: State::Begin,
+            cursor,
+            result: None,
+            steps: 0,
+        }
     }
 
     /// One step. A blocked acquire consumes a step without progress —
@@ -209,14 +221,26 @@ mod tests {
             }
             if completed {
                 free_positions += 1;
-                assert!(!holder_blocked, "completion while the adversary holds the lock?!");
+                assert!(
+                    !holder_blocked,
+                    "completion while the adversary holds the lock?!"
+                );
             } else {
                 stuck_positions += 1;
-                assert!(holder_blocked, "stuck without the adversary holding the lock?!");
+                assert!(
+                    holder_blocked,
+                    "stuck without the adversary holding the lock?!"
+                );
             }
         }
-        assert!(stuck_positions > 0, "the sweep must find the blocking window");
-        assert!(free_positions > 0, "outside the critical section it is free");
+        assert!(
+            stuck_positions > 0,
+            "the sweep must find the blocking window"
+        );
+        assert!(
+            free_positions > 0,
+            "outside the critical section it is free"
+        );
     }
 
     #[test]
@@ -235,6 +259,9 @@ mod tests {
             sim.step(&mut solo);
         }
         assert!(!solo.is_done());
-        assert!(sim.sim.heap.verdict().is_smr(), "blocked, but perfectly safe");
+        assert!(
+            sim.sim.heap.verdict().is_smr(),
+            "blocked, but perfectly safe"
+        );
     }
 }

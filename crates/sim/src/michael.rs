@@ -240,8 +240,11 @@ impl MichaelSim {
                         );
                         if ok {
                             // The unlinker retires, exactly once.
-                            let node =
-                                self.sim.heap.target(&op.curr).expect("curr references a node");
+                            let node = self
+                                .sim
+                                .heap
+                                .target(&op.curr)
+                                .expect("curr references a node");
                             let Sim { heap, scheme, .. } = &mut self.sim;
                             scheme.retire(heap, tid, node);
                             op.state = State::ReadCurrFromPred;
@@ -314,13 +317,10 @@ impl MichaelSim {
                 match scheme.pre_write(heap, tid, &[&op.pred, &op.curr]) {
                     Outcome::Rollback => self.restart(op, true),
                     Outcome::Ok => {
-                        let ok = self.sim.heap.cas_next(
-                            tid,
-                            &op.curr,
-                            op.succ.word,
-                            &op.succ,
-                            true,
-                        );
+                        let ok =
+                            self.sim
+                                .heap
+                                .cas_next(tid, &op.curr, op.succ.word, &op.succ, true);
                         if ok {
                             op.victim_node = self.sim.heap.target(&op.curr);
                             op.state = State::DeleteUnlinkCas;
@@ -331,8 +331,10 @@ impl MichaelSim {
                 }
             }
             State::DeleteUnlinkCas => {
-                let ok =
-                    self.sim.heap.cas_next(tid, &op.pred, op.curr.word, &op.succ, false);
+                let ok = self
+                    .sim
+                    .heap
+                    .cas_next(tid, &op.pred, op.curr.word, &op.succ, false);
                 if ok {
                     let node = op.victim_node.expect("victim recorded");
                     let Sim { heap, scheme, .. } = &mut self.sim;
@@ -404,7 +406,8 @@ impl MichaelSim {
     /// Convenience: run a whole operation for `tid`.
     pub fn run_op(&mut self, tid: ThreadId, kind: OpKind) -> bool {
         let mut op = self.start_op(tid, kind);
-        self.run_to_completion(&mut op, 1_000_000).expect("operation completes")
+        self.run_to_completion(&mut op, 1_000_000)
+            .expect("operation completes")
     }
 
     /// Quiescent snapshot of the set's keys (debug helper).
@@ -426,10 +429,16 @@ impl MichaelSim {
                     }
                     let node_holder = Local {
                         var: self.head.var,
-                        word: Some(crate::heap::Word { addr: w.addr, mark: false }),
+                        word: Some(crate::heap::Word {
+                            addr: w.addr,
+                            mark: false,
+                        }),
                     };
                     let mut tmp2 = self.sim.heap.new_local();
-                    let nn = self.sim.heap.read_next(ThreadId(99), &node_holder, &mut tmp2);
+                    let nn = self
+                        .sim
+                        .heap
+                        .read_next(ThreadId(99), &node_holder, &mut tmp2);
                     if !nn.is_some_and(|x| x.mark) {
                         let scratch = self.sim.heap.new_var();
                         out.push(self.sim.heap.read_key(ThreadId(99), &node_holder, scratch));
@@ -538,13 +547,21 @@ mod tests {
         }
         // Hand-mark node 1 (what a paused delete would leave behind).
         let head_addr = sim.head.word().addr;
-        let holder =
-            Local { var: sim.head.var, word: Some(Word { addr: head_addr, mark: false }) };
+        let holder = Local {
+            var: sim.head.var,
+            word: Some(Word {
+                addr: head_addr,
+                mark: false,
+            }),
+        };
         let mut n1 = sim.sim.heap.new_local();
         sim.sim.heap.read_next(ThreadId(9), &holder, &mut n1);
         let mut n1_next = sim.sim.heap.new_local();
         sim.sim.heap.read_next(ThreadId(9), &n1, &mut n1_next);
-        assert!(sim.sim.heap.cas_next(ThreadId(9), &n1, n1_next.word, &n1_next, true));
+        assert!(sim
+            .sim
+            .heap
+            .cas_next(ThreadId(9), &n1, n1_next.word, &n1_next, true));
         // A contains(3) traversal must unlink node 1 on its way.
         assert!(sim.run_op(T0, OpKind::Contains(3)));
         assert_eq!(sim.collect_keys(), vec![2, 3]);

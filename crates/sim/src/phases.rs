@@ -25,7 +25,11 @@ pub fn check_sequential(scheme: Box<dyn SimScheme>, ops: &[OpKind]) -> Vec<Phase
     for &op in ops {
         let _ = sim.run_op(tid, op);
     }
-    sim.sim.phases.take().map(|c| c.violations().to_vec()).unwrap_or_default()
+    sim.sim
+        .phases
+        .take()
+        .map(|c| c.violations().to_vec())
+        .unwrap_or_default()
 }
 
 /// Runs a deterministic round-robin interleaving of per-thread
@@ -36,8 +40,10 @@ pub fn check_interleaved(
 ) -> Vec<PhaseViolation> {
     let mut sim = HarrisSim::new(scheme);
     sim.sim.enable_phase_check();
-    let mut queues: Vec<std::collections::VecDeque<OpKind>> =
-        scripts.iter().map(|s| s.iter().copied().collect()).collect();
+    let mut queues: Vec<std::collections::VecDeque<OpKind>> = scripts
+        .iter()
+        .map(|s| s.iter().copied().collect())
+        .collect();
     let mut current: Vec<Option<crate::harris::HarrisOp>> =
         (0..scripts.len()).map(|_| None).collect();
     let mut remaining = scripts.iter().map(Vec::len).sum::<usize>();
@@ -59,7 +65,11 @@ pub fn check_interleaved(
             }
         }
     }
-    sim.sim.phases.take().map(|c| c.violations().to_vec()).unwrap_or_default()
+    sim.sim
+        .phases
+        .take()
+        .map(|c| c.violations().to_vec())
+        .unwrap_or_default()
 }
 
 #[cfg(test)]

@@ -98,7 +98,12 @@ pub fn solo_completion_sweep(
             stuck_at.push(k);
         }
     }
-    ProgressReport { scheme: name, positions, stuck_at, violations }
+    ProgressReport {
+        scheme: name,
+        positions,
+        stuck_at,
+        violations,
+    }
 }
 
 /// Minimal progress under round-robin: both threads run operation

@@ -76,12 +76,7 @@ pub trait SimScheme: std::fmt::Debug {
     /// Hook before a write phase touching the nodes behind `protects`
     /// (NBR reservations). Returning [`Outcome::Rollback`] sends the
     /// operation back to its checkpoint.
-    fn pre_write(
-        &mut self,
-        _heap: &mut SimHeap,
-        _tid: ThreadId,
-        _protects: &[&Local],
-    ) -> Outcome {
+    fn pre_write(&mut self, _heap: &mut SimHeap, _tid: ThreadId, _protects: &[&Local]) -> Outcome {
         Outcome::Ok
     }
 
@@ -123,7 +118,8 @@ impl SimScheme for SimLeak {
     fn end_op(&mut self, _heap: &mut SimHeap, _tid: ThreadId) {}
 
     fn retire(&mut self, heap: &mut SimHeap, _tid: ThreadId, node: NodeId) {
-        heap.retire(node).expect("plain implementation retires correctly");
+        heap.retire(node)
+            .expect("plain implementation retires correctly");
     }
 }
 
@@ -144,11 +140,20 @@ pub struct SimEbr {
 impl SimEbr {
     /// Creates the scheme for `threads` threads.
     pub fn new(threads: usize) -> Self {
-        SimEbr { epoch: 2, announcements: vec![None; threads], retired: Vec::new() }
+        SimEbr {
+            epoch: 2,
+            announcements: vec![None; threads],
+            retired: Vec::new(),
+        }
     }
 
     fn try_advance(&mut self) {
-        if self.announcements.iter().flatten().all(|&a| a == self.epoch) {
+        if self
+            .announcements
+            .iter()
+            .flatten()
+            .all(|&a| a == self.epoch)
+        {
             self.epoch += 1;
         }
     }
@@ -185,7 +190,8 @@ impl SimScheme for SimEbr {
     }
 
     fn retire(&mut self, heap: &mut SimHeap, _tid: ThreadId, node: NodeId) {
-        heap.retire(node).expect("plain implementation retires correctly");
+        heap.retire(node)
+            .expect("plain implementation retires correctly");
         self.retired.push((node, self.epoch));
         self.try_advance();
         self.collect(heap);
@@ -209,7 +215,12 @@ pub struct SimHp {
 impl SimHp {
     /// Creates the scheme for `threads` threads × `k` hazard slots.
     pub fn new(threads: usize, k: usize) -> Self {
-        SimHp { hazards: vec![VecDeque::new(); threads], k: k.max(1), retired: Vec::new(), scratch: None }
+        SimHp {
+            hazards: vec![VecDeque::new(); threads],
+            k: k.max(1),
+            retired: Vec::new(),
+            scratch: None,
+        }
     }
 
     fn protect(&mut self, tid: ThreadId, addr: usize) {
@@ -221,10 +232,11 @@ impl SimHp {
     }
 
     fn scan(&mut self, heap: &mut SimHeap) {
-        let protected: HashSet<usize> =
-            self.hazards.iter().flatten().copied().collect();
-        let (free, keep): (Vec<_>, Vec<_>) =
-            self.retired.drain(..).partition(|n| !protected.contains(&n.addr));
+        let protected: HashSet<usize> = self.hazards.iter().flatten().copied().collect();
+        let (free, keep): (Vec<_>, Vec<_>) = self
+            .retired
+            .drain(..)
+            .partition(|n| !protected.contains(&n.addr));
         for node in free {
             heap.reclaim(node, false).expect("retired node reclaimable");
         }
@@ -278,7 +290,8 @@ impl SimScheme for SimHp {
     }
 
     fn retire(&mut self, heap: &mut SimHeap, _tid: ThreadId, node: NodeId) {
-        heap.retire(node).expect("plain implementation retires correctly");
+        heap.retire(node)
+            .expect("plain implementation retires correctly");
         self.retired.push(node);
         self.scan(heap);
     }
@@ -366,7 +379,8 @@ impl SimScheme for SimHe {
     }
 
     fn retire(&mut self, heap: &mut SimHeap, _tid: ThreadId, node: NodeId) {
-        heap.retire(node).expect("plain implementation retires correctly");
+        heap.retire(node)
+            .expect("plain implementation retires correctly");
         let birth = self.birth.remove(&node).unwrap_or(0);
         self.retired.push((node, birth, self.era));
         self.era += 1;
@@ -391,7 +405,12 @@ pub struct SimIbr {
 impl SimIbr {
     /// Creates the scheme for `threads` threads.
     pub fn new(threads: usize) -> Self {
-        SimIbr { era: 1, intervals: vec![None; threads], birth: HashMap::new(), retired: Vec::new() }
+        SimIbr {
+            era: 1,
+            intervals: vec![None; threads],
+            birth: HashMap::new(),
+            retired: Vec::new(),
+        }
     }
 
     fn scan(&mut self, heap: &mut SimHeap) {
@@ -449,7 +468,8 @@ impl SimScheme for SimIbr {
     }
 
     fn retire(&mut self, heap: &mut SimHeap, _tid: ThreadId, node: NodeId) {
-        heap.retire(node).expect("plain implementation retires correctly");
+        heap.retire(node)
+            .expect("plain implementation retires correctly");
         let birth = self.birth.remove(&node).unwrap_or(0);
         self.retired.push((node, birth, self.era));
         self.era += 1;
@@ -521,12 +541,7 @@ impl SimScheme for SimVbr {
         Ok(heap.read_key(tid, src, scratch))
     }
 
-    fn pre_write(
-        &mut self,
-        heap: &mut SimHeap,
-        _tid: ThreadId,
-        protects: &[&Local],
-    ) -> Outcome {
+    fn pre_write(&mut self, heap: &mut SimHeap, _tid: ThreadId, protects: &[&Local]) -> Outcome {
         // Writing through a stale reference must fail; VBR re-validates
         // at the checkpoint before the write phase.
         if protects.iter().any(|l| heap.validity(l) != Validity::Valid) {
@@ -537,8 +552,10 @@ impl SimScheme for SimVbr {
     }
 
     fn retire(&mut self, heap: &mut SimHeap, _tid: ThreadId, node: NodeId) {
-        heap.retire(node).expect("plain implementation retires correctly");
-        heap.reclaim(node, false).expect("retire is reclaim under VBR");
+        heap.retire(node)
+            .expect("plain implementation retires correctly");
+        heap.reclaim(node, false)
+            .expect("retire is reclaim under VBR");
     }
 
     fn uses_rollbacks(&self) -> bool {
@@ -583,10 +600,11 @@ impl SimNbr {
                 self.neutralized[i] = true;
             }
         }
-        let reserved: HashSet<usize> =
-            self.reservations.iter().flatten().copied().collect();
-        let (free, keep): (Vec<_>, Vec<_>) =
-            self.retired.drain(..).partition(|n| !reserved.contains(&n.addr));
+        let reserved: HashSet<usize> = self.reservations.iter().flatten().copied().collect();
+        let (free, keep): (Vec<_>, Vec<_>) = self
+            .retired
+            .drain(..)
+            .partition(|n| !reserved.contains(&n.addr));
         for node in free {
             heap.reclaim(node, false).expect("retired node reclaimable");
         }
@@ -655,25 +673,23 @@ impl SimScheme for SimNbr {
         Ok(heap.read_key(tid, src, scratch))
     }
 
-    fn pre_write(
-        &mut self,
-        _heap: &mut SimHeap,
-        tid: ThreadId,
-        protects: &[&Local],
-    ) -> Outcome {
+    fn pre_write(&mut self, _heap: &mut SimHeap, tid: ThreadId, protects: &[&Local]) -> Outcome {
         if self.neutralized[tid.0] {
             self.neutralized[tid.0] = false;
             self.reservations[tid.0].clear();
             return Outcome::Rollback;
         }
-        self.reservations[tid.0] =
-            protects.iter().filter_map(|l| l.word.map(|w| w.addr)).collect();
+        self.reservations[tid.0] = protects
+            .iter()
+            .filter_map(|l| l.word.map(|w| w.addr))
+            .collect();
         self.in_read_phase[tid.0] = false;
         Outcome::Ok
     }
 
     fn retire(&mut self, heap: &mut SimHeap, tid: ThreadId, node: NodeId) {
-        heap.retire(node).expect("plain implementation retires correctly");
+        heap.retire(node)
+            .expect("plain implementation retires correctly");
         self.retired.push(node);
         if self.retired.len() >= self.threshold {
             self.neutralize_and_reclaim(heap, tid);
@@ -719,7 +735,11 @@ pub struct SimQsbr {
 impl SimQsbr {
     /// Creates the scheme for `threads` threads.
     pub fn new(threads: usize) -> Self {
-        SimQsbr { grace: 2, announced: vec![u64::MAX; threads], retired: Vec::new() }
+        SimQsbr {
+            grace: 2,
+            announced: vec![u64::MAX; threads],
+            retired: Vec::new(),
+        }
     }
 
     fn try_advance_and_collect(&mut self, heap: &mut SimHeap) {
@@ -765,7 +785,8 @@ impl SimScheme for SimQsbr {
     }
 
     fn retire(&mut self, heap: &mut SimHeap, _tid: ThreadId, node: NodeId) {
-        heap.retire(node).expect("plain implementation retires correctly");
+        heap.retire(node)
+            .expect("plain implementation retires correctly");
         self.retired.push((node, self.grace));
         self.try_advance_and_collect(heap);
     }
@@ -847,7 +868,10 @@ mod tests {
         ebr.begin_op(&mut heap, T0);
         let (_l3, n3) = alloc_shared(&mut heap, 3);
         ebr.retire(&mut heap, T0, n3);
-        assert!(heap.sample().retired < 3, "epoch advanced, old garbage freed");
+        assert!(
+            heap.sample().retired < 3,
+            "epoch advanced, old garbage freed"
+        );
     }
 
     #[test]
@@ -906,7 +930,10 @@ mod tests {
         vbr.retire(&mut heap, T0, n);
         assert_eq!(heap.sample().retired, 0, "retire is reclaim");
         let mut dst = heap.new_local();
-        assert_eq!(vbr.read_next(&mut heap, T0, &l, &mut dst), Outcome::Rollback);
+        assert_eq!(
+            vbr.read_next(&mut heap, T0, &l, &mut dst),
+            Outcome::Rollback
+        );
         assert!(heap.verdict().is_smr(), "the rollback prevented the access");
     }
 
@@ -924,14 +951,21 @@ mod tests {
 
         // T0 retires both nodes: threshold 1 ⇒ neutralize + reclaim.
         nbr.retire(&mut heap, T0, n);
-        assert_eq!(heap.sample().retired, 0, "unreserved node reclaimed at once");
+        assert_eq!(
+            heap.sample().retired,
+            0,
+            "unreserved node reclaimed at once"
+        );
         nbr.retire(&mut heap, T0, n2);
         assert_eq!(heap.sample().retired, 1, "reserved node survives");
 
         // T1 is neutralized: its next read rolls back instead of
         // touching the freed node.
         let mut dst = heap.new_local();
-        assert_eq!(nbr.read_next(&mut heap, T1, &reader_held, &mut dst), Outcome::Rollback);
+        assert_eq!(
+            nbr.read_next(&mut heap, T1, &reader_held, &mut dst),
+            Outcome::Rollback
+        );
         assert!(heap.verdict().is_smr());
     }
 
@@ -992,7 +1026,10 @@ mod tests {
     #[test]
     fn all_schemes_constructor_covers_the_matrix() {
         let names: Vec<&str> = all_schemes(2).iter().map(|s| s.name()).collect();
-        assert_eq!(names, vec!["EBR", "HP", "HE", "IBR", "VBR", "NBR", "QSBR", "Leak"]);
+        assert_eq!(
+            names,
+            vec!["EBR", "HP", "HE", "IBR", "VBR", "NBR", "QSBR", "Leak"]
+        );
     }
 
     #[test]

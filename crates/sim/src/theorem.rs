@@ -32,6 +32,7 @@ use era_core::era::{EraMatrix, EraProfile};
 use era_core::ids::ThreadId;
 use era_core::integration::check_easy_integration;
 use era_core::robustness::{classify, RobustnessObservation};
+use era_obs::{Hook, Recorder};
 
 use crate::harris::{HarrisSim, OpKind};
 use crate::schemes::SimScheme;
@@ -110,36 +111,71 @@ const T2: ThreadId = ThreadId(1);
 /// Panics if the world deviates from the construction's invariants
 /// (e.g. an operation of `T2` fails to complete).
 pub fn run_figure1(scheme: Box<dyn SimScheme>, rounds: usize) -> TheoremOutcome {
+    run_figure1_inner(scheme, rounds, None)
+}
+
+/// [`run_figure1`] with an attached [`era_obs::Recorder`]: the run
+/// additionally emits [`Hook::Phase`] transitions (indices decoded by
+/// [`era_obs::phase_name`]), oracle checks/violations, roll-backs, and
+/// footprint samples into the recorder.
+pub fn run_figure1_traced(
+    scheme: Box<dyn SimScheme>,
+    rounds: usize,
+    recorder: &Recorder,
+) -> TheoremOutcome {
+    run_figure1_inner(scheme, rounds, Some(recorder))
+}
+
+fn run_figure1_inner(
+    scheme: Box<dyn SimScheme>,
+    rounds: usize,
+    recorder: Option<&Recorder>,
+) -> TheoremOutcome {
     let name = scheme.name().to_string();
     let mut sim = HarrisSim::new(scheme);
+    if let Some(rec) = recorder {
+        sim.sim.attach_recorder(rec);
+    }
+    let phase = |sim: &mut HarrisSim, index: u64| {
+        sim.sim.tracer.emit(Hook::Phase, index, rounds as u64);
+    };
 
     // Stage (a): two reachable nodes besides the sentinels.
+    phase(&mut sim, 0); // setup
     assert!(sim.run_op(T2, OpKind::Insert(1)));
     assert!(sim.run_op(T2, OpKind::Insert(2)));
 
     // T1 invokes delete(3) and executes exactly up to (and including)
     // its read of head.next — then the scheduler takes it away.
+    phase(&mut sim, 1); // t1_blocks_mid_delete
     let mut t1 = sim.start_op(T1, OpKind::Delete(3));
     for _ in 0..3 {
         assert!(!sim.step(&mut t1), "T1 must still be traversing");
     }
 
     // Stages (b)–(c): T2 deletes node 1.
+    phase(&mut sim, 2); // t2_deletes_node1
     assert!(sim.run_op(T2, OpKind::Delete(1)));
     sim.sim.sample();
 
     // Stages (d)+ : alternating insert(n+1); delete(n), n = 2, 3, …
+    phase(&mut sim, 3); // churn
     for n in 2..2 + rounds as i64 {
         assert!(sim.run_op(T2, OpKind::Insert(n + 1)));
         assert!(sim.run_op(T2, OpKind::Delete(n)));
         sim.sim.sample();
     }
-    let peak_retired =
-        sim.sim.samples.iter().map(|s| s.retired).max().unwrap_or(0);
-    let peak_max_active =
-        sim.sim.samples.iter().map(|s| s.max_active).max().unwrap_or(0);
+    let peak_retired = sim.sim.samples.iter().map(|s| s.retired).max().unwrap_or(0);
+    let peak_max_active = sim
+        .sim
+        .samples
+        .iter()
+        .map(|s| s.max_active)
+        .max()
+        .unwrap_or(0);
 
     // Solo run of T1 (it is now the only effective thread).
+    phase(&mut sim, 4); // solo_run
     let budget = rounds * 64 + 10_000;
     let mut solo_completed = false;
     for _ in 0..budget {
@@ -152,6 +188,7 @@ pub fn run_figure1(scheme: Box<dyn SimScheme>, rounds: usize) -> TheoremOutcome 
         }
     }
 
+    phase(&mut sim, 5); // verdict
     let verdict = sim.sim.heap.verdict();
     let violations = verdict.violations.len();
     let first_violation = verdict.violations.first().map(|v| v.to_string());
@@ -239,14 +276,46 @@ fn profile(
 pub fn measured_matrix(rounds: usize) -> EraMatrix {
     let threads = 2;
     [
-        profile("EBR", move || Box::new(crate::schemes::SimEbr::new(threads)) as _, rounds),
-        profile("HP", move || Box::new(crate::schemes::SimHp::new(threads, 3)) as _, rounds),
-        profile("HE", move || Box::new(crate::schemes::SimHe::new(threads, 3)) as _, rounds),
-        profile("IBR", move || Box::new(crate::schemes::SimIbr::new(threads)) as _, rounds),
-        profile("VBR", move || Box::new(crate::schemes::SimVbr::new()) as _, rounds),
-        profile("NBR", move || Box::new(crate::schemes::SimNbr::new(threads, 1)) as _, rounds),
-        profile("QSBR", move || Box::new(crate::schemes::SimQsbr::new(threads)) as _, rounds),
-        profile("Leak", move || Box::new(crate::schemes::SimLeak) as _, rounds),
+        profile(
+            "EBR",
+            move || Box::new(crate::schemes::SimEbr::new(threads)) as _,
+            rounds,
+        ),
+        profile(
+            "HP",
+            move || Box::new(crate::schemes::SimHp::new(threads, 3)) as _,
+            rounds,
+        ),
+        profile(
+            "HE",
+            move || Box::new(crate::schemes::SimHe::new(threads, 3)) as _,
+            rounds,
+        ),
+        profile(
+            "IBR",
+            move || Box::new(crate::schemes::SimIbr::new(threads)) as _,
+            rounds,
+        ),
+        profile(
+            "VBR",
+            move || Box::new(crate::schemes::SimVbr::new()) as _,
+            rounds,
+        ),
+        profile(
+            "NBR",
+            move || Box::new(crate::schemes::SimNbr::new(threads, 1)) as _,
+            rounds,
+        ),
+        profile(
+            "QSBR",
+            move || Box::new(crate::schemes::SimQsbr::new(threads)) as _,
+            rounds,
+        ),
+        profile(
+            "Leak",
+            move || Box::new(crate::schemes::SimLeak) as _,
+            rounds,
+        ),
     ]
     .into_iter()
     .collect()
@@ -351,6 +420,44 @@ mod tests {
                 "{}: {} properties",
                 row.scheme,
                 row.property_count()
+            );
+        }
+    }
+
+    #[test]
+    fn traced_figure1_logs_every_scheme() {
+        if !cfg!(feature = "trace") {
+            return; // tracing compiled out: nothing to drain
+        }
+        for scheme in crate::schemes::all_schemes(2) {
+            let name = scheme.name();
+            // A ring big enough that nothing drops: the counts below
+            // are exact.
+            let rec = era_obs::Recorder::with_ring_capacity(4, 1 << 16);
+            let out = run_figure1_traced(scheme, 32, &rec);
+            let log = rec.drain();
+            assert!(!log.events.is_empty(), "{name}: traced run must log");
+            assert!(log.is_time_ordered(), "{name}");
+            assert_eq!(log.dropped, 0, "{name}: ring sized for the run");
+            // Every phase transition of the construction is on record.
+            let phases: Vec<u64> = log.with_hook(Hook::Phase).map(|e| e.a).collect();
+            assert_eq!(phases, vec![0, 1, 2, 3, 4, 5], "{name}");
+            // Footprint samples flowed through (churn samples once per
+            // round plus the stage-(c) sample).
+            assert_eq!(log.with_hook(Hook::Sample).count(), 33, "{name}");
+            // Oracle checks ran; violations in the trace match the
+            // outcome's count (the ring is large enough not to drop).
+            assert!(log.with_hook(Hook::OracleCheck).count() > 0, "{name}");
+            assert_eq!(
+                log.with_hook(Hook::OracleViolation).count(),
+                out.violations,
+                "{name}"
+            );
+            // Schemes that sacrifice easy integration logged roll-backs.
+            assert_eq!(
+                log.with_hook(Hook::Rollback).count() > 0,
+                out.rollbacks > 0,
+                "{name}"
             );
         }
     }

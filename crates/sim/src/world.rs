@@ -5,9 +5,13 @@ use era_core::history::{History, Op, Ret};
 use era_core::ids::{ObjectId, ThreadId};
 use era_core::integration::IntegrationMonitor;
 use era_core::robustness::FootprintSample;
+use era_obs::{Hook, Recorder, SchemeId, ThreadTracer};
 
 use crate::heap::SimHeap;
 use crate::schemes::SimScheme;
+
+/// Trace thread slot used for simulator-level (not per-thread) events.
+pub const SIM_SERVICE_THREAD: u16 = u16::MAX;
 
 /// The object id under which set operations are recorded in the history.
 pub const SET_OBJECT: ObjectId = ObjectId(1);
@@ -28,6 +32,10 @@ pub struct Sim {
     /// Optional Appendix C access-aware phase checker (enabled via
     /// [`Sim::enable_phase_check`]).
     pub phases: Option<AccessAwareChecker>,
+    /// Event tracer for simulator-level events (disabled until
+    /// [`Sim::attach_recorder`]). Per-heap oracle events have their own
+    /// tracer inside [`SimHeap`].
+    pub tracer: ThreadTracer,
 }
 
 impl Sim {
@@ -40,7 +48,19 @@ impl Sim {
             history: History::new(),
             samples: Vec::new(),
             phases: None,
+            tracer: ThreadTracer::disabled(),
         }
+    }
+
+    /// Attaches an [`era_obs::Recorder`]: from now on the world emits
+    /// footprint [`Hook::Sample`]s, the heap emits oracle events, and
+    /// the interpreter emits roll-backs, all attributed to the
+    /// integrated scheme (matched by name).
+    pub fn attach_recorder(&mut self, recorder: &Recorder) {
+        let scheme = SchemeId::from_name(self.scheme.name());
+        self.tracer = recorder.tracer(SIM_SERVICE_THREAD, scheme);
+        self.heap
+            .set_tracer(recorder.tracer(SIM_SERVICE_THREAD, scheme));
     }
 
     /// Turns on the Appendix C phase-discipline checker; the Harris
@@ -71,6 +91,8 @@ impl Sim {
     pub fn sample(&mut self) -> FootprintSample {
         let s = self.heap.sample();
         self.samples.push(s);
+        self.tracer
+            .emit(Hook::Sample, s.retired as u64, s.max_active as u64);
         s
     }
 }

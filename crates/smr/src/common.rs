@@ -14,6 +14,9 @@
 
 use std::fmt;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Mutex, OnceLock};
+
+use era_obs::{Hook, Recorder, SchemeId, ThreadTracer};
 
 /// Reclamation-scheme-owned header embedded in every node.
 ///
@@ -47,6 +50,10 @@ pub(crate) struct Retired {
     pub birth_era: u64,
     pub retire_era: u64,
     pub drop_fn: DropFn,
+    /// Logical trace time of the retire call ([`StatCells::stamp`]);
+    /// 0 when no recorder is attached. Basis of the retire→reclaim
+    /// latency histogram.
+    pub retire_tick: u64,
 }
 
 // Retired nodes are plain data; the schemes guarantee exclusive access.
@@ -61,30 +68,128 @@ impl Retired {
     }
 }
 
-/// Shared footprint counters every scheme maintains.
+/// Trace attachment of one scheme instance: the shared recorder plus a
+/// *service* tracer (thread slot `u16::MAX`) for events produced on
+/// scheme-internal paths that have no thread context at hand
+/// (epoch-advance, blame, batched reclaim).
+#[derive(Debug)]
+struct TraceState {
+    recorder: Recorder,
+    scheme: SchemeId,
+    service: Mutex<ThreadTracer>,
+}
+
+/// Shared footprint counters every scheme maintains — and, since they
+/// sit on every retire/reclaim path already, the single choke point
+/// where trace instrumentation hooks in. With no recorder attached
+/// (the default) every trace branch is one `OnceLock` load that sees
+/// `None`.
 #[derive(Debug, Default)]
 pub(crate) struct StatCells {
     pub retired_now: AtomicUsize,
+    pub retired_peak: AtomicUsize,
     pub total_retired: AtomicU64,
     pub total_reclaimed: AtomicU64,
+    trace: OnceLock<TraceState>,
 }
 
 impl StatCells {
-    pub fn on_retire(&self) {
-        self.retired_now.fetch_add(1, Ordering::Relaxed);
+    /// Attaches a trace recorder (first caller wins; later calls are
+    /// ignored). Threads registered *after* this point get live
+    /// tracers.
+    pub fn attach(&self, recorder: &Recorder, scheme: SchemeId) {
+        let _ = self.trace.set(TraceState {
+            recorder: recorder.clone(),
+            scheme,
+            service: Mutex::new(recorder.tracer(u16::MAX, scheme)),
+        });
+    }
+
+    /// A tracer for thread slot `thread` (disabled when no recorder is
+    /// attached). Cold path: call at registration.
+    pub fn tracer(&self, thread: usize) -> ThreadTracer {
+        match self.trace.get() {
+            Some(t) => t.recorder.tracer(thread as u16, t.scheme),
+            None => ThreadTracer::disabled(),
+        }
+    }
+
+    /// Current logical trace time for stamping retires (0 unattached —
+    /// the attached clock never issues 0).
+    #[inline]
+    pub fn stamp(&self) -> u64 {
+        match self.trace.get() {
+            Some(t) => t.recorder.now(),
+            None => 0,
+        }
+    }
+
+    /// Emits a scheme-internal event through the service tracer.
+    pub fn event(&self, hook: Hook, a: u64, b: u64) {
+        if let Some(t) = self.trace.get() {
+            t.service.lock().unwrap().emit(hook, a, b);
+        }
+    }
+
+    /// Records that reclamation is blocked on thread slot `blamed`
+    /// (stalled-thread attribution), with `held` nodes waiting.
+    pub fn blocked(&self, blamed: usize, held: usize) {
+        if let Some(t) = self.trace.get() {
+            t.recorder.metrics().blame(blamed);
+            t.service
+                .lock()
+                .unwrap()
+                .emit(Hook::Blocked, blamed as u64, held as u64);
+        }
+    }
+
+    /// Counts a retire; returns the new retired population (handy as
+    /// an event payload).
+    pub fn on_retire(&self) -> usize {
+        let now = self.retired_now.fetch_add(1, Ordering::Relaxed) + 1;
+        self.retired_peak.fetch_max(now, Ordering::Relaxed);
         self.total_retired.fetch_add(1, Ordering::Relaxed);
+        if let Some(t) = self.trace.get() {
+            t.recorder.metrics().footprint_peak.record(now as u64);
+        }
+        now
     }
 
     pub fn on_reclaim(&self, n: usize) {
         if n > 0 {
             self.retired_now.fetch_sub(n, Ordering::Relaxed);
             self.total_reclaimed.fetch_add(n as u64, Ordering::Relaxed);
+            if let Some(t) = self.trace.get() {
+                let left = self.retired_now.load(Ordering::Relaxed);
+                t.service
+                    .lock()
+                    .unwrap()
+                    .emit(Hook::Reclaim, n as u64, left as u64);
+            }
         }
+    }
+
+    /// Frees one retired node, recording its retire→reclaim latency in
+    /// the attached histogram. Callers still tally the batch through
+    /// [`StatCells::on_reclaim`].
+    ///
+    /// # Safety
+    ///
+    /// Same contract as [`Retired::free`].
+    pub unsafe fn reclaim_node(&self, node: Retired) {
+        if let Some(t) = self.trace.get() {
+            if node.retire_tick != 0 {
+                let latency = t.recorder.now().saturating_sub(node.retire_tick);
+                t.recorder.metrics().reclaim_latency.record(latency);
+            }
+        }
+        unsafe { node.free() }
     }
 
     pub fn snapshot(&self, era: u64) -> SmrStats {
         SmrStats {
             retired_now: self.retired_now.load(Ordering::Relaxed),
+            retired_peak: self.retired_peak.load(Ordering::Relaxed),
             total_retired: self.total_retired.load(Ordering::Relaxed),
             total_reclaimed: self.total_reclaimed.load(Ordering::Relaxed),
             era,
@@ -98,6 +203,10 @@ impl StatCells {
 pub struct SmrStats {
     /// Nodes retired and not yet reclaimed, right now.
     pub retired_now: usize,
+    /// High-water mark of `retired_now` over the scheme's lifetime —
+    /// the footprint figure the §5.1 robustness bounds are stated
+    /// about.
+    pub retired_peak: usize,
     /// Total retire calls so far.
     pub total_retired: u64,
     /// Total nodes reclaimed so far.
@@ -110,8 +219,8 @@ impl fmt::Display for SmrStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "retired_now={} total_retired={} total_reclaimed={} era={}",
-            self.retired_now, self.total_retired, self.total_reclaimed, self.era
+            "retired_now={} retired_peak={} total_retired={} total_reclaimed={} era={}",
+            self.retired_now, self.retired_peak, self.total_retired, self.total_reclaimed, self.era
         )
     }
 }
@@ -162,6 +271,14 @@ pub trait Smr: Send + Sync {
 
     /// Scheme name for reports.
     fn name(&self) -> &'static str;
+
+    /// Attaches a trace [`Recorder`]: subsequent hook calls emit
+    /// events and feed the recorder's metrics. Must be called *before*
+    /// [`Smr::register`] for registering threads to receive tracers.
+    /// The default is a no-op (tracing stays off).
+    fn attach_recorder(&self, recorder: &Recorder) {
+        let _ = recorder;
+    }
 
     /// Called on entry to every data-structure operation.
     fn begin_op(&self, ctx: &mut Self::ThreadCtx);
@@ -278,9 +395,12 @@ pub(crate) struct SlotRegistry {
 
 impl SlotRegistry {
     pub fn new(capacity: usize) -> Self {
-        let v: Vec<std::sync::atomic::AtomicBool> =
-            (0..capacity).map(|_| std::sync::atomic::AtomicBool::new(false)).collect();
-        SlotRegistry { in_use: v.into_boxed_slice() }
+        let v: Vec<std::sync::atomic::AtomicBool> = (0..capacity)
+            .map(|_| std::sync::atomic::AtomicBool::new(false))
+            .collect();
+        SlotRegistry {
+            in_use: v.into_boxed_slice(),
+        }
     }
 
     pub fn capacity(&self) -> usize {
@@ -296,7 +416,9 @@ impl SlotRegistry {
                 return Ok(i);
             }
         }
-        Err(RegisterError { capacity: self.in_use.len() })
+        Err(RegisterError {
+            capacity: self.in_use.len(),
+        })
     }
 
     pub fn release(&self, idx: usize) {
@@ -366,7 +488,10 @@ mod tests {
                 s.spawn(|| {
                     for _ in 0..100 {
                         let idx = r.acquire().unwrap();
-                        assert!(seen.lock().unwrap().insert(idx), "slot {idx} double-acquired");
+                        assert!(
+                            seen.lock().unwrap().insert(idx),
+                            "slot {idx} double-acquired"
+                        );
                         seen.lock().unwrap().remove(&idx);
                         r.release(idx);
                     }
@@ -384,10 +509,42 @@ mod tests {
         s.on_reclaim(0);
         let snap = s.snapshot(7);
         assert_eq!(snap.retired_now, 1);
+        assert_eq!(snap.retired_peak, 2, "peak must survive reclamation");
         assert_eq!(snap.total_retired, 2);
         assert_eq!(snap.total_reclaimed, 1);
         assert_eq!(snap.era, 7);
         assert!(snap.to_string().contains("retired_now=1"));
+        assert!(snap.to_string().contains("retired_peak=2"));
+    }
+
+    #[test]
+    fn stat_cells_trace_attachment() {
+        let s = StatCells::default();
+        assert_eq!(s.stamp(), 0, "unattached stamp is the sentinel 0");
+        assert!(!s.tracer(0).is_enabled());
+
+        if !cfg!(feature = "trace") {
+            return; // tracing compiled out: nothing further to observe
+        }
+        let recorder = Recorder::new(4);
+        s.attach(&recorder, SchemeId::HP);
+        assert!(s.tracer(0).is_enabled());
+        assert!(s.stamp() > 0);
+        s.on_retire();
+        s.blocked(2, 1);
+        s.on_reclaim(1);
+        assert_eq!(recorder.metrics().footprint_peak.get(), 1);
+        assert_eq!(recorder.metrics().blame_counts()[2], 1);
+        let log = recorder.drain();
+        assert!(log.with_hook(Hook::Blocked).count() == 1);
+        assert!(log.with_hook(Hook::Reclaim).count() == 1);
+
+        // Second attach is ignored, not an error: retires still feed the
+        // first recorder (population is back to 1 after the reclaim).
+        s.attach(&Recorder::new(1), SchemeId::EBR);
+        s.on_retire();
+        assert_eq!(s.snapshot(0).total_retired, 2);
+        assert_eq!(recorder.metrics().footprint_peak.get(), 1);
     }
 
     #[test]

@@ -16,6 +16,8 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
+use era_obs::{Hook, Recorder, SchemeId, ThreadTracer};
+
 use crate::common::{
     DropFn, RegisterError, Retired, SlotRegistry, Smr, SmrHeader, SmrStats, StatCells,
     SupportsUnlinkedTraversal,
@@ -45,13 +47,22 @@ impl EbrInner {
             }
             let a = self.announcements[i].load(Ordering::SeqCst);
             if a != QUIESCENT && a != e {
-                return e; // someone lags: cannot advance
+                // Someone lags: cannot advance. Blame them — this is
+                // exactly EBR's non-robustness (a stalled announcement
+                // blocks every other thread's reclamation).
+                self.stats
+                    .blocked(i, self.stats.retired_now.load(Ordering::Relaxed));
+                return e;
             }
         }
         // CAS failure means someone else advanced; either way progress.
-        let _ = self
+        if self
             .epoch
-            .compare_exchange(e, e + 1, Ordering::SeqCst, Ordering::SeqCst);
+            .compare_exchange(e, e + 1, Ordering::SeqCst, Ordering::SeqCst)
+            .is_ok()
+        {
+            self.stats.event(Hook::Advance, e + 1, 0);
+        }
         self.epoch.load(Ordering::SeqCst)
     }
 }
@@ -61,7 +72,7 @@ impl Drop for EbrInner {
         let orphans = std::mem::take(&mut *self.orphans.lock().unwrap());
         let n = orphans.len();
         for g in orphans {
-            unsafe { g.free() };
+            unsafe { self.stats.reclaim_node(g) };
         }
         self.stats.on_reclaim(n);
     }
@@ -92,6 +103,7 @@ pub struct Ebr {
 pub struct EbrCtx {
     inner: Arc<EbrInner>,
     idx: usize,
+    tracer: ThreadTracer,
     lists: [Vec<Retired>; 3],
     list_epochs: [u64; 3],
     retired_since_scan: usize,
@@ -104,7 +116,7 @@ impl EbrCtx {
             if !self.lists[i].is_empty() && self.list_epochs[i] + 2 <= epoch {
                 let n = self.lists[i].len();
                 for g in self.lists[i].drain(..) {
-                    unsafe { g.free() };
+                    unsafe { self.inner.stats.reclaim_node(g) };
                 }
                 self.inner.stats.on_reclaim(n);
             }
@@ -136,8 +148,9 @@ impl Ebr {
 
     /// Creates an EBR instance with a custom retire threshold.
     pub fn with_threshold(max_threads: usize, retire_threshold: usize) -> Self {
-        let announcements: Vec<AtomicU64> =
-            (0..max_threads).map(|_| AtomicU64::new(QUIESCENT)).collect();
+        let announcements: Vec<AtomicU64> = (0..max_threads)
+            .map(|_| AtomicU64::new(QUIESCENT))
+            .collect();
         Ebr {
             inner: Arc::new(EbrInner {
                 epoch: AtomicU64::new(2), // start >1 so `e-2` never underflows
@@ -165,6 +178,7 @@ impl Smr for Ebr {
         Ok(EbrCtx {
             inner: Arc::clone(&self.inner),
             idx,
+            tracer: self.inner.stats.tracer(idx),
             lists: [Vec::new(), Vec::new(), Vec::new()],
             list_epochs: [0; 3],
             retired_since_scan: 0,
@@ -175,6 +189,10 @@ impl Smr for Ebr {
         "EBR"
     }
 
+    fn attach_recorder(&self, recorder: &Recorder) {
+        self.inner.stats.attach(recorder, SchemeId::EBR);
+    }
+
     fn begin_op(&self, ctx: &mut EbrCtx) {
         // Announce the current epoch; re-read to narrow the window in
         // which we announce a stale value (a stale announcement is safe
@@ -183,6 +201,7 @@ impl Smr for Ebr {
             let e = self.inner.epoch.load(Ordering::SeqCst);
             self.inner.announcements[ctx.idx].store(e, Ordering::SeqCst);
             if self.inner.epoch.load(Ordering::SeqCst) == e {
+                ctx.tracer.emit(Hook::BeginOp, e, 0);
                 break;
             }
         }
@@ -190,6 +209,7 @@ impl Smr for Ebr {
 
     fn end_op(&self, ctx: &mut EbrCtx) {
         self.inner.announcements[ctx.idx].store(QUIESCENT, Ordering::SeqCst);
+        ctx.tracer.emit(Hook::EndOp, 0, 0);
     }
 
     unsafe fn retire(
@@ -206,14 +226,21 @@ impl Smr for Ebr {
             if !ctx.lists[slot].is_empty() {
                 let n = ctx.lists[slot].len();
                 for g in ctx.lists[slot].drain(..) {
-                    unsafe { g.free() };
+                    unsafe { self.inner.stats.reclaim_node(g) };
                 }
                 self.inner.stats.on_reclaim(n);
             }
             ctx.list_epochs[slot] = e;
         }
-        ctx.lists[slot].push(Retired { ptr, birth_era: 0, retire_era: e, drop_fn });
-        self.inner.stats.on_retire();
+        ctx.lists[slot].push(Retired {
+            ptr,
+            birth_era: 0,
+            retire_era: e,
+            drop_fn,
+            retire_tick: self.inner.stats.stamp(),
+        });
+        let held = self.inner.stats.on_retire();
+        ctx.tracer.emit(Hook::Retire, ptr as u64, held as u64);
         ctx.retired_since_scan += 1;
         if ctx.retired_since_scan >= self.inner.retire_threshold {
             ctx.retired_since_scan = 0;
@@ -223,7 +250,9 @@ impl Smr for Ebr {
     }
 
     fn stats(&self) -> SmrStats {
-        self.inner.stats.snapshot(self.inner.epoch.load(Ordering::SeqCst))
+        self.inner
+            .stats
+            .snapshot(self.inner.epoch.load(Ordering::SeqCst))
     }
 
     fn flush(&self, ctx: &mut EbrCtx) {
@@ -247,7 +276,7 @@ impl Smr for Ebr {
         };
         let n = eligible.len();
         for g in eligible {
-            unsafe { g.free() };
+            unsafe { self.inner.stats.reclaim_node(g) };
         }
         self.inner.stats.on_reclaim(n);
     }

@@ -17,6 +17,8 @@
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 
+use era_obs::{Hook, Recorder, SchemeId, ThreadTracer};
+
 use crate::common::{
     DropFn, RegisterError, Retired, SlotRegistry, Smr, SmrHeader, SmrStats, StatCells,
 };
@@ -39,21 +41,28 @@ struct HeInner {
 }
 
 impl HeInner {
-    /// Whether some published reservation era lies within `[birth, retire]`.
-    fn is_protected(&self, reservations: &[u64], birth: u64, retire: u64) -> bool {
-        reservations.iter().any(|&e| e != NONE && birth <= e && e <= retire)
+    /// The slot index of a published reservation era inside
+    /// `[birth, retire]`, if any (`index / k` is the owning thread).
+    fn protector(&self, reservations: &[u64], birth: u64, retire: u64) -> Option<usize> {
+        reservations
+            .iter()
+            .position(|&e| e != NONE && birth <= e && e <= retire)
     }
 
     fn scan(&self, garbage: &mut Vec<Retired>) {
-        let snapshot: Vec<u64> =
-            self.reservations.iter().map(|r| r.load(Ordering::SeqCst)).collect();
+        let snapshot: Vec<u64> = self
+            .reservations
+            .iter()
+            .map(|r| r.load(Ordering::SeqCst))
+            .collect();
         let before = garbage.len();
         let mut kept = Vec::new();
         for g in garbage.drain(..) {
-            if self.is_protected(&snapshot, g.birth_era, g.retire_era) {
+            if let Some(slot) = self.protector(&snapshot, g.birth_era, g.retire_era) {
+                self.stats.blocked(slot / self.k, 1);
                 kept.push(g);
             } else {
-                unsafe { g.free() };
+                unsafe { self.stats.reclaim_node(g) };
             }
         }
         self.stats.on_reclaim(before - kept.len());
@@ -66,7 +75,7 @@ impl Drop for HeInner {
         let orphans = std::mem::take(&mut *self.orphans.lock().unwrap());
         let n = orphans.len();
         for g in orphans {
-            unsafe { g.free() };
+            unsafe { self.stats.reclaim_node(g) };
         }
         self.stats.on_reclaim(n);
     }
@@ -96,6 +105,7 @@ pub struct He {
 pub struct HeCtx {
     inner: Arc<HeInner>,
     idx: usize,
+    tracer: ThreadTracer,
     garbage: Vec<Retired>,
     allocs: u64,
     retires: u64,
@@ -170,6 +180,7 @@ impl Smr for He {
         Ok(HeCtx {
             inner: Arc::clone(&self.inner),
             idx,
+            tracer: self.inner.stats.tracer(idx),
             garbage: Vec::new(),
             allocs: 0,
             retires: 0,
@@ -180,12 +191,20 @@ impl Smr for He {
         "HE"
     }
 
-    fn begin_op(&self, _ctx: &mut HeCtx) {}
+    fn attach_recorder(&self, recorder: &Recorder) {
+        self.inner.stats.attach(recorder, SchemeId::HE);
+    }
+
+    fn begin_op(&self, ctx: &mut HeCtx) {
+        ctx.tracer
+            .emit(Hook::BeginOp, self.inner.era.load(Ordering::SeqCst), 0);
+    }
 
     fn end_op(&self, ctx: &mut HeCtx) {
         for s in 0..self.inner.k {
             self.inner.reservations[ctx.idx * self.inner.k + s].store(NONE, Ordering::SeqCst);
         }
+        ctx.tracer.emit(Hook::EndOp, 0, 0);
     }
 
     fn load(&self, ctx: &mut HeCtx, slot: usize, src: &AtomicUsize) -> usize {
@@ -197,6 +216,7 @@ impl Smr for He {
             let p = src.load(Ordering::SeqCst);
             let now = self.inner.era.load(Ordering::SeqCst);
             if now == era {
+                ctx.tracer.emit(Hook::Load, slot as u64, p as u64);
                 return p;
             }
             era = now;
@@ -208,7 +228,8 @@ impl Smr for He {
         header.birth_era.store(e, Ordering::SeqCst);
         ctx.allocs += 1;
         if ctx.allocs.is_multiple_of(self.inner.era_frequency) {
-            self.inner.era.fetch_add(1, Ordering::SeqCst);
+            let new = self.inner.era.fetch_add(1, Ordering::SeqCst) + 1;
+            ctx.tracer.emit(Hook::Advance, new, 0);
         }
     }
 
@@ -225,11 +246,19 @@ impl Smr for He {
             unsafe { (*header).birth_era.load(Ordering::SeqCst) }
         };
         let retire_era = self.inner.era.load(Ordering::SeqCst);
-        ctx.garbage.push(Retired { ptr, birth_era: birth, retire_era, drop_fn });
-        self.inner.stats.on_retire();
+        ctx.garbage.push(Retired {
+            ptr,
+            birth_era: birth,
+            retire_era,
+            drop_fn,
+            retire_tick: self.inner.stats.stamp(),
+        });
+        let held = self.inner.stats.on_retire();
+        ctx.tracer.emit(Hook::Retire, ptr as u64, held as u64);
         ctx.retires += 1;
         if ctx.retires.is_multiple_of(self.inner.era_frequency) {
-            self.inner.era.fetch_add(1, Ordering::SeqCst);
+            let new = self.inner.era.fetch_add(1, Ordering::SeqCst) + 1;
+            ctx.tracer.emit(Hook::Advance, new, 0);
         }
         if ctx.garbage.len() >= self.inner.scan_threshold {
             self.inner.scan(&mut ctx.garbage);
@@ -237,7 +266,9 @@ impl Smr for He {
     }
 
     fn stats(&self) -> SmrStats {
-        self.inner.stats.snapshot(self.inner.era.load(Ordering::SeqCst))
+        self.inner
+            .stats
+            .snapshot(self.inner.era.load(Ordering::SeqCst))
     }
 
     fn flush(&self, ctx: &mut HeCtx) {

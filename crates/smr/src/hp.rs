@@ -15,9 +15,11 @@
 //! linked list** (Appendix E) — accordingly, `Hp` does *not* implement
 //! [`SupportsUnlinkedTraversal`](crate::common::SupportsUnlinkedTraversal).
 
-use std::collections::HashSet;
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
+
+use era_obs::{Hook, Recorder, SchemeId, ThreadTracer};
 
 use crate::common::{
     untagged, DropFn, RegisterError, Retired, SlotRegistry, Smr, SmrHeader, SmrStats, StatCells,
@@ -35,27 +37,33 @@ struct HpInner {
 }
 
 impl HpInner {
-    fn hazard_set(&self) -> HashSet<usize> {
-        let mut set = HashSet::new();
-        for h in self.hazards.iter() {
+    /// Published hazards, keyed by address, valued by the owning
+    /// thread slot (for stalled-thread blame).
+    fn hazard_map(&self) -> HashMap<usize, usize> {
+        let mut map = HashMap::new();
+        for (i, h) in self.hazards.iter().enumerate() {
             let v = h.load(Ordering::SeqCst);
             if v != 0 {
-                set.insert(v);
+                map.insert(v, i / self.k);
             }
         }
-        set
+        map
     }
 
     /// Frees every retired node not named by a hazard slot.
     fn scan(&self, garbage: &mut Vec<Retired>) {
-        let hazards = self.hazard_set();
+        let hazards = self.hazard_map();
         let before = garbage.len();
         let mut kept = Vec::with_capacity(hazards.len().min(before));
         for g in garbage.drain(..) {
-            if hazards.contains(&(g.ptr as usize)) {
+            if let Some(&owner) = hazards.get(&(g.ptr as usize)) {
+                // Reclamation of this node is blocked by `owner`'s
+                // published hazard — HP's robustness means the blame
+                // list is also the bound on what survives.
+                self.stats.blocked(owner, 1);
                 kept.push(g);
             } else {
-                unsafe { g.free() };
+                unsafe { self.stats.reclaim_node(g) };
             }
         }
         self.stats.on_reclaim(before - kept.len());
@@ -68,7 +76,7 @@ impl Drop for HpInner {
         let orphans = std::mem::take(&mut *self.orphans.lock().unwrap());
         let n = orphans.len();
         for g in orphans {
-            unsafe { g.free() };
+            unsafe { self.stats.reclaim_node(g) };
         }
         self.stats.on_reclaim(n);
     }
@@ -102,6 +110,7 @@ pub struct Hp {
 pub struct HpCtx {
     inner: Arc<HpInner>,
     idx: usize,
+    tracer: ThreadTracer,
     garbage: Vec<Retired>,
 }
 
@@ -128,8 +137,7 @@ impl Hp {
     /// Creates an HP instance with a custom scan threshold.
     pub fn with_threshold(max_threads: usize, k: usize, scan_threshold: usize) -> Self {
         assert!(k >= 1, "at least one hazard slot per thread");
-        let hazards: Vec<AtomicUsize> =
-            (0..max_threads * k).map(|_| AtomicUsize::new(0)).collect();
+        let hazards: Vec<AtomicUsize> = (0..max_threads * k).map(|_| AtomicUsize::new(0)).collect();
         Hp {
             inner: Arc::new(HpInner {
                 hazards: hazards.into_boxed_slice(),
@@ -150,8 +158,7 @@ impl Hp {
     /// The worst-case retired-population bound: `threshold` per thread
     /// plus one node per hazard slot.
     pub fn robustness_bound(&self) -> usize {
-        self.inner.scan_threshold * self.inner.registry.capacity()
-            + self.inner.hazards.len()
+        self.inner.scan_threshold * self.inner.registry.capacity() + self.inner.hazards.len()
     }
 }
 
@@ -163,19 +170,31 @@ impl Smr for Hp {
         for s in 0..self.inner.k {
             self.inner.hazards[idx * self.inner.k + s].store(0, Ordering::SeqCst);
         }
-        Ok(HpCtx { inner: Arc::clone(&self.inner), idx, garbage: Vec::new() })
+        Ok(HpCtx {
+            inner: Arc::clone(&self.inner),
+            idx,
+            tracer: self.inner.stats.tracer(idx),
+            garbage: Vec::new(),
+        })
     }
 
     fn name(&self) -> &'static str {
         "HP"
     }
 
-    fn begin_op(&self, _ctx: &mut HpCtx) {}
+    fn attach_recorder(&self, recorder: &Recorder) {
+        self.inner.stats.attach(recorder, SchemeId::HP);
+    }
+
+    fn begin_op(&self, ctx: &mut HpCtx) {
+        ctx.tracer.emit(Hook::BeginOp, 0, 0);
+    }
 
     fn end_op(&self, ctx: &mut HpCtx) {
         for s in 0..self.inner.k {
             self.inner.hazards[ctx.idx * self.inner.k + s].store(0, Ordering::SeqCst);
         }
+        ctx.tracer.emit(Hook::EndOp, 0, 0);
     }
 
     fn load(&self, ctx: &mut HpCtx, slot: usize, src: &AtomicUsize) -> usize {
@@ -186,6 +205,7 @@ impl Smr for Hp {
             cell.store(untagged(cur), Ordering::SeqCst);
             let again = src.load(Ordering::SeqCst);
             if again == cur {
+                ctx.tracer.emit(Hook::Load, slot as u64, cur as u64);
                 return cur;
             }
             cur = again;
@@ -199,8 +219,15 @@ impl Smr for Hp {
         _header: *const SmrHeader,
         drop_fn: DropFn,
     ) {
-        ctx.garbage.push(Retired { ptr, birth_era: 0, retire_era: 0, drop_fn });
-        self.inner.stats.on_retire();
+        ctx.garbage.push(Retired {
+            ptr,
+            birth_era: 0,
+            retire_era: 0,
+            drop_fn,
+            retire_tick: self.inner.stats.stamp(),
+        });
+        let held = self.inner.stats.on_retire();
+        ctx.tracer.emit(Hook::Retire, ptr as u64, held as u64);
         if ctx.garbage.len() >= self.inner.scan_threshold {
             self.inner.scan(&mut ctx.garbage);
         }
@@ -323,9 +350,7 @@ mod tests {
                     for i in 0..2_000u64 {
                         smr.begin_op(&mut ctx);
                         let old = shared.swap(new_node(i), Ordering::SeqCst);
-                        unsafe {
-                            smr.retire(&mut ctx, old as *mut u8, std::ptr::null(), free_u64)
-                        };
+                        unsafe { smr.retire(&mut ctx, old as *mut u8, std::ptr::null(), free_u64) };
                         smr.end_op(&mut ctx);
                     }
                     smr.flush(&mut ctx);

@@ -19,6 +19,8 @@
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 
+use era_obs::{Hook, Recorder, SchemeId, ThreadTracer};
+
 use crate::common::{
     DropFn, RegisterError, Retired, SlotRegistry, Smr, SmrHeader, SmrStats, StatCells,
 };
@@ -44,23 +46,27 @@ impl IbrInner {
     fn scan(&self, garbage: &mut Vec<Retired>) {
         let intervals: Vec<(u64, u64)> = (0..self.registry.capacity())
             .map(|i| {
-                (self.lower[i].load(Ordering::SeqCst), self.upper[i].load(Ordering::SeqCst))
+                (
+                    self.lower[i].load(Ordering::SeqCst),
+                    self.upper[i].load(Ordering::SeqCst),
+                )
             })
             .collect();
         let before = garbage.len();
         let mut kept = Vec::new();
         'outer: for g in garbage.drain(..) {
-            for &(lo, hi) in &intervals {
+            for (i, &(lo, hi)) in intervals.iter().enumerate() {
                 if lo == NONE {
                     continue;
                 }
                 // Lifetimes/intervals intersect iff birth ≤ hi ∧ lo ≤ retire.
                 if g.birth_era <= hi && lo <= g.retire_era {
+                    self.stats.blocked(i, 1);
                     kept.push(g);
                     continue 'outer;
                 }
             }
-            unsafe { g.free() };
+            unsafe { self.stats.reclaim_node(g) };
         }
         self.stats.on_reclaim(before - kept.len());
         *garbage = kept;
@@ -72,7 +78,7 @@ impl Drop for IbrInner {
         let orphans = std::mem::take(&mut *self.orphans.lock().unwrap());
         let n = orphans.len();
         for g in orphans {
-            unsafe { g.free() };
+            unsafe { self.stats.reclaim_node(g) };
         }
         self.stats.on_reclaim(n);
     }
@@ -100,6 +106,7 @@ pub struct Ibr {
 pub struct IbrCtx {
     inner: Arc<IbrInner>,
     idx: usize,
+    tracer: ThreadTracer,
     garbage: Vec<Retired>,
     allocs: u64,
 }
@@ -132,7 +139,10 @@ impl Ibr {
     /// frequency (allocations per era advance).
     pub fn with_params(max_threads: usize, scan_threshold: usize, era_frequency: u64) -> Self {
         let mk = |v: u64| -> Box<[AtomicU64]> {
-            (0..max_threads).map(|_| AtomicU64::new(v)).collect::<Vec<_>>().into_boxed_slice()
+            (0..max_threads)
+                .map(|_| AtomicU64::new(v))
+                .collect::<Vec<_>>()
+                .into_boxed_slice()
         };
         Ibr {
             inner: Arc::new(IbrInner {
@@ -161,22 +171,34 @@ impl Smr for Ibr {
         let idx = self.inner.registry.acquire()?;
         self.inner.lower[idx].store(NONE, Ordering::SeqCst);
         self.inner.upper[idx].store(NONE, Ordering::SeqCst);
-        Ok(IbrCtx { inner: Arc::clone(&self.inner), idx, garbage: Vec::new(), allocs: 0 })
+        Ok(IbrCtx {
+            inner: Arc::clone(&self.inner),
+            idx,
+            tracer: self.inner.stats.tracer(idx),
+            garbage: Vec::new(),
+            allocs: 0,
+        })
     }
 
     fn name(&self) -> &'static str {
         "IBR"
     }
 
+    fn attach_recorder(&self, recorder: &Recorder) {
+        self.inner.stats.attach(recorder, SchemeId::IBR);
+    }
+
     fn begin_op(&self, ctx: &mut IbrCtx) {
         let e = self.inner.era.load(Ordering::SeqCst);
         self.inner.lower[ctx.idx].store(e, Ordering::SeqCst);
         self.inner.upper[ctx.idx].store(e, Ordering::SeqCst);
+        ctx.tracer.emit(Hook::BeginOp, e, 0);
     }
 
     fn end_op(&self, ctx: &mut IbrCtx) {
         self.inner.lower[ctx.idx].store(NONE, Ordering::SeqCst);
         self.inner.upper[ctx.idx].store(NONE, Ordering::SeqCst);
+        ctx.tracer.emit(Hook::EndOp, 0, 0);
     }
 
     fn load(&self, ctx: &mut IbrCtx, _slot: usize, src: &AtomicUsize) -> usize {
@@ -191,6 +213,7 @@ impl Smr for Ibr {
             let p = src.load(Ordering::SeqCst);
             let now = self.inner.era.load(Ordering::SeqCst);
             if now == e {
+                ctx.tracer.emit(Hook::Load, 0, p as u64);
                 return p;
             }
             e = now;
@@ -202,7 +225,8 @@ impl Smr for Ibr {
         header.birth_era.store(e, Ordering::SeqCst);
         ctx.allocs += 1;
         if ctx.allocs.is_multiple_of(self.inner.era_frequency) {
-            self.inner.era.fetch_add(1, Ordering::SeqCst);
+            let new = self.inner.era.fetch_add(1, Ordering::SeqCst) + 1;
+            ctx.tracer.emit(Hook::Advance, new, 0);
         }
     }
 
@@ -219,15 +243,24 @@ impl Smr for Ibr {
             unsafe { (*header).birth_era.load(Ordering::SeqCst) }
         };
         let retire_era = self.inner.era.load(Ordering::SeqCst);
-        ctx.garbage.push(Retired { ptr, birth_era: birth, retire_era, drop_fn });
-        self.inner.stats.on_retire();
+        ctx.garbage.push(Retired {
+            ptr,
+            birth_era: birth,
+            retire_era,
+            drop_fn,
+            retire_tick: self.inner.stats.stamp(),
+        });
+        let held = self.inner.stats.on_retire();
+        ctx.tracer.emit(Hook::Retire, ptr as u64, held as u64);
         if ctx.garbage.len() >= self.inner.scan_threshold {
             self.inner.scan(&mut ctx.garbage);
         }
     }
 
     fn stats(&self) -> SmrStats {
-        self.inner.stats.snapshot(self.inner.era.load(Ordering::SeqCst))
+        self.inner
+            .stats
+            .snapshot(self.inner.era.load(Ordering::SeqCst))
     }
 
     fn flush(&self, ctx: &mut IbrCtx) {
@@ -269,7 +302,11 @@ mod tests {
         shared.store(0, Ordering::SeqCst);
         retire_node(&smr, &mut writer, node);
         smr.flush(&mut writer);
-        assert_eq!(smr.stats().retired_now, 1, "lifetime intersects the interval");
+        assert_eq!(
+            smr.stats().retired_now,
+            1,
+            "lifetime intersects the interval"
+        );
 
         smr.end_op(&mut reader);
         smr.flush(&mut writer);

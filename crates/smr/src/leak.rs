@@ -9,6 +9,8 @@
 
 use std::sync::{Arc, Mutex};
 
+use era_obs::{Hook, Recorder, SchemeId, ThreadTracer};
+
 use crate::common::{
     DropFn, RegisterError, Retired, SlotRegistry, Smr, SmrHeader, SmrStats, StatCells,
     SupportsUnlinkedTraversal,
@@ -27,7 +29,7 @@ impl Drop for LeakInner {
         let orphans = std::mem::take(&mut *self.orphans.lock().unwrap());
         let n = orphans.len();
         for g in orphans {
-            unsafe { g.free() };
+            unsafe { self.stats.reclaim_node(g) };
         }
         self.stats.on_reclaim(n);
     }
@@ -61,6 +63,7 @@ pub struct Leak {
 pub struct LeakCtx {
     inner: Arc<LeakInner>,
     idx: usize,
+    tracer: ThreadTracer,
     garbage: Vec<Retired>,
 }
 
@@ -89,16 +92,29 @@ impl Smr for Leak {
 
     fn register(&self) -> Result<LeakCtx, RegisterError> {
         let idx = self.inner.registry.acquire()?;
-        Ok(LeakCtx { inner: Arc::clone(&self.inner), idx, garbage: Vec::new() })
+        Ok(LeakCtx {
+            inner: Arc::clone(&self.inner),
+            idx,
+            tracer: self.inner.stats.tracer(idx),
+            garbage: Vec::new(),
+        })
     }
 
     fn name(&self) -> &'static str {
         "Leak"
     }
 
-    fn begin_op(&self, _ctx: &mut LeakCtx) {}
+    fn attach_recorder(&self, recorder: &Recorder) {
+        self.inner.stats.attach(recorder, SchemeId::LEAK);
+    }
 
-    fn end_op(&self, _ctx: &mut LeakCtx) {}
+    fn begin_op(&self, ctx: &mut LeakCtx) {
+        ctx.tracer.emit(Hook::BeginOp, 0, 0);
+    }
+
+    fn end_op(&self, ctx: &mut LeakCtx) {
+        ctx.tracer.emit(Hook::EndOp, 0, 0);
+    }
 
     unsafe fn retire(
         &self,
@@ -107,8 +123,15 @@ impl Smr for Leak {
         _header: *const SmrHeader,
         drop_fn: DropFn,
     ) {
-        ctx.garbage.push(Retired { ptr, birth_era: 0, retire_era: 0, drop_fn });
-        self.inner.stats.on_retire();
+        ctx.garbage.push(Retired {
+            ptr,
+            birth_era: 0,
+            retire_era: 0,
+            drop_fn,
+            retire_tick: self.inner.stats.stamp(),
+        });
+        let held = self.inner.stats.on_retire();
+        ctx.tracer.emit(Hook::Retire, ptr as u64, held as u64);
     }
 
     fn stats(&self) -> SmrStats {

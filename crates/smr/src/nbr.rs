@@ -34,6 +34,8 @@
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 
+use era_obs::{Hook, Recorder, SchemeId, ThreadTracer};
+
 use crate::common::{
     untagged, DropFn, RegisterError, Retired, SlotRegistry, Smr, SmrHeader, SmrStats, StatCells,
     SupportsUnlinkedTraversal,
@@ -81,7 +83,9 @@ impl NbrInner {
                 }
                 spins += 1;
                 if spins >= WAIT_SPINS {
-                    return false; // reader stalled in a read phase: give up
+                    // Reader stalled mid-read-phase: give up this round.
+                    self.stats.blocked(j, garbage.len());
+                    return false;
                 }
                 if spins.is_multiple_of(64) {
                     std::thread::yield_now();
@@ -101,7 +105,7 @@ impl NbrInner {
             if reserved.contains(&(g.ptr as usize)) {
                 kept.push(g);
             } else {
-                unsafe { g.free() };
+                unsafe { self.stats.reclaim_node(g) };
             }
         }
         self.stats.on_reclaim(before - kept.len());
@@ -115,7 +119,7 @@ impl Drop for NbrInner {
         let orphans = std::mem::take(&mut *self.orphans.lock().unwrap());
         let n = orphans.len();
         for g in orphans {
-            unsafe { g.free() };
+            unsafe { self.stats.reclaim_node(g) };
         }
         self.stats.on_reclaim(n);
     }
@@ -151,6 +155,7 @@ pub struct Nbr {
 pub struct NbrCtx {
     inner: Arc<NbrInner>,
     idx: usize,
+    tracer: ThreadTracer,
     garbage: Vec<Retired>,
     /// Round observed at the start of the current read phase.
     round: u64,
@@ -180,8 +185,9 @@ impl Nbr {
     /// Creates an NBR instance with a custom retire threshold.
     pub fn with_threshold(max_threads: usize, k: usize, retire_threshold: usize) -> Self {
         assert!(k >= 1);
-        let acked: Vec<AtomicU64> =
-            (0..max_threads).map(|_| AtomicU64::new(QUIESCENT)).collect();
+        let acked: Vec<AtomicU64> = (0..max_threads)
+            .map(|_| AtomicU64::new(QUIESCENT))
+            .collect();
         let reservations: Vec<AtomicUsize> =
             (0..max_threads * k).map(|_| AtomicUsize::new(0)).collect();
         Nbr {
@@ -213,20 +219,32 @@ impl Smr for Nbr {
         for s in 0..self.inner.k {
             self.inner.reservations[idx * self.inner.k + s].store(0, Ordering::SeqCst);
         }
-        Ok(NbrCtx { inner: Arc::clone(&self.inner), idx, garbage: Vec::new(), round: 0 })
+        Ok(NbrCtx {
+            inner: Arc::clone(&self.inner),
+            idx,
+            tracer: self.inner.stats.tracer(idx),
+            garbage: Vec::new(),
+            round: 0,
+        })
     }
 
     fn name(&self) -> &'static str {
         "NBR"
     }
 
+    fn attach_recorder(&self, recorder: &Recorder) {
+        self.inner.stats.attach(recorder, SchemeId::NBR);
+    }
+
     fn begin_op(&self, ctx: &mut NbrCtx) {
         self.enter_read_phase(ctx);
+        ctx.tracer.emit(Hook::BeginOp, ctx.round, 0);
     }
 
     fn end_op(&self, ctx: &mut NbrCtx) {
         self.clear_reservations(ctx);
         self.inner.acked[ctx.idx].store(QUIESCENT, Ordering::SeqCst);
+        ctx.tracer.emit(Hook::EndOp, 0, 0);
     }
 
     unsafe fn retire(
@@ -236,8 +254,15 @@ impl Smr for Nbr {
         _header: *const SmrHeader,
         drop_fn: DropFn,
     ) {
-        ctx.garbage.push(Retired { ptr, birth_era: 0, retire_era: 0, drop_fn });
-        self.inner.stats.on_retire();
+        ctx.garbage.push(Retired {
+            ptr,
+            birth_era: 0,
+            retire_era: 0,
+            drop_fn,
+            retire_tick: self.inner.stats.stamp(),
+        });
+        let held = self.inner.stats.on_retire();
+        ctx.tracer.emit(Hook::Retire, ptr as u64, held as u64);
         if ctx.garbage.len() >= self.inner.retire_threshold {
             self.inner.neutralize_and_reclaim(ctx.idx, &mut ctx.garbage);
         }
@@ -256,6 +281,7 @@ impl Smr for Nbr {
             // pointer collected in this read phase and restart it.
             ctx.round = r;
             self.inner.acked[ctx.idx].store(r, Ordering::SeqCst);
+            ctx.tracer.emit(Hook::Restart, r, 0);
             true
         } else {
             false
@@ -266,6 +292,8 @@ impl Smr for Nbr {
         assert!(slot < self.inner.k, "reservation slot out of range");
         self.inner.reservations[ctx.idx * self.inner.k + slot]
             .store(untagged(word), Ordering::SeqCst);
+        ctx.tracer
+            .emit(Hook::Reserve, slot as u64, untagged(word) as u64);
     }
 
     fn commit_reservations(&self, ctx: &mut NbrCtx) -> bool {
@@ -290,7 +318,9 @@ impl Smr for Nbr {
     }
 
     fn stats(&self) -> SmrStats {
-        self.inner.stats.snapshot(self.inner.round.load(Ordering::SeqCst))
+        self.inner
+            .stats
+            .snapshot(self.inner.round.load(Ordering::SeqCst))
     }
 
     fn flush(&self, ctx: &mut NbrCtx) {
@@ -440,21 +470,12 @@ mod tests {
                             smr.end_op(&mut ctx);
                             continue;
                         }
-                        match shared.compare_exchange(
-                            old,
-                            newp,
-                            Ordering::SeqCst,
-                            Ordering::SeqCst,
-                        ) {
+                        match shared.compare_exchange(old, newp, Ordering::SeqCst, Ordering::SeqCst)
+                        {
                             Ok(_) => {
                                 smr.clear_reservations(&mut ctx);
                                 unsafe {
-                                    smr.retire(
-                                        &mut ctx,
-                                        old as *mut u8,
-                                        std::ptr::null(),
-                                        free_u64,
-                                    )
+                                    smr.retire(&mut ctx, old as *mut u8, std::ptr::null(), free_u64)
                                 };
                             }
                             Err(_) => {

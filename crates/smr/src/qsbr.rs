@@ -24,6 +24,8 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
+use era_obs::{Hook, Recorder, SchemeId, ThreadTracer};
+
 use crate::common::{
     DropFn, RegisterError, Retired, SlotRegistry, Smr, SmrHeader, SmrStats, StatCells,
     SupportsUnlinkedTraversal,
@@ -47,10 +49,20 @@ impl QsbrInner {
         let g = self.grace.load(Ordering::SeqCst);
         for i in 0..self.registry.capacity() {
             if self.registry.is_in_use(i) && self.announced[i].load(Ordering::SeqCst) < g {
+                // Thread `i` has not announced quiescence this grace
+                // period: it blocks everyone (QSBR is not robust).
+                self.stats
+                    .blocked(i, self.stats.retired_now.load(Ordering::Relaxed));
                 return g;
             }
         }
-        let _ = self.grace.compare_exchange(g, g + 1, Ordering::SeqCst, Ordering::SeqCst);
+        if self
+            .grace
+            .compare_exchange(g, g + 1, Ordering::SeqCst, Ordering::SeqCst)
+            .is_ok()
+        {
+            self.stats.event(Hook::Advance, g + 1, 0);
+        }
         self.grace.load(Ordering::SeqCst)
     }
 }
@@ -60,7 +72,7 @@ impl Drop for QsbrInner {
         let orphans = std::mem::take(&mut *self.orphans.lock().unwrap());
         let n = orphans.len();
         for g in orphans {
-            unsafe { g.free() };
+            unsafe { self.stats.reclaim_node(g) };
         }
         self.stats.on_reclaim(n);
     }
@@ -88,6 +100,7 @@ pub struct Qsbr {
 pub struct QsbrCtx {
     inner: Arc<QsbrInner>,
     idx: usize,
+    tracer: ThreadTracer,
     garbage: Vec<Retired>,
     retired_since_scan: usize,
 }
@@ -140,6 +153,7 @@ impl Qsbr {
     pub fn quiescent(&self, ctx: &mut QsbrCtx) {
         let g = self.inner.grace.load(Ordering::SeqCst);
         self.inner.announced[ctx.idx].store(g, Ordering::SeqCst);
+        ctx.tracer.emit(Hook::Reserve, g, 0);
         let g = self.inner.try_advance();
         self.collect(ctx, g);
     }
@@ -148,11 +162,13 @@ impl Qsbr {
         if ctx.garbage.is_empty() {
             return;
         }
-        let (free, keep): (Vec<_>, Vec<_>) =
-            ctx.garbage.drain(..).partition(|r| r.retire_era + 2 <= grace);
+        let (free, keep): (Vec<_>, Vec<_>) = ctx
+            .garbage
+            .drain(..)
+            .partition(|r| r.retire_era + 2 <= grace);
         let n = free.len();
         for g in free {
-            unsafe { g.free() };
+            unsafe { self.inner.stats.reclaim_node(g) };
         }
         ctx.garbage = keep;
         self.inner.stats.on_reclaim(n);
@@ -169,6 +185,7 @@ impl Smr for Qsbr {
         Ok(QsbrCtx {
             inner: Arc::clone(&self.inner),
             idx,
+            tracer: self.inner.stats.tracer(idx),
             garbage: Vec::new(),
             retired_since_scan: 0,
         })
@@ -178,12 +195,17 @@ impl Smr for Qsbr {
         "QSBR"
     }
 
+    fn attach_recorder(&self, recorder: &Recorder) {
+        self.inner.stats.attach(recorder, SchemeId::QSBR);
+    }
+
     /// No per-operation work — but entering an operation ends the
     /// thread's standing quiescence (it is about to hold references).
     fn begin_op(&self, ctx: &mut QsbrCtx) {
         let g = self.inner.grace.load(Ordering::SeqCst);
         // `g - 1`: quiescent up to the previous period, not the current.
         self.inner.announced[ctx.idx].store(g.saturating_sub(1), Ordering::SeqCst);
+        ctx.tracer.emit(Hook::BeginOp, g, 0);
     }
 
     fn end_op(&self, _ctx: &mut QsbrCtx) {
@@ -199,8 +221,15 @@ impl Smr for Qsbr {
         drop_fn: DropFn,
     ) {
         let g = self.inner.grace.load(Ordering::SeqCst);
-        ctx.garbage.push(Retired { ptr, birth_era: 0, retire_era: g, drop_fn });
-        self.inner.stats.on_retire();
+        ctx.garbage.push(Retired {
+            ptr,
+            birth_era: 0,
+            retire_era: g,
+            drop_fn,
+            retire_tick: self.inner.stats.stamp(),
+        });
+        let held = self.inner.stats.on_retire();
+        ctx.tracer.emit(Hook::Retire, ptr as u64, held as u64);
         ctx.retired_since_scan += 1;
         if ctx.retired_since_scan >= self.inner.retire_threshold {
             ctx.retired_since_scan = 0;
@@ -210,7 +239,9 @@ impl Smr for Qsbr {
     }
 
     fn stats(&self) -> SmrStats {
-        self.inner.stats.snapshot(self.inner.grace.load(Ordering::SeqCst))
+        self.inner
+            .stats
+            .snapshot(self.inner.grace.load(Ordering::SeqCst))
     }
 
     fn flush(&self, ctx: &mut QsbrCtx) {
@@ -226,7 +257,7 @@ impl Smr for Qsbr {
         };
         let n = eligible.len();
         for r in eligible {
-            unsafe { r.free() };
+            unsafe { self.inner.stats.reclaim_node(r) };
         }
         self.inner.stats.on_reclaim(n);
     }
@@ -281,7 +312,11 @@ mod tests {
             retire_one(&smr, &mut worker, i);
             smr.quiescent(&mut worker);
         }
-        assert_eq!(smr.stats().retired_now, 200, "busy thread blocks reclamation");
+        assert_eq!(
+            smr.stats().retired_now,
+            200,
+            "busy thread blocks reclamation"
+        );
         // One quiescent announcement from the busy thread drains it.
         for _ in 0..4 {
             smr.quiescent(&mut busy);

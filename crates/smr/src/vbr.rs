@@ -44,6 +44,8 @@
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 
+use era_obs::{Hook, Recorder, SchemeId};
+
 use crate::common::{SmrStats, StatCells};
 
 /// Number of payload bits per cell (the rest is the version tag).
@@ -184,6 +186,14 @@ impl<const C: usize> Arena<C> {
         self.slots.len()
     }
 
+    /// Attaches an [`era_obs::Recorder`]: from now on allocations and
+    /// retire-is-reclaim events are traced (on the arena's service
+    /// tracer — VBR has no per-thread contexts) and footprint counters
+    /// feed the recorder's metrics. First attachment wins.
+    pub fn attach_recorder(&self, recorder: &Recorder) {
+        self.stats.attach(recorder, SchemeId::VBR);
+    }
+
     /// Number of live (allocated, unretired) slots.
     pub fn live(&self) -> usize {
         self.live.load(Ordering::Relaxed)
@@ -228,6 +238,7 @@ impl<const C: usize> Arena<C> {
                 cell.store(tag, Ordering::SeqCst);
             }
             self.live.fetch_add(1, Ordering::Relaxed);
+            self.stats.event(Hook::Alloc, idx as u64, ver);
             return Ok(Handle { idx, ver });
         }
     }
@@ -248,7 +259,8 @@ impl<const C: usize> Arena<C> {
         slot.ver
             .compare_exchange(h.ver, h.ver + 1, Ordering::SeqCst, Ordering::SeqCst)
             .map_err(|_| Stale)?;
-        self.stats.on_retire();
+        let held = self.stats.on_retire();
+        self.stats.event(Hook::Retire, h.idx as u64, held as u64);
         self.live.fetch_sub(1, Ordering::Relaxed);
         // Push back on the free list.
         loop {
@@ -335,7 +347,10 @@ impl<const C: usize> Arena<C> {
     ///
     /// Panics if `expected` or `new` exceed [`MAX_PAYLOAD`].
     pub fn cas(&self, h: Handle, cell: usize, expected: u64, new: u64) -> Result<bool, Stale> {
-        assert!(expected <= MAX_PAYLOAD && new <= MAX_PAYLOAD, "payload exceeds 48 bits");
+        assert!(
+            expected <= MAX_PAYLOAD && new <= MAX_PAYLOAD,
+            "payload exceeds 48 bits"
+        );
         let slot = &self.slots[h.idx as usize];
         if slot.ver.load(Ordering::SeqCst) != h.ver {
             return Err(Stale);
@@ -447,7 +462,7 @@ mod tests {
         arena.retire(h1).unwrap();
         let h2 = arena.alloc().unwrap();
         arena.write(h2, 0, 5).unwrap(); // same *payload* as before
-        // A thread still holding h1 attempts CAS(5 → 6):
+                                        // A thread still holding h1 attempts CAS(5 → 6):
         assert_eq!(arena.cas(h1, 0, 5, 6), Err(Stale));
         // The live node is untouched:
         assert_eq!(arena.read(h2, 0), Ok(5));
@@ -475,7 +490,10 @@ mod tests {
 
     #[test]
     fn handle_pack_unpack_roundtrip() {
-        let h = Handle { idx: 1023, ver: 0x0123_4567 & 0x7FF_FFFF };
+        let h = Handle {
+            idx: 1023,
+            ver: 0x0123_4567 & 0x7FF_FFFF,
+        };
         for mark in [false, true] {
             let p = h.pack(mark);
             assert!(p <= MAX_PAYLOAD);
@@ -545,7 +563,9 @@ mod tests {
             let (arena_ref, stop_ref) = (&arena, &stop);
             s.spawn(move || {
                 while !stop_ref.load(Ordering::SeqCst) {
-                    if let Ok(v) = arena_ref.read(h0, 0) { assert_eq!(v, 11, "only version-h0 values are visible") }
+                    if let Ok(v) = arena_ref.read(h0, 0) {
+                        assert_eq!(v, 11, "only version-h0 values are visible")
+                    }
                 }
             });
             let mut h = h0;

@@ -63,7 +63,9 @@ fn main() {
                 let mut ctx = smr.register().unwrap();
                 let mut key = r as i64;
                 for _ in 0..OPS {
-                    key = (key.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407)
+                    key = (key
+                        .wrapping_mul(6364136223846793005)
+                        .wrapping_add(1442695040888963407)
                         >> 33)
                         .rem_euclid(KEYS);
                     if cache.contains(&mut ctx, key) {
@@ -80,8 +82,7 @@ fn main() {
                 let mut ctx = smr.register().unwrap();
                 let mut key = 7_777 + w as i64;
                 for i in 0..OPS {
-                    key = (key.wrapping_mul(6364136223846793005).wrapping_add(99))
-                        .rem_euclid(KEYS);
+                    key = (key.wrapping_mul(6364136223846793005).wrapping_add(99)).rem_euclid(KEYS);
                     if i % 2 == 0 {
                         let _ = cache.insert(&mut ctx, key);
                     } else {
@@ -100,7 +101,11 @@ fn main() {
     println!("cache size      : {}", cache.len());
     println!("reader hits     : {}", hits.load(Ordering::Relaxed));
     println!("reader misses   : {}", misses.load(Ordering::Relaxed));
-    println!("retired in-flight: {} (bound: {})", st.retired_now, smr.robustness_bound());
+    println!(
+        "retired in-flight: {} (bound: {})",
+        st.retired_now,
+        smr.robustness_bound()
+    );
     println!("total retired   : {}", st.total_retired);
     println!("total reclaimed : {}", st.total_reclaimed);
     assert!(

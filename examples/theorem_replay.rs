@@ -41,7 +41,10 @@ fn main() {
     for _ in 0..3 {
         sim.step(&mut op1);
     }
-    println!("         T1 now stands on node {:?}\n", sim.current_target(&op1));
+    println!(
+        "         T1 now stands on node {:?}\n",
+        sim.current_target(&op1)
+    );
 
     println!("stages b–c: T2 runs delete(1)");
     assert!(sim.run_op(t2, OpKind::Delete(1)));
@@ -69,7 +72,10 @@ fn main() {
     loop {
         steps += 1;
         if sim.step(&mut op1) {
-            println!("         T1 completed after {steps} solo steps, result {:?}", op1.result());
+            println!(
+                "         T1 completed after {steps} solo steps, result {:?}",
+                op1.result()
+            );
             break;
         }
         if !sim.sim.heap.verdict().is_smr() {

@@ -1,0 +1,376 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Implements exactly the surface the workspace's property tests use:
+//! the [`proptest!`] macro (with `#![proptest_config(..)]` and
+//! `arg in strategy` bindings), [`Strategy`] with `prop_map`, integer
+//! [`core::ops::Range`] strategies, tuple strategies up to arity 4,
+//! `prop::collection::vec`, `prop::bool::weighted`, and the
+//! `prop_assert*` macros.
+//!
+//! Semantics: each property runs `cases` times over a deterministic
+//! PRNG stream (seeded from the property name), so failures are
+//! reproducible run-to-run. There is no shrinking — on failure the
+//! offending input is printed verbatim and the panic is propagated.
+
+#![warn(missing_docs)]
+
+use std::fmt::Debug;
+use std::ops::Range;
+
+/// Per-property configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct ProptestConfig {
+    /// Number of random cases to run.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` random cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// The deterministic case generator handed to strategies (SplitMix64).
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Seeds the stream.
+    pub fn new(seed: u64) -> Self {
+        TestRng {
+            state: seed ^ 0x9E37_79B9_7F4A_7C15,
+        }
+    }
+
+    /// Next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw from `[0, bound)`.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "empty range in strategy");
+        self.next_u64() % bound
+    }
+
+    /// Uniform draw from `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// A test-case failure carrying a message (mirrors
+/// `proptest::test_runner::TestCaseError` far enough for
+/// `map_err(TestCaseError::fail)?` to work).
+#[derive(Debug)]
+pub struct TestCaseError(String);
+
+impl TestCaseError {
+    /// A failure with the given reason.
+    pub fn fail(reason: impl std::fmt::Display) -> Self {
+        TestCaseError(reason.to_string())
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// What a property body returns: `Ok(())` or an explicit failure.
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// A generator of random values of one type.
+pub trait Strategy {
+    /// The generated type.
+    type Value: Debug;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps the generated value through `f`.
+    fn prop_map<O: Debug, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_map`].
+#[derive(Debug)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O: Debug, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+macro_rules! impl_range_strategy_unsigned {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let span = (self.end - self.start) as u64;
+                self.start + rng.below(span) as $t
+            }
+        }
+    )*};
+}
+
+macro_rules! impl_range_strategy_signed {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let span = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + rng.below(span) as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_range_strategy_unsigned!(u8, u16, u32, u64, usize);
+impl_range_strategy_signed!(i8, i16, i32, i64, isize);
+
+macro_rules! impl_tuple_strategy {
+    ($(($($s:ident => $idx:tt),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+impl_tuple_strategy! {
+    (A => 0)
+    (A => 0, B => 1)
+    (A => 0, B => 1, C => 2)
+    (A => 0, B => 1, C => 2, D => 3)
+}
+
+/// The `prop::` strategy namespace.
+pub mod prop {
+    /// Collection strategies.
+    pub mod collection {
+        use super::super::{Strategy, TestRng};
+        use std::fmt::Debug;
+        use std::ops::Range;
+
+        /// Strategy for `Vec`s with a length drawn from `len` and
+        /// elements drawn from `element`.
+        #[derive(Debug)]
+        pub struct VecStrategy<S> {
+            element: S,
+            len: Range<usize>,
+        }
+
+        /// `Vec` strategy: length in `len`, elements from `element`.
+        pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+            VecStrategy { element, len }
+        }
+
+        impl<S: Strategy> Strategy for VecStrategy<S>
+        where
+            S::Value: Debug,
+        {
+            type Value = Vec<S::Value>;
+
+            fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+                let span = (self.len.end - self.len.start) as u64;
+                let n = self.len.start + rng.below(span.max(1)) as usize;
+                (0..n).map(|_| self.element.generate(rng)).collect()
+            }
+        }
+    }
+
+    /// Boolean strategies.
+    pub mod bool {
+        use super::super::{Strategy, TestRng};
+
+        /// Strategy for `bool` with fixed `true` probability.
+        #[derive(Debug)]
+        pub struct Weighted {
+            p: f64,
+        }
+
+        /// `true` with probability `p`.
+        pub fn weighted(p: f64) -> Weighted {
+            Weighted { p }
+        }
+
+        impl Strategy for Weighted {
+            type Value = bool;
+
+            fn generate(&self, rng: &mut TestRng) -> bool {
+                rng.unit_f64() < self.p
+            }
+        }
+    }
+}
+
+/// Runs `body` over `config.cases` random draws from `strategy`,
+/// printing the failing input (and its case number) before propagating
+/// any panic. The seed is derived from `name`, so a given property sees
+/// the same stream on every run.
+pub fn run_cases<S: Strategy>(
+    config: &ProptestConfig,
+    name: &str,
+    strategy: S,
+    mut body: impl FnMut(S::Value) -> TestCaseResult,
+) {
+    let seed = name.bytes().fold(0xcbf2_9ce4_8422_2325u64, |h, b| {
+        (h ^ b as u64).wrapping_mul(0x1000_0000_01b3)
+    });
+    let mut rng = TestRng::new(seed);
+    for case in 0..config.cases {
+        let value = strategy.generate(&mut rng);
+        let repr = format!("{value:?}");
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| body(value)));
+        match outcome {
+            Ok(Ok(())) => {}
+            Ok(Err(failure)) => {
+                panic!(
+                    "proptest case {case}/{} of `{name}` failed: {failure}\ninput: {repr}",
+                    config.cases
+                );
+            }
+            Err(panic) => {
+                eprintln!(
+                    "proptest case {case}/{} of `{name}` failed for input: {repr}",
+                    config.cases
+                );
+                std::panic::resume_unwind(panic);
+            }
+        }
+    }
+}
+
+/// The proptest entry-point macro: wraps each `#[test] fn name(arg in
+/// strategy, ..) { .. }` item in a runner over random cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($cfg:expr) $($(#[doc = $doc:expr])* #[test] fn $name:ident ($($arg:ident in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[doc = $doc])*
+            #[test]
+            fn $name() {
+                let config = $cfg;
+                $crate::run_cases(
+                    &config,
+                    stringify!($name),
+                    ($($strat,)+),
+                    |($($arg,)+)| -> $crate::TestCaseResult {
+                        $body
+                        Ok(())
+                    },
+                );
+            }
+        )*
+    };
+}
+
+/// `prop_assert!`: plain `assert!` (no shrinking in the shim).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// `prop_assert_eq!`: plain `assert_eq!`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// `prop_assert_ne!`: plain `assert_ne!`.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// The `use proptest::prelude::*` surface.
+pub mod prelude {
+    pub use crate::{
+        prop, prop_assert, prop_assert_eq, prop_assert_ne, proptest, ProptestConfig, Strategy,
+        TestCaseError, TestCaseResult,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in 0..10u8, y in -5..5i64) {
+            prop_assert!(x < 10);
+            prop_assert!((-5..5).contains(&y));
+        }
+
+        #[test]
+        fn vec_lengths_respect_range(v in prop::collection::vec((0..3u8, 0..4i64), 0..12)) {
+            prop_assert!(v.len() < 12);
+            for (a, b) in v {
+                prop_assert!(a < 3);
+                prop_assert!((0..4).contains(&b));
+            }
+        }
+
+        #[test]
+        fn prop_map_applies(s in (0..5u8).prop_map(|n| n as usize * 2)) {
+            prop_assert!(s % 2 == 0 && s < 10);
+        }
+    }
+
+    #[test]
+    fn weighted_bool_is_biased() {
+        let strat = prop::bool::weighted(0.9);
+        let mut rng = crate::TestRng::new(1);
+        let hits = (0..10_000).filter(|_| strat.generate(&mut rng)).count();
+        assert!((8_500..=9_500).contains(&hits), "hits={hits}");
+    }
+
+    #[test]
+    fn streams_are_deterministic_per_name() {
+        let mut a = crate::TestRng::new(5);
+        let mut b = crate::TestRng::new(5);
+        let strat = prop::collection::vec(0..100u32, 0..20);
+        assert_eq!(strat.generate(&mut a), strat.generate(&mut b));
+    }
+}

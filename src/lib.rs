@@ -12,11 +12,14 @@
 //! * [`ds`] (`era-ds`) — lock-free data structures integrated with the
 //!   schemes: Harris/Michael lists, Treiber stack, Michael–Scott queue,
 //!   hash map.
+//! * [`obs`] (`era-obs`) — lock-free event tracing, footprint metrics,
+//!   and JSON-lines run reports shared by the layers above.
 //!
 //! See `README.md` for a tour and `EXPERIMENTS.md` for the reproduction
 //! of every figure in the paper.
 
 pub use era_core as core;
 pub use era_ds as ds;
+pub use era_obs as obs;
 pub use era_sim as sim;
 pub use era_smr as smr;

@@ -96,7 +96,11 @@ fn qsbr_recovers_after_a_thread_dies_pinned() {
         smr.quiescent(&mut ctx);
         smr.flush(&mut ctx);
     }
-    assert_eq!(smr.stats().retired_now, 0, "a departed thread is permanently quiescent");
+    assert_eq!(
+        smr.stats().retired_now,
+        0,
+        "a departed thread is permanently quiescent"
+    );
 }
 
 #[test]

@@ -5,7 +5,9 @@
 
 use std::collections::{BTreeSet, VecDeque};
 
-use era::ds::{HarrisList, HashSet, MichaelList, MichaelMap, MsQueue, SkipList, TreiberStack, VbrList};
+use era::ds::{
+    HarrisList, HashSet, MichaelList, MichaelMap, MsQueue, SkipList, TreiberStack, VbrList,
+};
 use era::smr::common::Smr;
 use era::smr::{ebr::Ebr, hp::Hp, leak::Leak, nbr::Nbr};
 use proptest::prelude::*;

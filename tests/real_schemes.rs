@@ -116,7 +116,10 @@ fn stack_and_queue_under_hp_and_ebr() {
         }
     });
     assert_eq!(popped.load(Ordering::Relaxed) + stack.len(), THREADS * 500);
-    assert_eq!(dequeued.load(Ordering::Relaxed) + queue.len(), THREADS * 500);
+    assert_eq!(
+        dequeued.load(Ordering::Relaxed) + queue.len(),
+        THREADS * 500
+    );
 }
 
 #[test]
@@ -195,6 +198,15 @@ fn hp_footprint_bound_holds_under_parallel_churn() {
             });
         }
     });
+    // The high-water mark is the robustness statement in one number:
+    // even the worst instant of the run stayed within the bound.
+    let st = smr.stats();
+    assert!(st.retired_peak > 0, "churn must have retired something");
+    assert!(
+        st.retired_peak <= bound,
+        "peak {} exceeds bound {bound}",
+        st.retired_peak
+    );
 }
 
 #[test]
@@ -222,5 +234,9 @@ fn ebr_drains_fully_at_quiescence() {
     for _ in 0..8 {
         smr.flush(&mut ctx);
     }
-    assert_eq!(smr.stats().retired_now, 0, "{}", smr.stats());
+    let st = smr.stats();
+    assert_eq!(st.retired_now, 0, "{st}");
+    // The peak survives the drain and brackets what the run held.
+    assert!(st.retired_peak > 0, "retires happened, peak must be set");
+    assert!(st.retired_peak as u64 <= st.total_retired, "{st}");
 }

@@ -26,7 +26,10 @@ fn every_scheme_sacrifices_exactly_the_expected_property() {
     for (scheme, want) in expected {
         let out = run_figure1(scheme_by_name(scheme), 150);
         assert_eq!(out.sacrificed, *want, "{scheme}: {out}");
-        assert_eq!(out.peak_max_active, 4, "{scheme}: the paper's max_active is 4");
+        assert_eq!(
+            out.peak_max_active, 4,
+            "{scheme}: the paper's max_active is 4"
+        );
     }
 }
 
@@ -141,7 +144,10 @@ fn measured_and_reference_matrices_respect_theorem_6_1() {
             }
             "QSBR" => {
                 // Only ONE property: the theorem is an upper bound.
-                assert!(!row.easy_integration, "quiescent points are arbitrary insertions");
+                assert!(
+                    !row.easy_integration,
+                    "quiescent points are arbitrary insertions"
+                );
                 assert!(!row.robustness.is_weakly_robust());
                 assert!(row.applicability.is_wide());
                 assert_eq!(row.property_count(), 1);
