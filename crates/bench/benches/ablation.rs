@@ -15,12 +15,13 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use era_bench::runner::run_michael;
-use era_bench::workload::{Mix, WorkloadSpec};
+use era_bench::workload::{KeyDist, Mix, WorkloadSpec};
 use era_smr::{ebr::Ebr, he::He, hp::Hp};
 
 fn spec() -> WorkloadSpec {
     WorkloadSpec {
         mix: Mix::UPDATE_HEAVY, // retire-heavy: the knobs under test fire
+        dist: KeyDist::Uniform,
         key_range: 256,
         ops_per_thread: 8_000,
         threads: 2,

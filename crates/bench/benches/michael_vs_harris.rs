@@ -16,7 +16,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use era_bench::runner::{run_harris, run_michael};
-use era_bench::workload::{Mix, WorkloadSpec};
+use era_bench::workload::{KeyDist, Mix, WorkloadSpec};
 use era_smr::{ebr::Ebr, hp::Hp};
 
 fn benches(c: &mut Criterion) {
@@ -28,6 +28,7 @@ fn benches(c: &mut Criterion) {
         let mut g = c.benchmark_group(format!("michael_vs_harris/{label}"));
         let spec = WorkloadSpec {
             mix,
+            dist: KeyDist::Uniform,
             key_range,
             ops_per_thread: 5_000,
             threads: 4,

@@ -3,12 +3,13 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use era_bench::runner::{run_harris, run_michael, run_vbr};
-use era_bench::workload::{Mix, WorkloadSpec};
+use era_bench::workload::{KeyDist, Mix, WorkloadSpec};
 use era_smr::{ebr::Ebr, he::He, hp::Hp, ibr::Ibr, leak::Leak, nbr::Nbr};
 
 fn spec(mix: Mix, threads: usize) -> WorkloadSpec {
     WorkloadSpec {
         mix,
+        dist: KeyDist::Uniform,
         key_range: 512,
         ops_per_thread: 10_000,
         threads,

@@ -18,7 +18,7 @@
 
 use era_bench::runner::{run_harris, run_vbr, stall_churn_michael};
 use era_bench::table::Table;
-use era_bench::workload::{Mix, WorkloadSpec};
+use era_bench::workload::{KeyDist, Mix, WorkloadSpec};
 use era_smr::{ebr::Ebr, he::He, hp::Hp, ibr::Ibr, nbr::Nbr, qsbr::Qsbr};
 
 fn main() {
@@ -80,6 +80,7 @@ fn main() {
     let mut table = Table::new(["scheme", "peak_retired", "final_retired", "note"]);
     let spec = WorkloadSpec {
         mix: Mix::UPDATE_HEAVY,
+        dist: KeyDist::Uniform,
         key_range: size as i64,
         ops_per_thread: churn / 4,
         threads: 4,

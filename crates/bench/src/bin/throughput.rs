@@ -6,11 +6,14 @@
 //! Harris's list (EBR/NBR/Leak — the type system excludes the rest) and
 //! the VBR list, across thread counts and operation mixes.
 //!
-//! Usage: `throughput [ops_per_thread] [key_range] [--report out.jsonl]`
-//! (defaults 200000, 1024). With `--report`, every Michael/Harris run is
-//! traced through an [`era_obs::Recorder`] and the JSON-lines report
-//! (throughput, retired high-water, footprint curve, reclaim-latency
-//! histogram) is written to the given path.
+//! Usage: `throughput [ops_per_thread] [key_range] [--report out.jsonl]
+//! [--zipf [--theta 0.99]]` (defaults 200000, 1024, uniform keys).
+//! With `--report`, every Michael/Harris run is traced through an
+//! [`era_obs::Recorder`] and the JSON-lines report (throughput, retired
+//! high-water, footprint curve, reclaim-latency histogram) is written
+//! to the given path. `--zipf` draws keys from a YCSB-style zipfian
+//! distribution instead of uniformly, concentrating contention on a
+//! hot set.
 
 use std::path::PathBuf;
 
@@ -19,13 +22,15 @@ use era_bench::runner::{
     run_harris, run_harris_traced, run_michael, run_michael_traced, run_skiplist, run_vbr,
 };
 use era_bench::table::Table;
-use era_bench::workload::{Mix, WorkloadSpec};
+use era_bench::workload::{KeyDist, Mix, WorkloadSpec};
 use era_obs::Recorder;
 use era_smr::common::Smr as _;
 use era_smr::{ebr::Ebr, he::He, hp::Hp, ibr::Ibr, leak::Leak, nbr::Nbr};
 
 fn main() {
     let mut report_path: Option<PathBuf> = None;
+    let mut zipf = false;
+    let mut theta = 0.99f64;
     let mut positional: Vec<String> = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -35,10 +40,25 @@ fn main() {
                 eprintln!("--report requires a path argument");
                 std::process::exit(2);
             }
+        } else if arg == "--zipf" {
+            zipf = true;
+        } else if arg == "--theta" {
+            match args.next().and_then(|s| s.parse().ok()) {
+                Some(t) if (0.0..1.0).contains(&t) && t > 0.0 => theta = t,
+                _ => {
+                    eprintln!("--theta requires a value in (0, 1)");
+                    std::process::exit(2);
+                }
+            }
         } else {
             positional.push(arg);
         }
     }
+    let dist = if zipf {
+        KeyDist::Zipfian { theta }
+    } else {
+        KeyDist::Uniform
+    };
     let ops: usize = positional
         .first()
         .and_then(|s| s.parse().ok())
@@ -51,7 +71,13 @@ fn main() {
     let threads = [1usize, 2, 4, 8];
     let mixes = [Mix::READ_HEAVY, Mix::UPDATE_HEAVY];
 
-    println!("== E5: throughput (Mops/s), ops/thread = {ops}, keys = {key_range} ==\n");
+    println!(
+        "== E5: throughput (Mops/s), ops/thread = {ops}, keys = {key_range} ({}) ==\n",
+        match dist {
+            KeyDist::Uniform => "uniform".to_string(),
+            KeyDist::Zipfian { theta } => format!("zipfian theta={theta}"),
+        }
+    );
 
     for mix in mixes {
         println!("--- mix {mix} ---");
@@ -63,6 +89,7 @@ fn main() {
             ($t:expr) => {
                 WorkloadSpec {
                     mix,
+                    dist,
                     key_range,
                     ops_per_thread: ops,
                     threads: $t,

@@ -3,6 +3,8 @@
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 
+pub use era_kv::workload::{KeyDist, KeySampler};
+
 /// An operation mix in percent (must sum to 100).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Mix {
@@ -62,7 +64,9 @@ pub enum GenOp {
 pub struct WorkloadSpec {
     /// Operation mix.
     pub mix: Mix,
-    /// Keys are drawn uniformly from `0..key_range`.
+    /// Key popularity distribution (uniform or zipfian).
+    pub dist: KeyDist,
+    /// Keys are drawn from `0..key_range` according to `dist`.
     pub key_range: i64,
     /// Operations per thread.
     pub ops_per_thread: usize,
@@ -80,6 +84,7 @@ impl WorkloadSpec {
     pub fn small() -> Self {
         WorkloadSpec {
             mix: Mix::MIXED,
+            dist: KeyDist::Uniform,
             key_range: 256,
             ops_per_thread: 2_000,
             threads: 2,
@@ -93,7 +98,7 @@ impl WorkloadSpec {
         OpStream {
             rng: StdRng::seed_from_u64(self.seed ^ (thread as u64).wrapping_mul(0x9E37_79B9)),
             mix: self.mix,
-            key_range: self.key_range.max(1),
+            sampler: self.dist.sampler(self.key_range.max(1)),
             remaining: self.ops_per_thread,
         }
     }
@@ -114,7 +119,7 @@ impl WorkloadSpec {
 pub struct OpStream {
     rng: StdRng,
     mix: Mix,
-    key_range: i64,
+    sampler: KeySampler,
     remaining: usize,
 }
 
@@ -126,7 +131,7 @@ impl Iterator for OpStream {
             return None;
         }
         self.remaining -= 1;
-        let key = self.rng.random_range(0..self.key_range);
+        let key = self.sampler.sample(&mut self.rng);
         let roll = self.rng.random_range(0..100u32);
         Some(if roll < self.mix.reads {
             GenOp::Contains(key)
@@ -178,6 +183,34 @@ mod tests {
             .filter(|op| matches!(op, GenOp::Contains(_)))
             .count();
         assert!((8_500..=9_500).contains(&reads), "reads={reads}");
+    }
+
+    #[test]
+    fn zipfian_streams_skew_toward_hot_keys() {
+        let uniform = WorkloadSpec {
+            ops_per_thread: 10_000,
+            ..WorkloadSpec::small()
+        };
+        let zipf = WorkloadSpec {
+            dist: KeyDist::Zipfian { theta: 0.99 },
+            ..uniform
+        };
+        let hot = |spec: &WorkloadSpec| {
+            spec.ops_for_thread(0)
+                .filter(|op| {
+                    let (GenOp::Contains(k) | GenOp::Insert(k) | GenOp::Delete(k)) = op;
+                    *k < 8
+                })
+                .count()
+        };
+        let (u, z) = (hot(&uniform), hot(&zipf));
+        assert!(
+            z > u * 5,
+            "zipfian must concentrate on low keys: uniform={u} zipf={z}"
+        );
+        let a: Vec<_> = zipf.ops_for_thread(0).collect();
+        let b: Vec<_> = zipf.ops_for_thread(0).collect();
+        assert_eq!(a, b, "zipfian streams stay deterministic");
     }
 
     #[test]

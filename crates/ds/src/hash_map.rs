@@ -1,0 +1,213 @@
+//! A lock-free hash map: a fixed array of [`MichaelMap`] buckets.
+//!
+//! The map-valued sibling of [`crate::HashSet`], added as the
+//! shard-friendly building block for the era-kv serving layer: a shard
+//! is one `HashMap` owning nothing but borrowed scheme state, so a
+//! service can stand up N shards over N *independent* reclaimer
+//! domains (`HashMap::new(&schemes[i], buckets)`) and a stalled reader
+//! in one domain cannot block reclamation in the others.
+//!
+//! Keys hash with Fibonacci multiplicative hashing to a bucket; each
+//! bucket is an independent sorted [`MichaelMap`] list, so the map
+//! inherits lock-freedom and scheme-compatibility (every pointer-based
+//! scheme, HP included — three protection slots) from the list.
+
+use std::fmt;
+
+use era_smr::common::Smr;
+
+use crate::michael_map::MichaelMap;
+
+/// A lock-free hash map from `i64` keys to `i64` values.
+///
+/// # Example
+///
+/// ```
+/// use era_ds::HashMap;
+/// use era_smr::{hp::Hp, Smr};
+///
+/// let smr = Hp::new(2, 3); // protect-based schemes need 3 slots
+/// let map = HashMap::new(&smr, 64);
+/// let mut ctx = smr.register().unwrap();
+/// assert_eq!(map.insert(&mut ctx, 10, 1), None);
+/// assert_eq!(map.insert(&mut ctx, 10, 2), Some(1)); // upsert
+/// assert_eq!(map.get(&mut ctx, 10), Some(2));
+/// assert_eq!(map.remove(&mut ctx, 10), Some(2));
+/// ```
+pub struct HashMap<'s, S: Smr> {
+    buckets: Vec<MichaelMap<'s, S>>,
+}
+
+impl<S: Smr> fmt::Debug for HashMap<'_, S> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("HashMap")
+            .field("buckets", &self.buckets.len())
+            .finish()
+    }
+}
+
+impl<'s, S: Smr> HashMap<'s, S> {
+    /// Creates a hash map with `buckets` buckets (rounded up to 1),
+    /// all sharing the reclaimer domain `smr`.
+    pub fn new(smr: &'s S, buckets: usize) -> Self {
+        let buckets = buckets.max(1);
+        HashMap {
+            buckets: (0..buckets).map(|_| MichaelMap::new(smr)).collect(),
+        }
+    }
+
+    fn bucket(&self, key: i64) -> &MichaelMap<'s, S> {
+        // Fibonacci hashing on the two's-complement bits.
+        let h = (key as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        let idx = (h % self.buckets.len() as u64) as usize;
+        &self.buckets[idx]
+    }
+
+    /// Inserts or updates `key`; returns the previous value if any.
+    pub fn insert(&self, ctx: &mut S::ThreadCtx, key: i64, value: i64) -> Option<i64> {
+        self.bucket(key).insert(ctx, key, value)
+    }
+
+    /// Current value of `key`.
+    pub fn get(&self, ctx: &mut S::ThreadCtx, key: i64) -> Option<i64> {
+        self.bucket(key).get(ctx, key)
+    }
+
+    /// Removes `key`; returns the removed value if it was present.
+    pub fn remove(&self, ctx: &mut S::ThreadCtx, key: i64) -> Option<i64> {
+        self.bucket(key).remove(ctx, key)
+    }
+
+    /// Atomically adds `delta` to the value of `key`; returns the new
+    /// value, or `None` if the key is absent.
+    pub fn fetch_add(&self, ctx: &mut S::ThreadCtx, key: i64, delta: i64) -> Option<i64> {
+        self.bucket(key).fetch_add(ctx, key, delta)
+    }
+
+    /// Number of buckets.
+    pub fn bucket_count(&self) -> usize {
+        self.buckets.len()
+    }
+
+    /// Snapshot of all entries, sorted by key (quiescent use only).
+    pub fn collect_entries(&self) -> Vec<(i64, i64)> {
+        let mut out: Vec<(i64, i64)> = self
+            .buckets
+            .iter()
+            .flat_map(|b| b.collect_entries())
+            .collect();
+        out.sort_unstable();
+        out
+    }
+
+    /// Number of entries (quiescent use only).
+    pub fn len(&self) -> usize {
+        self.buckets.iter().map(|b| b.len()).sum()
+    }
+
+    /// Whether the map is empty (quiescent use only).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use era_smr::ebr::Ebr;
+    use era_smr::hp::Hp;
+    use era_smr::Smr;
+
+    #[test]
+    fn basic_semantics() {
+        let smr = Hp::new(2, 3);
+        let map = HashMap::new(&smr, 16);
+        let mut ctx = smr.register().unwrap();
+        for k in 0..100 {
+            assert_eq!(map.insert(&mut ctx, k, k * 10), None);
+        }
+        for k in 0..100 {
+            assert_eq!(map.get(&mut ctx, k), Some(k * 10));
+            assert_eq!(map.insert(&mut ctx, k, k), Some(k * 10), "upsert");
+        }
+        assert_eq!(map.len(), 100);
+        assert_eq!(map.collect_entries()[3], (3, 3));
+        for k in (0..100).step_by(2) {
+            assert_eq!(map.remove(&mut ctx, k), Some(k));
+        }
+        assert_eq!(map.len(), 50);
+        assert_eq!(map.get(&mut ctx, 0), None);
+        assert_eq!(map.fetch_add(&mut ctx, 1, 5), Some(6));
+        assert_eq!(map.fetch_add(&mut ctx, 0, 5), None);
+    }
+
+    #[test]
+    fn single_bucket_degenerates_to_list() {
+        let smr = Ebr::new(2);
+        let map = HashMap::new(&smr, 0); // rounded up to 1
+        assert_eq!(map.bucket_count(), 1);
+        let mut ctx = smr.register().unwrap();
+        assert_eq!(map.insert(&mut ctx, -5, 1), None);
+        assert_eq!(map.insert(&mut ctx, 5, 2), None);
+        assert_eq!(map.collect_entries(), vec![(-5, 1), (5, 2)]);
+    }
+
+    #[test]
+    fn independent_domains_reclaim_independently() {
+        // The shard property era-kv relies on: two maps over two EBR
+        // instances; a stalled reader in domain A blocks A's garbage
+        // only — domain B keeps reclaiming.
+        let a = Ebr::with_threshold(2, 1);
+        let b = Ebr::with_threshold(2, 1);
+        let map_a = HashMap::new(&a, 4);
+        let map_b = HashMap::new(&b, 4);
+
+        let mut stalled = a.register().unwrap();
+        a.begin_op(&mut stalled); // pins domain A, never ends
+
+        let mut ctx_a = a.register().unwrap();
+        let mut ctx_b = b.register().unwrap();
+        for k in 0..100 {
+            map_a.insert(&mut ctx_a, k, k);
+            map_a.remove(&mut ctx_a, k);
+            map_b.insert(&mut ctx_b, k, k);
+            map_b.remove(&mut ctx_b, k);
+        }
+        for _ in 0..4 {
+            a.flush(&mut ctx_a);
+            b.flush(&mut ctx_b);
+        }
+        assert_eq!(b.stats().retired_now, 0, "B must drain: {}", b.stats());
+        assert!(
+            a.stats().retired_now >= 100,
+            "A must be pinned: {}",
+            a.stats()
+        );
+        a.end_op(&mut stalled);
+    }
+
+    #[test]
+    fn concurrent_disjoint_and_contended() {
+        let smr = Hp::new(8, 3);
+        let map = HashMap::new(&smr, 32);
+        std::thread::scope(|s| {
+            for t in 0..4i64 {
+                let (map, smr) = (&map, &smr);
+                s.spawn(move || {
+                    let mut ctx = smr.register().unwrap();
+                    let base = t * 500;
+                    for k in base..base + 500 {
+                        assert_eq!(map.insert(&mut ctx, k, k), None);
+                    }
+                    for k in base..base + 500 {
+                        assert_eq!(map.remove(&mut ctx, k), Some(k));
+                    }
+                    for _ in 0..4 {
+                        smr.flush(&mut ctx);
+                    }
+                });
+            }
+        });
+        assert!(map.is_empty());
+    }
+}

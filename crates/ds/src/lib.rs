@@ -17,6 +17,9 @@
 //! * [`ms_queue`] — the Michael–Scott queue, works with every scheme.
 //! * [`hash_set`] — Michael's hash set: an array of `michael_list`
 //!   buckets.
+//! * [`hash_map`] — the map-valued sibling over `michael_map` buckets;
+//!   the shard-friendly building block of the era-kv serving layer
+//!   (one map per independent reclaimer domain).
 //! * [`skip_list`] — a lock-free skip list whose towers are Harris
 //!   lists per level; it requires an [`era_smr::common::EpochProtected`]
 //!   scheme because per-pointer protection would need a slot per level
@@ -33,6 +36,7 @@
 #![warn(missing_debug_implementations)]
 
 pub mod harris_list;
+pub mod hash_map;
 pub mod hash_set;
 pub mod michael_list;
 pub mod michael_map;
@@ -42,6 +46,7 @@ pub mod treiber_stack;
 pub mod vbr_list;
 
 pub use harris_list::HarrisList;
+pub use hash_map::HashMap;
 pub use hash_set::HashSet;
 pub use michael_list::MichaelList;
 pub use michael_map::MichaelMap;

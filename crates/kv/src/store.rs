@@ -1,0 +1,501 @@
+//! The sharded store: N independent reclaimer domains behind one
+//! facade.
+//!
+//! Each shard owns an [`era_ds::HashMap`] bound to its *own* scheme
+//! instance and its own [`Recorder`], so reclamation, blame
+//! attribution, and footprint accounting are all per-shard: a stalled
+//! reader pins exactly one shard's garbage, and the navigator can see
+//! — and act on — that shard alone.
+//!
+//! The store borrows the schemes (`KvStore::new(&schemes, cfg)`)
+//! rather than owning them, matching the `era-ds` idiom
+//! (`HashMap::new(&smr, …)`) and keeping the struct free of
+//! self-references; callers keep the `Vec<S>` alive for the store's
+//! lifetime, which `'s` enforces.
+
+use std::fmt;
+use std::sync::atomic::{AtomicU32, AtomicU64, AtomicU8, AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use era_ds::HashMap;
+use era_obs::{Hook, Recorder, SchemeId, ThreadTracer};
+use era_smr::{RegisterError, Smr, SmrStats};
+
+use crate::navigator::ShardHealth;
+
+/// Thread slot the navigator's service tracer emits under (stays clear
+/// of real worker slots, the smr-internal service slot `u16::MAX`, and
+/// the bench sampler slot `u16::MAX - 1`).
+pub const NAVIGATOR_THREAD: u16 = u16::MAX - 2;
+
+/// Tuning knobs for a [`KvStore`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KvConfig {
+    /// Hash buckets per shard map.
+    pub buckets_per_shard: usize,
+    /// Retired-node budget at which a shard is classified
+    /// [`ShardHealth::Degrading`] and admission control engages.
+    pub retired_soft: usize,
+    /// Retired-node budget at which a shard is classified
+    /// [`ShardHealth::Violating`] and the navigator neutralizes the
+    /// blamed pin.
+    pub retired_hard: usize,
+    /// Writes admitted concurrently to a degraded shard before callers
+    /// see [`KvError::Overloaded`].
+    pub admission_depth: usize,
+    /// Blame slots per shard recorder; must be ≥ the schemes' thread
+    /// capacity for neutralization to target the right slot.
+    pub max_threads: usize,
+}
+
+impl Default for KvConfig {
+    fn default() -> Self {
+        KvConfig {
+            buckets_per_shard: 64,
+            retired_soft: 512,
+            retired_hard: 2048,
+            admission_depth: 4,
+            max_threads: 16,
+        }
+    }
+}
+
+/// Errors surfaced to store callers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KvError {
+    /// Admission control rejected the write: the shard is degraded and
+    /// its bounded queue is full. Backpressure is the navigator's first
+    /// degradation mode — the service sheds load instead of growing
+    /// footprint (sacrificing applicability to heavy traffic, not
+    /// robustness).
+    Overloaded {
+        /// The shard that refused the write.
+        shard: usize,
+    },
+}
+
+impl fmt::Display for KvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            KvError::Overloaded { shard } => {
+                write!(f, "shard {shard} is overloaded (admission control)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for KvError {}
+
+pub(crate) struct Shard<'s, S: Smr> {
+    pub(crate) smr: &'s S,
+    pub(crate) map: HashMap<'s, S>,
+    pub(crate) recorder: Recorder,
+    pub(crate) health: AtomicU8,
+    inflight: AtomicUsize,
+    pub(crate) transitions: AtomicU64,
+    pub(crate) neutralizations: AtomicU64,
+    sheds: AtomicU64,
+    pub(crate) violating_ticks: AtomicU32,
+    /// Blame counters at the previous navigator tick, for delta-based
+    /// victim selection (cumulative counters would keep pointing at a
+    /// long-resolved stall).
+    pub(crate) last_blame: Mutex<Vec<u64>>,
+    pub(crate) nav_tracer: Mutex<ThreadTracer>,
+}
+
+/// Per-thread handle for [`KvStore`]: one scheme context per shard.
+pub struct KvCtx<S: Smr> {
+    pub(crate) ctxs: Vec<S::ThreadCtx>,
+}
+
+impl<S: Smr> fmt::Debug for KvCtx<S> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("KvCtx")
+            .field("shards", &self.ctxs.len())
+            .finish()
+    }
+}
+
+/// A sharded concurrent key-value store over independent SMR domains.
+///
+/// # Example
+///
+/// ```
+/// use era_kv::{KvConfig, KvStore};
+/// use era_smr::ebr::Ebr;
+///
+/// let schemes: Vec<Ebr> = (0..4).map(|_| Ebr::new(8)).collect();
+/// let store = KvStore::new(&schemes, KvConfig::default());
+/// let mut ctx = store.register().unwrap();
+/// assert_eq!(store.put(&mut ctx, 7, 70), Ok(None));
+/// assert_eq!(store.get(&mut ctx, 7), Some(70));
+/// assert_eq!(store.remove(&mut ctx, 7), Ok(Some(70)));
+/// ```
+pub struct KvStore<'s, S: Smr> {
+    pub(crate) shards: Vec<Shard<'s, S>>,
+    pub(crate) cfg: KvConfig,
+}
+
+impl<S: Smr> fmt::Debug for KvStore<'_, S> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("KvStore")
+            .field("shards", &self.shards.len())
+            .field("cfg", &self.cfg)
+            .finish()
+    }
+}
+
+impl<'s, S: Smr> KvStore<'s, S> {
+    /// Builds a store with one shard per scheme in `schemes`. Each
+    /// scheme becomes an independent reclaimer domain with its own
+    /// recorder (attached here, so blame and footprint metrics are live
+    /// from the first operation).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `schemes` is empty.
+    pub fn new(schemes: &'s [S], cfg: KvConfig) -> Self {
+        assert!(!schemes.is_empty(), "a KvStore needs at least one shard");
+        let shards = schemes
+            .iter()
+            .map(|smr| {
+                let recorder = Recorder::new(cfg.max_threads);
+                smr.attach_recorder(&recorder);
+                let nav_tracer =
+                    Mutex::new(recorder.tracer(NAVIGATOR_THREAD, SchemeId::from_name(smr.name())));
+                Shard {
+                    smr,
+                    map: HashMap::new(smr, cfg.buckets_per_shard),
+                    recorder,
+                    health: AtomicU8::new(ShardHealth::Robust as u8),
+                    inflight: AtomicUsize::new(0),
+                    transitions: AtomicU64::new(0),
+                    neutralizations: AtomicU64::new(0),
+                    sheds: AtomicU64::new(0),
+                    violating_ticks: AtomicU32::new(0),
+                    last_blame: Mutex::new(Vec::new()),
+                    nav_tracer,
+                }
+            })
+            .collect();
+        KvStore { shards, cfg }
+    }
+
+    /// Registers the calling thread with every shard domain.
+    ///
+    /// # Errors
+    ///
+    /// [`RegisterError`] when any shard's scheme is out of thread
+    /// slots (contexts acquired so far are released again).
+    pub fn register(&self) -> Result<KvCtx<S>, RegisterError> {
+        let mut ctxs = Vec::with_capacity(self.shards.len());
+        for sh in &self.shards {
+            ctxs.push(sh.smr.register()?);
+        }
+        Ok(KvCtx { ctxs })
+    }
+
+    /// The shard `key` routes to. Uses a different multiplier than the
+    /// in-shard bucket hash so shard routing and bucket placement stay
+    /// uncorrelated (otherwise each shard would populate only a subset
+    /// of its buckets).
+    pub fn shard_of(&self, key: i64) -> usize {
+        let h = (key as u64).wrapping_mul(0xD1B5_4A32_D192_ED03);
+        ((h >> 32) as usize) % self.shards.len()
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The configuration the store was built with.
+    pub fn config(&self) -> &KvConfig {
+        &self.cfg
+    }
+
+    /// Reads `key`. Reads are never shed: they add no footprint, and
+    /// refusing them would buy nothing.
+    pub fn get(&self, ctx: &mut KvCtx<S>, key: i64) -> Option<i64> {
+        let si = self.shard_of(key);
+        let sh = &self.shards[si];
+        let tctx = &mut ctx.ctxs[si];
+        let _ = sh.smr.needs_restart(tctx); // op boundary: ack any pending neutralization
+        let v = sh.map.get(tctx, key);
+        sh.smr.quiescent_point(tctx);
+        v
+    }
+
+    /// Inserts or updates `key`; returns the previous value.
+    ///
+    /// # Errors
+    ///
+    /// [`KvError::Overloaded`] when the target shard is degraded and
+    /// its admission queue is full.
+    pub fn put(&self, ctx: &mut KvCtx<S>, key: i64, value: i64) -> Result<Option<i64>, KvError> {
+        let si = self.shard_of(key);
+        self.admit_write(si)?;
+        let sh = &self.shards[si];
+        let tctx = &mut ctx.ctxs[si];
+        let _ = sh.smr.needs_restart(tctx);
+        let prev = sh.map.insert(tctx, key, value);
+        sh.smr.quiescent_point(tctx);
+        sh.inflight.fetch_sub(1, Ordering::SeqCst);
+        Ok(prev)
+    }
+
+    /// Removes `key`; returns the removed value.
+    ///
+    /// # Errors
+    ///
+    /// [`KvError::Overloaded`] under the same conditions as
+    /// [`KvStore::put`].
+    pub fn remove(&self, ctx: &mut KvCtx<S>, key: i64) -> Result<Option<i64>, KvError> {
+        let si = self.shard_of(key);
+        self.admit_write(si)?;
+        let sh = &self.shards[si];
+        let tctx = &mut ctx.ctxs[si];
+        let _ = sh.smr.needs_restart(tctx);
+        let prev = sh.map.remove(tctx, key);
+        sh.smr.quiescent_point(tctx);
+        sh.inflight.fetch_sub(1, Ordering::SeqCst);
+        Ok(prev)
+    }
+
+    /// Atomically adds `delta` to `key`'s value; returns the new value
+    /// or `None` if absent. Counts as a write for admission control.
+    ///
+    /// # Errors
+    ///
+    /// [`KvError::Overloaded`] under the same conditions as
+    /// [`KvStore::put`].
+    pub fn incr(&self, ctx: &mut KvCtx<S>, key: i64, delta: i64) -> Result<Option<i64>, KvError> {
+        let si = self.shard_of(key);
+        self.admit_write(si)?;
+        let sh = &self.shards[si];
+        let tctx = &mut ctx.ctxs[si];
+        let _ = sh.smr.needs_restart(tctx);
+        let v = sh.map.fetch_add(tctx, key, delta);
+        sh.smr.quiescent_point(tctx);
+        sh.inflight.fetch_sub(1, Ordering::SeqCst);
+        Ok(v)
+    }
+
+    /// All entries with `lo <= key < hi`, sorted (quiescent use only,
+    /// like the underlying maps' snapshots).
+    pub fn scan(&self, lo: i64, hi: i64) -> Vec<(i64, i64)> {
+        let mut out: Vec<(i64, i64)> = self
+            .shards
+            .iter()
+            .flat_map(|sh| sh.map.collect_entries())
+            .filter(|&(k, _)| lo <= k && k < hi)
+            .collect();
+        out.sort_unstable();
+        out
+    }
+
+    /// Total entries across shards (quiescent use only).
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|sh| sh.map.len()).sum()
+    }
+
+    /// Whether the store is empty (quiescent use only).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Service-level footprint counters: per-shard snapshots folded
+    /// with [`SmrStats::merge`] (sum-of-peaks, the conservative bound).
+    pub fn stats(&self) -> SmrStats {
+        let mut acc = SmrStats::default();
+        for sh in &self.shards {
+            acc.merge(&sh.smr.stats());
+        }
+        acc
+    }
+
+    /// Footprint counters of each shard domain, in shard order.
+    pub fn shard_stats(&self) -> Vec<SmrStats> {
+        self.shards.iter().map(|sh| sh.smr.stats()).collect()
+    }
+
+    /// Current health class of `shard`.
+    pub fn health(&self, shard: usize) -> ShardHealth {
+        ShardHealth::from_u8(self.shards[shard].health.load(Ordering::SeqCst))
+    }
+
+    /// The scheme instance backing `shard` — the hook the stall
+    /// harness uses to pin a single shard's domain.
+    pub fn scheme(&self, shard: usize) -> &'s S {
+        self.shards[shard].smr
+    }
+
+    /// The recorder observing `shard` (metrics always live; event rings
+    /// only with the `trace` feature).
+    pub fn recorder(&self, shard: usize) -> &Recorder {
+        &self.shards[shard].recorder
+    }
+
+    /// Navigator counters summed over shards:
+    /// `(transitions, neutralizations, sheds)`.
+    pub fn nav_counters(&self) -> (u64, u64, u64) {
+        let mut t = 0;
+        let mut n = 0;
+        let mut s = 0;
+        for sh in &self.shards {
+            t += sh.transitions.load(Ordering::Relaxed);
+            n += sh.neutralizations.load(Ordering::Relaxed);
+            s += sh.sheds.load(Ordering::Relaxed);
+        }
+        (t, n, s)
+    }
+
+    /// Eagerly attempts reclamation on every shard with this thread's
+    /// contexts (shutdown/test convenience).
+    pub fn flush(&self, ctx: &mut KvCtx<S>) {
+        for (sh, tctx) in self.shards.iter().zip(ctx.ctxs.iter_mut()) {
+            sh.smr.flush(tctx);
+        }
+    }
+
+    fn admit_write(&self, si: usize) -> Result<(), KvError> {
+        let sh = &self.shards[si];
+        if sh.health.load(Ordering::Relaxed) == ShardHealth::Robust as u8 {
+            sh.inflight.fetch_add(1, Ordering::SeqCst);
+            return Ok(());
+        }
+        // Degraded: bounded admission. The health check above and the
+        // increment below can race with a navigator transition — the
+        // worst case is one extra admitted write, which the budget's
+        // slack absorbs.
+        let prev = sh.inflight.fetch_add(1, Ordering::SeqCst);
+        if prev >= self.cfg.admission_depth {
+            sh.inflight.fetch_sub(1, Ordering::SeqCst);
+            let sheds = sh.sheds.fetch_add(1, Ordering::Relaxed) + 1;
+            if let Ok(mut t) = sh.nav_tracer.try_lock() {
+                t.emit(Hook::Shed, si as u64, sheds);
+            }
+            return Err(KvError::Overloaded { shard: si });
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use era_smr::ebr::Ebr;
+    use era_smr::hp::Hp;
+    use era_smr::qsbr::Qsbr;
+
+    fn ebr_store(shards: usize) -> (Vec<Ebr>, KvConfig) {
+        let schemes: Vec<Ebr> = (0..shards).map(|_| Ebr::new(8)).collect();
+        (schemes, KvConfig::default())
+    }
+
+    #[test]
+    fn basic_semantics_across_shards() {
+        let (schemes, cfg) = ebr_store(4);
+        let store = KvStore::new(&schemes, cfg);
+        let mut ctx = store.register().unwrap();
+        for k in -50..50 {
+            assert_eq!(store.put(&mut ctx, k, k * 2), Ok(None));
+        }
+        for k in -50..50 {
+            assert_eq!(store.get(&mut ctx, k), Some(k * 2));
+        }
+        assert_eq!(store.len(), 100);
+        assert_eq!(store.put(&mut ctx, 0, 42), Ok(Some(0)));
+        assert_eq!(store.incr(&mut ctx, 0, 8), Ok(Some(50)));
+        assert_eq!(store.incr(&mut ctx, 9999, 1), Ok(None));
+        let window = store.scan(-5, 5);
+        assert_eq!(window.len(), 10);
+        assert!(window.windows(2).all(|w| w[0].0 < w[1].0), "scan sorted");
+        assert_eq!(window[5], (0, 50));
+        for k in -50..50 {
+            assert_eq!(
+                store.remove(&mut ctx, k),
+                Ok(Some(if k == 0 { 50 } else { k * 2 }))
+            );
+        }
+        assert!(store.is_empty());
+    }
+
+    #[test]
+    fn routing_is_stable_and_total() {
+        let (schemes, cfg) = ebr_store(5);
+        let store = KvStore::new(&schemes, cfg);
+        let mut seen = vec![0usize; 5];
+        for k in -1000..1000 {
+            let s = store.shard_of(k);
+            assert_eq!(s, store.shard_of(k), "routing must be deterministic");
+            seen[s] += 1;
+        }
+        for (i, &n) in seen.iter().enumerate() {
+            assert!(n > 100, "shard {i} starved: {seen:?}");
+        }
+    }
+
+    #[test]
+    fn works_generically_over_schemes() {
+        let schemes: Vec<Hp> = (0..2).map(|_| Hp::new(4, 3)).collect();
+        let store = KvStore::new(&schemes, KvConfig::default());
+        let mut ctx = store.register().unwrap();
+        assert_eq!(store.put(&mut ctx, 1, 10), Ok(None));
+        assert_eq!(store.get(&mut ctx, 1), Some(10));
+
+        let schemes: Vec<Qsbr> = (0..2).map(|_| Qsbr::new(4)).collect();
+        let store = KvStore::new(&schemes, KvConfig::default());
+        let mut ctx = store.register().unwrap();
+        assert_eq!(store.put(&mut ctx, 1, 10), Ok(None));
+        assert_eq!(store.remove(&mut ctx, 1), Ok(Some(10)));
+        // The facade's quiescent_point calls keep QSBR draining without
+        // the caller ever seeing the scheme-specific API.
+        for _ in 0..4 {
+            let _ = store.get(&mut ctx, 1);
+        }
+        assert_eq!(store.stats().retired_now, 0, "{}", store.stats());
+    }
+
+    #[test]
+    fn admission_control_rejects_when_degraded() {
+        let schemes: Vec<Ebr> = vec![Ebr::new(4)];
+        let cfg = KvConfig {
+            retired_soft: 0, // every tick classifies the shard Degrading
+            admission_depth: 0,
+            ..KvConfig::default()
+        };
+        let store = KvStore::new(&schemes, cfg);
+        let mut ctx = store.register().unwrap();
+        assert_eq!(store.put(&mut ctx, 1, 1), Ok(None), "robust: admitted");
+        store.navigator_tick();
+        assert_eq!(store.health(0), ShardHealth::Degrading);
+        assert_eq!(
+            store.put(&mut ctx, 1, 2),
+            Err(KvError::Overloaded { shard: 0 })
+        );
+        assert_eq!(
+            store.remove(&mut ctx, 1),
+            Err(KvError::Overloaded { shard: 0 })
+        );
+        assert_eq!(store.get(&mut ctx, 1), Some(1), "reads are never shed");
+        let (_, _, sheds) = store.nav_counters();
+        assert_eq!(sheds, 2);
+        assert_eq!(
+            KvError::Overloaded { shard: 0 }.to_string(),
+            "shard 0 is overloaded (admission control)"
+        );
+    }
+
+    #[test]
+    fn register_releases_slots_on_failure() {
+        // Shard 1 has capacity 1: the second register must fail and
+        // release the slot it took on shard 0.
+        let schemes = vec![Ebr::new(4), Ebr::new(1)];
+        let store = KvStore::new(&schemes, KvConfig::default());
+        let first = store.register().unwrap();
+        assert!(store.register().is_err());
+        drop(first);
+        assert!(store.register().is_ok());
+    }
+}

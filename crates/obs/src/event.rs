@@ -56,11 +56,19 @@ pub enum Hook {
     /// A footprint sample (`a` = retired population, `b` = bytes or
     /// node count of live space, depending on the producer).
     Sample = 14,
+
+    /// The era-kv navigator changed a shard's health class (`a` =
+    /// shard index, `b` = `old_state << 8 | new_state` with states
+    /// 0=Robust, 1=Degrading, 2=Violating).
+    Navigate = 15,
+    /// Admission control rejected a write with `Overloaded` (`a` =
+    /// shard index, `b` = sheds so far on that shard).
+    Shed = 16,
 }
 
 impl Hook {
     /// Number of distinct hooks (array-sizing constant).
-    pub const COUNT: usize = 15;
+    pub const COUNT: usize = 17;
 
     /// Every hook, in discriminant order.
     pub const ALL: [Hook; Hook::COUNT] = [
@@ -79,6 +87,8 @@ impl Hook {
         Hook::Rollback,
         Hook::Alloc,
         Hook::Sample,
+        Hook::Navigate,
+        Hook::Shed,
     ];
 
     /// Stable lower-case name used in JSON reports and trace dumps.
@@ -99,6 +109,8 @@ impl Hook {
             Hook::Rollback => "rollback",
             Hook::Alloc => "alloc",
             Hook::Sample => "sample",
+            Hook::Navigate => "navigate",
+            Hook::Shed => "shed",
         }
     }
 

@@ -115,6 +115,22 @@ impl HistogramSnapshot {
             .collect()
     }
 
+    /// Accumulates another snapshot into this one (bucket-wise sum).
+    /// Used by era-kv to merge per-shard latency histograms into one
+    /// service-level distribution; log₂ buckets make this lossless.
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        for (into, from) in self.counts.iter_mut().zip(&other.counts) {
+            *into += from;
+        }
+    }
+
+    /// An all-zero snapshot, the identity for [`merge`](Self::merge).
+    pub fn empty() -> HistogramSnapshot {
+        HistogramSnapshot {
+            counts: [0; HISTOGRAM_BUCKETS],
+        }
+    }
+
     /// Upper bound (exclusive) of the bucket containing the `q`-th
     /// quantile (`0.0..=1.0`), or 0 if empty. A coarse but monotone
     /// summary — exact within a factor of two.
@@ -197,6 +213,26 @@ impl Metrics {
             .max_by_key(|&(_, c)| c)
             .filter(|&(_, c)| c > 0)
     }
+
+    // ----- watchdog read-side API -------------------------------------
+    //
+    // The era-kv navigator polls these from a thread that does not own
+    // any tracer; everything below is read-only over relaxed atomics,
+    // safe to call concurrently with the hot path.
+
+    /// Total blame across all thread slots — a cheap "is anything
+    /// blocking reclamation" signal for watchdogs.
+    pub fn total_blame(&self) -> u64 {
+        self.blame.iter().map(Counter::get).sum()
+    }
+
+    /// p99 retire→reclaim latency upper bound in trace ticks (0 when
+    /// nothing has been reclaimed yet). Coarse (within 2×) but
+    /// monotone under load, which is all a degradation classifier
+    /// needs.
+    pub fn reclaim_p99(&self) -> u64 {
+        self.reclaim_latency.snapshot().quantile_upper_bound(0.99)
+    }
 }
 
 #[cfg(test)]
@@ -237,6 +273,45 @@ mod tests {
             .quantile_upper_bound(0.5),
             0
         );
+    }
+
+    #[test]
+    fn snapshot_merge_is_bucketwise_sum() {
+        let a = Log2Histogram::default();
+        let b = Log2Histogram::default();
+        for v in [1, 3, 7] {
+            a.record(v);
+        }
+        for v in [3, 100] {
+            b.record(v);
+        }
+        let mut merged = HistogramSnapshot::empty();
+        merged.merge(&a.snapshot());
+        merged.merge(&b.snapshot());
+        assert_eq!(merged.total(), 5);
+        assert_eq!(
+            merged.nonzero_buckets(),
+            vec![(2, 1), (4, 2), (8, 1), (128, 1)]
+        );
+    }
+
+    #[test]
+    fn watchdog_read_side() {
+        let m = Metrics::new(3);
+        assert_eq!(m.total_blame(), 0);
+        assert_eq!(m.reclaim_p99(), 0);
+        m.blame(0);
+        m.blame(2);
+        m.blame(2);
+        assert_eq!(m.total_blame(), 3);
+        for _ in 0..99 {
+            m.reclaim_latency.record(1);
+        }
+        m.reclaim_latency.record(1000);
+        assert_eq!(m.reclaim_p99(), 2);
+        m.reclaim_latency.record(1000);
+        m.reclaim_latency.record(1000);
+        assert!(m.reclaim_p99() > 2);
     }
 
     #[test]

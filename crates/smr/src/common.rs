@@ -215,6 +215,30 @@ pub struct SmrStats {
     pub era: u64,
 }
 
+impl SmrStats {
+    /// Accumulates another domain's snapshot into this one — the
+    /// aggregation used when a service shards work across several
+    /// independent reclaimer domains (era-kv).
+    ///
+    /// Counts (`retired_now`, `total_retired`, `total_reclaimed`) sum
+    /// exactly. `retired_peak` is the subtle one: the true service-level
+    /// peak is the peak of the *sum* over time, which per-domain
+    /// snapshots cannot reconstruct (each domain peaked at its own
+    /// moment). We take the **sum of peaks**, which is always ≥ the
+    /// peak of sums — a conservative upper bound, never an
+    /// understatement of footprint. Summing would otherwise silently
+    /// double-count nothing, but *reporting max-of-peaks* (the naive
+    /// alternative) would undercount by up to a factor of the shard
+    /// count. `era` takes the max, since domains advance independently.
+    pub fn merge(&mut self, other: &SmrStats) {
+        self.retired_now += other.retired_now;
+        self.retired_peak += other.retired_peak;
+        self.total_retired += other.total_retired;
+        self.total_reclaimed += other.total_reclaimed;
+        self.era = self.era.max(other.era);
+    }
+}
+
 impl fmt::Display for SmrStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
@@ -347,6 +371,45 @@ pub trait Smr: Send + Sync {
 
     /// NBR hook: drop all reservations (end of write phase).
     fn clear_reservations(&self, ctx: &mut Self::ThreadCtx) {
+        let _ = ctx;
+    }
+
+    /// Robustness-recovery hook: forcibly release whatever protection
+    /// thread slot `slot` currently holds, so reclamation blocked on
+    /// that slot can proceed (cooperative neutralization, NBR-style —
+    /// but driven *externally* by a watchdog rather than by a signal).
+    ///
+    /// Returns `true` when the scheme supports neutralization and the
+    /// slot was registered; schemes without the capability (HP-family,
+    /// leak) return `false` and the watchdog must degrade some other
+    /// way. After a successful call, the victim's next
+    /// [`Smr::needs_restart`] poll returns `true` exactly once.
+    ///
+    /// # Safety
+    ///
+    /// The caller promises the victim thread follows the restart
+    /// protocol: between operations it polls [`Smr::needs_restart`]
+    /// and, on `true`, discards every pointer collected in the current
+    /// protected region before touching shared memory again. Pointers
+    /// held across a neutralization are dangling — dereferencing one
+    /// is the exact use-after-free the scheme normally prevents.
+    unsafe fn neutralize(&self, slot: usize) -> bool {
+        let _ = slot;
+        false
+    }
+
+    /// Announces that the calling thread holds **no** references into
+    /// any protected structure right now. A no-op for every scheme
+    /// except QSBR, whose grace periods cannot end without it.
+    ///
+    /// This is deliberately *not* part of the Def. 5.3 easy-integration
+    /// surface: only the application can know its threads are quiescent
+    /// (a data structure calling this on its own would be unsound for
+    /// callers that hold iterators). Service layers such as era-kv call
+    /// it at their operation boundaries, where the facade guarantees
+    /// values are copied out — that call-site knowledge is precisely
+    /// the integration burden QSBR trades for its low overhead.
+    fn quiescent_point(&self, ctx: &mut Self::ThreadCtx) {
         let _ = ctx;
     }
 
@@ -545,6 +608,37 @@ mod tests {
         s.on_retire();
         assert_eq!(s.snapshot(0).total_retired, 2);
         assert_eq!(recorder.metrics().footprint_peak.get(), 1);
+    }
+
+    #[test]
+    fn stats_merge_sums_counts_and_peaks() {
+        let mut a = SmrStats {
+            retired_now: 3,
+            retired_peak: 10,
+            total_retired: 100,
+            total_reclaimed: 97,
+            era: 5,
+        };
+        let b = SmrStats {
+            retired_now: 1,
+            retired_peak: 7,
+            total_retired: 40,
+            total_reclaimed: 39,
+            era: 9,
+        };
+        a.merge(&b);
+        assert_eq!(a.retired_now, 4);
+        // Sum-of-peaks: the conservative (never-understating) bound for
+        // independently-peaking domains.
+        assert_eq!(a.retired_peak, 17);
+        assert_eq!(a.total_retired, 140);
+        assert_eq!(a.total_reclaimed, 136);
+        assert_eq!(a.era, 9, "domains advance independently; report max");
+
+        // Identity: merging a default changes nothing.
+        let before = a;
+        a.merge(&SmrStats::default());
+        assert_eq!(a, before);
     }
 
     #[test]

@@ -13,7 +13,7 @@
 //! retired node accumulates — the engine of the paper's Theorem 6.1
 //! construction (Figure 1).
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
 use era_obs::{Hook, Recorder, SchemeId, ThreadTracer};
@@ -34,6 +34,9 @@ struct EbrInner {
     stats: StatCells,
     orphans: Mutex<Vec<Retired>>,
     retire_threshold: usize,
+    /// Slot `i` was force-unpinned by [`Smr::neutralize`] and must
+    /// restart its protected region before trusting any pointer.
+    neutralized: Box<[AtomicBool]>,
 }
 
 impl EbrInner {
@@ -151,6 +154,8 @@ impl Ebr {
         let announcements: Vec<AtomicU64> = (0..max_threads)
             .map(|_| AtomicU64::new(QUIESCENT))
             .collect();
+        let neutralized: Vec<AtomicBool> =
+            (0..max_threads).map(|_| AtomicBool::new(false)).collect();
         Ebr {
             inner: Arc::new(EbrInner {
                 epoch: AtomicU64::new(2), // start >1 so `e-2` never underflows
@@ -159,6 +164,7 @@ impl Ebr {
                 stats: StatCells::default(),
                 orphans: Mutex::new(Vec::new()),
                 retire_threshold: retire_threshold.max(1),
+                neutralized: neutralized.into_boxed_slice(),
             }),
         }
     }
@@ -175,6 +181,7 @@ impl Smr for Ebr {
     fn register(&self) -> Result<EbrCtx, RegisterError> {
         let idx = self.inner.registry.acquire()?;
         self.inner.announcements[idx].store(QUIESCENT, Ordering::SeqCst);
+        self.inner.neutralized[idx].store(false, Ordering::SeqCst);
         Ok(EbrCtx {
             inner: Arc::clone(&self.inner),
             idx,
@@ -247,6 +254,23 @@ impl Smr for Ebr {
             let epoch = self.inner.try_advance();
             ctx.collect(epoch);
         }
+    }
+
+    /// Force-unpins slot `slot`: its announcement is overwritten with
+    /// [`QUIESCENT`], so the epoch can advance past it. The victim
+    /// learns about it on its next [`Smr::needs_restart`] poll.
+    unsafe fn neutralize(&self, slot: usize) -> bool {
+        if slot >= self.inner.registry.capacity() || !self.inner.registry.is_in_use(slot) {
+            return false;
+        }
+        self.inner.neutralized[slot].store(true, Ordering::SeqCst);
+        self.inner.announcements[slot].store(QUIESCENT, Ordering::SeqCst);
+        self.inner.stats.event(Hook::Restart, slot as u64, 0);
+        true
+    }
+
+    fn needs_restart(&self, ctx: &mut EbrCtx) -> bool {
+        self.inner.neutralized[ctx.idx].swap(false, Ordering::SeqCst)
     }
 
     fn stats(&self) -> SmrStats {
@@ -397,6 +421,42 @@ mod tests {
             st.total_reclaimed >= 3_000,
             "most garbage should be reclaimed under churn: {st}"
         );
+    }
+
+    #[test]
+    fn neutralize_unpins_stalled_thread() {
+        // Same setup as `stalled_thread_blocks_reclamation`, but the
+        // watchdog path: neutralizing the stalled slot lets the epoch
+        // advance and the backlog drain without the victim cooperating
+        // first. The victim observes exactly one restart request.
+        let smr = Ebr::with_threshold(2, 1);
+        let mut stalled = smr.register().unwrap();
+        smr.begin_op(&mut stalled);
+
+        let mut worker = smr.register().unwrap();
+        for i in 0..100 {
+            smr.begin_op(&mut worker);
+            retire_one(&smr, &mut worker, i);
+            smr.end_op(&mut worker);
+        }
+        for _ in 0..4 {
+            smr.flush(&mut worker);
+        }
+        assert_eq!(smr.stats().total_reclaimed, 0, "stall must hold garbage");
+
+        assert!(unsafe { smr.neutralize(0) }, "slot 0 is registered");
+        for _ in 0..6 {
+            smr.flush(&mut worker);
+        }
+        assert_eq!(smr.stats().retired_now, 0, "{}", smr.stats());
+
+        assert!(smr.needs_restart(&mut stalled), "victim must see restart");
+        assert!(!smr.needs_restart(&mut stalled), "restart reported once");
+
+        // Unregistered slots cannot be neutralized.
+        assert!(!unsafe { smr.neutralize(5) });
+        drop(stalled);
+        assert!(!unsafe { smr.neutralize(0) });
     }
 
     #[test]

@@ -21,7 +21,7 @@
 //!   are protected until the trailing grace period, so it composes with
 //!   Harris-style structures.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
 use era_obs::{Hook, Recorder, SchemeId, ThreadTracer};
@@ -40,6 +40,9 @@ struct QsbrInner {
     stats: StatCells,
     orphans: Mutex<Vec<Retired>>,
     retire_threshold: usize,
+    /// Slot `i` had quiescence announced *on its behalf* by
+    /// [`Smr::neutralize`] and must restart before trusting pointers.
+    neutralized: Box<[AtomicBool]>,
 }
 
 impl QsbrInner {
@@ -127,6 +130,8 @@ impl Qsbr {
     pub fn with_threshold(max_threads: usize, retire_threshold: usize) -> Self {
         let announced: Vec<AtomicU64> =
             (0..max_threads).map(|_| AtomicU64::new(u64::MAX)).collect();
+        let neutralized: Vec<AtomicBool> =
+            (0..max_threads).map(|_| AtomicBool::new(false)).collect();
         Qsbr {
             inner: Arc::new(QsbrInner {
                 grace: AtomicU64::new(2),
@@ -135,6 +140,7 @@ impl Qsbr {
                 stats: StatCells::default(),
                 orphans: Mutex::new(Vec::new()),
                 retire_threshold: retire_threshold.max(1),
+                neutralized: neutralized.into_boxed_slice(),
             }),
         }
     }
@@ -182,6 +188,7 @@ impl Smr for Qsbr {
         let idx = self.inner.registry.acquire()?;
         // A fresh thread is quiescent until it touches anything.
         self.inner.announced[idx].store(u64::MAX, Ordering::SeqCst);
+        self.inner.neutralized[idx].store(false, Ordering::SeqCst);
         Ok(QsbrCtx {
             inner: Arc::clone(&self.inner),
             idx,
@@ -236,6 +243,31 @@ impl Smr for Qsbr {
             let g = self.inner.try_advance();
             self.collect(ctx, g);
         }
+    }
+
+    /// Announces quiescence *on the victim's behalf*: its announced
+    /// grace period jumps to the current one, so `try_advance` stops
+    /// waiting on it. The victim learns about it on its next
+    /// [`Smr::needs_restart`] poll.
+    unsafe fn neutralize(&self, slot: usize) -> bool {
+        if slot >= self.inner.registry.capacity() || !self.inner.registry.is_in_use(slot) {
+            return false;
+        }
+        self.inner.neutralized[slot].store(true, Ordering::SeqCst);
+        let g = self.inner.grace.load(Ordering::SeqCst);
+        self.inner.announced[slot].store(g, Ordering::SeqCst);
+        self.inner.stats.event(Hook::Restart, slot as u64, 0);
+        true
+    }
+
+    fn needs_restart(&self, ctx: &mut QsbrCtx) -> bool {
+        self.inner.neutralized[ctx.idx].swap(false, Ordering::SeqCst)
+    }
+
+    /// QSBR's whole integration contract *is* the quiescent point, so
+    /// the generic hook maps straight onto [`Qsbr::quiescent`].
+    fn quiescent_point(&self, ctx: &mut QsbrCtx) {
+        self.quiescent(ctx);
     }
 
     fn stats(&self) -> SmrStats {
@@ -321,6 +353,45 @@ mod tests {
         for _ in 0..4 {
             smr.quiescent(&mut busy);
             smr.quiescent(&mut worker);
+        }
+        assert_eq!(smr.stats().retired_now, 0);
+    }
+
+    #[test]
+    fn neutralize_announces_on_victims_behalf() {
+        let smr = Qsbr::with_threshold(2, 1);
+        let mut busy = smr.register().unwrap();
+        let mut worker = smr.register().unwrap();
+        smr.begin_op(&mut busy); // never announces quiescence again
+        smr.begin_op(&mut worker);
+        for i in 0..50 {
+            retire_one(&smr, &mut worker, i);
+            smr.quiescent(&mut worker);
+        }
+        assert_eq!(smr.stats().retired_now, 50, "busy thread blocks");
+
+        // The watchdog path: a forced announcement per grace period
+        // lets the backlog drain without the victim's cooperation.
+        for _ in 0..4 {
+            assert!(unsafe { smr.neutralize(0) });
+            smr.quiescent(&mut worker);
+        }
+        assert_eq!(smr.stats().retired_now, 0, "{}", smr.stats());
+        assert!(smr.needs_restart(&mut busy));
+        assert!(!smr.needs_restart(&mut busy), "restart reported once");
+        assert!(!unsafe { smr.neutralize(7) }, "out-of-range slot");
+    }
+
+    #[test]
+    fn quiescent_point_maps_to_quiescent() {
+        let smr = Qsbr::with_threshold(1, 1);
+        let mut ctx = smr.register().unwrap();
+        smr.begin_op(&mut ctx);
+        for i in 0..10 {
+            retire_one(&smr, &mut ctx, i);
+        }
+        for _ in 0..4 {
+            smr.quiescent_point(&mut ctx);
         }
         assert_eq!(smr.stats().retired_now, 0);
     }

@@ -1,0 +1,89 @@
+//! The runtime ERA navigator, live: a stalled reader pins one shard of
+//! a sharded key-value store, and the navigator walks that shard
+//! through Robust → Degrading → Violating, neutralizes the stalled pin,
+//! and brings the footprint back down — while the other shards never
+//! notice.
+//!
+//! Run with: `cargo run --release --example kv_navigator`
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+use era::kv::{KvConfig, KvStore, ShardHealth};
+use era::smr::common::Smr;
+use era::smr::ebr::Ebr;
+
+fn main() {
+    let schemes: Vec<Ebr> = (0..4).map(|_| Ebr::new(8)).collect();
+    let cfg = KvConfig {
+        retired_soft: 256,
+        retired_hard: 1_024,
+        ..KvConfig::default()
+    };
+    let store = KvStore::new(&schemes, cfg);
+    let mut ctx = store.register().unwrap();
+
+    // Find a key routed to shard 0 so the churn below lands there.
+    let hot = (0..).find(|&k| store.shard_of(k) == 0).unwrap();
+    println!("churning shard 0 (key {hot}) with a reader stalled inside it\n");
+
+    let stop = AtomicBool::new(false);
+    let pinned = AtomicBool::new(false);
+    std::thread::scope(|s| {
+        let (stop, pinned) = (&stop, &pinned);
+        let smr = store.scheme(0);
+        s.spawn(move || {
+            // The stalled reader: pins shard 0's epoch and spins. When
+            // the navigator neutralizes it, `needs_restart` fires and
+            // the reader restarts its operation — the NBR-style
+            // protocol every direct client of a navigated store must
+            // follow.
+            let mut pin = smr.register().unwrap();
+            while !stop.load(Ordering::Acquire) {
+                smr.begin_op(&mut pin);
+                pinned.store(true, Ordering::Release);
+                while !stop.load(Ordering::Relaxed) && !smr.needs_restart(&mut pin) {
+                    std::hint::spin_loop();
+                }
+                smr.end_op(&mut pin);
+            }
+        });
+        // Don't start churning until the reader holds its pin, or the
+        // whole incident can finish before the stall even begins.
+        while !pinned.load(Ordering::Acquire) {
+            std::thread::yield_now();
+        }
+
+        let mut last = ShardHealth::Robust;
+        for round in 0..40 {
+            for _ in 0..100 {
+                store.put(&mut ctx, hot, round).ok();
+                store.remove(&mut ctx, hot).ok();
+            }
+            store.navigator_tick();
+            let health = store.health(0);
+            let retired = store.shard_stats()[0].retired_now;
+            if health != last {
+                let (transitions, neutralizations, _) = store.nav_counters();
+                println!(
+                    "round {round:>2}: shard 0 {last} -> {health} \
+                     (retired {retired}, transitions {transitions}, \
+                     neutralized {neutralizations})"
+                );
+                last = health;
+            }
+        }
+        stop.store(true, Ordering::Release);
+    });
+
+    let (transitions, neutralizations, _) = store.nav_counters();
+    let healthy: usize = (1..4).map(|i| store.shard_stats()[i].retired_now).sum();
+    println!(
+        "\nfinal: {transitions} transition(s), {neutralizations} neutralization(s); \
+         shards 1-3 retired {healthy} nodes total (untouched by the incident)"
+    );
+    println!(
+        "The navigator holds the Violating shard to a sawtooth bounded by \
+         the hard budget, paying with integration burden (the restart \
+         protocol) only while — and only where — robustness is under attack."
+    );
+}

@@ -79,6 +79,65 @@ pub trait RngExt: RngCore {
 
 impl<R: RngCore> RngExt for R {}
 
+/// Zipf-distributed ranks over `{0, 1, …, n-1}` with skew `theta` in
+/// `(0, 1)` — the classic YCSB / Gray et al. "quick zipf" sampler
+/// (offline stand-in for `rand_distr::Zipf`).
+///
+/// Rank 0 is the most popular item; the probability of rank `k` is
+/// proportional to `1 / (k + 1)^theta`. Construction is `O(n)` (the
+/// harmonic normaliser is precomputed), sampling is `O(1)`. YCSB's
+/// default skew is `theta = 0.99`.
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    n: u64,
+    theta: f64,
+    alpha: f64,
+    zetan: f64,
+    eta: f64,
+}
+
+impl Zipf {
+    /// Builds a sampler over `n` ranks with skew `theta` (must satisfy
+    /// `n > 0` and `0 < theta < 1`).
+    pub fn new(n: u64, theta: f64) -> Zipf {
+        assert!(n > 0, "Zipf needs at least one rank");
+        assert!(
+            theta > 0.0 && theta < 1.0,
+            "Zipf skew must lie in (0, 1), got {theta}"
+        );
+        let zetan: f64 = (1..=n).map(|i| 1.0 / (i as f64).powf(theta)).sum();
+        let zeta2 = 1.0 + 1.0 / 2f64.powf(theta);
+        let alpha = 1.0 / (1.0 - theta);
+        let eta = (1.0 - (2.0 / n as f64).powf(1.0 - theta)) / (1.0 - zeta2 / zetan);
+        Zipf {
+            n,
+            theta,
+            alpha,
+            zetan,
+            eta,
+        }
+    }
+
+    /// Number of ranks the sampler draws from.
+    pub fn ranks(&self) -> u64 {
+        self.n
+    }
+
+    /// Draws one rank in `0..n`, skewed toward 0.
+    pub fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> u64 {
+        let u = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        let uz = u * self.zetan;
+        if uz < 1.0 {
+            return 0;
+        }
+        if self.n > 1 && uz < 1.0 + 0.5f64.powf(self.theta) {
+            return 1;
+        }
+        let rank = (self.n as f64 * (self.eta * u - self.eta + 1.0).powf(self.alpha)) as u64;
+        rank.min(self.n - 1)
+    }
+}
+
 /// The concrete generators.
 pub mod rngs {
     use super::{RngCore, SeedableRng};
@@ -168,6 +227,46 @@ mod tests {
         }
         for &c in &counts {
             assert!((8_000..=12_000).contains(&c), "skewed bucket: {counts:?}");
+        }
+    }
+
+    #[test]
+    fn zipf_skews_toward_low_ranks_and_stays_in_range() {
+        let zipf = super::Zipf::new(1000, 0.99);
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut counts = [0usize; 1000];
+        for _ in 0..200_000 {
+            let r = zipf.sample(&mut rng) as usize;
+            assert!(r < 1000);
+            counts[r] += 1;
+        }
+        // Rank 0 should dominate (~1/zeta ≈ 13% of draws at theta=.99)
+        // and the head should vastly outdraw the tail.
+        assert!(
+            counts[0] > counts[1],
+            "head not dominant: {:?}",
+            &counts[..4]
+        );
+        assert!(counts[0] > 10_000, "rank 0 drew only {}", counts[0]);
+        // At theta=0.99 the top-10 ranks hold ~40% of the mass while the
+        // 500-item tail holds ~9% — a 4× ratio; assert 3× for slack.
+        let head: usize = counts[..10].iter().sum();
+        let tail: usize = counts[500..].iter().sum();
+        assert!(head > tail * 3, "head={head} tail={tail}");
+    }
+
+    #[test]
+    fn zipf_deterministic_and_single_rank_ok() {
+        let zipf = super::Zipf::new(8, 0.5);
+        let mut a = StdRng::seed_from_u64(11);
+        let mut b = StdRng::seed_from_u64(11);
+        let va: Vec<u64> = (0..64).map(|_| zipf.sample(&mut a)).collect();
+        let vb: Vec<u64> = (0..64).map(|_| zipf.sample(&mut b)).collect();
+        assert_eq!(va, vb);
+        let one = super::Zipf::new(1, 0.9);
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..32 {
+            assert_eq!(one.sample(&mut rng), 0);
         }
     }
 

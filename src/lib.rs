@@ -14,12 +14,17 @@
 //!   hash map.
 //! * [`obs`] (`era-obs`) — lock-free event tracing, footprint metrics,
 //!   and JSON-lines run reports shared by the layers above.
+//! * [`kv`] (`era-kv`) — the serving layer: a sharded SMR-backed
+//!   key-value store whose runtime ERA navigator trades the theorem's
+//!   three properties dynamically (admission control, cooperative
+//!   neutralization) instead of fixing one trade-off at design time.
 //!
 //! See `README.md` for a tour and `EXPERIMENTS.md` for the reproduction
 //! of every figure in the paper.
 
 pub use era_core as core;
 pub use era_ds as ds;
+pub use era_kv as kv;
 pub use era_obs as obs;
 pub use era_sim as sim;
 pub use era_smr as smr;

@@ -197,6 +197,20 @@ fn michael_with_hp_all_interleavings() {
     }
 }
 
+// Reduced always-on variant: the first 2^FAST_BITS schedules cover the
+// short races outright (most op pairs finish in well under 8 steps of
+// interleaving freedom), so every tier-1 run still exercises the §4.3
+// safety claim; the 2^12 sweep above stays in the release-mode
+// `--ignored` pass.
+const FAST_BITS: usize = 8;
+
+#[test]
+fn michael_with_hp_fast_interleavings() {
+    for (a, b) in contended_pairs() {
+        enumerate_michael(|| Box::new(SimHp::new(2, 3)), a, b, FAST_BITS);
+    }
+}
+
 #[test]
 fn vbr_retired_population_is_zero_on_every_interleaving() {
     for bits in 0u64..(1 << BITS) {

@@ -1,0 +1,238 @@
+//! Integration tests for the `era-kv` serving layer: map semantics
+//! against a `BTreeMap` reference model under random op sequences,
+//! shard-routing invariants, and the headline scenario — a stalled
+//! reader whose shard's footprint the navigator bounds where bare EBR
+//! does not.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+
+use era::kv::workload::{run_workload, KeyDist, KvMix, KvWorkloadSpec};
+use era::kv::{KvConfig, KvStore};
+use era::smr::common::Smr;
+use era::smr::ebr::Ebr;
+use era::smr::qsbr::Qsbr;
+use proptest::prelude::*;
+
+#[derive(Debug, Clone, Copy)]
+enum MapOp {
+    Put(i64, i64),
+    Remove(i64),
+    Get(i64),
+    Incr(i64, i64),
+}
+
+fn map_ops(max_key: i64) -> impl Strategy<Value = Vec<MapOp>> {
+    prop::collection::vec(
+        (0..4u8, 0..max_key, -8i64..8).prop_map(|(w, k, v)| match w {
+            0 => MapOp::Put(k, v),
+            1 => MapOp::Remove(k),
+            2 => MapOp::Get(k),
+            _ => MapOp::Incr(k, v),
+        }),
+        0..160,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    // The sharded store is a map: random op sequences agree with a
+    // BTreeMap model op by op, and a final scan agrees wholesale. High
+    // budgets keep the navigator out of the way (no shedding), so every
+    // write is admitted and Ok(..) can be unwrapped.
+    #[test]
+    fn kv_store_matches_btreemap_model(ops in map_ops(24)) {
+        let schemes: Vec<Ebr> = (0..4).map(|_| Ebr::new(2)).collect();
+        let store = KvStore::new(&schemes, KvConfig::default());
+        let mut ctx = store.register().unwrap();
+        let mut model: BTreeMap<i64, i64> = BTreeMap::new();
+        for op in ops {
+            match op {
+                MapOp::Put(k, v) => {
+                    prop_assert_eq!(store.put(&mut ctx, k, v).unwrap(), model.insert(k, v));
+                }
+                MapOp::Remove(k) => {
+                    prop_assert_eq!(store.remove(&mut ctx, k).unwrap(), model.remove(&k));
+                }
+                MapOp::Get(k) => {
+                    prop_assert_eq!(store.get(&mut ctx, k), model.get(&k).copied());
+                }
+                MapOp::Incr(k, d) => {
+                    let expected = model.get_mut(&k).map(|v| { *v += d; *v });
+                    prop_assert_eq!(store.incr(&mut ctx, k, d).unwrap(), expected);
+                }
+            }
+        }
+        let snapshot: Vec<(i64, i64)> = model.into_iter().collect();
+        prop_assert_eq!(store.scan(i64::MIN, i64::MAX), snapshot);
+    }
+
+    // Routing is a pure function of the key, and every key's data really
+    // lives on (only) the shard it routes to.
+    #[test]
+    fn keys_land_on_their_routed_shard(raw in prop::collection::vec(-500i64..500, 1..40)) {
+        let keys: std::collections::BTreeSet<i64> = raw.into_iter().collect();
+        let schemes: Vec<Qsbr> = (0..3).map(|_| Qsbr::new(2)).collect();
+        let store = KvStore::new(&schemes, KvConfig::default());
+        let mut ctx = store.register().unwrap();
+        for &k in &keys {
+            store.put(&mut ctx, k, k).unwrap();
+        }
+        let mut expected = vec![0usize; store.shard_count()];
+        for &k in &keys {
+            expected[store.shard_of(k)] += 1;
+        }
+        let counts: Vec<usize> = (0..store.shard_count())
+            .map(|i| {
+                store
+                    .scan(i64::MIN, i64::MAX)
+                    .iter()
+                    .filter(|&&(k, _)| store.shard_of(k) == i)
+                    .count()
+            })
+            .collect();
+        prop_assert_eq!(counts, expected);
+        prop_assert_eq!(store.len(), keys.len());
+    }
+}
+
+/// The acceptance scenario, as a test: one reader stalls inside shard
+/// 0's protected region while workers churn. Without the navigator the
+/// stalled shard's retired population grows with the run length
+/// (EBR's non-robustness); with it, footprint stays bounded near the
+/// hard budget because the navigator neutralizes the stalled pin.
+///
+/// The bounded peak is a sawtooth whose amplitude scales with the
+/// *retire rate* against the fixed 200µs navigator poll, while the
+/// unbounded baseline scales with the *op count* — so the release
+/// build (roughly an order of magnitude faster) needs a longer run for
+/// the two regimes to separate by the asserted 4× margin.
+#[test]
+fn navigator_bounds_footprint_under_stalled_reader() {
+    let spec = KvWorkloadSpec {
+        mix: KvMix::CHURN,
+        dist: KeyDist::Uniform,
+        key_range: 512,
+        ops_per_thread: if cfg!(debug_assertions) {
+            60_000
+        } else {
+            300_000
+        },
+        threads: 2,
+        prefill: 256,
+        seed: 7,
+    };
+    let cfg = KvConfig {
+        retired_soft: 128,
+        retired_hard: 512,
+        max_threads: 8,
+        ..KvConfig::default()
+    };
+
+    let run = |navigator_on: bool| {
+        let schemes: Vec<Ebr> = (0..2).map(|_| Ebr::new(6)).collect();
+        let store = KvStore::new(&schemes, cfg);
+        run_workload(&store, &spec, navigator_on, Some(0))
+    };
+
+    let off = run(false);
+    let on = run(true);
+    let off_peak = off.per_shard_retired_peak[0];
+    let on_peak = on.per_shard_retired_peak[0];
+
+    assert!(
+        off_peak > cfg.retired_hard * 4,
+        "without the navigator the stalled shard must blow far past the \
+         hard budget: peak {off_peak} vs budget {}",
+        cfg.retired_hard
+    );
+    assert_eq!(off.neutralizations, 0);
+    assert!(
+        on.neutralizations >= 1,
+        "the navigator must neutralize the stalled pin: {on:?}"
+    );
+    assert!(
+        on.transitions >= 1,
+        "health transitions must be recorded: {on:?}"
+    );
+    assert!(
+        on_peak * 4 < off_peak,
+        "navigator must bound the stalled shard's footprint: \
+         on={on_peak} off={off_peak}"
+    );
+}
+
+/// QSBR integrates into the store through `quiescent_point` alone, and
+/// the navigator's neutralization (announcing on the victim's behalf)
+/// bounds it the same way.
+#[test]
+fn navigator_bounds_qsbr_too() {
+    let spec = KvWorkloadSpec {
+        mix: KvMix::CHURN,
+        dist: KeyDist::Zipfian { theta: 0.9 },
+        key_range: 512,
+        ops_per_thread: 8_000,
+        threads: 2,
+        prefill: 256,
+        seed: 11,
+    };
+    let cfg = KvConfig {
+        retired_soft: 128,
+        retired_hard: 512,
+        max_threads: 8,
+        ..KvConfig::default()
+    };
+    let schemes: Vec<Qsbr> = (0..2).map(|_| Qsbr::new(6)).collect();
+    let store = KvStore::new(&schemes, cfg);
+    let stats = run_workload(&store, &spec, true, Some(0));
+    assert!(stats.neutralizations >= 1, "{stats:?}");
+    assert!(stats.reader_restarts >= 1, "{stats:?}");
+}
+
+/// A neutralized direct client observes exactly one restart signal, at
+/// the op boundary — the protocol the navigator contract demands.
+#[test]
+fn neutralized_reader_restarts_once() {
+    let schemes: Vec<Ebr> = vec![Ebr::with_threshold(4, 1)];
+    let cfg = KvConfig {
+        retired_soft: 8,
+        retired_hard: 32,
+        max_threads: 8,
+        ..KvConfig::default()
+    };
+    let store = KvStore::new(&schemes, cfg);
+    let mut ctx = store.register().unwrap();
+
+    let pinned = AtomicBool::new(false);
+    let release = AtomicBool::new(false);
+    std::thread::scope(|s| {
+        let (pinned, release) = (&pinned, &release);
+        let smr = store.scheme(0);
+        s.spawn(move || {
+            let mut pin = smr.register().unwrap();
+            smr.begin_op(&mut pin);
+            pinned.store(true, Ordering::Release);
+            while !release.load(Ordering::Acquire) && !smr.needs_restart(&mut pin) {
+                std::hint::spin_loop();
+            }
+            smr.end_op(&mut pin);
+            // Exactly one pending restart was consumed by the loop.
+            assert!(!smr.needs_restart(&mut pin));
+            release.store(true, Ordering::Release);
+        });
+        while !pinned.load(Ordering::Acquire) {
+            std::hint::spin_loop();
+        }
+        for k in 0..64 {
+            store.put(&mut ctx, k, k).unwrap();
+            store.remove(&mut ctx, k).unwrap();
+        }
+        while !release.load(Ordering::Acquire) {
+            store.navigator_tick();
+            std::thread::yield_now();
+        }
+    });
+    let (_, neutralizations, _) = store.nav_counters();
+    assert!(neutralizations >= 1);
+}
