@@ -7,13 +7,18 @@
 //! the VBR list, across thread counts and operation mixes.
 //!
 //! Usage: `throughput [ops_per_thread] [key_range] [--report out.jsonl]
-//! [--zipf [--theta 0.99]]` (defaults 200000, 1024, uniform keys).
+//! [--json-out out.jsonl] [--label tag] [--zipf [--theta 0.99]]`
+//! (defaults 200000, 1024, uniform keys).
 //! With `--report`, every Michael/Harris run is traced through an
 //! [`era_obs::Recorder`] and the JSON-lines report (throughput, retired
 //! high-water, footprint curve, reclaim-latency histogram) is written
-//! to the given path. `--zipf` draws keys from a YCSB-style zipfian
-//! distribution instead of uniformly, concentrating contention on a
-//! hot set.
+//! to the given path. With `--json-out`, the same runs are recorded
+//! *untraced* (throughput + scheme counters only — the shape perf
+//! comparisons use; see `era_bench::report` for the format) — since the
+//! workloads are seeded, the output is deterministic up to timing.
+//! `--label` tags every emitted record (e.g. `before`/`after`).
+//! `--zipf` draws keys from a YCSB-style zipfian distribution instead
+//! of uniformly, concentrating contention on a hot set.
 
 use std::path::PathBuf;
 
@@ -29,6 +34,8 @@ use era_smr::{ebr::Ebr, he::He, hp::Hp, ibr::Ibr, leak::Leak, nbr::Nbr};
 
 fn main() {
     let mut report_path: Option<PathBuf> = None;
+    let mut json_out: Option<PathBuf> = None;
+    let mut label = String::new();
     let mut zipf = false;
     let mut theta = 0.99f64;
     let mut positional: Vec<String> = Vec::new();
@@ -39,6 +46,20 @@ fn main() {
             if report_path.is_none() {
                 eprintln!("--report requires a path argument");
                 std::process::exit(2);
+            }
+        } else if arg == "--json-out" {
+            json_out = args.next().map(PathBuf::from);
+            if json_out.is_none() {
+                eprintln!("--json-out requires a path argument");
+                std::process::exit(2);
+            }
+        } else if arg == "--label" {
+            match args.next() {
+                Some(l) => label = l,
+                None => {
+                    eprintln!("--label requires a value");
+                    std::process::exit(2);
+                }
             }
         } else if arg == "--zipf" {
             zipf = true;
@@ -107,10 +128,20 @@ fn main() {
                     let st = if report_path.is_some() {
                         let rec = Recorder::new(t + 2);
                         let st = run_michael_traced(&smr, &spec, &rec);
-                        records.push(RunRecord::collect("michael", smr.name(), &spec, st, &rec));
+                        records.push(
+                            RunRecord::collect("michael", smr.name(), &spec, st, &rec)
+                                .with_label(&label),
+                        );
                         st
                     } else {
-                        run_michael(&smr, &spec)
+                        let st = run_michael(&smr, &spec);
+                        if json_out.is_some() {
+                            records.push(
+                                RunRecord::from_stats("michael", smr.name(), &spec, st)
+                                    .with_label(&label),
+                            );
+                        }
+                        st
                     };
                     cells.push(format!("{:.2}", st.mops()));
                 }
@@ -126,10 +157,20 @@ fn main() {
                     let st = if report_path.is_some() {
                         let rec = Recorder::new(t + 2);
                         let st = run_harris_traced(&smr, &spec, &rec);
-                        records.push(RunRecord::collect("harris", smr.name(), &spec, st, &rec));
+                        records.push(
+                            RunRecord::collect("harris", smr.name(), &spec, st, &rec)
+                                .with_label(&label),
+                        );
                         st
                     } else {
-                        run_harris(&smr, &spec)
+                        let st = run_harris(&smr, &spec);
+                        if json_out.is_some() {
+                            records.push(
+                                RunRecord::from_stats("harris", smr.name(), &spec, st)
+                                    .with_label(&label),
+                            );
+                        }
+                        st
                     };
                     cells.push(format!("{:.2}", st.mops()));
                 }
@@ -168,7 +209,7 @@ fn main() {
          HP/HE pay per-read validation; Harris beats Michael under churn \
          (see also the michael_vs_harris Criterion bench, experiment E6)."
     );
-    if let Some(path) = report_path {
+    for path in [report_path, json_out].into_iter().flatten() {
         match write_jsonl(&path, &records) {
             Ok(()) => println!("wrote {} run records to {}", records.len(), path.display()),
             Err(e) => {

@@ -281,15 +281,44 @@ impl<'s, S: Smr + SupportsUnlinkedTraversal> HarrisList<'s, S> {
         result
     }
 
-    /// `contains(key)` — Algorithm 1, lines 23–26.
+    /// `contains(key)` — Algorithm 1 restricts searches to lines 23–26
+    /// (a `search` call), but Harris's model never *requires* a search
+    /// to help unlink, and every scheme this list's type bound admits
+    /// is op-scoped (EBR/QSBR/NBR/leak — no per-node protection), so
+    /// the read path here is the wait-free raw-link walk Herlihy &
+    /// Shavit prove linearizable for this list family: follow `next`
+    /// words — through marked chains — and decide from the first node
+    /// with `key ≥ target`. No unlink CASes, no reservations (nothing
+    /// is dereferenced after the read phase ends), no window tracking.
+    ///
+    /// Restart-based schemes void the op-scoped protection when they
+    /// neutralize a thread, so the walk polls [`Smr::needs_restart`]
+    /// every hop (a relaxed self-flag load) and rewalks from the head.
     pub fn contains(&self, ctx: &mut S::ThreadCtx, key: i64) -> bool {
         Self::check_key(key);
         self.smr.begin_op(ctx);
-        let w = self.search(ctx, key); // line 24
-        let found = w.curr != self.tail
-            && !is_marked(unsafe { (*w.curr).next.load(Ordering::SeqCst) })
-            && unsafe { (*w.curr).key } == key; // line 26
-        self.smr.clear_reservations(ctx);
+        let found = 'retry: loop {
+            self.smr.enter_read_phase(ctx);
+            // SAFETY(ordering): SeqCst link loads keep the walk in the
+            // retire-stamp SC chain (see `Smr::load`) — free on x86-TSO.
+            let mut curr =
+                untagged(unsafe { (*self.head).next.load(Ordering::SeqCst) }) as *const Node;
+            loop {
+                if self.smr.needs_restart(ctx) {
+                    continue 'retry;
+                }
+                // The tail sentinel (key = i64::MAX, never retired)
+                // stops the walk without an explicit pointer compare:
+                // check_key rejects i64::MAX as a user key.
+                let next = unsafe { (*curr).next.load(Ordering::SeqCst) };
+                let ckey = unsafe { (*curr).key };
+                if ckey < key {
+                    curr = untagged(next) as *const Node;
+                    continue;
+                }
+                break 'retry ckey == key && !is_marked(next);
+            }
+        };
         self.smr.end_op(ctx);
         found
     }
@@ -459,8 +488,16 @@ mod tests {
             (*n1).next.store(with_mark(n1_next), Ordering::SeqCst);
         }
         assert_eq!(list.collect_keys(), vec![3]);
-        // A search for 3 walks through the marked chain and unlinks it.
+        // contains is read-only: it sees through the marked chain
+        // without unlinking anything.
         assert!(list.contains(&mut ctx, 3));
+        assert!(!list.contains(&mut ctx, 1));
+        unsafe {
+            let first = untagged((*list.head).next.load(Ordering::SeqCst)) as *const Node;
+            assert_eq!((*first).key, 1, "read-only contains must not unlink");
+        }
+        // A mutation's search() unlinks the whole chain in one CAS.
+        assert!(!list.delete(&mut ctx, 0));
         unsafe {
             let first = untagged((*list.head).next.load(Ordering::SeqCst)) as *const Node;
             assert_eq!((*first).key, 3, "marked chain must be physically unlinked");

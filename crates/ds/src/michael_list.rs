@@ -7,7 +7,9 @@
 //! exactly what the protect-validate schemes (HP, HE, IBR) need — and
 //! why the paper calls this the implementation that was "originally
 //! designated to fit HP" (§6). The cost relative to Harris's list is
-//! restart-on-contention during traversals.
+//! restart-on-contention during traversals. Under op-scoped schemes
+//! (EBR/QSBR/NBR/leak) searches take a read-only fast path that skips
+//! the hazard discipline entirely — see [`MichaelList::contains`].
 //!
 //! The list is a sorted set of `i64` keys with the three-slot hazard
 //! discipline (`curr`, `next`, `prev`), generic over any
@@ -120,8 +122,15 @@ impl<'s, S: Smr> MichaelList<'s, S> {
                 let node = curr_word as *const Node;
                 let next_word = self.smr.load(ctx, 1 - cs, unsafe { &(*node).next });
                 // Michael's re-validation: curr must still be linked at
-                // prev (also completes the hazard protection argument).
-                if unsafe { &*prev }.load(Ordering::SeqCst) != curr_word {
+                // prev. Publish-and-validate schemes (HP/HE/IBR) need it
+                // to complete the protection argument for `curr`; epoch
+                // schemes protect every reachable-or-retired node
+                // globally, so the check is elided — a traversal through
+                // a just-unlinked node stays linearizable and every
+                // mutation CAS below self-validates against `prev`.
+                if self.smr.requires_validation()
+                    && unsafe { &*prev }.load(Ordering::SeqCst) != curr_word
+                {
                     continue 'retry;
                 }
                 if is_marked(next_word) {
@@ -151,11 +160,13 @@ impl<'s, S: Smr> MichaelList<'s, S> {
                         found: ckey == key,
                     };
                 }
-                // Advance: curr becomes prev. Re-protect it in the prev
-                // slot (validated against the same source).
-                if self.smr.load(ctx, SLOT_PREV, unsafe { &*prev }) != curr_word {
-                    continue 'retry;
-                }
+                // Advance: curr becomes prev. Transfer curr's already
+                // established protection from slot `cs` into the prev
+                // slot — a single release store under HP/HE, with no
+                // fence or re-validation: the slot-`cs` protection was
+                // validated above and is held until overwritten, and
+                // SLOT_PREV > cs keeps ascending-index scans sound.
+                self.smr.protect_alias(ctx, SLOT_PREV, cs, curr_word);
                 prev = unsafe { &(*node).next };
                 curr_word = untagged(next_word);
                 cs = 1 - cs;
@@ -248,9 +259,62 @@ impl<'s, S: Smr> MichaelList<'s, S> {
     /// Whether `key` is in the set.
     pub fn contains(&self, ctx: &mut S::ThreadCtx, key: i64) -> bool {
         self.smr.begin_op(ctx);
-        let w = self.find(ctx, key);
+        let found = if self.smr.requires_validation() {
+            // Protect-validate schemes (HP/HE/IBR): only find()'s
+            // hand-over-hand hazard discipline makes standing on a
+            // node safe, so searches share the mutation path.
+            self.find(ctx, key).found
+        } else {
+            self.contains_read_only(ctx, key)
+        };
         self.smr.end_op(ctx);
-        w.found
+        found
+    }
+
+    /// Read-only search for op-scoped protection schemes
+    /// (`requires_validation() == false`: EBR/QSBR/NBR/leak).
+    ///
+    /// Michael notes searches need not help unlink (and Herlihy &
+    /// Shavit prove the wait-free variant linearizable for exactly this
+    /// mark-bit list family): the traversal follows raw `next` links —
+    /// through marked nodes — and decides from the first node with
+    /// `key ≥ target`. Every node on the walk is protected *globally*
+    /// by the op-scoped scheme (reachable or retired-but-unreclaimed),
+    /// so no per-hop slot writes, helping CASes, or prev tracking are
+    /// needed. Sortedness along frozen chains plus Michael's
+    /// unlink-in-traversal-order discipline give the linearization
+    /// points: an unmarked match was reachable when its link word was
+    /// read (marks never clear), and a miss linearizes at the last
+    /// link read from a then-reachable node.
+    ///
+    /// Restart-based schemes (NBR, or a watchdog-neutralized
+    /// EBR/QSBR) void the global protection when they neutralize a
+    /// thread, so the loop polls [`Smr::needs_restart`] every hop —
+    /// a relaxed self-flag load — and rewalks from the head.
+    fn contains_read_only(&self, ctx: &mut S::ThreadCtx, key: i64) -> bool {
+        'retry: loop {
+            // SAFETY(ordering): SeqCst link loads keep this traversal in
+            // the retire-stamp SC chain (see `Smr::load`) — free MOVs on
+            // x86-TSO, and required so a concurrent retirer's stamp
+            // covers this reader's announced epoch.
+            let mut word = untagged(self.head.load(Ordering::SeqCst));
+            loop {
+                if self.smr.needs_restart(ctx) {
+                    continue 'retry;
+                }
+                if word == 0 {
+                    return false;
+                }
+                let node = word as *const Node;
+                let next = unsafe { (*node).next.load(Ordering::SeqCst) };
+                let ckey = unsafe { (*node).key };
+                if ckey < key {
+                    word = untagged(next);
+                    continue;
+                }
+                return ckey == key && !is_marked(next);
+            }
+        }
     }
 
     /// Snapshot of the keys (quiescent use only: tests/debugging).

@@ -107,7 +107,11 @@ impl<'s, S: Smr> MichaelMap<'s, S> {
                 }
                 let node = curr_word as *const Node;
                 let next_word = self.smr.load(ctx, 1 - cs, unsafe { &(*node).next });
-                if unsafe { &*prev }.load(Ordering::SeqCst) != curr_word {
+                // Re-validation only for publish-and-validate schemes;
+                // see michael_list::find for the elision argument.
+                if self.smr.requires_validation()
+                    && unsafe { &*prev }.load(Ordering::SeqCst) != curr_word
+                {
                     continue 'retry;
                 }
                 if is_marked(next_word) {
@@ -136,9 +140,9 @@ impl<'s, S: Smr> MichaelMap<'s, S> {
                         found: ckey == key,
                     };
                 }
-                if self.smr.load(ctx, SLOT_PREV, unsafe { &*prev }) != curr_word {
-                    continue 'retry;
-                }
+                // Advance: transfer curr's established protection into
+                // the prev slot (see michael_list::find).
+                self.smr.protect_alias(ctx, SLOT_PREV, cs, curr_word);
                 prev = unsafe { &(*node).next };
                 curr_word = untagged(next_word);
                 cs = 1 - cs;
@@ -190,13 +194,50 @@ impl<'s, S: Smr> MichaelMap<'s, S> {
     /// Returns the value mapped to `key`, if any.
     pub fn get(&self, ctx: &mut S::ThreadCtx, key: i64) -> Option<i64> {
         self.smr.begin_op(ctx);
-        let w = self.find(ctx, key);
-        let result = w.found.then(|| {
-            let node = w.curr_word as *const Node;
-            unsafe { (*node).value.load(Ordering::SeqCst) }
-        });
+        let result = if self.smr.requires_validation() {
+            let w = self.find(ctx, key);
+            w.found.then(|| {
+                let node = w.curr_word as *const Node;
+                unsafe { (*node).value.load(Ordering::SeqCst) }
+            })
+        } else {
+            self.get_read_only(ctx, key)
+        };
         self.smr.end_op(ctx);
         result
+    }
+
+    /// Read-only lookup for op-scoped protection schemes — the map
+    /// analogue of [`crate::MichaelList`]'s `contains_read_only` (see
+    /// there for the linearizability and restart-polling arguments).
+    /// The value is read after the mark check; as with `remove`, a
+    /// racing in-place update may land in between, and either value is
+    /// a linearizable answer.
+    fn get_read_only(&self, ctx: &mut S::ThreadCtx, key: i64) -> Option<i64> {
+        'retry: loop {
+            // SAFETY(ordering): SeqCst link loads — part of the
+            // retire-stamp SC chain (see `Smr::load`); free on x86-TSO.
+            let mut word = untagged(self.head.load(Ordering::SeqCst));
+            loop {
+                if self.smr.needs_restart(ctx) {
+                    continue 'retry;
+                }
+                if word == 0 {
+                    return None;
+                }
+                let node = word as *const Node;
+                let next = unsafe { (*node).next.load(Ordering::SeqCst) };
+                let ckey = unsafe { (*node).key };
+                if ckey < key {
+                    word = untagged(next);
+                    continue;
+                }
+                if ckey != key || is_marked(next) {
+                    return None;
+                }
+                return Some(unsafe { (*node).value.load(Ordering::SeqCst) });
+            }
+        }
     }
 
     /// Removes `key`; returns the value it mapped to, if any.

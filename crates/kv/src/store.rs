@@ -19,7 +19,7 @@ use std::sync::Mutex;
 
 use era_ds::HashMap;
 use era_obs::{Hook, Recorder, SchemeId, ThreadTracer};
-use era_smr::{RegisterError, Smr, SmrStats};
+use era_smr::{CachePadded, RegisterError, Smr, SmrStats};
 
 use crate::navigator::ShardHealth;
 
@@ -132,7 +132,11 @@ impl<S: Smr> fmt::Debug for KvCtx<S> {
 /// assert_eq!(store.remove(&mut ctx, 7), Ok(Some(70)));
 /// ```
 pub struct KvStore<'s, S: Smr> {
-    pub(crate) shards: Vec<Shard<'s, S>>,
+    /// One shard per scheme, each cache-padded: a shard's hot admission
+    /// counters (`inflight`, `sheds`) are bumped on every routed op, and
+    /// without padding two adjacent shards' counters could share a line
+    /// and serialize unrelated traffic.
+    pub(crate) shards: Vec<CachePadded<Shard<'s, S>>>,
     pub(crate) cfg: KvConfig,
 }
 
@@ -163,7 +167,7 @@ impl<'s, S: Smr> KvStore<'s, S> {
                 smr.attach_recorder(&recorder);
                 let nav_tracer =
                     Mutex::new(recorder.tracer(NAVIGATOR_THREAD, SchemeId::from_name(smr.name())));
-                Shard {
+                CachePadded::new(Shard {
                     smr,
                     map: HashMap::new(smr, cfg.buckets_per_shard),
                     recorder,
@@ -175,7 +179,7 @@ impl<'s, S: Smr> KvStore<'s, S> {
                     violating_ticks: AtomicU32::new(0),
                     last_blame: Mutex::new(Vec::new()),
                     nav_tracer,
-                }
+                })
             })
             .collect();
         KvStore { shards, cfg }
@@ -190,7 +194,22 @@ impl<'s, S: Smr> KvStore<'s, S> {
     pub fn register(&self) -> Result<KvCtx<S>, RegisterError> {
         let mut ctxs = Vec::with_capacity(self.shards.len());
         for sh in &self.shards {
-            ctxs.push(sh.smr.register()?);
+            match sh.smr.register() {
+                Ok(c) => ctxs.push(c),
+                Err(e) => {
+                    // Roll back the partial registration explicitly, in
+                    // LIFO order, so a failed register leaves every
+                    // earlier shard's registry slot free again. Dropping
+                    // the Vec would do the same, but the rollback is a
+                    // correctness requirement (a leaked slot shrinks the
+                    // shard's thread capacity forever), not an accident
+                    // of drop order — keep it visible.
+                    while let Some(c) = ctxs.pop() {
+                        drop(c);
+                    }
+                    return Err(e);
+                }
+            }
         }
         Ok(KvCtx { ctxs })
     }
@@ -496,6 +515,27 @@ mod tests {
         let first = store.register().unwrap();
         assert!(store.register().is_err());
         drop(first);
+        assert!(store.register().is_ok());
+    }
+
+    #[test]
+    fn failed_registers_never_erode_shard_capacity() {
+        // Each failed register acquires a shard-0 slot before failing at
+        // shard 1; if any attempt leaked it, shard 0 would not have all
+        // three of its slots free afterwards. (The single-failure test
+        // above cannot see a leak of fewer slots than shard 0's spare
+        // capacity — this one drains shard 0 to exactly its capacity.)
+        let schemes = vec![Ebr::new(3), Ebr::new(1)];
+        let store = KvStore::new(&schemes, KvConfig::default());
+        let first = store.register().unwrap();
+        for _ in 0..5 {
+            assert!(store.register().is_err(), "shard 1 is full");
+        }
+        drop(first);
+        // All shard-0 slots must be free again: claim every one of them
+        // directly from the scheme.
+        let direct: Vec<_> = (0..3).map(|_| schemes[0].register().unwrap()).collect();
+        drop(direct);
         assert!(store.register().is_ok());
     }
 }

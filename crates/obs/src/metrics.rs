@@ -26,6 +26,15 @@ impl Counter {
     }
 }
 
+/// A [`Counter`] alone on its cache line (mirrors `era_smr`'s
+/// `CachePadded`, re-declared here because `era-obs` sits *below*
+/// `era-smr` in the dependency graph). Used for the per-thread blame
+/// slots: a blamed thread's watchdog increments must not bounce the
+/// line under a neighbouring slot's updates.
+#[derive(Debug, Default)]
+#[repr(align(128))]
+struct PaddedCounter(Counter);
+
 /// A maximum-so-far gauge (e.g. footprint high-water mark).
 #[derive(Debug, Default)]
 pub struct HighWater(AtomicU64);
@@ -161,8 +170,9 @@ pub struct Metrics {
     /// Highest retired-but-unreclaimed population ever observed.
     pub footprint_peak: HighWater,
     /// Times thread slot `i` was blamed for blocking reclamation
-    /// (stalled-thread attribution; ERA robustness axis).
-    blame: Box<[Counter]>,
+    /// (stalled-thread attribution; ERA robustness axis). One padded
+    /// counter per slot — see [`PaddedCounter`].
+    blame: Box<[PaddedCounter]>,
 }
 
 impl Metrics {
@@ -173,7 +183,7 @@ impl Metrics {
             reclaim_latency: Log2Histogram::default(),
             footprint_peak: HighWater::default(),
             blame: (0..max_threads.max(1))
-                .map(|_| Counter::default())
+                .map(|_| PaddedCounter::default())
                 .collect(),
         }
     }
@@ -195,12 +205,12 @@ impl Metrics {
     #[inline]
     pub fn blame(&self, thread: usize) {
         let idx = thread.min(self.blame.len() - 1);
-        self.blame[idx].add(1);
+        self.blame[idx].0.add(1);
     }
 
     /// Blame count per thread slot.
     pub fn blame_counts(&self) -> Vec<u64> {
-        self.blame.iter().map(Counter::get).collect()
+        self.blame.iter().map(|c| c.0.get()).collect()
     }
 
     /// The thread slot with the highest blame count, if any blame was
@@ -208,7 +218,7 @@ impl Metrics {
     pub fn most_blamed(&self) -> Option<(usize, u64)> {
         self.blame
             .iter()
-            .map(Counter::get)
+            .map(|c| c.0.get())
             .enumerate()
             .max_by_key(|&(_, c)| c)
             .filter(|&(_, c)| c > 0)
@@ -223,7 +233,7 @@ impl Metrics {
     /// Total blame across all thread slots — a cheap "is anything
     /// blocking reclamation" signal for watchdogs.
     pub fn total_blame(&self) -> u64 {
-        self.blame.iter().map(Counter::get).sum()
+        self.blame.iter().map(|c| c.0.get()).sum()
     }
 
     /// p99 retire→reclaim latency upper bound in trace ticks (0 when

@@ -13,10 +13,60 @@
 //! | [`Smr::enter_read_phase`], [`Smr::needs_restart`], [`Smr::reserve`], [`Smr::commit_reservations`] | **arbitrary** code locations — using them is what makes an integration non-easy |
 
 use std::fmt;
+use std::ops::{Deref, DerefMut};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Mutex, OnceLock};
 
 use era_obs::{Hook, Recorder, SchemeId, ThreadTracer};
+
+/// Pads and aligns `T` to 128 bytes so that per-thread slots land on
+/// their own cache line(s) — the cure for false sharing on announcement
+/// arrays, hazard slots, and shared counters, where one thread's store
+/// would otherwise invalidate the line every *other* thread spins on.
+///
+/// 128 (not 64) covers the adjacent-line prefetcher on modern x86,
+/// which pulls cache lines in pairs; the cost is memory, which is
+/// negligible at per-thread-slot scale.
+///
+/// `Deref`/`DerefMut` make the wrapper transparent at use sites:
+/// `padded_slot.load(…)` resolves through to the inner atomic.
+#[derive(Debug, Default)]
+#[repr(align(128))]
+pub struct CachePadded<T> {
+    value: T,
+}
+
+impl<T> CachePadded<T> {
+    /// Wraps `value` in its own cache line(s).
+    pub const fn new(value: T) -> Self {
+        CachePadded { value }
+    }
+
+    /// Unwraps the padded value.
+    pub fn into_inner(self) -> T {
+        self.value
+    }
+}
+
+impl<T> Deref for CachePadded<T> {
+    type Target = T;
+
+    fn deref(&self) -> &T {
+        &self.value
+    }
+}
+
+impl<T> DerefMut for CachePadded<T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.value
+    }
+}
+
+impl<T> From<T> for CachePadded<T> {
+    fn from(value: T) -> Self {
+        CachePadded::new(value)
+    }
+}
 
 /// Reclamation-scheme-owned header embedded in every node.
 ///
@@ -84,12 +134,17 @@ struct TraceState {
 /// where trace instrumentation hooks in. With no recorder attached
 /// (the default) every trace branch is one `OnceLock` load that sees
 /// `None`.
+/// Invariant: `total_retired ≡ retired_now + total_reclaimed` (every
+/// retire increments `retired_now`; every reclaim moves one unit from
+/// `retired_now` to `total_reclaimed`), so the total is *derived* in
+/// [`StatCells::snapshot`] rather than paid for with a third atomic RMW
+/// on the retire hot path. The counters are cache-padded: they are the
+/// only cross-thread-shared words on the retire/reclaim paths.
 #[derive(Debug, Default)]
 pub(crate) struct StatCells {
-    pub retired_now: AtomicUsize,
-    pub retired_peak: AtomicUsize,
-    pub total_retired: AtomicU64,
-    pub total_reclaimed: AtomicU64,
+    pub retired_now: CachePadded<AtomicUsize>,
+    pub retired_peak: CachePadded<AtomicUsize>,
+    pub total_reclaimed: CachePadded<AtomicU64>,
     trace: OnceLock<TraceState>,
 }
 
@@ -147,8 +202,12 @@ impl StatCells {
     /// an event payload).
     pub fn on_retire(&self) -> usize {
         let now = self.retired_now.fetch_add(1, Ordering::Relaxed) + 1;
-        self.retired_peak.fetch_max(now, Ordering::Relaxed);
-        self.total_retired.fetch_add(1, Ordering::Relaxed);
+        // Conditional peak update: in steady state (population cycling
+        // below a past high-water mark) this is one relaxed load, not an
+        // RMW. `fetch_max` settles races when the peak is moving.
+        if now > self.retired_peak.load(Ordering::Relaxed) {
+            self.retired_peak.fetch_max(now, Ordering::Relaxed);
+        }
         if let Some(t) = self.trace.get() {
             t.recorder.metrics().footprint_peak.record(now as u64);
         }
@@ -187,11 +246,16 @@ impl StatCells {
     }
 
     pub fn snapshot(&self, era: u64) -> SmrStats {
+        let retired_now = self.retired_now.load(Ordering::Relaxed);
+        let total_reclaimed = self.total_reclaimed.load(Ordering::Relaxed);
         SmrStats {
-            retired_now: self.retired_now.load(Ordering::Relaxed),
+            retired_now,
             retired_peak: self.retired_peak.load(Ordering::Relaxed),
-            total_retired: self.total_retired.load(Ordering::Relaxed),
-            total_reclaimed: self.total_reclaimed.load(Ordering::Relaxed),
+            // Derived (see the struct invariant): exact when quiescent,
+            // transiently off by in-flight retires otherwise — same as
+            // any multi-word counter snapshot.
+            total_retired: retired_now as u64 + total_reclaimed,
+            total_reclaimed,
             era,
         }
     }
@@ -318,7 +382,58 @@ pub trait Smr: Send + Sync {
     /// applies to the untagged address.
     fn load(&self, ctx: &mut Self::ThreadCtx, slot: usize, src: &AtomicUsize) -> usize {
         let _ = (ctx, slot);
+        // SAFETY(ordering): SeqCst — and it must stay SeqCst even though
+        // Acquire would suffice for *initialization* visibility. The
+        // epoch/era soundness argument for retire stamps is an SC chain:
+        //   reader link load ≺_S unlink CAS ≺_S retire-stamp load,
+        // which forces the stamp to be ≥ the epoch any concurrent reader
+        // announced before loading this link. Downgrading this load to
+        // Acquire removes the first ≺_S edge and lets a stamp land one
+        // epoch early, shrinking the grace period below two epochs. On
+        // x86-TSO a SeqCst load compiles to a plain MOV, so this costs
+        // nothing over Acquire.
         src.load(Ordering::SeqCst)
+    }
+
+    /// Whether this scheme's [`Smr::load`] protects by
+    /// *publish-and-validate* (HP/HE/IBR): the caller must re-validate
+    /// link words after a protected load before trusting the protection
+    /// (Michael's traversal discipline), and `load` may spin.
+    ///
+    /// Schemes protected by operation brackets alone (EBR/QSBR/leak/NBR)
+    /// return `false`, and structures may elide their per-step
+    /// re-validation when traversing under them — a validated link is
+    /// only a *protection* requirement, never a linearizability one
+    /// (every mutation is a CAS that re-checks its expected word). The
+    /// default matches the default (plain) `load`.
+    fn requires_validation(&self) -> bool {
+        false
+    }
+
+    /// Re-publishes, into `dst_slot`, the protection already
+    /// established for `word` in `src_slot` — without a new
+    /// validate/fence round trip. The canonical use is a traversal
+    /// rotating `curr` into its `prev` slot: the node is already
+    /// protected, so the transfer is a plain release store (HP/HE) or a
+    /// no-op (interval/epoch schemes).
+    ///
+    /// Contract (callers): `word` was returned by [`Smr::load`] into
+    /// `src_slot` during the current operation and that protection has
+    /// not since been released or overwritten; and `dst_slot >
+    /// src_slot`. The slot-order requirement is what makes the plain
+    /// release store sound: reclamation scans read slots in ascending
+    /// index order, so a scan that misses the (about-to-be-overwritten)
+    /// source slot reads the destination slot *later* and — because the
+    /// overwriting store is itself a release store, ordered after this
+    /// transfer — must observe the transferred protection.
+    fn protect_alias(
+        &self,
+        ctx: &mut Self::ThreadCtx,
+        dst_slot: usize,
+        src_slot: usize,
+        word: usize,
+    ) {
+        let _ = (ctx, dst_slot, src_slot, word);
     }
 
     /// Initializes the scheme header of a freshly allocated node.
@@ -451,15 +566,18 @@ pub unsafe trait SupportsUnlinkedTraversal: Smr {}
 pub unsafe trait EpochProtected: SupportsUnlinkedTraversal {}
 
 /// Lock-free slot registry: fixed capacity, acquire/release by CAS.
+/// Flags are cache-padded: `is_in_use` sits on every epoch-advance and
+/// scan path, and must not false-share with neighbouring slots'
+/// registration churn.
 #[derive(Debug)]
 pub(crate) struct SlotRegistry {
-    in_use: Box<[std::sync::atomic::AtomicBool]>,
+    in_use: Box<[CachePadded<std::sync::atomic::AtomicBool>]>,
 }
 
 impl SlotRegistry {
     pub fn new(capacity: usize) -> Self {
-        let v: Vec<std::sync::atomic::AtomicBool> = (0..capacity)
-            .map(|_| std::sync::atomic::AtomicBool::new(false))
+        let v: Vec<CachePadded<std::sync::atomic::AtomicBool>> = (0..capacity)
+            .map(|_| CachePadded::new(std::sync::atomic::AtomicBool::new(false)))
             .collect();
         SlotRegistry {
             in_use: v.into_boxed_slice(),
@@ -523,6 +641,36 @@ mod tests {
         assert!(is_marked(m));
         assert_eq!(untagged(m), p);
         assert_eq!(untagged(p), p);
+    }
+
+    #[test]
+    fn cache_padded_is_transparent_and_padded() {
+        assert!(std::mem::align_of::<CachePadded<AtomicU64>>() >= 128);
+        assert!(std::mem::size_of::<CachePadded<AtomicU64>>() >= 128);
+        let c = CachePadded::new(AtomicU64::new(7));
+        assert_eq!(c.load(Ordering::Relaxed), 7); // Deref into the atomic
+        c.store(9, Ordering::Relaxed);
+        assert_eq!(c.into_inner().into_inner(), 9);
+        let mut m = CachePadded::new(5u32);
+        *m = 6;
+        assert_eq!(*m, 6);
+        assert_eq!(CachePadded::from(3u8).into_inner(), 3);
+    }
+
+    #[test]
+    fn stat_cells_total_is_derived_from_the_invariant() {
+        // total_retired ≡ retired_now + total_reclaimed at every
+        // quiescent observation point.
+        let s = StatCells::default();
+        for _ in 0..5 {
+            s.on_retire();
+        }
+        s.on_reclaim(3);
+        let snap = s.snapshot(0);
+        assert_eq!(snap.retired_now, 2);
+        assert_eq!(snap.total_reclaimed, 3);
+        assert_eq!(snap.total_retired, 5);
+        assert_eq!(snap.retired_peak, 5);
     }
 
     #[test]

@@ -12,14 +12,29 @@
 //! epoch forever, the epoch never advances, and every subsequently
 //! retired node accumulates — the engine of the paper's Theorem 6.1
 //! construction (Figure 1).
+//!
+//! # Hot-path engineering
+//!
+//! The announce path is amortized DEBRA-style (Brown [8]): `end_op`
+//! leaves the announcement *standing* while it still matches the global
+//! epoch, and `begin_op` takes a fence-free fast path when it finds its
+//! own standing announcement current. This is sound because the
+//! standing value was published with a `SeqCst` fence the last time the
+//! slow path ran and nobody has overwritten it since — back-to-back
+//! operations in the same epoch are indistinguishable from one long
+//! protected region. The announcement is force-cleared every
+//! [`Ebr::CLEAR_EVERY`] operations, on [`Smr::flush`], and on context
+//! drop, which bounds how long an idle thread can pin the epoch at
+//! `announced + 1`. Announcement slots are cache-line padded: they are
+//! the most written shared words in the scheme.
 
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{fence, AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
 use era_obs::{Hook, Recorder, SchemeId, ThreadTracer};
 
 use crate::common::{
-    DropFn, RegisterError, Retired, SlotRegistry, Smr, SmrHeader, SmrStats, StatCells,
+    CachePadded, DropFn, RegisterError, Retired, SlotRegistry, Smr, SmrHeader, SmrStats, StatCells,
     SupportsUnlinkedTraversal,
 };
 
@@ -28,21 +43,32 @@ const QUIESCENT: u64 = u64::MAX;
 
 #[derive(Debug)]
 struct EbrInner {
-    epoch: AtomicU64,
-    announcements: Box<[AtomicU64]>,
+    epoch: CachePadded<AtomicU64>,
+    /// Per-thread epoch announcements, each on its own cache line: the
+    /// single most written-per-op shared word in the scheme, and the
+    /// classic false-sharing victim when packed.
+    announcements: Box<[CachePadded<AtomicU64>]>,
     registry: SlotRegistry,
     stats: StatCells,
     orphans: Mutex<Vec<Retired>>,
     retire_threshold: usize,
     /// Slot `i` was force-unpinned by [`Smr::neutralize`] and must
     /// restart its protected region before trusting any pointer.
-    neutralized: Box<[AtomicBool]>,
+    neutralized: Box<[CachePadded<AtomicBool>]>,
 }
 
 impl EbrInner {
     /// Advances the epoch if every registered, in-operation thread has
     /// announced the current value. Returns the (possibly new) epoch.
     fn try_advance(&self) -> u64 {
+        // SAFETY(ordering): the SeqCst fence pairs with the fence in
+        // `begin_op`'s announce path (Dekker): either this scan sees a
+        // concurrent announcement, or that thread's post-fence epoch
+        // re-read sees our subsequent advance and re-announces. Loads
+        // of epoch/announcements stay SeqCst (free on TSO: plain loads)
+        // so they participate in the same single total order as the
+        // announce/advance stores the argument is about.
+        fence(Ordering::SeqCst);
         let e = self.epoch.load(Ordering::SeqCst);
         for i in 0..self.registry.capacity() {
             if !self.registry.is_in_use(i) {
@@ -59,6 +85,10 @@ impl EbrInner {
             }
         }
         // CAS failure means someone else advanced; either way progress.
+        // SAFETY(ordering): SeqCst on the epoch bump keeps the advance
+        // in the total order the announce-path fences reason about; the
+        // advance is amortized (once per threshold batch), so strength
+        // here costs nothing on the per-op path.
         if self
             .epoch
             .compare_exchange(e, e + 1, Ordering::SeqCst, Ordering::SeqCst)
@@ -110,6 +140,11 @@ pub struct EbrCtx {
     lists: [Vec<Retired>; 3],
     list_epochs: [u64; 3],
     retired_since_scan: usize,
+    /// Inside a `begin_op`/`end_op` window right now. Guards the
+    /// announcement self-clear in [`Smr::flush`].
+    active: bool,
+    /// Operations since the standing announcement was last cleared.
+    ops_since_clear: u32,
 }
 
 impl EbrCtx {
@@ -134,7 +169,10 @@ impl Drop for EbrCtx {
             orphans.append(list);
         }
         drop(orphans);
-        self.inner.announcements[self.idx].store(QUIESCENT, Ordering::SeqCst);
+        // SAFETY(ordering): Release orders every access this thread made
+        // under its announcement before the quiescent mark becomes
+        // visible to an advancing scanner (which reads post-fence).
+        self.inner.announcements[self.idx].store(QUIESCENT, Ordering::Release);
         self.inner.registry.release(self.idx);
     }
 }
@@ -144,6 +182,11 @@ impl Ebr {
     /// attempt.
     pub const DEFAULT_RETIRE_THRESHOLD: usize = 64;
 
+    /// A standing announcement is force-cleared every this many
+    /// operations, bounding how long an idle thread's stale (but
+    /// epoch-current at the time) announcement can pin advancement.
+    pub const CLEAR_EVERY: u32 = 64;
+
     /// Creates an EBR instance for up to `max_threads` threads.
     pub fn new(max_threads: usize) -> Self {
         Self::with_threshold(max_threads, Self::DEFAULT_RETIRE_THRESHOLD)
@@ -151,14 +194,15 @@ impl Ebr {
 
     /// Creates an EBR instance with a custom retire threshold.
     pub fn with_threshold(max_threads: usize, retire_threshold: usize) -> Self {
-        let announcements: Vec<AtomicU64> = (0..max_threads)
-            .map(|_| AtomicU64::new(QUIESCENT))
+        let announcements: Vec<CachePadded<AtomicU64>> = (0..max_threads)
+            .map(|_| CachePadded::new(AtomicU64::new(QUIESCENT)))
             .collect();
-        let neutralized: Vec<AtomicBool> =
-            (0..max_threads).map(|_| AtomicBool::new(false)).collect();
+        let neutralized: Vec<CachePadded<AtomicBool>> = (0..max_threads)
+            .map(|_| CachePadded::new(AtomicBool::new(false)))
+            .collect();
         Ebr {
             inner: Arc::new(EbrInner {
-                epoch: AtomicU64::new(2), // start >1 so `e-2` never underflows
+                epoch: CachePadded::new(AtomicU64::new(2)), // start >1 so `e-2` never underflows
                 announcements: announcements.into_boxed_slice(),
                 registry: SlotRegistry::new(max_threads),
                 stats: StatCells::default(),
@@ -180,6 +224,8 @@ impl Smr for Ebr {
 
     fn register(&self) -> Result<EbrCtx, RegisterError> {
         let idx = self.inner.registry.acquire()?;
+        // SAFETY(ordering): registration is cold; SeqCst keeps the slot
+        // reset visible before any advance scan can consider this slot.
         self.inner.announcements[idx].store(QUIESCENT, Ordering::SeqCst);
         self.inner.neutralized[idx].store(false, Ordering::SeqCst);
         Ok(EbrCtx {
@@ -189,6 +235,8 @@ impl Smr for Ebr {
             lists: [Vec::new(), Vec::new(), Vec::new()],
             list_epochs: [0; 3],
             retired_since_scan: 0,
+            active: false,
+            ops_since_clear: 0,
         })
     }
 
@@ -201,12 +249,38 @@ impl Smr for Ebr {
     }
 
     fn begin_op(&self, ctx: &mut EbrCtx) {
-        // Announce the current epoch; re-read to narrow the window in
+        ctx.active = true;
+        let slot = &self.inner.announcements[ctx.idx];
+        // Fast path (DEBRA-style): `end_op` left our announcement
+        // standing and the epoch has not moved since. No store, no
+        // fence.
+        // SAFETY(ordering): the standing value was published with the
+        // slow path's SeqCst fence and nobody overwrote it (only this
+        // thread and `neutralize` write the slot; a neutralize write
+        // fails this equality check and falls through to the slow
+        // path). Since protection was never dropped in between,
+        // back-to-back operations under the same announcement are one
+        // long protected region — no new ordering is required. Both
+        // loads are SeqCst so they sit in the same total order as the
+        // advance CAS, but SeqCst loads compile to plain loads on TSO.
+        let e = self.inner.epoch.load(Ordering::SeqCst);
+        if slot.load(Ordering::SeqCst) == e {
+            ctx.tracer.emit(Hook::BeginOp, e, 0);
+            return;
+        }
+        // Slow path: (re-)announce; re-read to narrow the window in
         // which we announce a stale value (a stale announcement is safe
         // but blocks advancement).
         loop {
             let e = self.inner.epoch.load(Ordering::SeqCst);
-            self.inner.announcements[ctx.idx].store(e, Ordering::SeqCst);
+            // SAFETY(ordering): Relaxed store + SeqCst fence replaces
+            // the old SeqCst store (XCHG on x86). The fence is the
+            // StoreLoad barrier the Dekker argument with
+            // `try_advance`'s fence needs: either the scanner sees this
+            // announcement, or our post-fence epoch re-read sees the
+            // scanner's advance and we retry.
+            slot.store(e, Ordering::Relaxed);
+            fence(Ordering::SeqCst);
             if self.inner.epoch.load(Ordering::SeqCst) == e {
                 ctx.tracer.emit(Hook::BeginOp, e, 0);
                 break;
@@ -215,7 +289,23 @@ impl Smr for Ebr {
     }
 
     fn end_op(&self, ctx: &mut EbrCtx) {
-        self.inner.announcements[ctx.idx].store(QUIESCENT, Ordering::SeqCst);
+        ctx.active = false;
+        ctx.ops_since_clear += 1;
+        let slot = &self.inner.announcements[ctx.idx];
+        // Leave a still-current announcement standing so the next
+        // `begin_op` can take the fence-free fast path; clear it when it
+        // went stale (so the epoch can keep advancing) or periodically
+        // (so an idle thread cannot pin the epoch indefinitely).
+        let e = self.inner.epoch.load(Ordering::SeqCst);
+        if slot.load(Ordering::SeqCst) != e || ctx.ops_since_clear >= Ebr::CLEAR_EVERY {
+            ctx.ops_since_clear = 0;
+            // SAFETY(ordering): Release orders every traversal access
+            // of the finished operation before the quiescent mark; an
+            // advancer's fence + SeqCst announcement load observes
+            // either the protection or the completed quiescence, never
+            // a torn middle.
+            slot.store(QUIESCENT, Ordering::Release);
+        }
         ctx.tracer.emit(Hook::EndOp, 0, 0);
     }
 
@@ -226,6 +316,11 @@ impl Smr for Ebr {
         _header: *const SmrHeader,
         drop_fn: DropFn,
     ) {
+        // SAFETY(ordering): the retire stamp must be a SeqCst load (a
+        // plain load on TSO — no cost). It anchors the chain
+        // reader-link-load ≺ unlink-CAS ≺ this-load in the SeqCst total
+        // order, which bounds the stamp at ≥ any concurrent reader's
+        // announced epoch and makes `stamp + 2` a safe free horizon.
         let e = self.inner.epoch.load(Ordering::SeqCst);
         let slot = (e % 3) as usize;
         if ctx.list_epochs[slot] != e {
@@ -263,6 +358,9 @@ impl Smr for Ebr {
         if slot >= self.inner.registry.capacity() || !self.inner.registry.is_in_use(slot) {
             return false;
         }
+        // SAFETY(ordering): watchdog path, cold by construction; SeqCst
+        // keeps the flag/announcement pair totally ordered against the
+        // victim's `needs_restart` RMW and any advance scan.
         self.inner.neutralized[slot].store(true, Ordering::SeqCst);
         self.inner.announcements[slot].store(QUIESCENT, Ordering::SeqCst);
         self.inner.stats.event(Hook::Restart, slot as u64, 0);
@@ -270,6 +368,16 @@ impl Smr for Ebr {
     }
 
     fn needs_restart(&self, ctx: &mut EbrCtx) -> bool {
+        // SAFETY(ordering): polled every traversal hop, so the common
+        // not-neutralized case must not pay an RMW. A Relaxed miss of a
+        // concurrent neutralize only delays the restart by one poll —
+        // the victim's protection is already gone the moment the
+        // watchdog overwrote its announcement, so detection timing is a
+        // liveness matter, not a safety one. The confirming swap stays
+        // SeqCst, totally ordered against `neutralize`'s stores.
+        if !self.inner.neutralized[ctx.idx].load(Ordering::Relaxed) {
+            return false;
+        }
         self.inner.neutralized[ctx.idx].swap(false, Ordering::SeqCst)
     }
 
@@ -280,6 +388,13 @@ impl Smr for Ebr {
     }
 
     fn flush(&self, ctx: &mut EbrCtx) {
+        // Drop our own standing announcement first (unless we are mid-
+        // operation): otherwise the single-threaded flush would block on
+        // its own DEBRA-standing value.
+        if !ctx.active {
+            ctx.ops_since_clear = 0;
+            self.inner.announcements[ctx.idx].store(QUIESCENT, Ordering::Release);
+        }
         let e = self.inner.try_advance();
         let e = if e == self.inner.epoch.load(Ordering::SeqCst) {
             // A second attempt helps the common single-threaded case:

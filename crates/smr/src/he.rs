@@ -14,13 +14,13 @@
 //! published — exactly the Figure 2 scenario — so `He` does not
 //! implement [`SupportsUnlinkedTraversal`](crate::common::SupportsUnlinkedTraversal).
 
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{fence, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 
 use era_obs::{Hook, Recorder, SchemeId, ThreadTracer};
 
 use crate::common::{
-    DropFn, RegisterError, Retired, SlotRegistry, Smr, SmrHeader, SmrStats, StatCells,
+    CachePadded, DropFn, RegisterError, Retired, SlotRegistry, Smr, SmrHeader, SmrStats, StatCells,
 };
 
 /// Reservation slot value meaning "nothing reserved".
@@ -28,9 +28,11 @@ const NONE: u64 = u64::MAX;
 
 #[derive(Debug)]
 struct HeInner {
-    era: AtomicU64,
-    /// `capacity × k` era reservations.
-    reservations: Box<[AtomicU64]>,
+    era: CachePadded<AtomicU64>,
+    /// `capacity × k` era reservations, each line-padded: written on
+    /// every slow-path protected load by their single owner and read by
+    /// every scanner.
+    reservations: Box<[CachePadded<AtomicU64>]>,
     k: usize,
     registry: SlotRegistry,
     stats: StatCells,
@@ -41,25 +43,42 @@ struct HeInner {
 }
 
 impl HeInner {
-    /// The slot index of a published reservation era inside
-    /// `[birth, retire]`, if any (`index / k` is the owning thread).
-    fn protector(&self, reservations: &[u64], birth: u64, retire: u64) -> Option<usize> {
-        reservations
-            .iter()
-            .position(|&e| e != NONE && birth <= e && e <= retire)
+    /// Snapshot of the published reservations as a sorted
+    /// `(era, owner)` list. Sorting once turns the per-retired-node
+    /// lifetime-overlap test into a binary search (`partition_point`),
+    /// `O((R + T·k)·log(T·k))` per scan instead of a linear probe per
+    /// node.
+    fn reservation_snapshot(&self) -> Vec<(u64, usize)> {
+        // SAFETY(ordering): the SeqCst fence pairs with the fence in
+        // `load`'s publish path (protect-validate Dekker): either a
+        // reader's era reservation is visible to this scan, or the
+        // reader's post-fence era validation observes the advance that
+        // made its target node retirable and retries. Slot loads are in
+        // ascending index order — `protect_alias` relies on it (its
+        // destination slot store is sequenced before the source slot's
+        // next Release publish).
+        fence(Ordering::SeqCst);
+        let mut snap = Vec::with_capacity(self.reservations.len());
+        for (i, r) in self.reservations.iter().enumerate() {
+            let e = r.load(Ordering::SeqCst);
+            if e != NONE {
+                snap.push((e, i / self.k));
+            }
+        }
+        snap.sort_unstable();
+        snap
     }
 
     fn scan(&self, garbage: &mut Vec<Retired>) {
-        let snapshot: Vec<u64> = self
-            .reservations
-            .iter()
-            .map(|r| r.load(Ordering::SeqCst))
-            .collect();
+        let snapshot = self.reservation_snapshot();
         let before = garbage.len();
         let mut kept = Vec::new();
         for g in garbage.drain(..) {
-            if let Some(slot) = self.protector(&snapshot, g.birth_era, g.retire_era) {
-                self.stats.blocked(slot / self.k, 1);
+            // Smallest reserved era ≥ birth; the node is pinned iff it
+            // also falls at or before the retire era.
+            let i = snapshot.partition_point(|&(e, _)| e < g.birth_era);
+            if i < snapshot.len() && snapshot[i].0 <= g.retire_era {
+                self.stats.blocked(snapshot[i].1, 1);
                 kept.push(g);
             } else {
                 unsafe { self.stats.reclaim_node(g) };
@@ -109,12 +128,19 @@ pub struct HeCtx {
     garbage: Vec<Retired>,
     allocs: u64,
     retires: u64,
+    /// Private mirror of this thread's published reservation eras
+    /// (single-writer slots, so the mirror is always exact). Lets the
+    /// `load` fast path skip the publish + fence when the standing
+    /// reservation already covers the current era.
+    slot_eras: Vec<u64>,
 }
 
 impl Drop for HeCtx {
     fn drop(&mut self) {
         for s in 0..self.inner.k {
-            self.inner.reservations[self.idx * self.inner.k + s].store(NONE, Ordering::SeqCst);
+            // SAFETY(ordering): Release — orders the thread's last
+            // dereferences before the reservations clear.
+            self.inner.reservations[self.idx * self.inner.k + s].store(NONE, Ordering::Release);
         }
         self.inner.orphans.lock().unwrap().append(&mut self.garbage);
         self.inner.registry.release(self.idx);
@@ -147,11 +173,12 @@ impl He {
         era_frequency: u64,
     ) -> Self {
         assert!(k >= 1);
-        let reservations: Vec<AtomicU64> =
-            (0..max_threads * k).map(|_| AtomicU64::new(NONE)).collect();
+        let reservations: Vec<CachePadded<AtomicU64>> = (0..max_threads * k)
+            .map(|_| CachePadded::new(AtomicU64::new(NONE)))
+            .collect();
         He {
             inner: Arc::new(HeInner {
-                era: AtomicU64::new(1),
+                era: CachePadded::new(AtomicU64::new(1)),
                 reservations: reservations.into_boxed_slice(),
                 k,
                 registry: SlotRegistry::new(max_threads),
@@ -175,6 +202,8 @@ impl Smr for He {
     fn register(&self) -> Result<HeCtx, RegisterError> {
         let idx = self.inner.registry.acquire()?;
         for s in 0..self.inner.k {
+            // SAFETY(ordering): registration is cold; SeqCst keeps the
+            // slot reset visible before any scan considers this thread.
             self.inner.reservations[idx * self.inner.k + s].store(NONE, Ordering::SeqCst);
         }
         Ok(HeCtx {
@@ -184,6 +213,7 @@ impl Smr for He {
             garbage: Vec::new(),
             allocs: 0,
             retires: 0,
+            slot_eras: vec![NONE; self.inner.k],
         })
     }
 
@@ -202,7 +232,11 @@ impl Smr for He {
 
     fn end_op(&self, ctx: &mut HeCtx) {
         for s in 0..self.inner.k {
-            self.inner.reservations[ctx.idx * self.inner.k + s].store(NONE, Ordering::SeqCst);
+            // SAFETY(ordering): Release (plain store on x86, vs the old
+            // SeqCst XCHG) orders the operation's dereferences before
+            // the reservation clear becomes visible to a scanner.
+            self.inner.reservations[ctx.idx * self.inner.k + s].store(NONE, Ordering::Release);
+            ctx.slot_eras[s] = NONE;
         }
         ctx.tracer.emit(Hook::EndOp, 0, 0);
     }
@@ -211,11 +245,38 @@ impl Smr for He {
         assert!(slot < self.inner.k, "reservation slot out of range");
         let cell = &self.inner.reservations[ctx.idx * self.inner.k + slot];
         let mut era = self.inner.era.load(Ordering::SeqCst);
+        // Fast path: our standing reservation (published with a fence by
+        // an earlier slow-path load, never cleared since — the mirror is
+        // exact because the slot is single-writer) already covers the
+        // current era: no store, no fence.
+        // SAFETY(ordering): both validation loads are SeqCst (plain
+        // loads on TSO), so they cannot reorder: if a node born in era
+        // `era + 1` was published before our `src` read, the inserter's
+        // era read precedes its publish in the SeqCst order, so our
+        // second era load observes the advance and we fall through to
+        // the slow path instead of trusting a reservation that does not
+        // cover the new node's lifetime.
+        if ctx.slot_eras[slot] == era {
+            let p = src.load(Ordering::SeqCst);
+            if self.inner.era.load(Ordering::SeqCst) == era {
+                ctx.tracer.emit(Hook::Load, slot as u64, p as u64);
+                return p;
+            }
+            era = self.inner.era.load(Ordering::SeqCst);
+        }
         loop {
-            cell.store(era, Ordering::SeqCst);
+            // SAFETY(ordering): Release store + SeqCst fence replaces
+            // the old SeqCst store: the fence makes the reservation
+            // globally visible before the validating reads (pairs with
+            // the fence in `reservation_snapshot`); Release keeps the
+            // store ordered after any earlier `protect_alias` transfer
+            // out of this slot.
+            cell.store(era, Ordering::Release);
+            fence(Ordering::SeqCst);
             let p = src.load(Ordering::SeqCst);
             let now = self.inner.era.load(Ordering::SeqCst);
             if now == era {
+                ctx.slot_eras[slot] = era;
                 ctx.tracer.emit(Hook::Load, slot as u64, p as u64);
                 return p;
             }
@@ -223,7 +284,41 @@ impl Smr for He {
         }
     }
 
+    /// HE aliases protection by copying the *source slot's reservation
+    /// era* (which already covers the target node's lifetime up to now)
+    /// into the destination slot — often a no-op when both slots already
+    /// reserve the same era, and never a fence.
+    fn protect_alias(&self, ctx: &mut HeCtx, dst_slot: usize, src_slot: usize, word: usize) {
+        assert!(dst_slot < self.inner.k, "reservation slot out of range");
+        debug_assert!(
+            dst_slot > src_slot,
+            "alias transfer must target a higher-indexed slot"
+        );
+        let era = ctx.slot_eras[src_slot];
+        if ctx.slot_eras[dst_slot] == era {
+            return;
+        }
+        ctx.slot_eras[dst_slot] = era;
+        // SAFETY(ordering): Release store, no fence — the source slot
+        // keeps the era reserved until its next Release publish, which
+        // is sequenced after this store; an ascending-order scanner that
+        // observes the source re-published synchronizes-with it and
+        // sees this destination reservation.
+        self.inner.reservations[ctx.idx * self.inner.k + dst_slot].store(era, Ordering::Release);
+        ctx.tracer.emit(Hook::Load, dst_slot as u64, word as u64);
+    }
+
+    /// HE protection is era-based and established only by a completed
+    /// publish-validate cycle — traversals must revalidate.
+    fn requires_validation(&self) -> bool {
+        true
+    }
+
     fn init_header(&self, ctx: &mut HeCtx, header: &SmrHeader) {
+        // SAFETY(ordering): SeqCst loads/RMWs here are off the
+        // traversal hot path (one per allocation, advance once per
+        // `era_frequency`); keeping them SeqCst anchors birth stamps in
+        // the same total order the load validation reasons about.
         let e = self.inner.era.load(Ordering::SeqCst);
         header.birth_era.store(e, Ordering::SeqCst);
         ctx.allocs += 1;
@@ -245,6 +340,10 @@ impl Smr for He {
         } else {
             unsafe { (*header).birth_era.load(Ordering::SeqCst) }
         };
+        // SAFETY(ordering): SeqCst retire stamp (plain load on TSO) —
+        // it must not be satisfied early: a reader whose validated era
+        // equals the true retire era must have its era covered by the
+        // recorded `[birth, retire]` interval.
         let retire_era = self.inner.era.load(Ordering::SeqCst);
         ctx.garbage.push(Retired {
             ptr,

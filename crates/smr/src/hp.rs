@@ -15,20 +15,22 @@
 //! linked list** (Appendix E) — accordingly, `Hp` does *not* implement
 //! [`SupportsUnlinkedTraversal`](crate::common::SupportsUnlinkedTraversal).
 
-use std::collections::HashMap;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{fence, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 
 use era_obs::{Hook, Recorder, SchemeId, ThreadTracer};
 
 use crate::common::{
-    untagged, DropFn, RegisterError, Retired, SlotRegistry, Smr, SmrHeader, SmrStats, StatCells,
+    untagged, CachePadded, DropFn, RegisterError, Retired, SlotRegistry, Smr, SmrHeader, SmrStats,
+    StatCells,
 };
 
 #[derive(Debug)]
 struct HpInner {
-    /// `capacity × k` hazard slots; 0 = empty.
-    hazards: Box<[AtomicUsize]>,
+    /// `capacity × k` hazard slots; 0 = empty. Each slot is line-padded:
+    /// a slot is written on every protected load by its single owner and
+    /// read by every scanner — adjacent packed slots would false-share.
+    hazards: Box<[CachePadded<AtomicUsize>]>,
     k: usize,
     registry: SlotRegistry,
     stats: StatCells,
@@ -37,33 +39,49 @@ struct HpInner {
 }
 
 impl HpInner {
-    /// Published hazards, keyed by address, valued by the owning
-    /// thread slot (for stalled-thread blame).
-    fn hazard_map(&self) -> HashMap<usize, usize> {
-        let mut map = HashMap::new();
+    /// Snapshot of the published hazards as a sorted `(address, owner)`
+    /// list. Sorting once turns the per-retired-node membership test
+    /// into a binary search: a scan costs `O((R + T·k)·log(T·k))`
+    /// instead of the hash-map build + per-node probes it replaces.
+    fn hazard_snapshot(&self) -> Vec<(usize, usize)> {
+        // SAFETY(ordering): the SeqCst fence pairs with the fence in
+        // `load` (protect-validate Dekker): the caller's unlinks are
+        // ordered before this scan's hazard reads, so for any retired
+        // node either its reader's validation already failed (it will
+        // retry and re-publish) or the hazard is visible to this scan.
+        // The slot loads are performed in ascending index order — the
+        // `protect_alias` transfer argument relies on it (the source
+        // slot's overwrite is a Release store sequenced after the
+        // higher-indexed destination's store, so a scanner that sees
+        // the source overwritten synchronizes-with it and must see the
+        // destination).
+        fence(Ordering::SeqCst);
+        let mut snap = Vec::with_capacity(self.hazards.len());
         for (i, h) in self.hazards.iter().enumerate() {
             let v = h.load(Ordering::SeqCst);
             if v != 0 {
-                map.insert(v, i / self.k);
+                snap.push((v, i / self.k));
             }
         }
-        map
+        snap.sort_unstable();
+        snap
     }
 
     /// Frees every retired node not named by a hazard slot.
     fn scan(&self, garbage: &mut Vec<Retired>) {
-        let hazards = self.hazard_map();
+        let hazards = self.hazard_snapshot();
         let before = garbage.len();
         let mut kept = Vec::with_capacity(hazards.len().min(before));
         for g in garbage.drain(..) {
-            if let Some(&owner) = hazards.get(&(g.ptr as usize)) {
-                // Reclamation of this node is blocked by `owner`'s
-                // published hazard — HP's robustness means the blame
-                // list is also the bound on what survives.
-                self.stats.blocked(owner, 1);
-                kept.push(g);
-            } else {
-                unsafe { self.stats.reclaim_node(g) };
+            match hazards.binary_search_by(|&(a, _)| a.cmp(&(g.ptr as usize))) {
+                Ok(i) => {
+                    // Reclamation of this node is blocked by the owner's
+                    // published hazard — HP's robustness means the blame
+                    // list is also the bound on what survives.
+                    self.stats.blocked(hazards[i].1, 1);
+                    kept.push(g);
+                }
+                Err(_) => unsafe { self.stats.reclaim_node(g) },
             }
         }
         self.stats.on_reclaim(before - kept.len());
@@ -117,7 +135,8 @@ pub struct HpCtx {
 impl Drop for HpCtx {
     fn drop(&mut self) {
         for s in 0..self.inner.k {
-            self.inner.hazards[self.idx * self.inner.k + s].store(0, Ordering::SeqCst);
+            // SAFETY(ordering): Release — same argument as `end_op`.
+            self.inner.hazards[self.idx * self.inner.k + s].store(0, Ordering::Release);
         }
         self.inner.orphans.lock().unwrap().append(&mut self.garbage);
         self.inner.registry.release(self.idx);
@@ -137,7 +156,9 @@ impl Hp {
     /// Creates an HP instance with a custom scan threshold.
     pub fn with_threshold(max_threads: usize, k: usize, scan_threshold: usize) -> Self {
         assert!(k >= 1, "at least one hazard slot per thread");
-        let hazards: Vec<AtomicUsize> = (0..max_threads * k).map(|_| AtomicUsize::new(0)).collect();
+        let hazards: Vec<CachePadded<AtomicUsize>> = (0..max_threads * k)
+            .map(|_| CachePadded::new(AtomicUsize::new(0)))
+            .collect();
         Hp {
             inner: Arc::new(HpInner {
                 hazards: hazards.into_boxed_slice(),
@@ -168,6 +189,8 @@ impl Smr for Hp {
     fn register(&self) -> Result<HpCtx, RegisterError> {
         let idx = self.inner.registry.acquire()?;
         for s in 0..self.inner.k {
+            // SAFETY(ordering): registration is cold; SeqCst keeps the
+            // slot reset visible before any scan considers this thread.
             self.inner.hazards[idx * self.inner.k + s].store(0, Ordering::SeqCst);
         }
         Ok(HpCtx {
@@ -192,7 +215,12 @@ impl Smr for Hp {
 
     fn end_op(&self, ctx: &mut HpCtx) {
         for s in 0..self.inner.k {
-            self.inner.hazards[ctx.idx * self.inner.k + s].store(0, Ordering::SeqCst);
+            // SAFETY(ordering): Release (a plain store on x86, vs the
+            // XCHG the old SeqCst store compiled to) orders every
+            // dereference the operation made before the clear becomes
+            // visible; a scanner's fence + slot load then observes
+            // either the standing protection or the completed op.
+            self.inner.hazards[ctx.idx * self.inner.k + s].store(0, Ordering::Release);
         }
         ctx.tracer.emit(Hook::EndOp, 0, 0);
     }
@@ -202,7 +230,20 @@ impl Smr for Hp {
         let cell = &self.inner.hazards[ctx.idx * self.inner.k + slot];
         let mut cur = src.load(Ordering::SeqCst);
         loop {
-            cell.store(untagged(cur), Ordering::SeqCst);
+            // SAFETY(ordering): Release store + SeqCst fence replaces
+            // the old SeqCst store. The fence is the StoreLoad barrier
+            // of the protect-validate Dekker (pairs with the fence in
+            // `hazard_snapshot`): the publish is globally visible
+            // before the validating re-read, so a scan either sees the
+            // hazard or the unlink it raced is seen by the re-read and
+            // we retry. Release (not Relaxed) additionally keeps this
+            // store ordered after any earlier `protect_alias` transfer
+            // out of this slot — scanners rely on that ordering.
+            cell.store(untagged(cur), Ordering::Release);
+            fence(Ordering::SeqCst);
+            // SAFETY(ordering): SeqCst validating load (plain load on
+            // TSO) — also anchors readers in the SeqCst total order the
+            // retire-side reasoning uses.
             let again = src.load(Ordering::SeqCst);
             if again == cur {
                 ctx.tracer.emit(Hook::Load, slot as u64, cur as u64);
@@ -210,6 +251,35 @@ impl Smr for Hp {
             }
             cur = again;
         }
+    }
+
+    /// HP transfers protection between a thread's own slots without a
+    /// validate cycle: the destination inherits the *established*
+    /// protection of the source, so no fence and no re-read are needed.
+    /// See [`Smr::protect_alias`] for the contract (in particular
+    /// `dst_slot > src_slot`, which the ascending-index scan order in
+    /// [`HpInner::hazard_snapshot`] turns into a visibility guarantee).
+    fn protect_alias(&self, ctx: &mut HpCtx, dst_slot: usize, src_slot: usize, word: usize) {
+        assert!(dst_slot < self.inner.k, "hazard slot out of range");
+        debug_assert!(
+            dst_slot > src_slot,
+            "alias transfer must target a higher-indexed slot"
+        );
+        // SAFETY(ordering): Release store, no fence. Protection is
+        // continuous: the source slot keeps naming `word` until its
+        // next (Release) publish, which is sequenced after this store —
+        // an ascending-order scanner that finds the source overwritten
+        // synchronizes-with that overwrite and therefore sees `word`
+        // already parked in the higher-indexed destination.
+        self.inner.hazards[ctx.idx * self.inner.k + dst_slot]
+            .store(untagged(word), Ordering::Release);
+        ctx.tracer.emit(Hook::Load, dst_slot as u64, word as u64);
+    }
+
+    /// HP's protection is per-pointer, established only by a completed
+    /// protect-validate cycle — traversals must revalidate.
+    fn requires_validation(&self) -> bool {
+        true
     }
 
     unsafe fn retire(

@@ -16,25 +16,31 @@
 //! traverse retired chains, so no
 //! [`SupportsUnlinkedTraversal`](crate::common::SupportsUnlinkedTraversal).
 
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{fence, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 
 use era_obs::{Hook, Recorder, SchemeId, ThreadTracer};
 
 use crate::common::{
-    DropFn, RegisterError, Retired, SlotRegistry, Smr, SmrHeader, SmrStats, StatCells,
+    CachePadded, DropFn, RegisterError, Retired, SlotRegistry, Smr, SmrHeader, SmrStats, StatCells,
 };
 
 /// Interval bound meaning "no reservation".
 const NONE: u64 = u64::MAX;
 
+/// One thread's reserved era interval. Both bounds share a padded line:
+/// they are always written together by the single owning thread.
+#[derive(Debug)]
+struct Interval {
+    lower: AtomicU64,
+    upper: AtomicU64,
+}
+
 #[derive(Debug)]
 struct IbrInner {
-    era: AtomicU64,
-    /// Per-thread interval lower bounds.
-    lower: Box<[AtomicU64]>,
-    /// Per-thread interval upper bounds.
-    upper: Box<[AtomicU64]>,
+    era: CachePadded<AtomicU64>,
+    /// Per-thread interval reservations, one padded line per thread.
+    intervals: Box<[CachePadded<Interval>]>,
     registry: SlotRegistry,
     stats: StatCells,
     orphans: Mutex<Vec<Retired>>,
@@ -44,11 +50,22 @@ struct IbrInner {
 
 impl IbrInner {
     fn scan(&self, garbage: &mut Vec<Retired>) {
-        let intervals: Vec<(u64, u64)> = (0..self.registry.capacity())
-            .map(|i| {
+        // SAFETY(ordering): the SeqCst fence pairs with the fences in
+        // `begin_op`/`load` (publish-validate Dekker): a reader whose
+        // reservation this snapshot misses must see, after its own
+        // fence, the era advance that made its node retirable, and
+        // retries. A torn (lower, upper) pair is benign: `upper = NONE`
+        // reads as an unbounded interval (conservative keep), and
+        // `lower = NONE` only appears when the owner is outside any
+        // operation.
+        fence(Ordering::SeqCst);
+        let intervals: Vec<(u64, u64)> = self
+            .intervals
+            .iter()
+            .map(|iv| {
                 (
-                    self.lower[i].load(Ordering::SeqCst),
-                    self.upper[i].load(Ordering::SeqCst),
+                    iv.lower.load(Ordering::SeqCst),
+                    iv.upper.load(Ordering::SeqCst),
                 )
             })
             .collect();
@@ -109,12 +126,23 @@ pub struct IbrCtx {
     tracer: ThreadTracer,
     garbage: Vec<Retired>,
     allocs: u64,
+    /// Private mirror of this thread's published upper bound (the
+    /// interval is single-writer, so the mirror is exact). Lets `load`
+    /// skip the publish + fence when the standing interval already
+    /// covers the current era.
+    upper_mirror: u64,
 }
 
 impl Drop for IbrCtx {
     fn drop(&mut self) {
-        self.inner.lower[self.idx].store(NONE, Ordering::SeqCst);
-        self.inner.upper[self.idx].store(NONE, Ordering::SeqCst);
+        // SAFETY(ordering): Release — orders the thread's last accesses
+        // before the reservation clear.
+        self.inner.intervals[self.idx]
+            .lower
+            .store(NONE, Ordering::Release);
+        self.inner.intervals[self.idx]
+            .upper
+            .store(NONE, Ordering::Release);
         self.inner.orphans.lock().unwrap().append(&mut self.garbage);
         self.inner.registry.release(self.idx);
     }
@@ -138,17 +166,18 @@ impl Ibr {
     /// Creates an IBR instance with custom scan threshold and era
     /// frequency (allocations per era advance).
     pub fn with_params(max_threads: usize, scan_threshold: usize, era_frequency: u64) -> Self {
-        let mk = |v: u64| -> Box<[AtomicU64]> {
-            (0..max_threads)
-                .map(|_| AtomicU64::new(v))
-                .collect::<Vec<_>>()
-                .into_boxed_slice()
-        };
+        let intervals: Vec<CachePadded<Interval>> = (0..max_threads)
+            .map(|_| {
+                CachePadded::new(Interval {
+                    lower: AtomicU64::new(NONE),
+                    upper: AtomicU64::new(NONE),
+                })
+            })
+            .collect();
         Ibr {
             inner: Arc::new(IbrInner {
-                era: AtomicU64::new(1),
-                lower: mk(NONE),
-                upper: mk(NONE),
+                era: CachePadded::new(AtomicU64::new(1)),
+                intervals: intervals.into_boxed_slice(),
                 registry: SlotRegistry::new(max_threads),
                 stats: StatCells::default(),
                 orphans: Mutex::new(Vec::new()),
@@ -169,14 +198,21 @@ impl Smr for Ibr {
 
     fn register(&self) -> Result<IbrCtx, RegisterError> {
         let idx = self.inner.registry.acquire()?;
-        self.inner.lower[idx].store(NONE, Ordering::SeqCst);
-        self.inner.upper[idx].store(NONE, Ordering::SeqCst);
+        // SAFETY(ordering): registration is cold; SeqCst keeps the slot
+        // reset visible before any scan considers this thread.
+        self.inner.intervals[idx]
+            .lower
+            .store(NONE, Ordering::SeqCst);
+        self.inner.intervals[idx]
+            .upper
+            .store(NONE, Ordering::SeqCst);
         Ok(IbrCtx {
             inner: Arc::clone(&self.inner),
             idx,
             tracer: self.inner.stats.tracer(idx),
             garbage: Vec::new(),
             allocs: 0,
+            upper_mirror: NONE,
         })
     }
 
@@ -190,34 +226,76 @@ impl Smr for Ibr {
 
     fn begin_op(&self, ctx: &mut IbrCtx) {
         let e = self.inner.era.load(Ordering::SeqCst);
-        self.inner.lower[ctx.idx].store(e, Ordering::SeqCst);
-        self.inner.upper[ctx.idx].store(e, Ordering::SeqCst);
+        let iv = &self.inner.intervals[ctx.idx];
+        // SAFETY(ordering): two Relaxed stores + one SeqCst fence
+        // replace the two SeqCst stores (two XCHG on x86) the old code
+        // issued. The fence is the StoreLoad barrier of the
+        // publish-validate Dekker (pairs with the fence in `scan`): the
+        // reservation is globally visible before any of the operation's
+        // protected reads.
+        iv.lower.store(e, Ordering::Relaxed);
+        iv.upper.store(e, Ordering::Relaxed);
+        fence(Ordering::SeqCst);
+        ctx.upper_mirror = e;
         ctx.tracer.emit(Hook::BeginOp, e, 0);
     }
 
     fn end_op(&self, ctx: &mut IbrCtx) {
-        self.inner.lower[ctx.idx].store(NONE, Ordering::SeqCst);
-        self.inner.upper[ctx.idx].store(NONE, Ordering::SeqCst);
+        let iv = &self.inner.intervals[ctx.idx];
+        // SAFETY(ordering): Release (plain stores on x86) orders the
+        // operation's dereferences before the clear. Clearing `lower`
+        // first is deliberate: a scanner that reads the pair torn sees
+        // (NONE, old) and skips us — correct, the operation is over.
+        iv.lower.store(NONE, Ordering::Release);
+        iv.upper.store(NONE, Ordering::Release);
+        ctx.upper_mirror = NONE;
         ctx.tracer.emit(Hook::EndOp, 0, 0);
     }
 
     fn load(&self, ctx: &mut IbrCtx, _slot: usize, src: &AtomicUsize) -> usize {
-        let upper = &self.inner.upper[ctx.idx];
+        let iv = &self.inner.intervals[ctx.idx];
         let mut e = self.inner.era.load(Ordering::SeqCst);
-        loop {
-            // Extend the reservation to cover era `e` *before* using the
-            // pointer, then validate the clock did not move.
-            if upper.load(Ordering::SeqCst) < e || upper.load(Ordering::SeqCst) == NONE {
-                upper.store(e, Ordering::SeqCst);
+        // Fast path: the standing interval (published with a fence by
+        // `begin_op` or an earlier slow-path load; the mirror is exact
+        // because the interval is single-writer) already covers the
+        // current era — no store, no fence.
+        // SAFETY(ordering): the two SeqCst loads cannot reorder: if a
+        // node born in era `e + 1` was published before our `src` read,
+        // the inserter's era read precedes its publish in the SeqCst
+        // order, so the era re-read observes the advance and we fall
+        // through to the slow path (our interval does not cover the new
+        // node's birth era).
+        if ctx.upper_mirror != NONE && ctx.upper_mirror >= e {
+            let p = src.load(Ordering::SeqCst);
+            if self.inner.era.load(Ordering::SeqCst) == e {
+                ctx.tracer.emit(Hook::Load, 0, p as u64);
+                return p;
             }
+            e = self.inner.era.load(Ordering::SeqCst);
+        }
+        loop {
+            // Extend the reservation to cover era `e` *before* using
+            // the pointer, then validate the clock did not move.
+            // SAFETY(ordering): Release store + SeqCst fence (pairs
+            // with the fence in `scan`) replaces the old SeqCst store;
+            // the validating loads are SeqCst (plain loads on TSO).
+            iv.upper.store(e, Ordering::Release);
+            fence(Ordering::SeqCst);
             let p = src.load(Ordering::SeqCst);
             let now = self.inner.era.load(Ordering::SeqCst);
             if now == e {
+                ctx.upper_mirror = e;
                 ctx.tracer.emit(Hook::Load, 0, p as u64);
                 return p;
             }
             e = now;
         }
+    }
+
+    /// IBR protection is interval-based and established only by a
+    /// completed publish-validate cycle — traversals must revalidate.
+    fn requires_validation(&self) -> bool {
+        true
     }
 
     fn init_header(&self, ctx: &mut IbrCtx, header: &SmrHeader) {
@@ -242,6 +320,9 @@ impl Smr for Ibr {
         } else {
             unsafe { (*header).birth_era.load(Ordering::SeqCst) }
         };
+        // SAFETY(ordering): SeqCst retire stamp (plain load on TSO) —
+        // must not be satisfied early, or a reader's validated era
+        // could fall outside the recorded `[birth, retire]` lifetime.
         let retire_era = self.inner.era.load(Ordering::SeqCst);
         ctx.garbage.push(Retired {
             ptr,
@@ -376,16 +457,16 @@ mod tests {
         let smr = Ibr::with_params(1, 64, 1);
         let mut ctx = smr.register().unwrap();
         smr.begin_op(&mut ctx);
-        let e1 = smr.inner.lower[0].load(Ordering::SeqCst);
+        let e1 = smr.inner.intervals[0].lower.load(Ordering::SeqCst);
         smr.end_op(&mut ctx);
-        assert_eq!(smr.inner.lower[0].load(Ordering::SeqCst), NONE);
+        assert_eq!(smr.inner.intervals[0].lower.load(Ordering::SeqCst), NONE);
         // Advance the era, begin again: fresh interval.
         let mut tmp = Vec::new();
         for i in 0..8 {
             tmp.push(alloc_node(&smr, &mut ctx, i));
         }
         smr.begin_op(&mut ctx);
-        let e2 = smr.inner.lower[0].load(Ordering::SeqCst);
+        let e2 = smr.inner.intervals[0].lower.load(Ordering::SeqCst);
         assert!(e2 > e1);
         smr.end_op(&mut ctx);
         for n in tmp {

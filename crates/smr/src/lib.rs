@@ -74,5 +74,5 @@ pub mod qsbr;
 pub mod vbr;
 
 pub use common::{
-    EpochProtected, RegisterError, Smr, SmrHeader, SmrStats, SupportsUnlinkedTraversal,
+    CachePadded, EpochProtected, RegisterError, Smr, SmrHeader, SmrStats, SupportsUnlinkedTraversal,
 };

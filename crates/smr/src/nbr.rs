@@ -37,8 +37,8 @@ use std::sync::{Arc, Mutex};
 use era_obs::{Hook, Recorder, SchemeId, ThreadTracer};
 
 use crate::common::{
-    untagged, DropFn, RegisterError, Retired, SlotRegistry, Smr, SmrHeader, SmrStats, StatCells,
-    SupportsUnlinkedTraversal,
+    untagged, CachePadded, DropFn, RegisterError, Retired, SlotRegistry, Smr, SmrHeader, SmrStats,
+    StatCells, SupportsUnlinkedTraversal,
 };
 
 /// Thread state: not inside any operation.
@@ -54,10 +54,15 @@ const WAIT_SPINS: usize = 100_000;
 struct NbrInner {
     round: AtomicU64,
     /// Per-thread acknowledgement: QUIESCENT, IN_WRITE, or the latest
-    /// acknowledged round.
-    acked: Box<[AtomicU64]>,
-    /// `capacity × k` reservation slots (untagged node addresses).
-    reservations: Box<[AtomicUsize]>,
+    /// acknowledged round. Cache-padded: each slot is written by exactly
+    /// one thread on its hot path, so sharing a line would cause false
+    /// sharing between neighbouring thread indices.
+    acked: Box<[CachePadded<AtomicU64>]>,
+    /// `capacity × k` reservation slots (untagged node addresses),
+    /// padded per *thread* group: the k slots of one thread stay close
+    /// together (they are written together in the write phase) while
+    /// different threads land on different cache lines.
+    reservations: Box<[CachePadded<AtomicUsize>]>,
     k: usize,
     registry: SlotRegistry,
     stats: StatCells,
@@ -185,11 +190,12 @@ impl Nbr {
     /// Creates an NBR instance with a custom retire threshold.
     pub fn with_threshold(max_threads: usize, k: usize, retire_threshold: usize) -> Self {
         assert!(k >= 1);
-        let acked: Vec<AtomicU64> = (0..max_threads)
-            .map(|_| AtomicU64::new(QUIESCENT))
+        let acked: Vec<CachePadded<AtomicU64>> = (0..max_threads)
+            .map(|_| CachePadded::new(AtomicU64::new(QUIESCENT)))
             .collect();
-        let reservations: Vec<AtomicUsize> =
-            (0..max_threads * k).map(|_| AtomicUsize::new(0)).collect();
+        let reservations: Vec<CachePadded<AtomicUsize>> = (0..max_threads * k)
+            .map(|_| CachePadded::new(AtomicUsize::new(0)))
+            .collect();
         Nbr {
             inner: Arc::new(NbrInner {
                 round: AtomicU64::new(1),

@@ -21,34 +21,42 @@
 //!   are protected until the trailing grace period, so it composes with
 //!   Harris-style structures.
 
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{fence, AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
 use era_obs::{Hook, Recorder, SchemeId, ThreadTracer};
 
 use crate::common::{
-    DropFn, RegisterError, Retired, SlotRegistry, Smr, SmrHeader, SmrStats, StatCells,
+    CachePadded, DropFn, RegisterError, Retired, SlotRegistry, Smr, SmrHeader, SmrStats, StatCells,
     SupportsUnlinkedTraversal,
 };
 
 #[derive(Debug)]
 struct QsbrInner {
-    grace: AtomicU64,
+    grace: CachePadded<AtomicU64>,
     /// Latest grace period each slot has announced quiescence in.
-    announced: Box<[AtomicU64]>,
+    /// Line-padded: written once per operation per thread.
+    announced: Box<[CachePadded<AtomicU64>]>,
     registry: SlotRegistry,
     stats: StatCells,
     orphans: Mutex<Vec<Retired>>,
     retire_threshold: usize,
     /// Slot `i` had quiescence announced *on its behalf* by
     /// [`Smr::neutralize`] and must restart before trusting pointers.
-    neutralized: Box<[AtomicBool]>,
+    neutralized: Box<[CachePadded<AtomicBool>]>,
 }
 
 impl QsbrInner {
     /// Advances the grace period if every registered thread has
     /// announced the current one.
     fn try_advance(&self) -> u64 {
+        // SAFETY(ordering): SeqCst fence pairs with the fence in
+        // `begin_op`'s slow path (Dekker): either this scan observes a
+        // thread's fresh not-quiescent announcement, or that thread's
+        // post-fence grace re-read observes any advance we publish.
+        // The loads stay SeqCst (plain loads on TSO) so they sit in the
+        // same total order as the announcement stores.
+        fence(Ordering::SeqCst);
         let g = self.grace.load(Ordering::SeqCst);
         for i in 0..self.registry.capacity() {
             if self.registry.is_in_use(i) && self.announced[i].load(Ordering::SeqCst) < g {
@@ -59,6 +67,9 @@ impl QsbrInner {
                 return g;
             }
         }
+        // SAFETY(ordering): SeqCst CAS keeps the advance in the total
+        // order the announce fences reason about; advancing is amortized
+        // off the per-operation path, so strength here is free.
         if self
             .grace
             .compare_exchange(g, g + 1, Ordering::SeqCst, Ordering::SeqCst)
@@ -112,7 +123,9 @@ impl Drop for QsbrCtx {
     fn drop(&mut self) {
         self.inner.orphans.lock().unwrap().append(&mut self.garbage);
         // A departing thread counts as permanently quiescent.
-        self.inner.announced[self.idx].store(u64::MAX, Ordering::SeqCst);
+        // SAFETY(ordering): Release orders the thread's last accesses
+        // before its permanent-quiescence mark.
+        self.inner.announced[self.idx].store(u64::MAX, Ordering::Release);
         self.inner.registry.release(self.idx);
     }
 }
@@ -128,13 +141,15 @@ impl Qsbr {
 
     /// Creates a QSBR instance with a custom retire threshold.
     pub fn with_threshold(max_threads: usize, retire_threshold: usize) -> Self {
-        let announced: Vec<AtomicU64> =
-            (0..max_threads).map(|_| AtomicU64::new(u64::MAX)).collect();
-        let neutralized: Vec<AtomicBool> =
-            (0..max_threads).map(|_| AtomicBool::new(false)).collect();
+        let announced: Vec<CachePadded<AtomicU64>> = (0..max_threads)
+            .map(|_| CachePadded::new(AtomicU64::new(u64::MAX)))
+            .collect();
+        let neutralized: Vec<CachePadded<AtomicBool>> = (0..max_threads)
+            .map(|_| CachePadded::new(AtomicBool::new(false)))
+            .collect();
         Qsbr {
             inner: Arc::new(QsbrInner {
-                grace: AtomicU64::new(2),
+                grace: CachePadded::new(AtomicU64::new(2)),
                 announced: announced.into_boxed_slice(),
                 registry: SlotRegistry::new(max_threads),
                 stats: StatCells::default(),
@@ -158,10 +173,25 @@ impl Qsbr {
     /// arbitrary code locations — QSBR is not easily integrated).
     pub fn quiescent(&self, ctx: &mut QsbrCtx) {
         let g = self.inner.grace.load(Ordering::SeqCst);
-        self.inner.announced[ctx.idx].store(g, Ordering::SeqCst);
+        let slot = &self.inner.announced[ctx.idx];
+        if slot.load(Ordering::SeqCst) != g {
+            // SAFETY(ordering): Release suffices for a quiescence
+            // announcement — it is a claim about the *past* ("every
+            // access I made is before this store"), so it only needs to
+            // order prior accesses, not gate future ones. A delayed
+            // propagation merely delays reclamation, never unsafety.
+            slot.store(g, Ordering::Release);
+        }
         ctx.tracer.emit(Hook::Reserve, g, 0);
-        let g = self.inner.try_advance();
-        self.collect(ctx, g);
+        // Amortization: with no local garbage there is nothing a grace
+        // advance could free for us — skip the O(threads) scan entirely.
+        // Read-dominated workloads hit this path almost every time,
+        // making the quiescent point O(1). Threads with garbage still
+        // scan (retire() additionally scans on its own threshold).
+        if !ctx.garbage.is_empty() {
+            let g = self.inner.try_advance();
+            self.collect(ctx, g);
+        }
     }
 
     fn collect(&self, ctx: &mut QsbrCtx, grace: u64) {
@@ -187,6 +217,8 @@ impl Smr for Qsbr {
     fn register(&self) -> Result<QsbrCtx, RegisterError> {
         let idx = self.inner.registry.acquire()?;
         // A fresh thread is quiescent until it touches anything.
+        // SAFETY(ordering): registration is cold; SeqCst keeps the slot
+        // reset visible before any advance scan can consider this slot.
         self.inner.announced[idx].store(u64::MAX, Ordering::SeqCst);
         self.inner.neutralized[idx].store(false, Ordering::SeqCst);
         Ok(QsbrCtx {
@@ -210,8 +242,28 @@ impl Smr for Qsbr {
     /// thread's standing quiescence (it is about to hold references).
     fn begin_op(&self, ctx: &mut QsbrCtx) {
         let g = self.inner.grace.load(Ordering::SeqCst);
-        // `g - 1`: quiescent up to the previous period, not the current.
-        self.inner.announced[ctx.idx].store(g.saturating_sub(1), Ordering::SeqCst);
+        let target = g.saturating_sub(1); // quiescent up to the previous period, not the current
+        let slot = &self.inner.announced[ctx.idx];
+        // Fast path: our announcement already claims no quiescence in
+        // the current period (a previous `begin_op` in the same grace
+        // period published it, with a fence). Re-storing the same or a
+        // lower value would change nothing a scanner can observe.
+        // SAFETY(ordering): the standing value was fenced when first
+        // published and only this thread (or `neutralize`, which writes
+        // the *current* grace and therefore fails this check) writes the
+        // slot — consecutive operations in one grace period form one
+        // continuous not-quiescent region.
+        if slot.load(Ordering::SeqCst) <= target {
+            ctx.tracer.emit(Hook::BeginOp, g, 0);
+            return;
+        }
+        // SAFETY(ordering): Relaxed store + SeqCst fence (StoreLoad)
+        // replaces the old SeqCst store: the not-quiescent announcement
+        // must be visible before any of the operation's shared loads,
+        // or an advancing thread could treat us as quiescent for two
+        // consecutive periods and free nodes we are about to reach.
+        slot.store(target, Ordering::Relaxed);
+        fence(Ordering::SeqCst);
         ctx.tracer.emit(Hook::BeginOp, g, 0);
     }
 
@@ -227,6 +279,10 @@ impl Smr for Qsbr {
         _header: *const SmrHeader,
         drop_fn: DropFn,
     ) {
+        // SAFETY(ordering): SeqCst stamp load (plain load on TSO) — it
+        // anchors the reader-load ≺ unlink ≺ stamp-load chain in the
+        // SeqCst total order, bounding the stamp at ≥ any concurrent
+        // reader's announced period so `stamp + 2` is a safe horizon.
         let g = self.inner.grace.load(Ordering::SeqCst);
         ctx.garbage.push(Retired {
             ptr,
@@ -253,6 +309,9 @@ impl Smr for Qsbr {
         if slot >= self.inner.registry.capacity() || !self.inner.registry.is_in_use(slot) {
             return false;
         }
+        // SAFETY(ordering): watchdog path, cold by construction; SeqCst
+        // keeps the flag/announcement pair totally ordered against the
+        // victim's `needs_restart` RMW and any advance scan.
         self.inner.neutralized[slot].store(true, Ordering::SeqCst);
         let g = self.inner.grace.load(Ordering::SeqCst);
         self.inner.announced[slot].store(g, Ordering::SeqCst);
@@ -261,6 +320,13 @@ impl Smr for Qsbr {
     }
 
     fn needs_restart(&self, ctx: &mut QsbrCtx) -> bool {
+        // SAFETY(ordering): same shape as EBR — Relaxed fast path for
+        // the common not-neutralized poll (no RMW per hop); a missed
+        // flag only delays restart detection, it does not extend any
+        // protection. The confirming swap stays SeqCst.
+        if !self.inner.neutralized[ctx.idx].load(Ordering::Relaxed) {
+            return false;
+        }
         self.inner.neutralized[ctx.idx].swap(false, Ordering::SeqCst)
     }
 

@@ -1,0 +1,84 @@
+//! Min-of-reps single-thread traversal microbenchmark (E9 companion).
+//!
+//! Measures ns/op for read-heavy searches under EBR/HP/leak across
+//! key ranges, with a min-of-many-repetitions estimator: on a shared
+//! 1-vCPU host, wall-clock medians swing by ±50% between consecutive
+//! runs, but the *minimum* over 31 repetitions tracks the true cost —
+//! scheduler noise only ever adds time. EXPERIMENTS.md E9 uses this
+//! probe (built identically on both sides, run interleaved A/B) to
+//! attribute throughput deltas to the scheme hot paths.
+//!
+//! Run with: `cargo run --release --example hotpath_min`
+
+use std::time::Instant;
+
+use era::ds::{HarrisList, MichaelList};
+use era::smr::common::{Smr, SupportsUnlinkedTraversal};
+use era::smr::ebr::Ebr;
+use era::smr::hp::Hp;
+use era::smr::leak::Leak;
+use era::smr::nbr::Nbr;
+
+const OPS_PER_REP: usize = 100_000;
+const REPS: usize = 31;
+
+fn lcg(state: &mut u64) -> u64 {
+    *state = state
+        .wrapping_mul(6364136223846793005)
+        .wrapping_add(1442695040888963407);
+    *state >> 33
+}
+
+/// Times `REPS` repetitions of `OPS_PER_REP` calls to `op` (fed seeded
+/// pseudo-random keys in `[lo, lo + span)`) and prints min/p25/median.
+fn measure(name: &str, lo: i64, span: i64, mut op: impl FnMut(i64) -> bool) {
+    let mut times: Vec<f64> = Vec::with_capacity(REPS);
+    let mut sink = 0usize;
+    for rep in 0..REPS {
+        let mut rng = 0x9E37_79B9_7F4A_7C15u64 ^ (rep as u64);
+        let start = Instant::now();
+        for _ in 0..OPS_PER_REP {
+            let k = lo + (lcg(&mut rng) % span as u64) as i64;
+            sink += op(k) as usize;
+        }
+        times.push(start.elapsed().as_secs_f64() * 1e9 / OPS_PER_REP as f64);
+    }
+    times.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    println!(
+        "{name}: min {:.1} ns/op  p25 {:.1}  median {:.1}  (sink {sink})",
+        times[0],
+        times[REPS / 4],
+        times[REPS / 2]
+    );
+}
+
+fn bench_michael<S: Smr>(name: &str, smr: &S, key_range: i64) {
+    let list = MichaelList::new(smr);
+    let mut ctx = smr.register().expect("capacity");
+    for k in (0..key_range).step_by(2) {
+        list.insert(&mut ctx, k);
+    }
+    measure(name, 0, key_range, |k| list.contains(&mut ctx, k));
+}
+
+fn bench_harris<S: Smr + SupportsUnlinkedTraversal>(name: &str, smr: &S, key_range: i64) {
+    let list = HarrisList::new(smr);
+    let mut ctx = smr.register().expect("capacity");
+    for k in (2..key_range).step_by(2) {
+        list.insert(&mut ctx, k);
+    }
+    // Keys start at 1: the Harris sentinels reserve i64::MIN/MAX.
+    measure(name, 1, key_range - 1, |k| list.contains(&mut ctx, k));
+}
+
+fn main() {
+    for kr in [16i64, 32, 64, 128, 1024] {
+        println!("-- key_range {kr}");
+        bench_michael("michael+ebr ", &Ebr::new(2), kr);
+        bench_michael("michael+hp  ", &Hp::new(2, 3), kr);
+        bench_michael("michael+leak", &Leak::new(2), kr);
+        bench_harris("harris+ebr  ", &Ebr::new(2), kr);
+        bench_harris("harris+leak ", &Leak::new(2), kr);
+        bench_harris("harris+nbr  ", &Nbr::new(2, 2), kr);
+    }
+}

@@ -1,0 +1,183 @@
+//! Ordering-downgrade regression net: multi-thread protect / retire /
+//! reclaim hammering for every scheme whose memory orderings were
+//! relaxed from blanket `SeqCst` to `Acquire`/`Release`/`Relaxed` +
+//! explicit fences (EBR, QSBR, HP, HE, IBR).
+//!
+//! The harness publishes nodes through a small array of shared slots.
+//! Writers swap fresh nodes in and retire the displaced ones; readers
+//! take protected loads and check the node's canary word. A reclaimed
+//! node is **poisoned, not freed**: its drop function overwrites the
+//! canary and leaks the allocation, so a protection bug (a reader
+//! holding a node whose reclamation the fences should have forbidden)
+//! shows up as a deterministic canary assertion instead of an
+//! undiagnosable segfault. The leak is bounded by the iteration count
+//! and reclaimed at process exit.
+//!
+//! For the epoch/interval schemes the test also bounds `retired_peak`:
+//! with every thread live and threshold T, garbage must keep draining,
+//! so a peak anywhere near `total_retired` means a fence bug silently
+//! stopped epoch/era advancement even though nothing crashed.
+//!
+//! NBR is exercised through `real_schemes.rs` (HarrisList + the
+//! neutralization hooks); its orderings were not touched.
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+use era::smr::common::{Smr, SmrHeader};
+use era::smr::{ebr::Ebr, he::He, hp::Hp, ibr::Ibr, qsbr::Qsbr};
+
+/// Value a live node's canary holds from allocation to reclamation.
+const CANARY: u64 = 0xA11A_C0DE_CAFE_F00D;
+/// Value the drop function writes over the canary.
+const POISON: u64 = 0xDEAD_BEEF_DEAD_BEEF;
+
+const SLOTS: usize = 4;
+const WRITERS: usize = 2;
+const READERS: usize = 2;
+const ITERS: usize = 3_000;
+const THRESHOLD: usize = 64;
+
+#[repr(C)]
+struct Node {
+    header: SmrHeader,
+    canary: AtomicU64,
+}
+
+fn alloc_node() -> *mut Node {
+    Box::into_raw(Box::new(Node {
+        header: SmrHeader::new(),
+        canary: AtomicU64::new(CANARY),
+    }))
+}
+
+/// "Reclaims" a node by poisoning its canary. The allocation is
+/// deliberately leaked (see module docs): memory stays mapped so a
+/// racing reader observes POISON instead of faulting.
+unsafe fn poison_node(p: *mut u8) {
+    let node = p as *const Node;
+    unsafe { (*node).canary.store(POISON, Ordering::SeqCst) };
+}
+
+fn hammer<S: Smr + Sync>(smr: &S) -> era::smr::SmrStats {
+    let shared: Vec<AtomicUsize> = (0..SLOTS).map(|_| AtomicUsize::new(0)).collect();
+    {
+        let mut ctx = smr.register().unwrap();
+        for s in &shared {
+            let node = alloc_node();
+            smr.init_header(&mut ctx, unsafe { &(*node).header });
+            s.store(node as usize, Ordering::SeqCst);
+        }
+    }
+    std::thread::scope(|sc| {
+        for w in 0..WRITERS {
+            let shared = &shared;
+            sc.spawn(move || {
+                let mut ctx = smr.register().unwrap();
+                for i in 0..ITERS {
+                    smr.begin_op(&mut ctx);
+                    let fresh = alloc_node();
+                    smr.init_header(&mut ctx, unsafe { &(*fresh).header });
+                    // SC swap = the unlink step: after it, no reader can
+                    // newly reach `old`, so retiring it is well-formed.
+                    let old = shared[(w + i) % SLOTS].swap(fresh as usize, Ordering::SeqCst);
+                    let old_node = old as *const Node;
+                    assert_ne!(
+                        unsafe { (*old_node).canary.load(Ordering::SeqCst) },
+                        POISON,
+                        "double reclamation: unlinked a node already poisoned"
+                    );
+                    unsafe {
+                        smr.retire(&mut ctx, old as *mut u8, &(*old_node).header, poison_node);
+                    }
+                    smr.end_op(&mut ctx);
+                    smr.quiescent_point(&mut ctx);
+                }
+                for _ in 0..4 {
+                    smr.flush(&mut ctx);
+                }
+            });
+        }
+        for r in 0..READERS {
+            let shared = &shared;
+            sc.spawn(move || {
+                let mut ctx = smr.register().unwrap();
+                for i in 0..ITERS {
+                    smr.begin_op(&mut ctx);
+                    let word = smr.load(&mut ctx, 0, &shared[(r + i) % SLOTS]);
+                    let node = word as *const Node;
+                    // The protected load must keep the node unreclaimed
+                    // until end_op — a POISON canary here means the
+                    // relaxed orderings let a scan miss the protection.
+                    let seen = unsafe { (*node).canary.load(Ordering::SeqCst) };
+                    assert_eq!(
+                        seen, CANARY,
+                        "use-after-free: protected node was reclaimed under a reader"
+                    );
+                    smr.end_op(&mut ctx);
+                    smr.quiescent_point(&mut ctx);
+                }
+            });
+        }
+    });
+    smr.stats()
+}
+
+/// All threads stayed live, so reclamation must have kept up: the
+/// retired population may burst past the threshold while a grace period
+/// completes, but a peak anywhere near `total_retired` means nothing
+/// was ever freed.
+fn assert_bounded_peak(st: &era::smr::SmrStats, scheme: &str) {
+    let total = WRITERS * ITERS;
+    let bound = (WRITERS + READERS + 1) * (WRITERS + READERS + 1) * THRESHOLD * 2;
+    assert!(
+        st.retired_peak <= bound,
+        "{scheme}: retired_peak {} exceeds live-thread bound {bound}",
+        st.retired_peak
+    );
+    assert!(
+        st.total_reclaimed >= (total as u64) / 2,
+        "{scheme}: reclamation stalled: {st}"
+    );
+}
+
+#[test]
+fn ebr_protect_retire_reclaim() {
+    let smr = Ebr::with_threshold(WRITERS + READERS + 1, THRESHOLD);
+    let st = hammer(&smr);
+    assert_bounded_peak(&st, "EBR");
+}
+
+#[test]
+fn qsbr_protect_retire_reclaim() {
+    let smr = Qsbr::with_threshold(WRITERS + READERS + 1, THRESHOLD);
+    let st = hammer(&smr);
+    assert_bounded_peak(&st, "QSBR");
+}
+
+#[test]
+fn ibr_protect_retire_reclaim() {
+    let smr = Ibr::with_params(WRITERS + READERS + 1, THRESHOLD, 4);
+    let st = hammer(&smr);
+    assert_bounded_peak(&st, "IBR");
+}
+
+#[test]
+fn hp_protect_retire_reclaim() {
+    let smr = Hp::with_threshold(WRITERS + READERS + 1, 1, THRESHOLD);
+    let st = hammer(&smr);
+    // HP is robust: the peak respects the scheme's own bound.
+    assert!(
+        st.retired_peak <= smr.robustness_bound(),
+        "HP: retired_peak {} exceeds robustness bound {}",
+        st.retired_peak,
+        smr.robustness_bound()
+    );
+    assert!(st.total_reclaimed >= (WRITERS * ITERS) as u64 / 2, "{st}");
+}
+
+#[test]
+fn he_protect_retire_reclaim() {
+    let smr = He::with_params(WRITERS + READERS + 1, 1, THRESHOLD, 4);
+    let st = hammer(&smr);
+    assert!(st.total_reclaimed >= (WRITERS * ITERS) as u64 / 2, "{st}");
+}
