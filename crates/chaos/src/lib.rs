@@ -1,0 +1,48 @@
+//! # era-chaos — deterministic fault injection for the era schemes
+//!
+//! The robustness story of the ERA theorem is adversarial: a scheme's
+//! footprint bound only matters under the *worst* scheduling — threads
+//! dying while pinned, announcements frozen, flushes delayed, slots
+//! exhausted. This crate turns those adversaries into a reusable,
+//! **replayable** harness:
+//!
+//! * [`FaultPlan`] / [`FaultAction`] — a seeded, serializable schedule
+//!   of injections (one JSON line; hand-rolled emitter + parser, no
+//!   serialization dependency). Same plan + same single-threaded
+//!   workload ⇒ same fault log and same final
+//!   [`SmrStats`](era_smr::SmrStats), twice over.
+//! * [`ChaosSmr`] — an [`Smr`](era_smr::Smr) decorator for the seven
+//!   pointer-based schemes (EBR, HP, HE, IBR, NBR, QSBR, leak). It
+//!   delegates every call and fires plan actions off a global op
+//!   clock: die-pinned context drops (with orphaned canary garbage),
+//!   stalled announcements, delayed/reordered flushes, injected
+//!   registration failures, registry-slot exhaustion, spurious
+//!   `needs_restart` storms.
+//! * [`ChaosArena`] — the VBR counterpart: allocation-failure
+//!   injection against [`era_smr::vbr::Arena`] (VBR's contextless,
+//!   retire-is-reclaim design makes the other faults vacuous — they
+//!   fire as recorded no-ops to keep replay sequences aligned).
+//!
+//! Injections go through the schemes' **public surface only**, so a
+//! chaos run exercises exactly the guarantees production code relies
+//! on: slot release on death, orphan adoption ([`Hook::Adopt`]
+//! (era_obs::Hook)), bounded footprint under stalls. Fired faults are
+//! logged ([`ChaosSmr::fault_log`]) and emitted as
+//! [`Hook::Fault`](era_obs::Hook) events under [`CHAOS_THREAD`].
+//!
+//! ## Feature flags
+//!
+//! * `inject` (default) — compiles the fault machinery. Without it the
+//!   wrappers are pure delegation (zero cost), so release binaries can
+//!   keep chaos types in their plumbing.
+//! * `trace` (default) — era-obs runtime, as in the sibling crates.
+
+#![warn(missing_docs)]
+
+pub mod arena;
+pub mod decorator;
+pub mod plan;
+
+pub use arena::ChaosArena;
+pub use decorator::{ChaosSmr, FaultRecord, CHAOS_THREAD};
+pub use plan::{FaultAction, FaultPlan, PlanParseError};

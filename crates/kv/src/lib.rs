@@ -61,5 +61,5 @@ pub mod workload;
 
 pub use navigator::ShardHealth;
 pub use report::{write_jsonl, KvRunRecord};
-pub use store::{KvConfig, KvCtx, KvError, KvStore, NAVIGATOR_THREAD};
+pub use store::{KvConfig, KvCtx, KvError, KvStore, RetryPolicy, NAVIGATOR_THREAD};
 pub use workload::{run_workload, KeyDist, KvMix, KvRunStats, KvWorkloadSpec};

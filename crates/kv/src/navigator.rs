@@ -48,6 +48,11 @@ pub enum ShardHealth {
     Degrading = 1,
     /// Hard budget exceeded; the navigator neutralizes blamed pins.
     Violating = 2,
+    /// A context died on this shard ([`crate::KvStore::quarantine`]):
+    /// writes are refused outright while survivors adopt the orphaned
+    /// garbage; the shard re-opens (`Robust`) once footprint drains
+    /// below half the soft budget.
+    Quarantined = 3,
 }
 
 impl ShardHealth {
@@ -57,6 +62,7 @@ impl ShardHealth {
         match raw {
             0 => ShardHealth::Robust,
             1 => ShardHealth::Degrading,
+            3 => ShardHealth::Quarantined,
             _ => ShardHealth::Violating,
         }
     }
@@ -67,6 +73,7 @@ impl ShardHealth {
             ShardHealth::Robust => "robust",
             ShardHealth::Degrading => "degrading",
             ShardHealth::Violating => "violating",
+            ShardHealth::Quarantined => "quarantined",
         }
     }
 
@@ -76,7 +83,7 @@ impl ShardHealth {
         match self {
             ShardHealth::Robust => V::Robust,
             ShardHealth::Degrading => V::WeaklyRobust,
-            ShardHealth::Violating => V::NotRobust,
+            ShardHealth::Violating | ShardHealth::Quarantined => V::NotRobust,
         }
     }
 }
@@ -127,6 +134,18 @@ pub(crate) fn classify(cur: ShardHealth, retired: usize, soft: usize, hard: usiz
                 ShardHealth::Robust
             } else {
                 ShardHealth::Degrading
+            }
+        }
+        // Quarantine is sticky until the orphaned backlog has really
+        // drained (same recovery threshold as full de-escalation); it
+        // never steps down through Degrading — the shard was closed
+        // because of a death, not load, so half-open admission would
+        // only confuse the signal.
+        ShardHealth::Quarantined => {
+            if retired < soft / 2 {
+                ShardHealth::Robust
+            } else {
+                ShardHealth::Quarantined
             }
         }
     }
@@ -227,6 +246,10 @@ mod tests {
         assert_eq!(classify(Violating, 200, soft, hard), Violating);
         assert_eq!(classify(Violating, 199, soft, hard), Degrading);
         assert_eq!(classify(Violating, 49, soft, hard), Robust);
+        // Quarantine is sticky and never steps down through Degrading.
+        assert_eq!(classify(Quarantined, 400, soft, hard), Quarantined);
+        assert_eq!(classify(Quarantined, 50, soft, hard), Quarantined);
+        assert_eq!(classify(Quarantined, 49, soft, hard), Robust);
     }
 
     #[test]
@@ -235,6 +258,8 @@ mod tests {
         assert_eq!(ShardHealth::Robust.verdict(), V::Robust);
         assert_eq!(ShardHealth::Degrading.verdict(), V::WeaklyRobust);
         assert_eq!(ShardHealth::Violating.verdict(), V::NotRobust);
+        assert_eq!(ShardHealth::Quarantined.verdict(), V::NotRobust);
+        assert_eq!(ShardHealth::from_u8(3), ShardHealth::Quarantined);
         assert_eq!(ShardHealth::from_u8(7), ShardHealth::Violating);
         assert_eq!(ShardHealth::Degrading.to_string(), "degrading");
     }

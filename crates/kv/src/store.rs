@@ -16,6 +16,7 @@
 use std::fmt;
 use std::sync::atomic::{AtomicU32, AtomicU64, AtomicU8, AtomicUsize, Ordering};
 use std::sync::Mutex;
+use std::time::{Duration, Instant};
 
 use era_ds::HashMap;
 use era_obs::{Hook, Recorder, SchemeId, ThreadTracer};
@@ -72,6 +73,15 @@ pub enum KvError {
         /// The shard that refused the write.
         shard: usize,
     },
+    /// The retrying write path ([`KvStore::put_with_retry`]) ran out
+    /// of budget: every attempt inside the per-op deadline was shed.
+    /// This is the *typed* failure the self-healing path guarantees —
+    /// a caller either succeeds within its deadline or gets this
+    /// error; it never hangs.
+    DeadlineExceeded {
+        /// The shard that kept refusing the write.
+        shard: usize,
+    },
 }
 
 impl fmt::Display for KvError {
@@ -80,11 +90,43 @@ impl fmt::Display for KvError {
             KvError::Overloaded { shard } => {
                 write!(f, "shard {shard} is overloaded (admission control)")
             }
+            KvError::DeadlineExceeded { shard } => {
+                write!(f, "shard {shard} stayed overloaded past the op deadline")
+            }
         }
     }
 }
 
 impl std::error::Error for KvError {}
+
+/// Bounded retry/backoff policy for the self-healing write path.
+///
+/// Both bounds are hard: a write attempt loop stops at
+/// `max_attempts` *or* when the next backoff would overrun
+/// `deadline`, whichever comes first — so
+/// [`KvStore::put_with_retry`] is total by construction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Maximum `put` attempts (≥ 1; 0 is treated as 1).
+    pub max_attempts: u32,
+    /// First backoff; doubles per retry (exponential).
+    pub base_backoff: Duration,
+    /// Backoff ceiling.
+    pub max_backoff: Duration,
+    /// Per-op wall-clock budget.
+    pub deadline: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 16,
+            base_backoff: Duration::from_micros(50),
+            max_backoff: Duration::from_millis(5),
+            deadline: Duration::from_millis(100),
+        }
+    }
+}
 
 pub(crate) struct Shard<'s, S: Smr> {
     pub(crate) smr: &'s S,
@@ -300,6 +342,116 @@ impl<'s, S: Smr> KvStore<'s, S> {
         Ok(v)
     }
 
+    /// Inserts or updates `key` with bounded retry and exponential
+    /// backoff — the self-healing write path. Between attempts the
+    /// caller's own context flushes the target shard (helping drain
+    /// the backlog that caused the shed) before backing off.
+    ///
+    /// # Errors
+    ///
+    /// [`KvError::DeadlineExceeded`] when every attempt within
+    /// `policy`'s budget was shed. Never blocks past the deadline and
+    /// never spins unboundedly: attempts and sleeps are both capped.
+    pub fn put_with_retry(
+        &self,
+        ctx: &mut KvCtx<S>,
+        key: i64,
+        value: i64,
+        policy: RetryPolicy,
+    ) -> Result<Option<i64>, KvError> {
+        let start = Instant::now();
+        let mut backoff = policy.base_backoff;
+        let attempts = policy.max_attempts.max(1);
+        for attempt in 0..attempts {
+            match self.put(ctx, key, value) {
+                Ok(prev) => return Ok(prev),
+                Err(KvError::Overloaded { shard }) => {
+                    self.shards[shard].smr.flush(&mut ctx.ctxs[shard]);
+                    let spent = start.elapsed();
+                    if attempt + 1 == attempts || spent + backoff > policy.deadline {
+                        return Err(KvError::DeadlineExceeded { shard });
+                    }
+                    std::thread::sleep(backoff);
+                    backoff = (backoff * 2).min(policy.max_backoff.max(policy.base_backoff));
+                }
+                Err(other) => return Err(other),
+            }
+        }
+        Err(KvError::DeadlineExceeded {
+            shard: self.shard_of(key),
+        })
+    }
+
+    /// Marks `shard` [`ShardHealth::Quarantined`]: writes are refused
+    /// outright (reads still served) until its footprint drains below
+    /// half the soft budget, at which point [`KvStore::navigator_tick`]
+    /// returns it to `Robust`. Call after a context death on the shard
+    /// — the quarantine gives survivors room to adopt the orphaned
+    /// garbage without new writes piling on.
+    pub fn quarantine(&self, shard: usize) {
+        let sh = &self.shards[shard];
+        let prev = sh
+            .health
+            .swap(ShardHealth::Quarantined as u8, Ordering::SeqCst);
+        if prev != ShardHealth::Quarantined as u8 {
+            sh.transitions.fetch_add(1, Ordering::Relaxed);
+            if let Ok(mut t) = sh.nav_tracer.try_lock() {
+                t.emit(
+                    Hook::Navigate,
+                    shard as u64,
+                    ((prev as u64) << 8) | ShardHealth::Quarantined as u64,
+                );
+            }
+        }
+    }
+
+    /// Re-registers this thread's context on `shard` after a death or
+    /// neutralization incident: a fresh context is acquired, the old
+    /// one is dropped (its garbage moves to the scheme's orphan pool
+    /// and its registry slot is released), and the fresh context
+    /// immediately flushes so the orphans are adopted.
+    ///
+    /// # Errors
+    ///
+    /// [`RegisterError`] when the shard's scheme has no spare slot —
+    /// the old context is then kept untouched (healing needs one free
+    /// slot because the fresh context is acquired before the old one
+    /// is released, so the swap can never leave the thread without a
+    /// context).
+    pub fn heal(&self, ctx: &mut KvCtx<S>, shard: usize) -> Result<(), RegisterError> {
+        let sh = &self.shards[shard];
+        let fresh = sh.smr.register()?;
+        let old = std::mem::replace(&mut ctx.ctxs[shard], fresh);
+        drop(old);
+        sh.smr.flush(&mut ctx.ctxs[shard]);
+        Ok(())
+    }
+
+    /// Graceful shutdown: repeatedly cycles every shard through an
+    /// (empty) operation, a quiescent point, and a flush — with a
+    /// navigator tick per round so quarantined shards can recover —
+    /// until the whole store's `retired_now` drains to 0 or
+    /// `max_rounds` passes. Returns whether the drain completed; the
+    /// only way it cannot is garbage pinned by a context outside this
+    /// caller's control (a live stalled reader).
+    pub fn drain(&self, ctx: &mut KvCtx<S>, max_rounds: usize) -> bool {
+        for _ in 0..max_rounds.max(1) {
+            for (si, sh) in self.shards.iter().enumerate() {
+                let tctx = &mut ctx.ctxs[si];
+                let _ = sh.smr.needs_restart(tctx);
+                sh.smr.begin_op(tctx);
+                sh.smr.end_op(tctx);
+                sh.smr.quiescent_point(tctx);
+                sh.smr.flush(tctx);
+            }
+            self.navigator_tick();
+            if self.stats().retired_now == 0 {
+                return true;
+            }
+        }
+        self.stats().retired_now == 0
+    }
+
     /// All entries with `lo <= key < hi`, sorted (quiescent use only,
     /// like the underlying maps' snapshots).
     pub fn scan(&self, lo: i64, hi: i64) -> Vec<(i64, i64)> {
@@ -379,9 +531,19 @@ impl<'s, S: Smr> KvStore<'s, S> {
 
     fn admit_write(&self, si: usize) -> Result<(), KvError> {
         let sh = &self.shards[si];
-        if sh.health.load(Ordering::Relaxed) == ShardHealth::Robust as u8 {
+        let health = sh.health.load(Ordering::Relaxed);
+        if health == ShardHealth::Robust as u8 {
             sh.inflight.fetch_add(1, Ordering::SeqCst);
             return Ok(());
+        }
+        if health == ShardHealth::Quarantined as u8 {
+            // Quarantine refuses writes outright (no bounded queue):
+            // the shard is recovering from a death, not from load.
+            let sheds = sh.sheds.fetch_add(1, Ordering::Relaxed) + 1;
+            if let Ok(mut t) = sh.nav_tracer.try_lock() {
+                t.emit(Hook::Shed, si as u64, sheds);
+            }
+            return Err(KvError::Overloaded { shard: si });
         }
         // Degraded: bounded admission. The health check above and the
         // increment below can race with a navigator transition — the
@@ -537,5 +699,162 @@ mod tests {
         let direct: Vec<_> = (0..3).map(|_| schemes[0].register().unwrap()).collect();
         drop(direct);
         assert!(store.register().is_ok());
+    }
+
+    #[test]
+    fn quarantine_blocks_writes_serves_reads_and_recovers() {
+        let schemes: Vec<Ebr> = vec![Ebr::new(4)];
+        let store = KvStore::new(&schemes, KvConfig::default());
+        let mut ctx = store.register().unwrap();
+        assert_eq!(store.put(&mut ctx, 1, 10), Ok(None));
+
+        store.quarantine(0);
+        assert_eq!(store.health(0), ShardHealth::Quarantined);
+        assert_eq!(
+            store.put(&mut ctx, 1, 11),
+            Err(KvError::Overloaded { shard: 0 })
+        );
+        assert_eq!(store.get(&mut ctx, 1), Some(10), "reads still served");
+        // Quarantining an already-quarantined shard is idempotent (no
+        // double transition).
+        let (transitions, _, _) = store.nav_counters();
+        store.quarantine(0);
+        assert_eq!(store.nav_counters().0, transitions);
+
+        // Footprint is already below soft/2: the next tick re-opens.
+        store.navigator_tick();
+        assert_eq!(store.health(0), ShardHealth::Robust);
+        assert_eq!(store.put(&mut ctx, 1, 11), Ok(Some(10)));
+    }
+
+    #[test]
+    fn heal_swaps_context_and_adopts_orphans() {
+        // Capacity 3: the store context, the doomed direct context, and
+        // the spare slot heal() needs for its acquire-before-release.
+        let schemes: Vec<Ebr> = vec![Ebr::with_threshold(3, 1)];
+        let store = KvStore::new(&schemes, KvConfig::default());
+        let mut ctx = store.register().unwrap();
+
+        // A directly-registered context dies pinned with garbage.
+        let smr = store.scheme(0);
+        let mut doomed = smr.register().unwrap();
+        era_smr::Smr::begin_op(smr, &mut doomed);
+        for k in 0..8 {
+            store.put(&mut ctx, k, k).unwrap();
+            store.remove(&mut ctx, k).unwrap();
+        }
+        drop(doomed); // dies pinned: garbage orphaned, slot released
+
+        store.quarantine(0);
+        store.heal(&mut ctx, 0).expect("spare slot available");
+        assert!(
+            store.drain(&mut ctx, 32),
+            "orphans must drain after heal: {}",
+            store.stats()
+        );
+        assert_eq!(store.health(0), ShardHealth::Robust);
+        assert_eq!(store.put(&mut ctx, 1, 1), Ok(None));
+    }
+
+    #[test]
+    fn heal_without_spare_slot_fails_but_keeps_old_context() {
+        let schemes: Vec<Ebr> = vec![Ebr::new(1)]; // no spare slot
+        let store = KvStore::new(&schemes, KvConfig::default());
+        let mut ctx = store.register().unwrap();
+        assert!(store.heal(&mut ctx, 0).is_err());
+        // The old context survived the failed heal and still works.
+        assert_eq!(store.put(&mut ctx, 1, 1), Ok(None));
+        assert_eq!(store.get(&mut ctx, 1), Some(1));
+    }
+
+    #[test]
+    fn put_with_retry_succeeds_once_pressure_drains() {
+        let schemes: Vec<Ebr> = vec![Ebr::with_threshold(4, 1)];
+        let cfg = KvConfig {
+            retired_soft: 4,
+            retired_hard: 1 << 20, // stay out of Violating
+            admission_depth: 0,    // degraded shard rejects every write
+            ..KvConfig::default()
+        };
+        let store = KvStore::new(&schemes, cfg);
+        let mut ctx = store.register().unwrap();
+        // A pinned reader holds the garbage up so the tick sees it.
+        let smr = store.scheme(0);
+        let mut pin = smr.register().unwrap();
+        era_smr::Smr::begin_op(smr, &mut pin);
+        for k in 0..16 {
+            store.put(&mut ctx, k, k).unwrap();
+            store.remove(&mut ctx, k).unwrap();
+        }
+        store.navigator_tick();
+        assert_eq!(store.health(0), ShardHealth::Degrading);
+        era_smr::Smr::end_op(smr, &mut pin);
+
+        // Retrying flushes between attempts, draining the backlog; the
+        // navigator tick here plays the watchdog that re-opens admission.
+        let policy = RetryPolicy::default();
+        let deadline = policy.deadline;
+        let t0 = std::time::Instant::now();
+        let mut out = store.put_with_retry(&mut ctx, 1, 99, policy);
+        for _ in 0..4 {
+            if out.is_ok() {
+                break;
+            }
+            store.navigator_tick();
+            out = store.put_with_retry(&mut ctx, 1, 99, RetryPolicy::default());
+        }
+        assert!(out.is_ok(), "write must land once pressure drains: {out:?}");
+        assert!(
+            t0.elapsed() < deadline * 16,
+            "retry loop must stay within bounded deadlines"
+        );
+        assert_eq!(store.get(&mut ctx, 1), Some(99));
+    }
+
+    #[test]
+    fn put_with_retry_times_out_with_typed_error() {
+        let schemes: Vec<Ebr> = vec![Ebr::new(4)];
+        let store = KvStore::new(&schemes, KvConfig::default());
+        let mut ctx = store.register().unwrap();
+        store.quarantine(0); // nothing retires, so quarantine is sticky
+                             // until a navigator tick — which we never run.
+        let policy = RetryPolicy {
+            max_attempts: 4,
+            base_backoff: std::time::Duration::from_micros(10),
+            max_backoff: std::time::Duration::from_micros(80),
+            deadline: std::time::Duration::from_millis(5),
+        };
+        let t0 = std::time::Instant::now();
+        let out = store.put_with_retry(&mut ctx, 1, 1, policy);
+        assert_eq!(out, Err(KvError::DeadlineExceeded { shard: 0 }));
+        assert!(
+            t0.elapsed() < std::time::Duration::from_secs(1),
+            "must fail fast, not hang"
+        );
+        assert_eq!(
+            KvError::DeadlineExceeded { shard: 0 }.to_string(),
+            "shard 0 stayed overloaded past the op deadline"
+        );
+    }
+
+    #[test]
+    fn drain_reports_failure_while_pinned_then_success() {
+        let schemes: Vec<Ebr> = vec![Ebr::with_threshold(4, 1)];
+        let store = KvStore::new(&schemes, KvConfig::default());
+        let mut ctx = store.register().unwrap();
+        let smr = store.scheme(0);
+        let mut pin = smr.register().unwrap();
+        era_smr::Smr::begin_op(smr, &mut pin);
+        for k in 0..8 {
+            store.put(&mut ctx, k, k).unwrap();
+            store.remove(&mut ctx, k).unwrap();
+        }
+        assert!(
+            !store.drain(&mut ctx, 4),
+            "a live pin must keep drain from completing"
+        );
+        era_smr::Smr::end_op(smr, &mut pin);
+        assert!(store.drain(&mut ctx, 32), "unpinned store must drain");
+        assert_eq!(store.stats().retired_now, 0);
     }
 }

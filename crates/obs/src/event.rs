@@ -64,11 +64,18 @@ pub enum Hook {
     /// Admission control rejected a write with `Overloaded` (`a` =
     /// shard index, `b` = sheds so far on that shard).
     Shed = 16,
+
+    /// An injected or observed fault (era-chaos; `a` = fault action
+    /// discriminant, `b` = the global op index it fired at).
+    Fault = 17,
+    /// A scheme adopted a dead context's orphaned garbage (`a` =
+    /// nodes adopted, `b` = retired population after adoption).
+    Adopt = 18,
 }
 
 impl Hook {
     /// Number of distinct hooks (array-sizing constant).
-    pub const COUNT: usize = 17;
+    pub const COUNT: usize = 19;
 
     /// Every hook, in discriminant order.
     pub const ALL: [Hook; Hook::COUNT] = [
@@ -89,6 +96,8 @@ impl Hook {
         Hook::Sample,
         Hook::Navigate,
         Hook::Shed,
+        Hook::Fault,
+        Hook::Adopt,
     ];
 
     /// Stable lower-case name used in JSON reports and trace dumps.
@@ -111,6 +120,8 @@ impl Hook {
             Hook::Sample => "sample",
             Hook::Navigate => "navigate",
             Hook::Shed => "shed",
+            Hook::Fault => "fault",
+            Hook::Adopt => "adopt",
         }
     }
 

@@ -15,9 +15,33 @@
 use std::fmt;
 use std::ops::{Deref, DerefMut};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Mutex, OnceLock};
+use std::sync::{Mutex, MutexGuard, OnceLock, PoisonError};
 
 use era_obs::{Hook, Recorder, SchemeId, ThreadTracer};
+
+/// Locks `m`, recovering the guard if a previous holder panicked.
+///
+/// The mutexes this guards (orphan queues, service tracers) protect
+/// plain `Vec` / tracer state that is consistent between calls, so a
+/// poisoned lock carries no torn invariant worth propagating. More
+/// importantly, the scheme `Drop` paths run during *unwinding* when the
+/// owning thread panicked mid-operation — an `unwrap()` there would
+/// double-panic and abort, and would leak the context's registry slot.
+pub(crate) fn lock_unpoisoned<T: ?Sized>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Non-blocking variant of [`lock_unpoisoned`]: `None` only when the
+/// lock is genuinely held by another thread right now. Used on scan
+/// paths that opportunistically adopt orphaned garbage — if a peer is
+/// already adopting, skipping this round costs nothing.
+pub(crate) fn try_lock_unpoisoned<T: ?Sized>(m: &Mutex<T>) -> Option<MutexGuard<'_, T>> {
+    match m.try_lock() {
+        Ok(g) => Some(g),
+        Err(std::sync::TryLockError::Poisoned(p)) => Some(p.into_inner()),
+        Err(std::sync::TryLockError::WouldBlock) => None,
+    }
+}
 
 /// Pads and aligns `T` to 128 bytes so that per-thread slots land on
 /// their own cache line(s) — the cure for false sharing on announcement
@@ -182,7 +206,7 @@ impl StatCells {
     /// Emits a scheme-internal event through the service tracer.
     pub fn event(&self, hook: Hook, a: u64, b: u64) {
         if let Some(t) = self.trace.get() {
-            t.service.lock().unwrap().emit(hook, a, b);
+            lock_unpoisoned(&t.service).emit(hook, a, b);
         }
     }
 
@@ -191,10 +215,19 @@ impl StatCells {
     pub fn blocked(&self, blamed: usize, held: usize) {
         if let Some(t) = self.trace.get() {
             t.recorder.metrics().blame(blamed);
-            t.service
-                .lock()
-                .unwrap()
-                .emit(Hook::Blocked, blamed as u64, held as u64);
+            lock_unpoisoned(&t.service).emit(Hook::Blocked, blamed as u64, held as u64);
+        }
+    }
+
+    /// Records that a live thread adopted `n` orphaned nodes from a
+    /// dead context (population unchanged — the nodes were already
+    /// retired; only their custody moved).
+    pub fn adopted(&self, n: usize) {
+        if n > 0 {
+            if let Some(t) = self.trace.get() {
+                let now = self.retired_now.load(Ordering::Relaxed);
+                lock_unpoisoned(&t.service).emit(Hook::Adopt, n as u64, now as u64);
+            }
         }
     }
 
@@ -220,10 +253,7 @@ impl StatCells {
             self.total_reclaimed.fetch_add(n as u64, Ordering::Relaxed);
             if let Some(t) = self.trace.get() {
                 let left = self.retired_now.load(Ordering::Relaxed);
-                t.service
-                    .lock()
-                    .unwrap()
-                    .emit(Hook::Reclaim, n as u64, left as u64);
+                lock_unpoisoned(&t.service).emit(Hook::Reclaim, n as u64, left as u64);
             }
         }
     }

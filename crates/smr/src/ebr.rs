@@ -34,8 +34,8 @@ use std::sync::{Arc, Mutex};
 use era_obs::{Hook, Recorder, SchemeId, ThreadTracer};
 
 use crate::common::{
-    CachePadded, DropFn, RegisterError, Retired, SlotRegistry, Smr, SmrHeader, SmrStats, StatCells,
-    SupportsUnlinkedTraversal,
+    lock_unpoisoned, CachePadded, DropFn, RegisterError, Retired, SlotRegistry, Smr, SmrHeader,
+    SmrStats, StatCells, SupportsUnlinkedTraversal,
 };
 
 /// Announcement value meaning "not inside any operation".
@@ -102,7 +102,7 @@ impl EbrInner {
 
 impl Drop for EbrInner {
     fn drop(&mut self) {
-        let orphans = std::mem::take(&mut *self.orphans.lock().unwrap());
+        let orphans = std::mem::take(&mut *lock_unpoisoned(&self.orphans));
         let n = orphans.len();
         for g in orphans {
             unsafe { self.stats.reclaim_node(g) };
@@ -164,11 +164,17 @@ impl EbrCtx {
 
 impl Drop for EbrCtx {
     fn drop(&mut self) {
-        let mut orphans = self.inner.orphans.lock().unwrap();
-        for list in &mut self.lists {
-            orphans.append(list);
+        // This may run during unwinding (the owning thread panicked
+        // mid-operation), so the orphan handoff must be panic-free:
+        // `lock_unpoisoned` tolerates a poisoned queue and the slot is
+        // released unconditionally afterwards — a context death leaks
+        // neither its garbage nor its registry slot.
+        {
+            let mut orphans = lock_unpoisoned(&self.inner.orphans);
+            for list in &mut self.lists {
+                orphans.append(list);
+            }
         }
-        drop(orphans);
         // SAFETY(ordering): Release orders every access this thread made
         // under its announcement before the quiescent mark becomes
         // visible to an advancing scanner (which reads post-fence).
@@ -407,7 +413,7 @@ impl Smr for Ebr {
         // Adopt orphaned garbage from departed threads: anything retired
         // two or more epochs ago is reclaimable by whoever finds it.
         let eligible: Vec<Retired> = {
-            let mut orphans = self.inner.orphans.lock().unwrap();
+            let mut orphans = lock_unpoisoned(&self.inner.orphans);
             let (free, keep): (Vec<_>, Vec<_>) =
                 orphans.drain(..).partition(|g| g.retire_era + 2 <= e);
             *orphans = keep;
@@ -418,6 +424,7 @@ impl Smr for Ebr {
             unsafe { self.inner.stats.reclaim_node(g) };
         }
         self.inner.stats.on_reclaim(n);
+        self.inner.stats.adopted(n);
     }
 }
 

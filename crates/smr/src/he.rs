@@ -20,7 +20,8 @@ use std::sync::{Arc, Mutex};
 use era_obs::{Hook, Recorder, SchemeId, ThreadTracer};
 
 use crate::common::{
-    CachePadded, DropFn, RegisterError, Retired, SlotRegistry, Smr, SmrHeader, SmrStats, StatCells,
+    lock_unpoisoned, try_lock_unpoisoned, CachePadded, DropFn, RegisterError, Retired,
+    SlotRegistry, Smr, SmrHeader, SmrStats, StatCells,
 };
 
 /// Reservation slot value meaning "nothing reserved".
@@ -69,7 +70,22 @@ impl HeInner {
         snap
     }
 
+    /// Adopts orphaned garbage from dead contexts (see the HP variant):
+    /// the era-overlap test in `scan` applies to orphans unchanged, so
+    /// folding them into the scanning thread's list is all it takes.
+    fn adopt_orphans(&self, garbage: &mut Vec<Retired>) {
+        if let Some(mut orphans) = try_lock_unpoisoned(&self.orphans) {
+            let n = orphans.len();
+            if n > 0 {
+                garbage.append(&mut orphans);
+                drop(orphans);
+                self.stats.adopted(n);
+            }
+        }
+    }
+
     fn scan(&self, garbage: &mut Vec<Retired>) {
+        self.adopt_orphans(garbage);
         let snapshot = self.reservation_snapshot();
         let before = garbage.len();
         let mut kept = Vec::new();
@@ -91,7 +107,7 @@ impl HeInner {
 
 impl Drop for HeInner {
     fn drop(&mut self) {
-        let orphans = std::mem::take(&mut *self.orphans.lock().unwrap());
+        let orphans = std::mem::take(&mut *lock_unpoisoned(&self.orphans));
         let n = orphans.len();
         for g in orphans {
             unsafe { self.stats.reclaim_node(g) };
@@ -142,7 +158,9 @@ impl Drop for HeCtx {
             // dereferences before the reservations clear.
             self.inner.reservations[self.idx * self.inner.k + s].store(NONE, Ordering::Release);
         }
-        self.inner.orphans.lock().unwrap().append(&mut self.garbage);
+        // Runs during unwinding too: poison-tolerant handoff, then an
+        // unconditional slot release (see the EBR drop path).
+        lock_unpoisoned(&self.inner.orphans).append(&mut self.garbage);
         self.inner.registry.release(self.idx);
     }
 }

@@ -21,8 +21,8 @@ use std::sync::{Arc, Mutex};
 use era_obs::{Hook, Recorder, SchemeId, ThreadTracer};
 
 use crate::common::{
-    untagged, CachePadded, DropFn, RegisterError, Retired, SlotRegistry, Smr, SmrHeader, SmrStats,
-    StatCells,
+    lock_unpoisoned, try_lock_unpoisoned, untagged, CachePadded, DropFn, RegisterError, Retired,
+    SlotRegistry, Smr, SmrHeader, SmrStats, StatCells,
 };
 
 #[derive(Debug)]
@@ -67,8 +67,26 @@ impl HpInner {
         snap
     }
 
+    /// Adopts orphaned garbage left behind by dead contexts into the
+    /// scanning thread's list, so the hazard scan that follows frees
+    /// whatever is unprotected instead of parking it until scheme drop.
+    /// `try_lock`: if a peer is adopting concurrently the pool is in
+    /// good hands and this round skips — adoption is a cold-path
+    /// recovery duty, not a hot-path obligation.
+    fn adopt_orphans(&self, garbage: &mut Vec<Retired>) {
+        if let Some(mut orphans) = try_lock_unpoisoned(&self.orphans) {
+            let n = orphans.len();
+            if n > 0 {
+                garbage.append(&mut orphans);
+                drop(orphans);
+                self.stats.adopted(n);
+            }
+        }
+    }
+
     /// Frees every retired node not named by a hazard slot.
     fn scan(&self, garbage: &mut Vec<Retired>) {
+        self.adopt_orphans(garbage);
         let hazards = self.hazard_snapshot();
         let before = garbage.len();
         let mut kept = Vec::with_capacity(hazards.len().min(before));
@@ -91,7 +109,7 @@ impl HpInner {
 
 impl Drop for HpInner {
     fn drop(&mut self) {
-        let orphans = std::mem::take(&mut *self.orphans.lock().unwrap());
+        let orphans = std::mem::take(&mut *lock_unpoisoned(&self.orphans));
         let n = orphans.len();
         for g in orphans {
             unsafe { self.stats.reclaim_node(g) };
@@ -138,7 +156,9 @@ impl Drop for HpCtx {
             // SAFETY(ordering): Release — same argument as `end_op`.
             self.inner.hazards[self.idx * self.inner.k + s].store(0, Ordering::Release);
         }
-        self.inner.orphans.lock().unwrap().append(&mut self.garbage);
+        // Runs during unwinding too: poison-tolerant handoff, then an
+        // unconditional slot release (see the EBR drop path).
+        lock_unpoisoned(&self.inner.orphans).append(&mut self.garbage);
         self.inner.registry.release(self.idx);
     }
 }

@@ -22,7 +22,8 @@ use std::sync::{Arc, Mutex};
 use era_obs::{Hook, Recorder, SchemeId, ThreadTracer};
 
 use crate::common::{
-    CachePadded, DropFn, RegisterError, Retired, SlotRegistry, Smr, SmrHeader, SmrStats, StatCells,
+    lock_unpoisoned, try_lock_unpoisoned, CachePadded, DropFn, RegisterError, Retired,
+    SlotRegistry, Smr, SmrHeader, SmrStats, StatCells,
 };
 
 /// Interval bound meaning "no reservation".
@@ -49,7 +50,21 @@ struct IbrInner {
 }
 
 impl IbrInner {
+    /// Adopts orphaned garbage from dead contexts (see the HP variant):
+    /// the interval-intersection test applies to orphans unchanged.
+    fn adopt_orphans(&self, garbage: &mut Vec<Retired>) {
+        if let Some(mut orphans) = try_lock_unpoisoned(&self.orphans) {
+            let n = orphans.len();
+            if n > 0 {
+                garbage.append(&mut orphans);
+                drop(orphans);
+                self.stats.adopted(n);
+            }
+        }
+    }
+
     fn scan(&self, garbage: &mut Vec<Retired>) {
+        self.adopt_orphans(garbage);
         // SAFETY(ordering): the SeqCst fence pairs with the fences in
         // `begin_op`/`load` (publish-validate Dekker): a reader whose
         // reservation this snapshot misses must see, after its own
@@ -92,7 +107,7 @@ impl IbrInner {
 
 impl Drop for IbrInner {
     fn drop(&mut self) {
-        let orphans = std::mem::take(&mut *self.orphans.lock().unwrap());
+        let orphans = std::mem::take(&mut *lock_unpoisoned(&self.orphans));
         let n = orphans.len();
         for g in orphans {
             unsafe { self.stats.reclaim_node(g) };
@@ -143,7 +158,9 @@ impl Drop for IbrCtx {
         self.inner.intervals[self.idx]
             .upper
             .store(NONE, Ordering::Release);
-        self.inner.orphans.lock().unwrap().append(&mut self.garbage);
+        // Runs during unwinding too: poison-tolerant handoff, then an
+        // unconditional slot release (see the EBR drop path).
+        lock_unpoisoned(&self.inner.orphans).append(&mut self.garbage);
         self.inner.registry.release(self.idx);
     }
 }

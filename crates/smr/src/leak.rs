@@ -12,8 +12,8 @@ use std::sync::{Arc, Mutex};
 use era_obs::{Hook, Recorder, SchemeId, ThreadTracer};
 
 use crate::common::{
-    DropFn, RegisterError, Retired, SlotRegistry, Smr, SmrHeader, SmrStats, StatCells,
-    SupportsUnlinkedTraversal,
+    lock_unpoisoned, DropFn, RegisterError, Retired, SlotRegistry, Smr, SmrHeader, SmrStats,
+    StatCells, SupportsUnlinkedTraversal,
 };
 
 #[derive(Debug)]
@@ -26,7 +26,7 @@ struct LeakInner {
 impl Drop for LeakInner {
     fn drop(&mut self) {
         // No thread contexts remain (they hold an Arc): safe to free.
-        let orphans = std::mem::take(&mut *self.orphans.lock().unwrap());
+        let orphans = std::mem::take(&mut *lock_unpoisoned(&self.orphans));
         let n = orphans.len();
         for g in orphans {
             unsafe { self.stats.reclaim_node(g) };
@@ -69,7 +69,11 @@ pub struct LeakCtx {
 
 impl Drop for LeakCtx {
     fn drop(&mut self) {
-        self.inner.orphans.lock().unwrap().append(&mut self.garbage);
+        // Runs during unwinding too: poison-tolerant handoff, then an
+        // unconditional slot release. A dead Leak context's garbage is
+        // adopted into the shared pool (custody, not reclamation — the
+        // baseline still never frees mid-run).
+        lock_unpoisoned(&self.inner.orphans).append(&mut self.garbage);
         self.inner.registry.release(self.idx);
     }
 }

@@ -37,8 +37,8 @@ use std::sync::{Arc, Mutex};
 use era_obs::{Hook, Recorder, SchemeId, ThreadTracer};
 
 use crate::common::{
-    untagged, CachePadded, DropFn, RegisterError, Retired, SlotRegistry, Smr, SmrHeader, SmrStats,
-    StatCells, SupportsUnlinkedTraversal,
+    lock_unpoisoned, try_lock_unpoisoned, untagged, CachePadded, DropFn, RegisterError, Retired,
+    SlotRegistry, Smr, SmrHeader, SmrStats, StatCells, SupportsUnlinkedTraversal,
 };
 
 /// Thread state: not inside any operation.
@@ -74,7 +74,22 @@ impl NbrInner {
     /// Neutralize all readers, wait for acknowledgements, and free every
     /// unreserved retired node of `garbage`. `self_idx` is never waited
     /// on. Returns whether the round completed (false = gave up).
+    /// Adopts orphaned garbage from dead contexts (see the HP variant).
+    /// Safe to fold in before a neutralization round: orphaned nodes
+    /// obey the same reservation test as locally retired ones.
+    fn adopt_orphans(&self, garbage: &mut Vec<Retired>) {
+        if let Some(mut orphans) = try_lock_unpoisoned(&self.orphans) {
+            let n = orphans.len();
+            if n > 0 {
+                garbage.append(&mut orphans);
+                drop(orphans);
+                self.stats.adopted(n);
+            }
+        }
+    }
+
     fn neutralize_and_reclaim(&self, self_idx: usize, garbage: &mut Vec<Retired>) -> bool {
+        self.adopt_orphans(garbage);
         let new_round = self.round.fetch_add(1, Ordering::SeqCst) + 1;
         for j in 0..self.registry.capacity() {
             if j == self_idx || !self.registry.is_in_use(j) {
@@ -121,7 +136,7 @@ impl NbrInner {
 
 impl Drop for NbrInner {
     fn drop(&mut self) {
-        let orphans = std::mem::take(&mut *self.orphans.lock().unwrap());
+        let orphans = std::mem::take(&mut *lock_unpoisoned(&self.orphans));
         let n = orphans.len();
         for g in orphans {
             unsafe { self.stats.reclaim_node(g) };
@@ -172,7 +187,9 @@ impl Drop for NbrCtx {
             self.inner.reservations[self.idx * self.inner.k + s].store(0, Ordering::SeqCst);
         }
         self.inner.acked[self.idx].store(QUIESCENT, Ordering::SeqCst);
-        self.inner.orphans.lock().unwrap().append(&mut self.garbage);
+        // Runs during unwinding too: poison-tolerant handoff, then an
+        // unconditional slot release (see the EBR drop path).
+        lock_unpoisoned(&self.inner.orphans).append(&mut self.garbage);
         self.inner.registry.release(self.idx);
     }
 }

@@ -27,8 +27,8 @@ use std::sync::{Arc, Mutex};
 use era_obs::{Hook, Recorder, SchemeId, ThreadTracer};
 
 use crate::common::{
-    CachePadded, DropFn, RegisterError, Retired, SlotRegistry, Smr, SmrHeader, SmrStats, StatCells,
-    SupportsUnlinkedTraversal,
+    lock_unpoisoned, CachePadded, DropFn, RegisterError, Retired, SlotRegistry, Smr, SmrHeader,
+    SmrStats, StatCells, SupportsUnlinkedTraversal,
 };
 
 #[derive(Debug)]
@@ -83,7 +83,7 @@ impl QsbrInner {
 
 impl Drop for QsbrInner {
     fn drop(&mut self) {
-        let orphans = std::mem::take(&mut *self.orphans.lock().unwrap());
+        let orphans = std::mem::take(&mut *lock_unpoisoned(&self.orphans));
         let n = orphans.len();
         for g in orphans {
             unsafe { self.stats.reclaim_node(g) };
@@ -121,7 +121,9 @@ pub struct QsbrCtx {
 
 impl Drop for QsbrCtx {
     fn drop(&mut self) {
-        self.inner.orphans.lock().unwrap().append(&mut self.garbage);
+        // Runs during unwinding too: poison-tolerant handoff, then an
+        // unconditional slot release (see the EBR drop path).
+        lock_unpoisoned(&self.inner.orphans).append(&mut self.garbage);
         // A departing thread counts as permanently quiescent.
         // SAFETY(ordering): Release orders the thread's last accesses
         // before its permanent-quiescence mark.
@@ -347,7 +349,7 @@ impl Smr for Qsbr {
         self.collect(ctx, g);
         // Adopt orphaned garbage from departed threads.
         let eligible: Vec<Retired> = {
-            let mut orphans = self.inner.orphans.lock().unwrap();
+            let mut orphans = lock_unpoisoned(&self.inner.orphans);
             let (free, keep): (Vec<_>, Vec<_>) =
                 orphans.drain(..).partition(|r| r.retire_era + 2 <= g);
             *orphans = keep;
@@ -358,6 +360,7 @@ impl Smr for Qsbr {
             unsafe { self.inner.stats.reclaim_node(r) };
         }
         self.inner.stats.on_reclaim(n);
+        self.inner.stats.adopted(n);
     }
 }
 

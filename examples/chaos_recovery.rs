@@ -1,0 +1,128 @@
+//! Chaos recovery, narrated end to end: a seeded fault plan kills a
+//! pinned reader mid-traversal, the orphaned garbage is adopted by
+//! survivors, and the serving layer quarantines, heals, and re-opens
+//! the wounded shard.
+//!
+//! Two acts:
+//!
+//! 1. **Data-structure level** — a `HarrisList` over
+//!    `ChaosSmr<Ebr>`. The plan injects a die-pinned context drop
+//!    while traversals are in flight; the dead context's retired nodes
+//!    land in the orphan pool and the next survivor flush adopts them.
+//! 2. **Service level** — a `KvStore` whose shard-0 scheme is the same
+//!    armed decorator. When the death fires, the operator path
+//!    quarantines the shard (writes refused, reads served), heals the
+//!    thread's context, drains, and the navigator returns the shard to
+//!    `Robust`.
+//!
+//! Run with: `cargo run --example chaos_recovery`
+
+use era::chaos::{ChaosSmr, FaultAction, FaultPlan};
+use era::ds::HarrisList;
+use era::kv::{KvConfig, KvError, KvStore, ShardHealth};
+use era::obs::Hook;
+use era::smr::common::Smr;
+use era::smr::ebr::Ebr;
+
+fn act_one() {
+    println!("== Act 1: a reader dies pinned mid-Harris-traversal ==\n");
+    let plan = FaultPlan::new(42, vec![FaultAction::DiePinned { at_op: 100 }]);
+    let smr = ChaosSmr::new(Ebr::with_threshold(4, 16), plan);
+    let list = HarrisList::new(&smr);
+    let mut ctx = smr.register().expect("slot");
+
+    for k in 1..=400i64 {
+        list.insert(&mut ctx, k);
+        if k % 2 == 0 {
+            list.delete(&mut ctx, k);
+        }
+        // Traversals keep running as the plan's victim dies under them.
+        assert_eq!(list.contains(&mut ctx, k), k % 2 != 0);
+    }
+    let log = smr.fault_log();
+    assert_eq!(log.len(), 1, "the planned death must have fired");
+    println!(
+        "  op {:>5}: chaos killed a pinned context (planned at op {});",
+        log[0].fired_at, log[0].planned_at
+    );
+    println!(
+        "  its garbage is orphaned: retired_now = {}",
+        smr.stats().retired_now
+    );
+
+    smr.quiesce(&mut ctx);
+    for _ in 0..8 {
+        smr.begin_op(&mut ctx);
+        smr.end_op(&mut ctx);
+        smr.flush(&mut ctx);
+    }
+    assert_eq!(smr.stats().retired_now, 0, "{}", smr.stats());
+    println!(
+        "  survivors adopted and freed every orphan: retired_now = 0 \
+         (total reclaimed {})\n",
+        smr.stats().total_reclaimed
+    );
+}
+
+fn act_two() {
+    println!("== Act 2: the serving layer quarantines, heals, re-opens ==\n");
+    // Shard 0 carries the armed plan; shard 1 stays calm.
+    let schemes = vec![
+        ChaosSmr::new(
+            Ebr::with_threshold(4, 16),
+            FaultPlan::new(7, vec![FaultAction::DiePinned { at_op: 60 }]),
+        ),
+        ChaosSmr::transparent(Ebr::with_threshold(4, 16)),
+    ];
+    let store = KvStore::new(&schemes, KvConfig::default());
+    let mut ctx = store.register().expect("capacity");
+
+    // Serve traffic until the planned death fires on shard 0.
+    let mut k = 0i64;
+    while store.scheme(0).faults_injected() == 0 {
+        store.put(&mut ctx, k, k).unwrap();
+        store.remove(&mut ctx, k).unwrap();
+        k += 1;
+    }
+    println!(
+        "  after {k} write pairs: shard 0's scheme reports {} injected fault(s)",
+        store.scheme(0).faults_injected()
+    );
+
+    // The operator reaction: flag the shard before piling on writes.
+    store.quarantine(0);
+    assert_eq!(store.health(0), ShardHealth::Quarantined);
+    let k0 = (0..).find(|&k| store.shard_of(k) == 0).unwrap();
+    let refused = store.put(&mut ctx, k0, 1);
+    assert!(matches!(refused, Err(KvError::Overloaded { shard: 0 })));
+    let readable = store.get(&mut ctx, k0);
+    println!(
+        "  shard 0 quarantined: writes refused ({}), reads served (get({k0}) = {readable:?})",
+        refused.unwrap_err()
+    );
+
+    // Heal: fresh context in, old context's garbage to the orphan pool,
+    // immediate flush adopts it; then drain the whole store.
+    store.heal(&mut ctx, 0).expect("spare slot");
+    assert!(
+        store.drain(&mut ctx, 64),
+        "drain must complete: {}",
+        store.stats()
+    );
+    assert_eq!(store.health(0), ShardHealth::Robust);
+    let adoptions = store.recorder(0).metrics().hook_count(Hook::Adopt);
+    println!(
+        "  healed + drained: retired_now = 0, {adoptions} adoption event(s), \
+         navigator returned shard 0 to {}",
+        store.health(0)
+    );
+
+    assert_eq!(store.put(&mut ctx, 9_999, 1), Ok(None));
+    println!("  shard 0 is serving writes again\n");
+}
+
+fn main() {
+    act_one();
+    act_two();
+    println!("Chaos run complete: death → adoption → quarantine → heal → Robust.");
+}

@@ -12,6 +12,7 @@
 
 use std::time::Instant;
 
+use era::chaos::ChaosSmr;
 use era::ds::{HarrisList, MichaelList};
 use era::smr::common::{Smr, SupportsUnlinkedTraversal};
 use era::smr::ebr::Ebr;
@@ -75,6 +76,10 @@ fn main() {
     for kr in [16i64, 32, 64, 128, 1024] {
         println!("-- key_range {kr}");
         bench_michael("michael+ebr ", &Ebr::new(2), kr);
+        // Acceptance probe for era-chaos: an empty-plan ChaosSmr is one
+        // relaxed increment + one load per begin_op, so this row must
+        // sit on top of the bare-EBR row (min-estimator noise aside).
+        bench_michael("michael+ebrX", &ChaosSmr::transparent(Ebr::new(2)), kr);
         bench_michael("michael+hp  ", &Hp::new(2, 3), kr);
         bench_michael("michael+leak", &Leak::new(2), kr);
         bench_harris("harris+ebr  ", &Ebr::new(2), kr);

@@ -18,10 +18,15 @@
 //!   key-value store whose runtime ERA navigator trades the theorem's
 //!   three properties dynamically (admission control, cooperative
 //!   neutralization) instead of fixing one trade-off at design time.
+//! * [`chaos`] (`era-chaos`) — deterministic fault injection: a
+//!   `ChaosSmr` decorator (and a VBR `ChaosArena`) replaying seeded
+//!   `FaultPlan`s — die-pinned contexts, stalled announcements,
+//!   delayed flushes, slot exhaustion — against any scheme.
 //!
 //! See `README.md` for a tour and `EXPERIMENTS.md` for the reproduction
 //! of every figure in the paper.
 
+pub use era_chaos as chaos;
 pub use era_core as core;
 pub use era_ds as ds;
 pub use era_kv as kv;

@@ -11,7 +11,7 @@
 
 use era::ds::MichaelList;
 use era::smr::common::Smr;
-use era::smr::{ebr::Ebr, he::He, hp::Hp, ibr::Ibr, nbr::Nbr, qsbr::Qsbr};
+use era::smr::{ebr::Ebr, he::He, hp::Hp, ibr::Ibr, leak::Leak, nbr::Nbr, qsbr::Qsbr, vbr};
 
 /// Begin an op, load through a protected slot, then drop the context
 /// without ever calling `end_op` — the "thread died pinned" injection.
@@ -140,6 +140,134 @@ fn orphaned_garbage_is_adopted_not_leaked() {
     }
 }
 
+/// A thread panics while pinned; the context is dropped during stack
+/// unwinding. The Drop path must release the registry slot exactly
+/// once — no leak (the slot stays claimed forever) and no double
+/// release (two later registrations sharing one slot).
+fn die_by_panic<S: Smr>(smr: &S) {
+    let unwound = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        let mut ctx = smr.register().expect("slot");
+        smr.begin_op(&mut ctx);
+        panic!("injected panic while pinned");
+    }));
+    assert!(unwound.is_err(), "the injected panic must propagate");
+}
+
+#[test]
+fn panicking_thread_releases_its_slot_exactly_once() {
+    // Capacity 2 exposes both failure modes: a leaked slot makes the
+    // second post-panic registration fail; a double-released slot
+    // would let a third one succeed.
+    let smr = Ebr::new(2);
+    for _ in 0..4 {
+        die_by_panic(&smr);
+    }
+    let a = smr.register().expect("slot released by unwinding drop");
+    let b = smr.register().expect("second slot untouched by panics");
+    assert!(
+        smr.register().is_err(),
+        "exactly-once release: capacity must not grow past 2"
+    );
+    drop((a, b));
+}
+
+/// Satellite: K = 16 *sequential* deaths on a capacity-2 scheme. Each
+/// death must fully return its slot before the next, and the orphaned
+/// garbage of all sixteen must drain once a live thread churns.
+fn sixteen_sequential_deaths<S: Smr>(smr: &S, expect_drain: bool) {
+    for _ in 0..16 {
+        die_pinned(smr);
+    }
+    // Slot count must not erode: both slots claimable, a third is not.
+    let a = smr.register().expect("slot after 16 deaths");
+    let b = smr.register().expect("second slot after 16 deaths");
+    assert!(smr.register().is_err(), "capacity grew past 2");
+    drop((a, b));
+    let (retired, now) = churn_and_drain(smr, 1_000);
+    assert!(retired >= 1_000);
+    if expect_drain {
+        assert_eq!(now, 0, "orphans of 16 deaths failed to drain: {now}");
+    }
+}
+
+#[test]
+fn repeated_deaths_do_not_erode_capacity() {
+    sixteen_sequential_deaths(&Ebr::with_threshold(2, 8), true);
+    sixteen_sequential_deaths(&Hp::with_threshold(2, 3, 8), true);
+    sixteen_sequential_deaths(&He::with_params(2, 3, 8, 4), true);
+    sixteen_sequential_deaths(&Ibr::with_params(2, 8, 4), true);
+    sixteen_sequential_deaths(&Nbr::with_threshold(2, 2, 8), true);
+}
+
+#[test]
+fn qsbr_repeated_deaths_do_not_erode_capacity() {
+    // QSBR's drain needs explicit quiescence announcements from the
+    // survivor, so it gets its own churn loop.
+    let smr = Qsbr::with_threshold(2, 8);
+    for _ in 0..16 {
+        die_pinned(&smr);
+    }
+    let a = smr.register().expect("slot after 16 deaths");
+    let b = smr.register().expect("second slot after 16 deaths");
+    assert!(smr.register().is_err(), "capacity grew past 2");
+    drop((a, b));
+    let list = MichaelList::new(&smr);
+    let mut ctx = smr.register().unwrap();
+    for k in 0..500i64 {
+        assert!(list.insert(&mut ctx, k % 31));
+        assert!(list.delete(&mut ctx, k % 31));
+        smr.quiescent(&mut ctx);
+    }
+    for _ in 0..4 {
+        smr.quiescent(&mut ctx);
+        smr.flush(&mut ctx);
+    }
+    assert_eq!(smr.stats().retired_now, 0, "{}", smr.stats());
+}
+
+#[test]
+fn leak_repeated_deaths_do_not_erode_capacity() {
+    // The leaking baseline never drains, but deaths must still recycle
+    // slots and never wedge the workload.
+    let smr = Leak::new(2);
+    sixteen_sequential_deaths(&smr, false);
+    assert_eq!(smr.stats().total_reclaimed, 0);
+    assert!(smr.stats().retired_now >= 1_000);
+}
+
+#[test]
+fn vbr_departed_readers_cannot_wedge_the_arena() {
+    // VBR has no per-thread contexts: a departed reader leaves only
+    // stale (handle, version) pairs behind. The arena must keep
+    // recycling through them, and the versions must keep the stale
+    // handles detectably dead.
+    let arena: vbr::Arena<2> = vbr::Arena::new(8);
+    let mut abandoned = Vec::new();
+    for round in 0..16u64 {
+        // A "reader" grabs handles mid-operation and disappears.
+        let h = arena.alloc().expect("capacity cycles");
+        arena.write(h, 0, round).unwrap();
+        abandoned.push(h);
+        arena.retire(h).unwrap(); // unlinked after the reader vanished
+    }
+    // Slots recycled: the arena can still fill to capacity...
+    let live: Vec<_> = (0..arena.capacity() - arena.live())
+        .map(|_| arena.alloc().expect("slot recycled"))
+        .collect();
+    // ...and every abandoned handle is detectably stale, not readable.
+    let stale = abandoned
+        .iter()
+        .filter(|&&h| arena.validate(h).is_err())
+        .count();
+    assert!(
+        stale >= abandoned.len() - arena.capacity(),
+        "recycled slots must bump versions: only {stale} stale"
+    );
+    for h in live {
+        arena.retire(h).unwrap();
+    }
+}
+
 #[test]
 fn death_during_concurrent_churn() {
     // Threads keep dying pinned while others churn: the system must
@@ -174,4 +302,60 @@ fn death_during_concurrent_churn() {
         smr.flush(&mut ctx);
     }
     assert_eq!(smr.stats().retired_now, 0, "{}", smr.stats());
+}
+
+/// The same injections with every scheme wrapped in
+/// [`era::chaos::ChaosSmr`]: a transparent wrapper must change nothing,
+/// and an armed wrapper must stack *its* deaths on top of the manual
+/// ones without the recovery story regressing. (`--features chaos`.)
+#[cfg(feature = "chaos")]
+mod chaos_wrapped {
+    use super::*;
+    use era::chaos::{ChaosSmr, FaultAction, FaultPlan};
+
+    #[test]
+    fn transparent_wrapper_changes_nothing() {
+        let smr = ChaosSmr::transparent(Ebr::with_threshold(4, 8));
+        die_pinned(&smr);
+        let (retired, now) = churn_and_drain(&smr, 2_000);
+        assert_eq!(retired, 2_000);
+        assert_eq!(now, 0);
+        assert_eq!(smr.faults_injected(), 0);
+
+        let smr = ChaosSmr::transparent(Hp::with_threshold(4, 3, 8));
+        die_pinned(&smr);
+        let (_, now) = churn_and_drain(&smr, 2_000);
+        assert_eq!(now, 0);
+
+        let smr = ChaosSmr::transparent(Nbr::with_threshold(4, 2, 8));
+        die_pinned(&smr);
+        let (_, now) = churn_and_drain(&smr, 2_000);
+        assert_eq!(now, 0);
+    }
+
+    #[test]
+    fn injected_deaths_stack_on_manual_ones() {
+        let plan = FaultPlan::new(
+            7,
+            (1..=8u64)
+                .map(|i| FaultAction::DiePinned { at_op: i * 64 })
+                .collect(),
+        );
+        let smr = ChaosSmr::new(Ebr::with_threshold(8, 8), plan);
+        die_pinned(&smr); // manual death before the plan starts firing
+        let list = MichaelList::new(&smr);
+        let mut ctx = smr.register().unwrap();
+        for k in 0..2_000i64 {
+            assert!(list.insert(&mut ctx, k % 97));
+            assert!(list.delete(&mut ctx, k % 97));
+        }
+        assert_eq!(smr.faults_injected(), 8, "all planned deaths fired");
+        smr.quiesce(&mut ctx);
+        for _ in 0..8 {
+            smr.begin_op(&mut ctx);
+            smr.end_op(&mut ctx);
+            smr.flush(&mut ctx);
+        }
+        assert_eq!(smr.stats().retired_now, 0, "{}", smr.stats());
+    }
 }

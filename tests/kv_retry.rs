@@ -1,0 +1,106 @@
+//! Property test for the self-healing KV write path: against a store
+//! with a stalled (pinned-and-degraded) shard and a quarantined shard,
+//! `put_with_retry` must **always** terminate within its deadline
+//! budget — every call returns either `Ok` or the typed
+//! `KvError::DeadlineExceeded`, and never blocks unboundedly, no
+//! matter which shard the key routes to.
+
+use std::time::{Duration, Instant};
+
+use era::kv::{KvConfig, KvError, KvStore, RetryPolicy};
+use era::smr::common::Smr;
+use era::smr::ebr::Ebr;
+use proptest::prelude::*;
+
+fn tight_policy() -> RetryPolicy {
+    RetryPolicy {
+        max_attempts: 6,
+        base_backoff: Duration::from_micros(20),
+        max_backoff: Duration::from_micros(200),
+        deadline: Duration::from_millis(3),
+    }
+}
+
+/// Generous wall-clock ceiling per call: the policy's worst case is
+/// `max_attempts` flushes plus ~1ms of sleeps; 500ms of slack keeps the
+/// assertion meaningful (a hang, not scheduling jitter) on any machine.
+const NEVER_HANGS: Duration = Duration::from_millis(500);
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn put_with_retry_terminates_on_stalled_and_quarantined_shards(
+        keys in prop::collection::vec(-256i64..256, 1..48),
+        quarantine_rest in prop::bool::weighted(0.5),
+    ) {
+        let schemes: Vec<Ebr> = (0..3).map(|_| Ebr::with_threshold(4, 1)).collect();
+        let cfg = KvConfig {
+            retired_soft: 4,
+            retired_hard: 1 << 20, // stay out of neutralization
+            admission_depth: 0,    // degraded shards shed every write
+            ..KvConfig::default()
+        };
+        let store = KvStore::new(&schemes, cfg);
+        let mut ctx = store.register().unwrap();
+
+        // Stall shard 0: a pinned reader freezes its epoch while churn
+        // piles up garbage, then a tick classifies it Degrading. The
+        // pin is never released, so no amount of retry-flushing can
+        // drain it — the worst case for the retry loop.
+        let smr = store.scheme(0);
+        let mut pin = smr.register().unwrap();
+        smr.begin_op(&mut pin);
+        let mut seeded = 0;
+        for k in 0.. {
+            if store.shard_of(k) == 0 {
+                store.put(&mut ctx, k, k).unwrap();
+                store.remove(&mut ctx, k).unwrap();
+                seeded += 1;
+                if seeded == 16 { break; }
+            }
+        }
+        store.navigator_tick();
+        prop_assert_eq!(store.health(0), era::kv::ShardHealth::Degrading);
+        if quarantine_rest {
+            for s in 1..store.shard_count() {
+                store.quarantine(s);
+            }
+        }
+
+        for k in keys {
+            let t0 = Instant::now();
+            let out = store.put_with_retry(&mut ctx, k, 1, tight_policy());
+            let took = t0.elapsed();
+            prop_assert!(took < NEVER_HANGS, "put({k}) took {took:?}");
+            match out {
+                Ok(_) => {
+                    // Only an unimpaired shard may admit the write.
+                    prop_assert!(!quarantine_rest, "all shards impaired: no write may land");
+                    prop_assert_ne!(store.shard_of(k), 0, "shard 0 sheds everything");
+                }
+                Err(KvError::DeadlineExceeded { shard }) => {
+                    prop_assert_eq!(shard, store.shard_of(k));
+                }
+                Err(other) => prop_assert!(false, "untyped failure: {other}"),
+            }
+        }
+        smr.end_op(&mut pin);
+    }
+}
+
+#[test]
+fn put_with_retry_is_plain_put_on_a_healthy_store() {
+    let schemes: Vec<Ebr> = (0..2).map(|_| Ebr::new(2)).collect();
+    let store = KvStore::new(&schemes, KvConfig::default());
+    let mut ctx = store.register().unwrap();
+    for k in 0..64 {
+        assert_eq!(
+            store.put_with_retry(&mut ctx, k, k * 3, RetryPolicy::default()),
+            Ok(None)
+        );
+    }
+    for k in 0..64 {
+        assert_eq!(store.get(&mut ctx, k), Some(k * 3));
+    }
+}

@@ -181,3 +181,35 @@ fn he_protect_retire_reclaim() {
     let st = hammer(&smr);
     assert!(st.total_reclaimed >= (WRITERS * ITERS) as u64 / 2, "{st}");
 }
+
+/// The same hammer through a transparent (empty-plan)
+/// [`era::chaos::ChaosSmr`]: the decorator must preserve the fence
+/// discipline and the footprint bounds exactly — its fast path is a
+/// single relaxed clock increment and one load. (`--features chaos`;
+/// armed-plan multi-thread runs live in `chaos_stress.rs`.)
+#[cfg(feature = "chaos")]
+mod chaos_wrapped {
+    use super::*;
+    use era::chaos::ChaosSmr;
+
+    #[test]
+    fn ebr_hammer_is_oblivious_to_a_transparent_wrapper() {
+        let smr = ChaosSmr::transparent(Ebr::with_threshold(WRITERS + READERS + 1, THRESHOLD));
+        let st = hammer(&smr);
+        assert_bounded_peak(&st, "EBR/chaos");
+        assert_eq!(smr.faults_injected(), 0);
+        assert_eq!(smr.op_clock(), ((WRITERS + READERS) * ITERS) as u64);
+    }
+
+    #[test]
+    fn hp_hammer_is_oblivious_to_a_transparent_wrapper() {
+        let smr = ChaosSmr::transparent(Hp::with_threshold(WRITERS + READERS + 1, 1, THRESHOLD));
+        let st = hammer(&smr);
+        assert!(
+            st.retired_peak <= smr.inner().robustness_bound(),
+            "HP/chaos: retired_peak {} exceeds robustness bound {}",
+            st.retired_peak,
+            smr.inner().robustness_bound()
+        );
+    }
+}
