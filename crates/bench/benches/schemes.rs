@@ -27,6 +27,9 @@ fn bench_scheme<S: Smr>(c: &mut Criterion, smr: S) {
         smr.end_op(&mut ctx);
     });
 
+    // SAFETY: every pointer this bench retires is the Box::into_raw of
+    // the u64 allocated in the same iteration; retire hands it to
+    // free_u64 exactly once.
     unsafe fn free_u64(p: *mut u8) {
         unsafe { drop(Box::from_raw(p as *mut u64)) }
     }

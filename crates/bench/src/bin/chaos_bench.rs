@@ -107,6 +107,10 @@ struct Node {
     payload: u64,
 }
 
+/// # Safety
+///
+/// `p` must be the `Box::into_raw` pointer of a live `Node`; the SMR
+/// scheme passes it here exactly once.
 unsafe fn free_node(p: *mut u8) {
     unsafe { drop(Box::from_raw(p as *mut Node)) }
 }
@@ -130,6 +134,8 @@ fn run_scheme<S: Smr>(name: &str, inner: S, opts: &Options, reclaims: bool) -> C
                 header: SmrHeader::new(),
                 payload: i,
             }));
+            // SAFETY: `node` is freshly allocated and never published —
+            // retiring it immediately is well-formed and happens once.
             unsafe {
                 smr.init_header(&mut ctx, &(*node).header);
                 smr.retire(&mut ctx, node as *mut u8, &(*node).header, free_node);

@@ -107,6 +107,8 @@ fn run_michael_inner<S: Smr + Sync>(
                     }
                     if i % 1024 == 0 {
                         let retired = smr.stats().retired_now;
+                        // SAFETY(ordering): Relaxed — footprint
+                        // high-water telemetry, read after joins.
                         peak.fetch_max(retired, Ordering::Relaxed);
                         tracer.emit(Hook::Sample, retired as u64, i as u64);
                     }
@@ -190,6 +192,8 @@ fn run_harris_inner<S: Smr + SupportsUnlinkedTraversal + Sync>(
                     }
                     if i % 1024 == 0 {
                         let retired = smr.stats().retired_now;
+                        // SAFETY(ordering): Relaxed — footprint
+                        // high-water telemetry, read after joins.
                         peak.fetch_max(retired, Ordering::Relaxed);
                         tracer.emit(Hook::Sample, retired as u64, i as u64);
                     }

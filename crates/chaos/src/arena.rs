@@ -156,6 +156,8 @@ impl<const C: usize> ChaosArena<C> {
             if let FaultAction::FailAlloc { count, .. } | FaultAction::FailRegister { count, .. } =
                 action
             {
+                // SAFETY(ordering): Relaxed — a monotone failure budget
+                // consumed by CAS in alloc(); only a count, no payload.
                 self.st
                     .alloc_fail
                     .fetch_add(count.max(1), Ordering::Relaxed);
@@ -165,12 +167,16 @@ impl<const C: usize> ChaosArena<C> {
                 planned_at: action.at_op(),
                 fired_at: op,
             });
+            // SAFETY(ordering): Relaxed — run-level fault tally, read
+            // by assertions after the run.
             self.st.faults.fetch_add(1, Ordering::Relaxed);
             if let Some(t) = self.st.tracer.get() {
                 lock(t).emit(Hook::Fault, action.kind() as u64, op);
             }
         }
         let wake = rt.pending.get(rt.cursor).map_or(u64::MAX, |a| a.at_op());
+        // SAFETY(ordering): Relaxed — advisory fast-path gate; a stale
+        // read costs one extra poll() under the rt lock.
         self.st.next_wake.store(wake, Ordering::Relaxed);
     }
 
@@ -183,12 +189,17 @@ impl<const C: usize> ChaosArena<C> {
     pub fn alloc(&self) -> Result<Handle, ArenaFull> {
         #[cfg(feature = "inject")]
         {
+            // SAFETY(ordering): Relaxed — the alloc clock orders faults
+            // against this thread's own allocs; cross-thread slack is
+            // part of the chaos model.
             let op = self.st.clock.fetch_add(1, Ordering::Relaxed) + 1;
             if op >= self.st.next_wake.load(Ordering::Relaxed) {
                 self.poll(op);
             }
             let mut n = self.st.alloc_fail.load(Ordering::Relaxed);
             while n > 0 {
+                // SAFETY(ordering): Relaxed/Relaxed — budget decrement;
+                // atomicity alone bounds failures to the planned count.
                 match self.st.alloc_fail.compare_exchange_weak(
                     n,
                     n - 1,

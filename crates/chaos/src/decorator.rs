@@ -68,6 +68,12 @@ struct ChaosNode {
     payload: u64,
 }
 
+/// Reclaims a [`ChaosNode`] retired by a `DiePinned` fault.
+///
+/// # Safety
+///
+/// `p` must be the `Box::into_raw` pointer of a live `ChaosNode`; the
+/// SMR scheme guarantees it is passed here exactly once.
 #[cfg(feature = "inject")]
 unsafe fn free_chaos_node(p: *mut u8) {
     unsafe { drop(Box::from_raw(p as *mut ChaosNode)) }
@@ -256,6 +262,9 @@ impl<S: Smr> ChaosSmr<S> {
             }
             rt.hostages.clear();
             let deferred = std::mem::take(&mut rt.deferred_flushes);
+            // SAFETY(ordering): Relaxed — budget and wake words are
+            // advisory gates re-checked on the cold path under the rt
+            // lock; releasing that lock below publishes this reset.
             self.st.restart_budget.store(0, Ordering::Relaxed);
             self.st.register_fail.store(0, Ordering::Relaxed);
             self.st.flush_until.store(0, Ordering::Relaxed);
@@ -312,11 +321,17 @@ impl<S: Smr> ChaosSmr<S> {
                 }
             }
             FaultAction::DelayFlush { for_ops, .. } => {
+                // SAFETY(ordering): Relaxed — an advisory window bound;
+                // a racing flush that misses it by one op only shifts
+                // when the fault lands, which the chaos model allows.
                 self.st
                     .flush_until
                     .store(op.saturating_add(for_ops.max(1)), Ordering::Relaxed);
             }
             FaultAction::FailRegister { count, .. } | FaultAction::FailAlloc { count, .. } => {
+                // SAFETY(ordering): Relaxed — a monotone failure budget
+                // later consumed by CAS in register(); it never carries
+                // dependent data, only a count.
                 self.st
                     .register_fail
                     .fetch_add(count.max(1), Ordering::Relaxed);
@@ -333,18 +348,25 @@ impl<S: Smr> ChaosSmr<S> {
                     .push((op.saturating_add(for_ops.max(1)), grabbed));
             }
             FaultAction::RestartStorm { count, .. } => {
+                // SAFETY(ordering): Relaxed — same monotone-budget shape
+                // as register_fail: consumed by CAS in needs_restart,
+                // no payload rides on it.
                 self.st
                     .restart_budget
                     .fetch_add(count.max(1), Ordering::Relaxed);
             }
         }
         let held = rt.stalled.len() + rt.hostages.iter().map(|(_, h)| h.len()).sum::<usize>();
+        // SAFETY(ordering): Relaxed — held_peak and faults are
+        // telemetry, read by assertions after the run (or behind the
+        // rt lock); no ordering is required.
         self.st.held_peak.fetch_max(held, Ordering::Relaxed);
         rt.log.push(FaultRecord {
             kind: action.kind(),
             planned_at: action.at_op(),
             fired_at: op,
         });
+        // SAFETY(ordering): Relaxed — run-level fault tally, see above.
         self.st.faults.fetch_add(1, Ordering::Relaxed);
         if let Some(t) = self.st.tracer.get() {
             lock(t).emit(Hook::Fault, action.kind() as u64, op);
@@ -400,6 +422,9 @@ impl<S: Smr> ChaosSmr<S> {
         if rt.deferred_flushes > 0 {
             wake = wake.min(self.st.flush_until.load(Ordering::Relaxed));
         }
+        // SAFETY(ordering): Relaxed — next_wake is an advisory fast-path
+        // gate; a stale read costs one extra poll() under the rt lock,
+        // never a missed fault (poll re-checks the real schedule).
         self.st.next_wake.store(wake, Ordering::Relaxed);
     }
 }
@@ -412,6 +437,9 @@ impl<S: Smr> Smr for ChaosSmr<S> {
         {
             let mut n = self.st.register_fail.load(Ordering::Relaxed);
             while n > 0 {
+                // SAFETY(ordering): Relaxed/Relaxed — the budget word
+                // carries no dependent data; the CAS only needs the
+                // decrement itself to be atomic.
                 match self.st.register_fail.compare_exchange_weak(
                     n,
                     n - 1,
@@ -445,6 +473,9 @@ impl<S: Smr> Smr for ChaosSmr<S> {
     fn begin_op(&self, ctx: &mut S::ThreadCtx) {
         #[cfg(feature = "inject")]
         {
+            // SAFETY(ordering): Relaxed — the op clock only orders
+            // faults against this thread's own ops; cross-thread slack
+            // is part of the chaos model (fired_at >= planned_at).
             let op = self.st.clock.fetch_add(1, Ordering::Relaxed) + 1;
             if op >= self.st.next_wake.load(Ordering::Relaxed) {
                 self.poll(op, Some(&mut *ctx));
@@ -478,6 +509,10 @@ impl<S: Smr> Smr for ChaosSmr<S> {
         self.inner.init_header(ctx, header);
     }
 
+    /// # Safety
+    ///
+    /// Same contract as the inner scheme's `retire` — delegated
+    /// verbatim; the decorator adds nothing between caller and scheme.
     unsafe fn retire(
         &self,
         ctx: &mut S::ThreadCtx,
@@ -498,6 +533,9 @@ impl<S: Smr> Smr for ChaosSmr<S> {
         {
             let mut n = self.st.restart_budget.load(Ordering::Relaxed);
             while n > 0 {
+                // SAFETY(ordering): Relaxed/Relaxed — monotone budget
+                // decrement, same shape as register(); atomicity alone
+                // bounds the storm to the planned count.
                 match self.st.restart_budget.compare_exchange_weak(
                     n,
                     n - 1,
@@ -524,6 +562,10 @@ impl<S: Smr> Smr for ChaosSmr<S> {
         self.inner.clear_reservations(ctx);
     }
 
+    /// # Safety
+    ///
+    /// Same contract as the inner scheme's `neutralize` — delegated
+    /// verbatim.
     unsafe fn neutralize(&self, slot: usize) -> bool {
         // SAFETY: same contract, delegated verbatim.
         unsafe { self.inner.neutralize(slot) }
@@ -624,6 +666,8 @@ mod tests {
         // Retire churn while the victim pins the epoch: footprint grows.
         let retire_one = |ctx: &mut _| {
             let p = Box::into_raw(Box::new(0u64)) as *mut u8;
+            // SAFETY: p is the Box::into_raw of the u64 above; retire
+            // passes it to free_u64 exactly once.
             unsafe fn free_u64(p: *mut u8) {
                 unsafe { drop(Box::from_raw(p as *mut u64)) }
             }
@@ -707,6 +751,8 @@ mod tests {
         let mut ctx = smr.register().unwrap();
         smr.begin_op(&mut ctx);
         let p = Box::into_raw(Box::new(7u64)) as *mut u8;
+        // SAFETY: p is the Box::into_raw of the u64 above; retire
+        // passes it to free_u64 exactly once.
         unsafe fn free_u64(p: *mut u8) {
             unsafe { drop(Box::from_raw(p as *mut u64)) }
         }

@@ -147,12 +147,14 @@ pub struct FaultPlan {
 
 impl FaultPlan {
     /// An empty plan: the decorator is transparent.
+    #[must_use = "a plan does nothing until handed to ChaosSmr/ChaosArena"]
     pub fn empty() -> FaultPlan {
         FaultPlan::default()
     }
 
     /// A plan from explicit actions (sorted by fire index; the sort is
     /// stable, so same-index actions keep their given order).
+    #[must_use = "a plan does nothing until handed to ChaosSmr/ChaosArena"]
     pub fn new(seed: u64, mut ops: Vec<FaultAction>) -> FaultPlan {
         ops.sort_by_key(|a| a.at_op());
         FaultPlan { seed, ops }
@@ -163,6 +165,7 @@ impl FaultPlan {
     /// `(seed, horizon, count)` pins the plan exactly. Windows and
     /// budgets are kept small relative to the horizon so no single
     /// fault can dominate a run.
+    #[must_use = "a plan does nothing until handed to ChaosSmr/ChaosArena"]
     pub fn generate(seed: u64, horizon: u64, count: usize) -> FaultPlan {
         let horizon = horizon.max(1);
         let window_cap = (horizon / 8).clamp(4, 256);

@@ -54,7 +54,12 @@ impl Node {
     }
 }
 
+/// # Safety
+/// `p` must be a pointer previously produced by `Node::alloc` that no other
+/// thread can still reach (retired and past its grace period, or owned
+/// exclusively by `Drop`).
 unsafe fn drop_node(p: *mut u8) {
+    // SAFETY: contract above — p originated in Node::alloc and is unreachable.
     unsafe { drop(Box::from_raw(p as *mut Node)) }
 }
 
@@ -100,6 +105,9 @@ pub struct HarrisList<'s, S: Smr + SupportsUnlinkedTraversal> {
 // The raw sentinel pointers are immutable after construction and the
 // nodes they reference are shared the same way the scheme's own nodes
 // are.
+// SAFETY: shared mutable state is atomics plus SMR-managed nodes; raw Node
+// pointers are dereferenced only inside begin_op/end_op (or exclusively in
+// Drop), and the scheme itself carries the Sync/Send bounds.
 unsafe impl<S: Smr + SupportsUnlinkedTraversal + Sync> Sync for HarrisList<'_, S> {}
 unsafe impl<S: Smr + SupportsUnlinkedTraversal + Send> Send for HarrisList<'_, S> {}
 
@@ -143,6 +151,11 @@ impl<'s, S: Smr + SupportsUnlinkedTraversal> HarrisList<'s, S> {
     fn search(&self, ctx: &mut S::ThreadCtx, key: i64) -> Window {
         'retry: loop {
             self.smr.enter_read_phase(ctx);
+            // SAFETY: the whole walk runs inside the caller's begin_op on a scheme
+            // with SupportsUnlinkedTraversal — marked/unlinked nodes remain
+            // dereferenceable until a grace period passes (Def. 4.2 Condition 1),
+            // and needs_restart is polled before trusting any read after a
+            // potential neutralization.
             let mut pred: *const Node = self.head;
             let mut pred_next = unsafe { (*pred).next.load(Ordering::SeqCst) }; // line 4
             let mut curr: *const Node = untagged(pred_next) as *const Node;
@@ -196,6 +209,8 @@ impl<'s, S: Smr + SupportsUnlinkedTraversal> HarrisList<'s, S> {
         Self::check_key(key);
         self.smr.begin_op(ctx);
         let node = Node::alloc(key, 0);
+        // SAFETY: `node` is fresh and unshared until the linking CAS publishes
+        // it; w.pred/w.curr come from `search` under this op's protection.
         self.smr.init_header(ctx, unsafe { &(*node).header });
         let result = loop {
             let w = self.search(ctx, key); // line 30
@@ -232,6 +247,9 @@ impl<'s, S: Smr + SupportsUnlinkedTraversal> HarrisList<'s, S> {
         self.smr.begin_op(ctx);
         let result = 'outer: loop {
             let w = self.search(ctx, key); // line 41
+                                           // SAFETY: w.pred/w.curr are protected by this op (search returned them
+                                           // under our begin_op); the mark CAS wins at most once, so the retire
+                                           // below happens exactly once per node.
             if w.curr == self.tail || unsafe { (*w.curr).key } != key {
                 self.smr.clear_reservations(ctx);
                 break false; // lines 44–45
@@ -324,8 +342,11 @@ impl<'s, S: Smr + SupportsUnlinkedTraversal> HarrisList<'s, S> {
     }
 
     /// Snapshot of the keys (quiescent use only).
+    // LINT: quiescent — snapshot API, documented callers-must-be-quiescent contract.
     pub fn collect_keys(&self) -> Vec<i64> {
         let mut out = Vec::new();
+        // SAFETY: quiescent snapshot contract (doc above): no concurrent writers,
+        // so every reachable node is live.
         let mut node = untagged(unsafe { (*self.head).next.load(Ordering::SeqCst) }) as *const Node;
         while node != self.tail {
             let next = unsafe { (*node).next.load(Ordering::SeqCst) };
@@ -349,9 +370,12 @@ impl<'s, S: Smr + SupportsUnlinkedTraversal> HarrisList<'s, S> {
 }
 
 impl<S: Smr + SupportsUnlinkedTraversal> Drop for HarrisList<'_, S> {
+    // LINT: exclusive — &mut self in Drop: no concurrent readers can exist.
     fn drop(&mut self) {
         let mut node = self.head;
         while !node.is_null() {
+            // SAFETY: &mut self — exclusive access; marked nodes included, each
+            // reachable node is freed exactly once, stopping at the tail sentinel.
             let next = untagged(unsafe { (*node).next.load(Ordering::SeqCst) }) as *mut Node;
             unsafe { drop_node(node as *mut u8) };
             if node == self.tail {
@@ -397,6 +421,10 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(
+        miri,
+        ignore = "spawns OS threads / reads wall-clock; run natively (EXPERIMENTS E11)"
+    )]
     #[should_panic(expected = "reserved sentinel keys")]
     fn sentinel_keys_rejected() {
         let smr = Leak::new(1);
@@ -476,6 +504,9 @@ mod tests {
         for k in [1, 2, 3] {
             assert!(list.insert(&mut ctx, k));
         }
+        // LINT: quiescent — single-threaded test poking at a private list.
+        // SAFETY: single-threaded test; no node has been retired, so every link
+        // target is live. Marking by hand mimics delete's line 48.
         // Mark nodes 1 and 2 by hand (what delete's line 48 does).
         unsafe {
             let n1 = untagged((*list.head).next.load(Ordering::SeqCst)) as *const Node;
@@ -522,6 +553,10 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(
+        miri,
+        ignore = "spawns OS threads / reads wall-clock; run natively (EXPERIMENTS E11)"
+    )]
     fn nbr_reclaims_with_cooperative_readers() {
         let smr = Nbr::with_threshold(4, 2, 16);
         let list = HarrisList::new(&smr);

@@ -187,6 +187,10 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(
+        miri,
+        ignore = "spawns OS threads / reads wall-clock; run natively (EXPERIMENTS E11)"
+    )]
     fn concurrent_disjoint_and_contended() {
         let smr = Hp::new(8, 3);
         let map = HashMap::new(&smr, 32);

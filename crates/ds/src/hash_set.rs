@@ -145,6 +145,10 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(
+        miri,
+        ignore = "spawns OS threads / reads wall-clock; run natively (EXPERIMENTS E11)"
+    )]
     fn concurrent_disjoint_and_contended() {
         let smr = Hp::new(8, 3);
         let set = HashSet::new(&smr, 32);

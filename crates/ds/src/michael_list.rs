@@ -40,7 +40,12 @@ impl Node {
     }
 }
 
+/// # Safety
+/// `p` must be a pointer previously produced by `Node::alloc` that no other
+/// thread can still reach (retired and past its grace period, or owned
+/// exclusively by `Drop`).
 unsafe fn drop_node(p: *mut u8) {
+    // SAFETY: contract above — p originated in Node::alloc and is unreachable.
     unsafe { drop(Box::from_raw(p as *mut Node)) }
 }
 
@@ -108,6 +113,10 @@ impl<'s, S: Smr> MichaelList<'s, S> {
     fn find(&self, ctx: &mut S::ThreadCtx, key: i64) -> Window {
         'retry: loop {
             let mut prev: *const AtomicUsize = &self.head;
+            // SAFETY: Michael-style hand-over-hand protection — `prev` always
+            // points into a node protected by SLOT_PREV (or the head, which is
+            // never freed), and `curr` is protected by the alternating slot before
+            // any deref; validation failures restart the walk.
             let mut cs = 0usize; // slot currently protecting `curr`
             let mut curr_word = self.smr.load(ctx, cs, unsafe { &*prev });
             loop {
@@ -180,6 +189,8 @@ impl<'s, S: Smr> MichaelList<'s, S> {
     pub fn insert(&self, ctx: &mut S::ThreadCtx, key: i64) -> bool {
         self.smr.begin_op(ctx);
         let node = Node::alloc(key, 0);
+        // SAFETY: `node` is fresh and unshared until the linking CAS publishes
+        // it; w.prev/w.curr_word stay protected by the slots `find` left armed.
         self.smr.init_header(ctx, unsafe { &(*node).header });
         let result = loop {
             let w = self.find(ctx, key);
@@ -222,6 +233,8 @@ impl<'s, S: Smr> MichaelList<'s, S> {
             // only used as CAS operands, never dereferenced. (A protected
             // load here would evict the prev-node protection from its
             // slot and leave `w.prev` dangling under HP.)
+            // SAFETY: node and w.prev are protected by the slots `find` left armed;
+            // the winning mark CAS makes this op the unique retirer.
             let next_word = unsafe { (*node).next.load(Ordering::SeqCst) };
             if is_marked(next_word) {
                 continue; // someone else is deleting it: re-find
@@ -291,6 +304,8 @@ impl<'s, S: Smr> MichaelList<'s, S> {
     /// EBR/QSBR) void the global protection when they neutralize a
     /// thread, so the loop polls [`Smr::needs_restart`] every hop —
     /// a relaxed self-flag load — and rewalks from the head.
+    // LINT: op-scoped — callers hold begin_op (see `contains`); the whole point of
+    // this path is that op-scoped schemes protect the walk globally.
     fn contains_read_only(&self, ctx: &mut S::ThreadCtx, key: i64) -> bool {
         'retry: loop {
             // SAFETY(ordering): SeqCst link loads keep this traversal in
@@ -318,11 +333,14 @@ impl<'s, S: Smr> MichaelList<'s, S> {
     }
 
     /// Snapshot of the keys (quiescent use only: tests/debugging).
+    // LINT: quiescent — snapshot API, documented callers-must-be-quiescent contract.
     pub fn collect_keys(&self) -> Vec<i64> {
         let mut out = Vec::new();
         let mut word = self.head.load(Ordering::SeqCst);
         while word != 0 {
             let node = untagged(word) as *const Node;
+            // SAFETY: quiescent snapshot contract (doc above): no concurrent
+            // writers, so every reachable node is live.
             let next = unsafe { (*node).next.load(Ordering::SeqCst) };
             if !is_marked(next) {
                 out.push(unsafe { (*node).key });
@@ -344,11 +362,14 @@ impl<'s, S: Smr> MichaelList<'s, S> {
 }
 
 impl<S: Smr> Drop for MichaelList<'_, S> {
+    // LINT: exclusive — &mut self in Drop: no concurrent readers can exist.
     fn drop(&mut self) {
         // Exclusive access: free the remaining nodes directly.
         let mut word = untagged(self.head.load(Ordering::SeqCst));
         while word != 0 {
             let node = word as *mut Node;
+            // SAFETY: &mut self — exclusive access; each reachable node is freed
+            // exactly once.
             let next = unsafe { (*node).next.load(Ordering::SeqCst) };
             unsafe { drop_node(node as *mut u8) };
             word = untagged(next);
@@ -397,6 +418,10 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(
+        miri,
+        ignore = "spawns OS threads / reads wall-clock; run natively (EXPERIMENTS E11)"
+    )]
     fn negative_and_extreme_keys() {
         let smr = Hp::new(1, 3);
         let list = MichaelList::new(&smr);
@@ -445,6 +470,7 @@ mod tests {
                     for _ in 0..200 {
                         if list.insert(&mut ctx, 42) {
                             assert!(list.delete(&mut ctx, 42));
+                            // SAFETY(ordering): Relaxed — test tally, read after join.
                             winners.fetch_add(1, Ordering::Relaxed);
                         }
                     }

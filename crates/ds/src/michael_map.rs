@@ -35,7 +35,12 @@ impl Node {
     }
 }
 
+/// # Safety
+/// `p` must be a pointer previously produced by `Node::alloc` that no other
+/// thread can still reach (retired and past its grace period, or owned
+/// exclusively by `Drop`).
 unsafe fn drop_node(p: *mut u8) {
+    // SAFETY: contract above — p originated in Node::alloc and is unreachable.
     unsafe { drop(Box::from_raw(p as *mut Node)) }
 }
 
@@ -94,6 +99,10 @@ impl<'s, S: Smr> MichaelMap<'s, S> {
     fn find(&self, ctx: &mut S::ThreadCtx, key: i64) -> Window {
         'retry: loop {
             let mut prev: *const AtomicUsize = &self.head;
+            // SAFETY: Michael-style hand-over-hand protection — `prev` always
+            // points into a node protected by SLOT_PREV (or the head, which is
+            // never freed), and `curr` is protected by the alternating slot before
+            // any deref; validation failures restart the walk.
             let mut cs = 0usize;
             let mut curr_word = self.smr.load(ctx, cs, unsafe { &*prev });
             loop {
@@ -161,6 +170,8 @@ impl<'s, S: Smr> MichaelMap<'s, S> {
             if w.found {
                 // Update in place (the node is protected by find).
                 let existing = w.curr_word as *const Node;
+                // SAFETY: w.curr_word/w.prev are protected by the slots `find` left
+                // armed; the local `node` stays unshared until the CAS publishes it.
                 let old = unsafe { (*existing).value.swap(value, Ordering::SeqCst) };
                 if !node.is_null() {
                     unsafe {
@@ -198,6 +209,7 @@ impl<'s, S: Smr> MichaelMap<'s, S> {
             let w = self.find(ctx, key);
             w.found.then(|| {
                 let node = w.curr_word as *const Node;
+                // SAFETY: protected by the slot `find` left armed for curr.
                 unsafe { (*node).value.load(Ordering::SeqCst) }
             })
         } else {
@@ -213,6 +225,8 @@ impl<'s, S: Smr> MichaelMap<'s, S> {
     /// The value is read after the mark check; as with `remove`, a
     /// racing in-place update may land in between, and either value is
     /// a linearizable answer.
+    // LINT: op-scoped — callers hold begin_op (see `get`); op-scoped schemes
+    // protect the walk globally.
     fn get_read_only(&self, ctx: &mut S::ThreadCtx, key: i64) -> Option<i64> {
         'retry: loop {
             // SAFETY(ordering): SeqCst link loads — part of the
@@ -253,6 +267,8 @@ impl<'s, S: Smr> MichaelMap<'s, S> {
                 break None;
             }
             let node = w.curr_word as *const Node;
+            // SAFETY: node and w.prev are protected by the slots `find` left armed;
+            // the winning mark CAS makes this op the unique retirer.
             let next_word = unsafe { (*node).next.load(Ordering::SeqCst) };
             if is_marked(next_word) {
                 continue;
@@ -293,6 +309,7 @@ impl<'s, S: Smr> MichaelMap<'s, S> {
         let w = self.find(ctx, key);
         let result = w.found.then(|| {
             let node = w.curr_word as *const Node;
+            // SAFETY: protected by the slot `find` left armed for curr.
             unsafe { (*node).value.fetch_add(delta, Ordering::SeqCst) + delta }
         });
         self.smr.end_op(ctx);
@@ -300,11 +317,14 @@ impl<'s, S: Smr> MichaelMap<'s, S> {
     }
 
     /// Snapshot of the entries, sorted by key (quiescent use only).
+    // LINT: quiescent — snapshot API, documented callers-must-be-quiescent contract.
     pub fn collect_entries(&self) -> Vec<(i64, i64)> {
         let mut out = Vec::new();
         let mut word = self.head.load(Ordering::SeqCst);
         while word != 0 {
             let node = untagged(word) as *const Node;
+            // SAFETY: quiescent snapshot contract (doc above): no concurrent
+            // writers, so every reachable node is live.
             let next = unsafe { (*node).next.load(Ordering::SeqCst) };
             if !is_marked(next) {
                 out.push(unsafe { ((*node).key, (*node).value.load(Ordering::SeqCst)) });
@@ -326,10 +346,13 @@ impl<'s, S: Smr> MichaelMap<'s, S> {
 }
 
 impl<S: Smr> Drop for MichaelMap<'_, S> {
+    // LINT: exclusive — &mut self in Drop: no concurrent readers can exist.
     fn drop(&mut self) {
         let mut word = untagged(self.head.load(Ordering::SeqCst));
         while word != 0 {
             let node = word as *mut Node;
+            // SAFETY: &mut self — exclusive access; each reachable node is freed
+            // exactly once.
             let next = unsafe { (*node).next.load(Ordering::SeqCst) };
             unsafe { drop_node(node as *mut u8) };
             word = untagged(next);
@@ -381,6 +404,10 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(
+        miri,
+        ignore = "spawns OS threads / reads wall-clock; run natively (EXPERIMENTS E11)"
+    )]
     fn concurrent_counters_are_exact() {
         // fetch_add is atomic: concurrent bumps never lose updates.
         let smr = Ebr::new(8);
@@ -404,6 +431,10 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(
+        miri,
+        ignore = "spawns OS threads / reads wall-clock; run natively (EXPERIMENTS E11)"
+    )]
     fn concurrent_upserts_and_removes() {
         let smr = Hp::new(8, 3);
         let map = MichaelMap::new(&smr);

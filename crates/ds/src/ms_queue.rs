@@ -28,7 +28,12 @@ impl Node {
     }
 }
 
+/// # Safety
+/// `p` must be a pointer previously produced by `Node::alloc` that no other
+/// thread can still reach (retired and past its grace period, or owned
+/// exclusively by `Drop`).
 unsafe fn drop_node(p: *mut u8) {
+    // SAFETY: contract above — p originated in Node::alloc and is unreachable.
     unsafe { drop(Box::from_raw(p as *mut Node)) }
 }
 
@@ -82,6 +87,9 @@ impl<'s, S: Smr> MsQueue<'s, S> {
     pub fn enqueue(&self, ctx: &mut S::ThreadCtx, value: i64) {
         self.smr.begin_op(ctx);
         let node = Node::alloc(value);
+        // SAFETY: `node` is fresh and unshared until the link CAS publishes it;
+        // `tail_node` is protected by the slot armed by `smr.load` each round
+        // before any deref, and a stale tail is detected by the re-check.
         self.smr.init_header(ctx, unsafe { &(*node).header });
         loop {
             let tail = self.smr.load(ctx, 0, &self.tail); // protected
@@ -119,6 +127,9 @@ impl<'s, S: Smr> MsQueue<'s, S> {
         let result = loop {
             let head = self.smr.load(ctx, 0, &self.head); // protected dummy
             let tail = self.tail.load(Ordering::SeqCst);
+            // SAFETY: `head_node` is protected by slot 0 (armed by the smr.load
+            // that produced `head`), `next` by slot 1 before its deref; the
+            // head re-check catches a swing between load and protect.
             let head_node = head as *const Node;
             let next = self.smr.load(ctx, 1, unsafe { &(*head_node).next }); // protected successor
             if self.head.load(Ordering::SeqCst) != head {
@@ -154,14 +165,21 @@ impl<'s, S: Smr> MsQueue<'s, S> {
     }
 
     /// Whether the queue is empty right now (racy outside quiescence).
+    // LINT: quiescent — racy-by-contract probe; the sentinel head is never freed
+    // while the queue is alive, so the single deref cannot touch reclaimed memory
+    // only a stale answer.
     pub fn is_empty(&self) -> bool {
         let head = self.head.load(Ordering::SeqCst) as *const Node;
+        // SAFETY: the dummy head is never freed while the queue is alive (see
+        // LINT waiver above) — worst case this reads a stale emptiness answer.
         unsafe { (*head).next.load(Ordering::SeqCst) == 0 }
     }
 
     /// Number of values (quiescent use only).
     pub fn len(&self) -> usize {
         let mut n = 0;
+        // SAFETY: quiescent contract (doc above): no concurrent producers or
+        // consumers, so every reachable node is live.
         let mut word = unsafe {
             (*(self.head.load(Ordering::SeqCst) as *const Node))
                 .next
@@ -176,10 +194,12 @@ impl<'s, S: Smr> MsQueue<'s, S> {
 }
 
 impl<S: Smr> Drop for MsQueue<'_, S> {
+    // LINT: exclusive — &mut self in Drop: no concurrent readers can exist.
     fn drop(&mut self) {
         let mut word = self.head.load(Ordering::SeqCst);
         while word != 0 {
             let node = word as *mut Node;
+            // SAFETY: &mut self — exclusive access; each node freed exactly once.
             word = unsafe { (*node).next.load(Ordering::SeqCst) };
             unsafe { drop_node(node as *mut u8) };
         }
@@ -211,6 +231,10 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(
+        miri,
+        ignore = "spawns OS threads / reads wall-clock; run natively (EXPERIMENTS E11)"
+    )]
     fn fifo_semantics_all_schemes() {
         exercise(&Ebr::new(2));
         exercise(&Hp::new(2, 2));
@@ -242,6 +266,8 @@ mod tests {
                     loop {
                         match q.dequeue(&mut ctx) {
                             Some(v) => {
+                                // SAFETY(ordering): Relaxed — test tallies, read
+                                // only after the worker threads are joined.
                                 consumed.fetch_add(v, Ordering::Relaxed);
                                 consumed_count.fetch_add(1, Ordering::Relaxed);
                             }
@@ -280,6 +306,10 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(
+        miri,
+        ignore = "spawns OS threads / reads wall-clock; run natively (EXPERIMENTS E11)"
+    )]
     fn per_thread_fifo_order_preserved() {
         // With one producer and one consumer, exact FIFO must hold.
         let smr = Ebr::new(2);

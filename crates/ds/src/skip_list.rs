@@ -39,7 +39,12 @@ impl Node {
     }
 }
 
+/// # Safety
+/// `p` must be a pointer previously produced by [`Node::alloc`] that no
+/// other thread can still reach (retired and past its grace period, or
+/// owned exclusively by `Drop`).
 unsafe fn drop_node(p: *mut u8) {
+    // SAFETY: contract above — p originated in Node::alloc and is unreachable.
     unsafe { drop(Box::from_raw(p as *mut Node)) }
 }
 
@@ -71,6 +76,9 @@ pub struct SkipList<'s, S: Smr + EpochProtected> {
     rng: AtomicU64,
 }
 
+// SAFETY: all shared mutable state is atomics (tower links, rng) or owned by
+// the SMR scheme, which carries its own Sync/Send bounds; raw Node pointers
+// are only dereferenced under the epoch pin or exclusive access.
 unsafe impl<S: Smr + EpochProtected + Sync> Sync for SkipList<'_, S> {}
 unsafe impl<S: Smr + EpochProtected + Send> Send for SkipList<'_, S> {}
 
@@ -90,10 +98,12 @@ struct FindResult {
 
 impl<'s, S: Smr + EpochProtected> SkipList<'s, S> {
     /// Creates an empty skip list using `smr` for reclamation.
+    // LINT: exclusive — sentinel towers are freshly allocated and still unshared.
     pub fn new(smr: &'s S) -> Self {
         let tail = Node::alloc(i64::MAX, MAX_HEIGHT);
         let head = Node::alloc(i64::MIN, MAX_HEIGHT);
         for level in 0..MAX_HEIGHT {
+            // SAFETY: head/tail were just allocated and are not yet shared.
             unsafe { (*head).next[level].store(tail as usize, Ordering::SeqCst) };
         }
         SkipList {
@@ -117,6 +127,8 @@ impl<'s, S: Smr + EpochProtected> SkipList<'s, S> {
         x ^= x << 13;
         x ^= x >> 7;
         x ^= x << 17;
+        // SAFETY(ordering): Relaxed — rng is a per-structure xorshift seed; racy
+        // interleavings only perturb tower heights, never correctness.
         self.rng.store(x, Ordering::Relaxed);
         ((x.trailing_ones() as usize) + 1).min(MAX_HEIGHT)
     }
@@ -124,11 +136,17 @@ impl<'s, S: Smr + EpochProtected> SkipList<'s, S> {
     /// Positions `preds`/`succs` around `key` at every level, unlinking
     /// marked nodes encountered on the way (Harris-per-level). Returns
     /// the node with the key when one is linked and unmarked at level 0.
+    // LINT: op-scoped — callers hold begin_op (insert/remove/contains); the skip
+    // list is EpochProtected-only, so the pin covers every node on the walk.
     fn find(&self, key: i64) -> FindResult {
         'retry: loop {
             let mut preds = [std::ptr::null::<Node>(); MAX_HEIGHT];
             let mut succs = [std::ptr::null::<Node>(); MAX_HEIGHT];
             let mut pred: *const Node = self.head;
+            // SAFETY: every node on this walk (head sentinel included) is pinned by
+            // the caller's begin_op — the skip list is EpochProtected-only, so a
+            // retired tower cannot be reclaimed while this op is pinned (Def. 4.2
+            // Condition 1); marked nodes stay dereferenceable until unlinked + grace.
             for level in (0..MAX_HEIGHT).rev() {
                 let mut curr_word = unsafe { (*pred).next[level].load(Ordering::SeqCst) };
                 if is_marked(curr_word) {
@@ -186,6 +204,8 @@ impl<'s, S: Smr + EpochProtected> SkipList<'s, S> {
         self.smr.begin_op(ctx);
         let height = self.random_height();
         let node = Node::alloc(key, height);
+        // SAFETY: `node` is freshly allocated (unshared until the linking CAS
+        // publishes it); preds/succs from `find` are pinned by begin_op above.
         self.smr.init_header(ctx, unsafe { &(*node).header });
         let result = 'retry: loop {
             let w = self.find(key);
@@ -269,6 +289,8 @@ impl<'s, S: Smr + EpochProtected> SkipList<'s, S> {
             let Some(node) = w.found else {
                 break 'done false;
             };
+            // SAFETY: `node` came out of `find` under this op's begin_op pin, so
+            // its tower stays dereferenceable for the whole mark-and-unlink dance.
             let height = unsafe { (*node).height };
             // Mark the upper levels top-down (idempotent, cooperative).
             for level in (1..height).rev() {
@@ -320,6 +342,8 @@ impl<'s, S: Smr + EpochProtected> SkipList<'s, S> {
         // Wait-free-ish lookup: pure traversal, no unlinking.
         let mut pred: *const Node = self.head;
         let mut found = false;
+        // SAFETY: traversal is pinned by begin_op above (EpochProtected-only
+        // structure), so every link leads to not-yet-reclaimed memory.
         for level in (0..MAX_HEIGHT).rev() {
             let mut curr =
                 untagged(unsafe { (*pred).next[level].load(Ordering::SeqCst) }) as *const Node;
@@ -346,8 +370,11 @@ impl<'s, S: Smr + EpochProtected> SkipList<'s, S> {
     }
 
     /// Snapshot of the keys (quiescent use only).
+    // LINT: quiescent — snapshot API, documented callers-must-be-quiescent contract.
     pub fn collect_keys(&self) -> Vec<i64> {
         let mut out = Vec::new();
+        // SAFETY: quiescent snapshot contract (doc above): no concurrent writers,
+        // so every reachable node is live.
         let mut node =
             untagged(unsafe { (*self.head).next[0].load(Ordering::SeqCst) }) as *const Node;
         while node != self.tail {
@@ -373,6 +400,7 @@ impl<'s, S: Smr + EpochProtected> SkipList<'s, S> {
     /// Structural invariant check (quiescent use only): keys strictly
     /// ascending at level 0, and every upper-level link lands on a node
     /// whose key is ≥ its level-0 successor chain position.
+    // LINT: quiescent — structural audit, documented callers-must-be-quiescent contract.
     pub fn check_invariants(&self) -> Result<(), String> {
         // Level 0: strictly sorted.
         let keys = self.collect_keys();
@@ -383,6 +411,7 @@ impl<'s, S: Smr + EpochProtected> SkipList<'s, S> {
         }
         // Upper levels: sorted sub-chains of live nodes.
         for level in 1..MAX_HEIGHT {
+            // SAFETY: same quiescent contract as collect_keys.
             let mut node =
                 untagged(unsafe { (*self.head).next[level].load(Ordering::SeqCst) }) as *const Node;
             let mut last = i64::MIN;
@@ -401,9 +430,12 @@ impl<'s, S: Smr + EpochProtected> SkipList<'s, S> {
 }
 
 impl<S: Smr + EpochProtected> Drop for SkipList<'_, S> {
+    // LINT: exclusive — &mut self in Drop: no concurrent readers can exist.
     fn drop(&mut self) {
         let mut node = self.head;
         loop {
+            // SAFETY: &mut self — exclusive access; every level-0-reachable node
+            // (marked or not) is freed exactly once, sentinels included.
             let next = untagged(unsafe { (*node).next[0].load(Ordering::SeqCst) }) as *mut Node;
             let is_tail = node == self.tail;
             unsafe { drop_node(node as *mut u8) };
@@ -467,6 +499,10 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(
+        miri,
+        ignore = "spawns OS threads / reads wall-clock; run natively (EXPERIMENTS E11)"
+    )]
     fn random_heights_are_geometricish() {
         let smr = Leak::new(1);
         let list = SkipList::new(&smr);
@@ -519,6 +555,10 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(
+        miri,
+        ignore = "spawns OS threads / reads wall-clock; run natively (EXPERIMENTS E11)"
+    )]
     fn stress_contended_keys() {
         let smr = Ebr::new(8);
         let list = SkipList::new(&smr);

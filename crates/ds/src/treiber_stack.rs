@@ -18,7 +18,12 @@ struct Node {
     next: AtomicUsize,
 }
 
+/// # Safety
+/// `p` must be a pointer previously produced by `Node::alloc` that no other
+/// thread can still reach (retired and past its grace period, or owned
+/// exclusively by `Drop`).
 unsafe fn drop_node(p: *mut u8) {
+    // SAFETY: contract above — p originated in Node::alloc and is unreachable.
     unsafe { drop(Box::from_raw(p as *mut Node)) }
 }
 
@@ -71,6 +76,7 @@ impl<'s, S: Smr> TreiberStack<'s, S> {
             value,
             next: AtomicUsize::new(0),
         }));
+        // SAFETY: `node` is fresh and unshared until the push CAS publishes it.
         self.smr.init_header(ctx, unsafe { &(*node).header });
         loop {
             let head = self.head.load(Ordering::SeqCst);
@@ -95,6 +101,9 @@ impl<'s, S: Smr> TreiberStack<'s, S> {
                 break None;
             }
             let node = head as *const Node;
+            // SAFETY: `head` was returned by smr.load, which armed the slot (or
+            // pinned the epoch) protecting it; the winning CAS then makes this op
+            // the unique retirer.
             let next = unsafe { (*node).next.load(Ordering::SeqCst) };
             if self
                 .head
@@ -124,6 +133,7 @@ impl<'s, S: Smr> TreiberStack<'s, S> {
         let mut word = self.head.load(Ordering::SeqCst);
         while word != 0 {
             n += 1;
+            // SAFETY: quiescent contract (doc above) — no concurrent pops.
             word = unsafe { (*(word as *const Node)).next.load(Ordering::SeqCst) };
         }
         n
@@ -131,10 +141,12 @@ impl<'s, S: Smr> TreiberStack<'s, S> {
 }
 
 impl<S: Smr> Drop for TreiberStack<'_, S> {
+    // LINT: exclusive — &mut self in Drop: no concurrent readers can exist.
     fn drop(&mut self) {
         let mut word = self.head.load(Ordering::SeqCst);
         while word != 0 {
             let node = word as *mut Node;
+            // SAFETY: &mut self — exclusive access; each node freed exactly once.
             word = unsafe { (*node).next.load(Ordering::SeqCst) };
             unsafe { drop_node(node as *mut u8) };
         }
@@ -166,6 +178,10 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(
+        miri,
+        ignore = "spawns OS threads / reads wall-clock; run natively (EXPERIMENTS E11)"
+    )]
     fn lifo_semantics_all_schemes() {
         exercise(&Ebr::new(2));
         exercise(&Hp::new(2, 1));
@@ -187,6 +203,8 @@ mod tests {
                     for i in 0..per_thread {
                         stack.push(&mut ctx, base + i);
                         if let Some(v) = stack.pop(&mut ctx) {
+                            // SAFETY(ordering): Relaxed — test tallies, read
+                            // only after the worker threads are joined.
                             popped_sum.fetch_add(v, Ordering::Relaxed);
                             popped_count.fetch_add(1, Ordering::Relaxed);
                         }
@@ -201,11 +219,13 @@ mod tests {
         // (each iteration pushes one and pops at most one; a pop can only
         // fail if the stack momentarily empties, in which case the value
         // stays for someone else).
+        // LINT: quiescent — all worker threads joined above; exclusive walk.
         let remaining: i64 = {
             let mut sum = 0;
             let mut word = stack.head.load(Ordering::SeqCst);
             while word != 0 {
                 let node = word as *const Node;
+                // SAFETY: workers joined — exclusive walk over live nodes.
                 sum += unsafe { (*node).value };
                 word = unsafe { (*node).next.load(Ordering::SeqCst) };
             }

@@ -427,6 +427,10 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(
+        miri,
+        ignore = "spawns OS threads / reads wall-clock; run natively (EXPERIMENTS E11)"
+    )]
     fn concurrent_disjoint_ranges() {
         let list = VbrList::new(4_096);
         std::thread::scope(|s| {
@@ -451,6 +455,10 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(
+        miri,
+        ignore = "spawns OS threads / reads wall-clock; run natively (EXPERIMENTS E11)"
+    )]
     fn concurrent_contended_churn() {
         let list = VbrList::new(64);
         std::thread::scope(|s| {

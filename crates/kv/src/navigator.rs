@@ -174,11 +174,16 @@ impl<'s, S: Smr> KvStore<'s, S> {
                 tracer.emit(Hook::Sample, st.retired_now as u64, i as u64);
                 if next != cur {
                     sh.health.store(next as u8, Ordering::SeqCst);
+                    // SAFETY(ordering): Relaxed — transition/violation
+                    // tallies are navigator telemetry, read only by
+                    // nav_counters() reporting.
                     sh.transitions.fetch_add(1, Ordering::Relaxed);
                     tracer.emit(Hook::Navigate, i as u64, ((cur as u64) << 8) | next as u64);
                 }
             }
             if next == ShardHealth::Violating {
+                // SAFETY(ordering): Relaxed — tick counter private to
+                // the single navigator thread.
                 let ticks = sh.violating_ticks.fetch_add(1, Ordering::Relaxed);
                 if ticks % NEUTRALIZE_RETRY_TICKS == 0 {
                     if let Some(slot) = self.blamed_slot(i) {
@@ -189,11 +194,13 @@ impl<'s, S: Smr> KvStore<'s, S> {
                         // the stall harness's read loop does — so a
                         // force-unpin is always recoverable.
                         if unsafe { sh.smr.neutralize(slot) } {
+                            // SAFETY(ordering): Relaxed — telemetry.
                             sh.neutralizations.fetch_add(1, Ordering::Relaxed);
                         }
                     }
                 }
             } else {
+                // SAFETY(ordering): Relaxed — navigator-private reset.
                 sh.violating_ticks.store(0, Ordering::Relaxed);
             }
         }

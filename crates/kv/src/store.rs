@@ -106,6 +106,7 @@ impl std::error::Error for KvError {}
 /// `deadline`, whichever comes first — so
 /// [`KvStore::put_with_retry`] is total by construction.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[must_use = "a RetryPolicy only takes effect when passed to put_with_retry"]
 pub struct RetryPolicy {
     /// Maximum `put` attempts (≥ 1; 0 is treated as 1).
     pub max_attempts: u32,
@@ -146,6 +147,7 @@ pub(crate) struct Shard<'s, S: Smr> {
 }
 
 /// Per-thread handle for [`KvStore`]: one scheme context per shard.
+#[must_use = "a KvCtx owns per-shard SMR registrations: dropping it releases every shard slot and orphans in-flight garbage"]
 pub struct KvCtx<S: Smr> {
     pub(crate) ctxs: Vec<S::ThreadCtx>,
 }
@@ -394,6 +396,8 @@ impl<'s, S: Smr> KvStore<'s, S> {
             .health
             .swap(ShardHealth::Quarantined as u8, Ordering::SeqCst);
         if prev != ShardHealth::Quarantined as u8 {
+            // SAFETY(ordering): Relaxed — transition tally is telemetry;
+            // the SeqCst health swap above is the real edge.
             sh.transitions.fetch_add(1, Ordering::Relaxed);
             if let Ok(mut t) = sh.nav_tracer.try_lock() {
                 t.emit(
@@ -539,6 +543,8 @@ impl<'s, S: Smr> KvStore<'s, S> {
         if health == ShardHealth::Quarantined as u8 {
             // Quarantine refuses writes outright (no bounded queue):
             // the shard is recovering from a death, not from load.
+            // SAFETY(ordering): Relaxed — shed tally is telemetry for
+            // reports; admission is decided by the health word alone.
             let sheds = sh.sheds.fetch_add(1, Ordering::Relaxed) + 1;
             if let Ok(mut t) = sh.nav_tracer.try_lock() {
                 t.emit(Hook::Shed, si as u64, sheds);
@@ -552,6 +558,7 @@ impl<'s, S: Smr> KvStore<'s, S> {
         let prev = sh.inflight.fetch_add(1, Ordering::SeqCst);
         if prev >= self.cfg.admission_depth {
             sh.inflight.fetch_sub(1, Ordering::SeqCst);
+            // SAFETY(ordering): Relaxed — shed tally, as above.
             let sheds = sh.sheds.fetch_add(1, Ordering::Relaxed) + 1;
             if let Ok(mut t) = sh.nav_tracer.try_lock() {
                 t.emit(Hook::Shed, si as u64, sheds);
@@ -768,6 +775,10 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(
+        miri,
+        ignore = "spawns OS threads / reads wall-clock; run natively (EXPERIMENTS E11)"
+    )]
     fn put_with_retry_succeeds_once_pressure_drains() {
         let schemes: Vec<Ebr> = vec![Ebr::with_threshold(4, 1)];
         let cfg = KvConfig {
@@ -812,6 +823,10 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(
+        miri,
+        ignore = "spawns OS threads / reads wall-clock; run natively (EXPERIMENTS E11)"
+    )]
     fn put_with_retry_times_out_with_typed_error() {
         let schemes: Vec<Ebr> = vec![Ebr::new(4)];
         let store = KvStore::new(&schemes, KvConfig::default());

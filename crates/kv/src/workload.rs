@@ -291,6 +291,8 @@ pub fn run_workload<S: Smr>(
                     }
                     smr.end_op(&mut ctx);
                     if neutralized {
+                        // SAFETY(ordering): Relaxed — tally read after
+                        // this thread is joined.
                         restarts.fetch_add(1, Ordering::Relaxed);
                     }
                 }
@@ -332,6 +334,8 @@ pub fn run_workload<S: Smr>(
                         ops += 1;
                     }
                     store.flush(&mut ctx);
+                    // SAFETY(ordering): Relaxed — run totals, read only
+                    // after every worker below is joined.
                     total_ops.fetch_add(ops, Ordering::Relaxed);
                     total_shed.fetch_add(shed, Ordering::Relaxed);
                 })
@@ -340,6 +344,9 @@ pub fn run_workload<S: Smr>(
         for w in workers {
             w.join().expect("worker panicked");
         }
+        // SAFETY(ordering): Release — pairs with the stall harness's
+        // Relaxed polling loop exit; joins above already ordered the
+        // workers, this publishes `done` to the pinned reader.
         done.store(true, Ordering::Release);
     });
 
@@ -403,6 +410,10 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(
+        miri,
+        ignore = "spawns OS threads / reads wall-clock; run natively (EXPERIMENTS E11)"
+    )]
     fn driver_smoke_run() {
         let schemes: Vec<Ebr> = (0..2).map(|_| Ebr::new(8)).collect();
         let store = KvStore::new(&schemes, KvConfig::default());

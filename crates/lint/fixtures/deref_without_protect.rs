@@ -1,0 +1,13 @@
+//@ expect: R3-protect-before-deref
+// The Def. 4.2 Condition 1 violation, statically: a node pointer is
+// dereferenced with no dominating protect/begin_op call in the same
+// function, and no // LINT: waiver saying whose protection applies.
+struct Node {
+    key: i64,
+}
+
+fn peek(node: *const Node) -> i64 {
+    // SAFETY: the author claims the node is alive — but nothing in
+    // this function protects it.
+    unsafe { (*node).key }
+}

@@ -1,0 +1,7 @@
+//@ expect: R5-guard-must-use
+/// A per-thread pinned context whose silent drop would release its
+/// slot and orphan its garbage — the caller must be warned when they
+/// ignore one.
+pub struct ForgottenCtx {
+    slot: usize,
+}

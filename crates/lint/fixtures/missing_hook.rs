@@ -1,0 +1,9 @@
+//@ expect: R4-hook-coverage
+// An Smr impl that emits no era-obs hooks and never tallies a reclaim:
+// observability coverage silently rots for every consumer.
+struct Quiet;
+
+impl Smr for Quiet {
+    fn begin_op(&self) {}
+    fn end_op(&self) {}
+}

@@ -1,0 +1,6 @@
+//@ expect: R1-safety-comment
+// A bare unsafe block with no justification anywhere nearby: the
+// reviewer has nothing to review.
+fn reinterpret(x: u32) -> f32 {
+    unsafe { core::mem::transmute::<u32, f32>(x) }
+}

@@ -1,0 +1,9 @@
+//@ expect: R2-ordering-justification
+// In era-smr every atomic write must carry an ordering note — a new
+// SeqCst site must name its fence-pairing partner, or it is either
+// dead weight or an unexamined assumption.
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+pub fn announce(slot: &AtomicUsize, epoch: usize) {
+    slot.store(epoch, Ordering::SeqCst);
+}

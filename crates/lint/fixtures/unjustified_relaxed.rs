@@ -1,0 +1,8 @@
+//@ expect: R2-ordering-justification
+// A relaxed RMW with no ordering justification: exactly the kind of
+// site PR 3's fence discipline exists to keep honest.
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+pub fn bump(counter: &AtomicUsize) {
+    counter.fetch_add(1, Ordering::Relaxed);
+}

@@ -1,0 +1,159 @@
+//! Findings reports: JSON-lines [`LintRecord`]s (the same style as
+//! era-bench's `RunRecord` and era-chaos's `ChaosRunRecord` — one
+//! hand-rolled JSON object per line, keys always present, no
+//! serialization dependency) and the human table.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use crate::rules::{Finding, Rule};
+
+/// One finding, ready to serialize as a JSON line.
+///
+/// # Record format
+///
+/// | key | type | meaning |
+/// |---|---|---|
+/// | `rule` | string | Stable rule id (`R1-safety-comment`, …). |
+/// | `level` | string | `"deny"` (counts toward the exit code) or `"allow"` (reported only). |
+/// | `path` | string | Workspace-relative file path. |
+/// | `line` | int | 1-based source line. |
+/// | `message` | string | Human-readable explanation. |
+#[derive(Debug, Clone)]
+pub struct LintRecord {
+    /// Stable rule id.
+    pub rule: &'static str,
+    /// `"deny"` or `"allow"`.
+    pub level: &'static str,
+    /// Workspace-relative path.
+    pub path: String,
+    /// 1-based line.
+    pub line: usize,
+    /// Explanation.
+    pub message: String,
+}
+
+impl LintRecord {
+    /// Builds a record from a finding and its effective level.
+    pub fn new(f: &Finding, denied: bool) -> LintRecord {
+        LintRecord {
+            rule: f.rule.id(),
+            level: if denied { "deny" } else { "allow" },
+            path: f.path.clone(),
+            line: f.line,
+            message: f.message.clone(),
+        }
+    }
+
+    /// Renders the record as one JSON line (no trailing newline).
+    pub fn to_json(&self) -> String {
+        let mut s = String::with_capacity(128);
+        s.push('{');
+        let _ = write!(s, "\"rule\":\"{}\"", esc(self.rule));
+        let _ = write!(s, ",\"level\":\"{}\"", esc(self.level));
+        let _ = write!(s, ",\"path\":\"{}\"", esc(&self.path));
+        let _ = write!(s, ",\"line\":{}", self.line);
+        let _ = write!(s, ",\"message\":\"{}\"", esc(&self.message));
+        s.push('}');
+        s
+    }
+}
+
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders the human table: findings grouped by rule, then a summary
+/// line. Returns the empty string when there is nothing to say.
+pub fn render_table(records: &[LintRecord], files_scanned: usize) -> String {
+    let mut out = String::new();
+    let mut by_rule: BTreeMap<&str, Vec<&LintRecord>> = BTreeMap::new();
+    for r in records {
+        by_rule.entry(r.rule).or_default().push(r);
+    }
+    for rule in Rule::ALL {
+        let Some(rs) = by_rule.get(rule.id()) else {
+            continue;
+        };
+        let _ = writeln!(
+            out,
+            "{} — {} ({} finding(s))",
+            rule.id(),
+            rule.describe(),
+            rs.len()
+        );
+        for r in rs {
+            let _ = writeln!(out, "  [{}] {}:{}  {}", r.level, r.path, r.line, r.message);
+        }
+    }
+    let denied = records.iter().filter(|r| r.level == "deny").count();
+    let allowed = records.len() - denied;
+    let _ = writeln!(
+        out,
+        "era-lint: {} finding(s) ({} denied, {} allowed) across {} file(s) scanned",
+        records.len(),
+        denied,
+        allowed,
+        files_scanned
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_line_shape_and_escaping() {
+        let r = LintRecord {
+            rule: "R1-safety-comment",
+            level: "deny",
+            path: "crates/x/src/a.rs".into(),
+            line: 7,
+            message: "quote \" and back\\slash".into(),
+        };
+        let j = r.to_json();
+        assert!(j.starts_with('{') && j.ends_with('}'));
+        assert!(j.contains("\"rule\":\"R1-safety-comment\""));
+        assert!(j.contains("\"line\":7"));
+        assert!(j.contains("quote \\\" and back\\\\slash"));
+        assert!(!j.contains('\n'));
+    }
+
+    #[test]
+    fn table_groups_and_summarizes() {
+        let recs = vec![
+            LintRecord {
+                rule: "R1-safety-comment",
+                level: "deny",
+                path: "a.rs".into(),
+                line: 1,
+                message: "m".into(),
+            },
+            LintRecord {
+                rule: "R5-guard-must-use",
+                level: "allow",
+                path: "b.rs".into(),
+                line: 2,
+                message: "n".into(),
+            },
+        ];
+        let t = render_table(&recs, 3);
+        assert!(t.contains("R1-safety-comment"));
+        assert!(t.contains("[allow] b.rs:2"));
+        assert!(t.contains("2 finding(s) (1 denied, 1 allowed) across 3 file(s)"));
+    }
+}

@@ -1,0 +1,567 @@
+//! The five era-lint rules.
+//!
+//! Each rule turns one piece of the repo's reviewed-by-convention
+//! discipline into a machine-checked fact. They are *syntactic*
+//! approximations — see DESIGN §3.10 for the mapping onto the paper's
+//! definitions and the known false-negative envelope.
+
+use crate::lexer::TokKind;
+use crate::model::SourceFile;
+
+/// How many lines above a site a justifying comment may sit.
+const WINDOW: usize = 8;
+
+/// The rules, in stable report order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Rule {
+    /// R1: every `unsafe` site carries a `SAFETY` comment.
+    SafetyComment,
+    /// R2: atomic writes carry a `SAFETY(ordering)` justification
+    /// (non-SeqCst everywhere; *all* writes inside `crates/smr`, where
+    /// a SeqCst site must name its fence-pairing partner).
+    OrderingJustification,
+    /// R3: raw derefs in `crates/ds` are dominated by a protect call.
+    ProtectBeforeDeref,
+    /// R4: every `impl Smr` emits (or delegates) the era-obs hook set.
+    HookCoverage,
+    /// R5: guard types (`*Ctx`, `*Handle`, `*Guard`) are `#[must_use]`.
+    GuardMustUse,
+}
+
+impl Rule {
+    /// All rules, report order.
+    pub const ALL: [Rule; 5] = [
+        Rule::SafetyComment,
+        Rule::OrderingJustification,
+        Rule::ProtectBeforeDeref,
+        Rule::HookCoverage,
+        Rule::GuardMustUse,
+    ];
+
+    /// Stable identifier (used in reports, fixtures and CLI flags).
+    pub fn id(self) -> &'static str {
+        match self {
+            Rule::SafetyComment => "R1-safety-comment",
+            Rule::OrderingJustification => "R2-ordering-justification",
+            Rule::ProtectBeforeDeref => "R3-protect-before-deref",
+            Rule::HookCoverage => "R4-hook-coverage",
+            Rule::GuardMustUse => "R5-guard-must-use",
+        }
+    }
+
+    /// One-line description for `era-lint rules`.
+    pub fn describe(self) -> &'static str {
+        match self {
+            Rule::SafetyComment => {
+                "every `unsafe` block/fn/impl carries a // SAFETY: comment (or a # Safety doc)"
+            }
+            Rule::OrderingJustification => {
+                "atomic stores/RMWs carry SAFETY(ordering): non-SeqCst everywhere; all writes in crates/smr"
+            }
+            Rule::ProtectBeforeDeref => {
+                "in crates/ds, raw derefs are dominated by protect/begin_op (waive with // LINT: op-scoped)"
+            }
+            Rule::HookCoverage => {
+                "every `impl Smr` emits or delegates the BeginOp/Retire/reclaim hook set"
+            }
+            Rule::GuardMustUse => "guard types (*Ctx, *Handle, *Guard) are #[must_use]",
+        }
+    }
+
+    /// Parses `"R1"`, `"r3"`, `"R2-ordering-justification"` or the
+    /// bare slug.
+    pub fn parse(s: &str) -> Option<Rule> {
+        let s = s.trim().to_ascii_lowercase();
+        Rule::ALL.iter().copied().find(|r| {
+            let id = r.id().to_ascii_lowercase();
+            id == s || id.starts_with(&format!("{s}-")) || id[3..] == s
+        })
+    }
+}
+
+/// Rule scoping: `Auto` derives each rule's applicability from the
+/// file's workspace path; `All` applies every rule (used by the
+/// fixture harness, whose files live outside the scoped trees).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scope {
+    /// Path-based applicability (workspace checks).
+    Auto,
+    /// Every rule applies (fixtures).
+    All,
+}
+
+/// One finding.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    /// Rule that fired.
+    pub rule: Rule,
+    /// Workspace-relative path.
+    pub path: String,
+    /// 1-based line.
+    pub line: usize,
+    /// Human-readable message.
+    pub message: String,
+}
+
+/// Runs every rule against one parsed file.
+pub fn check_file(file: &SourceFile, scope: Scope) -> Vec<Finding> {
+    let mut out = Vec::new();
+    r1_safety_comment(file, &mut out);
+    r2_ordering(file, scope, &mut out);
+    if scope == Scope::All || file.path.contains("crates/ds/") {
+        r3_protect_before_deref(file, &mut out);
+    }
+    r4_hook_coverage(file, &mut out);
+    r5_guard_must_use(file, &mut out);
+    out.sort_by_key(|f| (f.line, f.rule));
+    out
+}
+
+fn finding(file: &SourceFile, rule: Rule, line: usize, message: impl Into<String>) -> Finding {
+    Finding {
+        rule,
+        path: file.path.clone(),
+        line,
+        message: message.into(),
+    }
+}
+
+/// R1 — every `unsafe` token is justified by a `SAFETY` comment within
+/// [`WINDOW`] lines above, a `# Safety` doc section on the enclosing
+/// (or declared) fn, or a fn-level `SAFETY` comment earlier in the same
+/// body (one argument may cover a whole traversal).
+fn r1_safety_comment(file: &SourceFile, out: &mut Vec<Finding>) {
+    let toks = &file.lexed.toks;
+    for (i, t) in toks.iter().enumerate() {
+        if !t.is_ident("unsafe") {
+            continue;
+        }
+        let line = t.line;
+        if file.comment_in_window(line, WINDOW, "SAFETY") {
+            continue;
+        }
+        // `unsafe fn` / `unsafe impl` / `unsafe trait` declarations:
+        // a `# Safety` doc section is the canonical justification.
+        let next_decl = toks[i + 1..]
+            .iter()
+            .take(3)
+            .find(|n| n.is_ident("fn") || n.is_ident("impl") || n.is_ident("trait"));
+        if let Some(decl) = next_decl {
+            // Bodyless declarations (trait methods, `unsafe trait`s,
+            // fn-pointer type aliases) have no `FnSpan`; their `# Safety`
+            // doc block is read straight off the lines above.
+            if file.doc_above_has_safety(line) {
+                continue;
+            }
+            if decl.is_ident("fn") {
+                if file
+                    .fns
+                    .iter()
+                    .any(|f| f.is_unsafe && f.sig_line.abs_diff(line) <= 1 && f.doc_has_safety)
+                {
+                    continue;
+                }
+                out.push(finding(
+                    file,
+                    Rule::SafetyComment,
+                    line,
+                    "`unsafe fn` without a `# Safety` doc section or // SAFETY: comment",
+                ));
+            } else {
+                out.push(finding(
+                    file,
+                    Rule::SafetyComment,
+                    line,
+                    "`unsafe impl`/`unsafe trait` without a // SAFETY: comment or # Safety doc",
+                ));
+            }
+            continue;
+        }
+        // Unsafe block: enclosing-fn-level coverage.
+        if let Some(f) = file.enclosing_fn(i) {
+            if f.doc_has_safety {
+                continue;
+            }
+            let body_start = toks[f.body.0].line;
+            if (body_start..=line).any(|l| file.comment_on(l).contains("SAFETY")) {
+                continue;
+            }
+        }
+        out.push(finding(
+            file,
+            Rule::SafetyComment,
+            line,
+            "`unsafe` block without a // SAFETY: comment (within 8 lines, or fn-level)",
+        ));
+    }
+}
+
+/// Atomic write methods R2 inspects.
+const WRITE_METHODS: [&str; 13] = [
+    "store",
+    "swap",
+    "compare_exchange",
+    "compare_exchange_weak",
+    "fetch_add",
+    "fetch_sub",
+    "fetch_and",
+    "fetch_or",
+    "fetch_xor",
+    "fetch_max",
+    "fetch_min",
+    "fetch_nand",
+    "fetch_update",
+];
+
+/// R2 — atomic store/RMW sites. A call is "atomic" when its argument
+/// list names `Ordering::…`; sites passing orderings through variables
+/// are invisible (documented false negative).
+fn r2_ordering(file: &SourceFile, scope: Scope, out: &mut Vec<Finding>) {
+    let toks = &file.lexed.toks;
+    let smr_scoped = scope == Scope::All || file.path.contains("crates/smr/");
+    for i in 0..toks.len() {
+        if !(toks[i].is_punct('.')
+            && i + 2 < toks.len()
+            && toks[i + 1].kind == TokKind::Ident
+            && WRITE_METHODS.contains(&toks[i + 1].text.as_str())
+            && toks[i + 2].is_punct('('))
+        {
+            continue;
+        }
+        // Scan the argument list for Ordering::X tokens.
+        let mut depth = 0i32;
+        let mut j = i + 2;
+        let mut orderings: Vec<&str> = Vec::new();
+        let mut end_line = toks[i].line;
+        while j < toks.len() {
+            let t = &toks[j];
+            end_line = t.line;
+            if t.is_punct('(') {
+                depth += 1;
+            } else if t.is_punct(')') {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+            } else if t.is_ident("Ordering")
+                && j + 3 < toks.len()
+                && toks[j + 1].is_punct(':')
+                && toks[j + 2].is_punct(':')
+                && toks[j + 3].kind == TokKind::Ident
+            {
+                orderings.push(toks[j + 3].text.as_str());
+            }
+            j += 1;
+        }
+        if orderings.is_empty() {
+            continue; // not an atomic call (or indirect orderings)
+        }
+        let site_line = toks[i].line;
+        let lo = site_line.saturating_sub(WINDOW).max(1);
+        let justified = (lo..=end_line).any(|l| file.comment_on(l).contains("SAFETY(ordering)"));
+        if justified {
+            continue;
+        }
+        let method = toks[i + 1].text.as_str();
+        if orderings.iter().any(|o| *o != "SeqCst") {
+            out.push(finding(
+                file,
+                Rule::OrderingJustification,
+                site_line,
+                format!(
+                    "non-SeqCst atomic `{method}` ({}) without a SAFETY(ordering) justification",
+                    orderings.join("/")
+                ),
+            ));
+        } else if smr_scoped {
+            out.push(finding(
+                file,
+                Rule::OrderingJustification,
+                site_line,
+                format!(
+                    "SeqCst atomic `{method}` in era-smr without a SAFETY(ordering) note naming \
+                     its fence-pairing partner"
+                ),
+            ));
+        }
+    }
+}
+
+/// Calls that establish protection for subsequent derefs.
+fn is_protect_call(file: &SourceFile, idx: usize) -> bool {
+    let toks = &file.lexed.toks;
+    let t = &toks[idx];
+    if t.kind != TokKind::Ident {
+        return false;
+    }
+    match t.text.as_str() {
+        "begin_op" | "enter_read_phase" | "protect_alias" | "protect" | "try_protect" => {
+            idx + 1 < toks.len() && toks[idx + 1].is_punct('(')
+        }
+        // `smr.load(ctx, …)` — the protected load; distinguished from
+        // plain atomic loads by its `ctx` first argument.
+        "load" => {
+            idx + 2 < toks.len() && toks[idx + 1].is_punct('(') && toks[idx + 2].is_ident("ctx")
+        }
+        _ => false,
+    }
+}
+
+/// Raw-deref token patterns: `&*p`, `&mut *p`, `(*p).field`.
+fn deref_at(file: &SourceFile, idx: usize) -> bool {
+    let toks = &file.lexed.toks;
+    let star_ident = |k: usize| {
+        k + 1 < toks.len() && toks[k].is_punct('*') && toks[k + 1].kind == TokKind::Ident
+    };
+    if toks[idx].is_punct('&') {
+        if star_ident(idx + 1) {
+            return true; // &*p
+        }
+        if idx + 1 < toks.len() && toks[idx + 1].is_ident("mut") && star_ident(idx + 2) {
+            return true; // &mut *p
+        }
+    }
+    // (*p).field
+    toks[idx].is_punct('(')
+        && star_ident(idx + 1)
+        && idx + 3 < toks.len()
+        && toks[idx + 3].is_punct(')')
+        && idx + 4 < toks.len()
+        && toks[idx + 4].is_punct('.')
+}
+
+/// R3 — within each safe fn in `crates/ds`, the first raw deref must
+/// come after a protect-establishing call. `unsafe fn`s are exempt
+/// (their contract is the caller's, stated under R1); `// LINT:`
+/// waivers exempt the fn (op-scoped protection established by the
+/// caller, quiescent snapshots, exclusive `Drop` access).
+fn r3_protect_before_deref(file: &SourceFile, out: &mut Vec<Finding>) {
+    for f in &file.fns {
+        if f.is_unsafe || f.has_lint_waiver {
+            continue;
+        }
+        let (lo, hi) = f.body;
+        let dominator = (lo..=hi).find(|&i| is_protect_call(file, i));
+        for i in lo..=hi {
+            if deref_at(file, i) {
+                if dominator.is_none_or(|d| d > i) {
+                    out.push(finding(
+                        file,
+                        Rule::ProtectBeforeDeref,
+                        file.lexed.toks[i].line,
+                        format!(
+                            "raw deref in `{}` not dominated by protect/begin_op \
+                             (waive with // LINT: op-scoped if protection is the caller's)",
+                            f.name
+                        ),
+                    ));
+                }
+                break; // one finding per fn keeps the report readable
+            }
+        }
+    }
+}
+
+/// R4 — each `impl Smr for T` must emit `Hook::BeginOp` and
+/// `Hook::Retire` (or delegate `begin_op`/`retire` to an inner scheme)
+/// and its file must tally reclamation through `on_reclaim` (or the
+/// impl delegates retire, inheriting the inner scheme's tally).
+fn r4_hook_coverage(file: &SourceFile, out: &mut Vec<Finding>) {
+    let toks = &file.lexed.toks;
+    let file_has_on_reclaim = toks.iter().any(|t| t.is_ident("on_reclaim"));
+    for im in &file.impl_smrs {
+        let (lo, hi) = im.body;
+        let slice = &toks[lo..=hi];
+        let hook = |name: &str| {
+            slice
+                .windows(4)
+                .any(|w| w[0].is_ident("Hook") && w[3].is_ident(name))
+        };
+        let delegates = |method: &str| {
+            slice
+                .windows(2)
+                .any(|w| w[0].is_punct('.') && w[1].is_ident(method))
+        };
+        if !(hook("BeginOp") || delegates("begin_op")) {
+            out.push(finding(
+                file,
+                Rule::HookCoverage,
+                im.line,
+                format!(
+                    "`impl Smr for {}` neither emits Hook::BeginOp nor delegates begin_op",
+                    im.self_ty
+                ),
+            ));
+        }
+        if !(hook("Retire") || delegates("retire")) {
+            out.push(finding(
+                file,
+                Rule::HookCoverage,
+                im.line,
+                format!(
+                    "`impl Smr for {}` neither emits Hook::Retire nor delegates retire",
+                    im.self_ty
+                ),
+            ));
+        }
+        if !(file_has_on_reclaim || delegates("retire")) {
+            out.push(finding(
+                file,
+                Rule::HookCoverage,
+                im.line,
+                format!(
+                    "`impl Smr for {}`: no on_reclaim tally anywhere in this file \
+                     (reclaim events would not reach era-obs)",
+                    im.self_ty
+                ),
+            ));
+        }
+    }
+}
+
+/// R5 — public guard types must be `#[must_use]`: silently dropping a
+/// `Ctx` releases its slot and orphans its garbage; dropping a pinned
+/// handle voids its protection.
+fn r5_guard_must_use(file: &SourceFile, out: &mut Vec<Finding>) {
+    for s in &file.structs {
+        let guardish =
+            s.name.ends_with("Ctx") || s.name.ends_with("Handle") || s.name.ends_with("Guard");
+        if guardish && s.is_pub && !s.has_must_use {
+            out.push(finding(
+                file,
+                Rule::GuardMustUse,
+                s.line,
+                format!("guard type `{}` is not #[must_use]", s.name),
+            ));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::SourceFile;
+
+    fn run(path: &str, src: &str) -> Vec<Finding> {
+        check_file(&SourceFile::parse(path, src), Scope::All)
+    }
+
+    fn rules_of(f: &[Finding]) -> Vec<Rule> {
+        let mut v: Vec<Rule> = f.iter().map(|x| x.rule).collect();
+        v.dedup();
+        v
+    }
+
+    #[test]
+    fn rule_parse_accepts_aliases() {
+        assert_eq!(Rule::parse("R1"), Some(Rule::SafetyComment));
+        assert_eq!(Rule::parse("r3"), Some(Rule::ProtectBeforeDeref));
+        assert_eq!(
+            Rule::parse("R2-ordering-justification"),
+            Some(Rule::OrderingJustification)
+        );
+        assert_eq!(Rule::parse("guard-must-use"), Some(Rule::GuardMustUse));
+        assert_eq!(Rule::parse("bogus"), None);
+    }
+
+    #[test]
+    fn r1_fires_and_is_satisfiable() {
+        let bad = run("a.rs", "fn f() { unsafe { g() } }");
+        assert_eq!(rules_of(&bad), vec![Rule::SafetyComment]);
+        let good = run(
+            "a.rs",
+            "fn f() {\n    // SAFETY: g has no preconditions.\n    unsafe { g() }\n}",
+        );
+        assert!(good.is_empty(), "{good:?}");
+        let doc = run(
+            "a.rs",
+            "/// # Safety\n/// Caller promises.\npub unsafe fn f() { unsafe { g() } }",
+        );
+        assert!(doc.is_empty(), "{doc:?}");
+    }
+
+    #[test]
+    fn r1_fn_level_comment_covers_later_sites() {
+        let src = "fn f() {\n    // SAFETY: every node on this walk is pinned.\n    let a = unsafe { x() };\n    let b = 1;\n    let c = 2;\n    let d = 3;\n    let e = 4;\n    let g = 5;\n    let h = 6;\n    let i = 7;\n    let j = 8;\n    let k = unsafe { y() };\n}";
+        assert!(run("a.rs", src).is_empty());
+    }
+
+    #[test]
+    fn r2_relaxed_needs_justification() {
+        let bad = run("a.rs", "fn f(a: &A) { a.store(1, Ordering::Relaxed); }");
+        assert_eq!(rules_of(&bad), vec![Rule::OrderingJustification]);
+        let good = run(
+            "a.rs",
+            "fn f(a: &A) {\n    // SAFETY(ordering): private counter, no ordering needed.\n    a.store(1, Ordering::Relaxed);\n}",
+        );
+        assert!(good.is_empty(), "{good:?}");
+    }
+
+    #[test]
+    fn r2_seqcst_scoped_to_smr() {
+        let src = "fn f(a: &A) { a.store(1, Ordering::SeqCst); }";
+        let auto = check_file(&SourceFile::parse("crates/kv/src/x.rs", src), Scope::Auto);
+        assert!(auto.is_empty(), "SeqCst outside smr is free: {auto:?}");
+        let smr = check_file(&SourceFile::parse("crates/smr/src/x.rs", src), Scope::Auto);
+        assert_eq!(rules_of(&smr), vec![Rule::OrderingJustification]);
+    }
+
+    #[test]
+    fn r2_loads_are_exempt() {
+        assert!(run("a.rs", "fn f(a: &A) { a.load(Ordering::Relaxed); }").is_empty());
+    }
+
+    #[test]
+    fn r3_deref_needs_dominating_protect() {
+        let bad = "fn walk(ctx: &mut C) {\n    // SAFETY: pinned.\n    let k = unsafe { (*node).key };\n}";
+        let f = check_file(&SourceFile::parse("crates/ds/src/x.rs", bad), Scope::Auto);
+        assert_eq!(rules_of(&f), vec![Rule::ProtectBeforeDeref]);
+        let good = "fn walk(&self, ctx: &mut C) {\n    self.smr.begin_op(ctx);\n    // SAFETY: pinned by begin_op.\n    let k = unsafe { (*node).key };\n}";
+        let f = check_file(&SourceFile::parse("crates/ds/src/x.rs", good), Scope::Auto);
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn r3_waiver_and_unsafe_fn_exempt() {
+        let waived = "// LINT: op-scoped — protection is the caller's begin_op.\nfn walk() {\n    // SAFETY: caller pinned.\n    let k = unsafe { (*node).key };\n}";
+        let f = check_file(
+            &SourceFile::parse("crates/ds/src/x.rs", waived),
+            Scope::Auto,
+        );
+        assert!(f.is_empty(), "{f:?}");
+        let un = "/// # Safety\n/// Caller owns node.\nunsafe fn free(node: *mut N) {\n    let k = unsafe { (*node).key };\n}";
+        let f = check_file(&SourceFile::parse("crates/ds/src/x.rs", un), Scope::Auto);
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn r3_protected_load_call_dominates() {
+        let src = "fn find(&self, ctx: &mut C) {\n    // SAFETY: head is always valid.\n    let w = self.smr.load(ctx, 0, unsafe { &*prev });\n}";
+        let f = check_file(&SourceFile::parse("crates/ds/src/x.rs", src), Scope::Auto);
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn r4_missing_hooks_fire_per_gap() {
+        let bad = "impl Smr for Bad {\n    fn begin_op(&self) {}\n}";
+        let f = run("a.rs", bad);
+        assert_eq!(f.len(), 3, "{f:?}");
+        assert!(f.iter().all(|x| x.rule == Rule::HookCoverage));
+        let emits = "impl Smr for Good {\n    fn begin_op(&self) { t.emit(Hook::BeginOp, 0, 0); }\n    fn retire(&self) { t.emit(Hook::Retire, 0, 0); }\n}\nfn tally() { stats.on_reclaim(1); }";
+        assert!(run("a.rs", emits).is_empty());
+        let delegates = "impl<S: Smr> Smr for Wrap<S> {\n    fn begin_op(&self) { self.inner.begin_op(ctx) }\n    fn retire(&self) { self.inner.retire(ctx) }\n}";
+        assert!(run("a.rs", delegates).is_empty());
+    }
+
+    #[test]
+    fn r5_guard_types_must_use() {
+        let bad = run("a.rs", "pub struct FooCtx { x: u32 }");
+        assert_eq!(rules_of(&bad), vec![Rule::GuardMustUse]);
+        assert!(run("a.rs", "#[must_use]\npub struct FooCtx { x: u32 }").is_empty());
+        assert!(
+            run("a.rs", "struct PrivCtx;").is_empty(),
+            "private types are the file's own business"
+        );
+        assert!(run("a.rs", "pub struct Store;").is_empty());
+    }
+}

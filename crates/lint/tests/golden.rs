@@ -1,0 +1,99 @@
+//! Golden-fixture tests: every rule has a known-bad snippet asserted
+//! to trip exactly that rule, plus a clean fixture asserted to trip
+//! nothing. The same expectations run in CI via `era-lint fixtures`,
+//! proving the analyzer still fires after any refactor.
+
+use std::collections::BTreeSet;
+use std::path::PathBuf;
+
+use era_lint::{check_file, run_fixtures, Rule, Scope, SourceFile};
+
+fn fixtures_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("fixtures")
+}
+
+fn fired(name: &str) -> BTreeSet<Rule> {
+    let path = fixtures_dir().join(name);
+    let text = std::fs::read_to_string(&path).unwrap();
+    let file = SourceFile::parse(name, &text);
+    check_file(&file, Scope::All)
+        .into_iter()
+        .map(|f| f.rule)
+        .collect()
+}
+
+fn only(rule: Rule) -> BTreeSet<Rule> {
+    [rule].into_iter().collect()
+}
+
+#[test]
+fn missing_safety_trips_exactly_r1() {
+    assert_eq!(fired("missing_safety.rs"), only(Rule::SafetyComment));
+}
+
+#[test]
+fn unjustified_relaxed_trips_exactly_r2() {
+    assert_eq!(
+        fired("unjustified_relaxed.rs"),
+        only(Rule::OrderingJustification)
+    );
+}
+
+#[test]
+fn seqcst_unpaired_trips_exactly_r2() {
+    assert_eq!(
+        fired("seqcst_unpaired.rs"),
+        only(Rule::OrderingJustification)
+    );
+}
+
+#[test]
+fn deref_without_protect_trips_exactly_r3() {
+    assert_eq!(
+        fired("deref_without_protect.rs"),
+        only(Rule::ProtectBeforeDeref)
+    );
+}
+
+#[test]
+fn missing_hook_trips_exactly_r4() {
+    assert_eq!(fired("missing_hook.rs"), only(Rule::HookCoverage));
+}
+
+#[test]
+fn guard_not_must_use_trips_exactly_r5() {
+    assert_eq!(fired("guard_not_must_use.rs"), only(Rule::GuardMustUse));
+}
+
+#[test]
+fn clean_fixture_is_clean() {
+    assert!(fired("clean.rs").is_empty());
+}
+
+#[test]
+fn fixture_harness_agrees_with_headers() {
+    // The CI gate (`era-lint fixtures`) and these tests must never
+    // drift: the harness reads the //@ expect headers and reaches the
+    // same verdicts.
+    let results = run_fixtures(&fixtures_dir()).unwrap();
+    assert!(results.len() >= 7, "fixture tree shrank: {results:?}");
+    for r in &results {
+        assert!(r.error.is_none(), "{}: {:?}", r.name, r.error);
+    }
+}
+
+#[test]
+fn every_rule_has_at_least_one_firing_fixture() {
+    let mut covered: BTreeSet<Rule> = BTreeSet::new();
+    for f in [
+        "missing_safety.rs",
+        "unjustified_relaxed.rs",
+        "seqcst_unpaired.rs",
+        "deref_without_protect.rs",
+        "missing_hook.rs",
+        "guard_not_must_use.rs",
+    ] {
+        covered.extend(fired(f));
+    }
+    assert_eq!(covered.len(), Rule::ALL.len(), "uncovered rules exist");
+}

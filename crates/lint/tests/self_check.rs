@@ -1,0 +1,33 @@
+//! The workspace self-check: `era-lint check .` must stay clean on
+//! `main`. This is the actual gate — the fixtures prove the rules can
+//! fire; this proves the tree does not.
+
+use era_lint::{check_tree, LintConfig};
+use std::path::PathBuf;
+
+fn workspace_root() -> PathBuf {
+    // crates/lint → workspace root
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .unwrap()
+}
+
+#[test]
+fn workspace_is_rule_clean() {
+    let report = check_tree(&workspace_root(), &LintConfig::default()).unwrap();
+    let mut msg = String::new();
+    for r in &report.records {
+        msg.push_str(&format!(
+            "  {}:{} [{}] {}\n",
+            r.path, r.line, r.rule, r.message
+        ));
+    }
+    assert_eq!(report.denied(), 0, "workspace has lint findings:\n{msg}");
+    // Sanity: the walk actually visited the source tree.
+    assert!(
+        report.files_scanned > 60,
+        "only {} files scanned — walker broke?",
+        report.files_scanned
+    );
+}

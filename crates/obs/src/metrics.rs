@@ -82,6 +82,8 @@ impl Log2Histogram {
     /// Records one observation.
     #[inline]
     pub fn record(&self, value: u64) {
+        // SAFETY(ordering): Relaxed — histogram buckets are telemetry;
+        // snapshot() tolerates mid-flight increments by design.
         self.buckets[Self::bucket_of(value)].fetch_add(1, Ordering::Relaxed);
     }
 

@@ -103,6 +103,9 @@ impl Recorder {
     pub fn tick(&self) -> u64 {
         #[cfg(feature = "rt")]
         {
+            // SAFETY(ordering): Relaxed — the clock is a Lamport-style
+            // tick for log interleaving, not a synchronization point;
+            // per-thread monotonicity is all analysis needs.
             self.core.clock.fetch_add(1, Ordering::Relaxed)
         }
         #[cfg(not(feature = "rt"))]
@@ -244,6 +247,8 @@ impl ThreadTracer {
         #[cfg(feature = "rt")]
         if let Some(inner) = &self.inner {
             let mut event = Event::new(inner.thread, inner.scheme, hook, a, b);
+            // SAFETY(ordering): Relaxed — timestamp tick; the ring's
+            // seqlock Release publishes the event itself.
             event.ts = inner.recorder.clock.fetch_add(1, Ordering::Relaxed);
             inner.recorder.metrics.count_hook(hook);
             inner.ring.push(event);
@@ -261,6 +266,7 @@ impl ThreadTracer {
         #[cfg(feature = "rt")]
         if let Some(inner) = &self.inner {
             let mut event = Event::new(thread, inner.scheme, hook, a, b);
+            // SAFETY(ordering): Relaxed — timestamp tick, as in `emit`.
             event.ts = inner.recorder.clock.fetch_add(1, Ordering::Relaxed);
             inner.recorder.metrics.count_hook(hook);
             inner.ring.push(event);
@@ -292,6 +298,8 @@ impl ThreadTracer {
         #[cfg(feature = "rt")]
         {
             match &self.inner {
+                // SAFETY(ordering): Relaxed — timestamp tick, as in
+                // `emit`; stamps are compared, never synchronized on.
                 Some(inner) => inner.recorder.clock.fetch_add(1, Ordering::Relaxed),
                 None => 0,
             }

@@ -49,7 +49,7 @@ pub struct Ring {
     slots: Box<[Slot]>,
 }
 
-// Safety: `data` cells are only written by the single writer and only
+// SAFETY: `data` cells are only written by the single writer and only
 // read by the single drainer under the seqlock protocol above; a
 // failed validation discards the (possibly torn) copy.
 unsafe impl Sync for Ring {}
@@ -102,16 +102,29 @@ impl Ring {
         let slot = &self.slots[(pos & self.mask) as usize];
         // Mark the slot as mid-write so a concurrent drainer discards
         // its copy; the release on the commit store publishes the data.
+        //
+        // SAFETY(ordering): Relaxed on the odd (mid-write) store — the
+        // Release fence below orders it before the data write; the even
+        // commit store and the head bump are Release so the drainer's
+        // Acquire seq load / Acquire head load observe fully-written
+        // data or a seq mismatch, never a silently torn event. SAFETY of
+        // the volatile write: this is the single writer's own slot.
         slot.seq.store(2 * pos + 1, Ordering::Relaxed);
         fence(Ordering::Release);
         unsafe { self.slot_write(slot, event) };
+        // SAFETY(ordering): Release on commit + head bump, per above.
         slot.seq.store(2 * pos + 2, Ordering::Release);
         self.head.store(pos + 1, Ordering::Release);
     }
 
+    /// # Safety
+    ///
+    /// Caller must be the ring's single writer and have marked `slot`'s
+    /// seq odd, so a concurrent drainer discards any overlapping copy.
     #[inline]
     unsafe fn slot_write(&self, slot: &Slot, event: Event) {
-        std::ptr::write_volatile(slot.data.get(), event);
+        // SAFETY: caller upholds the single-writer seqlock contract.
+        unsafe { std::ptr::write_volatile(slot.data.get(), event) };
     }
 
     /// Copies every event the drainer has not yet seen into `out`, in
@@ -135,6 +148,10 @@ impl Ring {
                 lost += 1;
                 continue;
             }
+            // SAFETY: a possibly-torn copy out of the seqlock cell; the
+            // seq re-check below discards it unless the slot was stable
+            // across the whole read. Event is Copy + plain-old-data, so
+            // even a torn value is not UB to materialize.
             let copy = unsafe { std::ptr::read_volatile(slot.data.get()) };
             fence(Ordering::Acquire);
             if slot.seq.load(Ordering::Relaxed) != seq {
@@ -143,6 +160,9 @@ impl Ring {
             }
             out.push(copy);
         }
+        // SAFETY(ordering): Relaxed — tail and dropped are only written
+        // by the single drainer (the recorder serializes drains) and
+        // only advisory to readers; no data is published through them.
         self.tail.store(head, Ordering::Relaxed);
         if lost > 0 {
             self.dropped.fetch_add(lost, Ordering::Relaxed);

@@ -44,6 +44,10 @@ fn wrap_around_drops_oldest_and_counts_loss() {
 /// thread's events arrive in emit order, and no event is ever torn
 /// (payload words are written as `(n, !n)` and must still match).
 #[test]
+#[cfg_attr(
+    miri,
+    ignore = "spawns OS threads / reads wall-clock; run natively (EXPERIMENTS E11)"
+)]
 fn concurrent_writers_single_drainer_no_torn_events() {
     const WRITERS: usize = 4;
     const PER_WRITER: u64 = 20_000;
@@ -83,6 +87,9 @@ fn concurrent_writers_single_drainer_no_torn_events() {
         for handle in writers {
             handle.join().unwrap();
         }
+        // SAFETY(ordering): Release — pairs with the drainer's Acquire
+        // load of `done`: joins above happened-before this store, so the
+        // drainer's final drain sees every push.
         done.store(true, Ordering::Release);
 
         let drained = drainer.join().unwrap();

@@ -115,6 +115,10 @@ impl SmrHeader {
 
 /// Destructor for a retired node: must free exactly the allocation that
 /// produced the pointer.
+///
+/// # Safety
+/// Called at most once per retired pointer, only after the scheme has
+/// proven no thread can still reach it.
 pub type DropFn = unsafe fn(*mut u8);
 
 /// A node awaiting reclamation.
@@ -130,7 +134,8 @@ pub(crate) struct Retired {
     pub retire_tick: u64,
 }
 
-// Retired nodes are plain data; the schemes guarantee exclusive access.
+// SAFETY: retired nodes are plain data (ptr + metadata); the schemes
+// guarantee exclusive access to the pointee by the eventual reclaimer.
 unsafe impl Send for Retired {}
 
 impl Retired {
@@ -234,11 +239,15 @@ impl StatCells {
     /// Counts a retire; returns the new retired population (handy as
     /// an event payload).
     pub fn on_retire(&self) -> usize {
+        // SAFETY(ordering): Relaxed — monotonic telemetry counters; nothing
+        // synchronizes through them and snapshots tolerate slight skew.
         let now = self.retired_now.fetch_add(1, Ordering::Relaxed) + 1;
         // Conditional peak update: in steady state (population cycling
         // below a past high-water mark) this is one relaxed load, not an
         // RMW. `fetch_max` settles races when the peak is moving.
         if now > self.retired_peak.load(Ordering::Relaxed) {
+            // SAFETY(ordering): Relaxed — fetch_max settles racing peaks; the
+            // peak is telemetry, not a synchronization point.
             self.retired_peak.fetch_max(now, Ordering::Relaxed);
         }
         if let Some(t) = self.trace.get() {
@@ -249,6 +258,7 @@ impl StatCells {
 
     pub fn on_reclaim(&self, n: usize) {
         if n > 0 {
+            // SAFETY(ordering): Relaxed — telemetry counters, as in on_retire.
             self.retired_now.fetch_sub(n, Ordering::Relaxed);
             self.total_reclaimed.fetch_add(n as u64, Ordering::Relaxed);
             if let Some(t) = self.trace.get() {
@@ -275,6 +285,7 @@ impl StatCells {
         unsafe { node.free() }
     }
 
+    #[must_use = "a stats snapshot is pure observation; discarding it loses the measurement"]
     pub fn snapshot(&self, era: u64) -> SmrStats {
         let retired_now = self.retired_now.load(Ordering::Relaxed);
         let total_reclaimed = self.total_reclaimed.load(Ordering::Relaxed);
@@ -479,6 +490,10 @@ pub trait Smr: Send + Sync {
     /// # Safety
     ///
     /// See the trait-level contract.
+    ///
+    /// # Safety
+    /// `ptr` must be unlinked from every shared location, retired at most
+    /// once, and `drop_fn` must free exactly the allocation behind it.
     unsafe fn retire(
         &self,
         ctx: &mut Self::ThreadCtx,
@@ -559,6 +574,7 @@ pub trait Smr: Send + Sync {
     }
 
     /// Footprint counters.
+    #[must_use = "stats() is pure observation; discarding the snapshot loses the measurement"]
     fn stats(&self) -> SmrStats;
 
     /// Eagerly attempt reclamation on this thread's garbage (useful in
@@ -578,6 +594,11 @@ pub trait Smr: Send + Sync {
 /// `begin_op`/`enter_read_phase` and the corresponding
 /// `end_op`/restart remains dereferenceable even if the node it names
 /// was retired before or during the traversal.
+///
+/// # Safety
+/// Implementors promise exactly that reachability guarantee; a scheme
+/// that frees a retired node while any op can still hold a pointer to it
+/// must not implement this trait.
 pub unsafe trait SupportsUnlinkedTraversal: Smr {}
 
 /// Marker: `begin_op`/`end_op` alone protect *every* access in between —
@@ -593,6 +614,10 @@ pub unsafe trait SupportsUnlinkedTraversal: Smr {}
 ///
 /// Implementors promise that between `begin_op` and `end_op`, no node
 /// that was reachable at any point since `begin_op` is reclaimed.
+///
+/// # Safety
+/// The promise above is load-bearing: structures deref unprotected raw
+/// pointers anywhere inside an op on the strength of this bound.
 pub unsafe trait EpochProtected: SupportsUnlinkedTraversal {}
 
 /// Lock-free slot registry: fixed capacity, acquire/release by CAS.
@@ -620,6 +645,11 @@ impl SlotRegistry {
 
     pub fn acquire(&self) -> Result<usize, RegisterError> {
         for (i, slot) in self.in_use.iter().enumerate() {
+            // SAFETY(ordering): SeqCst — slot acquisition is the hand-off point
+            // for the previous owner's teardown stores (cleared hazards,
+            // QUIESCENT announcements): it must be ordered after them in the
+            // same total order reclaimers scan in, and acquire/release alone
+            // would not order it against scans of *other* slots.
             if slot
                 .compare_exchange(false, true, Ordering::SeqCst, Ordering::SeqCst)
                 .is_ok()
@@ -633,6 +663,9 @@ impl SlotRegistry {
     }
 
     pub fn release(&self, idx: usize) {
+        // SAFETY(ordering): SeqCst — pairs with the SeqCst acquire CAS above:
+        // the release must come after this thread's teardown stores in the
+        // scan order, or a re-acquirer could inherit live-looking state.
         self.in_use[idx].store(false, Ordering::SeqCst);
     }
 
@@ -679,6 +712,7 @@ mod tests {
         assert!(std::mem::size_of::<CachePadded<AtomicU64>>() >= 128);
         let c = CachePadded::new(AtomicU64::new(7));
         assert_eq!(c.load(Ordering::Relaxed), 7); // Deref into the atomic
+                                                  // SAFETY(ordering): Relaxed — single-threaded Deref smoke test.
         c.store(9, Ordering::Relaxed);
         assert_eq!(c.into_inner().into_inner(), 9);
         let mut m = CachePadded::new(5u32);
@@ -719,6 +753,10 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(
+        miri,
+        ignore = "spawns OS threads / reads wall-clock; run natively (EXPERIMENTS E11)"
+    )]
     fn slot_registry_concurrent_uniqueness() {
         use std::collections::HashSet;
         use std::sync::Mutex;

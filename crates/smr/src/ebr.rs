@@ -105,6 +105,8 @@ impl Drop for EbrInner {
         let orphans = std::mem::take(&mut *lock_unpoisoned(&self.orphans));
         let n = orphans.len();
         for g in orphans {
+            // SAFETY: adopted orphans already aged the full two-epoch grace
+            // period; no live announcement can cover them.
             unsafe { self.stats.reclaim_node(g) };
         }
         self.stats.on_reclaim(n);
@@ -133,6 +135,7 @@ pub struct Ebr {
 /// Per-thread context for [`Ebr`]: the slot index and the three
 /// epoch-tagged local retire lists of Appendix A.
 #[derive(Debug)]
+#[must_use = "dropping a context releases its slot and orphans its unflushed garbage"]
 pub struct EbrCtx {
     inner: Arc<EbrInner>,
     idx: usize,
@@ -154,6 +157,9 @@ impl EbrCtx {
             if !self.lists[i].is_empty() && self.list_epochs[i] + 2 <= epoch {
                 let n = self.lists[i].len();
                 for g in self.lists[i].drain(..) {
+                    // SAFETY: the epoch advanced two steps past this bucket —
+                    // every reader that could see g has since announced a newer
+                    // epoch or gone quiescent.
                     unsafe { self.inner.stats.reclaim_node(g) };
                 }
                 self.inner.stats.on_reclaim(n);
@@ -315,6 +321,9 @@ impl Smr for Ebr {
         ctx.tracer.emit(Hook::EndOp, 0, 0);
     }
 
+    /// # Safety
+    /// See [`Smr::retire`]: `ptr` must be unlinked, retired at most once,
+    /// and `drop_fn` must be valid for it.
     unsafe fn retire(
         &self,
         ctx: &mut EbrCtx,
@@ -360,6 +369,10 @@ impl Smr for Ebr {
     /// Force-unpins slot `slot`: its announcement is overwritten with
     /// [`QUIESCENT`], so the epoch can advance past it. The victim
     /// learns about it on its next [`Smr::needs_restart`] poll.
+    /// # Safety
+    /// The caller (watchdog) must ensure the victim thread observes its
+    /// neutralized flag before trusting any pointer read in the current
+    /// operation — i.e. the structure polls [`Smr::needs_restart`].
     unsafe fn neutralize(&self, slot: usize) -> bool {
         if slot >= self.inner.registry.capacity() || !self.inner.registry.is_in_use(slot) {
             return false;
@@ -384,6 +397,9 @@ impl Smr for Ebr {
         if !self.inner.neutralized[ctx.idx].load(Ordering::Relaxed) {
             return false;
         }
+        // SAFETY(ordering): SeqCst — pairs with the watchdog's SeqCst flag set
+        // in `neutralize`: consuming the flag must be totally ordered against
+        // the forced QUIESCENT announcement so a restart is never lost.
         self.inner.neutralized[ctx.idx].swap(false, Ordering::SeqCst)
     }
 
@@ -399,6 +415,10 @@ impl Smr for Ebr {
         // its own DEBRA-standing value.
         if !ctx.active {
             ctx.ops_since_clear = 0;
+            // SAFETY(ordering): Release — un-announcing pairs with the
+            // collector's Acquire scan; all our reads of shared nodes happen
+            // before the QUIESCENT store becomes visible. (See the fence note
+            // in begin_op for why the announce side is stronger.)
             self.inner.announcements[ctx.idx].store(QUIESCENT, Ordering::Release);
         }
         let e = self.inner.try_advance();
@@ -421,6 +441,8 @@ impl Smr for Ebr {
         };
         let n = eligible.len();
         for g in eligible {
+            // SAFETY: eligibility = retired two epochs before the oldest live
+            // announcement; no reader can still reach g.
             unsafe { self.inner.stats.reclaim_node(g) };
         }
         self.inner.stats.on_reclaim(n);
@@ -428,13 +450,13 @@ impl Smr for Ebr {
     }
 }
 
-// Between begin_op and end_op the announced epoch pins every node that
-// was reachable since the announcement: nothing retired during the
+// SAFETY: between begin_op and end_op the announced epoch pins every node
+// that was reachable since the announcement: nothing retired during the
 // operation can be reclaimed before it ends.
 unsafe impl crate::common::EpochProtected for Ebr {}
 
-// EBR's epoch discipline makes traversal of retired nodes safe: a node
-// is only reclaimed two epochs after retirement, and every traversal
+// SAFETY: EBR's epoch discipline makes traversal of retired nodes safe: a
+// node is only reclaimed two epochs after retirement, and every traversal
 // running in an operation pins its announced epoch.
 unsafe impl SupportsUnlinkedTraversal for Ebr {}
 
@@ -443,12 +465,16 @@ mod tests {
     use super::*;
     use std::sync::atomic::AtomicUsize;
 
+    /// # Safety
+    /// `p` must be a leaked `Box<u64>` that nothing else can reach.
     unsafe fn free_u64(p: *mut u8) {
+        // SAFETY: contract above.
         unsafe { drop(Box::from_raw(p as *mut u64)) }
     }
 
     fn retire_one(smr: &Ebr, ctx: &mut EbrCtx, v: u64) {
         let p = Box::into_raw(Box::new(v)) as *mut u8;
+        // SAFETY: p was just leaked, is unlinked and retired exactly once.
         unsafe { smr.retire(ctx, p, std::ptr::null(), free_u64) };
     }
 
@@ -519,6 +545,10 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(
+        miri,
+        ignore = "spawns OS threads / reads wall-clock; run natively (EXPERIMENTS E11)"
+    )]
     fn concurrent_churn_reclaims_most_garbage() {
         let smr = Ebr::with_threshold(8, 8);
         std::thread::scope(|s| {
@@ -566,6 +596,8 @@ mod tests {
         }
         assert_eq!(smr.stats().total_reclaimed, 0, "stall must hold garbage");
 
+        // SAFETY: the test's own loop polls needs_restart before reusing
+        // pointers (neutralize contract).
         assert!(unsafe { smr.neutralize(0) }, "slot 0 is registered");
         for _ in 0..6 {
             smr.flush(&mut worker);
@@ -576,6 +608,7 @@ mod tests {
         assert!(!smr.needs_restart(&mut stalled), "restart reported once");
 
         // Unregistered slots cannot be neutralized.
+        // SAFETY: both calls must return false — nothing to restart.
         assert!(!unsafe { smr.neutralize(5) });
         drop(stalled);
         assert!(!unsafe { smr.neutralize(0) });
@@ -584,15 +617,21 @@ mod tests {
     #[test]
     fn drop_frees_leftovers() {
         static FREED: AtomicUsize = AtomicUsize::new(0);
+        /// # Safety
+        /// `p` must be a leaked `Box<u64>` nothing else reaches.
         unsafe fn counting(p: *mut u8) {
+            // SAFETY(ordering): SeqCst — test counter, strongest for clarity.
             FREED.fetch_add(1, Ordering::SeqCst);
+            // SAFETY: contract above.
             unsafe { drop(Box::from_raw(p as *mut u64)) }
         }
+        // SAFETY(ordering): SeqCst — test counter reset before use.
         FREED.store(0, Ordering::SeqCst);
         let smr = Ebr::new(2);
         let mut ctx = smr.register().unwrap();
         smr.begin_op(&mut ctx);
         let p = Box::into_raw(Box::new(1u64)) as *mut u8;
+        // SAFETY: p was just leaked, unlinked, retired exactly once.
         unsafe { smr.retire(&mut ctx, p, std::ptr::null(), counting) };
         smr.end_op(&mut ctx);
         drop(ctx);

@@ -97,6 +97,8 @@ impl HeInner {
                 self.stats.blocked(snapshot[i].1, 1);
                 kept.push(g);
             } else {
+                // SAFETY: the scan found no hazard era covering [birth, retire] —
+                // no reader can still hold a protected reference to g.
                 unsafe { self.stats.reclaim_node(g) };
             }
         }
@@ -110,6 +112,8 @@ impl Drop for HeInner {
         let orphans = std::mem::take(&mut *lock_unpoisoned(&self.orphans));
         let n = orphans.len();
         for g in orphans {
+            // SAFETY: orphans already survived a full hazard-era scan after
+            // their owner departed; nothing can reach them.
             unsafe { self.stats.reclaim_node(g) };
         }
         self.stats.on_reclaim(n);
@@ -137,6 +141,7 @@ pub struct He {
 
 /// Per-thread context for [`He`].
 #[derive(Debug)]
+#[must_use = "dropping a context releases its slot and orphans its unflushed garbage"]
 pub struct HeCtx {
     inner: Arc<HeInner>,
     idx: usize,
@@ -346,6 +351,9 @@ impl Smr for He {
         }
     }
 
+    /// # Safety
+    /// See [`Smr::retire`]: `ptr` must be unlinked, retired at most once,
+    /// and `drop_fn` must be valid for it.
     unsafe fn retire(
         &self,
         ctx: &mut HeCtx,
@@ -356,6 +364,7 @@ impl Smr for He {
         let birth = if header.is_null() {
             0
         } else {
+            // SAFETY: caller contract (`# Safety` above) — header outlives retire.
             unsafe { (*header).birth_era.load(Ordering::SeqCst) }
         };
         // SAFETY(ordering): SeqCst retire stamp (plain load on TSO) —
@@ -374,6 +383,9 @@ impl Smr for He {
         ctx.tracer.emit(Hook::Retire, ptr as u64, held as u64);
         ctx.retires += 1;
         if ctx.retires.is_multiple_of(self.inner.era_frequency) {
+            // SAFETY(ordering): SeqCst — the era bump pairs with the SeqCst
+            // birth/retire-era stamps and readers' era publications: HE's
+            // interval math needs one total order over era movement.
             let new = self.inner.era.fetch_add(1, Ordering::SeqCst) + 1;
             ctx.tracer.emit(Hook::Advance, new, 0);
         }
@@ -397,12 +409,16 @@ impl Smr for He {
 mod tests {
     use super::*;
 
+    /// # Safety
+    /// `p` must be a leaked `Box<(SmrHeader, u64)>` nothing else reaches.
     unsafe fn free_node(p: *mut u8) {
+        // SAFETY: contract above.
         unsafe { drop(Box::from_raw(p as *mut (SmrHeader, u64))) }
     }
 
     fn alloc_node(smr: &He, ctx: &mut HeCtx, v: u64) -> *mut (SmrHeader, u64) {
         let node = Box::into_raw(Box::new((SmrHeader::new(), v)));
+        // SAFETY: node was just leaked and is still exclusively ours.
         smr.init_header(ctx, unsafe { &(*node).0 });
         node
     }
@@ -418,6 +434,7 @@ mod tests {
         }
         assert!(smr.era() >= e0 + 4);
         for n in nodes {
+            // SAFETY: nodes were never retired or shared; plain cleanup.
             unsafe { drop(Box::from_raw(n)) };
         }
     }
@@ -438,7 +455,9 @@ mod tests {
 
         // Writer unlinks + retires; node's lifetime covers the
         // reader's published era, so it must survive scans.
+        // SAFETY(ordering): SeqCst unlink, matching the scheme's era order.
         shared.store(0, Ordering::SeqCst);
+        // SAFETY: the store above unlinked node; retired exactly once.
         unsafe {
             smr.retire(&mut writer, node as *mut u8, &(*node).0, free_node);
         }
@@ -464,6 +483,8 @@ mod tests {
         let _ = smr.load(&mut stalled, 0, &shared); // publishes era E
 
         // Retire the first node (its lifetime covers E: pinned)…
+        // SAFETY(ordering): SeqCst unlink, then a unique retire; churn nodes
+        // below are unpublished and theirs alone.
         shared.store(0, Ordering::SeqCst);
         unsafe { smr.retire(&mut worker, first as *mut u8, &(*first).0, free_node) };
         // …then churn 100 nodes born strictly after E.
@@ -484,15 +505,23 @@ mod tests {
         let smr = He::with_params(1, 1, 1, 1);
         let mut ctx = smr.register().unwrap();
         let p = Box::into_raw(Box::new(1u64)) as *mut u8;
+        /// # Safety
+        /// `p` must be a leaked `Box<u64>` nothing else reaches.
         unsafe fn free_u64(p: *mut u8) {
+            // SAFETY: contract above.
             unsafe { drop(Box::from_raw(p as *mut u64)) }
         }
+        // SAFETY: p was just leaked; headerless retire is the case under test.
         unsafe { smr.retire(&mut ctx, p, std::ptr::null(), free_u64) };
         smr.flush(&mut ctx);
         assert_eq!(smr.stats().retired_now, 0);
     }
 
     #[test]
+    #[cfg_attr(
+        miri,
+        ignore = "spawns OS threads / reads wall-clock; run natively (EXPERIMENTS E11)"
+    )]
     fn concurrent_stress() {
         let smr = He::new(8, 2);
         let shared = AtomicUsize::new(0);
@@ -504,8 +533,12 @@ mod tests {
                     for i in 0..1_000u64 {
                         smr.begin_op(&mut ctx);
                         let n = alloc_node(smr, &mut ctx, i);
+                        // SAFETY(ordering): SeqCst swap is the unlink point and
+                        // makes this thread old's unique retirer.
                         let old = shared.swap(n as usize, Ordering::SeqCst);
                         if old != 0 {
+                            // SAFETY: we own `old` via the winning swap; the op
+                            // is pinned so the header read is covered.
                             let hdr = unsafe { &(*(old as *mut (SmrHeader, u64))).0 };
                             unsafe { smr.retire(&mut ctx, old as *mut u8, hdr, free_node) };
                         }
@@ -522,6 +555,7 @@ mod tests {
                         smr.begin_op(&mut ctx);
                         let p = smr.load(&mut ctx, 0, shared);
                         if p != 0 {
+                            // SAFETY: smr.load published our hazard era for p.
                             let v = unsafe { (*(p as *const (SmrHeader, u64))).1 };
                             assert!(v < 1_000);
                         }
@@ -532,6 +566,7 @@ mod tests {
         });
         let last = shared.load(Ordering::SeqCst);
         if last != 0 {
+            // SAFETY: workers joined; the final node is exclusively ours.
             unsafe { drop(Box::from_raw(last as *mut (SmrHeader, u64))) };
         }
     }

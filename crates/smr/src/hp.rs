@@ -99,6 +99,8 @@ impl HpInner {
                     self.stats.blocked(hazards[i].1, 1);
                     kept.push(g);
                 }
+                // SAFETY: no hazard slot holds g's address — after the SeqCst
+                // scan, no reader can reach it (Michael's HP invariant).
                 Err(_) => unsafe { self.stats.reclaim_node(g) },
             }
         }
@@ -112,6 +114,8 @@ impl Drop for HpInner {
         let orphans = std::mem::take(&mut *lock_unpoisoned(&self.orphans));
         let n = orphans.len();
         for g in orphans {
+            // SAFETY: orphans already survived a hazard scan after their owner
+            // departed; nothing can reach them.
             unsafe { self.stats.reclaim_node(g) };
         }
         self.stats.on_reclaim(n);
@@ -143,6 +147,7 @@ pub struct Hp {
 
 /// Per-thread context for [`Hp`].
 #[derive(Debug)]
+#[must_use = "dropping a context releases its slot and orphans its unflushed garbage"]
 pub struct HpCtx {
     inner: Arc<HpInner>,
     idx: usize,
@@ -259,6 +264,10 @@ impl Smr for Hp {
             // we retry. Release (not Relaxed) additionally keeps this
             // store ordered after any earlier `protect_alias` transfer
             // out of this slot — scanners rely on that ordering.
+            // SAFETY(ordering): Release store + the SeqCst fence below pair
+            // with the scanner's SeqCst hazard read in `scan_and_reclaim`:
+            // publish-then-revalidate must be totally ordered against
+            // unlink-then-scan (classic HP store/load SC requirement).
             cell.store(untagged(cur), Ordering::Release);
             fence(Ordering::SeqCst);
             // SAFETY(ordering): SeqCst validating load (plain load on
@@ -302,6 +311,9 @@ impl Smr for Hp {
         true
     }
 
+    /// # Safety
+    /// See [`Smr::retire`]: `ptr` must be unlinked, retired at most once,
+    /// and `drop_fn` must be valid for it.
     unsafe fn retire(
         &self,
         ctx: &mut HpCtx,
@@ -336,7 +348,10 @@ impl Smr for Hp {
 mod tests {
     use super::*;
 
+    /// # Safety
+    /// `p` must be a leaked `Box<u64>` that nothing else can reach.
     unsafe fn free_u64(p: *mut u8) {
+        // SAFETY: contract above.
         unsafe { drop(Box::from_raw(p as *mut u64)) }
     }
 
@@ -358,7 +373,9 @@ mod tests {
         assert_eq!(p, node);
 
         // Writer unlinks and retires; scans cannot free it (protected).
+        // SAFETY(ordering): SeqCst unlink — same order the scheme's scan uses.
         shared.store(0, Ordering::SeqCst);
+        // SAFETY: the store unlinked node; this is its unique retire.
         unsafe { smr.retire(&mut writer, node as *mut u8, std::ptr::null(), free_u64) };
         smr.flush(&mut writer);
         assert_eq!(smr.stats().retired_now, 1, "still protected");
@@ -383,6 +400,8 @@ mod tests {
 
         let mut worker = smr.register().unwrap();
         // Unlink the pinned node and retire it.
+        // SAFETY(ordering): SeqCst unlink; churn nodes below are unpublished,
+        // each leaked Box retired exactly once.
         shared.store(0, Ordering::SeqCst);
         unsafe { smr.retire(&mut worker, pinned as *mut u8, std::ptr::null(), free_u64) };
         // Churn 1000 more nodes through.
@@ -422,10 +441,15 @@ mod tests {
             node,
             "hazard must strip tags"
         );
+        // SAFETY: node was never retired; test owns it exclusively.
         unsafe { drop(Box::from_raw(node as *mut u64)) };
     }
 
     #[test]
+    #[cfg_attr(
+        miri,
+        ignore = "spawns OS threads / reads wall-clock; run natively (EXPERIMENTS E11)"
+    )]
     fn concurrent_stress_no_double_free() {
         // 4 threads hammer one shared slot: replace the node, retire the
         // old one, while readers keep protected loads on it.
@@ -439,7 +463,10 @@ mod tests {
                     let mut ctx = smr.register().unwrap();
                     for i in 0..2_000u64 {
                         smr.begin_op(&mut ctx);
+                        // SAFETY(ordering): SeqCst swap = unlink point, making
+                        // this thread old's unique retirer.
                         let old = shared.swap(new_node(i), Ordering::SeqCst);
+                        // SAFETY: old came out of the winning swap.
                         unsafe { smr.retire(&mut ctx, old as *mut u8, std::ptr::null(), free_u64) };
                         smr.end_op(&mut ctx);
                     }
@@ -455,6 +482,7 @@ mod tests {
                         smr.begin_op(&mut ctx);
                         let p = smr.load(&mut ctx, 0, shared);
                         // Dereference under protection: must not crash.
+                        // SAFETY: smr.load validated the hazard for p.
                         let v = unsafe { *(p as *const u64) };
                         assert!(v < 2_000);
                         smr.end_op(&mut ctx);
@@ -464,6 +492,7 @@ mod tests {
         });
         // Free the final node.
         let last = shared.load(Ordering::SeqCst);
+        // SAFETY: workers joined; last is exclusively ours.
         unsafe { drop(Box::from_raw(last as *mut u64)) };
         let st = smr.stats();
         assert_eq!(st.total_retired, 4_000);
@@ -480,6 +509,7 @@ mod tests {
         let c2 = smr.register().unwrap();
         assert_eq!(smr.inner.hazards[1].load(Ordering::SeqCst), 0);
         drop(c2);
+        // SAFETY: node was never retired; test owns it exclusively.
         unsafe { drop(Box::from_raw(node as *mut u64)) };
     }
 

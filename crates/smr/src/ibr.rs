@@ -110,6 +110,8 @@ impl Drop for IbrInner {
         let orphans = std::mem::take(&mut *lock_unpoisoned(&self.orphans));
         let n = orphans.len();
         for g in orphans {
+            // SAFETY: orphans already survived a full reservation-interval scan
+            // after their owner departed; nothing can reach them.
             unsafe { self.stats.reclaim_node(g) };
         }
         self.stats.on_reclaim(n);
@@ -135,6 +137,7 @@ pub struct Ibr {
 
 /// Per-thread context for [`Ibr`].
 #[derive(Debug)]
+#[must_use = "dropping a context releases its slot and orphans its unflushed garbage"]
 pub struct IbrCtx {
     inner: Arc<IbrInner>,
     idx: usize,
@@ -317,6 +320,10 @@ impl Smr for Ibr {
 
     fn init_header(&self, ctx: &mut IbrCtx, header: &SmrHeader) {
         let e = self.inner.era.load(Ordering::SeqCst);
+        // SAFETY(ordering): SeqCst — the birth stamp and the era bump below
+        // pair with readers' SeqCst era reservations and retire's SeqCst
+        // retire stamp: IBR's interval overlap test assumes one total order
+        // over era movement and stamps.
         header.birth_era.store(e, Ordering::SeqCst);
         ctx.allocs += 1;
         if ctx.allocs.is_multiple_of(self.inner.era_frequency) {
@@ -325,6 +332,9 @@ impl Smr for Ibr {
         }
     }
 
+    /// # Safety
+    /// See [`Smr::retire`]: `ptr` must be unlinked, retired at most once,
+    /// and `drop_fn` must be valid for it.
     unsafe fn retire(
         &self,
         ctx: &mut IbrCtx,
@@ -335,6 +345,7 @@ impl Smr for Ibr {
         let birth = if header.is_null() {
             0
         } else {
+            // SAFETY: caller contract (`# Safety` above) — header outlives retire.
             unsafe { (*header).birth_era.load(Ordering::SeqCst) }
         };
         // SAFETY(ordering): SeqCst retire stamp (plain load on TSO) —
@@ -370,17 +381,23 @@ impl Smr for Ibr {
 mod tests {
     use super::*;
 
+    /// # Safety
+    /// `p` must be a leaked `Box<(SmrHeader, u64)>` nothing else reaches.
     unsafe fn free_node(p: *mut u8) {
+        // SAFETY: contract above.
         unsafe { drop(Box::from_raw(p as *mut (SmrHeader, u64))) }
     }
 
     fn alloc_node(smr: &Ibr, ctx: &mut IbrCtx, v: u64) -> *mut (SmrHeader, u64) {
         let node = Box::into_raw(Box::new((SmrHeader::new(), v)));
+        // SAFETY: node was just leaked and is still exclusively ours.
         smr.init_header(ctx, unsafe { &(*node).0 });
         node
     }
 
     fn retire_node(smr: &Ibr, ctx: &mut IbrCtx, node: *mut (SmrHeader, u64)) {
+        // SAFETY: callers pass a node they just unlinked (or never published);
+        // each node is retired exactly once.
         unsafe { smr.retire(ctx, node as *mut u8, &(*node).0, free_node) };
     }
 
@@ -397,6 +414,7 @@ mod tests {
         let p = smr.load(&mut reader, 0, &shared);
         assert_eq!(p, node as usize);
 
+        // SAFETY(ordering): SeqCst unlink, same order as the scheme's stamps.
         shared.store(0, Ordering::SeqCst);
         retire_node(&smr, &mut writer, node);
         smr.flush(&mut writer);
@@ -423,6 +441,7 @@ mod tests {
         let _ = smr.load(&mut stalled, 0, &shared);
         // stalled never ends its op: interval [E, E'] frozen.
 
+        // SAFETY(ordering): SeqCst unlink, same order as the scheme's stamps.
         shared.store(0, Ordering::SeqCst);
         retire_node(&smr, &mut worker, pinned);
         // Churn nodes born strictly later (era_frequency=1 advances fast).
@@ -455,6 +474,7 @@ mod tests {
         smr.begin_op(&mut stalled);
         let _ = smr.load(&mut stalled, 0, &shared);
 
+        // SAFETY(ordering): SeqCst unlink, same order as the scheme's stamps.
         shared.store(0, Ordering::SeqCst);
         retire_node(&smr, &mut worker, n0);
         for i in 1..=100u64 {
@@ -487,11 +507,16 @@ mod tests {
         assert!(e2 > e1);
         smr.end_op(&mut ctx);
         for n in tmp {
+            // SAFETY: nodes were never retired or shared; plain cleanup.
             unsafe { drop(Box::from_raw(n)) };
         }
     }
 
     #[test]
+    #[cfg_attr(
+        miri,
+        ignore = "spawns OS threads / reads wall-clock; run natively (EXPERIMENTS E11)"
+    )]
     fn concurrent_stress() {
         let smr = Ibr::new(8);
         let shared = AtomicUsize::new(0);
@@ -503,6 +528,8 @@ mod tests {
                     for i in 0..1_000u64 {
                         smr.begin_op(&mut ctx);
                         let n = alloc_node(smr, &mut ctx, i);
+                        // SAFETY(ordering): SeqCst swap = unlink point, making
+                        // this thread old's unique retirer.
                         let old = shared.swap(n as usize, Ordering::SeqCst);
                         if old != 0 {
                             let node = old as *mut (SmrHeader, u64);
@@ -521,6 +548,7 @@ mod tests {
                         smr.begin_op(&mut ctx);
                         let p = smr.load(&mut ctx, 0, shared);
                         if p != 0 {
+                            // SAFETY: the op's era reservation covers p.
                             let v = unsafe { (*(p as *const (SmrHeader, u64))).1 };
                             assert!(v < 1_000);
                         }
@@ -531,6 +559,7 @@ mod tests {
         });
         let last = shared.load(Ordering::SeqCst);
         if last != 0 {
+            // SAFETY: workers joined; the final node is exclusively ours.
             unsafe { drop(Box::from_raw(last as *mut (SmrHeader, u64))) };
         }
     }

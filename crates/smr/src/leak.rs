@@ -29,6 +29,8 @@ impl Drop for LeakInner {
         let orphans = std::mem::take(&mut *lock_unpoisoned(&self.orphans));
         let n = orphans.len();
         for g in orphans {
+            // SAFETY: called from Drop with exclusive access — the run is over
+            // and no thread can reach the leaked garbage.
             unsafe { self.stats.reclaim_node(g) };
         }
         self.stats.on_reclaim(n);
@@ -60,6 +62,7 @@ pub struct Leak {
 
 /// Per-thread context for [`Leak`].
 #[derive(Debug)]
+#[must_use = "dropping a context releases its slot (leaked garbage stays leaked)"]
 pub struct LeakCtx {
     inner: Arc<LeakInner>,
     idx: usize,
@@ -120,6 +123,9 @@ impl Smr for Leak {
         ctx.tracer.emit(Hook::EndOp, 0, 0);
     }
 
+    /// # Safety
+    /// See [`Smr::retire`]: `ptr` must be unlinked, retired at most once,
+    /// and `drop_fn` must be valid for it.
     unsafe fn retire(
         &self,
         ctx: &mut LeakCtx,
@@ -143,11 +149,11 @@ impl Smr for Leak {
     }
 }
 
-// Trivially epoch-protected: nothing is ever reclaimed mid-run.
+// SAFETY: trivially epoch-protected — nothing is ever reclaimed mid-run.
 unsafe impl crate::common::EpochProtected for Leak {}
 
-// Nothing is ever reclaimed during the run, so traversing retired nodes
-// is trivially safe.
+// SAFETY: nothing is ever reclaimed during the run, so traversing retired
+// nodes is trivially safe.
 unsafe impl SupportsUnlinkedTraversal for Leak {}
 
 #[cfg(test)]
@@ -157,18 +163,24 @@ mod tests {
 
     static FREED: AtomicUsize = AtomicUsize::new(0);
 
+    /// # Safety
+    /// `p` must be a leaked `Box<u64>` that nothing else can reach.
     unsafe fn counting_free(p: *mut u8) {
+        // SAFETY(ordering): SeqCst — test counter, strongest for clarity.
         FREED.fetch_add(1, Ordering::SeqCst);
+        // SAFETY: contract above.
         unsafe { drop(Box::from_raw(p as *mut u64)) }
     }
 
     #[test]
     fn never_frees_during_run_frees_on_drop() {
+        // SAFETY(ordering): SeqCst — test counter reset before use.
         FREED.store(0, Ordering::SeqCst);
         let smr = Leak::new(2);
         let mut ctx = smr.register().unwrap();
         for i in 0..10u64 {
             let p = Box::into_raw(Box::new(i)) as *mut u8;
+            // SAFETY: p was just leaked, is unlinked and retired exactly once.
             unsafe { smr.retire(&mut ctx, p, std::ptr::null(), counting_free) };
         }
         assert_eq!(smr.stats().retired_now, 10);
@@ -190,6 +202,10 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(
+        miri,
+        ignore = "spawns OS threads / reads wall-clock; run natively (EXPERIMENTS E11)"
+    )]
     fn concurrent_retires_count() {
         let smr = Leak::new(8);
         std::thread::scope(|s| {
@@ -199,9 +215,13 @@ mod tests {
                     let mut ctx = smr.register().unwrap();
                     for i in 0..100u64 {
                         let p = Box::into_raw(Box::new(i)) as *mut u8;
+                        /// # Safety
+                        /// `p` must be a leaked `Box<u64>` nothing else reaches.
                         unsafe fn free_u64(p: *mut u8) {
+                            // SAFETY: contract above.
                             unsafe { drop(Box::from_raw(p as *mut u64)) }
                         }
+                        // SAFETY: p was just leaked; retired exactly once.
                         unsafe { smr.retire(&mut ctx, p, std::ptr::null(), free_u64) };
                     }
                 });

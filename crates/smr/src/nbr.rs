@@ -90,6 +90,10 @@ impl NbrInner {
 
     fn neutralize_and_reclaim(&self, self_idx: usize, garbage: &mut Vec<Retired>) -> bool {
         self.adopt_orphans(garbage);
+        // SAFETY(ordering): SeqCst — the round bump must be totally ordered
+        // against every reader's SeqCst `acked` store (begin_op/poll below):
+        // a reader that acknowledged < new_round can still hold pre-bump
+        // pointers, and the wait loop below relies on that total order.
         let new_round = self.round.fetch_add(1, Ordering::SeqCst) + 1;
         for j in 0..self.registry.capacity() {
             if j == self_idx || !self.registry.is_in_use(j) {
@@ -125,6 +129,9 @@ impl NbrInner {
             if reserved.contains(&(g.ptr as usize)) {
                 kept.push(g);
             } else {
+                // SAFETY: every in-flight reader either acknowledged a round newer
+                // than this retire or published a reservation; unreserved garbage
+                // is unreachable from any read phase.
                 unsafe { self.stats.reclaim_node(g) };
             }
         }
@@ -139,6 +146,8 @@ impl Drop for NbrInner {
         let orphans = std::mem::take(&mut *lock_unpoisoned(&self.orphans));
         let n = orphans.len();
         for g in orphans {
+            // SAFETY: orphans were retired by a departed thread and survived its
+            // final neutralize round — no live read phase can reach them.
             unsafe { self.stats.reclaim_node(g) };
         }
         self.stats.on_reclaim(n);
@@ -172,6 +181,7 @@ pub struct Nbr {
 
 /// Per-thread context for [`Nbr`].
 #[derive(Debug)]
+#[must_use = "dropping a context releases its slot, voids its reservations and orphans its garbage"]
 pub struct NbrCtx {
     inner: Arc<NbrInner>,
     idx: usize,
@@ -183,6 +193,10 @@ pub struct NbrCtx {
 
 impl Drop for NbrCtx {
     fn drop(&mut self) {
+        // SAFETY(ordering): SeqCst — slot teardown pairs with the reclaimer's
+        // SeqCst reservation/acked scan in neutralize_and_reclaim: the scan
+        // must not observe QUIESCENT while a stale reservation is still
+        // visible, or it would free a node this (dying) reader reserved.
         for s in 0..self.inner.k {
             self.inner.reservations[self.idx * self.inner.k + s].store(0, Ordering::SeqCst);
         }
@@ -238,6 +252,9 @@ impl Smr for Nbr {
 
     fn register(&self) -> Result<NbrCtx, RegisterError> {
         let idx = self.inner.registry.acquire()?;
+        // SAFETY(ordering): SeqCst — slot re-initialization pairs with the
+        // reclaimer's SeqCst scan: stale state from a previous owner of this
+        // slot must be gone before any op of ours can be observed.
         self.inner.acked[idx].store(QUIESCENT, Ordering::SeqCst);
         for s in 0..self.inner.k {
             self.inner.reservations[idx * self.inner.k + s].store(0, Ordering::SeqCst);
@@ -266,10 +283,16 @@ impl Smr for Nbr {
 
     fn end_op(&self, ctx: &mut NbrCtx) {
         self.clear_reservations(ctx);
+        // SAFETY(ordering): SeqCst — pairs with the reclaimer's SeqCst acked
+        // scan: QUIESCENT must not become visible before the reservation
+        // clears above, or reserved nodes could be freed mid-op.
         self.inner.acked[ctx.idx].store(QUIESCENT, Ordering::SeqCst);
         ctx.tracer.emit(Hook::EndOp, 0, 0);
     }
 
+    /// # Safety
+    /// See [`Smr::retire`]: `ptr` must be unlinked, retired at most once,
+    /// and `drop_fn` must be valid for it.
     unsafe fn retire(
         &self,
         ctx: &mut NbrCtx,
@@ -294,6 +317,9 @@ impl Smr for Nbr {
     fn enter_read_phase(&self, ctx: &mut NbrCtx) {
         let r = self.inner.round.load(Ordering::SeqCst);
         ctx.round = r;
+        // SAFETY(ordering): SeqCst — the round acknowledgement pairs with the
+        // reclaimer's SeqCst round bump: acking r promises this phase holds no
+        // pointer retired before round r.
         self.inner.acked[ctx.idx].store(r, Ordering::SeqCst);
     }
 
@@ -303,6 +329,8 @@ impl Smr for Nbr {
             // Acknowledge the neutralization; the caller must drop every
             // pointer collected in this read phase and restart it.
             ctx.round = r;
+            // SAFETY(ordering): SeqCst — same acked/round pairing as begin_op:
+            // the restart ack is the reader's promise to drop pre-round pointers.
             self.inner.acked[ctx.idx].store(r, Ordering::SeqCst);
             ctx.tracer.emit(Hook::Restart, r, 0);
             true
@@ -313,6 +341,9 @@ impl Smr for Nbr {
 
     fn reserve(&self, ctx: &mut NbrCtx, slot: usize, word: usize) {
         assert!(slot < self.inner.k, "reservation slot out of range");
+        // SAFETY(ordering): SeqCst — the reservation publish pairs with the
+        // reclaimer's SeqCst reservation scan; commit_reservations then
+        // validates the round, closing the publish/scan race.
         self.inner.reservations[ctx.idx * self.inner.k + slot]
             .store(untagged(word), Ordering::SeqCst);
         ctx.tracer
@@ -326,6 +357,10 @@ impl Smr for Nbr {
         if r != ctx.round {
             self.clear_reservations(ctx);
             ctx.round = r;
+            // SAFETY(ordering): SeqCst — both acked transitions pair with the
+            // reclaimer's SeqCst acked scan: the failed branch re-acks the new
+            // round, the success branch parks in IN_WRITE so neutralization
+            // passes over a committed writer.
             self.inner.acked[ctx.idx].store(r, Ordering::SeqCst);
             false
         } else {
@@ -335,6 +370,9 @@ impl Smr for Nbr {
     }
 
     fn clear_reservations(&self, ctx: &mut NbrCtx) {
+        // SAFETY(ordering): SeqCst — pairs with the reclaimer's SeqCst
+        // reservation scan; a cleared slot must not appear reserved after the
+        // owner moved on, and vice versa.
         for s in 0..self.inner.k {
             self.inner.reservations[ctx.idx * self.inner.k + s].store(0, Ordering::SeqCst);
         }
@@ -351,7 +389,7 @@ impl Smr for Nbr {
     }
 }
 
-// Read phases may traverse retired chains: a retired node is freed only
+// SAFETY: read phases may traverse retired chains: a retired node is freed only
 // after every concurrent read phase has acknowledged a neutralization
 // round that began after the retire, and acknowledging happens only at
 // poll points — after the reader's last dereference of the node.
@@ -361,12 +399,16 @@ unsafe impl SupportsUnlinkedTraversal for Nbr {}
 mod tests {
     use super::*;
 
+    /// # Safety
+    /// `p` must be a leaked `Box<u64>` that nothing else can reach.
     unsafe fn free_u64(p: *mut u8) {
+        // SAFETY: contract above.
         unsafe { drop(Box::from_raw(p as *mut u64)) }
     }
 
     fn retire_one(smr: &Nbr, ctx: &mut NbrCtx, v: u64) -> usize {
         let p = Box::into_raw(Box::new(v)) as usize;
+        // SAFETY: p was just leaked, is unlinked and retired exactly once.
         unsafe { smr.retire(ctx, p as *mut u8, std::ptr::null(), free_u64) };
         p
     }
@@ -396,6 +438,8 @@ mod tests {
         assert!(smr.commit_reservations(&mut writer));
 
         // Another thread retires the reserved node and neutralizes.
+        // SAFETY: node is a leaked Box retired once; the writer's reservation
+        // (the thing under test) keeps the later read valid.
         unsafe { smr.retire(&mut other, node as *mut u8, std::ptr::null(), free_u64) };
         smr.flush(&mut other);
         assert_eq!(smr.stats().retired_now, 1, "reserved node must survive");
@@ -445,10 +489,12 @@ mod tests {
         smr.reserve(&mut writer, 0, node);
 
         // A neutralization intervenes before the commit: the round moves.
+        // SAFETY(ordering): SeqCst — test mimics the reclaimer's round bump.
         smr.inner.round.fetch_add(1, Ordering::SeqCst);
         assert!(!smr.commit_reservations(&mut writer), "must restart");
 
         smr.end_op(&mut writer);
+        // SAFETY: node is a leaked Box, unlinked, retired exactly once.
         unsafe { smr.retire(&mut other, node as *mut u8, std::ptr::null(), free_u64) };
         smr.flush(&mut other);
         assert_eq!(smr.stats().retired_now, 0);
@@ -471,6 +517,10 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(
+        miri,
+        ignore = "spawns OS threads / reads wall-clock; run natively (EXPERIMENTS E11)"
+    )]
     fn concurrent_readers_and_reclaimers() {
         let smr = Nbr::with_threshold(8, 2, 16);
         let shared = AtomicUsize::new(Box::into_raw(Box::new(0u64)) as usize);
@@ -489,20 +539,26 @@ mod tests {
                         if !smr.commit_reservations(&mut ctx) {
                             // Restart: drop the reservation and retry via
                             // a fresh op. (Simplified: skip this round.)
+                            // SAFETY: newp is this thread's own unpublished Box.
                             unsafe { drop(Box::from_raw(newp as *mut u64)) };
                             smr.end_op(&mut ctx);
                             continue;
                         }
+                        // SAFETY(ordering): SeqCst — test swap; keeps the
+                        // publish in the same SC order the scheme assumes.
                         match shared.compare_exchange(old, newp, Ordering::SeqCst, Ordering::SeqCst)
                         {
                             Ok(_) => {
                                 smr.clear_reservations(&mut ctx);
+                                // SAFETY: the CAS unlinked `old`; this thread is
+                                // its unique retirer.
                                 unsafe {
                                     smr.retire(&mut ctx, old as *mut u8, std::ptr::null(), free_u64)
                                 };
                             }
                             Err(_) => {
                                 smr.clear_reservations(&mut ctx);
+                                // SAFETY: lost the CAS — newp never published.
                                 unsafe { drop(Box::from_raw(newp as *mut u64)) };
                             }
                         }
@@ -528,6 +584,8 @@ mod tests {
                             if smr.needs_restart(&mut ctx) {
                                 continue 'phase;
                             }
+                            // SAFETY: p is reserved and the commit validated
+                            // the round — NBR's read-phase guarantee.
                             let v = unsafe { *(p as *const u64) };
                             assert!(v <= 2_000);
                             break 'phase;
@@ -538,6 +596,7 @@ mod tests {
             }
         });
         let last = shared.load(Ordering::SeqCst);
+        // SAFETY: workers joined; the final published Box is exclusively ours.
         unsafe { drop(Box::from_raw(last as *mut u64)) };
     }
 }

@@ -86,6 +86,8 @@ impl Drop for QsbrInner {
         let orphans = std::mem::take(&mut *lock_unpoisoned(&self.orphans));
         let n = orphans.len();
         for g in orphans {
+            // SAFETY: orphans already aged a full grace period after their
+            // owner departed; no thread can still reach them.
             unsafe { self.stats.reclaim_node(g) };
         }
         self.stats.on_reclaim(n);
@@ -111,6 +113,7 @@ pub struct Qsbr {
 
 /// Per-thread context for [`Qsbr`].
 #[derive(Debug)]
+#[must_use = "dropping a context releases its slot; a forgotten one never announces quiescence and stalls every grace period"]
 pub struct QsbrCtx {
     inner: Arc<QsbrInner>,
     idx: usize,
@@ -206,6 +209,8 @@ impl Qsbr {
             .partition(|r| r.retire_era + 2 <= grace);
         let n = free.len();
         for g in free {
+            // SAFETY: every registered thread passed a quiescent point after
+            // these were retired — the QSBR grace-period guarantee.
             unsafe { self.inner.stats.reclaim_node(g) };
         }
         ctx.garbage = keep;
@@ -274,6 +279,9 @@ impl Smr for Qsbr {
         // only the application's quiescent() calls say so.
     }
 
+    /// # Safety
+    /// See [`Smr::retire`]: `ptr` must be unlinked, retired at most once,
+    /// and `drop_fn` must be valid for it.
     unsafe fn retire(
         &self,
         ctx: &mut QsbrCtx,
@@ -307,6 +315,10 @@ impl Smr for Qsbr {
     /// grace period jumps to the current one, so `try_advance` stops
     /// waiting on it. The victim learns about it on its next
     /// [`Smr::needs_restart`] poll.
+    /// # Safety
+    /// The caller (watchdog) must ensure the victim polls
+    /// [`Smr::needs_restart`] before trusting pointers read in the
+    /// current interval — forcing quiescence voids them.
     unsafe fn neutralize(&self, slot: usize) -> bool {
         if slot >= self.inner.registry.capacity() || !self.inner.registry.is_in_use(slot) {
             return false;
@@ -357,6 +369,8 @@ impl Smr for Qsbr {
         };
         let n = eligible.len();
         for r in eligible {
+            // SAFETY: same grace-period argument as try_reclaim — every thread
+            // was quiescent since these retires.
             unsafe { self.inner.stats.reclaim_node(r) };
         }
         self.inner.stats.on_reclaim(n);
@@ -366,20 +380,25 @@ impl Smr for Qsbr {
 
 // Safe under QSBR's contract: nothing retired after a thread's last
 // quiescent announcement is reclaimed before its next one, so pointers
-// held between quiescent points — including into retired chains —
-// remain dereferenceable.
+// SAFETY: reclamation only happens after every thread passes a quiescent
+// point, so pointers held between quiescent points — including into
+// retired chains — remain dereferenceable.
 unsafe impl SupportsUnlinkedTraversal for Qsbr {}
 
 #[cfg(test)]
 mod tests {
     use super::*;
 
+    /// # Safety
+    /// `p` must be a leaked `Box<u64>` that nothing else can reach.
     unsafe fn free_u64(p: *mut u8) {
+        // SAFETY: contract above.
         unsafe { drop(Box::from_raw(p as *mut u64)) }
     }
 
     fn retire_one(smr: &Qsbr, ctx: &mut QsbrCtx, v: u64) {
         let p = Box::into_raw(Box::new(v)) as *mut u8;
+        // SAFETY: p was just leaked, is unlinked and retired exactly once.
         unsafe { smr.retire(ctx, p, std::ptr::null(), free_u64) };
     }
 
@@ -442,12 +461,14 @@ mod tests {
         // The watchdog path: a forced announcement per grace period
         // lets the backlog drain without the victim's cooperation.
         for _ in 0..4 {
+            // SAFETY: the victim polls needs_restart below (neutralize contract).
             assert!(unsafe { smr.neutralize(0) });
             smr.quiescent(&mut worker);
         }
         assert_eq!(smr.stats().retired_now, 0, "{}", smr.stats());
         assert!(smr.needs_restart(&mut busy));
         assert!(!smr.needs_restart(&mut busy), "restart reported once");
+        // SAFETY: out-of-range neutralize must be a no-op returning false.
         assert!(!unsafe { smr.neutralize(7) }, "out-of-range slot");
     }
 
@@ -497,6 +518,10 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(
+        miri,
+        ignore = "spawns OS threads / reads wall-clock; run natively (EXPERIMENTS E11)"
+    )]
     fn works_with_harris_style_usage() {
         // QSBR + a grace-period discipline around a raw shared cell.
         let smr = Qsbr::with_threshold(2, 2);
@@ -509,8 +534,11 @@ mod tests {
                     for i in 0..1_000u64 {
                         smr.begin_op(&mut ctx);
                         let newp = Box::into_raw(Box::new(i)) as usize;
+                        // SAFETY(ordering): SeqCst swap = unlink point, making
+                        // this thread old's unique retirer.
                         let old = cell.swap(newp, Ordering::SeqCst);
                         if old != 0 {
+                            // SAFETY: old came out of the winning swap.
                             unsafe {
                                 smr.retire(&mut ctx, old as *mut u8, std::ptr::null(), free_u64)
                             };
@@ -522,6 +550,7 @@ mod tests {
             }
         });
         let last = cell.load(Ordering::SeqCst);
+        // SAFETY: workers joined; last is exclusively ours.
         unsafe { drop(Box::from_raw(last as *mut u64)) };
         let mut ctx = smr.register().unwrap();
         for _ in 0..4 {

@@ -65,6 +65,7 @@ const NIL: u32 = u32::MAX;
 /// A handle whose slot has since been retired (or reused) is *stale*;
 /// every arena operation detects staleness and returns [`Stale`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[must_use = "a Handle is the only proof of the checkout version; dropping it unchecked loses the ABA guard"]
 pub struct Handle {
     /// Slot index.
     pub idx: u32,
@@ -217,6 +218,9 @@ impl<const C: usize> Arena<C> {
                 return Err(ArenaFull);
             }
             let next = self.slots[idx as usize].next_free.load(Ordering::SeqCst) as u32;
+            // SAFETY(ordering): SeqCst — the free-list pop CAS pairs with the
+            // SeqCst push CAS in `retire`: the counter-packed head is VBR's
+            // ABA guard and needs one total order over pops and pushes.
             if self
                 .free_head
                 .compare_exchange(
@@ -231,12 +235,19 @@ impl<const C: usize> Arena<C> {
             }
             let slot = &self.slots[idx as usize];
             // Exclusive ownership of the popped slot: bump even → odd.
+            // SAFETY(ordering): SeqCst — the version bump pairs with readers'
+            // SeqCst version checks in read/write/cas: a stale handle must
+            // observe the bump no later than any re-tagged cell value.
             let ver = slot.ver.fetch_add(1, Ordering::SeqCst) + 1;
             debug_assert!(ver % 2 == 1, "allocated slot version must be odd");
             let tag = Self::tag_of(ver) << TAG_SHIFT;
             for cell in &slot.cells {
+                // SAFETY(ordering): SeqCst — re-tagging pairs with readers'
+                // SeqCst cell loads: a reader holding a stale handle must see
+                // either the old tag (and fail validation) or the new one.
                 cell.store(tag, Ordering::SeqCst);
             }
+            // SAFETY(ordering): Relaxed — live is a telemetry gauge only.
             self.live.fetch_add(1, Ordering::Relaxed);
             self.stats.event(Hook::Alloc, idx as u64, ver);
             return Ok(Handle { idx, ver });
@@ -256,16 +267,22 @@ impl<const C: usize> Arena<C> {
     pub fn retire(&self, h: Handle) -> Result<(), Stale> {
         let slot = &self.slots[h.idx as usize];
         // Odd (live, ours) → even (free): only one retirer can win.
+        // SAFETY(ordering): SeqCst — pairs with the allocation-side version
+        // bump and readers' version checks (same total order as alloc).
         slot.ver
             .compare_exchange(h.ver, h.ver + 1, Ordering::SeqCst, Ordering::SeqCst)
             .map_err(|_| Stale)?;
         let held = self.stats.on_retire();
         self.stats.event(Hook::Retire, h.idx as u64, held as u64);
+        // SAFETY(ordering): Relaxed — live is a telemetry gauge only.
         self.live.fetch_sub(1, Ordering::Relaxed);
         // Push back on the free list.
         loop {
             let head = self.free_head.load(Ordering::SeqCst);
             let (old_idx, counter) = unpack_head(head);
+            // SAFETY(ordering): SeqCst — link-then-publish pairs with the pop
+            // CAS in `alloc`; the counter bump in the head CAS is the ABA
+            // guard, so both sides stay in one total order.
             slot.next_free.store(old_idx as u64, Ordering::SeqCst);
             if self
                 .free_head
@@ -321,6 +338,9 @@ impl<const C: usize> Arena<C> {
             return Err(Stale);
         }
         let tagged = (Self::tag_of(h.ver) << TAG_SHIFT) | value;
+        // SAFETY(ordering): SeqCst — the tagged write must be ordered against
+        // the version re-check below and a concurrent retirer's version bump:
+        // writing into a recycled slot must be detectable (VBR's rollback).
         slot.cells[cell].store(tagged, Ordering::SeqCst);
         if slot.ver.load(Ordering::SeqCst) != h.ver {
             // The slot was retired concurrently; the store may have
@@ -356,6 +376,8 @@ impl<const C: usize> Arena<C> {
             return Err(Stale);
         }
         let tag = Self::tag_of(h.ver) << TAG_SHIFT;
+        // SAFETY(ordering): SeqCst — tag-validating CAS pairs with alloc's
+        // re-tagging stores and the retirer's version bump, as in `write`.
         match slot.cells[cell].compare_exchange(
             tag | expected,
             tag | new,
@@ -526,6 +548,10 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(
+        miri,
+        ignore = "spawns OS threads / reads wall-clock; run natively (EXPERIMENTS E11)"
+    )]
     fn concurrent_alloc_retire_churn() {
         let arena: Arena<2> = Arena::new(64);
         std::thread::scope(|s| {
@@ -552,6 +578,10 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(
+        miri,
+        ignore = "spawns OS threads / reads wall-clock; run natively (EXPERIMENTS E11)"
+    )]
     fn concurrent_readers_see_stale_not_garbage() {
         // Readers hammer a handle while the owner retires/reallocs: every
         // read either returns a value written under that version or Stale.
@@ -574,6 +604,7 @@ mod tests {
                 h = arena.alloc().unwrap();
                 arena.write(h, 0, round & MAX_PAYLOAD).unwrap();
             }
+            // SAFETY(ordering): SeqCst — test shutdown flag, strongest for clarity.
             stop.store(true, Ordering::SeqCst);
         });
     }

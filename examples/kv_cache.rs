@@ -69,6 +69,8 @@ fn main() {
                         >> 33)
                         .rem_euclid(KEYS);
                     if cache.contains(&mut ctx, key) {
+                        // SAFETY(ordering): Relaxed — hit/miss tallies,
+                        // read after the scope joins every worker.
                         hits.fetch_add(1, Ordering::Relaxed);
                     } else {
                         misses.fetch_add(1, Ordering::Relaxed);

@@ -40,6 +40,8 @@ fn main() {
             let mut pin = smr.register().unwrap();
             while !stop.load(Ordering::Acquire) {
                 smr.begin_op(&mut pin);
+                // SAFETY(ordering): Release — publishes the begin_op
+                // above to the main thread's Acquire poll of `pinned`.
                 pinned.store(true, Ordering::Release);
                 while !stop.load(Ordering::Relaxed) && !smr.needs_restart(&mut pin) {
                     std::hint::spin_loop();
@@ -72,6 +74,8 @@ fn main() {
                 last = health;
             }
         }
+        // SAFETY(ordering): Release — pairs with the pinner's Acquire
+        // load of `stop`; everything printed above happens-before exit.
         stop.store(true, Ordering::Release);
     });
 

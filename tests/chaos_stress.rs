@@ -57,6 +57,11 @@ fn alloc_node() -> *mut Node {
     }))
 }
 
+/// # Safety
+///
+/// `p` must point at a live `Node` from `alloc_node`. The allocation is
+/// never unmapped (leaked by design), so the canary store is always to
+/// mapped memory — "reclamation" here is the poison mark itself.
 unsafe fn poison_node(p: *mut u8) {
     let node = p as *const Node;
     unsafe { (*node).canary.store(POISON, Ordering::SeqCst) };
@@ -96,6 +101,12 @@ where
     S: Smr + Sync,
     S::ThreadCtx: Send,
 {
+    // SAFETY (fn-level, covers every unsafe below): nodes come from
+    // alloc_node and are leaked, never unmapped, so every raw deref hits
+    // mapped memory; a node is retired exactly once, right after the
+    // SeqCst swap unlinks it; header references point into the node
+    // itself. The canary assertions check the SMR protocol, not memory
+    // validity.
     let smr = ChaosSmr::new(inner, armed_plan());
     let shared: Vec<AtomicUsize> = (0..SLOTS).map(|_| AtomicUsize::new(0)).collect();
     let mut main_ctx = smr.register().unwrap();
@@ -186,30 +197,50 @@ fn assert_recovered(st: &era::smr::SmrStats, scheme: &str) {
 }
 
 #[test]
+#[cfg_attr(
+    miri,
+    ignore = "spawns OS threads / reads wall-clock; run natively (EXPERIMENTS E11)"
+)]
 fn ebr_survives_chaos_with_bounded_footprint() {
     let st = hammer(Ebr::with_threshold(CAPACITY, THRESHOLD));
     assert_recovered(&st, "EBR");
 }
 
 #[test]
+#[cfg_attr(
+    miri,
+    ignore = "spawns OS threads / reads wall-clock; run natively (EXPERIMENTS E11)"
+)]
 fn qsbr_survives_chaos_with_bounded_footprint() {
     let st = hammer(Qsbr::with_threshold(CAPACITY, THRESHOLD));
     assert_recovered(&st, "QSBR");
 }
 
 #[test]
+#[cfg_attr(
+    miri,
+    ignore = "spawns OS threads / reads wall-clock; run natively (EXPERIMENTS E11)"
+)]
 fn ibr_survives_chaos_with_bounded_footprint() {
     let st = hammer(Ibr::with_params(CAPACITY, THRESHOLD, 4));
     assert_recovered(&st, "IBR");
 }
 
 #[test]
+#[cfg_attr(
+    miri,
+    ignore = "spawns OS threads / reads wall-clock; run natively (EXPERIMENTS E11)"
+)]
 fn nbr_survives_chaos_with_bounded_footprint() {
     let st = hammer(Nbr::with_threshold(CAPACITY, 2, THRESHOLD));
     assert_recovered(&st, "NBR");
 }
 
 #[test]
+#[cfg_attr(
+    miri,
+    ignore = "spawns OS threads / reads wall-clock; run natively (EXPERIMENTS E11)"
+)]
 fn hp_survives_chaos() {
     // HP's per-pointer protection bounds the peak tighter than the
     // navigator budget; the chaos question is purely safety + drain.
@@ -218,12 +249,20 @@ fn hp_survives_chaos() {
 }
 
 #[test]
+#[cfg_attr(
+    miri,
+    ignore = "spawns OS threads / reads wall-clock; run natively (EXPERIMENTS E11)"
+)]
 fn he_survives_chaos() {
     let st = hammer(He::with_params(CAPACITY, 1, THRESHOLD, 4));
     assert_eq!(st.retired_now, 0, "HE: orphans failed to drain: {st}");
 }
 
 #[test]
+#[cfg_attr(
+    miri,
+    ignore = "spawns OS threads / reads wall-clock; run natively (EXPERIMENTS E11)"
+)]
 fn leak_survives_chaos() {
     // The leaking baseline reclaims nothing, so the only chaos claims
     // are safety (canaries, asserted inline) and that every injection

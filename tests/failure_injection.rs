@@ -269,6 +269,10 @@ fn vbr_departed_readers_cannot_wedge_the_arena() {
 }
 
 #[test]
+#[cfg_attr(
+    miri,
+    ignore = "spawns OS threads / reads wall-clock; run natively (EXPERIMENTS E11)"
+)]
 fn death_during_concurrent_churn() {
     // Threads keep dying pinned while others churn: the system must
     // neither crash nor wedge, and must drain at the end.

@@ -193,6 +193,10 @@ fn navigator_bounds_qsbr_too() {
 /// A neutralized direct client observes exactly one restart signal, at
 /// the op boundary — the protocol the navigator contract demands.
 #[test]
+#[cfg_attr(
+    miri,
+    ignore = "spawns OS threads / reads wall-clock; run natively (EXPERIMENTS E11)"
+)]
 fn neutralized_reader_restarts_once() {
     let schemes: Vec<Ebr> = vec![Ebr::with_threshold(4, 1)];
     let cfg = KvConfig {
@@ -212,6 +216,8 @@ fn neutralized_reader_restarts_once() {
         s.spawn(move || {
             let mut pin = smr.register().unwrap();
             smr.begin_op(&mut pin);
+            // SAFETY(ordering): Release — publishes the begin_op above
+            // to the main thread's Acquire poll of `pinned`.
             pinned.store(true, Ordering::Release);
             while !release.load(Ordering::Acquire) && !smr.needs_restart(&mut pin) {
                 std::hint::spin_loop();
@@ -219,6 +225,8 @@ fn neutralized_reader_restarts_once() {
             smr.end_op(&mut pin);
             // Exactly one pending restart was consumed by the loop.
             assert!(!smr.needs_restart(&mut pin));
+            // SAFETY(ordering): Release — hands the release token back;
+            // pairs with the main thread's Acquire re-load.
             release.store(true, Ordering::Release);
         });
         while !pinned.load(Ordering::Acquire) {

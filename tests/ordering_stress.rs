@@ -53,12 +53,23 @@ fn alloc_node() -> *mut Node {
 /// "Reclaims" a node by poisoning its canary. The allocation is
 /// deliberately leaked (see module docs): memory stays mapped so a
 /// racing reader observes POISON instead of faulting.
+/// # Safety
+///
+/// `p` must point at a live `Node` from `alloc_node`. The allocation is
+/// never unmapped (leaked by design), so the canary store is always to
+/// mapped memory — "reclamation" here is the poison mark itself.
 unsafe fn poison_node(p: *mut u8) {
     let node = p as *const Node;
     unsafe { (*node).canary.store(POISON, Ordering::SeqCst) };
 }
 
 fn hammer<S: Smr + Sync>(smr: &S) -> era::smr::SmrStats {
+    // SAFETY (fn-level, covers every unsafe below): nodes come from
+    // alloc_node and are leaked, never unmapped, so every raw deref hits
+    // mapped memory; a node is retired exactly once, right after the
+    // SeqCst swap unlinks it; header references point into the node
+    // itself. The canary assertions check the SMR protocol, not memory
+    // validity.
     let shared: Vec<AtomicUsize> = (0..SLOTS).map(|_| AtomicUsize::new(0)).collect();
     {
         let mut ctx = smr.register().unwrap();
@@ -141,6 +152,10 @@ fn assert_bounded_peak(st: &era::smr::SmrStats, scheme: &str) {
 }
 
 #[test]
+#[cfg_attr(
+    miri,
+    ignore = "spawns OS threads / reads wall-clock; run natively (EXPERIMENTS E11)"
+)]
 fn ebr_protect_retire_reclaim() {
     let smr = Ebr::with_threshold(WRITERS + READERS + 1, THRESHOLD);
     let st = hammer(&smr);
@@ -148,6 +163,10 @@ fn ebr_protect_retire_reclaim() {
 }
 
 #[test]
+#[cfg_attr(
+    miri,
+    ignore = "spawns OS threads / reads wall-clock; run natively (EXPERIMENTS E11)"
+)]
 fn qsbr_protect_retire_reclaim() {
     let smr = Qsbr::with_threshold(WRITERS + READERS + 1, THRESHOLD);
     let st = hammer(&smr);
@@ -155,6 +174,10 @@ fn qsbr_protect_retire_reclaim() {
 }
 
 #[test]
+#[cfg_attr(
+    miri,
+    ignore = "spawns OS threads / reads wall-clock; run natively (EXPERIMENTS E11)"
+)]
 fn ibr_protect_retire_reclaim() {
     let smr = Ibr::with_params(WRITERS + READERS + 1, THRESHOLD, 4);
     let st = hammer(&smr);
@@ -162,6 +185,10 @@ fn ibr_protect_retire_reclaim() {
 }
 
 #[test]
+#[cfg_attr(
+    miri,
+    ignore = "spawns OS threads / reads wall-clock; run natively (EXPERIMENTS E11)"
+)]
 fn hp_protect_retire_reclaim() {
     let smr = Hp::with_threshold(WRITERS + READERS + 1, 1, THRESHOLD);
     let st = hammer(&smr);
@@ -176,6 +203,10 @@ fn hp_protect_retire_reclaim() {
 }
 
 #[test]
+#[cfg_attr(
+    miri,
+    ignore = "spawns OS threads / reads wall-clock; run natively (EXPERIMENTS E11)"
+)]
 fn he_protect_retire_reclaim() {
     let smr = He::with_params(WRITERS + READERS + 1, 1, THRESHOLD, 4);
     let st = hammer(&smr);
@@ -193,6 +224,10 @@ mod chaos_wrapped {
     use era::chaos::ChaosSmr;
 
     #[test]
+    #[cfg_attr(
+        miri,
+        ignore = "spawns OS threads / reads wall-clock; run natively (EXPERIMENTS E11)"
+    )]
     fn ebr_hammer_is_oblivious_to_a_transparent_wrapper() {
         let smr = ChaosSmr::transparent(Ebr::with_threshold(WRITERS + READERS + 1, THRESHOLD));
         let st = hammer(&smr);
@@ -202,6 +237,10 @@ mod chaos_wrapped {
     }
 
     #[test]
+    #[cfg_attr(
+        miri,
+        ignore = "spawns OS threads / reads wall-clock; run natively (EXPERIMENTS E11)"
+    )]
     fn hp_hammer_is_oblivious_to_a_transparent_wrapper() {
         let smr = ChaosSmr::transparent(Hp::with_threshold(WRITERS + READERS + 1, 1, THRESHOLD));
         let st = hammer(&smr);

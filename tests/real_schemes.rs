@@ -30,6 +30,8 @@ fn stress_michael<S: Smr + Sync>(smr: &S) {
                 for _ in 0..100 {
                     if list.insert(&mut ctx, -1) {
                         assert!(list.delete(&mut ctx, -1));
+                        // SAFETY(ordering): Relaxed — tally read after
+                        // the scope joins every worker.
                         succeeded.fetch_add(1, Ordering::Relaxed);
                     }
                 }
@@ -86,6 +88,10 @@ fn harris_list_under_every_compatible_scheme() {
 }
 
 #[test]
+#[cfg_attr(
+    miri,
+    ignore = "spawns OS threads / reads wall-clock; run natively (EXPERIMENTS E11)"
+)]
 fn stack_and_queue_under_hp_and_ebr() {
     let hp = Hp::new(THREADS + 1, 2);
     let stack = TreiberStack::new(&hp);
@@ -104,6 +110,8 @@ fn stack_and_queue_under_hp_and_ebr() {
                     stack.push(&mut sctx, t as i64 * 1000 + i);
                     queue.enqueue(&mut qctx, t as i64 * 1000 + i);
                     if stack.pop(&mut sctx).is_some() {
+                        // SAFETY(ordering): Relaxed — pop/dequeue tallies
+                        // read after the scope joins every worker.
                         popped.fetch_add(1, Ordering::Relaxed);
                     }
                     if queue.dequeue(&mut qctx).is_some() {
@@ -123,6 +131,10 @@ fn stack_and_queue_under_hp_and_ebr() {
 }
 
 #[test]
+#[cfg_attr(
+    miri,
+    ignore = "spawns OS threads / reads wall-clock; run natively (EXPERIMENTS E11)"
+)]
 fn hash_set_under_contention() {
     let smr = Hp::new(THREADS + 1, 3);
     let set = HashSet::new(&smr, 64);
@@ -151,6 +163,10 @@ fn hash_set_under_contention() {
 }
 
 #[test]
+#[cfg_attr(
+    miri,
+    ignore = "spawns OS threads / reads wall-clock; run natively (EXPERIMENTS E11)"
+)]
 fn transparency_threads_come_and_go() {
     // Nikolaev & Ravindran's transparency property (§2 related work):
     // thread slots are recycled; repeated register/unregister cycles
@@ -177,6 +193,10 @@ fn transparency_threads_come_and_go() {
 }
 
 #[test]
+#[cfg_attr(
+    miri,
+    ignore = "spawns OS threads / reads wall-clock; run natively (EXPERIMENTS E11)"
+)]
 fn hp_footprint_bound_holds_under_parallel_churn() {
     let smr = Hp::with_threshold(THREADS + 1, 3, 32);
     let list = MichaelList::new(&smr);
@@ -210,6 +230,10 @@ fn hp_footprint_bound_holds_under_parallel_churn() {
 }
 
 #[test]
+#[cfg_attr(
+    miri,
+    ignore = "spawns OS threads / reads wall-clock; run natively (EXPERIMENTS E11)"
+)]
 fn ebr_drains_fully_at_quiescence() {
     let smr = Ebr::with_threshold(THREADS + 1, 8);
     let list = MichaelList::new(&smr);
