@@ -14,18 +14,22 @@
 //! Usage:
 //!   chaos_bench [--seed N] [--ops N] [--faults N]
 //!               [--scheme all|ebr|hp|he|ibr|nbr|qsbr|vbr|leak]
-//!               [--report out.jsonl]
+//!               [--report out.jsonl] [--flight-dump out.eraflt]
 //!
-//! Defaults: seed 0xC4A05, 20000 ops, 24 faults, all schemes.
+//! Defaults: seed 0xC4A05, 20000 ops, 24 faults, all schemes. A flight
+//! recorder is always armed: a panic mid-run writes a crash `.eraflt`
+//! next to the FaultPlan JSON, and a clean run writes the same dump at
+//! exit so `era-view` can replay the injected faults and adoptions.
 
 use std::io::Write as _;
 use std::path::PathBuf;
+use std::sync::Arc;
 
 use era_bench::table::Table;
 use era_chaos::{ChaosArena, ChaosSmr, FaultPlan};
 use era_obs::report::JsonObject;
-use era_obs::{Hook, Recorder};
-use era_smr::common::{Smr, SmrHeader};
+use era_obs::{DumpStats, FlightRecorder, Hook, Recorder};
+use era_smr::common::{Smr, SmrHeader, SmrStats};
 use era_smr::{ebr::Ebr, he::He, hp::Hp, ibr::Ibr, leak::Leak, nbr::Nbr, qsbr::Qsbr};
 
 struct Options {
@@ -34,6 +38,7 @@ struct Options {
     faults: usize,
     scheme: String,
     report: Option<PathBuf>,
+    flight_dump: Option<PathBuf>,
 }
 
 fn parse_options() -> Options {
@@ -43,6 +48,7 @@ fn parse_options() -> Options {
         faults: 24,
         scheme: "all".to_string(),
         report: None,
+        flight_dump: None,
     };
     let mut args = std::env::args().skip(1);
     let value = |args: &mut dyn Iterator<Item = String>, flag: &str| {
@@ -58,6 +64,9 @@ fn parse_options() -> Options {
             "--faults" => opts.faults = value(&mut args, "--faults").parse().unwrap_or(24),
             "--scheme" => opts.scheme = value(&mut args, "--scheme"),
             "--report" => opts.report = Some(PathBuf::from(value(&mut args, "--report"))),
+            "--flight-dump" => {
+                opts.flight_dump = Some(PathBuf::from(value(&mut args, "--flight-dump")))
+            }
             other => {
                 eprintln!("unknown argument {other}");
                 std::process::exit(2);
@@ -79,6 +88,7 @@ struct ChaosRunRecord {
     total_reclaimed: u64,
     recovery_rounds: u64,
     recovered: bool,
+    trace_dropped: u64,
     plan_json: String,
 }
 
@@ -96,8 +106,21 @@ impl ChaosRunRecord {
             .u64("total_reclaimed", self.total_reclaimed)
             .u64("recovery_rounds", self.recovery_rounds)
             .bool("recovered", self.recovered)
+            .u64("trace_dropped", self.trace_dropped)
             .raw("plan", &self.plan_json)
             .finish()
+    }
+}
+
+/// Converts live scheme counters into the dependency-free mirror the
+/// dump format carries.
+fn dump_stats(st: &SmrStats) -> DumpStats {
+    DumpStats {
+        retired_now: st.retired_now as u64,
+        retired_peak: st.retired_peak as u64,
+        total_retired: st.total_retired,
+        total_reclaimed: st.total_reclaimed,
+        era: st.era,
     }
 }
 
@@ -119,11 +142,18 @@ unsafe fn free_node(p: *mut u8) {
 /// this many rounds (with every chaos pin released) has wedged.
 const MAX_RECOVERY_ROUNDS: u64 = 256;
 
-fn run_scheme<S: Smr>(name: &str, inner: S, opts: &Options, reclaims: bool) -> ChaosRunRecord {
+fn run_scheme<S: Smr>(
+    name: &str,
+    inner: S,
+    opts: &Options,
+    reclaims: bool,
+    flight: &FlightRecorder,
+) -> ChaosRunRecord {
     let plan = FaultPlan::generate(opts.seed, opts.ops, opts.faults);
     let plan_json = plan.to_json();
     let faults_planned = plan.ops.len() as u64;
     let recorder = Recorder::new(16);
+    let source = flight.add_source(name, &recorder);
     let smr = ChaosSmr::new(inner, plan);
     smr.attach_recorder(&recorder);
     let mut ctx = smr.register().expect("root context");
@@ -147,6 +177,12 @@ fn run_scheme<S: Smr>(name: &str, inner: S, opts: &Options, reclaims: bool) -> C
         if i % 16 == 0 {
             smr.flush(&mut ctx);
         }
+        // Periodic incremental drain into the flight buffer, so ring
+        // overwrite (not the flight layer) is the only loss channel
+        // and a crash loses at most one stride of events.
+        if i % 512 == 0 {
+            flight.poll();
+        }
     }
     // Recovery: release every chaos-held pin, then count the flush
     // rounds needed to drain the retired population.
@@ -160,6 +196,8 @@ fn run_scheme<S: Smr>(name: &str, inner: S, opts: &Options, reclaims: bool) -> C
         recovery_rounds += 1;
     }
     let st = smr.stats();
+    flight.set_stats(source, dump_stats(&st));
+    flight.poll();
     ChaosRunRecord {
         scheme: name.to_string(),
         seed: opts.seed,
@@ -171,15 +209,17 @@ fn run_scheme<S: Smr>(name: &str, inner: S, opts: &Options, reclaims: bool) -> C
         total_reclaimed: st.total_reclaimed,
         recovery_rounds,
         recovered: !reclaims || st.retired_now == 0,
+        trace_dropped: recorder.dropped(),
         plan_json,
     }
 }
 
-fn run_vbr(opts: &Options) -> ChaosRunRecord {
+fn run_vbr(opts: &Options, flight: &FlightRecorder) -> ChaosRunRecord {
     let plan = FaultPlan::generate(opts.seed, opts.ops, opts.faults);
     let plan_json = plan.to_json();
     let faults_planned = plan.ops.len() as u64;
     let recorder = Recorder::new(16);
+    let source = flight.add_source("VBR", &recorder);
     let arena: ChaosArena<2> = ChaosArena::new(64, plan);
     arena.attach_recorder(&recorder);
     let mut live = Vec::new();
@@ -192,11 +232,16 @@ fn run_vbr(opts: &Options) -> ChaosRunRecord {
             let h = live.remove(0);
             let _ = arena.retire(h);
         }
+        if i % 512 == 0 {
+            flight.poll();
+        }
     }
     for h in live.drain(..) {
         let _ = arena.retire(h);
     }
     let st = arena.stats();
+    flight.set_stats(source, dump_stats(&st));
+    flight.poll();
     ChaosRunRecord {
         scheme: "VBR".to_string(),
         seed: opts.seed,
@@ -208,12 +253,23 @@ fn run_vbr(opts: &Options) -> ChaosRunRecord {
         total_reclaimed: st.total_reclaimed,
         recovery_rounds: 0,
         recovered: arena.live() == 0,
+        trace_dropped: recorder.dropped(),
         plan_json,
     }
 }
 
 fn main() {
     let opts = parse_options();
+    // Crash-safe by default: the dump lands next to the FaultPlan JSON
+    // (the --report path with an .eraflt extension) unless overridden.
+    let flight_path = opts.flight_dump.clone().unwrap_or_else(|| {
+        opts.report
+            .as_ref()
+            .map(|p| p.with_extension("eraflt"))
+            .unwrap_or_else(|| PathBuf::from("chaos_bench.eraflt"))
+    });
+    let flight = Arc::new(FlightRecorder::new());
+    flight.install_panic_hook(flight_path.clone());
     let cap = 16; // root ctx + chaos victims (stalls overlap at most a few)
     let all = opts.scheme == "all";
     let want = |n: &str| all || opts.scheme == n;
@@ -223,7 +279,13 @@ fn main() {
         opts.seed, opts.ops, opts.faults
     );
     if want("ebr") {
-        records.push(run_scheme("EBR", Ebr::with_threshold(cap, 64), &opts, true));
+        records.push(run_scheme(
+            "EBR",
+            Ebr::with_threshold(cap, 64),
+            &opts,
+            true,
+            &flight,
+        ));
     }
     if want("hp") {
         records.push(run_scheme(
@@ -231,6 +293,7 @@ fn main() {
             Hp::with_threshold(cap, 3, 64),
             &opts,
             true,
+            &flight,
         ));
     }
     if want("he") {
@@ -239,10 +302,17 @@ fn main() {
             He::with_params(cap, 3, 64, 8),
             &opts,
             true,
+            &flight,
         ));
     }
     if want("ibr") {
-        records.push(run_scheme("IBR", Ibr::with_params(cap, 64, 8), &opts, true));
+        records.push(run_scheme(
+            "IBR",
+            Ibr::with_params(cap, 64, 8),
+            &opts,
+            true,
+            &flight,
+        ));
     }
     if want("nbr") {
         records.push(run_scheme(
@@ -250,6 +320,7 @@ fn main() {
             Nbr::with_threshold(cap, 2, 64),
             &opts,
             true,
+            &flight,
         ));
     }
     if want("qsbr") {
@@ -258,13 +329,14 @@ fn main() {
             Qsbr::with_threshold(cap, 64),
             &opts,
             true,
+            &flight,
         ));
     }
     if want("leak") {
-        records.push(run_scheme("Leak", Leak::new(cap), &opts, false));
+        records.push(run_scheme("Leak", Leak::new(cap), &opts, false, &flight));
     }
     if want("vbr") {
-        records.push(run_vbr(&opts));
+        records.push(run_vbr(&opts, &flight));
     }
     if records.is_empty() {
         eprintln!(
@@ -284,6 +356,7 @@ fn main() {
             "reclaimed",
             "recovery",
             "recovered",
+            "dropped",
         ]
         .into_iter()
         .map(String::from),
@@ -298,6 +371,7 @@ fn main() {
             r.total_reclaimed.to_string(),
             format!("{} rounds", r.recovery_rounds),
             if r.recovered { "yes" } else { "NO" }.to_string(),
+            r.trace_dropped.to_string(),
         ]);
     }
     println!("{table}");
@@ -307,6 +381,13 @@ fn main() {
          cap, and adoptions > 0 shows survivors absorbing dead contexts' \
          garbage rather than leaking it."
     );
+    match flight.snapshot_to_file(&flight_path) {
+        Ok(()) => println!(
+            "wrote flight dump to {} (replay with `era-view {0}`)",
+            flight_path.display()
+        ),
+        Err(e) => eprintln!("failed to write flight dump {}: {e}", flight_path.display()),
+    }
     if records.iter().any(|r| !r.recovered) {
         eprintln!("FAILED: a scheme did not recover");
         std::process::exit(1);

@@ -16,17 +16,21 @@
 //!            [--ops N] [--keys N] [--mix a|b|c|churn]
 //!            [--dist uniform|zipf] [--theta 0.99]
 //!            [--soft N] [--hard N] [--stall] [--navigator on|off]
-//!            [--report out.jsonl]
+//!            [--report out.jsonl] [--flight-dump out.eraflt]
 //!
 //! Defaults: ebr, 4 threads, 4 shards, 30000 ops/thread, 1024 keys,
 //! churn mix when `--stall` is given (ycsb-a otherwise), uniform keys,
-//! soft budget 512, hard budget 2048, navigator on.
+//! soft budget 512, hard budget 2048, navigator on. A flight recorder
+//! is always armed: a panic writes a crash `.eraflt` (one source per
+//! shard), and a clean run writes the same dump at exit.
 
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
 use era_bench::table::Table;
 use era_kv::workload::{run_workload, KeyDist, KvMix, KvWorkloadSpec};
 use era_kv::{write_jsonl, KvConfig, KvRunRecord, KvStore};
+use era_obs::{DumpStats, FlightRecorder, TraceLog};
 use era_smr::{ebr::Ebr, hp::Hp, qsbr::Qsbr, Smr};
 
 struct Options {
@@ -42,6 +46,7 @@ struct Options {
     stall: bool,
     navigator: bool,
     report: Option<PathBuf>,
+    flight_dump: Option<PathBuf>,
 }
 
 fn parse_options() -> Options {
@@ -58,6 +63,7 @@ fn parse_options() -> Options {
         stall: false,
         navigator: true,
         report: None,
+        flight_dump: None,
     };
     let mut theta = 0.99f64;
     let mut zipf = false;
@@ -109,6 +115,9 @@ fn parse_options() -> Options {
                 }
             },
             "--report" => opts.report = Some(PathBuf::from(value(&mut args, "--report"))),
+            "--flight-dump" => {
+                opts.flight_dump = Some(PathBuf::from(value(&mut args, "--flight-dump")))
+            }
             other => {
                 eprintln!("unknown argument {other}");
                 std::process::exit(2);
@@ -126,6 +135,7 @@ fn run_with<S: Smr>(
     opts: &Options,
     records: &mut Vec<KvRunRecord>,
     table: &mut Table,
+    flight_path: &Path,
 ) {
     let cfg = KvConfig {
         retired_soft: opts.soft,
@@ -134,6 +144,13 @@ fn run_with<S: Smr>(
         ..KvConfig::default()
     };
     let store = KvStore::new(schemes, cfg);
+    // One flight source per shard — each shard recorder has its own
+    // logical clock, so era-view keeps their timelines separate.
+    let flight = Arc::new(FlightRecorder::new());
+    for i in 0..store.shard_count() {
+        flight.add_source(&format!("shard{i}"), store.recorder(i));
+    }
+    flight.install_panic_hook(flight_path.to_path_buf());
     let spec = KvWorkloadSpec {
         mix: opts.mix.unwrap_or(if opts.stall {
             KvMix::CHURN
@@ -165,7 +182,40 @@ fn run_with<S: Smr>(
         stats.reader_restarts.to_string(),
         peaks.join("/"),
     ]);
-    records.push(KvRunRecord::collect(&store, &spec, opts.navigator, stats));
+    // The flight recorder owns the ring drain; the run record is built
+    // from its retained buffers so the two collectors never race for
+    // the same events.
+    flight.poll();
+    let logs: Vec<TraceLog> = (0..store.shard_count())
+        .map(|i| flight.retained_log(i))
+        .collect();
+    for i in 0..store.shard_count() {
+        let st = store.scheme(i).stats();
+        flight.set_stats(
+            i,
+            DumpStats {
+                retired_now: st.retired_now as u64,
+                retired_peak: st.retired_peak as u64,
+                total_retired: st.total_retired,
+                total_reclaimed: st.total_reclaimed,
+                era: st.era,
+            },
+        );
+    }
+    match flight.snapshot_to_file(flight_path) {
+        Ok(()) => println!(
+            "wrote flight dump to {} (replay with `era-view {0}`)",
+            flight_path.display()
+        ),
+        Err(e) => eprintln!("failed to write flight dump {}: {e}", flight_path.display()),
+    }
+    records.push(KvRunRecord::from_logs(
+        &store,
+        &spec,
+        opts.navigator,
+        stats,
+        &logs,
+    ));
 }
 
 fn main() {
@@ -198,18 +248,24 @@ fn main() {
             ""
         }
     );
+    let flight_path = opts.flight_dump.clone().unwrap_or_else(|| {
+        opts.report
+            .as_ref()
+            .map(|p| p.with_extension("eraflt"))
+            .unwrap_or_else(|| PathBuf::from("kv_bench.eraflt"))
+    });
     match opts.scheme.as_str() {
         "ebr" => {
             let schemes: Vec<Ebr> = (0..opts.shards).map(|_| Ebr::new(capacity)).collect();
-            run_with(&schemes, &opts, &mut records, &mut table);
+            run_with(&schemes, &opts, &mut records, &mut table, &flight_path);
         }
         "qsbr" => {
             let schemes: Vec<Qsbr> = (0..opts.shards).map(|_| Qsbr::new(capacity)).collect();
-            run_with(&schemes, &opts, &mut records, &mut table);
+            run_with(&schemes, &opts, &mut records, &mut table, &flight_path);
         }
         "hp" => {
             let schemes: Vec<Hp> = (0..opts.shards).map(|_| Hp::new(capacity, 3)).collect();
-            run_with(&schemes, &opts, &mut records, &mut table);
+            run_with(&schemes, &opts, &mut records, &mut table, &flight_path);
         }
         other => {
             eprintln!("unknown --scheme {other} (use ebr|qsbr|hp)");

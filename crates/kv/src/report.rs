@@ -10,7 +10,7 @@ use std::io::Write;
 use std::path::Path;
 
 use era_obs::report::{histogram_json, JsonObject};
-use era_obs::{HistogramSnapshot, Hook};
+use era_obs::{HistogramSnapshot, Hook, TraceLog};
 use era_smr::Smr;
 
 use crate::store::KvStore;
@@ -56,14 +56,35 @@ impl KvRunRecord {
         navigator: bool,
         stats: KvRunStats,
     ) -> KvRunRecord {
+        let logs: Vec<TraceLog> = (0..store.shard_count())
+            .map(|i| store.recorder(i).drain())
+            .collect();
+        KvRunRecord::from_logs(store, spec, navigator, stats, &logs)
+    }
+
+    /// Assembles a record from already-drained per-shard trace logs
+    /// (`logs[i]` belongs to shard `i`; missing tails count as empty).
+    ///
+    /// This is the path `kv_bench --flight-dump` uses: the flight
+    /// recorder owns the one-and-only ring drain, and the report is
+    /// built from its retained buffers — draining the rings twice
+    /// would race the two collectors for the same events.
+    pub fn from_logs<S: Smr>(
+        store: &KvStore<'_, S>,
+        spec: &KvWorkloadSpec,
+        navigator: bool,
+        stats: KvRunStats,
+        logs: &[TraceLog],
+    ) -> KvRunRecord {
         let focus = stats.stalled_shard.unwrap_or(0);
         let mut latency = HistogramSnapshot::empty();
         let mut hook_sums = [0u64; Hook::COUNT];
         let mut stall_curve = Vec::new();
         let mut trace_dropped = 0;
+        let empty = TraceLog::default();
         for i in 0..store.shard_count() {
             let rec = store.recorder(i);
-            let log = rec.drain();
+            let log = logs.get(i).unwrap_or(&empty);
             if i == focus {
                 stall_curve = log.with_hook(Hook::Sample).map(|e| (e.ts, e.a)).collect();
                 stall_curve.sort_unstable();

@@ -25,6 +25,11 @@
 //! - **Reports** ([`report`]): a dependency-free JSON-lines writer for
 //!   `BENCH_*.jsonl` artifacts — throughput, footprint curves, latency
 //!   histograms, hook counts.
+//! - **Flight recorder** ([`flight`], [`dump`]): a crash-safe layer
+//!   that drains the rings into retained buffers, snapshots the last
+//!   N seconds (plus metrics and scheme counters) into a compact
+//!   binary `.eraflt` dump — on demand or from a chained panic hook —
+//!   and reads such dumps back for the `era-view` timeline CLI.
 //!
 //! ## Usage sketch
 //!
@@ -37,14 +42,18 @@
 
 #![warn(missing_docs)]
 
+pub mod dump;
 mod event;
+pub mod flight;
 mod metrics;
 pub mod report;
 mod ring;
 
 mod recorder;
 
+pub use dump::{DumpError, DumpStats, FlightDump, MetricsDump, SourceDump, DUMP_VERSION};
 pub use event::{phase_name, Event, Hook, SchemeId};
+pub use flight::FlightRecorder;
 pub use metrics::{
     Counter, HighWater, HistogramSnapshot, Log2Histogram, Metrics, HISTOGRAM_BUCKETS,
 };

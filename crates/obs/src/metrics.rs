@@ -115,6 +115,19 @@ impl HistogramSnapshot {
         self.counts.iter().sum()
     }
 
+    /// The raw per-bucket counts (index = [`Log2Histogram::bucket_of`]
+    /// value). Exposed so serializers (the `.eraflt` dump) can
+    /// round-trip a snapshot losslessly.
+    pub fn counts(&self) -> &[u64; HISTOGRAM_BUCKETS] {
+        &self.counts
+    }
+
+    /// Rebuilds a snapshot from raw bucket counts (the inverse of
+    /// [`counts`](Self::counts), used by the dump decoder).
+    pub fn from_counts(counts: [u64; HISTOGRAM_BUCKETS]) -> HistogramSnapshot {
+        HistogramSnapshot { counts }
+    }
+
     /// Non-empty buckets as `(upper_bound_exclusive, count)` pairs;
     /// bucket 0 reports as upper bound 1 (i.e. the value 0).
     pub fn nonzero_buckets(&self) -> Vec<(u64, u64)> {

@@ -261,10 +261,9 @@ impl StatCells {
             // SAFETY(ordering): Relaxed — telemetry counters, as in on_retire.
             self.retired_now.fetch_sub(n, Ordering::Relaxed);
             self.total_reclaimed.fetch_add(n as u64, Ordering::Relaxed);
-            if let Some(t) = self.trace.get() {
-                let left = self.retired_now.load(Ordering::Relaxed);
-                lock_unpoisoned(&t.service).emit(Hook::Reclaim, n as u64, left as u64);
-            }
+            // No batch event here: each node already produced its own
+            // per-address `Hook::Reclaim` in `reclaim_node` (VBR, which
+            // bypasses `reclaim_node`, emits its own).
         }
     }
 
@@ -277,10 +276,17 @@ impl StatCells {
     /// Same contract as [`Retired::free`].
     pub unsafe fn reclaim_node(&self, node: Retired) {
         if let Some(t) = self.trace.get() {
+            let mut latency = 0;
             if node.retire_tick != 0 {
-                let latency = t.recorder.now().saturating_sub(node.retire_tick);
+                latency = t.recorder.now().saturating_sub(node.retire_tick);
                 t.recorder.metrics().reclaim_latency.record(latency);
             }
+            // Per-node Reclaim event (`a` = address, `b` = latency in
+            // trace ticks) — the flight recorder's `era-view` pairs it
+            // with the matching Retire event to reconstruct the
+            // retire→reclaim (or retire→orphaned→adopt→reclaim) chain
+            // for any node address.
+            lock_unpoisoned(&t.service).emit(Hook::Reclaim, node.ptr as u64, latency);
         }
         unsafe { node.free() }
     }
@@ -811,12 +817,34 @@ mod tests {
         assert!(s.stamp() > 0);
         s.on_retire();
         s.blocked(2, 1);
+        // Reclaim through the per-node path: the event carries the
+        // node address (era-view chain reconstruction relies on it).
+        /// # Safety
+        ///
+        /// Takes any pointer and ignores it; nothing to uphold.
+        unsafe fn no_free(_p: *mut u8) {}
+        let target = Box::into_raw(Box::new(0u8));
+        // SAFETY: `target` is exclusively owned garbage; `no_free`
+        // ignores it, and we re-box it below to avoid the leak.
+        unsafe {
+            s.reclaim_node(Retired {
+                ptr: target,
+                birth_era: 0,
+                retire_era: 0,
+                drop_fn: no_free,
+                retire_tick: s.stamp(),
+            });
+        }
+        // SAFETY: `no_free` did not touch the allocation.
+        drop(unsafe { Box::from_raw(target) });
         s.on_reclaim(1);
         assert_eq!(recorder.metrics().footprint_peak.get(), 1);
         assert_eq!(recorder.metrics().blame_counts()[2], 1);
         let log = recorder.drain();
         assert!(log.with_hook(Hook::Blocked).count() == 1);
-        assert!(log.with_hook(Hook::Reclaim).count() == 1);
+        let reclaims: Vec<_> = log.with_hook(Hook::Reclaim).collect();
+        assert_eq!(reclaims.len(), 1, "one per-node reclaim event");
+        assert_eq!(reclaims[0].a, target as u64, "event names the address");
 
         // Second attach is ignored, not an error: retires still feed the
         // first recorder (population is back to 1 after the reclaim).

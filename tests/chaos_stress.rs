@@ -15,8 +15,10 @@
 //! garbage mid-run.
 
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
 
 use era::chaos::{ChaosSmr, FaultAction, FaultPlan};
+use era::obs::{FlightDump, FlightRecorder, Hook, Recorder};
 use era::smr::common::{Smr, SmrHeader};
 use era::smr::{ebr::Ebr, he::He, hp::Hp, ibr::Ibr, leak::Leak, nbr::Nbr, qsbr::Qsbr};
 
@@ -96,7 +98,7 @@ fn armed_plan() -> FaultPlan {
     FaultPlan::new(0xC4A05, ops)
 }
 
-fn hammer<S>(inner: S) -> era::smr::SmrStats
+fn hammer<S>(label: &str, inner: S) -> era::smr::SmrStats
 where
     S: Smr + Sync,
     S::ThreadCtx: Send,
@@ -108,6 +110,14 @@ where
     // itself. The canary assertions check the SMR protocol, not memory
     // validity.
     let smr = ChaosSmr::new(inner, armed_plan());
+    // Flight recorder armed by default: a failing canary assertion
+    // (a panic) leaves a replayable `.eraflt` post-mortem in the temp
+    // dir, and a clean run verifies the dump end to end below.
+    let recorder = Recorder::new(CAPACITY + 4);
+    smr.attach_recorder(&recorder);
+    let flight = Arc::new(FlightRecorder::single(label, &recorder));
+    let dump_path = std::env::temp_dir().join(format!("era_chaos_stress_{label}.eraflt"));
+    flight.install_panic_hook(dump_path.clone());
     let shared: Vec<AtomicUsize> = (0..SLOTS).map(|_| AtomicUsize::new(0)).collect();
     let mut main_ctx = smr.register().unwrap();
     for s in &shared {
@@ -181,6 +191,32 @@ where
         smr.quiescent_point(&mut main_ctx);
         smr.flush(&mut main_ctx);
     }
+    // The clean-exit dump must replay: every injected death shows up
+    // as a Fault event, and the dump survives its own byte roundtrip.
+    flight
+        .snapshot_to_file(&dump_path)
+        .expect("flight dump must be writable");
+    let dump = FlightDump::decode(&std::fs::read(&dump_path).expect("dump file readable"))
+        .expect("flight dump must decode");
+    let src = &dump.sources[0];
+    assert_eq!(src.label, label);
+    let recorded_deaths = src
+        .events
+        .iter()
+        .filter(|e| Hook::from_u8(e.hook) == Some(Hook::Fault) && e.a == 0)
+        .count() as u64;
+    if src.dropped == 0 {
+        assert_eq!(
+            recorded_deaths, DEATHS,
+            "{label}: every die-pinned fault must be in a lossless dump"
+        );
+    } else {
+        assert!(
+            recorded_deaths <= DEATHS,
+            "{label}: dump cannot contain more deaths than were injected"
+        );
+    }
+    let _ = std::fs::remove_file(&dump_path);
     smr.stats()
 }
 
@@ -202,7 +238,7 @@ fn assert_recovered(st: &era::smr::SmrStats, scheme: &str) {
     ignore = "spawns OS threads / reads wall-clock; run natively (EXPERIMENTS E11)"
 )]
 fn ebr_survives_chaos_with_bounded_footprint() {
-    let st = hammer(Ebr::with_threshold(CAPACITY, THRESHOLD));
+    let st = hammer("ebr", Ebr::with_threshold(CAPACITY, THRESHOLD));
     assert_recovered(&st, "EBR");
 }
 
@@ -212,7 +248,7 @@ fn ebr_survives_chaos_with_bounded_footprint() {
     ignore = "spawns OS threads / reads wall-clock; run natively (EXPERIMENTS E11)"
 )]
 fn qsbr_survives_chaos_with_bounded_footprint() {
-    let st = hammer(Qsbr::with_threshold(CAPACITY, THRESHOLD));
+    let st = hammer("qsbr", Qsbr::with_threshold(CAPACITY, THRESHOLD));
     assert_recovered(&st, "QSBR");
 }
 
@@ -222,7 +258,7 @@ fn qsbr_survives_chaos_with_bounded_footprint() {
     ignore = "spawns OS threads / reads wall-clock; run natively (EXPERIMENTS E11)"
 )]
 fn ibr_survives_chaos_with_bounded_footprint() {
-    let st = hammer(Ibr::with_params(CAPACITY, THRESHOLD, 4));
+    let st = hammer("ibr", Ibr::with_params(CAPACITY, THRESHOLD, 4));
     assert_recovered(&st, "IBR");
 }
 
@@ -232,7 +268,7 @@ fn ibr_survives_chaos_with_bounded_footprint() {
     ignore = "spawns OS threads / reads wall-clock; run natively (EXPERIMENTS E11)"
 )]
 fn nbr_survives_chaos_with_bounded_footprint() {
-    let st = hammer(Nbr::with_threshold(CAPACITY, 2, THRESHOLD));
+    let st = hammer("nbr", Nbr::with_threshold(CAPACITY, 2, THRESHOLD));
     assert_recovered(&st, "NBR");
 }
 
@@ -244,7 +280,7 @@ fn nbr_survives_chaos_with_bounded_footprint() {
 fn hp_survives_chaos() {
     // HP's per-pointer protection bounds the peak tighter than the
     // navigator budget; the chaos question is purely safety + drain.
-    let st = hammer(Hp::with_threshold(CAPACITY, 1, THRESHOLD));
+    let st = hammer("hp", Hp::with_threshold(CAPACITY, 1, THRESHOLD));
     assert_eq!(st.retired_now, 0, "HP: orphans failed to drain: {st}");
 }
 
@@ -254,7 +290,7 @@ fn hp_survives_chaos() {
     ignore = "spawns OS threads / reads wall-clock; run natively (EXPERIMENTS E11)"
 )]
 fn he_survives_chaos() {
-    let st = hammer(He::with_params(CAPACITY, 1, THRESHOLD, 4));
+    let st = hammer("he", He::with_params(CAPACITY, 1, THRESHOLD, 4));
     assert_eq!(st.retired_now, 0, "HE: orphans failed to drain: {st}");
 }
 
@@ -267,7 +303,7 @@ fn leak_survives_chaos() {
     // The leaking baseline reclaims nothing, so the only chaos claims
     // are safety (canaries, asserted inline) and that every injection
     // fired without wedging the workload.
-    let st = hammer(Leak::new(CAPACITY));
+    let st = hammer("leak", Leak::new(CAPACITY));
     assert_eq!(st.total_reclaimed, 0);
     assert!(st.total_retired > 0);
 }
