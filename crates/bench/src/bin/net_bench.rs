@@ -1,0 +1,435 @@
+//! Experiment E13 — the **wire-level** experiment: drive an `era-net`
+//! server with an open-loop, zipfian-skewed load and measure what
+//! navigator-driven admission control looks like from the client side:
+//! tail latency, throughput, and typed `Overloaded`/`DeadlineExceeded`
+//! frames instead of silent stalls.
+//!
+//! By default the benchmark spawns its own in-process server (same
+//! process, real loopback TCP). Point `--addr` at an already-running
+//! `era-net serve` to drive it from a separate process — several
+//! `net_bench` instances can gang up on one server.
+//!
+//! Latency is measured from each request's **intended** send time
+//! under open-loop pacing (`--rate`), so coordinated omission is
+//! charged to the server rather than hidden by a stalling client.
+//!
+//! Usage:
+//!   net_bench [--addr HOST:PORT] [--connections N] [--duration SECS]
+//!             [--pipeline N] [--rate OPS_PER_SEC] [--keys N]
+//!             [--mix a|b|c|churn] [--dist uniform|zipf] [--theta F]
+//!             [--seed N] [--report out.jsonl]
+//!             (internal server only:)
+//!             [--scheme ebr|qsbr|hp] [--shards N] [--workers N]
+//!             [--soft N] [--hard N] [--flight-dump out.eraflt]
+
+use std::io::Write as _;
+use std::net::TcpStream;
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+use era_bench::table::Table;
+use era_kv::workload::{KeyDist, KvMix};
+use era_kv::{KvConfig, KvStore};
+use era_net::proto::{read_frame, write_request, Request, Response};
+use era_net::{percentiles, write_jsonl, ErrorCode, NetConfig, NetRunRecord, NetServer};
+use era_smr::{ebr::Ebr, hp::Hp, qsbr::Qsbr, Smr};
+use rand::{rngs::StdRng, RngExt, SeedableRng};
+
+struct Options {
+    addr: Option<String>,
+    connections: usize,
+    duration: Duration,
+    pipeline: usize,
+    rate: u64,
+    keys: i64,
+    mix: KvMix,
+    mix_name: &'static str,
+    dist: KeyDist,
+    seed: u64,
+    report: Option<PathBuf>,
+    // Internal-server knobs.
+    scheme: String,
+    shards: usize,
+    workers: usize,
+    soft: usize,
+    hard: usize,
+    flight_dump: PathBuf,
+}
+
+fn parse_options() -> Options {
+    let mut opts = Options {
+        addr: None,
+        connections: 4,
+        duration: Duration::from_secs(3),
+        pipeline: 16,
+        rate: 0,
+        keys: 1 << 16,
+        mix: KvMix::YCSB_A,
+        mix_name: "a",
+        dist: KeyDist::Uniform,
+        seed: 0x0E8A_BE9C,
+        report: None,
+        scheme: "ebr".to_string(),
+        shards: 4,
+        workers: 4,
+        soft: 512,
+        hard: 2_048,
+        flight_dump: PathBuf::from("net_bench.eraflt"),
+    };
+    let mut theta = 0.99f64;
+    let mut zipf = false;
+    let mut args = std::env::args().skip(1);
+    let value = |args: &mut dyn Iterator<Item = String>, flag: &str| {
+        args.next().unwrap_or_else(|| {
+            eprintln!("{flag} requires a value");
+            std::process::exit(2);
+        })
+    };
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--addr" => opts.addr = Some(value(&mut args, "--addr")),
+            "--connections" => {
+                opts.connections = value(&mut args, "--connections")
+                    .parse()
+                    .unwrap_or(4)
+                    .max(1)
+            }
+            "--duration" => {
+                let secs: f64 = value(&mut args, "--duration").parse().unwrap_or(3.0);
+                opts.duration = Duration::from_secs_f64(secs.max(0.1));
+            }
+            "--pipeline" => {
+                opts.pipeline = value(&mut args, "--pipeline").parse().unwrap_or(16).max(1)
+            }
+            "--rate" => opts.rate = value(&mut args, "--rate").parse().unwrap_or(0),
+            "--keys" => opts.keys = value(&mut args, "--keys").parse().unwrap_or(1 << 16),
+            "--theta" => theta = value(&mut args, "--theta").parse().unwrap_or(0.99),
+            "--seed" => opts.seed = value(&mut args, "--seed").parse().unwrap_or(0x0E8A_BE9C),
+            "--zipf" => zipf = true,
+            "--dist" => match value(&mut args, "--dist").as_str() {
+                "uniform" => zipf = false,
+                "zipf" | "zipfian" => zipf = true,
+                other => {
+                    eprintln!("unknown --dist {other} (use uniform|zipf)");
+                    std::process::exit(2);
+                }
+            },
+            "--mix" => {
+                (opts.mix, opts.mix_name) = match value(&mut args, "--mix").as_str() {
+                    "a" => (KvMix::YCSB_A, "a"),
+                    "b" => (KvMix::YCSB_B, "b"),
+                    "c" => (KvMix::YCSB_C, "c"),
+                    "churn" => (KvMix::CHURN, "churn"),
+                    other => {
+                        eprintln!("unknown --mix {other} (use a|b|c|churn)");
+                        std::process::exit(2);
+                    }
+                }
+            }
+            "--report" => opts.report = Some(PathBuf::from(value(&mut args, "--report"))),
+            "--scheme" => opts.scheme = value(&mut args, "--scheme"),
+            "--shards" => opts.shards = value(&mut args, "--shards").parse().unwrap_or(4).max(1),
+            "--workers" => opts.workers = value(&mut args, "--workers").parse().unwrap_or(4).max(1),
+            "--soft" => opts.soft = value(&mut args, "--soft").parse().unwrap_or(512),
+            "--hard" => opts.hard = value(&mut args, "--hard").parse().unwrap_or(2_048),
+            "--flight-dump" => opts.flight_dump = PathBuf::from(value(&mut args, "--flight-dump")),
+            other => {
+                eprintln!("unknown argument {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+    if zipf {
+        opts.dist = KeyDist::Zipfian { theta };
+    }
+    opts
+}
+
+/// What one client connection measured.
+#[derive(Default)]
+struct ConnResult {
+    ops: u64,
+    overloaded: u64,
+    deadline_exceeded: u64,
+    latencies_us: Vec<u64>,
+}
+
+fn read_response(stream: &mut TcpStream, scratch: &mut Vec<u8>) -> Response {
+    let frame = read_frame(stream, scratch)
+        .expect("transport error mid-response")
+        .expect("server closed mid-response");
+    Response::decode(frame).expect("server sent an undecodable frame")
+}
+
+/// One client connection: open-loop paced, pipelined bursts, latency
+/// from intended send times.
+fn drive_connection(opts: &Options, addr: &str, conn_id: u64) -> ConnResult {
+    let mut stream = TcpStream::connect(addr).expect("connect to server");
+    stream.set_nodelay(true).expect("nodelay");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .expect("timeout");
+    let mut scratch = Vec::new();
+    let mut rng = StdRng::seed_from_u64(opts.seed ^ conn_id.wrapping_mul(0x9E37_79B9));
+    let sampler = opts.dist.sampler(opts.keys);
+    let mut res = ConnResult::default();
+    // Per-connection share of the offered load; 0 = closed loop.
+    let interval = if opts.rate > 0 {
+        Duration::from_secs_f64(opts.connections as f64 / opts.rate as f64)
+    } else {
+        Duration::ZERO
+    };
+    let start = Instant::now();
+    let mut burst = Vec::with_capacity(opts.pipeline * 24);
+    let mut intended: Vec<Instant> = Vec::with_capacity(opts.pipeline);
+    let mut sent_total = 0u64;
+    while start.elapsed() < opts.duration {
+        burst.clear();
+        intended.clear();
+        // Pace the burst head; the burst's requests inherit evenly
+        // spaced intended timestamps so a late batch charges every
+        // request it delayed.
+        if opts.rate > 0 {
+            let due = start + interval.mul_f64(sent_total as f64);
+            let now = Instant::now();
+            if due > now {
+                std::thread::sleep(due - now);
+            }
+        }
+        for j in 0..opts.pipeline {
+            let key = sampler.sample(&mut rng);
+            let draw = rng.random_range(0..100u32);
+            let req = if draw < opts.mix.reads {
+                Request::Get { key }
+            } else if draw < opts.mix.reads + opts.mix.writes {
+                Request::Put {
+                    key,
+                    value: sent_total as i64,
+                }
+            } else {
+                Request::Remove { key }
+            };
+            req.encode(&mut burst);
+            intended.push(if opts.rate > 0 {
+                start + interval.mul_f64((sent_total + j as u64) as f64)
+            } else {
+                Instant::now()
+            });
+        }
+        stream.write_all(&burst).expect("send burst");
+        stream.flush().expect("flush burst");
+        sent_total += opts.pipeline as u64;
+        for due in &intended {
+            match read_response(&mut stream, &mut scratch) {
+                Response::Value(_) | Response::Entries(_) | Response::Pong => {}
+                Response::Error(e) => match e.code {
+                    ErrorCode::Overloaded => res.overloaded += 1,
+                    ErrorCode::DeadlineExceeded => res.deadline_exceeded += 1,
+                    ErrorCode::Malformed => panic!("server called us malformed: {e:?}"),
+                },
+                other => panic!("unexpected response {other:?}"),
+            }
+            res.ops += 1;
+            let lat = Instant::now().saturating_duration_since(*due);
+            res.latencies_us.push(lat.as_micros() as u64);
+        }
+    }
+    res
+}
+
+/// Runs the measured load against `addr` and assembles the record.
+fn run_load(opts: &Options, addr: &str) -> NetRunRecord {
+    // Prefill half the keyspace through one pipelined connection so
+    // reads hit real entries.
+    {
+        let mut stream = TcpStream::connect(addr).expect("connect for prefill");
+        stream.set_nodelay(true).expect("nodelay");
+        let mut scratch = Vec::new();
+        let prefill = (opts.keys / 2).max(0);
+        let mut k = 0i64;
+        while k < prefill {
+            let mut burst = Vec::new();
+            let end = (k + 256).min(prefill);
+            for key in k..end {
+                Request::Put { key, value: key }.encode(&mut burst);
+            }
+            stream.write_all(&burst).expect("send prefill");
+            for _ in k..end {
+                let _ = read_response(&mut stream, &mut scratch);
+            }
+            k = end;
+        }
+    }
+
+    let started = Instant::now();
+    let results: Vec<ConnResult> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..opts.connections)
+            .map(|c| s.spawn(move || drive_connection(opts, addr, c as u64)))
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    let elapsed = started.elapsed();
+
+    // One closing STATS frame: the server-side counters the record
+    // carries (trace_dropped, sheds, per-shard health).
+    let stats = {
+        let mut stream = TcpStream::connect(addr).expect("connect for stats");
+        let mut scratch = Vec::new();
+        write_request(&mut stream, &Request::Stats).expect("send stats");
+        match read_response(&mut stream, &mut scratch) {
+            Response::Stats(st) => st,
+            other => panic!("STATS answered {other:?}"),
+        }
+    };
+
+    let mut all_lat: Vec<u64> = Vec::new();
+    let mut ops = 0u64;
+    let mut overloaded = 0u64;
+    let mut deadline_exceeded = 0u64;
+    for mut r in results {
+        ops += r.ops;
+        overloaded += r.overloaded;
+        deadline_exceeded += r.deadline_exceeded;
+        all_lat.append(&mut r.latencies_us);
+    }
+    let (p50_us, p99_us, p999_us, max_us) = percentiles(&mut all_lat);
+    NetRunRecord {
+        addr: addr.to_string(),
+        connections: opts.connections,
+        dist: opts.dist.name().to_string(),
+        mix: opts.mix.name().to_string(),
+        key_range: opts.keys as u64,
+        pipeline: opts.pipeline,
+        target_rate: opts.rate,
+        ops,
+        overloaded,
+        deadline_exceeded,
+        elapsed,
+        p50_us,
+        p99_us,
+        p999_us,
+        max_us,
+        trace_dropped: stats.trace_dropped,
+        server_sheds: stats.sheds,
+        health: stats.health,
+    }
+}
+
+fn bench_internal<S: Smr>(schemes: &[S], opts: &Options) -> NetRunRecord {
+    let cfg = KvConfig {
+        retired_soft: opts.soft,
+        retired_hard: opts.hard,
+        max_threads: opts.workers + 8,
+        ..KvConfig::default()
+    };
+    let store = KvStore::new(schemes, cfg);
+    let server = NetServer::bind(
+        &store,
+        NetConfig {
+            workers: opts.workers,
+            ..NetConfig::default()
+        },
+        "127.0.0.1:0",
+    )
+    .expect("bind internal server");
+    server.flight().install_panic_hook(opts.flight_dump.clone());
+    let addr = server.local_addr().to_string();
+    let handle = server.handle();
+    let record = std::thread::scope(|s| {
+        let run = s.spawn(|| server.run().expect("serve"));
+        let record = run_load(opts, &addr);
+        handle.shutdown();
+        let stats = run.join().unwrap();
+        println!("server: {stats}");
+        record
+    });
+    match server.write_flight(&opts.flight_dump) {
+        Ok(()) => println!(
+            "wrote flight dump to {} (replay with `era-view {0}`)",
+            opts.flight_dump.display()
+        ),
+        Err(e) => eprintln!(
+            "failed to write flight dump {}: {e}",
+            opts.flight_dump.display()
+        ),
+    }
+    record
+}
+
+fn main() {
+    let opts = parse_options();
+    println!(
+        "== E13: era-net wire level — {} connection(s) × pipeline {}, mix ycsb-{}, {} keys, {} ==\n",
+        opts.connections,
+        opts.pipeline,
+        opts.mix_name,
+        opts.keys,
+        if opts.rate > 0 {
+            format!("open loop @ {} ops/s", opts.rate)
+        } else {
+            "closed loop".to_string()
+        },
+    );
+    let record = match &opts.addr {
+        Some(addr) => {
+            println!("driving external server at {addr}");
+            run_load(&opts, addr)
+        }
+        None => {
+            let capacity = opts.workers + 8;
+            match opts.scheme.as_str() {
+                "ebr" => {
+                    let schemes: Vec<Ebr> = (0..opts.shards).map(|_| Ebr::new(capacity)).collect();
+                    bench_internal(&schemes, &opts)
+                }
+                "qsbr" => {
+                    let schemes: Vec<Qsbr> =
+                        (0..opts.shards).map(|_| Qsbr::new(capacity)).collect();
+                    bench_internal(&schemes, &opts)
+                }
+                "hp" => {
+                    let schemes: Vec<Hp> = (0..opts.shards).map(|_| Hp::new(capacity, 3)).collect();
+                    bench_internal(&schemes, &opts)
+                }
+                other => {
+                    eprintln!("unknown --scheme {other} (use ebr|qsbr|hp)");
+                    std::process::exit(2);
+                }
+            }
+        }
+    };
+    let mut table = Table::new(
+        [
+            "Mops/s",
+            "p50 µs",
+            "p99 µs",
+            "p99.9 µs",
+            "max µs",
+            "shed",
+            "deadline",
+            "dropped",
+        ]
+        .into_iter()
+        .map(String::from),
+    );
+    table.row(vec![
+        format!("{:.3}", record.mops()),
+        record.p50_us.to_string(),
+        record.p99_us.to_string(),
+        record.p999_us.to_string(),
+        record.max_us.to_string(),
+        record.overloaded.to_string(),
+        record.deadline_exceeded.to_string(),
+        record.trace_dropped.to_string(),
+    ]);
+    println!("{table}");
+    if let Some(path) = &opts.report {
+        match write_jsonl(path, &[record]) {
+            Ok(()) => println!("wrote 1 run record to {}", path.display()),
+            Err(e) => {
+                eprintln!("failed to write report {}: {e}", path.display());
+                std::process::exit(1);
+            }
+        }
+    }
+}

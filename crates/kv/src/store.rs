@@ -344,6 +344,54 @@ impl<'s, S: Smr> KvStore<'s, S> {
         Ok(v)
     }
 
+    /// Inserts or updates a batch of `(key, value)` pairs, amortizing
+    /// the per-write admission handshake across each shard's share of
+    /// the batch — the serving-path fast lane for pipelined writes.
+    ///
+    /// Items are grouped by shard; each shard group pays **one**
+    /// admission decision, one `needs_restart` poll, and one quiescent
+    /// point instead of one per item. Grouping is stable, so two writes
+    /// to the same key keep their order (same key → same shard → same
+    /// group, applied in batch order). Results come back in item order:
+    /// the previous value per item, or [`KvError::Overloaded`] for
+    /// every item of a shard group the navigator refused.
+    pub fn put_batch(
+        &self,
+        ctx: &mut KvCtx<S>,
+        items: &[(i64, i64)],
+    ) -> Vec<Result<Option<i64>, KvError>> {
+        let mut out: Vec<Result<Option<i64>, KvError>> = Vec::with_capacity(items.len());
+        out.resize(items.len(), Ok(None));
+        // Group item indices per shard, preserving item order within a
+        // group. A batch is typically small (one connection's pipelined
+        // burst), so a Vec<Vec<_>> scratch beats anything cleverer.
+        let mut groups: Vec<Vec<usize>> = vec![Vec::new(); self.shards.len()];
+        for (idx, &(key, _)) in items.iter().enumerate() {
+            groups[self.shard_of(key)].push(idx);
+        }
+        for (si, group) in groups.iter().enumerate() {
+            if group.is_empty() {
+                continue;
+            }
+            if let Err(e) = self.admit_write(si) {
+                for &idx in group {
+                    out[idx] = Err(e);
+                }
+                continue;
+            }
+            let sh = &self.shards[si];
+            let tctx = &mut ctx.ctxs[si];
+            let _ = sh.smr.needs_restart(tctx);
+            for &idx in group {
+                let (key, value) = items[idx];
+                out[idx] = Ok(sh.map.insert(tctx, key, value));
+            }
+            sh.smr.quiescent_point(tctx);
+            sh.inflight.fetch_sub(1, Ordering::SeqCst);
+        }
+        out
+    }
+
     /// Inserts or updates `key` with bounded retry and exponential
     /// backoff — the self-healing write path. Between attempts the
     /// caller's own context flushes the target shard (helping drain
@@ -429,6 +477,23 @@ impl<'s, S: Smr> KvStore<'s, S> {
         drop(old);
         sh.smr.flush(&mut ctx.ctxs[shard]);
         Ok(())
+    }
+
+    /// One idle-maintenance pass for this context: a quiescent point
+    /// and a flush on every shard, so garbage retired through `ctx`
+    /// does not sit in its local lists while the thread has no
+    /// traffic. Long-lived serving threads (the `era-net` worker pool)
+    /// call this whenever they idle out of a read — without it, a
+    /// quiet server pins its own backlog forever: reclamation only
+    /// runs inside write operations, and an overloaded shard that has
+    /// started shedding writes would never see another one.
+    pub fn maintain(&self, ctx: &mut KvCtx<S>) {
+        for (si, sh) in self.shards.iter().enumerate() {
+            let tctx = &mut ctx.ctxs[si];
+            let _ = sh.smr.needs_restart(tctx);
+            sh.smr.quiescent_point(tctx);
+            sh.smr.flush(tctx);
+        }
     }
 
     /// Graceful shutdown: repeatedly cycles every shard through an
@@ -673,6 +738,45 @@ mod tests {
             KvError::Overloaded { shard: 0 }.to_string(),
             "shard 0 is overloaded (admission control)"
         );
+    }
+
+    #[test]
+    fn put_batch_matches_put_semantics_and_order() {
+        let (schemes, cfg) = ebr_store(4);
+        let store = KvStore::new(&schemes, cfg);
+        let mut ctx = store.register().unwrap();
+        // Duplicate keys in one batch must apply in batch order.
+        let items: Vec<(i64, i64)> = (0..64)
+            .map(|i| (i % 16, i * 10))
+            .chain(std::iter::once((3, 777)))
+            .collect();
+        let results = store.put_batch(&mut ctx, &items);
+        assert_eq!(results.len(), items.len());
+        // First write of each key sees None; later ones the prior value.
+        assert_eq!(results[0], Ok(None));
+        assert_eq!(results[16], Ok(Some(0)), "second round sees first value");
+        assert_eq!(store.get(&mut ctx, 3), Some(777), "last write wins");
+        for k in 0..16 {
+            assert!(store.get(&mut ctx, k).is_some());
+        }
+        assert!(store.put_batch(&mut ctx, &[]).is_empty());
+    }
+
+    #[test]
+    fn put_batch_sheds_whole_group_when_quarantined() {
+        let schemes: Vec<Ebr> = (0..2).map(|_| Ebr::new(4)).collect();
+        let store = KvStore::new(&schemes, KvConfig::default());
+        let mut ctx = store.register().unwrap();
+        // Find one key per shard.
+        let k0 = (0..).find(|&k| store.shard_of(k) == 0).unwrap();
+        let k1 = (0..).find(|&k| store.shard_of(k) == 1).unwrap();
+        store.quarantine(0);
+        let results = store.put_batch(&mut ctx, &[(k0, 1), (k1, 2), (k0, 3)]);
+        assert_eq!(results[0], Err(KvError::Overloaded { shard: 0 }));
+        assert_eq!(results[2], Err(KvError::Overloaded { shard: 0 }));
+        assert_eq!(results[1], Ok(None), "healthy shard still admits");
+        assert_eq!(store.get(&mut ctx, k1), Some(2));
+        assert_eq!(store.get(&mut ctx, k0), None);
     }
 
     #[test]

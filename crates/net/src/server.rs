@@ -1,0 +1,788 @@
+//! The TCP server: one acceptor, a fixed worker pool, pipelined
+//! connections, and the ERA navigator as a live admission signal.
+//!
+//! ## Thread shape
+//!
+//! [`NetServer::run`] blocks the calling thread on `accept()` and
+//! spawns (scoped) one watchdog thread — navigator ticks plus flight
+//! polls — and `workers` worker threads. Accepted connections go into
+//! a bounded queue; each worker pops a connection and serves it to
+//! completion, so a connection's requests are answered **in order** by
+//! construction.
+//!
+//! ## Pipelining and batching
+//!
+//! A worker reads one frame, then keeps draining frames that are
+//! already buffered (up to [`NetConfig::batch_max`]) before answering
+//! any of them — a client that pipelines N requests gets N in-order
+//! responses with one syscall round-trip instead of N. Consecutive
+//! `PUT`s inside such a burst are applied through
+//! [`KvStore::put_batch`], which pays one admission decision and one
+//! quiescent point per *shard group* instead of per write.
+//!
+//! ## Admission control (the theorem, on the wire)
+//!
+//! Per write, the target shard's [`ShardHealth`] decides:
+//!
+//! * `Robust` — the write goes straight through.
+//! * `Degrading` — the write is queued with a bounded deadline
+//!   ([`NetConfig::degraded_deadline`]); if it cannot land in time the
+//!   client gets a typed `DeadlineExceeded` frame.
+//! * `Violating` / `Quarantined` — the write is shed immediately with
+//!   an `Overloaded` frame carrying a `retry_after_ms` hint. This is
+//!   the ERA theorem's applicability sacrifice made visible to remote
+//!   clients: the shard keeps its robustness bound by refusing their
+//!   traffic.
+//!
+//! Reads are never shed (they add no footprint), so a Violating shard
+//! still serves `GET`s — exactly the split the chaos socket test
+//! asserts end-to-end.
+
+use std::collections::VecDeque;
+use std::io::{self, BufReader, BufWriter, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use era_kv::{KvCtx, KvError, KvStore, ShardHealth};
+use era_obs::{DumpStats, FlightRecorder, Hook, Recorder, SchemeId, ThreadTracer};
+use era_smr::Smr;
+
+use crate::proto::{
+    read_frame, write_response, ErrorCode, ErrorReply, Request, Response, StatsReply,
+};
+
+/// Tuning knobs for a [`NetServer`].
+#[derive(Debug, Clone, Copy)]
+pub struct NetConfig {
+    /// Worker threads serving connections.
+    pub workers: usize,
+    /// Accepted connections allowed to wait for a worker before the
+    /// acceptor sheds new ones by closing them.
+    pub queue_depth: usize,
+    /// Socket read timeout — the granularity at which idle workers
+    /// notice a shutdown request.
+    pub read_timeout: Duration,
+    /// Bounded queueing deadline for writes to a `Degrading` shard;
+    /// past it the client gets `DeadlineExceeded`.
+    pub degraded_deadline: Duration,
+    /// `retry_after_ms` hint attached to `Overloaded` error frames.
+    pub retry_after_ms: u32,
+    /// Navigator tick period for the watchdog thread.
+    pub nav_poll: Duration,
+    /// Most frames drained into one pipelined burst.
+    pub batch_max: usize,
+    /// Server-side clamp on `SCAN` limits.
+    pub scan_limit: u32,
+}
+
+impl Default for NetConfig {
+    fn default() -> Self {
+        NetConfig {
+            workers: 4,
+            queue_depth: 64,
+            read_timeout: Duration::from_millis(50),
+            degraded_deadline: Duration::from_millis(20),
+            retry_after_ms: 50,
+            nav_poll: Duration::from_micros(200),
+            batch_max: 64,
+            scan_limit: 1024,
+        }
+    }
+}
+
+/// Counters aggregated over a server's lifetime, returned by
+/// [`NetServer::run`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServeStats {
+    /// Connections accepted.
+    pub accepted: u64,
+    /// Connections shed because the pending queue was full.
+    pub queue_shed: u64,
+    /// Connections served to completion.
+    pub served: u64,
+    /// Request frames processed.
+    pub frames: u64,
+    /// Writes answered with `Overloaded`/`DeadlineExceeded` (the net
+    /// layer's sheds, on top of the store's own counter).
+    pub shed_writes: u64,
+    /// Writes applied through the per-shard batch path.
+    pub batched_writes: u64,
+    /// Connections dropped over malformed frames.
+    pub malformed: u64,
+}
+
+impl std::fmt::Display for ServeStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "accepted={} served={} frames={} batched_writes={} shed_writes={} queue_shed={} malformed={}",
+            self.accepted,
+            self.served,
+            self.frames,
+            self.batched_writes,
+            self.shed_writes,
+            self.queue_shed,
+            self.malformed
+        )
+    }
+}
+
+/// Shared stop signal between a [`NetServer`] and its [`NetHandle`]s.
+struct Ctl {
+    stop: AtomicBool,
+    addr: SocketAddr,
+}
+
+/// Remote control for a running [`NetServer`] — the only way to stop
+/// [`NetServer::run`] from another thread.
+#[must_use = "a NetHandle is the only way to stop a running server; dropping it leaks the run loop"]
+pub struct NetHandle {
+    ctl: Arc<Ctl>,
+}
+
+impl NetHandle {
+    /// Signals the server to stop and unblocks its acceptor. Safe to
+    /// call more than once and from any thread.
+    pub fn shutdown(&self) {
+        self.ctl.stop.store(true, Ordering::SeqCst);
+        // accept() only returns when a connection arrives; poke it.
+        let _ = TcpStream::connect(self.ctl.addr);
+    }
+
+    /// The address the server is bound to.
+    pub fn addr(&self) -> SocketAddr {
+        self.ctl.addr
+    }
+}
+
+struct Counters {
+    accepted: AtomicU64,
+    queue_shed: AtomicU64,
+    served: AtomicU64,
+    frames: AtomicU64,
+    shed_writes: AtomicU64,
+    batched_writes: AtomicU64,
+    malformed: AtomicU64,
+}
+
+impl Counters {
+    fn new() -> Counters {
+        Counters {
+            accepted: AtomicU64::new(0),
+            queue_shed: AtomicU64::new(0),
+            served: AtomicU64::new(0),
+            frames: AtomicU64::new(0),
+            shed_writes: AtomicU64::new(0),
+            batched_writes: AtomicU64::new(0),
+            malformed: AtomicU64::new(0),
+        }
+    }
+
+    fn snapshot(&self) -> ServeStats {
+        ServeStats {
+            accepted: self.accepted.load(Ordering::SeqCst),
+            queue_shed: self.queue_shed.load(Ordering::SeqCst),
+            served: self.served.load(Ordering::SeqCst),
+            frames: self.frames.load(Ordering::SeqCst),
+            shed_writes: self.shed_writes.load(Ordering::SeqCst),
+            batched_writes: self.batched_writes.load(Ordering::SeqCst),
+            malformed: self.malformed.load(Ordering::SeqCst),
+        }
+    }
+}
+
+/// A TCP front-end over a borrowed [`KvStore`].
+///
+/// The server borrows the store (and, transitively, the schemes) the
+/// same way the store borrows its schemes — callers keep both alive
+/// for the server's lifetime and typically run everything under one
+/// `std::thread::scope`.
+pub struct NetServer<'a, 's, S: Smr> {
+    store: &'a KvStore<'s, S>,
+    cfg: NetConfig,
+    listener: TcpListener,
+    recorder: Recorder,
+    flight: Arc<FlightRecorder>,
+    ctl: Arc<Ctl>,
+    counters: Counters,
+    queue: Mutex<VecDeque<TcpStream>>,
+    queue_cond: Condvar,
+}
+
+impl<'a, 's, S: Smr> NetServer<'a, 's, S> {
+    /// Binds to `addr` (use port 0 for an ephemeral port) and arms the
+    /// flight recorder: one source per shard plus a `net` source for
+    /// accept/shed events.
+    ///
+    /// # Errors
+    ///
+    /// Any socket error from binding.
+    pub fn bind(
+        store: &'a KvStore<'s, S>,
+        cfg: NetConfig,
+        addr: impl ToSocketAddrs,
+    ) -> io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        let recorder = Recorder::new(cfg.workers + 2);
+        let flight = Arc::new(FlightRecorder::new());
+        for i in 0..store.shard_count() {
+            flight.add_source(&format!("shard{i}"), store.recorder(i));
+        }
+        flight.add_source("net", &recorder);
+        Ok(NetServer {
+            store,
+            cfg,
+            listener,
+            recorder,
+            flight,
+            ctl: Arc::new(Ctl {
+                stop: AtomicBool::new(false),
+                addr: local,
+            }),
+            counters: Counters::new(),
+            queue: Mutex::new(VecDeque::new()),
+            queue_cond: Condvar::new(),
+        })
+    }
+
+    /// The bound address (resolves an ephemeral port request).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.ctl.addr
+    }
+
+    /// A handle that can stop this server from another thread.
+    pub fn handle(&self) -> NetHandle {
+        NetHandle {
+            ctl: Arc::clone(&self.ctl),
+        }
+    }
+
+    /// The armed flight recorder (e.g. to install a panic hook).
+    pub fn flight(&self) -> &Arc<FlightRecorder> {
+        &self.flight
+    }
+
+    /// The net-layer recorder (accept/shed events).
+    pub fn recorder(&self) -> &Recorder {
+        &self.recorder
+    }
+
+    /// Freshens per-shard footprint stats and writes the flight dump.
+    ///
+    /// # Errors
+    ///
+    /// Any filesystem error from writing `path`.
+    pub fn write_flight(&self, path: &Path) -> io::Result<()> {
+        self.flight.poll();
+        for i in 0..self.store.shard_count() {
+            let st = self.store.scheme(i).stats();
+            self.flight.set_stats(
+                i,
+                DumpStats {
+                    retired_now: st.retired_now as u64,
+                    retired_peak: st.retired_peak as u64,
+                    total_retired: st.total_retired,
+                    total_reclaimed: st.total_reclaimed,
+                    era: st.era,
+                },
+            );
+        }
+        self.flight.snapshot_to_file(path)
+    }
+
+    /// Serves until [`NetHandle::shutdown`] is called. Blocks the
+    /// calling thread (the acceptor) and scopes the watchdog + worker
+    /// threads under it.
+    ///
+    /// # Errors
+    ///
+    /// [`era_smr::RegisterError`] (as `io::Error`) when the store's
+    /// schemes cannot seat one context per worker — size scheme
+    /// capacity at `workers + slack`.
+    pub fn run(&self) -> io::Result<ServeStats> {
+        let mut worker_ctxs: Vec<KvCtx<S>> = Vec::with_capacity(self.cfg.workers);
+        for _ in 0..self.cfg.workers.max(1) {
+            worker_ctxs.push(self.store.register().map_err(|e| {
+                io::Error::new(
+                    io::ErrorKind::ResourceBusy,
+                    format!("scheme capacity too small for worker pool: {e}"),
+                )
+            })?);
+        }
+        std::thread::scope(|s| {
+            s.spawn(|| self.watchdog_loop());
+            for (w, mut ctx) in worker_ctxs.into_iter().enumerate() {
+                s.spawn(move || self.worker_loop(w as u16, &mut ctx));
+            }
+            self.accept_loop();
+        });
+        Ok(self.counters.snapshot())
+    }
+
+    /// Navigator ticks + periodic flight polls until shutdown.
+    fn watchdog_loop(&self) {
+        let mut last_flight = Instant::now();
+        while !self.ctl.stop.load(Ordering::SeqCst) {
+            self.store.navigator_tick();
+            if last_flight.elapsed() >= Duration::from_millis(25) {
+                self.flight.poll();
+                last_flight = Instant::now();
+            }
+            std::thread::sleep(self.cfg.nav_poll);
+        }
+    }
+
+    fn accept_loop(&self) {
+        // The acceptor gets the slot just past the workers' in the net
+        // recorder (sized workers + 2 at bind time).
+        let mut tracer = self
+            .recorder
+            .tracer(self.cfg.workers as u16, SchemeId::NONE);
+        let mut conn_id = 0u64;
+        for stream in self.listener.incoming() {
+            if self.ctl.stop.load(Ordering::SeqCst) {
+                break;
+            }
+            let stream = match stream {
+                Ok(s) => s,
+                Err(_) => continue,
+            };
+            conn_id += 1;
+            // SAFETY(ordering): Relaxed — serving-path tallies are
+            // telemetry read by the final snapshot (SeqCst loads);
+            // no decision is taken on their momentary values.
+            self.counters.accepted.fetch_add(1, Ordering::Relaxed);
+            let queued = {
+                let mut q = self.queue.lock().unwrap_or_else(|e| e.into_inner());
+                if q.len() >= self.cfg.queue_depth {
+                    drop(stream); // shed at the door: no worker in sight
+                                  // SAFETY(ordering): Relaxed — telemetry, as above.
+                    self.counters.queue_shed.fetch_add(1, Ordering::Relaxed);
+                    tracer.emit(Hook::Shed, u64::MAX, conn_id);
+                    continue;
+                }
+                q.push_back(stream);
+                q.len() as u64
+            };
+            tracer.emit(Hook::Accept, conn_id, queued);
+            self.queue_cond.notify_one();
+        }
+        // Shutdown: wake every parked worker so they observe the flag.
+        self.queue_cond.notify_all();
+    }
+
+    fn worker_loop(&self, worker: u16, ctx: &mut KvCtx<S>) {
+        let mut tracer = self.recorder.tracer(worker, SchemeId::NONE);
+        loop {
+            let conn = {
+                let mut q = self.queue.lock().unwrap_or_else(|e| e.into_inner());
+                loop {
+                    if let Some(c) = q.pop_front() {
+                        break Some(c);
+                    }
+                    if self.ctl.stop.load(Ordering::SeqCst) {
+                        break None;
+                    }
+                    let (guard, timed_out) = self
+                        .queue_cond
+                        .wait_timeout(q, self.cfg.read_timeout)
+                        .unwrap_or_else(|e| e.into_inner());
+                    q = guard;
+                    if timed_out.timed_out() {
+                        // Idle maintenance: flush this worker's retire
+                        // lists so a quiet server drains its backlog
+                        // (see KvStore::maintain). The queue lock is
+                        // released around the flush.
+                        drop(q);
+                        self.store.maintain(ctx);
+                        q = self.queue.lock().unwrap_or_else(|e| e.into_inner());
+                    }
+                }
+            };
+            match conn {
+                Some(stream) => {
+                    let _ = self.serve_conn(stream, ctx, &mut tracer);
+                    // SAFETY(ordering): Relaxed — telemetry tally.
+                    self.counters.served.fetch_add(1, Ordering::Relaxed);
+                }
+                None => break,
+            }
+        }
+    }
+
+    /// Serves one connection to completion: pipelined frame bursts in,
+    /// in-order responses out.
+    fn serve_conn(
+        &self,
+        stream: TcpStream,
+        ctx: &mut KvCtx<S>,
+        tracer: &mut ThreadTracer,
+    ) -> io::Result<()> {
+        stream.set_nodelay(true)?;
+        stream.set_read_timeout(Some(self.cfg.read_timeout))?;
+        let mut reader = BufReader::new(stream.try_clone()?);
+        let mut writer = BufWriter::new(stream);
+        let mut scratch = Vec::new();
+        let mut burst: Vec<Request> = Vec::new();
+        loop {
+            burst.clear();
+            // First frame of a burst: allowed to idle out so the stop
+            // flag gets polled on quiet connections.
+            match self.read_request(&mut reader, &mut scratch, true) {
+                FrameIn::Idle => {
+                    if self.ctl.stop.load(Ordering::SeqCst) {
+                        return Ok(());
+                    }
+                    // The connection is open but quiet — same idle
+                    // maintenance as a worker parked on the queue.
+                    self.store.maintain(ctx);
+                    continue;
+                }
+                FrameIn::Eof | FrameIn::Transport => return Ok(()),
+                FrameIn::Malformed => return self.reject_malformed(&mut writer),
+                FrameIn::Frame(req) => burst.push(req),
+            }
+            // Drain whatever the client already pipelined behind it.
+            let mut malformed = false;
+            while burst.len() < self.cfg.batch_max && !reader.buffer().is_empty() {
+                match self.read_request(&mut reader, &mut scratch, false) {
+                    FrameIn::Frame(req) => burst.push(req),
+                    FrameIn::Malformed => {
+                        malformed = true;
+                        break;
+                    }
+                    FrameIn::Idle | FrameIn::Eof | FrameIn::Transport => break,
+                }
+            }
+            // SAFETY(ordering): Relaxed — telemetry tally.
+            self.counters
+                .frames
+                .fetch_add(burst.len() as u64, Ordering::Relaxed);
+            for resp in self.process_burst(ctx, &burst, tracer) {
+                write_response(&mut writer, &resp)?;
+            }
+            writer.flush()?;
+            if malformed {
+                return self.reject_malformed(&mut writer);
+            }
+        }
+    }
+
+    /// Answers a framing violation with a typed error, then closes.
+    fn reject_malformed(&self, writer: &mut BufWriter<TcpStream>) -> io::Result<()> {
+        // SAFETY(ordering): Relaxed — telemetry tally.
+        self.counters.malformed.fetch_add(1, Ordering::Relaxed);
+        let resp = Response::Error(ErrorReply {
+            code: ErrorCode::Malformed,
+            shard: u32::MAX,
+            retry_after_ms: 0,
+        });
+        write_response(writer, &resp)?;
+        writer.flush()
+    }
+
+    fn read_request(
+        &self,
+        reader: &mut BufReader<TcpStream>,
+        scratch: &mut Vec<u8>,
+        idle_ok: bool,
+    ) -> FrameIn {
+        match read_frame_patient(reader, scratch, &self.ctl.stop, idle_ok) {
+            Ok(Some(frame)) => match Request::decode(frame) {
+                Ok(req) => FrameIn::Frame(req),
+                Err(_) => FrameIn::Malformed,
+            },
+            Ok(None) => FrameIn::Eof,
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                FrameIn::Idle
+            }
+            Err(e) if e.kind() == io::ErrorKind::InvalidData => FrameIn::Malformed,
+            Err(_) => FrameIn::Transport,
+        }
+    }
+
+    /// Executes a pipelined burst, answering each request in order.
+    /// Runs of two or more consecutive `PUT`s go through the store's
+    /// per-shard batch path.
+    fn process_burst(
+        &self,
+        ctx: &mut KvCtx<S>,
+        burst: &[Request],
+        tracer: &mut ThreadTracer,
+    ) -> Vec<Response> {
+        let mut out = Vec::with_capacity(burst.len());
+        let mut i = 0;
+        while i < burst.len() {
+            let run_end = if matches!(burst[i], Request::Put { .. }) {
+                let mut j = i;
+                while j < burst.len() && matches!(burst[j], Request::Put { .. }) {
+                    j += 1;
+                }
+                j
+            } else {
+                i
+            };
+            if run_end - i >= 2 {
+                let items: Vec<(i64, i64)> = burst[i..run_end]
+                    .iter()
+                    .map(|r| match *r {
+                        Request::Put { key, value } => (key, value),
+                        _ => unreachable!("run contains only puts"),
+                    })
+                    .collect();
+                // SAFETY(ordering): Relaxed — telemetry tally.
+                self.counters
+                    .batched_writes
+                    .fetch_add(items.len() as u64, Ordering::Relaxed);
+                for (item, res) in items.iter().zip(self.store.put_batch(ctx, &items)) {
+                    out.push(match res {
+                        Ok(prev) => Response::Value(prev),
+                        // A shed group falls back to the single-write
+                        // policy so Degrading still means "queue with
+                        // a deadline", not "batch missed, bad luck".
+                        Err(_) => self.write_op(ctx, item.0, tracer, |store, ctx| {
+                            store.put(ctx, item.0, item.1)
+                        }),
+                    });
+                }
+                i = run_end;
+            } else {
+                out.push(self.respond(ctx, &burst[i], tracer));
+                i += 1;
+            }
+        }
+        out
+    }
+
+    fn respond(&self, ctx: &mut KvCtx<S>, req: &Request, tracer: &mut ThreadTracer) -> Response {
+        match *req {
+            Request::Get { key } => Response::Value(self.store.get(ctx, key)),
+            Request::Put { key, value } => {
+                self.write_op(ctx, key, tracer, |store, ctx| store.put(ctx, key, value))
+            }
+            Request::Remove { key } => {
+                self.write_op(ctx, key, tracer, |store, ctx| store.remove(ctx, key))
+            }
+            Request::Incr { key, delta } => {
+                self.write_op(ctx, key, tracer, |store, ctx| store.incr(ctx, key, delta))
+            }
+            Request::Scan { lo, hi, limit } => {
+                // A live server cannot take the store's quiescent-only
+                // snapshot; SCAN is a bounded sweep of protected point
+                // reads over at most `limit` consecutive keys instead.
+                let limit = limit.min(self.cfg.scan_limit) as i64;
+                let hi = hi.min(lo.saturating_add(limit.max(0)));
+                let mut entries = Vec::new();
+                let mut k = lo;
+                while k < hi {
+                    if let Some(v) = self.store.get(ctx, k) {
+                        entries.push((k, v));
+                    }
+                    k += 1;
+                }
+                Response::Entries(entries)
+            }
+            Request::Ping => Response::Pong,
+            Request::Stats => Response::Stats(self.stats_reply()),
+        }
+    }
+
+    /// The navigator-driven write policy shared by PUT/REMOVE/INCR and
+    /// the batch fallback.
+    fn write_op<F>(
+        &self,
+        ctx: &mut KvCtx<S>,
+        key: i64,
+        tracer: &mut ThreadTracer,
+        mut op: F,
+    ) -> Response
+    where
+        F: FnMut(&KvStore<'s, S>, &mut KvCtx<S>) -> Result<Option<i64>, KvError>,
+    {
+        let shard = self.store.shard_of(key);
+        match self.store.health(shard) {
+            ShardHealth::Violating | ShardHealth::Quarantined => self.shed(shard, tracer),
+            ShardHealth::Robust | ShardHealth::Degrading => {
+                // Robust: the first attempt succeeds immediately.
+                // Degrading: bounded queueing — retry with backoff
+                // until the write lands or the deadline passes.
+                let deadline = Instant::now() + self.cfg.degraded_deadline;
+                let mut backoff = Duration::from_micros(100);
+                loop {
+                    match op(self.store, ctx) {
+                        Ok(prev) => return Response::Value(prev),
+                        Err(KvError::Overloaded { shard }) => {
+                            if self.store.health(shard) > ShardHealth::Degrading {
+                                return self.shed(shard, tracer);
+                            }
+                            if Instant::now() + backoff > deadline {
+                                // SAFETY(ordering): Relaxed — telemetry.
+                                self.counters.shed_writes.fetch_add(1, Ordering::Relaxed);
+                                return Response::Error(ErrorReply {
+                                    code: ErrorCode::DeadlineExceeded,
+                                    shard: shard as u32,
+                                    retry_after_ms: self.cfg.retry_after_ms,
+                                });
+                            }
+                            std::thread::sleep(backoff);
+                            backoff = (backoff * 2).min(Duration::from_millis(2));
+                        }
+                        Err(KvError::DeadlineExceeded { shard }) => {
+                            // SAFETY(ordering): Relaxed — telemetry.
+                            self.counters.shed_writes.fetch_add(1, Ordering::Relaxed);
+                            return Response::Error(ErrorReply {
+                                code: ErrorCode::DeadlineExceeded,
+                                shard: shard as u32,
+                                retry_after_ms: self.cfg.retry_after_ms,
+                            });
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// The typed `Overloaded` + `Retry-After` frame.
+    fn shed(&self, shard: usize, tracer: &mut ThreadTracer) -> Response {
+        // SAFETY(ordering): Relaxed — telemetry tally.
+        let shed = self.counters.shed_writes.fetch_add(1, Ordering::Relaxed) + 1;
+        tracer.emit(Hook::Shed, shard as u64, shed);
+        Response::Error(ErrorReply {
+            code: ErrorCode::Overloaded,
+            shard: shard as u32,
+            // Quarantined shards drain a death's backlog, not a load
+            // spike — hint clients to stay away twice as long.
+            retry_after_ms: if self.store.health(shard) == ShardHealth::Quarantined {
+                self.cfg.retry_after_ms * 2
+            } else {
+                self.cfg.retry_after_ms
+            },
+        })
+    }
+
+    fn stats_reply(&self) -> StatsReply {
+        let st = self.store.stats();
+        let (transitions, neutralizations, store_sheds) = self.store.nav_counters();
+        let trace_dropped: u64 = (0..self.store.shard_count())
+            .map(|i| self.store.recorder(i).dropped())
+            .sum::<u64>()
+            + self.recorder.dropped();
+        StatsReply {
+            retired_now: st.retired_now as u64,
+            retired_peak: st.retired_peak as u64,
+            total_retired: st.total_retired,
+            total_reclaimed: st.total_reclaimed,
+            sheds: store_sheds + self.counters.shed_writes.load(Ordering::SeqCst),
+            transitions,
+            neutralizations,
+            trace_dropped,
+            health: (0..self.store.shard_count())
+                .map(|i| self.store.health(i) as u8)
+                .collect(),
+        }
+    }
+}
+
+/// What one attempt to read a request produced.
+enum FrameIn {
+    /// A decoded request.
+    Frame(Request),
+    /// Clean close at a frame boundary.
+    Eof,
+    /// Read timeout before the first byte of a frame.
+    Idle,
+    /// A frame that does not decode (or a poisoned length prefix).
+    Malformed,
+    /// Any other transport failure.
+    Transport,
+}
+
+/// [`read_frame`] with timeout patience: a timeout **before** the
+/// first byte surfaces as `WouldBlock`/`TimedOut` (the caller's idle
+/// poll), but a timeout **inside** a frame retries — the client has
+/// already committed the length prefix, so the remainder is in flight
+/// — until `stop` aborts the wait.
+fn read_frame_patient<'b, R: Read>(
+    r: &mut R,
+    scratch: &'b mut Vec<u8>,
+    stop: &AtomicBool,
+    idle_ok: bool,
+) -> io::Result<Option<&'b [u8]>> {
+    struct Patient<'r, R: Read> {
+        inner: &'r mut R,
+        stop: &'r AtomicBool,
+        got_any: bool,
+        idle_ok: bool,
+    }
+    impl<R: Read> Read for Patient<'_, R> {
+        fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+            loop {
+                match self.inner.read(buf) {
+                    Ok(n) => {
+                        self.got_any |= n > 0;
+                        return Ok(n);
+                    }
+                    Err(e)
+                        if e.kind() == io::ErrorKind::WouldBlock
+                            || e.kind() == io::ErrorKind::TimedOut =>
+                    {
+                        if !self.got_any && self.idle_ok {
+                            return Err(e);
+                        }
+                        if self.stop.load(Ordering::SeqCst) {
+                            return Err(io::Error::new(
+                                io::ErrorKind::ConnectionAborted,
+                                "server shutting down mid-frame",
+                            ));
+                        }
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                    Err(e) => return Err(e),
+                }
+            }
+        }
+    }
+    let mut patient = Patient {
+        inner: r,
+        stop,
+        got_any: false,
+        idle_ok,
+    };
+    read_frame(&mut patient, scratch)
+}
+
+// Re-exported so integration tests and docs can name the error type
+// without importing era-kv.
+pub use era_kv::KvConfig;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::proto::ProtoError;
+
+    #[test]
+    fn config_defaults_are_sane() {
+        let cfg = NetConfig::default();
+        assert!(cfg.workers >= 1);
+        assert!(cfg.queue_depth >= cfg.workers);
+        assert!(cfg.degraded_deadline < Duration::from_secs(1));
+        assert_eq!(
+            ServeStats::default().to_string(),
+            "accepted=0 served=0 frames=0 batched_writes=0 shed_writes=0 queue_shed=0 malformed=0"
+        );
+    }
+
+    #[test]
+    fn proto_error_kind_is_invalid_data() {
+        // The Malformed branch in read_request keys off InvalidData —
+        // pin the mapping read_frame promises.
+        let err = io::Error::new(io::ErrorKind::InvalidData, ProtoError::Oversized(0));
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+}

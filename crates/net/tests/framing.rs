@@ -1,0 +1,291 @@
+//! Wire-format properties and the pipelined-ordering guarantee.
+//!
+//! Three layers of trust in the protocol are pinned here:
+//!
+//! 1. **Losslessness** — any legal [`Request`]/[`Response`] survives
+//!    encode→decode unchanged (proptest).
+//! 2. **Rejection, never panic** — truncated frames, flipped bytes and
+//!    hostile length prefixes produce structured errors (proptest).
+//! 3. **In-order pipelining, end to end** — one real connection sends
+//!    a pipelined burst to a live server and the responses come back
+//!    strictly in request order, while other threads hammer the same
+//!    shards directly through the store API.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+use era_net::proto::{read_frame, write_request, Request, Response, StatsReply};
+use era_net::{ErrorCode, ErrorReply, NetConfig, NetServer};
+
+use era_kv::{KvConfig, KvStore};
+use era_smr::ebr::Ebr;
+
+use proptest::prelude::*;
+
+const I64_FULL: std::ops::Range<i64> = i64::MIN..i64::MAX;
+
+/// Tagged-tuple strategy over every request variant (the vendored
+/// proptest shim has no `prop_oneof`, so the discriminant is drawn as
+/// an integer and mapped).
+fn arb_request() -> impl Strategy<Value = Request> {
+    (0u8..7, I64_FULL, I64_FULL, 0u32..1 << 20).prop_map(|(tag, a, b, limit)| match tag {
+        0 => Request::Get { key: a },
+        1 => Request::Put { key: a, value: b },
+        2 => Request::Remove { key: a },
+        3 => Request::Incr { key: a, delta: b },
+        4 => Request::Scan {
+            lo: a,
+            hi: b,
+            limit,
+        },
+        5 => Request::Ping,
+        _ => Request::Stats,
+    })
+}
+
+fn arb_response() -> impl Strategy<Value = Response> {
+    (
+        0u8..5,
+        (I64_FULL, I64_FULL, 0u64..u64::MAX),
+        prop::collection::vec((I64_FULL, I64_FULL), 0..64),
+        prop::collection::vec(0u8..4, 0..16),
+    )
+        .prop_map(|(tag, (a, b, n), entries, health)| match tag {
+            0 => Response::Value(if a % 2 == 0 { Some(b) } else { None }),
+            1 => Response::Entries(entries),
+            2 => Response::Pong,
+            3 => Response::Stats(StatsReply {
+                retired_now: n,
+                retired_peak: n.rotate_left(7),
+                total_retired: n.wrapping_mul(3),
+                total_reclaimed: n / 2,
+                sheds: n % 977,
+                transitions: n % 31,
+                neutralizations: n % 7,
+                trace_dropped: n % 13,
+                health,
+            }),
+            _ => Response::Error(ErrorReply {
+                code: ErrorCode::from_u8(1 + (n % 3) as u8).unwrap(),
+                shard: a as u32,
+                retry_after_ms: b as u32,
+            }),
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn request_encode_decode_is_lossless(req in arb_request()) {
+        let mut frame = Vec::new();
+        req.encode(&mut frame);
+        // Frame = 4-byte length prefix + payload; decode takes payload.
+        let len = u32::from_be_bytes(frame[..4].try_into().unwrap()) as usize;
+        prop_assert_eq!(len, frame.len() - 4);
+        let back = Request::decode(&frame[4..]).expect("own encoding must decode");
+        prop_assert_eq!(back, req);
+    }
+
+    #[test]
+    fn response_encode_decode_is_lossless(resp in arb_response()) {
+        let mut frame = Vec::new();
+        resp.encode(&mut frame);
+        let len = u32::from_be_bytes(frame[..4].try_into().unwrap()) as usize;
+        prop_assert_eq!(len, frame.len() - 4);
+        let back = Response::decode(&frame[4..]).expect("own encoding must decode");
+        prop_assert_eq!(back, resp);
+    }
+
+    #[test]
+    fn truncation_is_rejected_never_panics(req in arb_request(), cut in 0usize..64) {
+        let mut frame = Vec::new();
+        req.encode(&mut frame);
+        let payload = &frame[4..];
+        if cut < payload.len() {
+            // Every strict prefix must fail to decode — the strict
+            // parser tolerates no missing tail bytes.
+            let err = Request::decode(&payload[..cut]);
+            prop_assert!(err.is_err(), "prefix of len {cut} decoded");
+        }
+    }
+
+    #[test]
+    fn byte_flips_never_panic(
+        req in arb_request(),
+        flip_at in 0usize..64,
+        flip_to in 0u16..256,
+    ) {
+        let mut frame = Vec::new();
+        req.encode(&mut frame);
+        let mut payload = frame[4..].to_vec();
+        let idx = flip_at % payload.len();
+        payload[idx] = flip_to as u8;
+        // Either a clean decode (the flip stayed in vocabulary) or a
+        // structured ProtoError — never a panic.
+        let _ = Request::decode(&payload);
+    }
+
+    #[test]
+    fn trailing_garbage_is_rejected(req in arb_request(), extra in 1usize..8) {
+        let mut frame = Vec::new();
+        req.encode(&mut frame);
+        let mut payload = frame[4..].to_vec();
+        payload.extend(vec![0xEEu8; extra]);
+        prop_assert!(Request::decode(&payload).is_err(), "trailing bytes accepted");
+    }
+}
+
+/// Reads exactly one response frame off `stream`.
+fn read_response(stream: &mut TcpStream, scratch: &mut Vec<u8>) -> Response {
+    let frame = read_frame(stream, scratch)
+        .expect("transport error mid-response")
+        .expect("server closed mid-response");
+    Response::decode(frame).expect("server sent an undecodable frame")
+}
+
+/// N pipelined requests on one connection answer strictly in request
+/// order, while other threads write the same shards directly — the
+/// worker's in-order burst processing may batch, interleave with store
+/// traffic, or split the burst, but it may never reorder.
+#[test]
+fn pipelined_requests_answer_in_order_under_concurrent_writes() {
+    const PIPELINE: i64 = 64;
+    let schemes: Vec<Ebr> = (0..4).map(|_| Ebr::new(16)).collect();
+    let cfg = KvConfig {
+        max_threads: 12,
+        ..KvConfig::default()
+    };
+    let store = KvStore::new(&schemes, cfg);
+    let server = NetServer::bind(
+        &store,
+        NetConfig {
+            workers: 2,
+            ..NetConfig::default()
+        },
+        "127.0.0.1:0",
+    )
+    .expect("bind ephemeral port");
+    let addr = server.local_addr();
+    let handle = server.handle();
+
+    // Background interference: direct store writes on every shard for
+    // the whole client exchange.
+    let stop_noise = std::sync::atomic::AtomicBool::new(false);
+    std::thread::scope(|s| {
+        let run = s.spawn(|| server.run().expect("serve"));
+        let noise = s.spawn(|| {
+            let mut ctx = store.register().expect("noise ctx");
+            let mut k = 1_000_000i64;
+            while !stop_noise.load(std::sync::atomic::Ordering::SeqCst) {
+                let _ = store.put(&mut ctx, k % 1_000_000 + 500_000, k);
+                k += 1;
+            }
+        });
+
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        stream
+            .set_read_timeout(Some(Duration::from_secs(10)))
+            .expect("timeout");
+        let mut scratch = Vec::new();
+
+        // Prepare the counter key, unpipelined.
+        write_request(&mut stream, &Request::Put { key: 7, value: 0 }).unwrap();
+        assert_eq!(
+            read_response(&mut stream, &mut scratch),
+            Response::Value(None)
+        );
+
+        // One write() carrying the whole pipelined burst: 64 INCRs on
+        // the same key, a PING, and a GET.
+        let mut burst = Vec::new();
+        for _ in 0..PIPELINE {
+            Request::Incr { key: 7, delta: 1 }.encode(&mut burst);
+        }
+        Request::Ping.encode(&mut burst);
+        Request::Get { key: 7 }.encode(&mut burst);
+        stream.write_all(&burst).expect("send burst");
+        stream.flush().unwrap();
+
+        // Only this connection touches key 7, so in-order execution is
+        // observable: INCR i must answer exactly Some(i + 1).
+        for i in 0..PIPELINE {
+            assert_eq!(
+                read_response(&mut stream, &mut scratch),
+                Response::Value(Some(i + 1)),
+                "response {i} out of order"
+            );
+        }
+        assert_eq!(read_response(&mut stream, &mut scratch), Response::Pong);
+        assert_eq!(
+            read_response(&mut stream, &mut scratch),
+            Response::Value(Some(PIPELINE))
+        );
+        drop(stream);
+
+        stop_noise.store(true, std::sync::atomic::Ordering::SeqCst);
+        noise.join().unwrap();
+        handle.shutdown();
+        let stats = run.join().unwrap();
+        assert!(stats.frames >= PIPELINE as u64 + 3);
+        assert!(
+            stats.batched_writes == 0,
+            "INCRs must not ride the put-batch path"
+        );
+    });
+}
+
+/// A malformed frame gets a typed `Malformed` error and the connection
+/// is closed; a fresh connection still works.
+#[test]
+fn malformed_frame_gets_typed_error_then_close() {
+    let schemes: Vec<Ebr> = (0..1).map(|_| Ebr::new(8)).collect();
+    let store = KvStore::new(&schemes, KvConfig::default());
+    let server = NetServer::bind(
+        &store,
+        NetConfig {
+            workers: 1,
+            ..NetConfig::default()
+        },
+        "127.0.0.1:0",
+    )
+    .expect("bind");
+    let addr = server.local_addr();
+    let handle = server.handle();
+
+    std::thread::scope(|s| {
+        let run = s.spawn(|| server.run().expect("serve"));
+
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        stream
+            .set_read_timeout(Some(Duration::from_secs(10)))
+            .unwrap();
+        let mut scratch = Vec::new();
+        // Length 1, unknown opcode 0x7F.
+        stream.write_all(&[0, 0, 0, 1, 0x7F]).unwrap();
+        match read_response(&mut stream, &mut scratch) {
+            Response::Error(e) => {
+                assert_eq!(e.code, ErrorCode::Malformed);
+                assert_eq!(e.shard, u32::MAX, "framing errors are not shard-scoped");
+            }
+            other => panic!("expected Malformed error, got {other:?}"),
+        }
+        // The server hangs up after a framing violation.
+        let mut rest = Vec::new();
+        assert_eq!(stream.read_to_end(&mut rest).unwrap(), 0);
+
+        // A new connection is unaffected.
+        let mut fresh = TcpStream::connect(addr).expect("reconnect");
+        fresh
+            .set_read_timeout(Some(Duration::from_secs(10)))
+            .unwrap();
+        write_request(&mut fresh, &Request::Ping).unwrap();
+        assert_eq!(read_response(&mut fresh, &mut scratch), Response::Pong);
+        drop(fresh);
+
+        handle.shutdown();
+        let stats = run.join().unwrap();
+        assert_eq!(stats.malformed, 1);
+    });
+}

@@ -59,7 +59,7 @@ pub enum Hook {
 
     /// The era-kv navigator changed a shard's health class (`a` =
     /// shard index, `b` = `old_state << 8 | new_state` with states
-    /// 0=Robust, 1=Degrading, 2=Violating).
+    /// 0=Robust, 1=Degrading, 2=Violating, 3=Quarantined).
     Navigate = 15,
     /// Admission control rejected a write with `Overloaded` (`a` =
     /// shard index, `b` = sheds so far on that shard).
@@ -71,11 +71,16 @@ pub enum Hook {
     /// A scheme adopted a dead context's orphaned garbage (`a` =
     /// nodes adopted, `b` = retired population after adoption).
     Adopt = 18,
+
+    /// A serving front-end accepted a connection (era-net; `a` =
+    /// connection id, `b` = connections waiting for a worker after
+    /// the accept).
+    Accept = 19,
 }
 
 impl Hook {
     /// Number of distinct hooks (array-sizing constant).
-    pub const COUNT: usize = 19;
+    pub const COUNT: usize = 20;
 
     /// Every hook, in discriminant order.
     pub const ALL: [Hook; Hook::COUNT] = [
@@ -98,6 +103,7 @@ impl Hook {
         Hook::Shed,
         Hook::Fault,
         Hook::Adopt,
+        Hook::Accept,
     ];
 
     /// Stable lower-case name used in JSON reports and trace dumps.
@@ -122,6 +128,7 @@ impl Hook {
             Hook::Shed => "shed",
             Hook::Fault => "fault",
             Hook::Adopt => "adopt",
+            Hook::Accept => "accept",
         }
     }
 

@@ -140,7 +140,13 @@ fn golden_dump() -> FlightDump {
     ];
     source.dropped = 3;
     source.trimmed = 1;
-    source.metrics = Some(metrics_from(0xE8A));
+    // The fixture was frozen when the hook vocabulary had 19 entries.
+    // `hook_counts` is length-prefixed on the wire, so dumps written
+    // before a hook was appended must keep decoding unchanged — that
+    // compatibility is exactly what this pin asserts.
+    let mut metrics = metrics_from(0xE8A);
+    metrics.hook_counts.truncate(19);
+    source.metrics = Some(metrics);
     source.stats = Some(DumpStats {
         retired_now: 0,
         retired_peak: 2,
@@ -156,14 +162,20 @@ fn golden_dump() -> FlightDump {
     }
 }
 
-fn fixture_path() -> std::path::PathBuf {
-    std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/golden_v1.eraflt")
+fn fixture_path(name: &str) -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name)
 }
 
+/// Backward compatibility: `golden_v1.eraflt` was written when the hook
+/// vocabulary had 19 entries. The embedded name tables make the format
+/// self-describing, so appending hooks must never invalidate old dumps
+/// — this fixture is frozen forever and only ever *decoded*.
 #[test]
 #[cfg_attr(miri, ignore = "reads the fixture file from disk")]
-fn golden_fixture_decodes_and_encoder_is_byte_stable() {
-    let bytes = std::fs::read(fixture_path())
+fn golden_fixture_decodes_across_vocabulary_growth() {
+    let bytes = std::fs::read(fixture_path("golden_v1.eraflt"))
         .expect("golden fixture missing — run the ignored regenerate_golden_fixture test");
     // Versioned header, byte for byte.
     assert_eq!(&bytes[..6], b"ERAFLT");
@@ -173,20 +185,38 @@ fn golden_fixture_decodes_and_encoder_is_byte_stable() {
     );
     let decoded = FlightDump::decode(&bytes).expect("golden fixture must decode");
     assert_eq!(decoded, golden_dump(), "decoder drifted from v1 fixture");
+}
+
+/// Byte stability under the *current* vocabulary: an encoder change
+/// that alters these bytes is either an unintentional drift (fix it)
+/// or a format revision (bump [`era_obs::DUMP_VERSION`], freeze a new
+/// fixture). Appending a hook grows the self-describing name table, so
+/// this fixture is regenerated on vocabulary growth — unlike
+/// `golden_v1.eraflt`, which pins decoding of the old bytes.
+#[test]
+#[cfg_attr(miri, ignore = "reads the fixture file from disk")]
+fn encoder_is_byte_stable_for_current_vocabulary() {
+    let bytes = std::fs::read(fixture_path("golden_v1_hooks20.eraflt"))
+        .expect("fixture missing — run the ignored regenerate_golden_fixture test");
     assert_eq!(
         golden_dump().encode(true),
         bytes,
-        "encoder no longer byte-stable for v1 — bump DUMP_VERSION and \
-         add a new fixture instead of mutating this one"
+        "encoder no longer byte-stable — if the format (not just the \
+         hook vocabulary) changed, bump DUMP_VERSION and freeze a new \
+         fixture; if only a hook was appended, regenerate this one"
     );
+    let decoded = FlightDump::decode(&bytes).expect("fixture must decode");
+    assert_eq!(decoded, golden_dump());
 }
 
-/// Rewrites the fixture. Only for intentional format revisions:
+/// Rewrites the byte-stability fixture. Run after appending a hook or
+/// for intentional format revisions:
 /// `cargo test -p era-obs --test dump_roundtrip -- --ignored`.
+/// `golden_v1.eraflt` itself is never rewritten.
 #[test]
-#[ignore = "regenerates tests/fixtures/golden_v1.eraflt"]
+#[ignore = "regenerates tests/fixtures/golden_v1_hooks20.eraflt"]
 fn regenerate_golden_fixture() {
-    let path = fixture_path();
+    let path = fixture_path("golden_v1_hooks20.eraflt");
     std::fs::create_dir_all(path.parent().unwrap()).unwrap();
     std::fs::write(&path, golden_dump().encode(true)).unwrap();
 }

@@ -70,8 +70,31 @@ pub fn render_event(e: &Event) -> String {
             e.thread,
             scheme.name(),
             e.a,
-            shard_state_name(e.b >> 8),
-            shard_state_name(e.b & 0xff)
+            health_state_name(e.b >> 8),
+            health_state_name(e.b & 0xff)
+        ),
+        Some(Hook::Shed) if e.a == u64::MAX => format!(
+            "[{:>8}] t{:<3} {:<5} shed     conn={} (accept queue full, connection dropped)",
+            e.ts,
+            e.thread,
+            scheme.name(),
+            e.b
+        ),
+        Some(Hook::Shed) => format!(
+            "[{:>8}] t{:<3} {:<5} shed     shard={} sheds_so_far={}",
+            e.ts,
+            e.thread,
+            scheme.name(),
+            e.a,
+            e.b
+        ),
+        Some(Hook::Accept) => format!(
+            "[{:>8}] t{:<3} {:<5} accept   conn={} queue={}",
+            e.ts,
+            e.thread,
+            scheme.name(),
+            e.a,
+            e.b
         ),
         _ => format!(
             "[{:>8}] t{:<3} {:<5} {:<8} a={:#x} b={}",
@@ -107,7 +130,9 @@ pub fn fault_kind_name(kind: u64) -> &'static str {
     }
 }
 
-fn shard_state_name(raw: u64) -> &'static str {
+/// Names a `ShardHealth` discriminant carried by `Hook::Navigate`
+/// payloads (re-declared because era-view depends only on era-obs).
+pub fn health_state_name(raw: u64) -> &'static str {
     match raw {
         0 => "Robust",
         1 => "Degrading",
@@ -115,6 +140,113 @@ fn shard_state_name(raw: u64) -> &'static str {
         3 => "Quarantined",
         _ => "?",
     }
+}
+
+/// A contiguous interval one shard spent in one health class,
+/// reconstructed from the source's `Hook::Navigate` events.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HealthSpan {
+    /// Shard index (`Navigate`'s `a` payload).
+    pub shard: u64,
+    /// Health-class discriminant (see [`health_state_name`]).
+    pub state: u64,
+    /// Logical timestamp the shard entered this class. The first span
+    /// of a shard starts at 0: navigator ticks only emit `Navigate` on
+    /// a *transition*, so the pre-transition class ran from the start
+    /// of the trace.
+    pub from_ts: u64,
+    /// Timestamp of the transition out, or `None` while still open at
+    /// the end of the dump.
+    pub to_ts: Option<u64>,
+}
+
+impl HealthSpan {
+    /// Renders the span for the health timeline, e.g.
+    /// `Violating [120..180)`.
+    pub fn render(&self) -> String {
+        match self.to_ts {
+            Some(to) => format!(
+                "{} [{}..{})",
+                health_state_name(self.state),
+                self.from_ts,
+                to
+            ),
+            None => format!("{} [{}..end]", health_state_name(self.state), self.from_ts),
+        }
+    }
+}
+
+/// Reconstructs per-shard health history from `Hook::Navigate` events
+/// (`a` = shard, `b` = `old << 8 | new`). Spans are returned grouped
+/// by shard, each shard's spans in ascending time; the first span of a
+/// shard is synthesized from the first transition's `old` state, and
+/// the last span of each shard is open (`to_ts == None`).
+pub fn health_spans(source: &SourceDump) -> Vec<HealthSpan> {
+    // shard → index of its currently-open span in `spans`.
+    let mut open: Vec<(u64, usize)> = Vec::new();
+    let mut spans: Vec<HealthSpan> = Vec::new();
+    for e in &source.events {
+        if Hook::from_u8(e.hook) != Some(Hook::Navigate) {
+            continue;
+        }
+        let (shard, old, new) = (e.a, e.b >> 8, e.b & 0xff);
+        match open.iter_mut().find(|(s, _)| *s == shard) {
+            Some((_, idx)) => {
+                spans[*idx].to_ts = Some(e.ts);
+                spans.push(HealthSpan {
+                    shard,
+                    state: new,
+                    from_ts: e.ts,
+                    to_ts: None,
+                });
+                *idx = spans.len() - 1;
+            }
+            None => {
+                // First transition seen for this shard: the `old`
+                // class was in force since the start of the trace.
+                spans.push(HealthSpan {
+                    shard,
+                    state: old,
+                    from_ts: 0,
+                    to_ts: Some(e.ts),
+                });
+                spans.push(HealthSpan {
+                    shard,
+                    state: new,
+                    from_ts: e.ts,
+                    to_ts: None,
+                });
+                open.push((shard, spans.len() - 1));
+            }
+        }
+    }
+    spans.sort_by_key(|s| (s.shard, s.from_ts));
+    spans
+}
+
+/// Renders the per-shard health timeline of a source — one line per
+/// shard that ever transitioned, e.g.
+/// `shard 0: Robust [0..40) → Violating [40..210) → Robust [210..end]`.
+/// Returns an empty string when the source has no `Navigate` events.
+pub fn render_health_timeline(source: &SourceDump) -> String {
+    let spans = health_spans(source);
+    let mut out = String::new();
+    let mut shard = None;
+    for span in &spans {
+        if shard != Some(span.shard) {
+            if shard.is_some() {
+                out.push('\n');
+            }
+            out.push_str(&format!("shard {}: {}", span.shard, span.render()));
+            shard = Some(span.shard);
+        } else {
+            out.push_str(&format!(" → {}", span.render()));
+        }
+    }
+    if !spans.is_empty() {
+        out.push('\n');
+    }
+    out
 }
 
 /// Timeline filter: all fields are conjunctive; `None` matches all.
@@ -754,6 +886,84 @@ mod tests {
         let mut ebr = SourceDump::new("EBR");
         ebr.events = vec![ev(0, 1, Hook::Retire, 0x10, 5000)];
         assert!(find_violations(&ebr, Some(256)).is_empty());
+    }
+
+    #[test]
+    fn health_spans_reconstruct_per_shard_history() {
+        let mut src = SourceDump::new("net");
+        // shard 0: Robust→Degrading at 10, Degrading→Violating at 20,
+        // Violating→Robust at 50; shard 1: Robust→Degrading at 30.
+        src.events = vec![
+            ev(9, 10, Hook::Navigate, 0, 1),
+            ev(9, 20, Hook::Navigate, 0, (1 << 8) | 2),
+            ev(9, 30, Hook::Navigate, 1, 1),
+            ev(9, 50, Hook::Navigate, 0, 2 << 8),
+        ];
+        let spans = health_spans(&src);
+        assert_eq!(
+            spans,
+            vec![
+                HealthSpan {
+                    shard: 0,
+                    state: 0,
+                    from_ts: 0,
+                    to_ts: Some(10)
+                },
+                HealthSpan {
+                    shard: 0,
+                    state: 1,
+                    from_ts: 10,
+                    to_ts: Some(20)
+                },
+                HealthSpan {
+                    shard: 0,
+                    state: 2,
+                    from_ts: 20,
+                    to_ts: Some(50)
+                },
+                HealthSpan {
+                    shard: 0,
+                    state: 0,
+                    from_ts: 50,
+                    to_ts: None
+                },
+                HealthSpan {
+                    shard: 1,
+                    state: 0,
+                    from_ts: 0,
+                    to_ts: Some(30)
+                },
+                HealthSpan {
+                    shard: 1,
+                    state: 1,
+                    from_ts: 30,
+                    to_ts: None
+                },
+            ]
+        );
+        let text = render_health_timeline(&src);
+        assert_eq!(
+            text,
+            "shard 0: Robust [0..10) → Degrading [10..20) → Violating [20..50) → Robust [50..end]\n\
+             shard 1: Robust [0..30) → Degrading [30..end]\n"
+        );
+        // A source without Navigate events renders nothing.
+        assert_eq!(render_health_timeline(&orphan_source()), "");
+    }
+
+    #[test]
+    fn serving_events_render_with_dedicated_arms() {
+        let shed = render_event(&ev(3, 7, Hook::Shed, 2, 41));
+        assert!(shed.contains("shed"), "{shed}");
+        assert!(shed.contains("shard=2"), "{shed}");
+        assert!(shed.contains("sheds_so_far=41"), "{shed}");
+        let dropped = render_event(&ev(3, 8, Hook::Shed, u64::MAX, 9));
+        assert!(dropped.contains("accept queue full"), "{dropped}");
+        assert!(dropped.contains("conn=9"), "{dropped}");
+        let accept = render_event(&ev(3, 9, Hook::Accept, 12, 1));
+        assert!(accept.contains("accept"), "{accept}");
+        assert!(accept.contains("conn=12"), "{accept}");
+        assert!(accept.contains("queue=1"), "{accept}");
     }
 
     #[test]

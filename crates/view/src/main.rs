@@ -177,6 +177,11 @@ fn run(opts: &Options) -> Result<(), String> {
                 if matched == 0 {
                     println!("(no events match the filter)");
                 }
+                let health = era_view::render_health_timeline(source);
+                if !health.is_empty() {
+                    println!("-- shard health --");
+                    print!("{health}");
+                }
             }
         }
         Mode::Chain(target) => {
