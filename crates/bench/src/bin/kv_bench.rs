@@ -17,10 +17,12 @@
 //!            [--dist uniform|zipf] [--theta 0.99]
 //!            [--soft N] [--hard N] [--stall] [--navigator on|off]
 //!            [--report out.jsonl] [--flight-dump out.eraflt]
+//!            [--ring-capacity N]
 //!
 //! Defaults: ebr, 4 threads, 4 shards, 30000 ops/thread, 1024 keys,
 //! churn mix when `--stall` is given (ycsb-a otherwise), uniform keys,
-//! soft budget 512, hard budget 2048, navigator on. A flight recorder
+//! soft budget 512, hard budget 2048, navigator on, per-shard trace
+//! ring capacity from `ERA_RING_CAPACITY` or the workspace default. A flight recorder
 //! is always armed: a panic writes a crash `.eraflt` (one source per
 //! shard), and a clean run writes the same dump at exit.
 
@@ -47,6 +49,7 @@ struct Options {
     navigator: bool,
     report: Option<PathBuf>,
     flight_dump: Option<PathBuf>,
+    ring_capacity: usize,
 }
 
 fn parse_options() -> Options {
@@ -64,6 +67,10 @@ fn parse_options() -> Options {
         navigator: true,
         report: None,
         flight_dump: None,
+        ring_capacity: std::env::var("ERA_RING_CAPACITY")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(era_obs::DEFAULT_RING_CAPACITY),
     };
     let mut theta = 0.99f64;
     let mut zipf = false;
@@ -118,6 +125,11 @@ fn parse_options() -> Options {
             "--flight-dump" => {
                 opts.flight_dump = Some(PathBuf::from(value(&mut args, "--flight-dump")))
             }
+            "--ring-capacity" => {
+                opts.ring_capacity = value(&mut args, "--ring-capacity")
+                    .parse()
+                    .unwrap_or(era_obs::DEFAULT_RING_CAPACITY)
+            }
             other => {
                 eprintln!("unknown argument {other}");
                 std::process::exit(2);
@@ -141,6 +153,7 @@ fn run_with<S: Smr>(
         retired_soft: opts.soft,
         retired_hard: opts.hard,
         max_threads: opts.threads + 8,
+        ring_capacity: opts.ring_capacity,
         ..KvConfig::default()
     };
     let store = KvStore::new(schemes, cfg);

@@ -21,6 +21,7 @@
 //!             (internal server only:)
 //!             [--scheme ebr|qsbr|hp] [--shards N] [--workers N]
 //!             [--soft N] [--hard N] [--flight-dump out.eraflt]
+//!             [--ring-capacity N]  (default: ERA_RING_CAPACITY env)
 
 use std::io::Write as _;
 use std::net::TcpStream;
@@ -54,6 +55,7 @@ struct Options {
     soft: usize,
     hard: usize,
     flight_dump: PathBuf,
+    ring_capacity: usize,
 }
 
 fn parse_options() -> Options {
@@ -75,6 +77,10 @@ fn parse_options() -> Options {
         soft: 512,
         hard: 2_048,
         flight_dump: PathBuf::from("net_bench.eraflt"),
+        ring_capacity: std::env::var("ERA_RING_CAPACITY")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(era_obs::DEFAULT_RING_CAPACITY),
     };
     let mut theta = 0.99f64;
     let mut zipf = false;
@@ -133,6 +139,11 @@ fn parse_options() -> Options {
             "--soft" => opts.soft = value(&mut args, "--soft").parse().unwrap_or(512),
             "--hard" => opts.hard = value(&mut args, "--hard").parse().unwrap_or(2_048),
             "--flight-dump" => opts.flight_dump = PathBuf::from(value(&mut args, "--flight-dump")),
+            "--ring-capacity" => {
+                opts.ring_capacity = value(&mut args, "--ring-capacity")
+                    .parse()
+                    .unwrap_or(era_obs::DEFAULT_RING_CAPACITY)
+            }
             other => {
                 eprintln!("unknown argument {other}");
                 std::process::exit(2);
@@ -320,6 +331,7 @@ fn bench_internal<S: Smr>(schemes: &[S], opts: &Options) -> NetRunRecord {
         retired_soft: opts.soft,
         retired_hard: opts.hard,
         max_threads: opts.workers + 8,
+        ring_capacity: opts.ring_capacity,
         ..KvConfig::default()
     };
     let store = KvStore::new(schemes, cfg);
@@ -327,6 +339,7 @@ fn bench_internal<S: Smr>(schemes: &[S], opts: &Options) -> NetRunRecord {
         &store,
         NetConfig {
             workers: opts.workers,
+            ring_capacity: opts.ring_capacity,
             ..NetConfig::default()
         },
         "127.0.0.1:0",

@@ -188,6 +188,55 @@ impl FaultPlan {
         FaultPlan::new(seed, ops)
     }
 
+    /// The same plan re-anchored `delta` ops later on the decorator's
+    /// clock — the scheduling hook campaign harnesses use to aim a
+    /// seed-generated plan at a *phase* of a longer run: generate over
+    /// the phase's own horizon, then offset by the ops already spent
+    /// before the phase starts. Fire indices saturate instead of
+    /// wrapping, so an absurd delta pushes faults past the run's end
+    /// (they never fire) rather than to its beginning.
+    #[must_use = "offset returns the shifted plan; the original is unchanged"]
+    pub fn offset(&self, delta: u64) -> FaultPlan {
+        let shift = |at_op: u64| at_op.saturating_add(delta);
+        let ops = self
+            .ops
+            .iter()
+            .map(|a| match *a {
+                FaultAction::DiePinned { at_op } => FaultAction::DiePinned {
+                    at_op: shift(at_op),
+                },
+                FaultAction::StallThread { at_op, for_ops } => FaultAction::StallThread {
+                    at_op: shift(at_op),
+                    for_ops,
+                },
+                FaultAction::DelayFlush { at_op, for_ops } => FaultAction::DelayFlush {
+                    at_op: shift(at_op),
+                    for_ops,
+                },
+                FaultAction::FailRegister { at_op, count } => FaultAction::FailRegister {
+                    at_op: shift(at_op),
+                    count,
+                },
+                FaultAction::ExhaustSlots { at_op, for_ops } => FaultAction::ExhaustSlots {
+                    at_op: shift(at_op),
+                    for_ops,
+                },
+                FaultAction::RestartStorm { at_op, count } => FaultAction::RestartStorm {
+                    at_op: shift(at_op),
+                    count,
+                },
+                FaultAction::FailAlloc { at_op, count } => FaultAction::FailAlloc {
+                    at_op: shift(at_op),
+                    count,
+                },
+            })
+            .collect();
+        FaultPlan {
+            seed: self.seed,
+            ops,
+        }
+    }
+
     /// Serializes the plan as one JSON line (the `ChaosRunRecord`
     /// embeds this verbatim so every record is replayable).
     pub fn to_json(&self) -> String {
@@ -523,6 +572,28 @@ mod tests {
                 .seed,
             7
         );
+    }
+
+    #[test]
+    fn offset_shifts_every_fire_index_and_nothing_else() {
+        let plan = sample();
+        let shifted = plan.offset(1_000);
+        assert_eq!(shifted.seed, plan.seed);
+        assert_eq!(shifted.ops.len(), plan.ops.len());
+        for (a, b) in plan.ops.iter().zip(shifted.ops.iter()) {
+            assert_eq!(b.at_op(), a.at_op() + 1_000);
+            assert_eq!(b.kind(), a.kind(), "offset must not change the action");
+        }
+        // Order is preserved (a uniform shift cannot reorder), the
+        // original is untouched, and offset(0) is the identity.
+        assert!(shifted.ops.windows(2).all(|w| w[0].at_op() <= w[1].at_op()));
+        assert_eq!(plan, sample());
+        assert_eq!(plan.offset(0), plan);
+        // Saturation: never wraps around to fire at the run's start.
+        let far = plan.offset(u64::MAX);
+        assert!(far.ops.iter().all(|op| op.at_op() == u64::MAX));
+        // The shifted plan is still a valid wire record.
+        assert_eq!(FaultPlan::from_json(&shifted.to_json()).unwrap(), shifted);
     }
 
     #[test]

@@ -160,15 +160,14 @@ impl<'s, S: Smr> KvStore<'s, S> {
     /// a blame-counter scan per shard — and entirely read-side except
     /// for the reaction itself.
     pub fn navigator_tick(&self) {
+        // Budgets are read once per tick (not per shard) so one tick
+        // applies a consistent envelope even while a scenario is
+        // swapping budgets concurrently.
+        let (soft, hard) = self.budgets();
         for (i, sh) in self.shards.iter().enumerate() {
             let st = sh.smr.stats();
             let cur = ShardHealth::from_u8(sh.health.load(Ordering::SeqCst));
-            let next = classify(
-                cur,
-                st.retired_now,
-                self.cfg.retired_soft,
-                self.cfg.retired_hard,
-            );
+            let next = classify(cur, st.retired_now, soft, hard);
             {
                 let mut tracer = sh.nav_tracer.lock().unwrap();
                 tracer.emit(Hook::Sample, st.retired_now as u64, i as u64);

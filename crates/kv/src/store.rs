@@ -47,6 +47,12 @@ pub struct KvConfig {
     /// Blame slots per shard recorder; must be ≥ the schemes' thread
     /// capacity for neutralization to target the right slot.
     pub max_threads: usize,
+    /// Event-ring capacity of each shard's recorder. The default
+    /// ([`era_obs::DEFAULT_RING_CAPACITY`]) holds a few hundred
+    /// milliseconds of traced traffic; soak-length scenario runs raise
+    /// it so the flight recorder's retained window is not all
+    /// `trace_dropped`.
+    pub ring_capacity: usize,
 }
 
 impl Default for KvConfig {
@@ -57,6 +63,7 @@ impl Default for KvConfig {
             retired_hard: 2048,
             admission_depth: 4,
             max_threads: 16,
+            ring_capacity: era_obs::DEFAULT_RING_CAPACITY,
         }
     }
 }
@@ -116,6 +123,13 @@ pub struct RetryPolicy {
     pub max_backoff: Duration,
     /// Per-op wall-clock budget.
     pub deadline: Duration,
+    /// Apply equal-jitter to each backoff step: a deterministic hash of
+    /// the caller-supplied salt picks a wait in `[nominal/2, nominal]`,
+    /// desynchronizing concurrent retriers (who otherwise re-collide on
+    /// the shared admission queue every `base × 2^k`) without raising
+    /// any step above the un-jittered ceiling — so every deadline bound
+    /// that held for the fixed schedule still holds.
+    pub jitter: bool,
 }
 
 impl Default for RetryPolicy {
@@ -125,7 +139,36 @@ impl Default for RetryPolicy {
             base_backoff: Duration::from_micros(50),
             max_backoff: Duration::from_millis(5),
             deadline: Duration::from_millis(100),
+            jitter: true,
         }
+    }
+}
+
+impl RetryPolicy {
+    /// The wait before retry `attempt` (0-based): the exponential step
+    /// `base_backoff × 2^attempt` clamped to `max_backoff`, then — when
+    /// [`RetryPolicy::jitter`] is set — scattered over
+    /// `[nominal/2, nominal]` by a splitmix64 hash of `(salt, attempt)`.
+    /// Pure and deterministic for a given `(policy, attempt, salt)`, so
+    /// retry schedules are replayable from a seed like everything else
+    /// in the campaign harness.
+    pub fn backoff_for(&self, attempt: u32, salt: u64) -> Duration {
+        let base = self.base_backoff.max(Duration::from_nanos(1));
+        let cap = self.max_backoff.max(self.base_backoff);
+        let nominal_ns = (base.as_nanos() << attempt.min(63)).min(cap.as_nanos());
+        let nominal_ns = u64::try_from(nominal_ns).unwrap_or(u64::MAX);
+        if !self.jitter || nominal_ns < 2 {
+            return Duration::from_nanos(nominal_ns);
+        }
+        // splitmix64 over (salt, attempt): cheap, stateless, and good
+        // enough to decorrelate retriers — this is scheduling jitter,
+        // not cryptography.
+        let mut z = salt ^ (u64::from(attempt) + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        let half = nominal_ns / 2;
+        Duration::from_nanos(half + z % (nominal_ns - half + 1))
     }
 }
 
@@ -182,6 +225,12 @@ pub struct KvStore<'s, S: Smr> {
     /// and serialize unrelated traffic.
     pub(crate) shards: Vec<CachePadded<Shard<'s, S>>>,
     pub(crate) cfg: KvConfig,
+    /// Live navigator budgets. They start at the config values but are
+    /// runtime-mutable ([`KvStore::set_budgets`]) so a scenario can
+    /// tighten or relax the robustness envelope mid-run without
+    /// rebuilding the store.
+    pub(crate) soft_budget: AtomicUsize,
+    pub(crate) hard_budget: AtomicUsize,
 }
 
 impl<S: Smr> fmt::Debug for KvStore<'_, S> {
@@ -207,7 +256,7 @@ impl<'s, S: Smr> KvStore<'s, S> {
         let shards = schemes
             .iter()
             .map(|smr| {
-                let recorder = Recorder::new(cfg.max_threads);
+                let recorder = Recorder::with_ring_capacity(cfg.max_threads, cfg.ring_capacity);
                 smr.attach_recorder(&recorder);
                 let nav_tracer =
                     Mutex::new(recorder.tracer(NAVIGATOR_THREAD, SchemeId::from_name(smr.name())));
@@ -226,7 +275,31 @@ impl<'s, S: Smr> KvStore<'s, S> {
                 })
             })
             .collect();
-        KvStore { shards, cfg }
+        KvStore {
+            shards,
+            cfg,
+            soft_budget: AtomicUsize::new(cfg.retired_soft),
+            hard_budget: AtomicUsize::new(cfg.retired_hard),
+        }
+    }
+
+    /// Replaces the navigator's soft/hard retired-node budgets for all
+    /// shards, effective from the next [`KvStore::navigator_tick`].
+    /// Zero-cost to call mid-run: classification reads the budgets
+    /// fresh each tick, and hysteresis handles a shard that the new,
+    /// tighter envelope instantly reclassifies. `hard` is clamped to at
+    /// least `soft` so the escalation ladder stays ordered.
+    pub fn set_budgets(&self, soft: usize, hard: usize) {
+        self.soft_budget.store(soft, Ordering::SeqCst);
+        self.hard_budget.store(hard.max(soft), Ordering::SeqCst);
+    }
+
+    /// The live `(soft, hard)` navigator budgets.
+    pub fn budgets(&self) -> (usize, usize) {
+        (
+            self.soft_budget.load(Ordering::SeqCst),
+            self.hard_budget.load(Ordering::SeqCst),
+        )
     }
 
     /// Registers the calling thread with every shard domain.
@@ -410,19 +483,20 @@ impl<'s, S: Smr> KvStore<'s, S> {
         policy: RetryPolicy,
     ) -> Result<Option<i64>, KvError> {
         let start = Instant::now();
-        let mut backoff = policy.base_backoff;
         let attempts = policy.max_attempts.max(1);
         for attempt in 0..attempts {
             match self.put(ctx, key, value) {
                 Ok(prev) => return Ok(prev),
                 Err(KvError::Overloaded { shard }) => {
                     self.shards[shard].smr.flush(&mut ctx.ctxs[shard]);
+                    // Salting with the key decorrelates retriers stuck
+                    // on different keys of the same overloaded shard.
+                    let backoff = policy.backoff_for(attempt, key as u64);
                     let spent = start.elapsed();
                     if attempt + 1 == attempts || spent + backoff > policy.deadline {
                         return Err(KvError::DeadlineExceeded { shard });
                     }
                     std::thread::sleep(backoff);
-                    backoff = (backoff * 2).min(policy.max_backoff.max(policy.base_backoff));
                 }
                 Err(other) => return Err(other),
             }
@@ -472,8 +546,19 @@ impl<'s, S: Smr> KvStore<'s, S> {
     /// context).
     pub fn heal(&self, ctx: &mut KvCtx<S>, shard: usize) -> Result<(), RegisterError> {
         let sh = &self.shards[shard];
-        let fresh = sh.smr.register()?;
-        let old = std::mem::replace(&mut ctx.ctxs[shard], fresh);
+        let mut fresh = sh.smr.register()?;
+        // Ack any restart flag already raised against the fresh slot:
+        // registry slots are recycled, and a neutralization aimed at the
+        // slot's previous occupant (a navigator tick can fire between
+        // that context's release and this register) must not leak into
+        // the healed context's first real operation.
+        let _ = sh.smr.needs_restart(&mut fresh);
+        let mut old = std::mem::replace(&mut ctx.ctxs[shard], fresh);
+        // Flush through the dying context first: whatever it can still
+        // reclaim is freed directly instead of round-tripping through
+        // the orphan pool, shrinking the adoption window a concurrent
+        // `maintain` pass on another thread races against.
+        sh.smr.flush(&mut old);
         drop(old);
         sh.smr.flush(&mut ctx.ctxs[shard]);
         Ok(())
@@ -942,6 +1027,7 @@ mod tests {
             base_backoff: std::time::Duration::from_micros(10),
             max_backoff: std::time::Duration::from_micros(80),
             deadline: std::time::Duration::from_millis(5),
+            jitter: true,
         };
         let t0 = std::time::Instant::now();
         let out = store.put_with_retry(&mut ctx, 1, 1, policy);
@@ -954,6 +1040,89 @@ mod tests {
             KvError::DeadlineExceeded { shard: 0 }.to_string(),
             "shard 0 stayed overloaded past the op deadline"
         );
+    }
+
+    #[test]
+    fn jittered_backoff_is_bounded_and_deterministic() {
+        let policy = RetryPolicy::default();
+        let fixed = RetryPolicy {
+            jitter: false,
+            ..policy
+        };
+        let mut total = Duration::ZERO;
+        let mut fixed_total = Duration::ZERO;
+        for attempt in 0..policy.max_attempts {
+            let nominal = fixed.backoff_for(attempt, 0);
+            let jittered = policy.backoff_for(attempt, 0xDEAD_BEEF);
+            // Equal-jitter: every step lives in [nominal/2, nominal], so
+            // jitter can only shorten a schedule, never lengthen it.
+            assert!(
+                jittered <= nominal,
+                "attempt {attempt}: {jittered:?} > {nominal:?}"
+            );
+            assert!(
+                jittered >= nominal / 2,
+                "attempt {attempt}: {jittered:?} < half of {nominal:?}"
+            );
+            assert_eq!(
+                jittered,
+                policy.backoff_for(attempt, 0xDEAD_BEEF),
+                "same (attempt, salt) must give the same wait"
+            );
+            total += jittered;
+            fixed_total += nominal;
+        }
+        // The total-deadline bound: the whole jittered schedule is no
+        // longer than the fixed one, which is itself capped per step.
+        assert!(total <= fixed_total);
+        assert!(fixed_total <= policy.max_backoff * policy.max_attempts);
+        // Different salts actually decorrelate (not a constant offset).
+        let spread: std::collections::HashSet<Duration> =
+            (0..64).map(|salt| policy.backoff_for(6, salt)).collect();
+        assert!(
+            spread.len() > 8,
+            "jitter degenerated: {} values",
+            spread.len()
+        );
+        // The exponential curve saturates at the ceiling, jitter or not.
+        assert_eq!(
+            fixed.backoff_for(63, 0),
+            policy.max_backoff.max(policy.base_backoff)
+        );
+    }
+
+    #[test]
+    fn set_budgets_redirects_the_navigator_live() {
+        let schemes: Vec<Ebr> = vec![Ebr::with_threshold(4, 1)];
+        let store = KvStore::new(&schemes, KvConfig::default());
+        assert_eq!(store.budgets(), (512, 2048));
+        let mut ctx = store.register().unwrap();
+        // Churn with a pinned reader: ~16 retired nodes held up.
+        let smr = store.scheme(0);
+        let mut pin = smr.register().unwrap();
+        era_smr::Smr::begin_op(smr, &mut pin);
+        for k in 0..16 {
+            store.put(&mut ctx, k, k).unwrap();
+            store.remove(&mut ctx, k).unwrap();
+        }
+        store.navigator_tick();
+        assert_eq!(
+            store.health(0),
+            ShardHealth::Robust,
+            "default budgets absorb it"
+        );
+        // Tighten mid-run: the very next tick reclassifies.
+        store.set_budgets(4, 8);
+        store.navigator_tick();
+        assert_eq!(store.health(0), ShardHealth::Violating);
+        // Relax again: footprint is now far below the new soft/2.
+        era_smr::Smr::end_op(smr, &mut pin);
+        store.set_budgets(1 << 20, 1 << 21);
+        store.navigator_tick();
+        assert_eq!(store.health(0), ShardHealth::Robust);
+        // hard is clamped to stay ≥ soft.
+        store.set_budgets(100, 10);
+        assert_eq!(store.budgets(), (100, 100));
     }
 
     #[test]

@@ -46,7 +46,7 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
-use era_kv::{KvCtx, KvError, KvStore, ShardHealth};
+use era_kv::{KvCtx, KvError, KvStore, RetryPolicy, ShardHealth};
 use era_obs::{DumpStats, FlightRecorder, Hook, Recorder, SchemeId, ThreadTracer};
 use era_smr::Smr;
 
@@ -76,6 +76,18 @@ pub struct NetConfig {
     pub batch_max: usize,
     /// Server-side clamp on `SCAN` limits.
     pub scan_limit: u32,
+    /// Backoff schedule for writes queued against a `Degrading` shard.
+    /// Only the shape fields are honored on this path —
+    /// `base_backoff`, `max_backoff`, and `jitter` (salted per key, so
+    /// workers retrying different keys of one overloaded shard
+    /// desynchronize) — while the wall-clock cutoff stays
+    /// [`NetConfig::degraded_deadline`] and attempts are bounded by
+    /// that deadline alone.
+    pub write_backoff: RetryPolicy,
+    /// Event-ring capacity of the server's own `net` recorder
+    /// (accept/shed events). The store's per-shard rings are sized by
+    /// [`era_kv::KvConfig::ring_capacity`] instead.
+    pub ring_capacity: usize,
 }
 
 impl Default for NetConfig {
@@ -89,6 +101,16 @@ impl Default for NetConfig {
             nav_poll: Duration::from_micros(200),
             batch_max: 64,
             scan_limit: 1024,
+            write_backoff: RetryPolicy {
+                base_backoff: Duration::from_micros(100),
+                max_backoff: Duration::from_millis(2),
+                // Attempts/deadline are governed by degraded_deadline on
+                // the serving path; keep the policy's own caps lax.
+                max_attempts: u32::MAX,
+                deadline: Duration::MAX,
+                jitter: true,
+            },
+            ring_capacity: era_obs::DEFAULT_RING_CAPACITY,
         }
     }
 }
@@ -227,7 +249,7 @@ impl<'a, 's, S: Smr> NetServer<'a, 's, S> {
     ) -> io::Result<Self> {
         let listener = TcpListener::bind(addr)?;
         let local = listener.local_addr()?;
-        let recorder = Recorder::new(cfg.workers + 2);
+        let recorder = Recorder::with_ring_capacity(cfg.workers + 2, cfg.ring_capacity);
         let flight = Arc::new(FlightRecorder::new());
         for i in 0..store.shard_count() {
             flight.add_source(&format!("shard{i}"), store.recorder(i));
@@ -613,7 +635,7 @@ impl<'a, 's, S: Smr> NetServer<'a, 's, S> {
                 // Degrading: bounded queueing — retry with backoff
                 // until the write lands or the deadline passes.
                 let deadline = Instant::now() + self.cfg.degraded_deadline;
-                let mut backoff = Duration::from_micros(100);
+                let mut attempt = 0u32;
                 loop {
                     match op(self.store, ctx) {
                         Ok(prev) => return Response::Value(prev),
@@ -621,6 +643,8 @@ impl<'a, 's, S: Smr> NetServer<'a, 's, S> {
                             if self.store.health(shard) > ShardHealth::Degrading {
                                 return self.shed(shard, tracer);
                             }
+                            let backoff = self.cfg.write_backoff.backoff_for(attempt, key as u64);
+                            attempt = attempt.saturating_add(1);
                             if Instant::now() + backoff > deadline {
                                 // SAFETY(ordering): Relaxed — telemetry.
                                 self.counters.shed_writes.fetch_add(1, Ordering::Relaxed);
@@ -631,7 +655,6 @@ impl<'a, 's, S: Smr> NetServer<'a, 's, S> {
                                 });
                             }
                             std::thread::sleep(backoff);
-                            backoff = (backoff * 2).min(Duration::from_millis(2));
                         }
                         Err(KvError::DeadlineExceeded { shard }) => {
                             // SAFETY(ordering): Relaxed — telemetry.
@@ -772,6 +795,16 @@ mod tests {
         assert!(cfg.workers >= 1);
         assert!(cfg.queue_depth >= cfg.workers);
         assert!(cfg.degraded_deadline < Duration::from_secs(1));
+        // The Degrading-path schedule is jittered but still bounded:
+        // no single wait exceeds the policy ceiling, so the number of
+        // sleeps inside degraded_deadline stays finite.
+        assert!(cfg.write_backoff.jitter);
+        for attempt in 0..64 {
+            assert!(
+                cfg.write_backoff.backoff_for(attempt, 42) <= cfg.write_backoff.max_backoff,
+                "attempt {attempt} exceeded the backoff ceiling"
+            );
+        }
         assert_eq!(
             ServeStats::default().to_string(),
             "accepted=0 served=0 frames=0 batched_writes=0 shed_writes=0 queue_shed=0 malformed=0"

@@ -1,0 +1,264 @@
+//! Campaign CLI: run one named scenario, a spec file, or the whole
+//! built-in campaign over one scheme or all six.
+//!
+//! Usage:
+//!   scenarios [--scenario NAME] [--scheme ebr|qsbr|hp|he|ibr|nbr|all]
+//!             [--spec FILE] [--list] [--smoke]
+//!             [--report out.jsonl] [--flight-dir DIR]
+//!             [--ring-capacity N]
+//!
+//! Defaults: the whole campaign over all six pointer-based schemes,
+//! ring capacity from `ERA_RING_CAPACITY` or the workspace default.
+//! Exit status is non-zero when any run's verdict is `fail` — a
+//! robust scheme past its bound, a non-robust scheme that *failed* to
+//! blow the bound under a stall, residue after drain, an unhealthy
+//! shard, or a squeeze that never shed. `era-view --verdicts` renders
+//! the report (CI's scenario-smoke gate).
+
+use std::path::PathBuf;
+
+use era_chaos::ChaosSmr;
+use era_kv::KvStore;
+use era_scenarios::report::{write_jsonl, ScenarioRunRecord};
+use era_scenarios::run::{kv_config, run_scenario, scheme_capacity, RunOptions};
+use era_scenarios::{campaign, ScenarioSpec};
+use era_smr::{ebr::Ebr, he::He, hp::Hp, ibr::Ibr, nbr::Nbr, qsbr::Qsbr, Smr};
+
+/// Hazard/era slots per thread the kv maps need (one per traversal
+/// hand, as everywhere else in the workspace).
+const SLOTS: usize = 3;
+
+const SCHEMES: [&str; 6] = ["ebr", "qsbr", "hp", "he", "ibr", "nbr"];
+
+struct Options {
+    scenarios: Vec<String>,
+    schemes: Vec<String>,
+    spec_file: Option<PathBuf>,
+    list: bool,
+    smoke: bool,
+    report: Option<PathBuf>,
+    flight_dir: Option<PathBuf>,
+    ring_capacity: usize,
+}
+
+fn parse_options() -> Options {
+    let mut opts = Options {
+        scenarios: Vec::new(),
+        schemes: SCHEMES.iter().map(|s| s.to_string()).collect(),
+        spec_file: None,
+        list: false,
+        smoke: false,
+        report: None,
+        flight_dir: None,
+        ring_capacity: std::env::var("ERA_RING_CAPACITY")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(era_obs::DEFAULT_RING_CAPACITY),
+    };
+    let mut args = std::env::args().skip(1);
+    let value = |args: &mut dyn Iterator<Item = String>, flag: &str| {
+        args.next().unwrap_or_else(|| {
+            eprintln!("{flag} requires a value");
+            std::process::exit(2);
+        })
+    };
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--scenario" => opts.scenarios.push(value(&mut args, "--scenario")),
+            "--scheme" => {
+                let s = value(&mut args, "--scheme");
+                if s == "all" {
+                    opts.schemes = SCHEMES.iter().map(|s| s.to_string()).collect();
+                } else if SCHEMES.contains(&s.as_str()) {
+                    opts.schemes = vec![s];
+                } else {
+                    eprintln!("unknown --scheme {s} (use ebr|qsbr|hp|he|ibr|nbr|all)");
+                    std::process::exit(2);
+                }
+            }
+            "--spec" => opts.spec_file = Some(PathBuf::from(value(&mut args, "--spec"))),
+            "--list" => opts.list = true,
+            "--smoke" => opts.smoke = true,
+            "--report" => opts.report = Some(PathBuf::from(value(&mut args, "--report"))),
+            "--flight-dir" => {
+                opts.flight_dir = Some(PathBuf::from(value(&mut args, "--flight-dir")))
+            }
+            "--ring-capacity" => {
+                opts.ring_capacity = value(&mut args, "--ring-capacity")
+                    .parse()
+                    .unwrap_or(era_obs::DEFAULT_RING_CAPACITY)
+            }
+            other => {
+                eprintln!("unknown argument {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+    opts
+}
+
+/// Builds the store over `schemes` (wrapping the chaos target when the
+/// spec carries a plan), runs the scenario, and renders the record.
+fn run_store<S: Smr>(schemes: Vec<S>, spec: &ScenarioSpec, opts: &Options) -> ScenarioRunRecord {
+    let ropts = RunOptions {
+        flight_dump: opts.flight_dir.as_ref().map(|d| {
+            d.join(format!(
+                "{}-{}.eraflt",
+                spec.name,
+                schemes[0].name().to_lowercase()
+            ))
+        }),
+    };
+    let cfg = kv_config(spec, opts.ring_capacity);
+    if let Some((target, plan)) = spec.chaos_plan() {
+        let wrapped: Vec<ChaosSmr<S>> = schemes
+            .into_iter()
+            .enumerate()
+            .map(|(i, s)| {
+                if i == target {
+                    ChaosSmr::new(s, plan.clone())
+                } else {
+                    ChaosSmr::transparent(s)
+                }
+            })
+            .collect();
+        let store = KvStore::new(&wrapped, cfg);
+        ScenarioRunRecord::collect(&run_scenario(&store, spec, &ropts))
+    } else {
+        let store = KvStore::new(&schemes, cfg);
+        ScenarioRunRecord::collect(&run_scenario(&store, spec, &ropts))
+    }
+}
+
+fn run_scheme(scheme: &str, spec: &ScenarioSpec, opts: &Options) -> ScenarioRunRecord {
+    let cap = scheme_capacity(spec);
+    let n = spec.shards;
+    match scheme {
+        "ebr" => run_store(
+            (0..n).map(|_| Ebr::new(cap)).collect::<Vec<_>>(),
+            spec,
+            opts,
+        ),
+        "qsbr" => run_store(
+            (0..n).map(|_| Qsbr::new(cap)).collect::<Vec<_>>(),
+            spec,
+            opts,
+        ),
+        "hp" => run_store(
+            (0..n).map(|_| Hp::new(cap, SLOTS)).collect::<Vec<_>>(),
+            spec,
+            opts,
+        ),
+        "he" => run_store(
+            (0..n).map(|_| He::new(cap, SLOTS)).collect::<Vec<_>>(),
+            spec,
+            opts,
+        ),
+        "ibr" => run_store(
+            (0..n).map(|_| Ibr::new(cap)).collect::<Vec<_>>(),
+            spec,
+            opts,
+        ),
+        "nbr" => run_store(
+            (0..n).map(|_| Nbr::new(cap, SLOTS)).collect::<Vec<_>>(),
+            spec,
+            opts,
+        ),
+        other => unreachable!("scheme list is validated at parse time: {other}"),
+    }
+}
+
+fn selected_specs(opts: &Options) -> Vec<ScenarioSpec> {
+    if let Some(path) = &opts.spec_file {
+        let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("cannot read spec {}: {e}", path.display());
+            std::process::exit(2);
+        });
+        let spec = ScenarioSpec::from_json(text.trim()).unwrap_or_else(|e| {
+            eprintln!("cannot parse spec {}: {e}", path.display());
+            std::process::exit(2);
+        });
+        return vec![spec];
+    }
+    let names: Vec<String> = if !opts.scenarios.is_empty() {
+        opts.scenarios.clone()
+    } else if opts.smoke {
+        campaign::SMOKE.iter().map(|s| s.to_string()).collect()
+    } else {
+        return campaign::all();
+    };
+    names
+        .iter()
+        .map(|name| {
+            campaign::by_name(name).unwrap_or_else(|| {
+                eprintln!("unknown scenario {name} (try --list)");
+                std::process::exit(2);
+            })
+        })
+        .collect()
+}
+
+fn main() {
+    let opts = parse_options();
+    if opts.list {
+        for spec in campaign::all() {
+            println!(
+                "{:24} seed 0x{:X}  {} shard(s), {} phase(s), bound {}",
+                spec.name,
+                spec.seed,
+                spec.shards,
+                spec.phases.len(),
+                spec.bound
+            );
+        }
+        return;
+    }
+    if let Some(dir) = &opts.flight_dir {
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!("cannot create --flight-dir {}: {e}", dir.display());
+            std::process::exit(2);
+        }
+    }
+    let specs = selected_specs(&opts);
+    let mut records = Vec::new();
+    let mut failures = 0usize;
+    for spec in &specs {
+        for scheme in &opts.schemes {
+            let rec = run_scheme(scheme, spec, &opts);
+            println!(
+                "{:4} {:24} {:5}  {}",
+                if rec.pass { "ok" } else { "FAIL" },
+                rec.scenario,
+                rec.scheme,
+                if rec.failed.is_empty() {
+                    "all invariants held".to_string()
+                } else {
+                    format!("failed: {}", rec.failed.join(", "))
+                }
+            );
+            if !rec.pass {
+                failures += 1;
+            }
+            records.push(rec);
+        }
+    }
+    println!(
+        "\n{} run(s), {} failure(s) across {} scenario(s) × {} scheme(s)",
+        records.len(),
+        failures,
+        specs.len(),
+        opts.schemes.len()
+    );
+    if let Some(path) = &opts.report {
+        match write_jsonl(path, &records) {
+            Ok(()) => println!("wrote {} record(s) to {}", records.len(), path.display()),
+            Err(e) => {
+                eprintln!("failed to write report {}: {e}", path.display());
+                std::process::exit(1);
+            }
+        }
+    }
+    if failures > 0 {
+        std::process::exit(1);
+    }
+}

@@ -768,6 +768,109 @@ fn summarize_source(source: &SourceDump, bound: Option<u64>) -> String {
     out
 }
 
+/// One `(scenario, scheme)` row scanned out of an era-scenarios
+/// campaign report (`scenarios --report out.jsonl`).
+///
+/// The report is JSON-lines with a top-level `"verdict":"pass"|"fail"`
+/// per run; this is the record `era-view --verdicts` gates CI on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScenarioVerdict {
+    /// The scenario's name.
+    pub scenario: String,
+    /// `Smr::name()` of the scheme under test (e.g. `EBR`).
+    pub scheme: String,
+    /// Whether the run's verdict was `pass`.
+    pub pass: bool,
+    /// Names of the invariants that failed (empty on pass).
+    pub failed: Vec<String>,
+}
+
+/// Extracts the string value of `"key":"…"` from a JSON line.
+///
+/// Values in scenario records are identifiers (scenario names, scheme
+/// names, invariant names) which the writer never escapes, so scanning
+/// to the closing quote is exact.
+fn json_str_field(line: &str, key: &str) -> Option<String> {
+    let marker = format!("\"{key}\":\"");
+    let at = line.find(&marker)? + marker.len();
+    let rest = &line[at..];
+    let end = rest.find('"')?;
+    Some(rest[..end].to_string())
+}
+
+/// Parses a campaign report into verdict rows, skipping blank lines
+/// and records of other kinds.
+///
+/// # Errors
+///
+/// When no scenario record is found at all (the file is probably not a
+/// `scenarios --report` output), or a scenario record is missing its
+/// verdict fields.
+pub fn scenario_verdicts(text: &str) -> Result<Vec<ScenarioVerdict>, String> {
+    let mut out = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        if line.trim().is_empty() || !line.contains("\"record\":\"scenario\"") {
+            continue;
+        }
+        let field = |key: &str| {
+            json_str_field(line, key)
+                .ok_or_else(|| format!("line {}: scenario record lacks \"{key}\"", i + 1))
+        };
+        let scenario = field("scenario")?;
+        let scheme = field("scheme")?;
+        let pass = match field("verdict")?.as_str() {
+            "pass" => true,
+            "fail" => false,
+            other => return Err(format!("line {}: unknown verdict `{other}`", i + 1)),
+        };
+        // Failed invariants render as `{"name":"…","ok":false,…}`; walk
+        // each `"ok":false` back to the `"name"` that opened its object.
+        let mut failed = Vec::new();
+        let mut from = 0usize;
+        while let Some(rel) = line[from..].find("\"ok\":false") {
+            let at = from + rel;
+            if let Some(name_at) = line[..at].rfind("\"name\":\"") {
+                if let Some(name) = json_str_field(&line[name_at..at], "name") {
+                    failed.push(name);
+                }
+            }
+            from = at + "\"ok\":false".len();
+        }
+        out.push(ScenarioVerdict {
+            scenario,
+            scheme,
+            pass,
+            failed,
+        });
+    }
+    if out.is_empty() {
+        return Err("no scenario records found (expected `scenarios --report` JSON lines)".into());
+    }
+    Ok(out)
+}
+
+/// Renders verdict rows as the table `era-view --verdicts` prints,
+/// ending with a one-line tally.
+pub fn render_verdicts(rows: &[ScenarioVerdict]) -> String {
+    let mut out = String::new();
+    for row in rows {
+        out.push_str(&format!(
+            "{:4} {:24} {:5}  {}\n",
+            if row.pass { "ok" } else { "FAIL" },
+            row.scenario,
+            row.scheme,
+            if row.failed.is_empty() {
+                "all invariants held".to_string()
+            } else {
+                format!("failed: {}", row.failed.join(", "))
+            }
+        ));
+    }
+    let failures = rows.iter().filter(|r| !r.pass).count();
+    out.push_str(&format!("{} run(s), {} failure(s)\n", rows.len(), failures));
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -977,5 +1080,49 @@ mod tests {
         assert!(text.contains("orphan chains"));
         assert!(text.contains("0x1000"));
         assert!(text.contains("truncated trace"));
+    }
+
+    #[test]
+    fn scenario_verdicts_scans_pass_and_fail_lines() {
+        // Shaped like `scenarios --report` output: top-level verdict
+        // plus an invariants array; the embedded spec's own "name"
+        // keys must not confuse the failed-invariant scan.
+        let report = concat!(
+            r#"{"record":"scenario","scenario":"phase-shift","scheme":"EBR","verdict":"pass","#,
+            r#""invariants":[{"name":"recovers-after-drain","ok":true,"observed":0,"limit":256}],"#,
+            r#""spec":{"name":"phase-shift","seed":1}}"#,
+            "\n",
+            r#"{"record":"scenario","scenario":"stalled-reader-blowout","scheme":"HP","verdict":"fail","#,
+            r#""invariants":[{"name":"bounded-footprint","ok":false,"observed":4096,"limit":2000},"#,
+            r#"{"name":"healthy-at-end","ok":false,"observed":2,"limit":0}],"#,
+            r#""spec":{"name":"stalled-reader-blowout","seed":2}}"#,
+            "\n",
+            r#"{"record":"other-kind","x":1}"#,
+            "\n",
+        );
+        let rows = scenario_verdicts(report).unwrap();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].scenario, "phase-shift");
+        assert_eq!(rows[0].scheme, "EBR");
+        assert!(rows[0].pass);
+        assert!(rows[0].failed.is_empty());
+        assert!(!rows[1].pass);
+        assert_eq!(rows[1].failed, vec!["bounded-footprint", "healthy-at-end"]);
+
+        let table = render_verdicts(&rows);
+        assert!(table.contains("ok   phase-shift"), "{table}");
+        assert!(table.contains("FAIL stalled-reader-blowout"), "{table}");
+        assert!(table.contains("failed: bounded-footprint, healthy-at-end"));
+        assert!(table.contains("2 run(s), 1 failure(s)"));
+    }
+
+    #[test]
+    fn scenario_verdicts_rejects_non_report_input() {
+        assert!(scenario_verdicts("").is_err());
+        assert!(scenario_verdicts("not json at all\n").is_err());
+        // A scenario record with a mangled verdict is an error, not a
+        // silent pass.
+        let bad = r#"{"record":"scenario","scenario":"x","scheme":"EBR","verdict":"maybe"}"#;
+        assert!(scenario_verdicts(bad).unwrap_err().contains("verdict"));
     }
 }

@@ -11,6 +11,9 @@
 //!                       or every full retire→orphaned→adopt→reclaim
 //!                       chain with `auto`
 //!   --blame             per-thread blocked-reclamation attribution
+//!   --verdicts          gate on a `scenarios --report` JSONL file
+//!                       instead of a dump: print the verdict table,
+//!                       exit non-zero when any run failed
 //!
 //! Filters / options:
 //!   --source LABEL      only the source with this label
@@ -32,6 +35,7 @@ enum Mode {
     Timeline,
     Chain(ChainTarget),
     Blame,
+    Verdicts,
 }
 
 enum ChainTarget {
@@ -49,7 +53,8 @@ struct Options {
 }
 
 fn usage() -> &'static str {
-    "usage: era-view <dump.eraflt> [--summary|--timeline|--chain <addr|auto>|--blame] \
+    "usage: era-view <dump.eraflt|report.jsonl> \
+     [--summary|--timeline|--chain <addr|auto>|--blame|--verdicts] \
      [--source LABEL] [--thread N] [--hook NAME] [--addr HEX] [--limit N] [--bound N]"
 }
 
@@ -80,6 +85,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
             "--summary" => mode = Some(Mode::Summary),
             "--timeline" => mode = Some(Mode::Timeline),
             "--blame" => mode = Some(Mode::Blame),
+            "--verdicts" => mode = Some(Mode::Verdicts),
             "--chain" => {
                 let target = value("--chain")?;
                 mode = Some(Mode::Chain(if target == "auto" {
@@ -122,6 +128,20 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
 }
 
 fn run(opts: &Options) -> Result<(), String> {
+    // Verdict gating reads a scenarios report (JSON lines), not a
+    // flight dump — branch before any .eraflt decoding.
+    if let Mode::Verdicts = opts.mode {
+        let text = std::fs::read_to_string(&opts.path)
+            .map_err(|e| format!("cannot read `{}`: {e}", opts.path))?;
+        let rows =
+            era_view::scenario_verdicts(&text).map_err(|e| format!("`{}`: {e}", opts.path))?;
+        print!("{}", era_view::render_verdicts(&rows));
+        if rows.iter().any(|r| !r.pass) {
+            return Err("scenario report records failing verdicts (see table above)".to_string());
+        }
+        return Ok(());
+    }
+
     let bytes =
         std::fs::read(&opts.path).map_err(|e| format!("cannot read `{}`: {e}", opts.path))?;
     let dump = FlightDump::decode(&bytes)
@@ -208,6 +228,7 @@ fn run(opts: &Options) -> Result<(), String> {
                 }
             }
         }
+        Mode::Verdicts => unreachable!("handled before dump decoding"),
         Mode::Blame => {
             for source in sources {
                 println!("== source `{}` ==", source.label);

@@ -18,6 +18,7 @@ fn tight_policy() -> RetryPolicy {
         base_backoff: Duration::from_micros(20),
         max_backoff: Duration::from_micros(200),
         deadline: Duration::from_millis(3),
+        jitter: true,
     }
 }
 

@@ -8,7 +8,7 @@ use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicBool, Ordering};
 
 use era::kv::workload::{run_workload, KeyDist, KvMix, KvWorkloadSpec};
-use era::kv::{KvConfig, KvStore};
+use era::kv::{KvConfig, KvError, KvStore};
 use era::smr::common::Smr;
 use era::smr::ebr::Ebr;
 use era::smr::qsbr::Qsbr;
@@ -243,4 +243,134 @@ fn neutralized_reader_restarts_once() {
     });
     let (_, neutralizations, _) = store.nav_counters();
     assert!(neutralizations >= 1);
+}
+
+/// `put_batch` edge cases: an empty batch is a no-op with an empty
+/// result vector, and duplicate keys inside one batch apply in batch
+/// order (stable per-shard grouping), so each item's "previous value"
+/// sees the item before it.
+#[test]
+fn put_batch_empty_and_duplicate_keys() {
+    let schemes: Vec<Ebr> = (0..2).map(|_| Ebr::new(4)).collect();
+    let store = KvStore::new(&schemes, KvConfig::default());
+    let mut ctx = store.register().unwrap();
+
+    assert!(store.put_batch(&mut ctx, &[]).is_empty());
+    assert_eq!(store.len(), 0);
+
+    // Two writes to key 7 in one batch, with an unrelated key between
+    // them: the second write's previous value must be the first's.
+    let results = store.put_batch(&mut ctx, &[(7, 1), (3, 9), (7, 2)]);
+    assert_eq!(results.len(), 3);
+    assert_eq!(results[0].as_ref().unwrap(), &None);
+    assert_eq!(results[1].as_ref().unwrap(), &None);
+    assert_eq!(results[2].as_ref().unwrap(), &Some(1));
+    assert_eq!(store.get(&mut ctx, 7), Some(2), "last write wins");
+    assert_eq!(store.get(&mut ctx, 3), Some(9));
+}
+
+/// A batch spanning a refused shard and a healthy one: the refused
+/// shard's items all come back `Overloaded` naming that shard, the
+/// healthy shard's items all land, results stay in item order — and
+/// the whole refused group costs exactly one shed (the amortized
+/// admission contract).
+#[test]
+fn put_batch_sheds_the_refused_shard_group_wholesale() {
+    let schemes: Vec<Ebr> = (0..2).map(|_| Ebr::new(4)).collect();
+    let store = KvStore::new(&schemes, KvConfig::default());
+    let mut ctx = store.register().unwrap();
+
+    // Interleave keys of both shards so grouping, not batch position,
+    // decides each item's fate.
+    let mut items = Vec::new();
+    let (mut on0, mut on1) = (0, 0);
+    let mut k = 0i64;
+    while on0 < 3 || on1 < 3 {
+        if store.shard_of(k) == 0 && on0 < 3 {
+            items.push((k, k));
+            on0 += 1;
+        } else if store.shard_of(k) == 1 && on1 < 3 {
+            items.push((k, k));
+            on1 += 1;
+        }
+        k += 1;
+    }
+
+    store.quarantine(0);
+    let (_, _, sheds_before) = store.nav_counters();
+    let results = store.put_batch(&mut ctx, &items);
+    for (&(key, _), res) in items.iter().zip(&results) {
+        match store.shard_of(key) {
+            0 => assert_eq!(res, &Err(KvError::Overloaded { shard: 0 }), "key {key}"),
+            _ => assert_eq!(res, &Ok(None), "key {key}"),
+        }
+    }
+    let (_, _, sheds_after) = store.nav_counters();
+    assert_eq!(
+        sheds_after - sheds_before,
+        1,
+        "one admission decision (and one shed) per refused shard group"
+    );
+    let landed: Vec<i64> = store.scan(i64::MIN, i64::MAX).iter().map(|e| e.0).collect();
+    let expect: Vec<i64> = items
+        .iter()
+        .map(|&(k, _)| k)
+        .filter(|&k| store.shard_of(k) == 1)
+        .collect();
+    assert_eq!(landed, expect);
+}
+
+/// Shard health flips under a stream of batches (quarantine imposed
+/// and lifted from another thread): within any single batch, items of
+/// one shard are admitted or refused **as a group** — the one
+/// admission decision per shard group can never split a group's
+/// results — and every refusal names the item's own shard.
+#[test]
+fn put_batch_group_admission_is_atomic_under_health_flips() {
+    let schemes: Vec<Ebr> = (0..2).map(|_| Ebr::new(4)).collect();
+    let store = KvStore::new(&schemes, KvConfig::default());
+    let mut ctx = store.register().unwrap();
+
+    let stop = AtomicBool::new(false);
+    std::thread::scope(|s| {
+        let (store_ref, stop_ref) = (&store, &stop);
+        s.spawn(move || {
+            while !stop_ref.load(Ordering::Acquire) {
+                store_ref.quarantine(0);
+                std::thread::yield_now();
+                // With tiny footprints the tick immediately recovers
+                // the quarantined shard, so batches see both states.
+                store_ref.navigator_tick();
+                std::thread::yield_now();
+            }
+        });
+
+        for round in 0..512i64 {
+            let base = round * 8;
+            let items: Vec<(i64, i64)> = (base..base + 8).map(|k| (k, k)).collect();
+            let results = store.put_batch(&mut ctx, &items);
+            let mut verdict_per_shard: [Option<bool>; 2] = [None, None];
+            for (&(key, _), res) in items.iter().zip(&results) {
+                let si = store.shard_of(key);
+                let admitted = match res {
+                    Ok(_) => true,
+                    Err(KvError::Overloaded { shard }) => {
+                        assert_eq!(*shard, si, "refusal must name the item's shard");
+                        false
+                    }
+                    Err(other) => panic!("unexpected error {other:?}"),
+                };
+                match verdict_per_shard[si] {
+                    None => verdict_per_shard[si] = Some(admitted),
+                    Some(prev) => assert_eq!(
+                        prev, admitted,
+                        "a shard group's admission split mid-batch (round {round})"
+                    ),
+                }
+            }
+        }
+        // SAFETY(ordering): Release — publishes the finished batches
+        // to the flipper thread's Acquire poll of `stop`.
+        stop.store(true, Ordering::Release);
+    });
 }
