@@ -1,6 +1,8 @@
 //@ expect-clean
 //! Every rule's compliant shape in one file: the patterns `era-lint
 //! check` expects to see across the workspace.
+// ERA-CLASS: Fixture non-robust — a demonstration scheme with no
+// reclamation bound to claim (R9's header obligation, satisfied).
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// A pinned per-thread context (R5: guards are `#[must_use]`).

@@ -1,0 +1,21 @@
+//@ expect-clean
+// The compliant R8 shape: both halves of a Dekker handshake carry the
+// same PAIRS tag, and each annotation sits on a real sync site.
+
+use std::sync::atomic::{fence, AtomicUsize, Ordering};
+
+fn announce(slot: &AtomicUsize) {
+    // SAFETY(ordering) PAIRS(demo-dekker): Relaxed store + SeqCst
+    // fence make the announcement globally visible before any later
+    // read; pairs with the fence in `scan`.
+    slot.store(1, Ordering::Relaxed);
+    fence(Ordering::SeqCst);
+}
+
+fn scan(slot: &AtomicUsize) -> usize {
+    // SAFETY(ordering) PAIRS(demo-dekker): the SeqCst fence pairs with
+    // the fence in `announce` — one of the two threads must see the
+    // other's write (Dekker).
+    fence(Ordering::SeqCst);
+    return slot.load(Ordering::SeqCst);
+}

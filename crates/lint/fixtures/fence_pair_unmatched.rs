@@ -1,0 +1,38 @@
+//@ expect: R8-fence-pairing
+// R8's failure modes: a pairing tag with a single endpoint (its
+// partner was deleted in a refactor, or the annotation rotted), and a
+// tag whose annotation floats free of any fence or atomic call.
+
+use std::sync::atomic::{fence, AtomicUsize, Ordering};
+
+fn publish(flag: &AtomicUsize) {
+    // SAFETY(ordering) PAIRS(lost-dekker): Relaxed store + SeqCst
+    // fence publish the flag; the partner fence used to live in the
+    // scan path but was removed.
+    flag.store(1, Ordering::Relaxed);
+    fence(Ordering::SeqCst);
+}
+
+fn unrelated_filler_a() -> usize {
+    let x = 1;
+    let y = x + 1;
+    let z = y + 1;
+    return z;
+}
+
+fn unrelated_filler_b() -> usize {
+    let x = 2;
+    let y = x + 2;
+    let z = y + 2;
+    return z;
+}
+
+fn unrelated_filler_c() -> usize {
+    let x = 3;
+    let y = x + 3;
+    let z = y + 3;
+    return z;
+}
+
+// SAFETY(ordering) PAIRS(floating-note): this annotation sits on no
+// fence and no atomic call — the sync site it once described is gone.

@@ -1,0 +1,26 @@
+//@ expect: R6-guard-escape
+// R6 both ways a guard can be outlived: a protected pointer returned
+// without its guard, and a pointer dereferenced after the protecting
+// guard's scope closed. Protection is a *region*, not a property of
+// the pointer value — once `g` dies, `p` is a bare address the
+// reclaimer is free to invalidate.
+
+fn escape_by_return(list: &List) -> *mut Node {
+    let mut g = list.smr.register().unwrap();
+    let p = list.smr.load(&mut g, 0, &list.head);
+    // `g` dies at the brace below; the caller receives a pointer whose
+    // protection has already ended.
+    return p as *mut Node;
+}
+
+fn escape_by_scope(list: &List) -> u64 {
+    let p;
+    {
+        let mut g = list.smr.register().unwrap();
+        p = list.smr.load(&mut g, 0, &list.head);
+    }
+    // SAFETY: wrong — `g` closed with its block, so nothing protects
+    // this read from a concurrent reclaimer.
+    let k = unsafe { (*p).key };
+    return k;
+}

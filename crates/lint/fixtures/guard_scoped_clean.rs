@@ -1,0 +1,28 @@
+//@ expect-clean
+// The compliant shapes for R6: derefs stay inside the guard's scope,
+// and when a pointer must leave the function, its guard travels with
+// it (the pair keeps the protection region alive at the call site).
+
+fn read_key(list: &List) -> u64 {
+    let mut g = list.smr.register().unwrap();
+    let p = list.smr.load(&mut g, 0, &list.head);
+    // SAFETY: `p` was protected through `g` on the line above and `g`
+    // lives to the end of this function.
+    let k = unsafe { (*p).key };
+    return k;
+}
+
+fn pin_head(list: &List) -> (PinnedSlot, usize) {
+    let mut g = list.smr.register().unwrap();
+    let p = list.smr.load(&mut g, 0, &list.head);
+    // The guard escapes *with* the pointer: protection transfers to
+    // the caller instead of ending here.
+    return (g, p);
+}
+
+fn ambient_protection(list: &List, ctx: &mut OpCtx) -> usize {
+    // `ctx` is caller-owned; its protection outlives this frame by
+    // construction, so returning the pointer is fine.
+    let p = list.smr.load(ctx, 0, &list.head);
+    return p;
+}

@@ -1,0 +1,34 @@
+//@ expect-clean
+// Lexer stress: every construct that once confused line-oriented
+// scanning. Raw strings containing comment markers, nested block
+// comments, `//` inside string literals, and lifetimes next to char
+// literals. Nothing here is an atomic, a deref, or an Smr impl —
+// a correct lexer reports zero findings.
+
+fn raw_strings() -> &'static str {
+    let a = r"no // comment in here";
+    let b = r#"still code: /* not a comment */ "#;
+    let c = "slashes // inside a plain string";
+    let d = "escaped quote \" then // more";
+    if a.len() + c.len() + d.len() > 0 {
+        return b;
+    }
+    return a;
+}
+
+/* a block comment
+   /* with a nested block comment inside it */
+   still inside the outer comment: unsafe { (*p).key } is not code
+*/
+fn after_nested_comment(x: usize) -> usize {
+    let tick = 'a';
+    let tricky = '\'';
+    if tick == tricky {
+        return x;
+    }
+    return x + 1;
+}
+
+fn lifetimes<'a>(s: &'a str) -> &'a str {
+    return s;
+}

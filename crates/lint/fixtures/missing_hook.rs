@@ -1,4 +1,6 @@
 //@ expect: R4-hook-coverage
+// ERA-CLASS: Quiet non-robust — header present so only the hook gap
+// below fires.
 // An Smr impl that emits no era-obs hooks and never tallies a reclaim:
 // observability coverage silently rots for every consumer.
 struct Quiet;

@@ -1,0 +1,23 @@
+//@ expect-clean
+// The compliant shapes for R7: `retire` is the *last* use of the
+// pointer (reads inside its own argument list included), and a
+// reassignment after retire starts a fresh life-cycle.
+
+fn remove_head(list: &List, ctx: &mut OpCtx) {
+    let p = list.smr.load(ctx, 0, &list.head);
+    // SAFETY: the header read sits inside retire's argument list —
+    // it happens before the handoff, so it is a pre-retire use.
+    unsafe { list.smr.retire(ctx, p as *mut u8, &(*p).header, dealloc) };
+}
+
+fn drain_two(list: &List, ctx: &mut OpCtx) -> u64 {
+    let mut p = list.smr.load(ctx, 0, &list.head);
+    // SAFETY: first node retired; `p` is rebound to a freshly
+    // protected load before any further use.
+    unsafe { list.smr.retire(ctx, p as *mut u8, &(*p).header, dealloc) };
+    p = list.smr.load(ctx, 0, &list.head);
+    // SAFETY: `p` is the second node, protected by `ctx` on the line
+    // above — the earlier retire does not taint it.
+    let k = unsafe { (*p).key };
+    return k;
+}

@@ -1,0 +1,28 @@
+//@ expect-clean
+// ERA-CLASS: Slotted robust — per-slot reservations cap trapped
+// memory regardless of reader stalls.
+//
+// The compliant R9 shape: the header names the class, and the file
+// exhibits the structural witness a robust claim requires — a
+// threshold knob gating a bounded scan over the retired set.
+
+struct Slotted {
+    inner: InnerScheme,
+    scan_threshold: usize,
+}
+
+impl Smr for Slotted {
+    fn begin_op(&self) {
+        self.inner.begin_op();
+    }
+    fn retire(&self, p: usize) {
+        self.inner.retire(p);
+    }
+}
+
+fn scan_retired(bag: &mut RetireBag, scan_threshold: usize) {
+    if bag.len() < scan_threshold {
+        return;
+    }
+    bag.reclaim_unreserved();
+}

@@ -1,0 +1,20 @@
+//@ expect: R9-scheme-obligation
+// An `impl Smr` whose file never declares its ERA class: the
+// robustness matrix cannot place the scheme, so R9 demands the
+// machine-readable `// ERA-CLASS:` header.
+
+struct Forwarding {
+    inner: InnerScheme,
+}
+
+impl Smr for Forwarding {
+    fn begin_op(&self) {
+        self.inner.begin_op();
+    }
+    fn end_op(&self) {
+        self.inner.end_op();
+    }
+    fn retire(&self, p: usize) {
+        self.inner.retire(p);
+    }
+}

@@ -1,0 +1,25 @@
+//@ expect: R9-scheme-obligation
+// ERA-CLASS: Epochoid non-robust — one stalled reader pins its epoch
+// and trapped memory grows without limit.
+//
+// The declared class contradicts the API below: a non-robust scheme
+// advertising a trapped-memory bound is the ERA theorem violated in
+// the signature — callers will budget against a promise the scheme
+// cannot keep.
+
+struct Epochoid {
+    inner: InnerScheme,
+}
+
+impl Smr for Epochoid {
+    fn begin_op(&self) {
+        self.inner.begin_op();
+    }
+    fn retire(&self, p: usize) {
+        self.inner.retire(p);
+    }
+}
+
+fn robustness_bound(threads: usize, batch: usize) -> usize {
+    return threads * batch;
+}

@@ -1,0 +1,26 @@
+//@ expect: R7-use-after-retire
+// R7 in its two flavors: touching a value after it flowed into
+// `retire`, and dereferencing after the protecting guard was
+// explicitly dropped. Both are the life-cycle's terminal states —
+// nothing downstream of them may observe the pointee.
+
+fn remove_head(list: &List, ctx: &mut OpCtx) -> u64 {
+    let p = list.smr.load(ctx, 0, &list.head);
+    // SAFETY: `p` was unlinked by the caller; retire consumes it and
+    // reads inside the argument list happen before the handoff.
+    unsafe { list.smr.retire(ctx, p as *mut u8, &(*p).header, dealloc) };
+    // SAFETY: wrong — `p` is queued for reclamation; this read races
+    // the reclaimer.
+    let k = unsafe { (*p).key };
+    return k;
+}
+
+fn read_after_unpin(list: &List) -> u64 {
+    let mut g = list.smr.register().unwrap();
+    let p = list.smr.load(&mut g, 0, &list.head);
+    drop(g);
+    // SAFETY: wrong — the guard is gone; the protection ended at the
+    // explicit drop above.
+    let k = unsafe { (*p).key };
+    return k;
+}

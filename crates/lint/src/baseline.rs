@@ -1,0 +1,264 @@
+//! Waiver baseline: the checked-in list of known, justified findings.
+//!
+//! `era-lint check` fails CI on any denied finding, so intentional
+//! rule departures need a durable, reviewable escape hatch — not a
+//! rule downgrade (which would silence *future* regressions too), but
+//! a per-site waiver that names the rule, the file, a one-line
+//! justification, and an expiry date after which the finding
+//! resurfaces. The format is line-oriented and diff-friendly:
+//!
+//! ```text
+//! # comments and blank lines are ignored
+//! R8-fence-pairing | crates/smr/src/foo.rs | partner lives in asm, linter can't see it | expires=2026-12-31
+//! ```
+//!
+//! Fields are `|`-separated: rule id, workspace-relative path,
+//! justification (must be non-empty — an unexplained waiver is a
+//! parse error), and `expires=YYYY-MM-DD`. A waiver suppresses any
+//! finding of that rule in that file (level `deny → waived`) through
+//! its expiry date inclusive. Expired waivers are inert — the finding
+//! comes back — and are reported so the baseline gets pruned. Unused
+//! waivers are reported too, so the file can only shrink toward the
+//! truth.
+
+use std::fs;
+use std::path::Path;
+use std::time::{SystemTime, UNIX_EPOCH};
+
+use crate::report::LintRecord;
+
+/// One parsed waiver line.
+#[derive(Debug, Clone)]
+pub struct Waiver {
+    /// Rule id the waiver applies to (e.g. `R8-fence-pairing`).
+    pub rule: String,
+    /// Workspace-relative path, forward slashes.
+    pub path: String,
+    /// One-line justification (non-empty by construction).
+    pub note: String,
+    /// Expiry date `(year, month, day)`; valid through this date
+    /// inclusive.
+    pub expires: (i64, u32, u32),
+}
+
+/// A parsed baseline file.
+#[derive(Debug, Clone, Default)]
+pub struct Baseline {
+    /// All waivers, in file order.
+    pub waivers: Vec<Waiver>,
+}
+
+/// Outcome of applying a baseline to a record set.
+#[derive(Debug, Default)]
+pub struct ApplyOutcome {
+    /// Findings downgraded to `waived`.
+    pub waived: usize,
+    /// Waivers past their expiry date (the findings, if any, stayed
+    /// denied). `(rule, path, expiry)` triples.
+    pub expired: Vec<String>,
+    /// Unexpired waivers that matched nothing — candidates for
+    /// deletion.
+    pub unused: Vec<String>,
+}
+
+/// Parses a baseline file's text. Any malformed line is an error
+/// naming its line number — a baseline that cannot be fully trusted
+/// suppresses nothing.
+pub fn parse(text: &str) -> Result<Baseline, String> {
+    let mut waivers = Vec::new();
+    for (idx, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let lineno = idx + 1;
+        let parts: Vec<&str> = line.split('|').map(str::trim).collect();
+        if parts.len() != 4 {
+            return Err(format!(
+                "baseline line {lineno}: expected 4 `|`-separated fields \
+                 (rule | path | justification | expires=YYYY-MM-DD), got {}",
+                parts.len()
+            ));
+        }
+        let (rule, path, note, exp) = (parts[0], parts[1], parts[2], parts[3]);
+        if rule.is_empty() || path.is_empty() {
+            return Err(format!("baseline line {lineno}: empty rule or path"));
+        }
+        if note.is_empty() {
+            return Err(format!(
+                "baseline line {lineno}: justification is required — every waiver says why"
+            ));
+        }
+        let date = exp.strip_prefix("expires=").ok_or_else(|| {
+            format!("baseline line {lineno}: fourth field must be expires=YYYY-MM-DD")
+        })?;
+        let expires = parse_date(date).ok_or_else(|| {
+            format!("baseline line {lineno}: bad date `{date}` (want YYYY-MM-DD)")
+        })?;
+        waivers.push(Waiver {
+            rule: rule.to_string(),
+            path: path.to_string(),
+            note: note.to_string(),
+            expires,
+        });
+    }
+    Ok(Baseline { waivers })
+}
+
+/// Loads and parses a baseline file from disk.
+pub fn load(path: &Path) -> Result<Baseline, String> {
+    let text =
+        fs::read_to_string(path).map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    parse(&text)
+}
+
+impl Baseline {
+    /// Downgrades matching denied findings to `waived` and reports
+    /// expired/unused waivers. `today` is `(year, month, day)` UTC —
+    /// see [`today_utc`].
+    pub fn apply(&self, records: &mut [LintRecord], today: (i64, u32, u32)) -> ApplyOutcome {
+        let mut out = ApplyOutcome::default();
+        for w in &self.waivers {
+            let live = w.expires >= today;
+            let mut matched = false;
+            for r in records.iter_mut() {
+                if r.rule == w.rule && r.path == w.path {
+                    matched = true;
+                    if live && r.level == "deny" {
+                        r.level = "waived";
+                        out.waived += 1;
+                    }
+                }
+            }
+            let tag = format!(
+                "{} | {} | {} | expires={:04}-{:02}-{:02}",
+                w.rule, w.path, w.note, w.expires.0, w.expires.1, w.expires.2
+            );
+            if !live {
+                out.expired.push(tag);
+            } else if !matched {
+                out.unused.push(tag);
+            }
+        }
+        out
+    }
+}
+
+fn parse_date(s: &str) -> Option<(i64, u32, u32)> {
+    let mut it = s.split('-');
+    let y: i64 = it.next()?.parse().ok()?;
+    let m: u32 = it.next()?.parse().ok()?;
+    let d: u32 = it.next()?.parse().ok()?;
+    if it.next().is_some() || !(1..=12).contains(&m) || !(1..=31).contains(&d) {
+        return None;
+    }
+    Some((y, m, d))
+}
+
+/// Today's UTC civil date from the system clock (no chrono in the
+/// container; Hinnant's `civil_from_days`).
+pub fn today_utc() -> (i64, u32, u32) {
+    let secs = SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.as_secs() as i64)
+        .unwrap_or(0);
+    civil_from_days(secs.div_euclid(86_400))
+}
+
+/// Days-since-epoch → (year, month, day), proleptic Gregorian.
+fn civil_from_days(z: i64) -> (i64, u32, u32) {
+    let z = z + 719_468;
+    let era = if z >= 0 { z } else { z - 146_096 } / 146_097;
+    let doe = z - era * 146_097;
+    let yoe = (doe - doe / 1_460 + doe / 36_524 - doe / 146_096) / 365;
+    let y = yoe + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+    let mp = (5 * doy + 2) / 153;
+    let d = (doy - (153 * mp + 2) / 5 + 1) as u32;
+    let m = if mp < 10 { mp + 3 } else { mp - 9 } as u32;
+    (y + i64::from(m <= 2), m, d)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(rule: &'static str, path: &str, level: &'static str) -> LintRecord {
+        LintRecord {
+            rule,
+            level,
+            path: path.into(),
+            line: 1,
+            message: "m".into(),
+        }
+    }
+
+    #[test]
+    fn parses_and_waives() {
+        let b = parse(
+            "# header comment\n\
+             R8-fence-pairing | crates/a.rs | partner is in generated code | expires=2099-01-01\n",
+        )
+        .unwrap();
+        let mut recs = vec![
+            rec("R8-fence-pairing", "crates/a.rs", "deny"),
+            rec("R8-fence-pairing", "crates/b.rs", "deny"),
+        ];
+        let out = b.apply(&mut recs, (2026, 8, 7));
+        assert_eq!(out.waived, 1);
+        assert_eq!(recs[0].level, "waived");
+        assert_eq!(recs[1].level, "deny");
+        assert!(out.expired.is_empty() && out.unused.is_empty());
+    }
+
+    #[test]
+    fn expired_waiver_is_inert_and_reported() {
+        let b = parse("R1-safety-comment | a.rs | old excuse | expires=2020-01-01\n").unwrap();
+        let mut recs = vec![rec("R1-safety-comment", "a.rs", "deny")];
+        let out = b.apply(&mut recs, (2026, 8, 7));
+        assert_eq!(recs[0].level, "deny", "expired waiver must not suppress");
+        assert_eq!(out.expired.len(), 1);
+        assert_eq!(out.waived, 0);
+    }
+
+    #[test]
+    fn expiry_date_is_inclusive() {
+        let b = parse("R1-safety-comment | a.rs | reason | expires=2026-08-07\n").unwrap();
+        let mut recs = vec![rec("R1-safety-comment", "a.rs", "deny")];
+        let out = b.apply(&mut recs, (2026, 8, 7));
+        assert_eq!(out.waived, 1);
+    }
+
+    #[test]
+    fn unused_waivers_are_reported() {
+        let b = parse("R2-ordering-justified | ghost.rs | ok | expires=2099-01-01\n").unwrap();
+        let mut recs = vec![];
+        let out = b.apply(&mut recs, (2026, 8, 7));
+        assert_eq!(out.unused.len(), 1);
+    }
+
+    #[test]
+    fn malformed_lines_are_errors() {
+        assert!(parse("just some text\n").is_err());
+        assert!(
+            parse("R1 | a.rs | | expires=2099-01-01\n").is_err(),
+            "empty note"
+        );
+        assert!(
+            parse("R1 | a.rs | why | 2099-01-01\n").is_err(),
+            "missing expires="
+        );
+        assert!(
+            parse("R1 | a.rs | why | expires=2099-13-01\n").is_err(),
+            "bad month"
+        );
+    }
+
+    #[test]
+    fn civil_date_conversion() {
+        assert_eq!(civil_from_days(0), (1970, 1, 1));
+        assert_eq!(civil_from_days(19_723), (2024, 1, 1));
+        // 2026-08-07 is 20_672 days after the epoch.
+        assert_eq!(civil_from_days(20_672), (2026, 8, 7));
+    }
+}

@@ -6,19 +6,24 @@
 //! two streams per file:
 //!
 //! * [`Tok`]s — identifiers, punctuation, lifetimes and literals, each
-//!   stamped with its 1-based source line. Comment and string *content*
-//!   never reaches the token stream, so rule patterns cannot be spoofed
-//!   by prose (a doc comment mentioning `unsafe`, a test embedding bad
-//!   code in a string literal).
+//!   stamped with its 1-based source line. Comment content and string
+//!   *structure* never reach the identifier/punctuation stream, so rule
+//!   patterns cannot be spoofed by prose (a doc comment mentioning
+//!   `unsafe`, a test embedding bad code in a string literal). String
+//!   literals keep their inner text on the [`TokKind::Literal`] token —
+//!   rules that match identifiers or punctuation never see it, but the
+//!   R9 scheme-obligation check reads the scenarios invariant table
+//!   (`matches!(name, "HP" | …)`) straight from those literals.
 //! * [`Comment`]s — the comment text per line, which is exactly where
 //!   the discipline this linter enforces lives (`// SAFETY:`,
-//!   `SAFETY(ordering)`, `// LINT:` waivers, `# Safety` doc sections).
+//!   `SAFETY(ordering)`, `// LINT:` waivers, `# Safety` doc sections,
+//!   `PAIRS(name)` fence partners, `ERA-CLASS:` headers).
 //!
 //! Handled: line and (nested) block comments, doc comments, string /
-//! raw-string / byte-string / char literals, lifetimes vs. char
-//! literals, numeric literals. Not handled (not needed): macro
-//! tokenization subtleties, float-vs-range ambiguity, non-ASCII
-//! identifiers.
+//! raw-string / byte-string / c-string / char / byte-char literals,
+//! lifetimes vs. char literals, numeric literals. Not handled (not
+//! needed): macro tokenization subtleties, float-vs-range ambiguity,
+//! non-ASCII identifiers.
 
 /// Kinds of tokens the rules care about.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -29,7 +34,8 @@ pub enum TokKind {
     Punct,
     /// Lifetime (`'a`, `'retry`) — distinct so `'x` never reads as a deref.
     Lifetime,
-    /// String/char/numeric literal (content discarded).
+    /// String/char/numeric literal. String literals carry their inner
+    /// text (no delimiters); all other literals carry `""`.
     Literal,
 }
 
@@ -38,9 +44,12 @@ pub enum TokKind {
 pub struct Tok {
     /// Token kind.
     pub kind: TokKind,
-    /// Token text (single char for punctuation; `""` for literals).
+    /// Token text (single char for punctuation; inner text for string
+    /// literals; `""` for char/numeric literals).
     pub text: String,
-    /// 1-based line number.
+    /// 1-based line number of the token's *first* character (multi-line
+    /// string literals are stamped where they open, not where they
+    /// close).
     pub line: usize,
 }
 
@@ -156,7 +165,20 @@ pub fn lex(src: &str) -> Lexed {
                 }
             }
             '"' => {
-                i = skip_string(&b, i, &mut line);
+                let tok_line = line;
+                let mut content = String::new();
+                i = skip_string(&b, i, &mut line, &mut content);
+                out.toks.push(Tok {
+                    kind: TokKind::Literal,
+                    text: content,
+                    line: tok_line,
+                });
+            }
+            // `b'x'` / `b'\n'` byte-char literals: without this arm the
+            // `b` would lex as a stray identifier ahead of the char
+            // literal, desyncing fixed-width window matches.
+            'b' if i + 1 < n && b[i + 1] == '\'' => {
+                i = skip_char_literal(&b, i + 1);
                 out.toks.push(Tok {
                     kind: TokKind::Literal,
                     text: String::new(),
@@ -165,10 +187,11 @@ pub fn lex(src: &str) -> Lexed {
             }
             'r' | 'b' | 'c' if starts_string_prefix(&b, i) => {
                 let tok_line = line;
-                i = skip_prefixed_string(&b, i, &mut line);
+                let mut content = String::new();
+                i = skip_prefixed_string(&b, i, &mut line, &mut content);
                 out.toks.push(Tok {
                     kind: TokKind::Literal,
-                    text: String::new(),
+                    text: content,
                     line: tok_line,
                 });
             }
@@ -198,23 +221,7 @@ pub fn lex(src: &str) -> Lexed {
                         i = j;
                     }
                 } else {
-                    // '\n', '\'', '\u{..}', … — escaped char literal
-                    i += 1;
-                    if i < n && b[i] == '\\' {
-                        i += 1;
-                        if i < n {
-                            i += 1;
-                        }
-                        // \u{...}
-                        while i < n && b[i] != '\'' && b[i] != '\n' {
-                            i += 1;
-                        }
-                    } else if i < n {
-                        i += 1;
-                    }
-                    if i < n && b[i] == '\'' {
-                        i += 1;
-                    }
+                    i = skip_char_literal(&b, i);
                     out.toks.push(Tok {
                         kind: TokKind::Literal,
                         text: String::new(),
@@ -283,28 +290,64 @@ fn starts_string_prefix(b: &[char], i: usize) -> bool {
     j < n && b[j] == '"' && (hashes || j > i)
 }
 
+/// Skips a char-ish literal starting at `i` (the opening quote):
+/// `'x'`, `'\n'`, `'\''`, `'\u{7f}'`. Returns the index after the
+/// closing quote.
+fn skip_char_literal(b: &[char], mut i: usize) -> usize {
+    let n = b.len();
+    i += 1;
+    if i < n && b[i] == '\\' {
+        i += 1;
+        if i < n {
+            i += 1;
+        }
+        // \u{...}
+        while i < n && b[i] != '\'' && b[i] != '\n' {
+            i += 1;
+        }
+    } else if i < n {
+        i += 1;
+    }
+    if i < n && b[i] == '\'' {
+        i += 1;
+    }
+    i
+}
+
 /// Skips a plain `"…"` string starting at `i` (the opening quote);
-/// returns the index after the closing quote.
-fn skip_string(b: &[char], mut i: usize, line: &mut usize) -> usize {
+/// returns the index after the closing quote, appending the inner text
+/// (escapes left raw) to `content`.
+fn skip_string(b: &[char], mut i: usize, line: &mut usize, content: &mut String) -> usize {
     let n = b.len();
     i += 1;
     while i < n {
         match b[i] {
-            '\\' => i += 2,
+            '\\' => {
+                content.push(b[i]);
+                if i + 1 < n {
+                    content.push(b[i + 1]);
+                }
+                i += 2;
+            }
             '"' => return i + 1,
             '\n' => {
                 *line += 1;
+                content.push('\n');
                 i += 1;
             }
-            _ => i += 1,
+            c => {
+                content.push(c);
+                i += 1;
+            }
         }
     }
     i
 }
 
 /// Skips a prefixed (and possibly raw) string starting at `i`; returns
-/// the index after its closing delimiter.
-fn skip_prefixed_string(b: &[char], mut i: usize, line: &mut usize) -> usize {
+/// the index after its closing delimiter, appending the inner text to
+/// `content`.
+fn skip_prefixed_string(b: &[char], mut i: usize, line: &mut usize, content: &mut String) -> usize {
     let n = b.len();
     let mut raw = false;
     while i < n && matches!(b[i], 'r' | 'b' | 'c') {
@@ -322,12 +365,13 @@ fn skip_prefixed_string(b: &[char], mut i: usize, line: &mut usize) -> usize {
         return i;
     }
     if !raw && hashes == 0 {
-        return skip_string(b, i, line);
+        return skip_string(b, i, line, content);
     }
     i += 1;
     while i < n {
         if b[i] == '\n' {
             *line += 1;
+            content.push('\n');
             i += 1;
             continue;
         }
@@ -343,7 +387,11 @@ fn skip_prefixed_string(b: &[char], mut i: usize, line: &mut usize) -> usize {
             }
         }
         if !raw && b[i] == '\\' {
+            content.push(b[i]);
             i += 1;
+        }
+        if i < n {
+            content.push(b[i]);
         }
         i += 1;
     }
@@ -363,11 +411,25 @@ mod tests {
     }
 
     #[test]
-    fn strings_are_opaque() {
+    fn strings_are_opaque_to_ident_matching() {
         let src = "let s = \"unsafe { }\"; let r = r#\"also unsafe\"# ;";
         let l = lex(src);
         // Nothing inside either literal tokenizes as an identifier.
         assert!(!l.toks.iter().any(|t| t.is_ident("unsafe")));
+    }
+
+    #[test]
+    fn string_literals_keep_their_content() {
+        let l = lex("matches!(name, \"HP\" | \"HE\")");
+        let lits: Vec<&str> = l
+            .toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Literal && !t.text.is_empty())
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(lits, vec!["HP", "HE"]);
+        // …but content never satisfies identifier matching.
+        assert!(!l.toks.iter().any(|t| t.is_ident("HP")));
     }
 
     #[test]
@@ -393,5 +455,76 @@ mod tests {
         let l = lex("/* a /* b */ c */ fn f() {}");
         assert!(l.toks.iter().any(|t| t.is_ident("fn")));
         assert!(l.comment_on(1).contains('b'));
+    }
+
+    // ---- regression: edge cases that can desync rule matching ----
+
+    #[test]
+    fn double_slash_inside_string_is_not_a_comment() {
+        // A URL in a string must neither open a comment (swallowing the
+        // rest of the line) nor hide the real trailing comment.
+        let l = lex("let url = \"https://example.com\"; x.store(1); // SAFETY: real");
+        assert!(l.toks.iter().any(|t| t.is_ident("store")));
+        assert!(l.comment_on(1).contains("SAFETY: real"));
+        // And a SAFETY-shaped string must not spoof a comment.
+        let l = lex("let fake = \"// SAFETY: spoofed\";\nunsafe_marker();");
+        assert!(!l.comment_on(1).contains("SAFETY"));
+    }
+
+    #[test]
+    fn raw_string_with_hashes_is_opaque_and_tracks_lines() {
+        let src = "let re = r#\"multi\nline \" with quote\nand // slashes\"#;\nfn after() {}";
+        let l = lex(src);
+        assert!(!l.toks.iter().any(|t| t.is_ident("line")));
+        assert!(l.comment_on(3).is_empty(), "// inside raw string spoofed");
+        let after = l.toks.iter().find(|t| t.is_ident("after")).unwrap();
+        assert_eq!(after.line, 4, "raw string desynced line tracking");
+        // The literal is stamped where it opens, not where it closes.
+        let lit = l.toks.iter().find(|t| t.kind == TokKind::Literal).unwrap();
+        assert_eq!(lit.line, 1);
+    }
+
+    #[test]
+    fn multiline_plain_string_is_stamped_at_its_opening_line() {
+        let l = lex("let s = \"a\nb\";\nfn g() {}");
+        let lit = l.toks.iter().find(|t| t.kind == TokKind::Literal).unwrap();
+        assert_eq!(lit.line, 1, "multi-line string stamped at close line");
+        let g = l.toks.iter().find(|t| t.is_ident("g")).unwrap();
+        assert_eq!(g.line, 3);
+    }
+
+    #[test]
+    fn nested_block_comment_hides_code_and_keeps_line_numbers() {
+        let src = "/* outer /* unsafe { bad() } */ still comment\n*/\nfn real() {}";
+        let l = lex(src);
+        assert!(!l.toks.iter().any(|t| t.is_ident("unsafe")));
+        let real = l.toks.iter().find(|t| t.is_ident("real")).unwrap();
+        assert_eq!(real.line, 3);
+    }
+
+    #[test]
+    fn byte_char_literal_does_not_shed_a_stray_ident() {
+        let l = lex("let nl = b'\\n'; let q = b'\"'; let sp = b' '; done();");
+        assert!(
+            !l.toks.iter().any(|t| t.is_ident("b")),
+            "b'…' byte-char shed a stray `b` ident: {:?}",
+            l.toks
+        );
+        assert!(l.toks.iter().any(|t| t.is_ident("done")));
+    }
+
+    #[test]
+    fn quote_chars_do_not_open_strings() {
+        // '"' and '\'' must not be mistaken for string openers.
+        let l = lex("let a = '\"'; let b = '\\''; trailing(); // SAFETY: here");
+        assert!(l.toks.iter().any(|t| t.is_ident("trailing")));
+        assert!(l.comment_on(1).contains("SAFETY: here"));
+    }
+
+    #[test]
+    fn escaped_backslash_then_comment() {
+        let l = lex("let s = \"tail\\\\\"; x.load(); // LINT: visible");
+        assert!(l.toks.iter().any(|t| t.is_ident("load")));
+        assert!(l.comment_on(1).contains("LINT: visible"));
     }
 }

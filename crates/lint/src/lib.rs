@@ -38,10 +38,14 @@
 //! workspace self-check test asserts `check .` stays at zero findings
 //! on `main`.
 
+pub mod baseline;
+pub mod flow;
 pub mod lexer;
 pub mod model;
+pub mod parser;
 pub mod report;
 pub mod rules;
+pub mod sarif;
 
 use std::collections::BTreeSet;
 use std::fs;
@@ -49,7 +53,7 @@ use std::path::{Path, PathBuf};
 
 pub use model::SourceFile;
 pub use report::{render_table, LintRecord};
-pub use rules::{check_file, Finding, Rule, Scope};
+pub use rules::{check_file, check_unit, Finding, Rule, Scope};
 
 /// Directory names never descended into: build output, VCS state,
 /// vendored shims (third-party stand-ins with their own conventions)
@@ -76,14 +80,17 @@ impl LintConfig {
 /// Outcome of a tree check.
 #[derive(Debug)]
 pub struct CheckReport {
-    /// All findings as records (denied and allowed).
+    /// All findings as records (denied, allowed and waived).
     pub records: Vec<LintRecord>,
     /// Number of `.rs` files scanned.
     pub files_scanned: usize,
+    /// Baseline hygiene notes (expired or unused waivers) — worth
+    /// printing, never fatal.
+    pub baseline_notes: Vec<String>,
 }
 
 impl CheckReport {
-    /// Count of findings at deny level.
+    /// Count of findings at deny level (waived findings don't count).
     pub fn denied(&self) -> usize {
         self.records.iter().filter(|r| r.level == "deny").count()
     }
@@ -124,21 +131,59 @@ fn label_for(root: &Path, path: &Path) -> String {
     rel.to_string_lossy().replace('\\', "/")
 }
 
-/// Checks every `.rs` file under `root` with path-scoped rules.
+/// The default baseline location, relative to the checked root.
+pub const DEFAULT_BASELINE: &str = "crates/lint/waivers.txt";
+
+/// Checks every `.rs` file under `root` with path-scoped rules,
+/// applying the default baseline (`crates/lint/waivers.txt` under
+/// `root`) when it exists.
 pub fn check_tree(root: &Path, cfg: &LintConfig) -> std::io::Result<CheckReport> {
+    let bpath = root.join(DEFAULT_BASELINE);
+    let base = if bpath.is_file() {
+        Some(
+            baseline::load(&bpath)
+                .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?,
+        )
+    } else {
+        None
+    };
+    check_tree_with(root, cfg, base.as_ref())
+}
+
+/// [`check_tree`] with an explicit (or no) baseline. All files are
+/// parsed up front and checked as **one unit**, so the cross-file
+/// rules (R8 fence-pairing, R9 scheme obligations vs. the scenarios
+/// invariant table) see the whole workspace at once.
+pub fn check_tree_with(
+    root: &Path,
+    cfg: &LintConfig,
+    base: Option<&baseline::Baseline>,
+) -> std::io::Result<CheckReport> {
     let files = collect_rs_files(root)?;
-    let mut records = Vec::new();
+    let mut parsed = Vec::with_capacity(files.len());
     for path in &files {
         let text = fs::read_to_string(path)?;
-        let file = SourceFile::parse(&label_for(root, path), &text);
-        for f in check_file(&file, Scope::Auto) {
-            let denied = cfg.is_denied(f.rule);
-            records.push(LintRecord::new(&f, denied));
+        parsed.push(SourceFile::parse(&label_for(root, path), &text));
+    }
+    let mut records = Vec::new();
+    for f in check_unit(&parsed, Scope::Auto) {
+        let denied = cfg.is_denied(f.rule);
+        records.push(LintRecord::new(&f, denied));
+    }
+    let mut baseline_notes = Vec::new();
+    if let Some(base) = base {
+        let out = base.apply(&mut records, baseline::today_utc());
+        for e in out.expired {
+            baseline_notes.push(format!("expired waiver (its finding resurfaces): {e}"));
+        }
+        for u in out.unused {
+            baseline_notes.push(format!("unused waiver (delete it): {u}"));
         }
     }
     Ok(CheckReport {
         records,
         files_scanned: files.len(),
+        baseline_notes,
     })
 }
 

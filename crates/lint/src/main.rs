@@ -4,18 +4,23 @@ use std::io::Write as _;
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use era_lint::{check_tree, render_table, run_fixtures, LintConfig, Rule};
+use era_lint::{
+    baseline, check_tree_with, render_table, run_fixtures, sarif, LintConfig, Rule,
+    DEFAULT_BASELINE,
+};
 
 fn usage() -> ExitCode {
     eprintln!(
         "era-lint — workspace SMR-protocol static analyzer\n\
          \n\
          USAGE:\n\
-         \x20 era-lint check [PATH] [--allow RULE]... [--deny RULE]... [--report FILE] [--quiet]\n\
+         \x20 era-lint check [PATH] [--allow RULE]... [--deny RULE]... [--report FILE]\n\
+         \x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20 [--sarif-out FILE] [--baseline FILE] [--no-baseline] [--quiet]\n\
          \x20 era-lint fixtures [DIR]\n\
          \x20 era-lint rules\n\
          \n\
-         RULE accepts R1..R5 or a rule id (see `era-lint rules`).\n\
+         RULE accepts R1..R9 or a rule id (see `era-lint rules`).\n\
+         The baseline defaults to <PATH>/crates/lint/waivers.txt when present.\n\
          Exit codes: 0 clean, 1 findings/expectation failures, 2 usage or IO error."
     );
     ExitCode::from(2)
@@ -51,6 +56,9 @@ fn cmd_check(args: &[String]) -> ExitCode {
     let mut root = PathBuf::from(".");
     let mut cfg = LintConfig::default();
     let mut report_path: Option<PathBuf> = None;
+    let mut sarif_path: Option<PathBuf> = None;
+    let mut baseline_path: Option<PathBuf> = None;
+    let mut no_baseline = false;
     let mut quiet = false;
     let mut i = 0;
     while i < args.len() {
@@ -77,6 +85,23 @@ fn cmd_check(args: &[String]) -> ExitCode {
                 report_path = Some(PathBuf::from(p));
                 i += 1;
             }
+            "--sarif-out" => {
+                let Some(p) = args.get(i + 1) else {
+                    eprintln!("era-lint: --sarif-out needs a path");
+                    return ExitCode::from(2);
+                };
+                sarif_path = Some(PathBuf::from(p));
+                i += 1;
+            }
+            "--baseline" => {
+                let Some(p) = args.get(i + 1) else {
+                    eprintln!("era-lint: --baseline needs a path");
+                    return ExitCode::from(2);
+                };
+                baseline_path = Some(PathBuf::from(p));
+                i += 1;
+            }
+            "--no-baseline" => no_baseline = true,
             "--quiet" => quiet = true,
             flag if flag.starts_with('-') => {
                 eprintln!("era-lint: unknown flag {flag}");
@@ -86,7 +111,27 @@ fn cmd_check(args: &[String]) -> ExitCode {
         }
         i += 1;
     }
-    let report = match check_tree(&root, &cfg) {
+    // Resolve the baseline: explicit path > default location > none.
+    // A malformed baseline is a hard error — a waiver file that cannot
+    // be fully trusted suppresses nothing.
+    let base = if no_baseline {
+        None
+    } else {
+        let path = baseline_path
+            .clone()
+            .or_else(|| Some(root.join(DEFAULT_BASELINE)).filter(|p| p.is_file()));
+        match path {
+            Some(p) => match baseline::load(&p) {
+                Ok(b) => Some(b),
+                Err(e) => {
+                    eprintln!("era-lint: {e}");
+                    return ExitCode::from(2);
+                }
+            },
+            None => None,
+        }
+    };
+    let report = match check_tree_with(&root, &cfg, base.as_ref()) {
         Ok(r) => r,
         Err(e) => {
             eprintln!("era-lint: {}: {e}", root.display());
@@ -105,8 +150,18 @@ fn cmd_check(args: &[String]) -> ExitCode {
             return ExitCode::from(2);
         }
     }
+    if let Some(path) = sarif_path {
+        let doc = sarif::to_sarif(&report.records);
+        if let Err(e) = std::fs::File::create(&path).and_then(|mut f| f.write_all(doc.as_bytes())) {
+            eprintln!("era-lint: writing {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+    }
     if !quiet {
         print!("{}", render_table(&report.records, report.files_scanned));
+        for note in &report.baseline_notes {
+            println!("era-lint: note: {note}");
+        }
     }
     if report.denied() > 0 {
         ExitCode::FAILURE

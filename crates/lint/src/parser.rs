@@ -1,0 +1,162 @@
+//! Token-tree parser: the bridge from the flat token stream to
+//! structure the dataflow pass can walk.
+//!
+//! Like `proc_macro`'s token trees, the grammar is just bracket
+//! nesting: a [`Tree`] is either a leaf token or a delimited group
+//! (`(…)`, `[…]`, `{…}`) containing more trees. That is all the
+//! structure the pointer life-cycle analysis needs — blocks are `{}`
+//! groups (scopes), call argument lists are `()` groups, and statement
+//! boundaries are `;` leaves at one nesting level. No expression
+//! grammar, no precedence: the flow pass pattern-matches leaf
+//! sequences the same way the line-oriented rules always have, but now
+//! *per nesting level*, which is what makes scope reasoning sound.
+//!
+//! Resilience over strictness, as everywhere in this crate: a stray
+//! closing delimiter becomes a leaf, and an unclosed group simply
+//! extends to the end of the parsed range.
+
+use crate::lexer::Tok;
+
+/// One node of the token tree.
+#[derive(Debug)]
+pub enum Tree {
+    /// A single non-delimiter token, by index into the file's token
+    /// stream.
+    Leaf(usize),
+    /// A delimited group.
+    Group(Group),
+}
+
+impl Tree {
+    /// The leaf's token index, if this is a leaf.
+    pub fn leaf(&self) -> Option<usize> {
+        match self {
+            Tree::Leaf(i) => Some(*i),
+            Tree::Group(_) => None,
+        }
+    }
+
+    /// The group, if this is a group.
+    pub fn group(&self) -> Option<&Group> {
+        match self {
+            Tree::Leaf(_) => None,
+            Tree::Group(g) => Some(g),
+        }
+    }
+}
+
+/// A delimited group of trees.
+#[derive(Debug)]
+pub struct Group {
+    /// Opening delimiter: `(`, `[` or `{`.
+    pub delim: char,
+    /// Token index of the opening delimiter.
+    pub open: usize,
+    /// Token index of the closing delimiter (or the last consumed
+    /// token, when unclosed).
+    pub close: usize,
+    /// Children, in source order.
+    pub children: Vec<Tree>,
+}
+
+fn closer_for(open: char) -> char {
+    match open {
+        '(' => ')',
+        '[' => ']',
+        _ => '}',
+    }
+}
+
+/// Parses the inclusive token range `[lo, hi]` into a tree sequence.
+pub fn parse_range(toks: &[Tok], lo: usize, hi: usize) -> Vec<Tree> {
+    let hi = hi.min(toks.len().saturating_sub(1));
+    let mut i = lo;
+    parse_level(toks, &mut i, hi, None)
+}
+
+/// Parses trees until `hi` (inclusive) or until the expected closing
+/// delimiter for the enclosing group is found at this level.
+fn parse_level(toks: &[Tok], i: &mut usize, hi: usize, closing: Option<char>) -> Vec<Tree> {
+    let mut out = Vec::new();
+    while *i <= hi {
+        let t = &toks[*i];
+        let c = if t.text.len() == 1 {
+            t.text.chars().next().unwrap_or('\0')
+        } else {
+            '\0'
+        };
+        if let Some(close) = closing {
+            if t.is_punct(close) {
+                return out;
+            }
+        }
+        if t.is_punct('(') || t.is_punct('[') || t.is_punct('{') {
+            let open = *i;
+            *i += 1;
+            let children = parse_level(toks, i, hi, Some(closer_for(c)));
+            // `*i` now sits on the closer (or past `hi` when unclosed).
+            let close = (*i).min(hi);
+            out.push(Tree::Group(Group {
+                delim: c,
+                open,
+                close,
+                children,
+            }));
+            *i += 1;
+        } else {
+            out.push(Tree::Leaf(*i));
+            *i += 1;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn shape(trees: &[Tree], toks: &[Tok]) -> String {
+        let mut s = String::new();
+        for t in trees {
+            match t {
+                Tree::Leaf(i) => {
+                    s.push_str(&toks[*i].text);
+                    s.push(' ');
+                }
+                Tree::Group(g) => {
+                    s.push(g.delim);
+                    s.push_str(&shape(&g.children, toks));
+                    s.push(closer_for(g.delim));
+                    s.push(' ');
+                }
+            }
+        }
+        s.trim_end().to_string()
+    }
+
+    #[test]
+    fn groups_nest() {
+        let l = lex("f(a, g(b)) { h[i] }");
+        let trees = parse_range(&l.toks, 0, l.toks.len() - 1);
+        assert_eq!(shape(&trees, &l.toks), "f (a , g (b)) {h [i]}");
+    }
+
+    #[test]
+    fn stray_closer_is_a_leaf() {
+        let l = lex(") x (y");
+        let trees = parse_range(&l.toks, 0, l.toks.len() - 1);
+        // The stray `)` leads, and the unclosed `(y` still captures y.
+        assert_eq!(shape(&trees, &l.toks), ") x (y)");
+    }
+
+    #[test]
+    fn subrange_parsing_respects_bounds() {
+        let l = lex("fn f() { a; b; } fn g() {}");
+        // Parse only f's body braces.
+        let open = l.toks.iter().position(|t| t.is_punct('{')).unwrap();
+        let close = l.toks.iter().position(|t| t.is_punct('}')).unwrap();
+        let trees = parse_range(&l.toks, open, close);
+        assert_eq!(shape(&trees, &l.toks), "{a ; b ;}");
+    }
+}

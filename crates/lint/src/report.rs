@@ -15,7 +15,7 @@ use crate::rules::{Finding, Rule};
 /// | key | type | meaning |
 /// |---|---|---|
 /// | `rule` | string | Stable rule id (`R1-safety-comment`, …). |
-/// | `level` | string | `"deny"` (counts toward the exit code) or `"allow"` (reported only). |
+/// | `level` | string | `"deny"` (counts toward the exit code), `"allow"` (reported only), or `"waived"` (matched an unexpired baseline waiver). |
 /// | `path` | string | Workspace-relative file path. |
 /// | `line` | int | 1-based source line. |
 /// | `message` | string | Human-readable explanation. |
@@ -23,7 +23,7 @@ use crate::rules::{Finding, Rule};
 pub struct LintRecord {
     /// Stable rule id.
     pub rule: &'static str,
-    /// `"deny"` or `"allow"`.
+    /// `"deny"`, `"allow"`, or `"waived"`.
     pub level: &'static str,
     /// Workspace-relative path.
     pub path: String,
@@ -59,7 +59,8 @@ impl LintRecord {
     }
 }
 
-fn esc(s: &str) -> String {
+/// JSON string escaping, shared with the SARIF emitter.
+pub(crate) fn esc(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
     for c in s.chars() {
         match c {
@@ -100,13 +101,15 @@ pub fn render_table(records: &[LintRecord], files_scanned: usize) -> String {
         }
     }
     let denied = records.iter().filter(|r| r.level == "deny").count();
-    let allowed = records.len() - denied;
+    let waived = records.iter().filter(|r| r.level == "waived").count();
+    let allowed = records.len() - denied - waived;
     let _ = writeln!(
         out,
-        "era-lint: {} finding(s) ({} denied, {} allowed) across {} file(s) scanned",
+        "era-lint: {} finding(s) ({} denied, {} allowed, {} waived) across {} file(s) scanned",
         records.len(),
         denied,
         allowed,
+        waived,
         files_scanned
     );
     out
@@ -154,6 +157,6 @@ mod tests {
         let t = render_table(&recs, 3);
         assert!(t.contains("R1-safety-comment"));
         assert!(t.contains("[allow] b.rs:2"));
-        assert!(t.contains("2 finding(s) (1 denied, 1 allowed) across 3 file(s)"));
+        assert!(t.contains("2 finding(s) (1 denied, 1 allowed, 0 waived) across 3 file(s)"));
     }
 }

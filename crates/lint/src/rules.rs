@@ -1,15 +1,26 @@
-//! The five era-lint rules.
+//! The nine era-lint rules.
 //!
 //! Each rule turns one piece of the repo's reviewed-by-convention
-//! discipline into a machine-checked fact. They are *syntactic*
-//! approximations — see DESIGN §3.10 for the mapping onto the paper's
-//! definitions and the known false-negative envelope.
+//! discipline into a machine-checked fact. R1–R5 are *syntactic*
+//! approximations over the token stream (DESIGN §3.10); R6/R7 run the
+//! flow-sensitive pointer life-cycle pass ([`crate::flow`]) over each
+//! function body; R8/R9 are **cross-file** passes over a whole check
+//! unit ([`check_unit`]) — the fence-pairing graph and the ERA
+//! scheme-obligation check (DESIGN §3.14).
 
+use std::collections::BTreeMap;
+
+use crate::flow::{self, FlowKind};
 use crate::lexer::TokKind;
 use crate::model::SourceFile;
 
 /// How many lines above a site a justifying comment may sit.
 const WINDOW: usize = 8;
+
+/// How many lines below a `PAIRS(…)` annotation its sync site may sit
+/// (R8) — wider than [`WINDOW`] because ordering justifications run to
+/// full paragraphs.
+const PAIR_WINDOW: usize = 16;
 
 /// The rules, in stable report order.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -26,16 +37,33 @@ pub enum Rule {
     HookCoverage,
     /// R5: guard types (`*Ctx`, `*Handle`, `*Guard`) are `#[must_use]`.
     GuardMustUse,
+    /// R6: a protected pointer must not outlive (or be returned past)
+    /// its guard's scope — flow-sensitive.
+    GuardEscape,
+    /// R7: no deref or re-protect of a value after it flows into
+    /// `retire` (incl. deref after `drop(guard)`) — flow-sensitive.
+    UseAfterRetire,
+    /// R8: `PAIRS(name)` fence-pairing annotations form a cross-file
+    /// graph; every tag has ≥2 endpoints, each on a real sync site.
+    FencePairing,
+    /// R9: every `impl Smr` declares its ERA class in an
+    /// `// ERA-CLASS:` header whose claim matches the implementation's
+    /// structure and the crates/scenarios invariant table.
+    SchemeObligation,
 }
 
 impl Rule {
     /// All rules, report order.
-    pub const ALL: [Rule; 5] = [
+    pub const ALL: [Rule; 9] = [
         Rule::SafetyComment,
         Rule::OrderingJustification,
         Rule::ProtectBeforeDeref,
         Rule::HookCoverage,
         Rule::GuardMustUse,
+        Rule::GuardEscape,
+        Rule::UseAfterRetire,
+        Rule::FencePairing,
+        Rule::SchemeObligation,
     ];
 
     /// Stable identifier (used in reports, fixtures and CLI flags).
@@ -46,6 +74,10 @@ impl Rule {
             Rule::ProtectBeforeDeref => "R3-protect-before-deref",
             Rule::HookCoverage => "R4-hook-coverage",
             Rule::GuardMustUse => "R5-guard-must-use",
+            Rule::GuardEscape => "R6-guard-escape",
+            Rule::UseAfterRetire => "R7-use-after-retire",
+            Rule::FencePairing => "R8-fence-pairing",
+            Rule::SchemeObligation => "R9-scheme-obligation",
         }
     }
 
@@ -65,6 +97,18 @@ impl Rule {
                 "every `impl Smr` emits or delegates the BeginOp/Retire/reclaim hook set"
             }
             Rule::GuardMustUse => "guard types (*Ctx, *Handle, *Guard) are #[must_use]",
+            Rule::GuardEscape => {
+                "flow: a protected pointer must not outlive or be returned past its guard's scope"
+            }
+            Rule::UseAfterRetire => {
+                "flow: no deref or re-protect after a value flows into retire (or its guard drops)"
+            }
+            Rule::FencePairing => {
+                "PAIRS(name) fence annotations pair up across files, each on a real fence/atomic site"
+            }
+            Rule::SchemeObligation => {
+                "every impl Smr declares // ERA-CLASS: and its robustness claim matches its structure"
+            }
         }
     }
 
@@ -103,17 +147,43 @@ pub struct Finding {
     pub message: String,
 }
 
-/// Runs every rule against one parsed file.
+/// Trees where the R6/R7 life-cycle pass applies under [`Scope::Auto`]:
+/// the protocol *users*. `crates/smr` itself is exempt — the schemes
+/// implement `load`/`protect`/`retire`, they don't call them through a
+/// guard.
+const FLOW_SCOPED: [&str; 4] = [
+    "crates/ds/",
+    "crates/kv/",
+    "crates/net/",
+    "crates/scenarios/",
+];
+
+/// Runs every rule against one parsed file (a single-file check unit:
+/// the cross-file rules R8/R9 see only this file).
 pub fn check_file(file: &SourceFile, scope: Scope) -> Vec<Finding> {
+    check_unit(std::slice::from_ref(file), scope)
+}
+
+/// Runs every rule against a check unit: the per-file rules R1–R7,
+/// then the cross-file passes (R8 fence-pairing graph, R9 scheme
+/// obligations) over the whole unit at once.
+pub fn check_unit(files: &[SourceFile], scope: Scope) -> Vec<Finding> {
     let mut out = Vec::new();
-    r1_safety_comment(file, &mut out);
-    r2_ordering(file, scope, &mut out);
-    if scope == Scope::All || file.path.contains("crates/ds/") {
-        r3_protect_before_deref(file, &mut out);
+    for file in files {
+        r1_safety_comment(file, &mut out);
+        r2_ordering(file, scope, &mut out);
+        if scope == Scope::All || file.path.contains("crates/ds/") {
+            r3_protect_before_deref(file, &mut out);
+        }
+        r4_hook_coverage(file, &mut out);
+        r5_guard_must_use(file, &mut out);
+        if scope == Scope::All || FLOW_SCOPED.iter().any(|p| file.path.contains(p)) {
+            r6_r7_lifecycle(file, &mut out);
+        }
     }
-    r4_hook_coverage(file, &mut out);
-    r5_guard_must_use(file, &mut out);
-    out.sort_by_key(|f| (f.line, f.rule));
+    r8_fence_pairing(files, &mut out);
+    r9_scheme_obligation(files, scope, &mut out);
+    out.sort_by(|a, b| (&a.path, a.line, a.rule).cmp(&(&b.path, b.line, b.rule)));
     out
 }
 
@@ -298,10 +368,14 @@ fn is_protect_call(file: &SourceFile, idx: usize) -> bool {
         "begin_op" | "enter_read_phase" | "protect_alias" | "protect" | "try_protect" => {
             idx + 1 < toks.len() && toks[idx + 1].is_punct('(')
         }
-        // `smr.load(ctx, …)` — the protected load; distinguished from
-        // plain atomic loads by its `ctx` first argument.
+        // `smr.load(ctx, …)` / `smr.load(&mut guard, …)` — the
+        // protected load; distinguished from plain atomic loads by its
+        // context/guard first argument (plain loads start with
+        // `Ordering::…`).
         "load" => {
-            idx + 2 < toks.len() && toks[idx + 1].is_punct('(') && toks[idx + 2].is_ident("ctx")
+            idx + 2 < toks.len()
+                && toks[idx + 1].is_punct('(')
+                && (toks[idx + 2].is_ident("ctx") || toks[idx + 2].is_punct('&'))
         }
         _ => false,
     }
@@ -437,6 +511,257 @@ fn r5_guard_must_use(file: &SourceFile, out: &mut Vec<Finding>) {
     }
 }
 
+/// R6/R7 — the flow-sensitive pointer life-cycle pass, one run per
+/// function body. `// LINT:` waivers exempt the fn (same escape hatch
+/// as R3 — protection scoping the analysis cannot see).
+fn r6_r7_lifecycle(file: &SourceFile, out: &mut Vec<Finding>) {
+    for f in &file.fns {
+        if f.has_lint_waiver {
+            continue;
+        }
+        for issue in flow::analyze_body(&file.lexed.toks, f.body) {
+            let rule = match issue.kind {
+                FlowKind::GuardEscape => Rule::GuardEscape,
+                FlowKind::UseAfterRetire => Rule::UseAfterRetire,
+            };
+            out.push(finding(
+                file,
+                rule,
+                issue.line,
+                format!("in `{}`: {}", f.name, issue.message),
+            ));
+        }
+    }
+}
+
+/// R8 — the fence-pairing graph. A `SAFETY(ordering)` comment line
+/// that also carries a machine-readable partner tag — the word
+/// `PAIRS` followed by the tag name in parentheses — is one endpoint
+/// of that pairing. Only ordering-note lines are read, so prose
+/// mentions of the tag syntax are inert (this doc comment keeps the
+/// two halves on separate lines for exactly that reason). Across the
+/// whole check unit, every tag must have ≥2 endpoints — both sides of
+/// the handshake annotated, in whatever files they live — and every
+/// endpoint must sit on a real sync site (a `fence(…)` call or an
+/// atomic load/store/RMW within [`PAIR_WINDOW`] lines below the
+/// annotation — wider than [`WINDOW`] because ordering justifications
+/// run to full paragraphs).
+fn r8_fence_pairing(files: &[SourceFile], out: &mut Vec<Finding>) {
+    struct Site {
+        file: usize,
+        line: usize,
+        on_sync: bool,
+    }
+    let mut graph: BTreeMap<String, Vec<Site>> = BTreeMap::new();
+    for (fi, file) in files.iter().enumerate() {
+        // Lines carrying a real sync token in this file.
+        let toks = &file.lexed.toks;
+        let mut sync_lines: Vec<usize> = Vec::new();
+        for i in 0..toks.len() {
+            let is_fence =
+                toks[i].is_ident("fence") && toks.get(i + 1).is_some_and(|t| t.is_punct('('));
+            let is_atomic_method = toks[i].is_punct('.')
+                && toks.get(i + 1).is_some_and(|t| {
+                    t.kind == TokKind::Ident
+                        && (WRITE_METHODS.contains(&t.text.as_str()) || t.text == "load")
+                })
+                && toks.get(i + 2).is_some_and(|t| t.is_punct('('));
+            if is_fence || is_atomic_method {
+                sync_lines.push(toks[i].line);
+            }
+        }
+        for (line, c) in file.lexed.comments.iter().enumerate() {
+            if !c.text.contains("SAFETY(ordering)") {
+                continue;
+            }
+            let mut rest = c.text.as_str();
+            while let Some(pos) = rest.find("PAIRS(") {
+                rest = &rest[pos + "PAIRS(".len()..];
+                let Some(end) = rest.find(')') else { break };
+                let tag = rest[..end].trim().to_string();
+                rest = &rest[end + 1..];
+                if tag.is_empty() {
+                    continue;
+                }
+                let on_sync = sync_lines
+                    .iter()
+                    .any(|&sl| sl >= line && sl <= line + PAIR_WINDOW);
+                graph.entry(tag).or_default().push(Site {
+                    file: fi,
+                    line,
+                    on_sync,
+                });
+            }
+        }
+    }
+    for (tag, sites) in &graph {
+        for s in sites {
+            if !s.on_sync {
+                out.push(finding(
+                    &files[s.file],
+                    Rule::FencePairing,
+                    s.line,
+                    format!(
+                        "PAIRS({tag}) annotation is not attached to a sync site \
+                         (no fence/atomic call within {PAIR_WINDOW} lines below it)"
+                    ),
+                ));
+            }
+        }
+        if sites.len() < 2 {
+            let s = &sites[0];
+            out.push(finding(
+                &files[s.file],
+                Rule::FencePairing,
+                s.line,
+                format!(
+                    "fence pairing `{tag}` has only this endpoint — its partner is \
+                     missing or its annotation rotted"
+                ),
+            ));
+        }
+    }
+}
+
+/// R9 — scheme-obligation check. Every file containing an `impl Smr`
+/// (under `crates/smr/` in [`Scope::Auto`]; everywhere under
+/// [`Scope::All`]) must carry a machine-readable header comment
+///
+/// ```text
+/// // ERA-CLASS: <Name> <robust|non-robust>
+/// ```
+///
+/// and the claim must match the implementation's structure: a robust
+/// scheme (bounded trapped memory, Def. 4.2) must contain a
+/// bounded-scan reclaim path (a `*threshold*` knob plus a
+/// `*scan*`/`*reclaim*` routine); a non-robust one must not advertise
+/// a bound (no `*bound*` function). When the check unit contains the
+/// crates/scenarios invariant table (`fn is_robust_scheme`), the
+/// declared class is also cross-checked against it — the lint, the
+/// runtime verdicts and the docs must all tell the same ERA story.
+fn r9_scheme_obligation(files: &[SourceFile], scope: Scope, out: &mut Vec<Finding>) {
+    // The invariant table, when present in the unit: scheme names the
+    // scenarios layer holds to a robustness bound.
+    let mut table: Option<Vec<String>> = None;
+    for file in files {
+        for f in &file.fns {
+            if f.name == "is_robust_scheme" {
+                let names: Vec<String> = file.lexed.toks[f.body.0..=f.body.1]
+                    .iter()
+                    .filter(|t| t.kind == TokKind::Literal && !t.text.is_empty())
+                    .map(|t| t.text.clone())
+                    .collect();
+                if !names.is_empty() {
+                    table = Some(names);
+                }
+            }
+        }
+    }
+    for file in files {
+        if file.impl_smrs.is_empty() {
+            continue;
+        }
+        if scope == Scope::Auto && !file.path.contains("crates/smr/") {
+            continue;
+        }
+        let impl_line = file.impl_smrs[0].line;
+        let header = file
+            .lexed
+            .comments
+            .iter()
+            .enumerate()
+            .find_map(|(line, c)| {
+                c.text
+                    .find("ERA-CLASS:")
+                    .map(|pos| (line, c.text[pos + "ERA-CLASS:".len()..].to_string()))
+            });
+        let Some((header_line, rest)) = header else {
+            out.push(finding(
+                file,
+                Rule::SchemeObligation,
+                impl_line,
+                "file contains an `impl Smr` but no machine-readable \
+                 `// ERA-CLASS: <Name> <robust|non-robust>` header",
+            ));
+            continue;
+        };
+        let mut words = rest.split_whitespace();
+        let name = words.next().unwrap_or("").to_string();
+        let class = words.next().unwrap_or("");
+        let robust = match class {
+            "robust" => true,
+            "non-robust" => false,
+            _ => {
+                out.push(finding(
+                    file,
+                    Rule::SchemeObligation,
+                    header_line,
+                    format!(
+                        "malformed ERA-CLASS header: want `<Name> <robust|non-robust>`, \
+                         got `{}`",
+                        rest.trim()
+                    ),
+                ));
+                continue;
+            }
+        };
+        if robust {
+            // Def. 4.2 structural witness: a reclamation path that
+            // scans a bounded set, gated by a threshold.
+            let has_threshold = file
+                .lexed
+                .toks
+                .iter()
+                .any(|t| t.kind == TokKind::Ident && t.text.contains("threshold"));
+            let has_scan = file.lexed.toks.iter().any(|t| {
+                t.kind == TokKind::Ident && (t.text.contains("scan") || t.text.contains("reclaim"))
+            });
+            if !(has_threshold && has_scan) {
+                out.push(finding(
+                    file,
+                    Rule::SchemeObligation,
+                    header_line,
+                    format!(
+                        "`{name}` claims robust but shows no bounded-scan reclaim path \
+                         (need a *threshold* knob and a *scan*/*reclaim* routine)"
+                    ),
+                ));
+            }
+        } else {
+            // A non-robust scheme advertising a bound is the ERA
+            // theorem violated in the API.
+            if let Some(f) = file.fns.iter().find(|f| f.name.contains("bound")) {
+                out.push(finding(
+                    file,
+                    Rule::SchemeObligation,
+                    f.sig_line,
+                    format!(
+                        "`{name}` declares non-robust but exposes `{}` — a non-robust \
+                         scheme must not claim a trapped-memory bound",
+                        f.name
+                    ),
+                ));
+            }
+        }
+        if let Some(table) = &table {
+            let in_table = table.iter().any(|n| n == &name);
+            if in_table != robust {
+                out.push(finding(
+                    file,
+                    Rule::SchemeObligation,
+                    header_line,
+                    format!(
+                        "ERA-CLASS says `{name}` is {}, but the crates/scenarios invariant \
+                         table says {} — the lint and the runtime verdicts must agree",
+                        if robust { "robust" } else { "non-robust" },
+                        if in_table { "robust" } else { "non-robust" },
+                    ),
+                ));
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -543,14 +868,136 @@ mod tests {
 
     #[test]
     fn r4_missing_hooks_fire_per_gap() {
-        let bad = "impl Smr for Bad {\n    fn begin_op(&self) {}\n}";
+        let bad = "// ERA-CLASS: Bad non-robust\nimpl Smr for Bad {\n    fn begin_op(&self) {}\n}";
         let f = run("a.rs", bad);
         assert_eq!(f.len(), 3, "{f:?}");
         assert!(f.iter().all(|x| x.rule == Rule::HookCoverage));
-        let emits = "impl Smr for Good {\n    fn begin_op(&self) { t.emit(Hook::BeginOp, 0, 0); }\n    fn retire(&self) { t.emit(Hook::Retire, 0, 0); }\n}\nfn tally() { stats.on_reclaim(1); }";
+        let emits = "// ERA-CLASS: Good non-robust\nimpl Smr for Good {\n    fn begin_op(&self) { t.emit(Hook::BeginOp, 0, 0); }\n    fn retire(&self) { t.emit(Hook::Retire, 0, 0); }\n}\nfn tally() { stats.on_reclaim(1); }";
         assert!(run("a.rs", emits).is_empty());
-        let delegates = "impl<S: Smr> Smr for Wrap<S> {\n    fn begin_op(&self) { self.inner.begin_op(ctx) }\n    fn retire(&self) { self.inner.retire(ctx) }\n}";
+        let delegates = "// ERA-CLASS: Wrap non-robust\nimpl<S: Smr> Smr for Wrap<S> {\n    fn begin_op(&self) { self.inner.begin_op(ctx) }\n    fn retire(&self) { self.inner.retire(ctx) }\n}";
         assert!(run("a.rs", delegates).is_empty());
+    }
+
+    #[test]
+    fn r6_guard_escape_fires_via_flow() {
+        let src = "fn f(list: &L) {\n    let p;\n    {\n        let mut g = list.smr.register().unwrap();\n        p = list.smr.load(&mut g, 0, &list.head);\n    }\n    // SAFETY: (wrongly) assumed pinned.\n    let k = unsafe { (*p).key };\n}";
+        let f = run("a.rs", src);
+        assert_eq!(rules_of(&f), vec![Rule::GuardEscape], "{f:?}");
+    }
+
+    #[test]
+    fn r7_use_after_retire_fires_via_flow() {
+        let src = "fn f(list: &L, ctx: &mut C) {\n    let p = list.smr.load(ctx, 0, &list.head);\n    // SAFETY: p was protected by the load above.\n    unsafe { list.smr.retire(ctx, p as *mut u8, &(*p).header, D) };\n    // SAFETY: stale claim.\n    let k = unsafe { (*p).key };\n}";
+        let f = run("a.rs", src);
+        assert_eq!(rules_of(&f), vec![Rule::UseAfterRetire], "{f:?}");
+    }
+
+    #[test]
+    fn r6_r7_scoped_to_protocol_users() {
+        let src = "fn f(list: &L, ctx: &mut C) {\n    let p = list.smr.load(ctx, 0, &list.head);\n    // SAFETY: stale.\n    unsafe { list.smr.retire(ctx, p as *mut u8, &(*p).header, D) };\n    // SAFETY: stale.\n    let k = unsafe { (*p).key };\n}";
+        let smr = check_file(&SourceFile::parse("crates/smr/src/x.rs", src), Scope::Auto);
+        assert!(
+            !smr.iter().any(|f| f.rule == Rule::UseAfterRetire),
+            "smr internals are exempt: {smr:?}"
+        );
+        let ds = check_file(&SourceFile::parse("crates/ds/src/x.rs", src), Scope::Auto);
+        assert!(ds.iter().any(|f| f.rule == Rule::UseAfterRetire), "{ds:?}");
+    }
+
+    #[test]
+    fn r6_r7_lint_waiver_exempts_fn() {
+        let src = "// LINT: op-scoped — guard identity is managed by the pool.\nfn f(list: &L, ctx: &mut C) {\n    let p = list.smr.load(ctx, 0, &list.head);\n    // SAFETY: pool keeps it live.\n    unsafe { list.smr.retire(ctx, p as *mut u8, &(*p).header, D) };\n    // SAFETY: pool keeps it live.\n    let k = unsafe { (*p).key };\n}";
+        let f = check_file(&SourceFile::parse("crates/ds/src/x.rs", src), Scope::Auto);
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn r8_lone_pair_tag_fires_and_partner_satisfies() {
+        let lone = "fn f() {\n    // SAFETY(ordering): PAIRS(retire-handshake) partner below.\n    fence(Ordering::SeqCst);\n}";
+        let f = run("a.rs", lone);
+        assert_eq!(rules_of(&f), vec![Rule::FencePairing], "{f:?}");
+        // Two endpoints in *different files* of the same unit: clean.
+        let a = SourceFile::parse("a.rs", lone);
+        let b = SourceFile::parse(
+            "b.rs",
+            "fn g() {\n    // SAFETY(ordering): PAIRS(retire-handshake) partner in a.rs.\n    fence(Ordering::SeqCst);\n}",
+        );
+        let f = check_unit(&[a, b], Scope::All);
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn r8_annotation_must_sit_on_a_sync_site() {
+        // Enough filler lines to keep the detached annotation outside
+        // the PAIR_WINDOW of the real fence below.
+        let filler = "fn pad() { let x = 1; }\n".repeat(PAIR_WINDOW + 4);
+        let src = format!(
+            "// SAFETY(ordering): PAIRS(ghost) nowhere near a fence.\n{filler}fn g() {{\n    // SAFETY(ordering): PAIRS(ghost) partner is real.\n    fence(Ordering::SeqCst);\n}}"
+        );
+        let f = run("a.rs", &src);
+        assert_eq!(rules_of(&f), vec![Rule::FencePairing]);
+        assert_eq!(f.len(), 1, "only the detached endpoint fires: {f:?}");
+        assert!(f[0].message.contains("not attached"), "{f:?}");
+    }
+
+    #[test]
+    fn r8_prose_mentions_without_ordering_tag_are_inert() {
+        let f = run(
+            "a.rs",
+            "/// Docs explaining the PAIRS(name) syntax.\nfn f() {}",
+        );
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn r9_missing_and_malformed_headers_fire() {
+        let missing = "impl Smr for Foo {\n    fn begin_op(&self) { self.inner.begin_op(ctx) }\n    fn retire(&self) { self.inner.retire(ctx) }\n}";
+        let f = run("a.rs", missing);
+        assert_eq!(rules_of(&f), vec![Rule::SchemeObligation], "{f:?}");
+        let malformed = format!("// ERA-CLASS: Foo sorta-robust\n{missing}");
+        let f = run("a.rs", &malformed);
+        assert_eq!(rules_of(&f), vec![Rule::SchemeObligation], "{f:?}");
+        let good = format!("// ERA-CLASS: Foo non-robust\n{missing}");
+        assert!(run("a.rs", &good).is_empty());
+    }
+
+    #[test]
+    fn r9_robust_claim_needs_bounded_scan_path() {
+        let base = "impl Smr for Foo {\n    fn begin_op(&self) { self.inner.begin_op(ctx) }\n    fn retire(&self) { self.inner.retire(ctx) }\n}";
+        let bare = format!("// ERA-CLASS: Foo robust\n{base}");
+        let f = run("a.rs", &bare);
+        assert_eq!(rules_of(&f), vec![Rule::SchemeObligation], "{f:?}");
+        let witnessed = format!(
+            "// ERA-CLASS: Foo robust\nconst scan_threshold: usize = 64;\nfn scan_and_reclaim() {{}}\n{base}"
+        );
+        assert!(run("a.rs", &witnessed).is_empty());
+    }
+
+    #[test]
+    fn r9_non_robust_must_not_claim_a_bound() {
+        let src = "// ERA-CLASS: Foo non-robust\nimpl Smr for Foo {\n    fn begin_op(&self) { self.inner.begin_op(ctx) }\n    fn retire(&self) { self.inner.retire(ctx) }\n}\npub fn robustness_bound() -> usize { 64 }";
+        let f = run("a.rs", src);
+        assert_eq!(rules_of(&f), vec![Rule::SchemeObligation], "{f:?}");
+        assert!(f[0].message.contains("robustness_bound"), "{f:?}");
+    }
+
+    #[test]
+    fn r9_cross_checks_the_invariant_table() {
+        let scheme = SourceFile::parse(
+            "crates/smr/src/foo.rs",
+            "// ERA-CLASS: Foo robust\nconst scan_threshold: usize = 64;\nfn scan_and_reclaim() {}\nimpl Smr for Foo {\n    fn begin_op(&self) { self.inner.begin_op(ctx) }\n    fn retire(&self) { self.inner.retire(ctx) }\n}",
+        );
+        let table = SourceFile::parse(
+            "crates/scenarios/src/invariant.rs",
+            "pub fn is_robust_scheme(name: &str) -> bool {\n    matches!(name, \"HP\" | \"HE\")\n}",
+        );
+        let f = check_unit(&[scheme, table], Scope::Auto);
+        let r9: Vec<_> = f
+            .iter()
+            .filter(|x| x.rule == Rule::SchemeObligation)
+            .collect();
+        assert_eq!(r9.len(), 1, "Foo robust but not in table: {f:?}");
+        assert!(r9[0].message.contains("invariant"), "{r9:?}");
     }
 
     #[test]

@@ -1,0 +1,434 @@
+//! SARIF 2.1.0 emitter + shape check.
+//!
+//! GitHub code scanning ingests SARIF, so CI uploads the workspace
+//! lint report in this format and findings surface as PR annotations.
+//! Hand-rolled like every other serializer in the repo (era-bench's
+//! `RunRecord`, era-obs's dump headers): one canonical `runs[0]` with
+//! the full rule catalog in `tool.driver.rules` and one `result` per
+//! [`LintRecord`].
+//!
+//! Level mapping: `deny → error`, `allow → warning`, `waived → note` +
+//! a `suppressions` entry of kind `external` (the baseline file is the
+//! external mechanism), which is how SARIF consumers are told "known,
+//! justified, not a regression".
+//!
+//! [`shape_check`] is a miniature JSON parser (again in-house — the
+//! container has no serde) that validates the emitted document against
+//! the 2.1 shape CI relies on: `version`, `runs[].tool.driver.name`,
+//! `runs[].results[].ruleId/message.text/locations[].physicalLocation`
+//! with an `artifactLocation.uri` and a positive `region.startLine`.
+//! The emitter runs it on its own output before returning, so a shape
+//! regression fails loudly at emit time, not at upload time.
+
+use std::fmt::Write as _;
+
+use crate::report::{esc, LintRecord};
+use crate::rules::Rule;
+
+/// Renders records as a complete SARIF 2.1.0 document (pretty-printed,
+/// trailing newline). Panics if the emitted document fails its own
+/// [`shape_check`] — that is a bug in this module, never input-driven.
+pub fn to_sarif(records: &[LintRecord]) -> String {
+    let mut s = String::with_capacity(4096 + records.len() * 256);
+    s.push_str("{\n");
+    s.push_str(
+        "  \"$schema\": \"https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/Schemata/sarif-schema-2.1.0.json\",\n",
+    );
+    s.push_str("  \"version\": \"2.1.0\",\n");
+    s.push_str("  \"runs\": [\n    {\n");
+    s.push_str("      \"tool\": {\n        \"driver\": {\n");
+    s.push_str("          \"name\": \"era-lint\",\n");
+    let _ = writeln!(
+        s,
+        "          \"version\": \"{}\",",
+        esc(env!("CARGO_PKG_VERSION"))
+    );
+    s.push_str("          \"informationUri\": \"https://github.com/era-smr/era\",\n");
+    s.push_str("          \"rules\": [\n");
+    for (i, rule) in Rule::ALL.iter().enumerate() {
+        let _ = write!(
+            s,
+            "            {{\"id\": \"{}\", \"shortDescription\": {{\"text\": \"{}\"}}}}",
+            esc(rule.id()),
+            esc(rule.describe())
+        );
+        s.push_str(if i + 1 < Rule::ALL.len() { ",\n" } else { "\n" });
+    }
+    s.push_str("          ]\n        }\n      },\n");
+    s.push_str("      \"results\": [\n");
+    for (i, r) in records.iter().enumerate() {
+        let level = match r.level {
+            "deny" => "error",
+            "waived" => "note",
+            _ => "warning",
+        };
+        s.push_str("        {\n");
+        let _ = writeln!(s, "          \"ruleId\": \"{}\",", esc(r.rule));
+        let _ = writeln!(s, "          \"level\": \"{level}\",");
+        let _ = writeln!(
+            s,
+            "          \"message\": {{\"text\": \"{}\"}},",
+            esc(&r.message)
+        );
+        if r.level == "waived" {
+            s.push_str("          \"suppressions\": [{\"kind\": \"external\"}],\n");
+        }
+        s.push_str("          \"locations\": [\n            {\n");
+        s.push_str("              \"physicalLocation\": {\n");
+        let _ = writeln!(
+            s,
+            "                \"artifactLocation\": {{\"uri\": \"{}\"}},",
+            esc(&r.path)
+        );
+        let _ = writeln!(
+            s,
+            "                \"region\": {{\"startLine\": {}}}",
+            r.line.max(1)
+        );
+        s.push_str("              }\n            }\n          ]\n        }");
+        s.push_str(if i + 1 < records.len() { ",\n" } else { "\n" });
+    }
+    s.push_str("      ]\n    }\n  ]\n}\n");
+    if let Err(e) = shape_check(&s) {
+        panic!("era-lint emitted malformed SARIF: {e}");
+    }
+    s
+}
+
+/// Validates `text` against the SARIF 2.1 shape this repo relies on.
+///
+/// Checks: well-formed JSON; `version == "2.1.0"`; `runs` is a
+/// non-empty array; each run has `tool.driver.name` and a `results`
+/// array; each result has a string `ruleId`, a `message.text`, and at
+/// least one location with `physicalLocation.artifactLocation.uri` and
+/// an integer `region.startLine >= 1`.
+pub fn shape_check(text: &str) -> Result<(), String> {
+    let doc = Json::parse(text)?;
+    if doc.get("version").and_then(Json::as_str) != Some("2.1.0") {
+        return Err("version must be the string \"2.1.0\"".into());
+    }
+    let runs = doc
+        .get("runs")
+        .and_then(Json::as_array)
+        .ok_or("runs must be an array")?;
+    if runs.is_empty() {
+        return Err("runs must be non-empty".into());
+    }
+    for (ri, run) in runs.iter().enumerate() {
+        let driver = run
+            .get("tool")
+            .and_then(|t| t.get("driver"))
+            .ok_or_else(|| format!("runs[{ri}] missing tool.driver"))?;
+        if driver.get("name").and_then(Json::as_str).is_none() {
+            return Err(format!("runs[{ri}].tool.driver.name must be a string"));
+        }
+        let results = run
+            .get("results")
+            .and_then(Json::as_array)
+            .ok_or_else(|| format!("runs[{ri}].results must be an array"))?;
+        for (i, res) in results.iter().enumerate() {
+            let at = || format!("runs[{ri}].results[{i}]");
+            if res.get("ruleId").and_then(Json::as_str).is_none() {
+                return Err(format!("{} missing string ruleId", at()));
+            }
+            if res
+                .get("message")
+                .and_then(|m| m.get("text"))
+                .and_then(Json::as_str)
+                .is_none()
+            {
+                return Err(format!("{} missing message.text", at()));
+            }
+            let locs = res
+                .get("locations")
+                .and_then(Json::as_array)
+                .ok_or_else(|| format!("{} missing locations array", at()))?;
+            if locs.is_empty() {
+                return Err(format!("{} has no locations", at()));
+            }
+            for loc in locs {
+                let phys = loc
+                    .get("physicalLocation")
+                    .ok_or_else(|| format!("{} location missing physicalLocation", at()))?;
+                if phys
+                    .get("artifactLocation")
+                    .and_then(|a| a.get("uri"))
+                    .and_then(Json::as_str)
+                    .is_none()
+                {
+                    return Err(format!("{} missing artifactLocation.uri", at()));
+                }
+                match phys
+                    .get("region")
+                    .and_then(|r| r.get("startLine"))
+                    .and_then(Json::as_num)
+                {
+                    Some(n) if n >= 1.0 => {}
+                    _ => return Err(format!("{} region.startLine must be >= 1", at())),
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Minimal JSON value for the shape check. Object keys keep last-wins
+/// semantics; numbers are f64 (ample for line numbers).
+enum Json {
+    Null,
+    // The shape check never reads the bool's value, but the parser
+    // must still accept the type.
+    Bool(#[allow(dead_code)] bool),
+    Num(f64),
+    Str(String),
+    Array(Vec<Json>),
+    Object(Vec<(String, Json)>),
+}
+
+impl Json {
+    fn parse(text: &str) -> Result<Json, String> {
+        let b = text.as_bytes();
+        let mut i = 0;
+        let v = parse_value(b, &mut i)?;
+        skip_ws(b, &mut i);
+        if i != b.len() {
+            return Err(format!("trailing bytes at offset {i}"));
+        }
+        Ok(v)
+    }
+
+    fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Object(kvs) => kvs.iter().rev().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    fn as_num(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    fn as_array(&self) -> Option<&[Json]> {
+        match self {
+            Json::Array(v) => Some(v),
+            _ => None,
+        }
+    }
+}
+
+fn skip_ws(b: &[u8], i: &mut usize) {
+    while *i < b.len() && matches!(b[*i], b' ' | b'\t' | b'\n' | b'\r') {
+        *i += 1;
+    }
+}
+
+fn parse_value(b: &[u8], i: &mut usize) -> Result<Json, String> {
+    skip_ws(b, i);
+    match b.get(*i) {
+        Some(b'{') => parse_object(b, i),
+        Some(b'[') => parse_array(b, i),
+        Some(b'"') => parse_string(b, i).map(Json::Str),
+        Some(b't') => parse_lit(b, i, "true").map(|_| Json::Bool(true)),
+        Some(b'f') => parse_lit(b, i, "false").map(|_| Json::Bool(false)),
+        Some(b'n') => parse_lit(b, i, "null").map(|_| Json::Null),
+        Some(c) if c.is_ascii_digit() || *c == b'-' => parse_number(b, i),
+        _ => Err(format!("unexpected byte at offset {i}", i = *i)),
+    }
+}
+
+fn parse_lit(b: &[u8], i: &mut usize, lit: &str) -> Result<(), String> {
+    if b[*i..].starts_with(lit.as_bytes()) {
+        *i += lit.len();
+        Ok(())
+    } else {
+        Err(format!("bad literal at offset {i}", i = *i))
+    }
+}
+
+fn parse_number(b: &[u8], i: &mut usize) -> Result<Json, String> {
+    let start = *i;
+    if b.get(*i) == Some(&b'-') {
+        *i += 1;
+    }
+    while *i < b.len()
+        && (b[*i].is_ascii_digit() || matches!(b[*i], b'.' | b'e' | b'E' | b'+' | b'-'))
+    {
+        *i += 1;
+    }
+    std::str::from_utf8(&b[start..*i])
+        .ok()
+        .and_then(|s| s.parse::<f64>().ok())
+        .map(Json::Num)
+        .ok_or_else(|| format!("bad number at offset {start}"))
+}
+
+fn parse_string(b: &[u8], i: &mut usize) -> Result<String, String> {
+    debug_assert_eq!(b[*i], b'"');
+    *i += 1;
+    let mut out = String::new();
+    while *i < b.len() {
+        match b[*i] {
+            b'"' => {
+                *i += 1;
+                return Ok(out);
+            }
+            b'\\' => {
+                *i += 1;
+                match b.get(*i) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b'b') => out.push('\u{8}'),
+                    Some(b'f') => out.push('\u{c}'),
+                    Some(b'u') => {
+                        let hex = b
+                            .get(*i + 1..*i + 5)
+                            .and_then(|h| std::str::from_utf8(h).ok())
+                            .and_then(|h| u32::from_str_radix(h, 16).ok())
+                            .ok_or("bad \\u escape")?;
+                        out.push(char::from_u32(hex).unwrap_or('\u{fffd}'));
+                        *i += 4;
+                    }
+                    _ => return Err("bad escape".into()),
+                }
+                *i += 1;
+            }
+            c => {
+                // Copy the full UTF-8 sequence starting here.
+                let s = std::str::from_utf8(&b[*i..]).map_err(|_| "bad utf-8")?;
+                let ch = s.chars().next().ok_or("truncated string")?;
+                out.push(ch);
+                *i += ch.len_utf8();
+                let _ = c;
+            }
+        }
+    }
+    Err("unterminated string".into())
+}
+
+fn parse_array(b: &[u8], i: &mut usize) -> Result<Json, String> {
+    *i += 1; // '['
+    let mut out = Vec::new();
+    skip_ws(b, i);
+    if b.get(*i) == Some(&b']') {
+        *i += 1;
+        return Ok(Json::Array(out));
+    }
+    loop {
+        out.push(parse_value(b, i)?);
+        skip_ws(b, i);
+        match b.get(*i) {
+            Some(b',') => *i += 1,
+            Some(b']') => {
+                *i += 1;
+                return Ok(Json::Array(out));
+            }
+            _ => return Err(format!("expected , or ] at offset {i}", i = *i)),
+        }
+    }
+}
+
+fn parse_object(b: &[u8], i: &mut usize) -> Result<Json, String> {
+    *i += 1; // '{'
+    let mut out = Vec::new();
+    skip_ws(b, i);
+    if b.get(*i) == Some(&b'}') {
+        *i += 1;
+        return Ok(Json::Object(out));
+    }
+    loop {
+        skip_ws(b, i);
+        if b.get(*i) != Some(&b'"') {
+            return Err(format!("expected key string at offset {i}", i = *i));
+        }
+        let key = parse_string(b, i)?;
+        skip_ws(b, i);
+        if b.get(*i) != Some(&b':') {
+            return Err(format!("expected : at offset {i}", i = *i));
+        }
+        *i += 1;
+        let val = parse_value(b, i)?;
+        out.push((key, val));
+        skip_ws(b, i);
+        match b.get(*i) {
+            Some(b',') => *i += 1,
+            Some(b'}') => {
+                *i += 1;
+                return Ok(Json::Object(out));
+            }
+            _ => return Err(format!("expected , or }} at offset {i}", i = *i)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(rule: &'static str, level: &'static str, line: usize) -> LintRecord {
+        LintRecord {
+            rule,
+            level,
+            path: "crates/x/src/a.rs".into(),
+            line,
+            message: format!("msg for {rule}"),
+        }
+    }
+
+    #[test]
+    fn empty_report_is_valid_sarif() {
+        let s = to_sarif(&[]);
+        assert!(shape_check(&s).is_ok());
+        assert!(s.contains("\"results\": [\n      ]"));
+    }
+
+    #[test]
+    fn levels_map_and_waived_is_suppressed() {
+        let s = to_sarif(&[
+            rec("R1-safety-comment", "deny", 3),
+            rec("R3-protect-before-deref", "allow", 9),
+            rec("R7-use-after-retire", "waived", 12),
+        ]);
+        assert!(shape_check(&s).is_ok());
+        assert!(s.contains("\"level\": \"error\""));
+        assert!(s.contains("\"level\": \"warning\""));
+        assert!(s.contains("\"level\": \"note\""));
+        assert_eq!(s.matches("\"suppressions\"").count(), 1);
+    }
+
+    #[test]
+    fn shape_check_rejects_missing_pieces() {
+        assert!(shape_check("{").is_err());
+        assert!(shape_check("{\"version\": \"2.0.0\", \"runs\": []}").is_err());
+        assert!(shape_check("{\"version\": \"2.1.0\", \"runs\": []}").is_err());
+        // A run whose result lacks locations.
+        let bad =
+            "{\"version\": \"2.1.0\", \"runs\": [{\"tool\": {\"driver\": {\"name\": \"x\"}}, \
+                   \"results\": [{\"ruleId\": \"r\", \"message\": {\"text\": \"m\"}}]}]}";
+        let err = shape_check(bad).unwrap_err();
+        assert!(err.contains("locations"), "{err}");
+    }
+
+    #[test]
+    fn json_parser_handles_escapes_and_nesting() {
+        let doc = Json::parse("{\"a\": [1, {\"b\": \"x\\n\\u0041\"}, true, null]}").unwrap();
+        let arr = doc.get("a").and_then(Json::as_array).unwrap();
+        assert_eq!(arr.len(), 4);
+        assert_eq!(arr[1].get("b").and_then(Json::as_str), Some("x\nA"));
+        assert!(Json::parse("{\"a\": 1,}").is_err(), "trailing comma");
+        assert!(Json::parse("[1 2]").is_err());
+    }
+}

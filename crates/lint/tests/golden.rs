@@ -66,8 +66,48 @@ fn guard_not_must_use_trips_exactly_r5() {
 }
 
 #[test]
-fn clean_fixture_is_clean() {
-    assert!(fired("clean.rs").is_empty());
+fn guard_escape_trips_exactly_r6() {
+    assert_eq!(fired("guard_escape.rs"), only(Rule::GuardEscape));
+}
+
+#[test]
+fn use_after_retire_trips_exactly_r7() {
+    assert_eq!(fired("use_after_retire.rs"), only(Rule::UseAfterRetire));
+}
+
+#[test]
+fn unmatched_fence_pair_trips_exactly_r8() {
+    assert_eq!(fired("fence_pair_unmatched.rs"), only(Rule::FencePairing));
+}
+
+#[test]
+fn missing_scheme_class_trips_exactly_r9() {
+    assert_eq!(
+        fired("scheme_class_missing.rs"),
+        only(Rule::SchemeObligation)
+    );
+}
+
+#[test]
+fn unbounded_scheme_claiming_bound_trips_exactly_r9() {
+    assert_eq!(
+        fired("scheme_class_unbounded.rs"),
+        only(Rule::SchemeObligation)
+    );
+}
+
+#[test]
+fn clean_fixtures_are_clean() {
+    for f in [
+        "clean.rs",
+        "guard_scoped_clean.rs",
+        "retire_last_clean.rs",
+        "fence_pair_clean.rs",
+        "scheme_class_clean.rs",
+        "lexer_edgecases.rs",
+    ] {
+        assert!(fired(f).is_empty(), "{f}: {:?}", fired(f));
+    }
 }
 
 #[test]
@@ -76,7 +116,7 @@ fn fixture_harness_agrees_with_headers() {
     // drift: the harness reads the //@ expect headers and reaches the
     // same verdicts.
     let results = run_fixtures(&fixtures_dir()).unwrap();
-    assert!(results.len() >= 7, "fixture tree shrank: {results:?}");
+    assert!(results.len() >= 16, "fixture tree shrank: {results:?}");
     for r in &results {
         assert!(r.error.is_none(), "{}: {:?}", r.name, r.error);
     }
@@ -92,6 +132,10 @@ fn every_rule_has_at_least_one_firing_fixture() {
         "deref_without_protect.rs",
         "missing_hook.rs",
         "guard_not_must_use.rs",
+        "guard_escape.rs",
+        "use_after_retire.rs",
+        "fence_pair_unmatched.rs",
+        "scheme_class_missing.rs",
     ] {
         covered.extend(fired(f));
     }

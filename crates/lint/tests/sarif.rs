@@ -1,0 +1,104 @@
+//! End-to-end SARIF test: real findings from the golden fixtures, the
+//! baseline waiver flow, the emitter, and the shape check — the exact
+//! pipeline `era-lint check --sarif-out` runs in CI.
+
+use std::path::PathBuf;
+
+use era_lint::baseline;
+use era_lint::sarif::{shape_check, to_sarif};
+use era_lint::{check_file, LintRecord, Scope, SourceFile};
+
+fn fixture_records(name: &str) -> Vec<LintRecord> {
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("fixtures")
+        .join(name);
+    let text = std::fs::read_to_string(&path).unwrap();
+    let file = SourceFile::parse(&format!("crates/lint/fixtures/{name}"), &text);
+    check_file(&file, Scope::All)
+        .iter()
+        .map(|f| LintRecord::new(f, true))
+        .collect()
+}
+
+#[test]
+fn fixture_findings_emit_valid_sarif() {
+    let mut records = Vec::new();
+    for f in [
+        "guard_escape.rs",
+        "use_after_retire.rs",
+        "fence_pair_unmatched.rs",
+        "scheme_class_missing.rs",
+    ] {
+        records.extend(fixture_records(f));
+    }
+    assert!(records.len() >= 4, "expected one finding per fixture");
+
+    let s = to_sarif(&records);
+    shape_check(&s).unwrap();
+
+    // The rule catalog rides along even for rules with no results.
+    for id in [
+        "R1-safety-comment",
+        "R8-fence-pairing",
+        "R9-scheme-obligation",
+    ] {
+        assert!(
+            s.contains(&format!("\"id\": \"{id}\"")),
+            "catalog lost {id}"
+        );
+    }
+    // Each fixture's finding surfaces with its uri and rule id.
+    assert!(s.contains("\"ruleId\": \"R6-guard-escape\""));
+    assert!(s.contains("\"ruleId\": \"R7-use-after-retire\""));
+    assert!(s.contains("\"uri\": \"crates/lint/fixtures/guard_escape.rs\""));
+    assert!(s.contains("\"level\": \"error\""));
+}
+
+#[test]
+fn waived_findings_become_suppressed_notes() {
+    let mut records = fixture_records("guard_escape.rs");
+    let n = records.len();
+    assert!(n >= 1);
+
+    let base = baseline::parse(
+        "R6-guard-escape | crates/lint/fixtures/guard_escape.rs | \
+         fixture demonstrates the firing shape | expires=2999-01-01\n",
+    )
+    .unwrap();
+    let outcome = base.apply(&mut records, (2026, 8, 7));
+    assert_eq!(outcome.waived, n);
+    assert!(outcome.expired.is_empty());
+    assert!(outcome.unused.is_empty());
+
+    let s = to_sarif(&records);
+    shape_check(&s).unwrap();
+    assert_eq!(s.matches("\"level\": \"note\"").count(), n);
+    assert_eq!(s.matches("\"suppressions\"").count(), n);
+    assert!(!s.contains("\"level\": \"error\""));
+}
+
+#[test]
+fn snapshot_of_a_single_result_block() {
+    let records = vec![LintRecord {
+        rule: "R9-scheme-obligation",
+        level: "deny",
+        path: "crates/smr/src/ebr.rs".into(),
+        line: 234,
+        message: "file contains an `impl Smr` but no header".into(),
+    }];
+    let s = to_sarif(&records);
+    let expected = r#"        {
+          "ruleId": "R9-scheme-obligation",
+          "level": "error",
+          "message": {"text": "file contains an `impl Smr` but no header"},
+          "locations": [
+            {
+              "physicalLocation": {
+                "artifactLocation": {"uri": "crates/smr/src/ebr.rs"},
+                "region": {"startLine": 234}
+              }
+            }
+          ]
+        }"#;
+    assert!(s.contains(expected), "snapshot drifted; emitted:\n{s}");
+}

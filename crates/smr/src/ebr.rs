@@ -28,6 +28,9 @@
 //! `announced + 1`. Announcement slots are cache-line padded: they are
 //! the most written shared words in the scheme.
 
+// ERA-CLASS: EBR non-robust — one stalled reader pins its announced
+// epoch forever and trapped memory grows without limit (Theorem 6.1).
+
 use std::sync::atomic::{fence, AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
@@ -61,7 +64,8 @@ impl EbrInner {
     /// Advances the epoch if every registered, in-operation thread has
     /// announced the current value. Returns the (possibly new) epoch.
     fn try_advance(&self) -> u64 {
-        // SAFETY(ordering): the SeqCst fence pairs with the fence in
+        // SAFETY(ordering) PAIRS(ebr-epoch-dekker): the SeqCst fence
+        // pairs with the fence in
         // `begin_op`'s announce path (Dekker): either this scan sees a
         // concurrent announcement, or that thread's post-fence epoch
         // re-read sees our subsequent advance and re-announces. Loads
@@ -285,7 +289,8 @@ impl Smr for Ebr {
         // but blocks advancement).
         loop {
             let e = self.inner.epoch.load(Ordering::SeqCst);
-            // SAFETY(ordering): Relaxed store + SeqCst fence replaces
+            // SAFETY(ordering) PAIRS(ebr-epoch-dekker): Relaxed store +
+            // SeqCst fence replaces
             // the old SeqCst store (XCHG on x86). The fence is the
             // StoreLoad barrier the Dekker argument with
             // `try_advance`'s fence needs: either the scanner sees this

@@ -14,6 +14,9 @@
 //! published — exactly the Figure 2 scenario — so `He` does not
 //! implement [`SupportsUnlinkedTraversal`](crate::common::SupportsUnlinkedTraversal).
 
+// ERA-CLASS: HE robust — era reservations bound what a stalled reader
+// can trap to the nodes live in its reserved eras (Def. 4.2).
+
 use std::sync::atomic::{fence, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 
@@ -50,7 +53,8 @@ impl HeInner {
     /// `O((R + T·k)·log(T·k))` per scan instead of a linear probe per
     /// node.
     fn reservation_snapshot(&self) -> Vec<(u64, usize)> {
-        // SAFETY(ordering): the SeqCst fence pairs with the fence in
+        // SAFETY(ordering) PAIRS(he-era-dekker): the SeqCst fence
+        // pairs with the fence in
         // `load`'s publish path (protect-validate Dekker): either a
         // reader's era reservation is visible to this scan, or the
         // reader's post-fence era validation observes the advance that
@@ -288,7 +292,8 @@ impl Smr for He {
             era = self.inner.era.load(Ordering::SeqCst);
         }
         loop {
-            // SAFETY(ordering): Release store + SeqCst fence replaces
+            // SAFETY(ordering) PAIRS(he-era-dekker): Release store +
+            // SeqCst fence replaces
             // the old SeqCst store: the fence makes the reservation
             // globally visible before the validating reads (pairs with
             // the fence in `reservation_snapshot`); Release keeps the

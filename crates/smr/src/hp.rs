@@ -15,6 +15,9 @@
 //! linked list** (Appendix E) — accordingly, `Hp` does *not* implement
 //! [`SupportsUnlinkedTraversal`](crate::common::SupportsUnlinkedTraversal).
 
+// ERA-CLASS: HP robust — per-slot hazards cap trapped memory at
+// R + T·k no matter how long any reader stalls (Def. 4.2).
+
 use std::sync::atomic::{fence, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 
@@ -44,7 +47,8 @@ impl HpInner {
     /// into a binary search: a scan costs `O((R + T·k)·log(T·k))`
     /// instead of the hash-map build + per-node probes it replaces.
     fn hazard_snapshot(&self) -> Vec<(usize, usize)> {
-        // SAFETY(ordering): the SeqCst fence pairs with the fence in
+        // SAFETY(ordering) PAIRS(hp-hazard-dekker): the SeqCst fence
+        // pairs with the fence in
         // `load` (protect-validate Dekker): the caller's unlinks are
         // ordered before this scan's hazard reads, so for any retired
         // node either its reader's validation already failed (it will
@@ -255,7 +259,8 @@ impl Smr for Hp {
         let cell = &self.inner.hazards[ctx.idx * self.inner.k + slot];
         let mut cur = src.load(Ordering::SeqCst);
         loop {
-            // SAFETY(ordering): Release store + SeqCst fence replaces
+            // SAFETY(ordering) PAIRS(hp-hazard-dekker): Release store +
+            // SeqCst fence replaces
             // the old SeqCst store. The fence is the StoreLoad barrier
             // of the protect-validate Dekker (pairs with the fence in
             // `hazard_snapshot`): the publish is globally visible

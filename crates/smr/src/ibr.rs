@@ -16,6 +16,10 @@
 //! traverse retired chains, so no
 //! [`SupportsUnlinkedTraversal`](crate::common::SupportsUnlinkedTraversal).
 
+// ERA-CLASS: IBR robust — interval reservations keep trapped memory
+// proportional to the nodes whose lifetimes overlap in-flight
+// intervals, however long a reader stalls (Def. 4.2).
+
 use std::sync::atomic::{fence, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 
@@ -65,7 +69,8 @@ impl IbrInner {
 
     fn scan(&self, garbage: &mut Vec<Retired>) {
         self.adopt_orphans(garbage);
-        // SAFETY(ordering): the SeqCst fence pairs with the fences in
+        // SAFETY(ordering) PAIRS(ibr-interval-dekker): the SeqCst fence
+        // pairs with the fences in
         // `begin_op`/`load` (publish-validate Dekker): a reader whose
         // reservation this snapshot misses must see, after its own
         // fence, the era advance that made its node retirable, and
@@ -247,7 +252,8 @@ impl Smr for Ibr {
     fn begin_op(&self, ctx: &mut IbrCtx) {
         let e = self.inner.era.load(Ordering::SeqCst);
         let iv = &self.inner.intervals[ctx.idx];
-        // SAFETY(ordering): two Relaxed stores + one SeqCst fence
+        // SAFETY(ordering) PAIRS(ibr-interval-dekker): two Relaxed stores +
+        // one SeqCst fence
         // replace the two SeqCst stores (two XCHG on x86) the old code
         // issued. The fence is the StoreLoad barrier of the
         // publish-validate Dekker (pairs with the fence in `scan`): the
@@ -296,7 +302,8 @@ impl Smr for Ibr {
         loop {
             // Extend the reservation to cover era `e` *before* using
             // the pointer, then validate the clock did not move.
-            // SAFETY(ordering): Release store + SeqCst fence (pairs
+            // SAFETY(ordering) PAIRS(ibr-interval-dekker): Release store +
+            // SeqCst fence (pairs
             // with the fence in `scan`) replaces the old SeqCst store;
             // the validating loads are SeqCst (plain loads on TSO).
             iv.upper.store(e, Ordering::Release);

@@ -7,6 +7,10 @@
 //! nothing is ever reclaimed — but with an unbounded retired footprint,
 //! the extreme of non-robustness.
 
+// ERA-CLASS: Leak non-robust — nothing is ever reclaimed, so trapped
+// memory grows without bound by construction; the baseline the ERA
+// matrix measures every real scheme against.
+
 use std::sync::{Arc, Mutex};
 
 use era_obs::{Hook, Recorder, SchemeId, ThreadTracer};

@@ -31,6 +31,10 @@
 //! `commit_reservations`) are insertions at arbitrary code locations and
 //! restarts are roll-backs, both outlawed by Definition 5.3.
 
+// ERA-CLASS: NBR robust — neutralization restarts stalled readers, so a
+// reader cannot pin retired nodes past the next signalled round and the
+// trapped set stays bounded (Def. 4.2).
+
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 
@@ -90,7 +94,8 @@ impl NbrInner {
 
     fn neutralize_and_reclaim(&self, self_idx: usize, garbage: &mut Vec<Retired>) -> bool {
         self.adopt_orphans(garbage);
-        // SAFETY(ordering): SeqCst — the round bump must be totally ordered
+        // SAFETY(ordering) PAIRS(nbr-round-handshake): SeqCst — the round
+        // bump must be totally ordered
         // against every reader's SeqCst `acked` store (begin_op/poll below):
         // a reader that acknowledged < new_round can still hold pre-bump
         // pointers, and the wait loop below relies on that total order.
@@ -317,7 +322,8 @@ impl Smr for Nbr {
     fn enter_read_phase(&self, ctx: &mut NbrCtx) {
         let r = self.inner.round.load(Ordering::SeqCst);
         ctx.round = r;
-        // SAFETY(ordering): SeqCst — the round acknowledgement pairs with the
+        // SAFETY(ordering) PAIRS(nbr-round-handshake): SeqCst — the round
+        // acknowledgement pairs with the
         // reclaimer's SeqCst round bump: acking r promises this phase holds no
         // pointer retired before round r.
         self.inner.acked[ctx.idx].store(r, Ordering::SeqCst);

@@ -21,6 +21,9 @@
 //!   are protected until the trailing grace period, so it composes with
 //!   Harris-style structures.
 
+// ERA-CLASS: QSBR non-robust — a thread that never reaches a quiescent
+// point blocks every grace period; trapped memory is unbounded.
+
 use std::sync::atomic::{fence, AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
@@ -50,7 +53,8 @@ impl QsbrInner {
     /// Advances the grace period if every registered thread has
     /// announced the current one.
     fn try_advance(&self) -> u64 {
-        // SAFETY(ordering): SeqCst fence pairs with the fence in
+        // SAFETY(ordering) PAIRS(qsbr-grace-dekker): SeqCst fence pairs
+        // with the fence in
         // `begin_op`'s slow path (Dekker): either this scan observes a
         // thread's fresh not-quiescent announcement, or that thread's
         // post-fence grace re-read observes any advance we publish.
@@ -264,7 +268,8 @@ impl Smr for Qsbr {
             ctx.tracer.emit(Hook::BeginOp, g, 0);
             return;
         }
-        // SAFETY(ordering): Relaxed store + SeqCst fence (StoreLoad)
+        // SAFETY(ordering) PAIRS(qsbr-grace-dekker): Relaxed store +
+        // SeqCst fence (StoreLoad)
         // replaces the old SeqCst store: the not-quiescent announcement
         // must be visible before any of the operation's shared loads,
         // or an advancing thread could treat us as quiescent for two

@@ -41,6 +41,10 @@
 //! assert_eq!(arena.read(h, 0), Err(Stale)); // stale handle detected
 //! ```
 
+// ERA-CLASS: VBR robust — version validation lets reclamation proceed
+// immediately, so stalled readers trap nothing; informational only, as
+// VBR is arena-based and does not implement the `Smr` trait.
+
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 
